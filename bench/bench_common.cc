@@ -1,0 +1,204 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+#include "timetable/serialize.h"
+#include "ttl/builder.h"
+#include "ttl/serialize.h"
+
+namespace ptldb {
+
+BenchConfig ParseBenchArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      config.scale = std::atof(next().c_str());
+    } else if (arg == "--queries") {
+      config.num_queries = static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--cities") {
+      for (const std::string& c : Split(next(), ',')) {
+        config.cities.push_back(c);
+      }
+    } else if (arg == "--cache-dir") {
+      config.cache_dir = next();
+    } else if (arg == "--seed") {
+      config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--queries N] [--cities A,B] "
+                   "[--cache-dir D] [--seed S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (config.scale <= 0 || config.scale > 1.0 || config.num_queries == 0) {
+    std::fprintf(stderr, "bad --scale/--queries\n");
+    std::exit(2);
+  }
+  return config;
+}
+
+std::vector<const CityProfile*> SelectCities(const BenchConfig& config) {
+  std::vector<const CityProfile*> out;
+  if (config.cities.empty()) {
+    for (const CityProfile& p : kCityProfiles) out.push_back(&p);
+    return out;
+  }
+  for (const std::string& name : config.cities) {
+    const CityProfile* p = FindCityProfile(name);
+    if (p == nullptr) {
+      std::fprintf(stderr, "unknown city %s\n", name.c_str());
+      std::exit(2);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+std::string CacheBase(const CityProfile& profile, const BenchConfig& config) {
+  std::ostringstream ss;
+  ss << config.cache_dir << "/" << profile.name << "_s" << config.scale
+     << "_r" << config.seed;
+  return ss.str();
+}
+
+constexpr uint64_t kMetaMagic = 0x50544C424D455431ULL;  // "PTLBMET1"
+
+}  // namespace
+
+Result<BenchDataset> LoadOrBuildDataset(const CityProfile& profile,
+                                        const BenchConfig& config) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config.cache_dir, ec);
+  const std::string base = CacheBase(profile, config);
+  const std::string tt_path = base + ".tt";
+  const std::string ttl_path = base + ".ttl";
+  const std::string meta_path = base + ".meta";
+
+  BenchDataset data;
+  data.name = profile.name;
+  if (fs::exists(tt_path) && fs::exists(ttl_path) && fs::exists(meta_path)) {
+    auto tt = LoadTimetable(tt_path);
+    auto index = LoadTtlIndex(ttl_path);
+    BinaryReader meta(meta_path);
+    if (tt.ok() && index.ok() && meta.ok() &&
+        meta.Read<uint64_t>() == kMetaMagic) {
+      data.tt = std::move(*tt);
+      data.index = std::move(*index);
+      data.preprocess_seconds = meta.Read<double>();
+      data.out_tuples = meta.Read<uint64_t>();
+      data.in_tuples = meta.Read<uint64_t>();
+      data.dummy_tuples = meta.Read<uint64_t>();
+      if (meta.ok()) return data;
+    }
+    std::fprintf(stderr, "[bench] stale cache for %s, rebuilding\n",
+                 profile.name);
+  }
+
+  std::fprintf(stderr, "[bench] building %s (scale %.3g)...\n", profile.name,
+               config.scale);
+  auto tt = GenerateNetwork(CityOptions(profile, config.scale, config.seed));
+  if (!tt.ok()) return tt.status();
+  TtlBuildStats stats;
+  auto index = BuildTtlIndex(*tt, {}, &stats);
+  if (!index.ok()) return index.status();
+  data.tt = std::move(*tt);
+  data.index = std::move(*index);
+  data.preprocess_seconds = stats.preprocess_seconds;
+  data.out_tuples = stats.out_tuples;
+  data.in_tuples = stats.in_tuples;
+  data.dummy_tuples = stats.dummy_tuples;
+
+  PTLDB_RETURN_IF_ERROR(SaveTimetable(data.tt, tt_path));
+  PTLDB_RETURN_IF_ERROR(SaveTtlIndex(data.index, ttl_path));
+  BinaryWriter meta(meta_path);
+  meta.Write(kMetaMagic);
+  meta.Write(data.preprocess_seconds);
+  meta.Write(data.out_tuples);
+  meta.Write(data.in_tuples);
+  meta.Write(data.dummy_tuples);
+  PTLDB_RETURN_IF_ERROR(meta.Finish());
+  return data;
+}
+
+Timestamp RandomEarlyTime(Rng* rng, const Timetable& tt) {
+  const Timestamp span = tt.max_time() - tt.min_time();
+  return tt.min_time() +
+         static_cast<Timestamp>(rng->NextBelow(
+             static_cast<uint64_t>(span / 4) + 1));
+}
+
+Timestamp RandomLateTime(Rng* rng, const Timetable& tt) {
+  const Timestamp span = tt.max_time() - tt.min_time();
+  return tt.max_time() -
+         static_cast<Timestamp>(rng->NextBelow(
+             static_cast<uint64_t>(span / 4) + 1));
+}
+
+double TimeQueries(PtldbDatabase* db, uint32_t n,
+                   const std::function<void(uint32_t)>& fn) {
+  db->DropCaches();
+  db->ResetIoStats();
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t i = 0; i < n; ++i) fn(i);
+  const auto end = std::chrono::steady_clock::now();
+  const double cpu_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  const double io_ms = static_cast<double>(db->io_time_ns()) / 1e6;
+  return (cpu_ms + io_ms) / n;
+}
+
+Result<std::unique_ptr<PtldbDatabase>> MakeBenchDb(
+    const BenchDataset& data, const DeviceProfile& device) {
+  PtldbOptions options;
+  options.device = device;
+  return PtldbDatabase::Build(data.index, options);
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  std::string row = "|";
+  std::string sep = "|";
+  for (const auto& c : columns) {
+    row += " " + c + " |";
+    sep += "---|";
+  }
+  std::printf("%s\n%s\n", row.c_str(), sep.c_str());
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  std::string row = "|";
+  for (const auto& c : cells) row += " " + c + " |";
+  std::printf("%s\n", row.c_str());
+  std::fflush(stdout);
+}
+
+std::string Ms(double ms) {
+  char buf[32];
+  if (ms >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", ms);
+  } else if (ms >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  }
+  return buf;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,80 @@
+#ifndef PTLDB_BENCH_BENCH_COMMON_H_
+#define PTLDB_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ptldb/ptldb.h"
+#include "timetable/generator.h"
+#include "timetable/timetable.h"
+#include "ttl/label.h"
+
+namespace ptldb {
+
+/// Shared configuration of the reproduction benchmarks (bench/*). Every
+/// binary accepts:
+///   --scale S       dataset scale vs. the paper's city sizes (default 0.06)
+///   --queries N     random queries per measurement (paper: 1000;
+///                   expensive sweeps cap some cells, noted in their output)
+///   --cities A,B    subset of Table 7 city names (default: all 11)
+///   --cache-dir D   where generated datasets + labels are cached
+///   --seed S        RNG seed for datasets and workloads
+struct BenchConfig {
+  double scale = 0.06;
+  uint32_t num_queries = 60;
+  std::vector<std::string> cities;
+  std::string cache_dir = "bench_cache";
+  uint64_t seed = 1;
+};
+
+/// Parses the common flags; exits with usage on errors.
+BenchConfig ParseBenchArgs(int argc, char** argv);
+
+/// City profiles selected by the config (all of Table 7 by default).
+std::vector<const CityProfile*> SelectCities(const BenchConfig& config);
+
+/// One benchmark dataset: a scaled city and its TTL index.
+struct BenchDataset {
+  std::string name;
+  Timetable tt;
+  TtlIndex index;
+  /// TTL preprocessing seconds (measured when the cache entry was built).
+  double preprocess_seconds = 0;
+  uint64_t out_tuples = 0;
+  uint64_t in_tuples = 0;
+  uint64_t dummy_tuples = 0;
+};
+
+/// Generates (or reloads from the cache) the dataset of one city.
+Result<BenchDataset> LoadOrBuildDataset(const CityProfile& profile,
+                                        const BenchConfig& config);
+
+/// Random workload times per Section 4 of the paper: starting timestamps
+/// from the first quarter of the timetable's range, ending timestamps from
+/// the fourth quarter.
+Timestamp RandomEarlyTime(Rng* rng, const Timetable& tt);
+Timestamp RandomLateTime(Rng* rng, const Timetable& tt);
+
+/// Runs `fn(i)` for i in [0, n) against `db` with a cold cache and returns
+/// the average per-query time in milliseconds: measured CPU time plus the
+/// modeled device I/O time (see DESIGN.md on the storage simulation).
+double TimeQueries(PtldbDatabase* db, uint32_t n,
+                   const std::function<void(uint32_t)>& fn);
+
+/// Builds a PtldbDatabase for a dataset on the given device profile.
+Result<std::unique_ptr<PtldbDatabase>> MakeBenchDb(const BenchDataset& data,
+                                                   const DeviceProfile& device);
+
+/// Markdown table helper: prints a header row and the separator.
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+/// Formats milliseconds with three significant digits.
+std::string Ms(double ms);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,11 @@
+// Figure 2 of the paper: EA, LD and SD vertex-to-vertex queries on an HDD.
+// Expected shape: LD faster than EA (fourth-quarter deadlines see fewer
+// trips), SD slowest, everything dominated by two wide-row fetches
+// (< ~20 ms at the paper's scale).
+#include "v2v_bench.h"
+
+int main(int argc, char** argv) {
+  return ptldb::RunV2vBench(argc, argv, ptldb::DeviceProfile::Hdd7200(),
+                            /*compare_hdd=*/false,
+                            "Figure 2: EA/LD/SD v2v queries on HDD");
+}

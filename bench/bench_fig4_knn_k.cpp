@@ -1,0 +1,47 @@
+// Figure 4 of the paper: absolute EA-kNN and LD-kNN times for D = 0.01 and
+// varying k, on the HDD. The kmax=4 table instance answers k in {1,2,4},
+// the kmax=16 instance k in {8,16} (Section 4.1.2). Expected shape: tens
+// of milliseconds, LD slightly cheaper than EA, Madrid (largest |HL|/|V|)
+// slowest.
+#include <cstdio>
+
+#include "knn_bench.h"
+
+using namespace ptldb;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  std::printf("# Figure 4: kNN queries for D=0.01, varying k (HDD, %u queries)\n\n",
+              config.num_queries);
+  PrintTableHeader({"Graph", "EA k=1", "EA k=2", "EA k=4", "EA k=8",
+                    "EA k=16", "LD k=1", "LD k=2", "LD k=4", "LD k=8",
+                    "LD k=16"});
+  for (const CityProfile* profile : SelectCities(config)) {
+    auto data = LoadOrBuildDataset(*profile, config);
+    if (!data.ok()) return 1;
+    auto db = MakeBenchDb(*data, DeviceProfile::Hdd7200());
+    if (!db.ok()) return 1;
+    if (!AddFig34Sets(db->get(), *data, *profile, config.seed).ok()) return 1;
+    Rng rng(config.seed * 31 + 5);
+    const KnnWorkload w = MakeKnnWorkload(&rng, data->tt, config.num_queries);
+
+    std::vector<std::string> row{data->name};
+    for (const char* mode : {"ea", "ld"}) {
+      for (const uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+        const std::string set = SetForK(k);
+        const bool ea = mode[0] == 'e';
+        const double ms =
+            TimeQueries(db->get(), config.num_queries, [&](uint32_t i) {
+              if (ea) {
+                (void)(*db)->EaKnn(set, w.q[i], w.early[i], k);
+              } else {
+                (void)(*db)->LdKnn(set, w.q[i], w.late[i], k);
+              }
+            });
+        row.push_back(Ms(ms));
+      }
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

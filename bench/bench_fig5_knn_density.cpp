@@ -1,0 +1,62 @@
+// Figure 5 of the paper: kNN queries for k = 4 and varying target density
+// D in {0.001, 0.005, 0.01, 0.05, 0.1}, each with its own kmax=4 table
+// instance, on the HDD. Expected shape: times grow with D; EA more robust
+// to dense targets than LD.
+#include <cstdio>
+
+#include "knn_bench.h"
+
+using namespace ptldb;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  const double densities[] = {0.001, 0.005, 0.01, 0.05, 0.1};
+  std::printf("# Figure 5: kNN queries for k=4, varying D (HDD, %u queries)\n\n",
+              config.num_queries);
+  PrintTableHeader({"Graph", "EA D=.001", "EA D=.005", "EA D=.01",
+                    "EA D=.05", "EA D=.1", "LD D=.001", "LD D=.005",
+                    "LD D=.01", "LD D=.05", "LD D=.1"});
+  for (const CityProfile* profile : SelectCities(config)) {
+    auto data = LoadOrBuildDataset(*profile, config);
+    if (!data.ok()) return 1;
+    auto db = MakeBenchDb(*data, DeviceProfile::Hdd7200());
+    if (!db.ok()) return 1;
+    Rng rng(config.seed * 104729 + 7);
+    for (int d = 0; d < 5; ++d) {
+      const auto targets = MakeTargets(&rng, data->tt, *profile, densities[d]);
+      char set[16];
+      std::snprintf(set, sizeof(set), "d%d", d);
+      if (const auto s = (*db)->AddTargetSet(set, data->index, targets, 4);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    Rng wrng(config.seed * 31 + 5);
+    const KnnWorkload w = MakeKnnWorkload(&wrng, data->tt, config.num_queries);
+
+    std::vector<std::string> row{data->name};
+    for (const char* mode : {"ea", "ld"}) {
+      const bool ea = mode[0] == 'e';
+      for (int d = 0; d < 5; ++d) {
+        char set[16];
+        std::snprintf(set, sizeof(set), "d%d", d);
+        // High-density cells are expensive; cap their sample count.
+        const uint32_t n =
+            d >= 3 ? std::min<uint32_t>(config.num_queries, 80)
+                   : config.num_queries;
+        const double ms =
+            TimeQueries(db->get(), n, [&](uint32_t i) {
+              if (ea) {
+                (void)(*db)->EaKnn(set, w.q[i], w.early[i], 4);
+              } else {
+                (void)(*db)->LdKnn(set, w.q[i], w.late[i], 4);
+              }
+            });
+        row.push_back(Ms(ms));
+      }
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

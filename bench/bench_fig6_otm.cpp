@@ -1,0 +1,58 @@
+// Figure 6 of the paper: EA and LD one-to-many queries for varying target
+// density D, on the HDD. Expected shape: slower than kNN (whole target set
+// answered), growing with D, "for high D the one-to-many query almost
+// degrades to one-to-all".
+#include <cstdio>
+
+#include "knn_bench.h"
+
+using namespace ptldb;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  const double densities[] = {0.001, 0.005, 0.01, 0.05, 0.1};
+  std::printf("# Figure 6: one-to-many queries, varying D (HDD, %u queries)\n\n",
+              config.num_queries);
+  PrintTableHeader({"Graph", "EA D=.001", "EA D=.005", "EA D=.01",
+                    "EA D=.05", "EA D=.1", "LD D=.001", "LD D=.005",
+                    "LD D=.01", "LD D=.05", "LD D=.1"});
+  for (const CityProfile* profile : SelectCities(config)) {
+    auto data = LoadOrBuildDataset(*profile, config);
+    if (!data.ok()) return 1;
+    auto db = MakeBenchDb(*data, DeviceProfile::Hdd7200());
+    if (!db.ok()) return 1;
+    Rng rng(config.seed * 104729 + 7);
+    for (int d = 0; d < 5; ++d) {
+      const auto targets = MakeTargets(&rng, data->tt, *profile, densities[d]);
+      char set[16];
+      std::snprintf(set, sizeof(set), "d%d", d);
+      if (!(*db)->AddTargetSet(set, data->index, targets, 4).ok()) return 1;
+    }
+    Rng wrng(config.seed * 31 + 5);
+    const KnnWorkload w = MakeKnnWorkload(&wrng, data->tt, config.num_queries);
+
+    std::vector<std::string> row{data->name};
+    for (const char* mode : {"ea", "ld"}) {
+      const bool ea = mode[0] == 'e';
+      for (int d = 0; d < 5; ++d) {
+        char set[16];
+        std::snprintf(set, sizeof(set), "d%d", d);
+        // High-density cells are expensive; cap their sample count.
+        const uint32_t n =
+            d >= 3 ? std::min<uint32_t>(config.num_queries, 80)
+                   : config.num_queries;
+        const double ms =
+            TimeQueries(db->get(), n, [&](uint32_t i) {
+              if (ea) {
+                (void)(*db)->EaOneToMany(set, w.q[i], w.early[i]);
+              } else {
+                (void)(*db)->LdOneToMany(set, w.q[i], w.late[i]);
+              }
+            });
+        row.push_back(Ms(ms));
+      }
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7 of the paper: the same vertex-to-vertex experiment on an SSD.
+// Expected shape: 3-20x faster than the HDD because the two label-row
+// fetches are seek-bound.
+#include "v2v_bench.h"
+
+int main(int argc, char** argv) {
+  return ptldb::RunV2vBench(argc, argv, ptldb::DeviceProfile::SataSsd(),
+                            /*compare_hdd=*/true,
+                            "Figure 7: EA/LD/SD v2v queries on SSD");
+}

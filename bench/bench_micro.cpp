@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) for the core primitives: B+Tree
+// lookups, label-row fetches, the v2v merge join, in-memory TTL queries and
+// the Connection Scan baseline. These calibrate where the CPU time in the
+// paper-level figures is spent.
+#include <benchmark/benchmark.h>
+
+#include "baseline/csa.h"
+#include "baseline/profile.h"
+#include "common/rng.h"
+#include "ptldb/ptldb.h"
+#include "ptldb/queries.h"
+#include "timetable/generator.h"
+#include "ttl/builder.h"
+#include "ttl/query.h"
+
+namespace ptldb {
+namespace {
+
+struct MicroFixture {
+  MicroFixture() {
+    GeneratorOptions o;
+    o.num_stops = 300;
+    o.target_connections = 30000;
+    o.seed = 42;
+    tt = std::move(GenerateNetwork(o)).value();
+    index = std::move(BuildTtlIndex(tt)).value();
+    PtldbOptions options;
+    options.device = DeviceProfile::SataSsd();
+    db = std::move(PtldbDatabase::Build(index, options)).value();
+    Rng rng(3);
+    targets = rng.SampleDistinct(tt.num_stops(), 30);
+    (void)db->AddTargetSet("T", index, targets, 16);
+  }
+
+  Timetable tt;
+  TtlIndex index;
+  std::unique_ptr<PtldbDatabase> db;
+  std::vector<StopId> targets;
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture* fixture = new MicroFixture();
+  return *fixture;
+}
+
+void BM_BTreeFind(benchmark::State& state) {
+  auto& f = Fixture();
+  const EngineTable* lout = f.db->engine()->FindTable("lout");
+  BufferPool* pool = f.db->engine()->buffer_pool();
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto key = static_cast<IndexKey>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(lout->Get(key, pool));
+  }
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_V2vEaWarmCache(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto s = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    const auto g = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(f.db->EarliestArrival(s, g, f.tt.min_time()));
+  }
+}
+BENCHMARK(BM_V2vEaWarmCache);
+
+void BM_TtlEaInMemory(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    const auto g = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(
+        TtlEarliestArrival(f.index, s, g, f.tt.min_time()));
+  }
+}
+BENCHMARK(BM_TtlEaInMemory);
+
+void BM_EaKnnPlan(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(4);
+  const auto k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto q = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(f.db->EaKnn("T", q, f.tt.min_time(), k));
+  }
+}
+BENCHMARK(BM_EaKnnPlan)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_CsaEarliestArrivalScan(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto s = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(EarliestArrivalScan(f.tt, s, f.tt.min_time()));
+  }
+}
+BENCHMARK(BM_CsaEarliestArrivalScan);
+
+void BM_ForwardProfile(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(6);
+  for (auto _ : state) {
+    const auto s = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(ForwardProfile(f.tt, s));
+  }
+}
+BENCHMARK(BM_ForwardProfile);
+
+void BM_TtlPreprocessing(benchmark::State& state) {
+  GeneratorOptions o;
+  o.num_stops = 120;
+  o.target_connections = 8000;
+  o.seed = 7;
+  const Timetable tt = std::move(GenerateNetwork(o)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTtlIndex(tt));
+  }
+}
+BENCHMARK(BM_TtlPreprocessing);
+
+}  // namespace
+}  // namespace ptldb
+
+BENCHMARK_MAIN();

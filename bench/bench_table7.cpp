@@ -1,0 +1,47 @@
+// Table 7 of the paper: dataset statistics and TTL preprocessing cost for
+// the 11 public-transportation networks (scaled synthetic equivalents; see
+// DESIGN.md on the substitution). Paper values are printed alongside for
+// shape comparison: |HL|/|V| in the hundreds-to-thousands, Madrid densest,
+// preprocessing seconds growing with |V| x |E|.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ptldb;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  std::printf("# Table 7: graph statistics and TTL preprocessing (scale %g)\n\n",
+              config.scale);
+  PrintTableHeader({"Graph", "|V|", "|E|", "Avg degr.", "|HL|/|V|",
+                    "Preproc (s)", "paper |HL|/|V|", "paper preproc (s)"});
+  const char* paper_hl[] = {"1600", "1734", "2486", "1190", "2196", "2572",
+                            "7230", "4370", "630", "775", "2987"};
+  const char* paper_pp[] = {"11.3", "184.7", "54.4", "27.3", "72.6", "194.5",
+                            "338.5", "353.6", "4.5", "179.1", "262.1"};
+  for (const CityProfile* profile : SelectCities(config)) {
+    auto data = LoadOrBuildDataset(*profile, config);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s: %s\n", profile->name,
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    size_t paper_idx = 0;
+    for (size_t i = 0; i < kNumCityProfiles; ++i) {
+      if (&kCityProfiles[i] == profile) paper_idx = i;
+    }
+    char v[32], e[32], deg[32], hl[32], pp[32];
+    std::snprintf(v, sizeof(v), "%u", data->tt.num_stops());
+    std::snprintf(e, sizeof(e), "%u", data->tt.num_connections());
+    std::snprintf(deg, sizeof(deg), "%.0f", data->tt.average_degree());
+    std::snprintf(hl, sizeof(hl), "%.0f", data->index.tuples_per_vertex());
+    std::snprintf(pp, sizeof(pp), "%.1f", data->preprocess_seconds);
+    PrintTableRow({data->name, v, e, deg, hl, pp, paper_hl[paper_idx],
+                   paper_pp[paper_idx]});
+  }
+  std::printf(
+      "\nNote: |V| and |E| scale linearly with --scale; |HL|/|V| and the\n"
+      "preprocessing time are expected to track the paper's per-city shape\n"
+      "(Madrid/Roma/Toronto largest labels; SaltLakeCity/Sweden smallest).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef PTLDB_BENCH_KNN_BENCH_H_
+#define PTLDB_BENCH_KNN_BENCH_H_
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace ptldb {
+
+/// Shared pieces of the kNN / one-to-many experiments (Figures 3-6, 8).
+
+/// Random target set for density D. The paper defines D = |T|/|V| against
+/// its full-size networks (20-5100 targets); to preserve that workload
+/// shape under --scale we size |T| against the profile's FULL |V| and clamp
+/// to the scaled network (high D then degrades toward one-to-all, exactly
+/// as the paper describes).
+inline std::vector<StopId> MakeTargets(Rng* rng, const Timetable& tt,
+                                       const CityProfile& profile,
+                                       double density) {
+  const auto count = std::max<uint32_t>(
+      1, static_cast<uint32_t>(density * profile.num_stops + 0.5));
+  return rng->SampleDistinct(tt.num_stops(),
+                             std::min(count, tt.num_stops()));
+}
+
+/// Query workload: random query stops with first-quarter start times and
+/// fourth-quarter deadlines (Section 4).
+struct KnnWorkload {
+  std::vector<StopId> q;
+  std::vector<Timestamp> early;
+  std::vector<Timestamp> late;
+};
+
+inline KnnWorkload MakeKnnWorkload(Rng* rng, const Timetable& tt,
+                                   uint32_t n) {
+  KnnWorkload w;
+  w.q.resize(n);
+  w.early.resize(n);
+  w.late.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    w.q[i] = static_cast<StopId>(rng->NextBelow(tt.num_stops()));
+    w.early[i] = RandomEarlyTime(rng, tt);
+    w.late[i] = RandomLateTime(rng, tt);
+  }
+  return w;
+}
+
+/// The paper's two kNN table instances: kmax=4 serves k in {1,2,4},
+/// kmax=16 serves k in {8,16} (Section 4.1.2).
+inline const char* SetForK(uint32_t k) { return k <= 4 ? "d01k4" : "d01k16"; }
+
+/// Registers both kmax instances for density 0.01 on `db`.
+inline Status AddFig34Sets(PtldbDatabase* db, const BenchDataset& data,
+                           const CityProfile& profile, uint64_t seed) {
+  Rng rng(seed * 104729 + 7);
+  const std::vector<StopId> targets =
+      MakeTargets(&rng, data.tt, profile, 0.01);
+  PTLDB_RETURN_IF_ERROR(db->AddTargetSet("d01k4", data.index, targets, 4));
+  return db->AddTargetSet("d01k16", data.index, targets, 16);
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BENCH_KNN_BENCH_H_

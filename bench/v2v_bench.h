@@ -1,0 +1,83 @@
+#ifndef PTLDB_BENCH_V2V_BENCH_H_
+#define PTLDB_BENCH_V2V_BENCH_H_
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace ptldb {
+
+/// Shared body of the Figure 2 (HDD) and Figure 7 (SSD) vertex-to-vertex
+/// experiments: per dataset, average EA/LD/SD query time over
+/// config.num_queries random (s, g) pairs, with starting timestamps from
+/// the first quarter of the range and deadlines from the fourth (Section 4
+/// workload). When `compare_hdd` is true (Figure 7), also reports the
+/// speedup vs. the HDD profile.
+inline int RunV2vBench(int argc, char** argv, const DeviceProfile& device,
+                       bool compare_hdd, const char* title) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  std::printf("# %s (device %s, scale %g, %u queries)\n\n", title,
+              device.name.c_str(), config.scale, config.num_queries);
+  std::vector<std::string> header{"Graph", "EA (ms)", "LD (ms)", "SD (ms)"};
+  if (compare_hdd) {
+    header.insert(header.end(),
+                  {"EA speedup vs HDD", "LD speedup", "SD speedup"});
+  }
+  PrintTableHeader(header);
+
+  for (const CityProfile* profile : SelectCities(config)) {
+    auto data = LoadOrBuildDataset(*profile, config);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s: %s\n", profile->name,
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    const auto run = [&](const DeviceProfile& dev, double out[3]) -> bool {
+      auto db = MakeBenchDb(*data, dev);
+      if (!db.ok()) return false;
+      const uint32_t n = config.num_queries;
+      std::vector<StopId> src(n);
+      std::vector<StopId> dst(n);
+      std::vector<Timestamp> early(n);
+      std::vector<Timestamp> late(n);
+      Rng rng(config.seed * 7919 + 13);
+      for (uint32_t i = 0; i < n; ++i) {
+        src[i] = static_cast<StopId>(rng.NextBelow(data->tt.num_stops()));
+        dst[i] = static_cast<StopId>(rng.NextBelow(data->tt.num_stops()));
+        if (dst[i] == src[i]) dst[i] = (dst[i] + 1) % data->tt.num_stops();
+        early[i] = RandomEarlyTime(&rng, data->tt);
+        late[i] = RandomLateTime(&rng, data->tt);
+      }
+      out[0] = TimeQueries(db->get(), n, [&](uint32_t i) {
+        (*db)->EarliestArrival(src[i], dst[i], early[i]);
+      });
+      out[1] = TimeQueries(db->get(), n, [&](uint32_t i) {
+        (*db)->LatestDeparture(src[i], dst[i], late[i]);
+      });
+      out[2] = TimeQueries(db->get(), n, [&](uint32_t i) {
+        (*db)->ShortestDuration(src[i], dst[i], early[i], late[i]);
+      });
+      return true;
+    };
+
+    double times[3];
+    if (!run(device, times)) return 1;
+    std::vector<std::string> row{data->name, Ms(times[0]), Ms(times[1]),
+                                 Ms(times[2])};
+    if (compare_hdd) {
+      double hdd[3];
+      if (!run(DeviceProfile::Hdd7200(), hdd)) return 1;
+      for (int i = 0; i < 3; ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1fx", hdd[i] / times[i]);
+        row.push_back(buf);
+      }
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BENCH_V2V_BENCH_H_

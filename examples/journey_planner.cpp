@@ -1,0 +1,132 @@
+// Journey planner: answers EA/LD/SD queries on a synthetic city (or a GTFS
+// feed) and prints a full earliest-arrival itinerary, leg by leg.
+//
+//   ./journey_planner [--gtfs DIR | --city NAME] [--scale S] [--from A]
+//                     [--to B] [--depart HH:MM:SS]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/csa.h"
+#include "ptldb/ptldb.h"
+#include "timetable/generator.h"
+#include "timetable/gtfs.h"
+#include "ttl/builder.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: journey_planner [--gtfs DIR | --city NAME] "
+               "[--scale S] [--from STOP] [--to STOP] [--depart HH:MM:SS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptldb;
+
+  std::string gtfs_dir;
+  std::string city = "Austin";
+  double scale = 0.05;
+  StopId from = 0;
+  StopId to = 25;
+  Timestamp depart = 8 * 3600;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--gtfs") gtfs_dir = next();
+    else if (arg == "--city") city = next();
+    else if (arg == "--scale") scale = std::atof(next());
+    else if (arg == "--from") from = static_cast<StopId>(std::atoi(next()));
+    else if (arg == "--to") to = static_cast<StopId>(std::atoi(next()));
+    else if (arg == "--depart") depart = ParseGtfsTime(next());
+    else {
+      Usage();
+      return 2;
+    }
+  }
+  if (depart == kInvalidTime) {
+    Usage();
+    return 2;
+  }
+
+  Timetable tt;
+  if (!gtfs_dir.empty()) {
+    auto feed = LoadGtfs(gtfs_dir);
+    if (!feed.ok()) {
+      std::fprintf(stderr, "GTFS load failed: %s\n",
+                   feed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Loaded GTFS feed: %u stops, %u trips (%llu dropped hops)\n",
+                feed->timetable.num_stops(), feed->timetable.num_trips(),
+                static_cast<unsigned long long>(feed->dropped_connections));
+    tt = std::move(feed->timetable);
+  } else {
+    const CityProfile* profile = FindCityProfile(city);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "unknown city %s\n", city.c_str());
+      return 1;
+    }
+    auto generated = GenerateNetwork(CityOptions(*profile, scale));
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    tt = std::move(*generated);
+    std::printf("Generated %s (scale %.2f): %u stops, %u connections\n",
+                city.c_str(), scale, tt.num_stops(), tt.num_connections());
+  }
+  if (from >= tt.num_stops() || to >= tt.num_stops() || from == to) {
+    std::fprintf(stderr, "bad stop ids (network has %u stops)\n",
+                 tt.num_stops());
+    return 1;
+  }
+
+  auto index = BuildTtlIndex(tt);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto db = PtldbDatabase::Build(*index);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  const Timestamp ea = (*db)->EarliestArrival(from, to, depart);
+  if (ea == kInfinityTime) {
+    std::printf("No journey from %s to %s departing at or after %s.\n",
+                tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
+                FormatTime(depart).c_str());
+    return 0;
+  }
+  std::printf("%s -> %s, depart >= %s: earliest arrival %s\n",
+              tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
+              FormatTime(depart).c_str(), FormatTime(ea).c_str());
+  const Timestamp ld = (*db)->LatestDeparture(from, to, ea);
+  std::printf("Latest departure still arriving by %s: %s\n",
+              FormatTime(ea).c_str(), FormatTime(ld).c_str());
+  const Timestamp sd =
+      (*db)->ShortestDuration(from, to, depart, tt.max_time());
+  std::printf("Shortest possible ride today: %d min\n", sd / 60);
+
+  // Itinerary via the baseline scan (the paper stores expanded paths in the
+  // DB for this purpose; here the timetable is at hand).
+  std::printf("\nItinerary:\n");
+  TripId last_trip = kInvalidTrip;
+  for (const ConnectionId id : FindEarliestJourney(tt, from, to, depart)) {
+    const Connection& c = tt.connection(id);
+    if (c.trip != last_trip) {
+      std::printf("  board trip %u at %s (%s)\n", c.trip,
+                  tt.stop(c.from).name.c_str(), FormatTime(c.dep).c_str());
+      last_trip = c.trip;
+    }
+    std::printf("    -> %s (%s)\n", tt.stop(c.to).name.c_str(),
+                FormatTime(c.arr).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Point-of-interest finder: the paper's kNN motivating scenario. A tourist
+// at a stop wants the k POIs reachable earliest by public transport
+// (EA-kNN), and — before an 11:00 rendezvous — how long breakfast can last
+// before leaving for the nearest POI (LD-kNN).
+//
+//   ./poi_knn [--city NAME] [--scale S] [--pois N] [--k K] [--at STOP]
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "ptldb/ptldb.h"
+#include "timetable/generator.h"
+#include "ttl/builder.h"
+
+int main(int argc, char** argv) {
+  using namespace ptldb;
+
+  std::string city = "Berlin";
+  double scale = 0.04;
+  uint32_t num_pois = 25;
+  uint32_t k = 4;
+  StopId at = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "0";
+    };
+    if (arg == "--city") city = next();
+    else if (arg == "--scale") scale = std::atof(next());
+    else if (arg == "--pois") num_pois = static_cast<uint32_t>(std::atoi(next()));
+    else if (arg == "--k") k = static_cast<uint32_t>(std::atoi(next()));
+    else if (arg == "--at") at = static_cast<StopId>(std::atoi(next()));
+  }
+
+  const CityProfile* profile = FindCityProfile(city);
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown city %s\n", city.c_str());
+    return 1;
+  }
+  auto tt = GenerateNetwork(CityOptions(*profile, scale));
+  if (!tt.ok()) {
+    std::fprintf(stderr, "%s\n", tt.status().ToString().c_str());
+    return 1;
+  }
+  auto index = BuildTtlIndex(*tt);
+  if (!index.ok()) return 1;
+  auto db = PtldbDatabase::Build(*index);
+  if (!db.ok()) return 1;
+
+  // POI stops: a random subset, as in the paper's experiments ("for
+  // location based services we already know the stops located near
+  // attractive POIs").
+  Rng rng(4);
+  std::vector<StopId> pois = rng.SampleDistinct(tt->num_stops(), num_pois);
+  if (const auto s = (*db)->AddTargetSet("poi", *index, pois, 16); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (scale %.2f): %u stops; %u POI stops registered\n",
+              city.c_str(), scale, tt->num_stops(), num_pois);
+
+  // Morning scenario: at 09:30, which k POIs can I reach first?
+  const Timestamp now = 9 * 3600 + 30 * 60;
+  const auto knn = (*db)->EaKnn("poi", at, now, k);
+  if (!knn.ok()) {
+    std::fprintf(stderr, "%s\n", knn.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nAt stop %u, %s - the %u earliest reachable POIs:\n", at,
+              FormatTime(now).c_str(), k);
+  for (const auto& row : *knn) {
+    std::printf("  %-10s arrive %s\n", tt->stop(row.stop).name.c_str(),
+                FormatTime(row.time).c_str());
+  }
+
+  // Breakfast scenario (the paper's LD-kNN example): reach one of the k
+  // nearest POIs by 11:00 - when must I leave, at the latest?
+  const Timestamp deadline = 11 * 3600;
+  const auto ld = (*db)->LdKnn("poi", at, deadline, k);
+  if (!ld.ok()) {
+    std::fprintf(stderr, "%s\n", ld.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTo reach a POI by %s, the latest departures from stop %u:\n",
+              FormatTime(deadline).c_str(), at);
+  for (const auto& row : *ld) {
+    std::printf("  %-10s leave by %s\n", tt->stop(row.stop).name.c_str(),
+                FormatTime(row.time).c_str());
+  }
+  if (!ld->empty()) {
+    std::printf("\nBreakfast may last until %s.\n",
+                FormatTime(ld->front().time).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Command-line front door for the library: build a TTL index from a GTFS
+// feed (or a synthetic city), persist it, inspect it, and answer queries —
+// the workflow a deployment would script.
+//
+//   ptldb_cli build --gtfs DIR --out idx            (or --city NAME --scale S)
+//   ptldb_cli stats --index idx
+//   ptldb_cli query --index idx --type ea --from 3 --to 40 --at 08:15:00
+//   ptldb_cli query --index idx --type sd --from 3 --to 40 \
+//             --at 08:00:00 --until 20:00:00
+//
+// The index is stored as two files: <out>.tt (timetable) and <out>.ttl
+// (labels).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "ptldb/ptldb.h"
+#include "timetable/generator.h"
+#include "timetable/gtfs.h"
+#include "timetable/serialize.h"
+#include "ttl/builder.h"
+#include "ttl/serialize.h"
+
+namespace {
+
+using namespace ptldb;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ptldb_cli build (--gtfs DIR | --city NAME [--scale S]) --out IDX\n"
+      "  ptldb_cli stats --index IDX\n"
+      "  ptldb_cli query --index IDX --type ea|ld|sd --from STOP --to STOP\n"
+      "            --at HH:MM:SS [--until HH:MM:SS]\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+int Build(const std::map<std::string, std::string>& flags) {
+  const auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  Timetable tt;
+  if (const auto gtfs = flags.find("gtfs"); gtfs != flags.end()) {
+    auto feed = LoadGtfs(gtfs->second);
+    if (!feed.ok()) {
+      std::fprintf(stderr, "%s\n", feed.status().ToString().c_str());
+      return 1;
+    }
+    tt = std::move(feed->timetable);
+  } else if (const auto city = flags.find("city"); city != flags.end()) {
+    const CityProfile* profile = FindCityProfile(city->second);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "unknown city %s\n", city->second.c_str());
+      return 1;
+    }
+    double scale = 0.05;
+    if (const auto s = flags.find("scale"); s != flags.end()) {
+      scale = std::atof(s->second.c_str());
+    }
+    auto generated = GenerateNetwork(CityOptions(*profile, scale));
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    tt = std::move(*generated);
+  } else {
+    return Usage();
+  }
+
+  TtlBuildStats stats;
+  auto index = BuildTtlIndex(tt, {}, &stats);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  if (const auto s = SaveTimetable(tt, out->second + ".tt"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (const auto s = SaveTtlIndex(*index, out->second + ".ttl"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built %s: %u stops, %u connections, %.0f tuples/stop in %.2fs\n",
+      out->second.c_str(), tt.num_stops(), tt.num_connections(),
+      index->tuples_per_vertex(), stats.preprocess_seconds);
+  return 0;
+}
+
+int LoadIndex(const std::map<std::string, std::string>& flags, Timetable* tt,
+              TtlIndex* index) {
+  const auto path = flags.find("index");
+  if (path == flags.end()) return Usage();
+  auto loaded_tt = LoadTimetable(path->second + ".tt");
+  auto loaded_index = LoadTtlIndex(path->second + ".ttl");
+  if (!loaded_tt.ok() || !loaded_index.ok()) {
+    std::fprintf(stderr, "cannot load index %s\n", path->second.c_str());
+    return 1;
+  }
+  *tt = std::move(*loaded_tt);
+  *index = std::move(*loaded_index);
+  return 0;
+}
+
+int Stats(const std::map<std::string, std::string>& flags) {
+  Timetable tt;
+  TtlIndex index;
+  if (const int rc = LoadIndex(flags, &tt, &index); rc != 0) return rc;
+  std::printf("stops:        %u\n", tt.num_stops());
+  std::printf("trips:        %u\n", tt.num_trips());
+  std::printf("connections:  %u\n", tt.num_connections());
+  std::printf("avg degree:   %.1f\n", tt.average_degree());
+  std::printf("tuples/stop:  %.1f\n", index.tuples_per_vertex());
+  std::printf("service span: %s - %s\n", FormatTime(tt.min_time()).c_str(),
+              FormatTime(tt.max_time()).c_str());
+  return 0;
+}
+
+int Query(const std::map<std::string, std::string>& flags) {
+  Timetable tt;
+  TtlIndex index;
+  if (const int rc = LoadIndex(flags, &tt, &index); rc != 0) return rc;
+  const auto get = [&](const char* name) -> std::string {
+    const auto it = flags.find(name);
+    return it == flags.end() ? "" : it->second;
+  };
+  const std::string type = get("type");
+  const StopId from = static_cast<StopId>(std::atoi(get("from").c_str()));
+  const StopId to = static_cast<StopId>(std::atoi(get("to").c_str()));
+  const Timestamp at = ParseGtfsTime(get("at"));
+  if (type.empty() || at == kInvalidTime || from >= tt.num_stops() ||
+      to >= tt.num_stops()) {
+    return Usage();
+  }
+
+  auto db = PtldbDatabase::Build(index);
+  if (!db.ok()) return 1;
+  if (type == "ea") {
+    const Timestamp ea = (*db)->EarliestArrival(from, to, at);
+    std::printf("EA(%u -> %u, depart >= %s) = %s\n", from, to,
+                FormatTime(at).c_str(), FormatTime(ea).c_str());
+  } else if (type == "ld") {
+    const Timestamp ld = (*db)->LatestDeparture(from, to, at);
+    std::printf("LD(%u -> %u, arrive <= %s) = %s\n", from, to,
+                FormatTime(at).c_str(), FormatTime(ld).c_str());
+  } else if (type == "sd") {
+    const Timestamp until = ParseGtfsTime(get("until"));
+    if (until == kInvalidTime) return Usage();
+    const Timestamp sd = (*db)->ShortestDuration(from, to, at, until);
+    if (sd == kInfinityTime) {
+      std::printf("SD(%u -> %u) = no feasible journey\n", from, to);
+    } else {
+      std::printf("SD(%u -> %u, within [%s, %s]) = %d min\n", from, to,
+                  FormatTime(at).c_str(), FormatTime(until).c_str(), sd / 60);
+    }
+  } else {
+    return Usage();
+  }
+  std::printf("modeled I/O: %.2f ms\n", (*db)->io_time_ns() / 1e6);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "build") return Build(flags);
+  if (command == "stats") return Stats(flags);
+  if (command == "query") return Query(flags);
+  return Usage();
+}

@@ -1,0 +1,73 @@
+// Quickstart: build the paper's Figure-1 example network, construct the TTL
+// labels, load them into a PTLDB database and run every query type.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "ptldb/ptldb.h"
+#include "timetable/example_graph.h"
+#include "ttl/builder.h"
+
+int main() {
+  using namespace ptldb;
+
+  // 1. A timetable: 7 stops, 4 trips (Figure 1 of the paper).
+  const Timetable tt = MakeExampleTimetable();
+  std::printf("Network: %u stops, %u trips, %u connections\n", tt.num_stops(),
+              tt.num_trips(), tt.num_connections());
+
+  // 2. TTL preprocessing (Section 2.2) with the paper's vertex order.
+  TtlBuildOptions build_options;
+  build_options.custom_order = ExampleVertexOrder();
+  TtlBuildStats stats;
+  auto index = BuildTtlIndex(tt, build_options, &stats);
+  if (!index.ok()) {
+    std::fprintf(stderr, "TTL build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TTL labels: %.1f tuples/stop (built in %.3fs)\n",
+              index->tuples_per_vertex(), stats.preprocess_seconds);
+
+  // 3. PTLDB database (Section 3) on the simulated HDD.
+  auto db = PtldbDatabase::Build(*index);
+  if (!db.ok()) {
+    std::fprintf(stderr, "PTLDB build failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Vertex-to-vertex queries (Code 1).
+  const Timestamp ea = (*db)->EarliestArrival(5, 6, 28800);
+  std::printf("EA(5 -> 6, depart >= %s): arrive %s\n",
+              FormatTime(28800).c_str(), FormatTime(ea).c_str());
+  const Timestamp ld = (*db)->LatestDeparture(5, 6, 43200);
+  std::printf("LD(5 -> 6, arrive <= %s): depart %s\n",
+              FormatTime(43200).c_str(), FormatTime(ld).c_str());
+  const Timestamp sd = (*db)->ShortestDuration(5, 0, 0, 86400);
+  std::printf("SD(5 -> 0, whole day): %d seconds\n", sd);
+
+  // 5. kNN and one-to-many queries over a target set (Sections 3.2-3.3).
+  if (const auto status = (*db)->AddTargetSet("poi", *index, {4, 6}, 2);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto knn = (*db)->EaKnn("poi", 0, 36000, 1);
+  if (knn.ok() && !knn->empty()) {
+    std::printf("EA-1NN from stop 0 at %s: stop %u (arrive %s)\n",
+                FormatTime(36000).c_str(), (*knn)[0].stop,
+                FormatTime((*knn)[0].time).c_str());
+  }
+  const auto otm = (*db)->EaOneToMany("poi", 0, 36000);
+  if (otm.ok()) {
+    std::printf("EA one-to-many from stop 0:\n");
+    for (const auto& row : *otm) {
+      std::printf("  stop %u at %s\n", row.stop, FormatTime(row.time).c_str());
+    }
+  }
+
+  std::printf("Database size: %.1f KiB; modeled I/O so far: %.2f ms\n",
+              (*db)->size_bytes() / 1024.0, (*db)->io_time_ns() / 1e6);
+  return 0;
+}

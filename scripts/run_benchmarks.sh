@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the full PTLDB reproduction benchmark suite (one binary per paper
+# table/figure) and tees each output to results/.
+#
+# Usage: scripts/run_benchmarks.sh [build-dir] [extra bench flags...]
+set -euo pipefail
+BUILD=${1:-build}
+shift || true
+mkdir -p results
+for b in "$BUILD"/bench/bench_*; do
+  name=$(basename "$b")
+  echo "=== $name ==="
+  if [ "$name" = "bench_micro" ]; then
+    "$b" --benchmark_min_time=0.2 | tee "results/$name.txt"
+  else
+    "$b" "$@" | tee "results/$name.txt"
+  fi
+done

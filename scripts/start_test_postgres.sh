@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Starts a throwaway PostgreSQL cluster for the PTLDB PostgreSQL-backend
+# tests and benchmarks. The cluster listens on a Unix socket only (no TCP)
+# and trusts local connections — test use only.
+#
+# Usage:  scripts/start_test_postgres.sh [datadir] [port]
+# Then:   export PTLDB_PG_CONNINFO="host=<datadir> port=<port> dbname=postgres user=postgres"
+# (the script prints the exact export line).
+set -euo pipefail
+
+DATA=${1:-/tmp/ptldb_pg}
+PORT=${2:-5433}
+
+BIN=$(dirname "$(command -v initdb || echo /usr/lib/postgresql/15/bin/initdb)")
+
+run_as_postgres() {
+  if [ "$(id -un)" = "postgres" ]; then
+    bash -c "$1"
+  elif [ "$(id -u)" = "0" ]; then
+    su postgres -c "$1"
+  else
+    bash -c "$1"
+  fi
+}
+
+if [ ! -s "$DATA/PG_VERSION" ]; then
+  mkdir -p "$DATA"
+  if [ "$(id -u)" = "0" ]; then chown postgres:postgres "$DATA"; fi
+  run_as_postgres "'$BIN/initdb' -D '$DATA' -A trust" >/dev/null
+fi
+
+if ! run_as_postgres "'$BIN/pg_ctl' -D '$DATA' status" >/dev/null 2>&1; then
+  run_as_postgres "'$BIN/pg_ctl' -D '$DATA' -l '$DATA/server.log' \
+    -o \"-p $PORT -k '$DATA' -c listen_addresses=''\" -w start" >/dev/null
+fi
+
+echo "export PTLDB_PG_CONNINFO=\"host=$DATA port=$PORT dbname=postgres user=postgres\""

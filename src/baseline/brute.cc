@@ -1,0 +1,61 @@
+#include "baseline/brute.h"
+
+#include <algorithm>
+
+#include "baseline/csa.h"
+#include "baseline/profile.h"
+
+namespace ptldb {
+
+std::vector<StopTimeResult> BruteEaOneToMany(
+    const Timetable& tt, StopId q, const std::vector<StopId>& targets,
+    Timestamp t) {
+  const std::vector<Timestamp> arr = EarliestArrivalScan(tt, q, t);
+  std::vector<StopTimeResult> out;
+  out.reserve(targets.size());
+  for (StopId v : targets) {
+    if (arr[v] != kInfinityTime) out.push_back({v, arr[v]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StopTimeResult& a, const StopTimeResult& b) {
+              return a.time != b.time ? a.time < b.time : a.stop < b.stop;
+            });
+  return out;
+}
+
+std::vector<StopTimeResult> BruteEaKnn(const Timetable& tt, StopId q,
+                                       const std::vector<StopId>& targets,
+                                       Timestamp t, uint32_t k) {
+  auto out = BruteEaOneToMany(tt, q, targets, t);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<StopTimeResult> BruteLdOneToMany(
+    const Timetable& tt, StopId q, const std::vector<StopId>& targets,
+    Timestamp t) {
+  // One forward profile from q answers LD(q, v, t) for every v: the latest
+  // departure among Pareto journeys arriving v by t.
+  const ProfileSet profile = ForwardProfile(tt, q);
+  std::vector<StopTimeResult> out;
+  out.reserve(targets.size());
+  for (StopId v : targets) {
+    const Timestamp dep = profile.LatestDeparture(v, t);
+    if (dep != kNegInfinityTime) out.push_back({v, dep});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StopTimeResult& a, const StopTimeResult& b) {
+              return a.time != b.time ? a.time > b.time : a.stop < b.stop;
+            });
+  return out;
+}
+
+std::vector<StopTimeResult> BruteLdKnn(const Timetable& tt, StopId q,
+                                       const std::vector<StopId>& targets,
+                                       Timestamp t, uint32_t k) {
+  auto out = BruteLdOneToMany(tt, q, targets, t);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,39 @@
+#ifndef PTLDB_BASELINE_BRUTE_H_
+#define PTLDB_BASELINE_BRUTE_H_
+
+#include <vector>
+
+#include "common/time_util.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Ground-truth EA one-to-many (Section 3.3): earliest arrival for every
+/// reachable target in `targets`, departing `q` no sooner than `t`.
+/// Rows sorted by (arrival, stop); unreachable targets omitted.
+/// Precondition: q is not in `targets` (self-queries have label-defined
+/// semantics; see README).
+std::vector<StopTimeResult> BruteEaOneToMany(
+    const Timetable& tt, StopId q, const std::vector<StopId>& targets,
+    Timestamp t);
+
+/// Ground-truth EA kNN (Section 3.2): the k first rows of BruteEaOneToMany.
+std::vector<StopTimeResult> BruteEaKnn(const Timetable& tt, StopId q,
+                                       const std::vector<StopId>& targets,
+                                       Timestamp t, uint32_t k);
+
+/// Ground-truth LD one-to-many: latest departure from `q` reaching each
+/// target no later than `t`. Rows sorted by (departure desc, stop);
+/// infeasible targets omitted. Precondition: q not in `targets`.
+std::vector<StopTimeResult> BruteLdOneToMany(
+    const Timetable& tt, StopId q, const std::vector<StopId>& targets,
+    Timestamp t);
+
+/// Ground-truth LD kNN: the k first rows of BruteLdOneToMany.
+std::vector<StopTimeResult> BruteLdKnn(const Timetable& tt, StopId q,
+                                       const std::vector<StopId>& targets,
+                                       Timestamp t, uint32_t k);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BASELINE_BRUTE_H_

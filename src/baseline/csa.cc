@@ -1,0 +1,111 @@
+#include "baseline/csa.h"
+
+#include <algorithm>
+
+#include "baseline/profile.h"
+
+namespace ptldb {
+
+std::vector<Timestamp> EarliestArrivalScan(const Timetable& tt, StopId source,
+                                           Timestamp depart_after) {
+  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+  arr[source] = depart_after;
+  const auto conns = tt.connections();
+  for (size_t i = tt.FirstConnectionNotBefore(depart_after); i < conns.size();
+       ++i) {
+    const Connection& c = conns[i];
+    if (arr[c.from] <= c.dep && c.arr < arr[c.to]) arr[c.to] = c.arr;
+  }
+  return arr;
+}
+
+std::vector<Timestamp> LatestDepartureScan(const Timetable& tt, StopId target,
+                                           Timestamp arrive_by) {
+  std::vector<Timestamp> dep(tt.num_stops(), kNegInfinityTime);
+  dep[target] = arrive_by;
+  const auto order = tt.by_arrival();
+  // Last connection with arr <= arrive_by, scanning backwards from there.
+  const auto begin = std::partition_point(
+      order.begin(), order.end(), [&](ConnectionId id) {
+        return tt.connection(id).arr <= arrive_by;
+      });
+  for (auto it = begin; it != order.begin();) {
+    --it;
+    const Connection& c = tt.connection(*it);
+    if (dep[c.to] >= c.arr && c.dep > dep[c.from]) dep[c.from] = c.dep;
+  }
+  return dep;
+}
+
+Timestamp EarliestArrival(const Timetable& tt, StopId s, StopId g,
+                          Timestamp t) {
+  return EarliestArrivalScan(tt, s, t)[g];
+}
+
+Timestamp LatestDeparture(const Timetable& tt, StopId s, StopId g,
+                          Timestamp t) {
+  return LatestDepartureScan(tt, g, t)[s];
+}
+
+Timestamp ShortestDuration(const Timetable& tt, StopId s, StopId g,
+                           Timestamp t, Timestamp t_end) {
+  return BackwardProfile(tt, g).ShortestDuration(s, t, t_end);
+}
+
+std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
+                                                StopId source,
+                                                Timestamp depart_after,
+                                                uint32_t max_trips) {
+  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+  arr[source] = depart_after;
+  if (max_trips == 0) return arr;
+  std::vector<Timestamp> prev = arr;
+  std::vector<bool> on_trip(tt.num_trips(), false);
+  const auto conns = tt.connections();
+  const size_t first = tt.FirstConnectionNotBefore(depart_after);
+  for (uint32_t round = 0; round < max_trips; ++round) {
+    std::fill(on_trip.begin(), on_trip.end(), false);
+    bool improved = false;
+    for (size_t i = first; i < conns.size(); ++i) {
+      const Connection& c = conns[i];
+      // Board fresh (one more trip on top of a <round journey) or stay on
+      // a trip already boarded this round.
+      if (prev[c.from] <= c.dep || on_trip[c.trip]) {
+        on_trip[c.trip] = true;
+        if (c.arr < arr[c.to]) {
+          arr[c.to] = c.arr;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+    prev = arr;
+  }
+  return arr;
+}
+
+std::vector<ConnectionId> FindEarliestJourney(const Timetable& tt, StopId s,
+                                              StopId g, Timestamp t) {
+  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+  std::vector<ConnectionId> parent(tt.num_stops(), kInvalidConnection);
+  arr[s] = t;
+  const auto conns = tt.connections();
+  for (size_t i = tt.FirstConnectionNotBefore(t); i < conns.size(); ++i) {
+    const Connection& c = conns[i];
+    if (arr[c.from] <= c.dep && c.arr < arr[c.to]) {
+      arr[c.to] = c.arr;
+      parent[c.to] = static_cast<ConnectionId>(i);
+    }
+  }
+  std::vector<ConnectionId> journey;
+  if (s == g || arr[g] == kInfinityTime) return journey;
+  for (StopId v = g; v != s;) {
+    const ConnectionId id = parent[v];
+    journey.push_back(id);
+    v = tt.connection(id).from;
+  }
+  std::reverse(journey.begin(), journey.end());
+  return journey;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,67 @@
+#ifndef PTLDB_BASELINE_CSA_H_
+#define PTLDB_BASELINE_CSA_H_
+
+#include <vector>
+
+#include "common/time_util.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Baseline route-planning algorithms that operate directly on the
+/// timetable (no preprocessing). They serve as ground truth for every label
+/// based answer in this repository and as the "work directly on the
+/// provided timetable" family the paper's related-work section mentions.
+///
+/// Transfer model (same everywhere in this repo): a passenger arriving at a
+/// stop at time x may board any connection departing from it at time >= x.
+
+/// One-to-all earliest arrival via a Connection Scan: returns arr[v] = the
+/// earliest arrival at v over paths leaving `source` no sooner than
+/// `depart_after` (kInfinityTime when unreachable). arr[source] =
+/// depart_after. O(|E|).
+std::vector<Timestamp> EarliestArrivalScan(const Timetable& tt, StopId source,
+                                           Timestamp depart_after);
+
+/// All-to-one latest departure via a reverse Connection Scan: returns
+/// dep[v] = the latest departure from v over paths reaching `target` no
+/// later than `arrive_by` (kNegInfinityTime when infeasible).
+/// dep[target] = arrive_by. O(|E|).
+std::vector<Timestamp> LatestDepartureScan(const Timetable& tt, StopId target,
+                                           Timestamp arrive_by);
+
+/// Point-to-point wrappers (s != g; self-queries have label-defined
+/// semantics, see docs/QUERY_SEMANTICS in README).
+Timestamp EarliestArrival(const Timetable& tt, StopId s, StopId g,
+                          Timestamp t);
+Timestamp LatestDeparture(const Timetable& tt, StopId s, StopId g,
+                          Timestamp t);
+
+/// Shortest duration within [t, t']: the minimum (arrival - departure) over
+/// paths departing s at >= t and arriving g at <= t'. kInfinityTime when no
+/// such path exists. Implemented over the forward profile (see profile.h).
+Timestamp ShortestDuration(const Timetable& tt, StopId s, StopId g,
+                           Timestamp t, Timestamp t_end);
+
+/// Earliest arrival with a transfer budget (the paper's future-work
+/// extension: "taking the number of transfers as an additional
+/// optimization criterion"). Returns arr[v] = the earliest arrival at v
+/// over journeys that leave `source` no sooner than `depart_after` and use
+/// at most `max_trips` vehicles (= max_trips - 1 transfers). Implemented
+/// as a round-based Connection Scan, O(max_trips * |E|). With
+/// max_trips >= the network diameter this equals EarliestArrivalScan.
+std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
+                                                StopId source,
+                                                Timestamp depart_after,
+                                                uint32_t max_trips);
+
+/// An earliest-arrival journey from s (departing >= t) to g as the ordered
+/// connection sequence, found by a Connection Scan with parent tracking.
+/// Empty when g is unreachable (or s == g). The journey's last connection
+/// arrives exactly at EarliestArrival(tt, s, g, t).
+std::vector<ConnectionId> FindEarliestJourney(const Timetable& tt, StopId s,
+                                              StopId g, Timestamp t);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BASELINE_CSA_H_

@@ -1,0 +1,112 @@
+#include "baseline/profile.h"
+
+#include <algorithm>
+
+namespace ptldb {
+
+ProfileSet ProfileSet::FromLists(uint32_t num_stops,
+                                 std::vector<std::vector<ProfilePair>> lists) {
+  ProfileSet set(num_stops);
+  uint64_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  set.pairs_.reserve(total);
+  for (StopId v = 0; v < num_stops; ++v) {
+    set.offsets_[v] = static_cast<uint32_t>(set.pairs_.size());
+    set.pairs_.insert(set.pairs_.end(), lists[v].begin(), lists[v].end());
+  }
+  set.offsets_[num_stops] = static_cast<uint32_t>(set.pairs_.size());
+  return set;
+}
+
+Timestamp ProfileSet::EarliestArrival(StopId v, Timestamp t) const {
+  const auto p = pairs(v);
+  // Pairs are sorted by descending dep; dep >= t is a prefix and arr is
+  // descending within it, so the last prefix element has the minimum arr.
+  const auto it = std::partition_point(
+      p.begin(), p.end(), [&](const ProfilePair& x) { return x.dep >= t; });
+  if (it == p.begin()) return kInfinityTime;
+  return (it - 1)->arr;
+}
+
+Timestamp ProfileSet::LatestDeparture(StopId v, Timestamp t_end) const {
+  const auto p = pairs(v);
+  // arr <= t_end is a suffix; its first element has the maximum dep.
+  const auto it = std::partition_point(
+      p.begin(), p.end(),
+      [&](const ProfilePair& x) { return x.arr > t_end; });
+  if (it == p.end()) return kNegInfinityTime;
+  return it->dep;
+}
+
+Timestamp ProfileSet::ShortestDuration(StopId v, Timestamp t,
+                                       Timestamp t_end) const {
+  Timestamp best = kInfinityTime;
+  for (const ProfilePair& x : pairs(v)) {
+    if (x.dep < t) break;  // Descending dep: the rest depart too early.
+    if (x.arr > t_end) continue;
+    best = std::min(best, x.arr - x.dep);
+  }
+  return best;
+}
+
+ProfileSet ForwardProfile(const Timetable& tt, StopId source) {
+  // Scan connections in ascending arrival order. lists[v] accumulates
+  // Pareto pairs (dep from source, arr at v) in ascending-arr order, which
+  // by Pareto optimality is also ascending-dep order.
+  std::vector<std::vector<ProfilePair>> lists(tt.num_stops());
+  for (ConnectionId id : tt.by_arrival()) {
+    const Connection& c = tt.connection(id);
+    Timestamp dep_q = kNegInfinityTime;
+    if (c.from == source) dep_q = c.dep;
+    const auto& at_from = lists[c.from];
+    // Latest departure from source that reaches c.from by c.dep: the last
+    // entry with arr <= c.dep (ascending order => it has the max dep).
+    const auto it = std::partition_point(
+        at_from.begin(), at_from.end(),
+        [&](const ProfilePair& x) { return x.arr <= c.dep; });
+    if (it != at_from.begin()) dep_q = std::max(dep_q, (it - 1)->dep);
+    if (dep_q == kNegInfinityTime) continue;
+
+    auto& at_to = lists[c.to];
+    if (!at_to.empty() && at_to.back().arr == c.arr) {
+      if (dep_q > at_to.back().dep) at_to.back().dep = dep_q;
+    } else if (at_to.empty() || dep_q > at_to.back().dep) {
+      at_to.push_back({dep_q, c.arr});
+    }
+  }
+  // Canonical ProfileSet order is descending dep.
+  for (auto& l : lists) std::reverse(l.begin(), l.end());
+  return ProfileSet::FromLists(tt.num_stops(), std::move(lists));
+}
+
+ProfileSet BackwardProfile(const Timetable& tt, StopId target) {
+  // Scan connections in descending departure order. lists[v] accumulates
+  // Pareto pairs (dep at v, arr at target) in descending-dep order, which
+  // by Pareto optimality is also descending-arr order.
+  std::vector<std::vector<ProfilePair>> lists(tt.num_stops());
+  const auto conns = tt.connections();
+  for (size_t i = conns.size(); i-- > 0;) {
+    const Connection& c = conns[i];
+    Timestamp arr_g = kInfinityTime;
+    if (c.to == target) arr_g = c.arr;
+    const auto& at_to = lists[c.to];
+    // Earliest arrival at target when continuing from c.to no sooner than
+    // c.arr: the last entry with dep >= c.arr (descending order => it has
+    // the min arr).
+    const auto it = std::partition_point(
+        at_to.begin(), at_to.end(),
+        [&](const ProfilePair& x) { return x.dep >= c.arr; });
+    if (it != at_to.begin()) arr_g = std::min(arr_g, (it - 1)->arr);
+    if (arr_g == kInfinityTime) continue;
+
+    auto& at_from = lists[c.from];
+    if (!at_from.empty() && at_from.back().dep == c.dep) {
+      if (arr_g < at_from.back().arr) at_from.back().arr = arr_g;
+    } else if (at_from.empty() || arr_g < at_from.back().arr) {
+      at_from.push_back({c.dep, arr_g});
+    }
+  }
+  return ProfileSet::FromLists(tt.num_stops(), std::move(lists));
+}
+
+}  // namespace ptldb

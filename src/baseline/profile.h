@@ -1,0 +1,69 @@
+#ifndef PTLDB_BASELINE_PROFILE_H_
+#define PTLDB_BASELINE_PROFILE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/time_util.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// A Pareto-optimal journey option: depart at `dep`, arrive at `arr`.
+/// "Pareto" = no other option departs later AND arrives earlier.
+struct ProfilePair {
+  Timestamp dep = 0;
+  Timestamp arr = 0;
+
+  friend bool operator==(const ProfilePair&, const ProfilePair&) = default;
+};
+
+/// The complete journey profile between one fixed endpoint and every stop:
+/// for each stop, all Pareto-optimal (departure, arrival) pairs. Built by
+/// ForwardProfile / BackwardProfile; this structure underlies both the
+/// baseline LD/SD answers and the TTL label construction.
+class ProfileSet {
+ public:
+  explicit ProfileSet(uint32_t num_stops) : offsets_(num_stops + 1, 0) {}
+
+  /// Assembles a ProfileSet from per-stop pair lists, each already in the
+  /// canonical order (descending dep, descending arr). Used by the profile
+  /// scans; exposed for tests that construct profiles directly.
+  static ProfileSet FromLists(uint32_t num_stops,
+                              std::vector<std::vector<ProfilePair>> lists);
+
+  /// Pareto pairs at `v`, sorted by descending dep (and descending arr).
+  std::span<const ProfilePair> pairs(StopId v) const {
+    return {pairs_.data() + offsets_[v], pairs_.data() + offsets_[v + 1]};
+  }
+
+  /// For a forward profile from source q: earliest arrival at v departing q
+  /// no sooner than t. For a backward profile to target g (pairs are
+  /// (dep@v, arr@g)): earliest arrival at g departing v no sooner than t.
+  Timestamp EarliestArrival(StopId v, Timestamp t) const;
+
+  /// Latest departure such that arrival <= t_end (kNegInfinityTime if none).
+  Timestamp LatestDeparture(StopId v, Timestamp t_end) const;
+
+  /// Minimum (arr - dep) over pairs with dep >= t and arr <= t_end.
+  Timestamp ShortestDuration(StopId v, Timestamp t, Timestamp t_end) const;
+
+  uint64_t total_pairs() const { return pairs_.size(); }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<ProfilePair> pairs_;
+};
+
+/// All Pareto-optimal journeys from `source` to every stop: pair (dep, arr)
+/// at stop v means "leave source at dep, be at v by arr". The pair list at
+/// `source` itself is empty (staying put is not a journey). O(|E| log).
+ProfileSet ForwardProfile(const Timetable& tt, StopId source);
+
+/// All Pareto-optimal journeys from every stop to `target`: pair (dep, arr)
+/// at stop v means "leave v at dep, reach target by arr". O(|E| log).
+ProfileSet BackwardProfile(const Timetable& tt, StopId target);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_BASELINE_PROFILE_H_

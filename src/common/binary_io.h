@@ -1,0 +1,103 @@
+#ifndef PTLDB_COMMON_BINARY_IO_H_
+#define PTLDB_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Little-endian binary file writer for index persistence (timetables,
+/// labels, benchmark caches). Not a public storage format — both ends are
+/// this library on the same machine.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    out_.write(reinterpret_cast<const char*>(values.data()),
+               static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  Status Finish() {
+    out_.flush();
+    if (!out_) return Status::IoError("binary write failed");
+    return Status::Ok();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Counterpart reader; every method reports corruption via ok().
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto size = Read<uint64_t>();
+    std::vector<T> values;
+    if (!in_ || size > (1ULL << 40) / sizeof(T)) {  // Corruption guard.
+      in_.setstate(std::ios::failbit);
+      return values;
+    }
+    values.resize(size);
+    in_.read(reinterpret_cast<char*>(values.data()),
+             static_cast<std::streamsize>(size * sizeof(T)));
+    return values;
+  }
+
+  std::string ReadString() {
+    const auto size = Read<uint64_t>();
+    std::string s;
+    if (!in_ || size > (1ULL << 32)) {
+      in_.setstate(std::ios::failbit);
+      return s;
+    }
+    s.resize(size);
+    in_.read(s.data(), static_cast<std::streamsize>(size));
+    return s;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_BINARY_IO_H_

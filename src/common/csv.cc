@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ptldb {
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+      } else {
+        current.push_back(c);
+        ++i;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::Corruption("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+    } else if (c == '\r' && i + 1 == line.size()) {
+      ++i;  // Trailing carriage return from CRLF files.
+    } else {
+      current.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated CSV quote");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<CsvTable> CsvTable::Parse(std::string_view content) {
+  CsvTable table;
+  size_t start = 0;
+  bool have_header = false;
+  while (start <= content.size()) {
+    if (start == content.size()) break;
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    std::string_view line = content.substr(start, end - start);
+    start = end + 1;
+    if (Trim(line).empty()) continue;
+    auto fields = ParseCsvRecord(line);
+    if (!fields.ok()) return fields.status();
+    if (!have_header) {
+      for (auto& f : *fields) f = std::string(Trim(f));
+      table.header_ = std::move(*fields);
+      for (size_t i = 0; i < table.header_.size(); ++i) {
+        table.column_index_.emplace(table.header_[i], static_cast<int>(i));
+      }
+      have_header = true;
+    } else {
+      table.rows_.push_back(std::move(*fields));
+    }
+  }
+  if (!have_header) return Status::Corruption("CSV file has no header row");
+  return table;
+}
+
+Result<CsvTable> CsvTable::ParseFile(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return Parse(*content);
+}
+
+int CsvTable::ColumnIndex(std::string_view column) const {
+  const auto it = column_index_.find(std::string(column));
+  return it == column_index_.end() ? -1 : it->second;
+}
+
+const std::string& CsvTable::Field(size_t row, std::string_view column) const {
+  const int idx = ColumnIndex(column);
+  if (idx < 0) return empty_;
+  const auto& fields = rows_[row];
+  if (static_cast<size_t>(idx) >= fields.size()) return empty_;
+  return fields[static_cast<size_t>(idx)];
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,57 @@
+#ifndef PTLDB_COMMON_CSV_H_
+#define PTLDB_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Parses one RFC-4180 CSV record: fields separated by commas, optionally
+/// quoted with '"', doubled quotes inside quoted fields. `line` must not
+/// include the trailing newline. Returns the parsed fields or an error for
+/// malformed quoting.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line);
+
+/// A CSV file parsed into memory with a header row, as used by GTFS feeds.
+/// Column access is by header name so feeds can reorder/add columns freely.
+class CsvTable {
+ public:
+  /// Parses CSV `content` (full file body). The first record is the header.
+  static Result<CsvTable> Parse(std::string_view content);
+
+  /// Reads and parses the file at `path`.
+  static Result<CsvTable> ParseFile(const std::string& path);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Index of `column` in the header, or -1 when absent.
+  int ColumnIndex(std::string_view column) const;
+
+  /// Field at (row, column name); empty string when the column is absent or
+  /// the row is short. Precondition: row < num_rows().
+  const std::string& Field(size_t row, std::string_view column) const;
+
+  /// Raw fields of one row.
+  const std::vector<std::string>& Row(size_t row) const { return rows_[row]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::unordered_map<std::string, int> column_index_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_CSV_H_

@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace ptldb {
+
+namespace {
+
+// SplitMix64, used to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<uint32_t> Rng::SampleDistinct(uint32_t n, uint32_t k) {
+  assert(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k > n / 2) {
+    // Dense case: partial Fisher-Yates over the full range.
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint32_t j =
+          i + static_cast<uint32_t>(NextBelow(static_cast<uint64_t>(n - i)));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    std::unordered_set<uint32_t> seen;
+    while (out.size() < k) {
+      const auto v = static_cast<uint32_t>(NextBelow(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ptldb

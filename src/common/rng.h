@@ -1,0 +1,40 @@
+#ifndef PTLDB_COMMON_RNG_H_
+#define PTLDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptldb {
+
+/// Deterministic pseudo-random generator (xoshiro256**). All randomized
+/// pieces of PTLDB (dataset generation, benchmark workloads, property tests)
+/// take an explicit Rng so that every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// k distinct values sampled uniformly from [0, n). Precondition: k <= n.
+  std::vector<uint32_t> SampleDistinct(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace ptldb {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
+    case Status::Code::kIoError:
+      return "IO_ERROR";
+    case Status::Code::kUnsupported:
+      return "UNSUPPORTED";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ptldb

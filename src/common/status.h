@@ -1,0 +1,113 @@
+#ifndef PTLDB_COMMON_STATUS_H_
+#define PTLDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ptldb {
+
+/// Outcome of an operation that can fail. PTLDB does not use exceptions
+/// across its public API; fallible operations return Status (or Result<T>).
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIoError,
+    kUnsupported,
+    kInternal,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr; only the pieces PTLDB needs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a Status (failure),
+  /// so `return value;` and `return Status::NotFound(...);` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PTLDB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::ptldb::Status _ptldb_status = (expr);    \
+    if (!_ptldb_status.ok()) return _ptldb_status; \
+  } while (false)
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+#include "common/string_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace ptldb {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view Trim(std::string_view text) {
+  // Strip a UTF-8 byte-order mark first.
+  if (text.size() >= 3 && static_cast<unsigned char>(text[0]) == 0xEF &&
+      static_cast<unsigned char>(text[1]) == 0xBB &&
+      static_cast<unsigned char>(text[2]) == 0xBF) {
+    text.remove_prefix(3);
+  }
+  while (!text.empty() &&
+         (text.front() == ' ' || text.front() == '\t' || text.front() == '\r' ||
+          text.front() == '\n')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r' ||
+          text.back() == '\n')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::optional<int64_t> ParseInt(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace ptldb

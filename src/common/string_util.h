@@ -1,0 +1,33 @@
+#ifndef PTLDB_COMMON_STRING_UTIL_H_
+#define PTLDB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptldb {
+
+/// Splits `text` on `sep`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace (and a UTF-8 BOM, which GTFS
+/// files frequently start with).
+std::string_view Trim(std::string_view text);
+
+/// Strict base-10 integer parse of the whole string; nullopt on any junk.
+std::optional<int64_t> ParseInt(std::string_view text);
+
+/// Strict double parse of the whole string; nullopt on any junk.
+std::optional<double> ParseDouble(std::string_view text);
+
+/// Joins items with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,27 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptldb {
+
+std::string FormatTime(Timestamp t) {
+  if (t == kInfinityTime || t == kNegInfinityTime || t < 0) {
+    return "--:--:--";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", t / 3600, (t / 60) % 60,
+                t % 60);
+  return buf;
+}
+
+Timestamp ParseGtfsTime(const std::string& text) {
+  int h = 0, m = 0, s = 0;
+  if (std::sscanf(text.c_str(), "%d:%d:%d", &h, &m, &s) != 3) {
+    return kInvalidTime;
+  }
+  if (h < 0 || m < 0 || m > 59 || s < 0 || s > 59) return kInvalidTime;
+  return h * 3600 + m * 60 + s;
+}
+
+}  // namespace ptldb

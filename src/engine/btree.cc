@@ -1,0 +1,213 @@
+#include "engine/btree.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ptldb {
+
+namespace {
+
+// Page layout.
+//
+// Common header (16 bytes):
+//   u8  is_leaf
+//   u8  pad[3]
+//   u32 count
+//   u64 next (leaf chain; unused in internal nodes)
+//
+// Leaf entry (20 bytes):  i64 key, u64 row offset, u32 row length.
+// Internal entry (16 bytes): i64 separator key (min key of subtree),
+//                            u64 child page.
+constexpr uint32_t kHeaderSize = 16;
+constexpr uint32_t kLeafEntrySize = 20;
+constexpr uint32_t kInternalEntrySize = 16;
+constexpr uint32_t kLeafCapacity = (kPageSize - kHeaderSize) / kLeafEntrySize;
+constexpr uint32_t kInternalCapacity =
+    (kPageSize - kHeaderSize) / kInternalEntrySize;
+
+template <typename T>
+T GetAt(const Page& page, uint32_t offset) {
+  T v;
+  std::memcpy(&v, page.bytes.data() + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void PutAt(Page* page, uint32_t offset, T v) {
+  std::memcpy(page->bytes.data() + offset, &v, sizeof(T));
+}
+
+bool IsLeaf(const Page& page) { return GetAt<uint8_t>(page, 0) != 0; }
+uint32_t Count(const Page& page) { return GetAt<uint32_t>(page, 4); }
+PageId NextLeaf(const Page& page) { return GetAt<uint64_t>(page, 8); }
+
+IndexKey LeafKey(const Page& page, uint32_t slot) {
+  return GetAt<int64_t>(page, kHeaderSize + slot * kLeafEntrySize);
+}
+RowLocator LeafLocator(const Page& page, uint32_t slot) {
+  const uint32_t base = kHeaderSize + slot * kLeafEntrySize;
+  return {GetAt<uint64_t>(page, base + 8), GetAt<uint32_t>(page, base + 16)};
+}
+
+IndexKey InternalKey(const Page& page, uint32_t slot) {
+  return GetAt<int64_t>(page, kHeaderSize + slot * kInternalEntrySize);
+}
+PageId InternalChild(const Page& page, uint32_t slot) {
+  return GetAt<uint64_t>(page, kHeaderSize + slot * kInternalEntrySize + 8);
+}
+
+// First slot in a leaf with key >= target (== count when none).
+uint32_t LeafLowerBound(const Page& page, IndexKey key) {
+  uint32_t lo = 0;
+  uint32_t hi = Count(page);
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child to descend into: last slot whose separator <= key (slot 0 when the
+// key precedes every separator).
+uint32_t InternalChildSlot(const Page& page, IndexKey key) {
+  uint32_t lo = 0;
+  uint32_t hi = Count(page);
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (InternalKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+}  // namespace
+
+void BTree::BulkLoad(
+    const std::vector<std::pair<IndexKey, RowLocator>>& entries) {
+  assert(root_ == kInvalidPage && "BulkLoad may be called once");
+  num_entries_ = entries.size();
+  if (entries.empty()) return;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    assert(entries[i - 1].first < entries[i].first &&
+           "keys must be strictly increasing");
+  }
+
+  // Level 0: fill leaves.
+  std::vector<std::pair<IndexKey, PageId>> level;  // (min key, page).
+  {
+    size_t i = 0;
+    PageId prev = kInvalidPage;
+    while (i < entries.size()) {
+      const PageId id = store_->Allocate();
+      ++num_pages_;
+      Page* page = &store_->page(id);
+      PutAt<uint8_t>(page, 0, 1);
+      const uint32_t count = static_cast<uint32_t>(
+          std::min<size_t>(kLeafCapacity, entries.size() - i));
+      PutAt<uint32_t>(page, 4, count);
+      PutAt<uint64_t>(page, 8, kInvalidPage);
+      for (uint32_t s = 0; s < count; ++s) {
+        const uint32_t base = kHeaderSize + s * kLeafEntrySize;
+        PutAt<int64_t>(page, base, entries[i + s].first);
+        PutAt<uint64_t>(page, base + 8, entries[i + s].second.offset);
+        PutAt<uint32_t>(page, base + 16, entries[i + s].second.length);
+      }
+      if (prev != kInvalidPage) PutAt<uint64_t>(&store_->page(prev), 8, id);
+      prev = id;
+      level.emplace_back(entries[i].first, id);
+      i += count;
+    }
+  }
+  height_ = 1;
+
+  // Build internal levels until one root remains.
+  while (level.size() > 1) {
+    std::vector<std::pair<IndexKey, PageId>> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      const PageId id = store_->Allocate();
+      ++num_pages_;
+      Page* page = &store_->page(id);
+      PutAt<uint8_t>(page, 0, 0);
+      const uint32_t count = static_cast<uint32_t>(
+          std::min<size_t>(kInternalCapacity, level.size() - i));
+      PutAt<uint32_t>(page, 4, count);
+      PutAt<uint64_t>(page, 8, kInvalidPage);
+      for (uint32_t s = 0; s < count; ++s) {
+        const uint32_t base = kHeaderSize + s * kInternalEntrySize;
+        PutAt<int64_t>(page, base, level[i + s].first);
+        PutAt<uint64_t>(page, base + 8, level[i + s].second);
+      }
+      next_level.emplace_back(level[i].first, id);
+      i += count;
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = level.front().second;
+}
+
+std::optional<RowLocator> BTree::Find(IndexKey key, BufferPool* pool) const {
+  if (root_ == kInvalidPage) return std::nullopt;
+  PageId current = root_;
+  while (true) {
+    const Page& page = pool->Fetch(current);
+    if (IsLeaf(page)) {
+      const uint32_t slot = LeafLowerBound(page, key);
+      if (slot < Count(page) && LeafKey(page, slot) == key) {
+        return LeafLocator(page, slot);
+      }
+      return std::nullopt;
+    }
+    current = InternalChild(page, InternalChildSlot(page, key));
+  }
+}
+
+BTree::Iterator BTree::SeekNotBefore(IndexKey key, BufferPool* pool) const {
+  if (root_ == kInvalidPage) return Iterator(this, pool, kInvalidPage, 0);
+  PageId current = root_;
+  while (true) {
+    const Page& page = pool->Fetch(current);
+    if (IsLeaf(page)) {
+      uint32_t slot = LeafLowerBound(page, key);
+      PageId leaf = current;
+      if (slot == Count(page)) {
+        // All keys in this leaf are smaller; the successor leaf's first
+        // entry (if any) is the answer.
+        leaf = NextLeaf(page);
+        slot = 0;
+        if (leaf == kInvalidPage) return Iterator(this, pool, kInvalidPage, 0);
+        pool->Fetch(leaf);
+      }
+      return Iterator(this, pool, leaf, slot);
+    }
+    current = InternalChild(page, InternalChildSlot(page, key));
+  }
+}
+
+IndexKey BTree::Iterator::key() const {
+  return LeafKey(pool_->Fetch(page_), slot_);
+}
+
+RowLocator BTree::Iterator::locator() const {
+  return LeafLocator(pool_->Fetch(page_), slot_);
+}
+
+void BTree::Iterator::Next() {
+  const Page& page = pool_->Fetch(page_);
+  if (slot_ + 1 < Count(page)) {
+    ++slot_;
+    return;
+  }
+  page_ = NextLeaf(page);
+  slot_ = 0;
+}
+
+}  // namespace ptldb

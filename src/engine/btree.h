@@ -1,0 +1,83 @@
+#ifndef PTLDB_ENGINE_BTREE_H_
+#define PTLDB_ENGINE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/buffer_pool.h"
+#include "engine/heap_file.h"
+#include "engine/pager.h"
+
+namespace ptldb {
+
+/// Index key: a 64-bit integer. Composite keys such as the (hub, td) and
+/// (hub, dephour) primary keys of the PTLDB tables are packed into one
+/// int64 with MakeCompositeKey.
+using IndexKey = int64_t;
+
+/// Packs two 32-bit components into an order-preserving composite key
+/// (lexicographic (hi, lo) == numeric order of the packed key). Components
+/// must be non-negative, which PTLDB ids and timestamps are.
+constexpr IndexKey MakeCompositeKey(int32_t hi, int32_t lo) {
+  return (static_cast<IndexKey>(hi) << 32) |
+         static_cast<IndexKey>(static_cast<uint32_t>(lo));
+}
+
+/// Bulk-loaded, immutable B+Tree mapping IndexKey -> RowLocator. Pages live
+/// in the shared PageStore, so index traversal is charged to the device
+/// model like any other page access — the primary-key lookups of every
+/// PTLDB query pay for their index I/O.
+///
+/// Immutability mirrors the paper's workload: all PTLDB tables are built
+/// once during preprocessing and only read afterwards (like SST files in an
+/// LSM engine). Leaves are chained for range scans (the naive kNN query
+/// needs a (hub, td >= x) range join).
+class BTree {
+ public:
+  explicit BTree(PageStore* store) : store_(store) {}
+
+  /// Builds the tree from entries sorted by strictly increasing key.
+  /// May be called once.
+  void BulkLoad(const std::vector<std::pair<IndexKey, RowLocator>>& entries);
+
+  /// Exact-match lookup through the buffer pool.
+  std::optional<RowLocator> Find(IndexKey key, BufferPool* pool) const;
+
+  /// Forward iterator over leaf entries, positioned by SeekNotBefore.
+  class Iterator {
+   public:
+    bool Valid() const { return page_ != kInvalidPage; }
+    IndexKey key() const;
+    RowLocator locator() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    Iterator(const BTree* tree, BufferPool* pool, PageId page, uint32_t slot)
+        : tree_(tree), pool_(pool), page_(page), slot_(slot) {}
+
+    const BTree* tree_;
+    BufferPool* pool_;
+    PageId page_;
+    uint32_t slot_;
+  };
+
+  /// Iterator at the first entry with key >= `key` (invalid when none).
+  Iterator SeekNotBefore(IndexKey key, BufferPool* pool) const;
+
+  uint64_t num_pages() const { return num_pages_; }
+  uint32_t height() const { return height_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  PageStore* store_;
+  PageId root_ = kInvalidPage;
+  uint32_t height_ = 0;  // 0 = empty, 1 = root is a leaf.
+  uint64_t num_pages_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_BTREE_H_

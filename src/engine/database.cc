@@ -1,0 +1,72 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+namespace ptldb {
+
+Status EngineTable::BulkLoad(std::vector<std::pair<IndexKey, Row>> rows) {
+  if (num_rows_ != 0) return Status::Internal("table already loaded");
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1].first >= rows[i].first) {
+      return Status::InvalidArgument("bulk-load keys must strictly increase");
+    }
+  }
+  std::vector<std::pair<IndexKey, RowLocator>> entries;
+  entries.reserve(rows.size());
+  for (const auto& [key, row] : rows) {
+    if (row.size() != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch in " + name_);
+    }
+    entries.emplace_back(key, heap_.Append(row, schema_));
+  }
+  index_.BulkLoad(entries);
+  num_rows_ = rows.size();
+  return Status::Ok();
+}
+
+std::optional<Row> EngineTable::Get(IndexKey key, BufferPool* pool) const {
+  const auto locator = index_.Find(key, pool);
+  if (!locator) return std::nullopt;
+  return heap_.Read(*locator, schema_, pool);
+}
+
+Result<EngineTable*> EngineDatabase::CreateTable(const std::string& name,
+                                                 Schema schema,
+                                                 uint32_t pk_columns) {
+  if (tables_.count(name) != 0) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  if (pk_columns == 0 || pk_columns > schema.num_columns()) {
+    return Status::InvalidArgument("bad pk column count for " + name);
+  }
+  auto table = std::make_unique<EngineTable>(name, std::move(schema),
+                                             pk_columns, &store_);
+  EngineTable* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+EngineTable* EngineDatabase::FindTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const EngineTable* EngineDatabase::FindTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+uint64_t EngineDatabase::total_size_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, table] : tables_) total += table->size_bytes();
+  return total;
+}
+
+std::vector<std::string> EngineDatabase::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ptldb

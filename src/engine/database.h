@@ -1,0 +1,131 @@
+#ifndef PTLDB_ENGINE_DATABASE_H_
+#define PTLDB_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/btree.h"
+#include "engine/buffer_pool.h"
+#include "engine/device.h"
+#include "engine/heap_file.h"
+#include "engine/pager.h"
+#include "engine/value.h"
+
+namespace ptldb {
+
+/// One relational table: heap rows plus a bulk-loaded primary-key B+Tree.
+/// Tables are write-once (bulk load during preprocessing), read-many — the
+/// paper's PTLDB workload exactly.
+class EngineTable {
+ public:
+  EngineTable(std::string name, Schema schema, uint32_t pk_columns,
+              PageStore* store)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        pk_columns_(pk_columns),
+        heap_(store),
+        index_(store) {}
+
+  EngineTable(const EngineTable&) = delete;
+  EngineTable& operator=(const EngineTable&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  /// Leading columns forming the primary key (1 for lout/lin, 2 for the
+  /// (hub, hour)-keyed tables); informs DDL generation.
+  uint32_t pk_columns() const { return pk_columns_; }
+
+  /// Loads `rows` with their primary keys; keys must be strictly
+  /// increasing (violations indicate a broken table builder).
+  Status BulkLoad(std::vector<std::pair<IndexKey, Row>> rows);
+
+  /// Primary-key point lookup (index + heap I/O charged to the device).
+  std::optional<Row> Get(IndexKey key, BufferPool* pool) const;
+
+  /// Range cursor over (key, row) pairs with key >= `first_key`.
+  class Cursor {
+   public:
+    bool Valid() const { return it_.Valid(); }
+    IndexKey key() const { return it_.key(); }
+    Row row() const {
+      return table_->heap_.Read(it_.locator(), table_->schema_, pool_);
+    }
+    void Next() { it_.Next(); }
+
+   private:
+    friend class EngineTable;
+    Cursor(const EngineTable* table, BufferPool* pool, BTree::Iterator it)
+        : table_(table), pool_(pool), it_(it) {}
+    const EngineTable* table_;
+    BufferPool* pool_;
+    BTree::Iterator it_;
+  };
+
+  Cursor Seek(IndexKey first_key, BufferPool* pool) const {
+    return Cursor(this, pool, index_.SeekNotBefore(first_key, pool));
+  }
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t heap_pages() const { return heap_.num_pages(); }
+  uint64_t index_pages() const { return index_.num_pages(); }
+  uint64_t size_bytes() const {
+    return (heap_pages() + index_pages()) * kPageSize;
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  uint32_t pk_columns_ = 1;
+  HeapFile heap_;
+  BTree index_;
+  uint64_t num_rows_ = 0;
+};
+
+/// The embedded database: one page store, one simulated device, one buffer
+/// pool, and a catalog of tables. Stands in for the PostgreSQL instance of
+/// the paper so that the HDD/SSD experiments can run against a controlled
+/// storage model (see DESIGN.md, "Why an embedded engine and real
+/// PostgreSQL?").
+class EngineDatabase {
+ public:
+  explicit EngineDatabase(DeviceProfile profile = DeviceProfile::Hdd7200(),
+                          uint64_t buffer_pool_pages = 1u << 20)
+      : device_(std::move(profile)),
+        pool_(&store_, &device_, buffer_pool_pages) {}
+
+  EngineDatabase(const EngineDatabase&) = delete;
+  EngineDatabase& operator=(const EngineDatabase&) = delete;
+
+  /// Creates an empty table; fails if the name exists. `pk_columns` is the
+  /// number of leading columns forming the primary key.
+  Result<EngineTable*> CreateTable(const std::string& name, Schema schema,
+                                   uint32_t pk_columns = 1);
+
+  /// Looks up a table; nullptr when absent.
+  EngineTable* FindTable(const std::string& name);
+  const EngineTable* FindTable(const std::string& name) const;
+
+  BufferPool* buffer_pool() { return &pool_; }
+  StorageDevice* device() { return &device_; }
+
+  /// Cold-cache reset (the paper restarts the server before experiments).
+  void DropCaches() { pool_.DropCaches(); }
+
+  /// Total bytes across all tables (heap + index pages).
+  uint64_t total_size_bytes() const;
+
+  std::vector<std::string> table_names() const;
+
+ private:
+  PageStore store_;
+  StorageDevice device_;
+  BufferPool pool_;
+  std::map<std::string, std::unique_ptr<EngineTable>> tables_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_DATABASE_H_

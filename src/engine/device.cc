@@ -1,0 +1,21 @@
+#include "engine/device.h"
+
+namespace ptldb {
+
+DeviceProfile DeviceProfile::Hdd7200() {
+  return {.name = "hdd7200",
+          .random_read_ns = 8'500'000,
+          .sequential_read_ns = 55'000};
+}
+
+DeviceProfile DeviceProfile::SataSsd() {
+  return {.name = "sata-ssd",
+          .random_read_ns = 90'000,
+          .sequential_read_ns = 20'000};
+}
+
+DeviceProfile DeviceProfile::Ram() {
+  return {.name = "ram", .random_read_ns = 0, .sequential_read_ns = 0};
+}
+
+}  // namespace ptldb

@@ -1,0 +1,430 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace ptldb {
+
+namespace {
+
+class IndexLookupOp : public Operator {
+ public:
+  IndexLookupOp(const EngineTable* table, IndexKey key, BufferPool* pool)
+      : table_(table), key_(key), pool_(pool) {}
+
+  std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    return table_->Get(key_, pool_);
+  }
+
+ private:
+  const EngineTable* table_;
+  IndexKey key_;
+  BufferPool* pool_;
+  bool done_ = false;
+};
+
+class IndexRangeScanOp : public Operator {
+ public:
+  IndexRangeScanOp(const EngineTable* table, IndexKey first_key,
+                   IndexKey last_key, BufferPool* pool)
+      : cursor_(table->Seek(first_key, pool)), last_key_(last_key) {}
+
+  std::optional<Row> Next() override {
+    if (!cursor_.Valid() || cursor_.key() > last_key_) return std::nullopt;
+    Row row = cursor_.row();
+    cursor_.Next();
+    return row;
+  }
+
+ private:
+  EngineTable::Cursor cursor_;
+  IndexKey last_key_;
+};
+
+class UnnestOp : public Operator {
+ public:
+  UnnestOp(OperatorPtr child, std::vector<int> keep_cols,
+           std::vector<int> array_cols, uint32_t limit_elems)
+      : child_(std::move(child)),
+        keep_cols_(std::move(keep_cols)),
+        array_cols_(std::move(array_cols)),
+        limit_elems_(limit_elems) {}
+
+  std::optional<Row> Next() override {
+    while (true) {
+      if (current_ && elem_ < elem_count_) {
+        Row out;
+        out.reserve(keep_cols_.size() + array_cols_.size());
+        for (const int c : keep_cols_) out.push_back((*current_)[c]);
+        for (const int c : array_cols_) {
+          out.emplace_back((*current_)[c].AsArray()[elem_]);
+        }
+        ++elem_;
+        return out;
+      }
+      current_ = child_->Next();
+      if (!current_) return std::nullopt;
+      elem_ = 0;
+      elem_count_ = array_cols_.empty()
+                        ? 0
+                        : static_cast<uint32_t>(
+                              (*current_)[array_cols_[0]].AsArray().size());
+#ifndef NDEBUG
+      for (const int c : array_cols_) {
+        assert((*current_)[c].AsArray().size() == elem_count_ &&
+               "parallel UNNEST requires equal-length arrays");
+      }
+#endif
+      if (limit_elems_ != 0) elem_count_ = std::min(elem_count_, limit_elems_);
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> keep_cols_;
+  std::vector<int> array_cols_;
+  uint32_t limit_elems_;
+  std::optional<Row> current_;
+  uint32_t elem_ = 0;
+  uint32_t elem_count_ = 0;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::function<bool(const Row&)> predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  std::optional<Row> Next() override {
+    while (auto row = child_->Next()) {
+      if (predicate_(*row)) return row;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::function<bool(const Row&)> predicate_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::function<Row(const Row&)> projection)
+      : child_(std::move(child)), projection_(std::move(projection)) {}
+
+  std::optional<Row> Next() override {
+    if (auto row = child_->Next()) return projection_(*row);
+    return std::nullopt;
+  }
+
+ private:
+  OperatorPtr child_;
+  std::function<Row(const Row&)> projection_;
+};
+
+class IndexJoinOp : public Operator {
+ public:
+  IndexJoinOp(OperatorPtr child, const EngineTable* table,
+              std::function<IndexKey(const Row&)> key_fn, BufferPool* pool)
+      : child_(std::move(child)),
+        table_(table),
+        key_fn_(std::move(key_fn)),
+        pool_(pool) {}
+
+  std::optional<Row> Next() override {
+    while (auto left = child_->Next()) {
+      auto right = table_->Get(key_fn_(*left), pool_);
+      if (!right) continue;
+      Row out = std::move(*left);
+      out.insert(out.end(), std::make_move_iterator(right->begin()),
+                 std::make_move_iterator(right->end()));
+      return out;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  OperatorPtr child_;
+  const EngineTable* table_;
+  std::function<IndexKey(const Row&)> key_fn_;
+  BufferPool* pool_;
+};
+
+class IndexRangeJoinOp : public Operator {
+ public:
+  IndexRangeJoinOp(OperatorPtr child, const EngineTable* table,
+                   std::function<IndexKey(const Row&)> lo_fn,
+                   std::function<IndexKey(const Row&)> hi_fn, BufferPool* pool)
+      : child_(std::move(child)),
+        table_(table),
+        lo_fn_(std::move(lo_fn)),
+        hi_fn_(std::move(hi_fn)),
+        pool_(pool) {}
+
+  std::optional<Row> Next() override {
+    while (true) {
+      if (cursor_ && cursor_->Valid() && cursor_->key() <= hi_) {
+        Row out = *left_;
+        Row right = cursor_->row();
+        out.insert(out.end(), std::make_move_iterator(right.begin()),
+                   std::make_move_iterator(right.end()));
+        cursor_->Next();
+        return out;
+      }
+      left_ = child_->Next();
+      if (!left_) return std::nullopt;
+      hi_ = hi_fn_(*left_);
+      cursor_.emplace(table_->Seek(lo_fn_(*left_), pool_));
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  const EngineTable* table_;
+  std::function<IndexKey(const Row&)> lo_fn_;
+  std::function<IndexKey(const Row&)> hi_fn_;
+  BufferPool* pool_;
+  std::optional<Row> left_;
+  std::optional<EngineTable::Cursor> cursor_;
+  IndexKey hi_ = 0;
+};
+
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key_col,
+             int right_key_col)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_col_(left_key_col),
+        right_key_col_(right_key_col) {}
+
+  std::optional<Row> Next() override {
+    if (!built_) {
+      while (auto row = right_->Next()) {
+        table_[(*row)[right_key_col_].AsInt()].push_back(std::move(*row));
+      }
+      built_ = true;
+    }
+    while (true) {
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        Row out = *current_left_;
+        const Row& right = (*matches_)[match_index_++];
+        out.insert(out.end(), right.begin(), right.end());
+        return out;
+      }
+      current_left_ = left_->Next();
+      if (!current_left_) return std::nullopt;
+      const auto it = table_.find((*current_left_)[left_key_col_].AsInt());
+      matches_ = it == table_.end() ? nullptr : &it->second;
+      match_index_ = 0;
+    }
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  int left_key_col_;
+  int right_key_col_;
+  bool built_ = false;
+  std::unordered_map<int32_t, std::vector<Row>> table_;
+  std::optional<Row> current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, int group_col, int value_col, AggFn fn)
+      : child_(std::move(child)),
+        group_col_(group_col),
+        value_col_(value_col),
+        fn_(fn) {}
+
+  std::optional<Row> Next() override {
+    if (!materialized_) {
+      Materialize();
+      materialized_ = true;
+      it_ = groups_.begin();
+    }
+    if (it_ == groups_.end()) return std::nullopt;
+    Row out{Value(it_->first), Value(it_->second)};
+    ++it_;
+    return out;
+  }
+
+ private:
+  void Materialize() {
+    while (auto row = child_->Next()) {
+      const int32_t group = (*row)[group_col_].AsInt();
+      const int32_t value = (*row)[value_col_].AsInt();
+      const auto [it, inserted] = groups_.emplace(group, value);
+      if (!inserted) {
+        it->second = fn_ == AggFn::kMin ? std::min(it->second, value)
+                                        : std::max(it->second, value);
+      }
+    }
+  }
+
+  OperatorPtr child_;
+  int group_col_;
+  int value_col_;
+  AggFn fn_;
+  bool materialized_ = false;
+  std::map<int32_t, int32_t> groups_;
+  std::map<int32_t, int32_t>::iterator it_;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::function<bool(const Row&, const Row&)> less)
+      : child_(std::move(child)), less_(std::move(less)) {}
+
+  std::optional<Row> Next() override {
+    if (!materialized_) {
+      while (auto row = child_->Next()) rows_.push_back(std::move(*row));
+      std::stable_sort(rows_.begin(), rows_.end(), less_);
+      materialized_ = true;
+    }
+    if (next_ >= rows_.size()) return std::nullopt;
+    return rows_[next_++];
+  }
+
+ private:
+  OperatorPtr child_;
+  std::function<bool(const Row&, const Row&)> less_;
+  bool materialized_ = false;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, uint64_t n) : child_(std::move(child)), n_(n) {}
+
+  std::optional<Row> Next() override {
+    if (emitted_ >= n_) return std::nullopt;
+    auto row = child_->Next();
+    if (row) ++emitted_;
+    return row;
+  }
+
+ private:
+  OperatorPtr child_;
+  uint64_t n_;
+  uint64_t emitted_ = 0;
+};
+
+class ConcatOp : public Operator {
+ public:
+  explicit ConcatOp(std::vector<OperatorPtr> children)
+      : children_(std::move(children)) {}
+
+  std::optional<Row> Next() override {
+    while (current_ < children_.size()) {
+      if (auto row = children_[current_]->Next()) return row;
+      ++current_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+class VectorSourceOp : public Operator {
+ public:
+  explicit VectorSourceOp(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  std::optional<Row> Next() override {
+    if (next_ >= rows_.size()) return std::nullopt;
+    return rows_[next_++];
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr MakeVectorSource(std::vector<Row> rows) {
+  return std::make_unique<VectorSourceOp>(std::move(rows));
+}
+
+OperatorPtr MakeIndexLookup(const EngineTable* table, IndexKey key,
+                            BufferPool* pool) {
+  return std::make_unique<IndexLookupOp>(table, key, pool);
+}
+
+OperatorPtr MakeIndexRangeScan(const EngineTable* table, IndexKey first_key,
+                               IndexKey last_key, BufferPool* pool) {
+  return std::make_unique<IndexRangeScanOp>(table, first_key, last_key, pool);
+}
+
+OperatorPtr MakeUnnest(OperatorPtr child, std::vector<int> keep_cols,
+                       std::vector<int> array_cols, uint32_t limit_elems) {
+  return std::make_unique<UnnestOp>(std::move(child), std::move(keep_cols),
+                                    std::move(array_cols), limit_elems);
+}
+
+OperatorPtr MakeFilter(OperatorPtr child,
+                       std::function<bool(const Row&)> predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+OperatorPtr MakeProject(OperatorPtr child,
+                        std::function<Row(const Row&)> projection) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(projection));
+}
+
+OperatorPtr MakeIndexJoin(OperatorPtr child, const EngineTable* table,
+                          std::function<IndexKey(const Row&)> key_fn,
+                          BufferPool* pool) {
+  return std::make_unique<IndexJoinOp>(std::move(child), table,
+                                       std::move(key_fn), pool);
+}
+
+OperatorPtr MakeIndexRangeJoin(OperatorPtr child, const EngineTable* table,
+                               std::function<IndexKey(const Row&)> lo_fn,
+                               std::function<IndexKey(const Row&)> hi_fn,
+                               BufferPool* pool) {
+  return std::make_unique<IndexRangeJoinOp>(
+      std::move(child), table, std::move(lo_fn), std::move(hi_fn), pool);
+}
+
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         int left_key_col, int right_key_col) {
+  return std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                      left_key_col, right_key_col);
+}
+
+OperatorPtr MakeHashAggregate(OperatorPtr child, int group_col, int value_col,
+                              AggFn fn) {
+  return std::make_unique<HashAggregateOp>(std::move(child), group_col,
+                                           value_col, fn);
+}
+
+OperatorPtr MakeSort(OperatorPtr child,
+                     std::function<bool(const Row&, const Row&)> less) {
+  return std::make_unique<SortOp>(std::move(child), std::move(less));
+}
+
+OperatorPtr MakeLimit(OperatorPtr child, uint64_t n) {
+  return std::make_unique<LimitOp>(std::move(child), n);
+}
+
+OperatorPtr MakeConcat(std::vector<OperatorPtr> children) {
+  return std::make_unique<ConcatOp>(std::move(children));
+}
+
+std::vector<Row> Execute(Operator* root) {
+  std::vector<Row> rows;
+  while (auto row = root->Next()) rows.push_back(std::move(*row));
+  return rows;
+}
+
+}  // namespace ptldb

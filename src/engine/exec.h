@@ -1,0 +1,100 @@
+#ifndef PTLDB_ENGINE_EXEC_H_
+#define PTLDB_ENGINE_EXEC_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/value.h"
+
+namespace ptldb {
+
+/// Volcano-style physical operator: pull rows with Next() until nullopt.
+/// The PTLDB query plans (Codes 1-4 of the paper) are built as trees of
+/// these operators; table-access operators charge the device model through
+/// the buffer pool, everything else is pure CPU.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual std::optional<Row> Next() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Emits a pre-materialized row vector (used to feed one join result into
+/// several plan branches, like the CTE reuse of n1b in Codes 3/4).
+OperatorPtr MakeVectorSource(std::vector<Row> rows);
+
+/// Primary-key point lookup: emits the matching row (zero or one).
+OperatorPtr MakeIndexLookup(const EngineTable* table, IndexKey key,
+                            BufferPool* pool);
+
+/// Index range scan: rows with first_key <= key <= last_key.
+OperatorPtr MakeIndexRangeScan(const EngineTable* table, IndexKey first_key,
+                               IndexKey last_key, BufferPool* pool);
+
+/// PostgreSQL-style parallel UNNEST: for each input row, the array columns
+/// in `array_cols` are expanded element-wise in lockstep (they must have
+/// equal lengths, as the PTLDB arrays do by construction) and the scalar
+/// columns in `keep_cols` are repeated. Output layout: kept columns first,
+/// then one scalar per unnested array. `limit_elems` implements the
+/// vs[1:k] slice of Code 2/3 (0 = no limit).
+OperatorPtr MakeUnnest(OperatorPtr child, std::vector<int> keep_cols,
+                       std::vector<int> array_cols, uint32_t limit_elems = 0);
+
+/// Filter by predicate.
+OperatorPtr MakeFilter(OperatorPtr child,
+                       std::function<bool(const Row&)> predicate);
+
+/// Row-wise projection.
+OperatorPtr MakeProject(OperatorPtr child,
+                        std::function<Row(const Row&)> projection);
+
+/// Index nested-loop join: for each left row, the right table row with
+/// primary key `key_fn(left)` (if any) is appended to the left row.
+OperatorPtr MakeIndexJoin(OperatorPtr child, const EngineTable* table,
+                          std::function<IndexKey(const Row&)> key_fn,
+                          BufferPool* pool);
+
+/// Index nested-loop range join: for each left row, all right rows with
+/// key in [lo_fn(left), hi_fn(left)] are appended (one output row each).
+OperatorPtr MakeIndexRangeJoin(OperatorPtr child, const EngineTable* table,
+                               std::function<IndexKey(const Row&)> lo_fn,
+                               std::function<IndexKey(const Row&)> hi_fn,
+                               BufferPool* pool);
+
+/// Hash equi-join: materializes the right input into a hash table keyed by
+/// `right_key_col`, then streams the left input and emits left ++ right for
+/// every right row whose key matches `left_key_col`. This is how
+/// PostgreSQL executes the hub join of Code 1 over the two UNNESTed label
+/// rows; residual predicates (outp.ta <= inp.td) go into a Filter above.
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         int left_key_col, int right_key_col);
+
+/// Aggregate function for MakeHashAggregate.
+enum class AggFn { kMin, kMax };
+
+/// GROUP BY group_col, AGG(value_col): materializes the input, emits one
+/// (group, aggregate) row per group in unspecified order.
+OperatorPtr MakeHashAggregate(OperatorPtr child, int group_col, int value_col,
+                              AggFn fn);
+
+/// Full sort (materializing).
+OperatorPtr MakeSort(OperatorPtr child,
+                     std::function<bool(const Row&, const Row&)> less);
+
+/// LIMIT n.
+OperatorPtr MakeLimit(OperatorPtr child, uint64_t n);
+
+/// UNION ALL of several inputs, in order. (The UNIONs in Codes 3/4 feed a
+/// final GROUP BY, so duplicate elimination would be a no-op.)
+OperatorPtr MakeConcat(std::vector<OperatorPtr> children);
+
+/// Drains an operator tree into a vector.
+std::vector<Row> Execute(Operator* root);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_EXEC_H_

@@ -1,0 +1,143 @@
+#include "engine/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ptldb {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t n = out->size();
+  out->resize(n + 4);
+  std::memcpy(out->data() + n, &v, 4);
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  const size_t n = out->size();
+  out->resize(n + 4);
+  std::memcpy(out->data() + n, &v, 4);
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  uint32_t v;
+  std::memcpy(&v, data, 4);
+  return v;
+}
+
+int32_t GetI32(const uint8_t* data) {
+  int32_t v;
+  std::memcpy(&v, data, 4);
+  return v;
+}
+
+std::vector<uint8_t> SerializeRow(const Row& row, const Schema& schema) {
+  assert(row.size() == schema.num_columns());
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kInt32:
+        PutI32(&out, row[i].AsInt());
+        break;
+      case ColumnType::kInt32Array: {
+        const auto& arr = row[i].AsArray();
+        PutU32(&out, static_cast<uint32_t>(arr.size()));
+        const size_t n = out.size();
+        out.resize(n + arr.size() * 4);
+        std::memcpy(out.data() + n, arr.data(), arr.size() * 4);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t SerializedRowSize(const Row& row, const Schema& schema) {
+  uint32_t size = 0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (schema.column(i).type == ColumnType::kInt32) {
+      size += 4;
+    } else {
+      size += 4 + static_cast<uint32_t>(row[i].AsArray().size()) * 4;
+    }
+  }
+  return size;
+}
+
+void HeapFile::AppendBytes(const uint8_t* data, size_t size) {
+  while (size > 0) {
+    if (page_offset_ == kPageSize) {
+      current_page_ = store_->Allocate();
+      ++num_pages_;
+      page_offset_ = 0;
+    }
+    const size_t room = kPageSize - page_offset_;
+    const size_t chunk = size < room ? size : room;
+    std::memcpy(store_->page(current_page_).bytes.data() + page_offset_, data,
+                chunk);
+    page_offset_ += static_cast<uint32_t>(chunk);
+    data += chunk;
+    size -= chunk;
+  }
+}
+
+RowLocator HeapFile::Append(const Row& row, const Schema& schema) {
+  const std::vector<uint8_t> bytes = SerializeRow(row, schema);
+  if (page_offset_ == kPageSize) {
+    current_page_ = store_->Allocate();
+    ++num_pages_;
+    page_offset_ = 0;
+  }
+  const RowLocator locator{current_page_ * kPageSize + page_offset_,
+                           static_cast<uint32_t>(bytes.size())};
+  AppendBytes(bytes.data(), bytes.size());
+  return locator;
+}
+
+Row HeapFile::Read(const RowLocator& locator, const Schema& schema,
+                   BufferPool* pool) const {
+  // Gather the row's bytes across its page span.
+  std::vector<uint8_t> bytes(locator.length);
+  uint64_t offset = locator.offset;
+  uint32_t copied = 0;
+  while (copied < locator.length) {
+    const PageId page = offset / kPageSize;
+    const uint32_t in_page = static_cast<uint32_t>(offset % kPageSize);
+    const uint32_t room = kPageSize - in_page;
+    const uint32_t chunk = std::min(room, locator.length - copied);
+    const Page& p = pool->Fetch(page);
+    std::memcpy(bytes.data() + copied, p.bytes.data() + in_page, chunk);
+    copied += chunk;
+    offset += chunk;
+  }
+
+  Row row;
+  row.reserve(schema.num_columns());
+  const uint8_t* cursor = bytes.data();
+  [[maybe_unused]] const uint8_t* end = bytes.data() + bytes.size();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kInt32:
+        assert(cursor + 4 <= end);
+        row.emplace_back(GetI32(cursor));
+        cursor += 4;
+        break;
+      case ColumnType::kInt32Array: {
+        assert(cursor + 4 <= end);
+        const uint32_t count = GetU32(cursor);
+        cursor += 4;
+        assert(cursor + count * 4 <= end);
+        std::vector<int32_t> arr(count);
+        std::memcpy(arr.data(), cursor, static_cast<size_t>(count) * 4);
+        cursor += static_cast<size_t>(count) * 4;
+        row.emplace_back(std::move(arr));
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,56 @@
+#ifndef PTLDB_ENGINE_HEAP_FILE_H_
+#define PTLDB_ENGINE_HEAP_FILE_H_
+
+#include <cstdint>
+
+#include "engine/buffer_pool.h"
+#include "engine/pager.h"
+#include "engine/value.h"
+
+namespace ptldb {
+
+/// Location of one serialized row inside the page store.
+struct RowLocator {
+  uint64_t offset = 0;  ///< Absolute byte offset (page_id * kPageSize + in-page).
+  uint32_t length = 0;  ///< Serialized length in bytes.
+
+  friend bool operator==(const RowLocator&, const RowLocator&) = default;
+};
+
+/// Append-only heap storage for rows. Rows are serialized back-to-back and
+/// may span page boundaries — the PTLDB label rows routinely exceed 8 KiB
+/// (PostgreSQL handles this with TOAST; this engine with spanning rows).
+/// Reading a row therefore costs one random page access plus sequential
+/// accesses for the row's remaining pages, which is exactly the I/O shape
+/// the paper's design discussion relies on.
+///
+/// Appends happen only during bulk load and write directly to the page
+/// store; reads go through the buffer pool and are charged to the device.
+class HeapFile {
+ public:
+  explicit HeapFile(PageStore* store) : store_(store) {}
+
+  /// Serializes and appends a row. The schema defines the column layout.
+  RowLocator Append(const Row& row, const Schema& schema);
+
+  /// Reads a row back through the buffer pool (charges device on misses).
+  Row Read(const RowLocator& locator, const Schema& schema,
+           BufferPool* pool) const;
+
+  uint64_t num_pages() const { return num_pages_; }
+
+ private:
+  void AppendBytes(const uint8_t* data, size_t size);
+
+  PageStore* store_;
+  PageId current_page_ = kInvalidPage;
+  uint32_t page_offset_ = kPageSize;  // Forces allocation on first append.
+  uint64_t num_pages_ = 0;
+};
+
+/// Serialized size of a row under `schema`.
+uint32_t SerializedRowSize(const Row& row, const Schema& schema);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_HEAP_FILE_H_

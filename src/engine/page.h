@@ -1,0 +1,25 @@
+#ifndef PTLDB_ENGINE_PAGE_H_
+#define PTLDB_ENGINE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ptldb {
+
+/// Fixed database page size, matching PostgreSQL's default of 8 KiB.
+inline constexpr uint32_t kPageSize = 8192;
+
+/// Page identifier within one PageStore (dense, starting at 0).
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Raw page bytes. Interpretation is up to the owning structure (heap file
+/// byte-log or B+Tree node).
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_PAGE_H_

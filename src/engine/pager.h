@@ -1,0 +1,36 @@
+#ifndef PTLDB_ENGINE_PAGER_H_
+#define PTLDB_ENGINE_PAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/device.h"
+#include "engine/page.h"
+
+namespace ptldb {
+
+/// The "disk image": all pages of one database. Page contents are held in
+/// process memory (the machine running this reproduction has no attachable
+/// HDD/SSD); every access is routed through the BufferPool, which charges
+/// the device model on cache misses. Writes happen only during bulk load
+/// (before benchmarking) and are not charged.
+class PageStore {
+ public:
+  PageId Allocate() {
+    pages_.push_back(std::make_unique<Page>());
+    return pages_.size() - 1;
+  }
+
+  uint64_t num_pages() const { return pages_.size(); }
+  uint64_t size_bytes() const { return pages_.size() * kPageSize; }
+
+  Page& page(PageId id) { return *pages_[id]; }
+  const Page& page(PageId id) const { return *pages_[id]; }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_PAGER_H_

@@ -1,0 +1,80 @@
+#ifndef PTLDB_ENGINE_VALUE_H_
+#define PTLDB_ENGINE_VALUE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ptldb {
+
+/// Column types the PTLDB tables need: 4-byte integers and PostgreSQL-style
+/// variable-length integer arrays (the paper stores hubs/tds/tas as array
+/// columns, Section 3.1).
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kInt32Array = 1,
+};
+
+/// One SQL value.
+class Value {
+ public:
+  Value() : data_(int32_t{0}) {}
+  explicit Value(int32_t v) : data_(v) {}
+  explicit Value(std::vector<int32_t> v) : data_(std::move(v)) {}
+
+  ColumnType type() const {
+    return std::holds_alternative<int32_t>(data_) ? ColumnType::kInt32
+                                                  : ColumnType::kInt32Array;
+  }
+
+  int32_t AsInt() const {
+    assert(type() == ColumnType::kInt32);
+    return std::get<int32_t>(data_);
+  }
+
+  const std::vector<int32_t>& AsArray() const {
+    assert(type() == ColumnType::kInt32Array);
+    return std::get<std::vector<int32_t>>(data_);
+  }
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<int32_t, std::vector<int32_t>> data_;
+};
+
+/// One table or intermediate row.
+using Row = std::vector<Value>;
+
+/// Column descriptor.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+};
+
+/// Ordered column list of a table.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of `name`; -1 when absent.
+  int ColumnIndex(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_VALUE_H_

@@ -1,0 +1,203 @@
+#include "pgsql/pg_backend.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "pgsql/sql_writer.h"
+#include "ptldb/tables.h"
+
+namespace ptldb {
+
+namespace {
+
+// CREATE TABLE for one engine table (integer / integer[] columns, leading
+// pk_columns as the primary key).
+std::string DdlFor(const EngineTable& table) {
+  std::ostringstream out;
+  out << "CREATE TABLE " << table.name() << " (\n";
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    out << "  " << schema.column(i).name
+        << (schema.column(i).type == ColumnType::kInt32 ? " integer"
+                                                        : " integer[]");
+    out << (i + 1 < schema.num_columns() ? ",\n" : ",\n");
+  }
+  out << "  PRIMARY KEY (";
+  for (uint32_t i = 0; i < table.pk_columns(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.column(i).name;
+  }
+  out << ")\n);\n";
+  return out.str();
+}
+
+// COPY payload (tab-separated text rows) for one engine table.
+std::string CopyPayloadFor(const EngineTable& table, BufferPool* pool) {
+  std::ostringstream out;
+  auto cursor = table.Seek(std::numeric_limits<IndexKey>::min(), pool);
+  const Schema& schema = table.schema();
+  while (cursor.Valid()) {
+    const Row row = cursor.row();
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << '\t';
+      if (schema.column(i).type == ColumnType::kInt32) {
+        out << row[i].AsInt();
+      } else {
+        out << '{';
+        const auto& arr = row[i].AsArray();
+        for (size_t j = 0; j < arr.size(); ++j) {
+          if (j > 0) out << ',';
+          out << arr[j];
+        }
+        out << '}';
+      }
+    }
+    out << '\n';
+    cursor.Next();
+  }
+  return out.str();
+}
+
+Timestamp ParseTimeOrDefault(const std::string& text, bool is_null,
+                             Timestamp fallback) {
+  if (is_null || text.empty()) return fallback;
+  return static_cast<Timestamp>(ParseInt(text).value_or(fallback));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PgPtldb>> PgPtldb::Connect(const std::string& conninfo,
+                                                  const std::string& schema) {
+  auto conn = PgConnection::Connect(conninfo);
+  if (!conn.ok()) return conn.status();
+  std::unique_ptr<PgPtldb> backend(
+      new PgPtldb(std::move(*conn), schema));
+  PTLDB_RETURN_IF_ERROR(backend->conn_->Exec(
+      "SET client_min_messages TO warning; DROP SCHEMA IF EXISTS " + schema +
+      " CASCADE; CREATE SCHEMA " + schema + "; SET search_path TO " + schema +
+      ";"));
+  return backend;
+}
+
+Status PgPtldb::MirrorFrom(PtldbDatabase* src) {
+  EngineDatabase* engine = src->engine();
+  PTLDB_RETURN_IF_ERROR(conn_->Exec("SET search_path TO " + schema_ + ";"));
+  for (const std::string& name : engine->table_names()) {
+    const EngineTable* table = engine->FindTable(name);
+    PTLDB_RETURN_IF_ERROR(conn_->Exec(DdlFor(*table)));
+    PTLDB_RETURN_IF_ERROR(
+        conn_->CopyIn(name, CopyPayloadFor(*table, engine->buffer_pool())));
+    PTLDB_RETURN_IF_ERROR(conn_->Exec("ANALYZE " + name + ";"));
+  }
+  set_info_.clear();
+  for (const auto& info : src->target_sets()) {
+    if (info.bucket_seconds != kSecondsPerHour) {
+      return Status::Unsupported(
+          "the PostgreSQL backend emits the paper's literal SQL, which "
+          "buckets by hour; rebuild the set with bucket_seconds=3600");
+    }
+    set_info_[info.name] = info;
+  }
+  return Status::Ok();
+}
+
+Result<Timestamp> PgPtldb::EarliestArrival(StopId s, StopId g, Timestamp t) {
+  std::vector<std::vector<bool>> nulls;
+  auto rows = conn_->QueryWithNulls(
+      V2vSql(V2vKind::kEarliestArrival),
+      {std::to_string(s), std::to_string(g), std::to_string(t)}, &nulls);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return kInfinityTime;
+  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kInfinityTime);
+}
+
+Result<Timestamp> PgPtldb::LatestDeparture(StopId s, StopId g,
+                                           Timestamp t_end) {
+  std::vector<std::vector<bool>> nulls;
+  auto rows = conn_->QueryWithNulls(
+      V2vSql(V2vKind::kLatestDeparture),
+      {std::to_string(s), std::to_string(g), std::to_string(t_end)}, &nulls);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return kNegInfinityTime;
+  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kNegInfinityTime);
+}
+
+Result<Timestamp> PgPtldb::ShortestDuration(StopId s, StopId g, Timestamp t,
+                                            Timestamp t_end) {
+  std::vector<std::vector<bool>> nulls;
+  auto rows = conn_->QueryWithNulls(
+      V2vSql(V2vKind::kShortestDuration),
+      {std::to_string(s), std::to_string(g), std::to_string(t),
+       std::to_string(t_end)},
+      &nulls);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return kInfinityTime;
+  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kInfinityTime);
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::RunListQuery(
+    const std::string& sql, const std::vector<std::string>& params) {
+  auto rows = conn_->Query(sql, params);
+  if (!rows.ok()) return rows.status();
+  std::vector<StopTimeResult> out;
+  out.reserve(rows->size());
+  for (const auto& row : *rows) {
+    const auto stop = ParseInt(row[0]);
+    const auto time = ParseInt(row[1]);
+    if (!stop || !time) return Status::Corruption("non-integer query result");
+    out.push_back({static_cast<StopId>(*stop),
+                   static_cast<Timestamp>(*time)});
+  }
+  return out;
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::EaKnn(const std::string& set,
+                                                   StopId q, Timestamp t,
+                                                   uint32_t k) {
+  return RunListQuery(EaKnnSql(set), {std::to_string(q), std::to_string(t),
+                                      std::to_string(k)});
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::LdKnn(const std::string& set,
+                                                   StopId q, Timestamp t,
+                                                   uint32_t k) {
+  const auto it = set_info_.find(set);
+  if (it == set_info_.end()) return Status::NotFound("unknown set " + set);
+  const int32_t arrhour = std::min(HourOf(t), it->second.max_bucket);
+  return RunListQuery(LdKnnSql(set),
+                      {std::to_string(q), std::to_string(t),
+                       std::to_string(k), std::to_string(arrhour)});
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::EaKnnNaive(
+    const std::string& set, StopId q, Timestamp t, uint32_t k) {
+  return RunListQuery(EaKnnNaiveSql(set),
+                      {std::to_string(q), std::to_string(t),
+                       std::to_string(k)});
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::LdKnnNaive(
+    const std::string& set, StopId q, Timestamp t, uint32_t k) {
+  return RunListQuery(LdKnnNaiveSql(set),
+                      {std::to_string(q), std::to_string(t),
+                       std::to_string(k)});
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::EaOneToMany(
+    const std::string& set, StopId q, Timestamp t) {
+  return RunListQuery(EaOtmSql(set),
+                      {std::to_string(q), std::to_string(t)});
+}
+
+Result<std::vector<StopTimeResult>> PgPtldb::LdOneToMany(
+    const std::string& set, StopId q, Timestamp t) {
+  const auto it = set_info_.find(set);
+  if (it == set_info_.end()) return Status::NotFound("unknown set " + set);
+  const int32_t arrhour = std::min(HourOf(t), it->second.max_bucket);
+  return RunListQuery(
+      LdOtmSql(set),
+      {std::to_string(q), std::to_string(t), std::to_string(arrhour)});
+}
+
+}  // namespace ptldb

@@ -1,0 +1,69 @@
+#ifndef PTLDB_PGSQL_PG_BACKEND_H_
+#define PTLDB_PGSQL_PG_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pgsql/pg_client.h"
+#include "ptldb/ptldb.h"
+
+namespace ptldb {
+
+/// PTLDB on real PostgreSQL — the system the paper actually evaluates.
+/// Mirrors the tables of an embedded PtldbDatabase into a PostgreSQL
+/// schema and answers every query type by executing the paper's literal
+/// SQL (Codes 1-4) through libpq.
+///
+/// Both backends expose the same query API; the test suite asserts answer
+/// equality between them when a server is reachable (the environment
+/// variable PTLDB_PG_CONNINFO, see scripts/start_test_postgres.sh).
+class PgPtldb {
+ public:
+  /// Connects and prepares (drops + recreates) the `schema` namespace.
+  static Result<std::unique_ptr<PgPtldb>> Connect(const std::string& conninfo,
+                                                  const std::string& schema);
+
+  /// Copies every table of `src` (lout/lin plus all registered target
+  /// sets) into the schema via COPY, creates the primary keys, ANALYZEs.
+  Status MirrorFrom(PtldbDatabase* src);
+
+  // --- The same query API as PtldbDatabase, evaluated by PostgreSQL ---
+  Result<Timestamp> EarliestArrival(StopId s, StopId g, Timestamp t);
+  Result<Timestamp> LatestDeparture(StopId s, StopId g, Timestamp t_end);
+  Result<Timestamp> ShortestDuration(StopId s, StopId g, Timestamp t,
+                                     Timestamp t_end);
+  Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
+                                            StopId q, Timestamp t, uint32_t k);
+  Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
+                                            StopId q, Timestamp t, uint32_t k);
+  Result<std::vector<StopTimeResult>> EaKnnNaive(const std::string& set_name,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+  Result<std::vector<StopTimeResult>> LdKnnNaive(const std::string& set_name,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+  Result<std::vector<StopTimeResult>> EaOneToMany(const std::string& set_name,
+                                                  StopId q, Timestamp t);
+  Result<std::vector<StopTimeResult>> LdOneToMany(const std::string& set_name,
+                                                  StopId q, Timestamp t);
+
+  PgConnection* connection() { return conn_.get(); }
+
+ private:
+  PgPtldb(std::unique_ptr<PgConnection> conn, std::string schema)
+      : conn_(std::move(conn)), schema_(std::move(schema)) {}
+
+  Result<std::vector<StopTimeResult>> RunListQuery(
+      const std::string& sql, const std::vector<std::string>& params);
+
+  std::unique_ptr<PgConnection> conn_;
+  std::string schema_;
+  std::map<std::string, PtldbDatabase::TargetSetInfo> set_info_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PGSQL_PG_BACKEND_H_

@@ -1,0 +1,105 @@
+#include "pgsql/pg_client.h"
+
+#include <libpq-fe.h>
+
+namespace ptldb {
+
+namespace {
+
+PGconn* Conn(void* p) { return static_cast<PGconn*>(p); }
+
+std::string ConnError(PGconn* conn) {
+  const char* msg = PQerrorMessage(conn);
+  return msg == nullptr ? "unknown libpq error" : msg;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PgConnection>> PgConnection::Connect(
+    const std::string& conninfo) {
+  PGconn* conn = PQconnectdb(conninfo.c_str());
+  if (conn == nullptr) return Status::IoError("PQconnectdb failed");
+  if (PQstatus(conn) != CONNECTION_OK) {
+    const std::string msg = ConnError(conn);
+    PQfinish(conn);
+    return Status::IoError("cannot connect: " + msg);
+  }
+  return std::unique_ptr<PgConnection>(new PgConnection(conn));
+}
+
+PgConnection::~PgConnection() {
+  if (conn_ != nullptr) PQfinish(Conn(conn_));
+}
+
+Status PgConnection::Exec(const std::string& sql) {
+  PGresult* result = PQexec(Conn(conn_), sql.c_str());
+  const ExecStatusType status = PQresultStatus(result);
+  PQclear(result);
+  if (status != PGRES_COMMAND_OK && status != PGRES_TUPLES_OK) {
+    return Status::IoError("exec failed: " + ConnError(Conn(conn_)));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::string>>> PgConnection::Query(
+    const std::string& sql, const std::vector<std::string>& params) {
+  return QueryWithNulls(sql, params, nullptr);
+}
+
+Result<std::vector<std::vector<std::string>>> PgConnection::QueryWithNulls(
+    const std::string& sql, const std::vector<std::string>& params,
+    std::vector<std::vector<bool>>* nulls) {
+  std::vector<const char*> values;
+  values.reserve(params.size());
+  for (const std::string& p : params) values.push_back(p.c_str());
+  PGresult* result = PQexecParams(
+      Conn(conn_), sql.c_str(), static_cast<int>(values.size()),
+      /*paramTypes=*/nullptr, values.data(), /*paramLengths=*/nullptr,
+      /*paramFormats=*/nullptr, /*resultFormat=*/0);
+  if (PQresultStatus(result) != PGRES_TUPLES_OK) {
+    PQclear(result);
+    return Status::IoError("query failed: " + ConnError(Conn(conn_)));
+  }
+  const int rows = PQntuples(result);
+  const int cols = PQnfields(result);
+  std::vector<std::vector<std::string>> out(static_cast<size_t>(rows));
+  if (nulls != nullptr) nulls->assign(static_cast<size_t>(rows), {});
+  for (int r = 0; r < rows; ++r) {
+    out[r].reserve(static_cast<size_t>(cols));
+    if (nulls != nullptr) (*nulls)[r].reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      const bool is_null = PQgetisnull(result, r, c) != 0;
+      out[r].emplace_back(is_null ? "" : PQgetvalue(result, r, c));
+      if (nulls != nullptr) (*nulls)[r].push_back(is_null);
+    }
+  }
+  PQclear(result);
+  return out;
+}
+
+Status PgConnection::CopyIn(const std::string& table,
+                            std::string_view payload) {
+  PGresult* start =
+      PQexec(Conn(conn_), ("COPY " + table + " FROM STDIN").c_str());
+  const ExecStatusType status = PQresultStatus(start);
+  PQclear(start);
+  if (status != PGRES_COPY_IN) {
+    return Status::IoError("COPY start failed: " + ConnError(Conn(conn_)));
+  }
+  if (PQputCopyData(Conn(conn_), payload.data(),
+                    static_cast<int>(payload.size())) != 1) {
+    return Status::IoError("COPY data failed: " + ConnError(Conn(conn_)));
+  }
+  if (PQputCopyEnd(Conn(conn_), nullptr) != 1) {
+    return Status::IoError("COPY end failed: " + ConnError(Conn(conn_)));
+  }
+  PGresult* done = PQgetResult(Conn(conn_));
+  const ExecStatusType done_status = PQresultStatus(done);
+  PQclear(done);
+  if (done_status != PGRES_COMMAND_OK) {
+    return Status::IoError("COPY finish failed: " + ConnError(Conn(conn_)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,56 @@
+#ifndef PTLDB_PGSQL_PG_CLIENT_H_
+#define PTLDB_PGSQL_PG_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Thin RAII wrapper around a libpq connection. Only built when libpq is
+/// available (PTLDB_HAVE_LIBPQ); everything PTLDB needs from PostgreSQL:
+/// command execution, parameterized queries with text results, and COPY
+/// FROM STDIN bulk loading.
+class PgConnection {
+ public:
+  /// Connects using a libpq conninfo string, e.g.
+  /// "host=/tmp/ptldb_pg port=5433 dbname=ptldb user=postgres".
+  static Result<std::unique_ptr<PgConnection>> Connect(
+      const std::string& conninfo);
+
+  ~PgConnection();
+  PgConnection(const PgConnection&) = delete;
+  PgConnection& operator=(const PgConnection&) = delete;
+
+  /// Runs one or more SQL commands, discarding results.
+  Status Exec(const std::string& sql);
+
+  /// Runs a parameterized query; params bind $1..$n as text. Returns all
+  /// result fields as strings ("" for NULL — PTLDB columns are NOT NULL,
+  /// and the aggregate queries return zero rows or non-null values except
+  /// for empty v2v results, which callers detect via IsNull).
+  Result<std::vector<std::vector<std::string>>> Query(
+      const std::string& sql, const std::vector<std::string>& params);
+
+  /// Like Query but also reports per-field NULLness via `nulls` (same
+  /// shape as the result) when non-null.
+  Result<std::vector<std::vector<std::string>>> QueryWithNulls(
+      const std::string& sql, const std::vector<std::string>& params,
+      std::vector<std::vector<bool>>* nulls);
+
+  /// Bulk-loads `payload` (tab-separated COPY text rows, newline
+  /// terminated, without the trailing "\\.") into `table`.
+  Status CopyIn(const std::string& table, std::string_view payload);
+
+ private:
+  explicit PgConnection(void* conn) : conn_(conn) {}
+
+  void* conn_;  // PGconn*; kept as void* so the header needs no libpq-fe.h.
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PGSQL_PG_CLIENT_H_

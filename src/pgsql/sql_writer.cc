@@ -1,0 +1,331 @@
+#include "pgsql/sql_writer.h"
+
+#include <sstream>
+
+namespace ptldb {
+
+namespace {
+
+// Formats one label row as a COPY line: v, then three array literals.
+void AppendLabelCopyLine(std::ostringstream* out, StopId v,
+                         std::span<const LabelTuple> tuples) {
+  *out << v << '\t';
+  const auto append_array = [&](auto field) {
+    *out << '{';
+    bool first = true;
+    for (const LabelTuple& t : tuples) {
+      if (!first) *out << ',';
+      first = false;
+      *out << field(t);
+    }
+    *out << '}';
+  };
+  append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.hub); });
+  *out << '\t';
+  append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.td); });
+  *out << '\t';
+  append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.ta); });
+  *out << '\n';
+}
+
+}  // namespace
+
+std::string LabelTableDdl() {
+  return R"sql(CREATE TABLE lout (
+  v    integer PRIMARY KEY,
+  hubs integer[],
+  tds  integer[],
+  tas  integer[]
+);
+CREATE TABLE lin (
+  v    integer PRIMARY KEY,
+  hubs integer[],
+  tds  integer[],
+  tas  integer[]
+);
+)sql";
+}
+
+std::string TargetSetDdl(const std::string& set_name) {
+  std::ostringstream out;
+  out << "CREATE TABLE knn_naive_" << set_name << " (\n"
+      << "  hub integer,\n  td integer,\n  vs integer[],\n  tas integer[],\n"
+      << "  PRIMARY KEY (hub, td)\n);\n";
+  const auto bucket = [&](const std::string& table, const char* hour,
+                          const char* condensed) {
+    out << "CREATE TABLE " << table << " (\n"
+        << "  hub integer,\n  " << hour << " integer,\n"
+        << "  vs integer[],\n  " << condensed << " integer[],\n"
+        << "  tds_exp integer[],\n  vs_exp integer[],\n  tas_exp integer[],\n"
+        << "  PRIMARY KEY (hub, " << hour << ")\n);\n";
+  };
+  bucket("knn_ea_" + set_name, "dephour", "tas");
+  bucket("knn_ld_" + set_name, "arrhour", "tds");
+  bucket("otm_ea_" + set_name, "dephour", "tas");
+  bucket("otm_ld_" + set_name, "arrhour", "tds");
+  return out.str();
+}
+
+std::string LabelTableCopy(const LabelSet& labels, const std::string& table) {
+  std::ostringstream out;
+  out << "COPY " << table << " (v, hubs, tds, tas) FROM stdin;\n";
+  for (StopId v = 0; v < labels.num_stops(); ++v) {
+    AppendLabelCopyLine(&out, v, labels.tuples(v));
+  }
+  out << "\\.\n";
+  return out.str();
+}
+
+std::string V2vSql(V2vKind kind) {
+  const char* select = "";
+  const char* extra = "";
+  switch (kind) {
+    case V2vKind::kEarliestArrival:
+      select = "SELECT MIN(inp.ta)";
+      extra = "  AND outp.td >= $3\n";
+      break;
+    case V2vKind::kLatestDeparture:
+      select = "SELECT MAX(outp.td)";
+      extra = "  AND inp.ta <= $3\n";
+      break;
+    case V2vKind::kShortestDuration:
+      select = "SELECT MIN(inp.ta - outp.td)";
+      extra = "  AND outp.td >= $3\n  AND inp.ta <= $4\n";
+      break;
+  }
+  std::ostringstream out;
+  out << "WITH outp AS\n"
+      << "  (SELECT UNNEST(hubs) AS hub,\n"
+      << "          UNNEST(tds) AS td,\n"
+      << "          UNNEST(tas) AS ta\n"
+      << "   FROM lout WHERE v = $1),\n"
+      << "inp AS\n"
+      << "  (SELECT UNNEST(hubs) AS hub,\n"
+      << "          UNNEST(tds) AS td,\n"
+      << "          UNNEST(tas) AS ta\n"
+      << "   FROM lin WHERE v = $2)\n"
+      << select << "\n"
+      << "FROM outp, inp\n"
+      << "WHERE outp.hub = inp.hub AND outp.ta <= inp.td\n"
+      << extra;
+  return out.str();
+}
+
+std::string EaKnnNaiveSql(const std::string& set_name) {
+  std::ostringstream out;
+  out << "WITH n1 AS\n"
+      << "  (SELECT v, hub, td, ta\n"
+      << "   FROM (SELECT v,\n"
+      << "                UNNEST(hubs) AS hub,\n"
+      << "                UNNEST(tds) AS td,\n"
+      << "                UNNEST(tas) AS ta\n"
+      << "         FROM lout WHERE v = $1) n1a\n"
+      << "   WHERE td >= $2)\n"
+      << "SELECT v2, MIN(n2.ta)\n"
+      << "FROM n1,\n"
+      << "  (SELECT hub, td,\n"
+      << "          UNNEST(vs[1:$3]) AS v2,\n"
+      << "          UNNEST(tas[1:$3]) AS ta\n"
+      << "   FROM knn_naive_" << set_name << ") n2\n"
+      << "WHERE n1.hub = n2.hub\n"
+      << "  AND n2.td >= n1.ta\n"
+      << "GROUP BY v2\n"
+      << "ORDER BY MIN(n2.ta), v2\n"
+      << "LIMIT $3\n";
+  return out.str();
+}
+
+std::string LdKnnNaiveSql(const std::string& set_name) {
+  std::ostringstream out;
+  out << "WITH n1 AS\n"
+      << "  (SELECT v, hub, td, ta\n"
+      << "   FROM (SELECT v,\n"
+      << "                UNNEST(hubs) AS hub,\n"
+      << "                UNNEST(tds) AS td,\n"
+      << "                UNNEST(tas) AS ta\n"
+      << "         FROM lout WHERE v = $1) n1a)\n"
+      << "SELECT v2, MAX(n1_td)\n"
+      << "FROM (SELECT n1.td AS n1_td, n2.v2, n2.ta\n"
+      << "      FROM n1,\n"
+      << "        (SELECT hub, td,\n"
+      << "                UNNEST(vs[1:$3]) AS v2,\n"
+      << "                UNNEST(tas[1:$3]) AS ta\n"
+      << "         FROM knn_naive_" << set_name << ") n2\n"
+      << "      WHERE n1.hub = n2.hub\n"
+      << "        AND n2.td >= n1.ta\n"
+      << "        AND n2.ta <= $2) j\n"
+      << "GROUP BY v2\n"
+      << "ORDER BY MAX(n1_td) DESC, v2\n"
+      << "LIMIT $3\n";
+  return out.str();
+}
+
+namespace {
+
+// Code 3 of the paper; knn = true gives the EA-kNN flavor (LIMIT $3 and
+// vs[1:$3] slices), knn = false the EA-OTM flavor.
+std::string EaBucketSql(const std::string& table, bool knn) {
+  const std::string limit = knn ? "   LIMIT $3\n" : "";
+  const std::string slice = knn ? "[1:$3]" : "";
+  std::ostringstream out;
+  out << "WITH n1 AS\n"
+      << "  (SELECT v, hub, td, ta\n"
+      << "   FROM (SELECT v,\n"
+      << "                UNNEST(hubs) AS hub,\n"
+      << "                UNNEST(tds) AS td,\n"
+      << "                UNNEST(tas) AS ta\n"
+      << "         FROM lout WHERE v = $1) n1a\n"
+      << "   WHERE td >= $2),\n"
+      << "n1b AS\n"
+      << "  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td\n"
+      << "   FROM " << table << " n1bb, n1\n"
+      << "   WHERE n1bb.hub = n1.hub\n"
+      << "     AND n1bb.dephour = FLOOR(n1.ta / 3600))\n"
+      << "SELECT v2, MIN(ta)\n"
+      << "FROM (\n"
+      << "  (SELECT v2, MIN(n3.ta) AS ta\n"
+      << "   FROM (SELECT UNNEST(tas" << slice << ") AS ta,\n"
+      << "                UNNEST(vs" << slice << ") AS v2\n"
+      << "         FROM n1b) n3\n"
+      << "   GROUP BY v2\n"
+      << "   ORDER BY MIN(n3.ta), v2\n"
+      << limit << "  )\n"
+      << "  UNION\n"
+      << "  (SELECT n2.v2, MIN(n2.ta) AS ta\n"
+      << "   FROM (SELECT n1_ta,\n"
+      << "                UNNEST(tds_exp) AS td,\n"
+      << "                UNNEST(vs_exp) AS v2,\n"
+      << "                UNNEST(tas_exp) AS ta\n"
+      << "         FROM n1b) n2\n"
+      << "   WHERE n1_ta <= n2.td\n"
+      << "   GROUP BY n2.v2\n"
+      << "   ORDER BY MIN(n2.ta), v2\n"
+      << limit << "  )) s53\n"
+      << "GROUP BY v2\n"
+      << "ORDER BY MIN(ta), v2\n"
+      << (knn ? "LIMIT $3\n" : "");
+  return out.str();
+}
+
+// Code 4 of the paper; the arrival-hour bucket arrives as the last
+// parameter ($4 for kNN, $3 for OTM), computed client-side as
+// LEAST(FLOOR(t/3600), max event hour).
+std::string LdBucketSql(const std::string& table, bool knn) {
+  const std::string limit = knn ? "   LIMIT $3\n" : "";
+  const std::string slice = knn ? "[1:$3]" : "";
+  const char* hour_param = knn ? "$4" : "$3";
+  std::ostringstream out;
+  out << "WITH n1 AS\n"
+      << "  (SELECT v, hub, td, ta\n"
+      << "   FROM (SELECT v,\n"
+      << "                UNNEST(hubs) AS hub,\n"
+      << "                UNNEST(tds) AS td,\n"
+      << "                UNNEST(tas) AS ta\n"
+      << "         FROM lout WHERE v = $1) n1a),\n"
+      << "n1b AS\n"
+      << "  (SELECT n1bb.*, n1.ta AS n1_ta, n1.td AS n1_td\n"
+      << "   FROM " << table << " n1bb, n1\n"
+      << "   WHERE n1bb.hub = n1.hub\n"
+      << "     AND n1bb.arrhour = " << hour_param << ")\n"
+      << "SELECT v2, MAX(td)\n"
+      << "FROM (\n"
+      << "  (SELECT v2, MAX(n3.n1_td) AS td\n"
+      << "   FROM (SELECT n1_td, n1_ta,\n"
+      << "                UNNEST(tds" << slice << ") AS td,\n"
+      << "                UNNEST(vs" << slice << ") AS v2\n"
+      << "         FROM n1b) n3\n"
+      << "   WHERE n3.td >= n1_ta\n"
+      << "   GROUP BY v2\n"
+      << "   ORDER BY MAX(n3.n1_td) DESC, v2\n"
+      << limit << "  )\n"
+      << "  UNION\n"
+      << "  (SELECT n2.v2, MAX(n2.n1_td) AS td\n"
+      << "   FROM (SELECT n1_td, n1_ta,\n"
+      << "                UNNEST(tds_exp) AS td,\n"
+      << "                UNNEST(vs_exp) AS v2,\n"
+      << "                UNNEST(tas_exp) AS ta\n"
+      << "         FROM n1b) n2\n"
+      << "   WHERE n2.td >= n1_ta\n"
+      << "     AND n2.ta <= $2\n"
+      << "   GROUP BY n2.v2\n"
+      << "   ORDER BY MAX(n2.n1_td) DESC, v2\n"
+      << limit << "  )) s53\n"
+      << "GROUP BY v2\n"
+      << "ORDER BY MAX(td) DESC, v2\n"
+      << (knn ? "LIMIT $3\n" : "");
+  return out.str();
+}
+
+}  // namespace
+
+std::string EaKnnSql(const std::string& set_name) {
+  return EaBucketSql("knn_ea_" + set_name, /*knn=*/true);
+}
+
+std::string EaOtmSql(const std::string& set_name) {
+  return EaBucketSql("otm_ea_" + set_name, /*knn=*/false);
+}
+
+std::string LdKnnSql(const std::string& set_name) {
+  return LdBucketSql("knn_ld_" + set_name, /*knn=*/true);
+}
+
+std::string LdOtmSql(const std::string& set_name) {
+  return LdBucketSql("otm_ld_" + set_name, /*knn=*/false);
+}
+
+std::string NaiveTableConstructionSql(const std::string& set_name,
+                                      const std::vector<StopId>& targets,
+                                      uint32_t kmax) {
+  std::ostringstream values;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) values << ", ";
+    values << "(" << targets[i] << ")";
+  }
+  std::ostringstream out;
+  out << "CREATE TABLE knn_naive_" << set_name << " AS\n"
+      << "WITH tup AS\n"
+      << "  (SELECT x.hub, x.td, x.ta, x.v\n"
+      << "   FROM (SELECT v,\n"
+      << "                UNNEST(hubs) AS hub,\n"
+      << "                UNNEST(tds) AS td,\n"
+      << "                UNNEST(tas) AS ta\n"
+      << "         FROM lin\n"
+      << "         WHERE v IN (SELECT t FROM (VALUES " << values.str()
+      << ") AS targets(t))) x),\n"
+      << "best AS\n"
+      << "  (SELECT hub, td, v, MIN(ta) AS ta\n"
+      << "   FROM tup GROUP BY hub, td, v),\n"
+      << "ranked AS\n"
+      << "  (SELECT hub, td, v, ta,\n"
+      << "          ROW_NUMBER() OVER (PARTITION BY hub, td\n"
+      << "                             ORDER BY ta, v) AS rn\n"
+      << "   FROM best)\n"
+      << "SELECT hub, td,\n"
+      << "       ARRAY_AGG(v ORDER BY ta, v)\n"
+      << "         FILTER (WHERE rn <= " << kmax << ") AS vs,\n"
+      << "       ARRAY_AGG(ta ORDER BY ta, v)\n"
+      << "         FILTER (WHERE rn <= " << kmax << ") AS tas\n"
+      << "FROM ranked\n"
+      << "GROUP BY hub, td;\n"
+      << "ALTER TABLE knn_naive_" << set_name
+      << " ADD PRIMARY KEY (hub, td);\n";
+  return out.str();
+}
+
+std::string FullExportScript(const TtlIndex& index) {
+  std::ostringstream out;
+  out << "-- PTLDB export: lout/lin label tables for "
+      << index.num_stops() << " stops.\n"
+      << "-- Generated by the ptldb library; run through psql.\n"
+      << "BEGIN;\n"
+      << LabelTableDdl() << LabelTableCopy(index.out, "lout")
+      << LabelTableCopy(index.in, "lin") << "COMMIT;\n"
+      << "ANALYZE lout;\nANALYZE lin;\n"
+      << "-- Example (Code 1, earliest arrival with s, g, t inlined via "
+         "\\set):\n"
+      << "-- " << "psql -v s=0 -v g=1 -v t=28800 ...\n";
+  return out.str();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,118 @@
+#include "ptldb/ptldb.h"
+
+#include "ptldb/queries.h"
+#include "ptldb/tables.h"
+
+namespace ptldb {
+
+Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
+    const TtlIndex& index, const PtldbOptions& options) {
+  std::unique_ptr<PtldbDatabase> db(new PtldbDatabase(options));
+  PTLDB_RETURN_IF_ERROR(BuildLabelTables(index, &db->db_));
+  db->num_stops_ = index.num_stops();
+  db->max_event_time_ =
+      ComputeBucketRange(index, /*bucket_seconds=*/1).max_bucket;
+  return db;
+}
+
+Status PtldbDatabase::AddTargetSet(const std::string& name,
+                                   const TtlIndex& index,
+                                   const std::vector<StopId>& targets,
+                                   uint32_t kmax,
+                                   Timestamp bucket_seconds) {
+  if (index.num_stops() != num_stops_) {
+    return Status::InvalidArgument("index does not match this database");
+  }
+  if (target_sets_.count(name) != 0) {
+    return Status::InvalidArgument("target set exists: " + name);
+  }
+  if (bucket_seconds <= 0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  PTLDB_RETURN_IF_ERROR(
+      BuildTargetSetTables(index, targets, kmax, name, &db_, bucket_seconds));
+  TargetSetInfo info;
+  info.kmax = kmax;
+  info.bucket_seconds = bucket_seconds;
+  info.max_bucket = max_event_time_ / bucket_seconds;
+  target_sets_.emplace(name, std::move(info));
+  return Status::Ok();
+}
+
+Timestamp PtldbDatabase::EarliestArrival(StopId s, StopId g, Timestamp t) {
+  return QueryV2vEa(&db_, s, g, t);
+}
+
+Timestamp PtldbDatabase::LatestDeparture(StopId s, StopId g,
+                                         Timestamp t_end) {
+  return QueryV2vLd(&db_, s, g, t_end);
+}
+
+Timestamp PtldbDatabase::ShortestDuration(StopId s, StopId g, Timestamp t,
+                                          Timestamp t_end) {
+  return QueryV2vSd(&db_, s, g, t, t_end);
+}
+
+Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
+    const std::string& set_name, uint32_t k) const {
+  const auto it = target_sets_.find(set_name);
+  if (it == target_sets_.end()) {
+    return Status::NotFound("unknown target set: " + set_name);
+  }
+  if (k > it->second.kmax) {
+    return Status::InvalidArgument("k exceeds the set's kmax");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  return &it->second;
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  auto info = ValidateSet(set_name, k);
+  if (!info.ok()) return info.status();
+  return QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds);
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  auto info = ValidateSet(set_name, k);
+  if (!info.ok()) return info.status();
+  return QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                    (*info)->max_bucket);
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  auto info = ValidateSet(set_name, k);
+  if (!info.ok()) return info.status();
+  return QueryEaKnnNaive(&db_, set_name, q, t, k);
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  auto info = ValidateSet(set_name, k);
+  if (!info.ok()) return info.status();
+  return QueryLdKnnNaive(&db_, set_name, q, t, k);
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
+    const std::string& set_name, StopId q, Timestamp t) {
+  auto info = ValidateSet(set_name, 1);
+  if (!info.ok()) return info.status();
+  return QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds);
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
+    const std::string& set_name, StopId q, Timestamp t) {
+  auto info = ValidateSet(set_name, 1);
+  if (!info.ok()) return info.status();
+  return QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                    (*info)->max_bucket);
+}
+
+void PtldbDatabase::ResetIoStats() {
+  device_->ResetStats();
+  db_.buffer_pool()->ResetStats();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,125 @@
+#ifndef PTLDB_PTLDB_PTLDB_H_
+#define PTLDB_PTLDB_PTLDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "timetable/types.h"
+#include "ttl/label.h"
+
+namespace ptldb {
+
+/// Options for building a PtldbDatabase.
+struct PtldbOptions {
+  /// Simulated storage device backing the database (see DESIGN.md).
+  DeviceProfile device = DeviceProfile::Hdd7200();
+  /// Buffer-pool capacity in 8 KiB pages. The paper configures 8 GiB of
+  /// shared buffers — far above its dataset sizes — so the default is
+  /// effectively unbounded.
+  uint64_t buffer_pool_pages = 1u << 20;
+};
+
+/// The PTLDB system of the paper: TTL labels stored in database tables plus
+/// the seven query types, executed against the embedded storage engine.
+///
+/// Typical use:
+///   auto index = BuildTtlIndex(timetable);
+///   auto db = PtldbDatabase::Build(*index);
+///   db->AddTargetSet("poi", *index, poi_stops, /*kmax=*/16);
+///   db->EarliestArrival(s, g, t);
+///   db->EaKnn("poi", q, t, 4);
+///
+/// For the paper's actual pure-SQL deployment on PostgreSQL, see
+/// src/pgsql (SqlWriter emits the DDL/COPY/queries; PgBackend runs them).
+class PtldbDatabase {
+ public:
+  /// Builds the lout/lin tables from a TTL index (which must include the
+  /// dummy tuples of Section 3.1 — the default of BuildTtlIndex).
+  static Result<std::unique_ptr<PtldbDatabase>> Build(
+      const TtlIndex& index, const PtldbOptions& options = {});
+
+  /// Builds the kNN and one-to-many tables for a fixed target set
+  /// (Sections 3.2-3.3). `kmax` caps the k serviced by the kNN tables;
+  /// `bucket_seconds` is the (hub, hour) grouping interval (one hour in the
+  /// paper; Section 3.2.1 discusses the tradeoff).
+  Status AddTargetSet(const std::string& name, const TtlIndex& index,
+                      const std::vector<StopId>& targets, uint32_t kmax,
+                      Timestamp bucket_seconds = kSecondsPerHour);
+
+  // --- Vertex-to-vertex queries (Code 1) ---
+  Timestamp EarliestArrival(StopId s, StopId g, Timestamp t);
+  Timestamp LatestDeparture(StopId s, StopId g, Timestamp t_end);
+  Timestamp ShortestDuration(StopId s, StopId g, Timestamp t,
+                             Timestamp t_end);
+
+  // --- kNN queries (Section 3.2); k must be <= the set's kmax ---
+  Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
+                                            StopId q, Timestamp t, uint32_t k);
+  Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
+                                            StopId q, Timestamp t, uint32_t k);
+  /// The naive baselines of Code 2 (Figure 3 compares against these).
+  Result<std::vector<StopTimeResult>> EaKnnNaive(const std::string& set_name,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+  Result<std::vector<StopTimeResult>> LdKnnNaive(const std::string& set_name,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+
+  // --- One-to-many queries (Section 3.3) ---
+  Result<std::vector<StopTimeResult>> EaOneToMany(const std::string& set_name,
+                                                  StopId q, Timestamp t);
+  Result<std::vector<StopTimeResult>> LdOneToMany(const std::string& set_name,
+                                                  StopId q, Timestamp t);
+
+  // --- Administration / instrumentation ---
+  /// Cold-cache reset, like the paper's server restart between experiments.
+  void DropCaches() { db_.DropCaches(); }
+  /// Modeled I/O time accumulated since the last ResetIoStats().
+  uint64_t io_time_ns() const { return device_->total_ns(); }
+  void ResetIoStats();
+  /// Total table footprint in bytes (heap + index pages).
+  uint64_t size_bytes() const { return db_.total_size_bytes(); }
+
+  EngineDatabase* engine() { return &db_; }
+  uint32_t num_stops() const { return num_stops_; }
+
+  /// Metadata of a registered target set.
+  struct TargetSetInfo {
+    std::string name;
+    uint32_t kmax = 0;
+    Timestamp bucket_seconds = kSecondsPerHour;
+    int32_t max_bucket = 0;  ///< LD deadlines clamp to this bucket.
+  };
+  /// Registered target sets, in name order.
+  std::vector<TargetSetInfo> target_sets() const {
+    std::vector<TargetSetInfo> out;
+    for (const auto& [name, info] : target_sets_) {
+      TargetSetInfo copy = info;
+      copy.name = name;
+      out.push_back(std::move(copy));
+    }
+    return out;
+  }
+
+ private:
+  explicit PtldbDatabase(const PtldbOptions& options)
+      : db_(options.device, options.buffer_pool_pages),
+        device_(db_.device()) {}
+
+  Result<const TargetSetInfo*> ValidateSet(const std::string& set_name,
+                                           uint32_t k) const;
+
+  EngineDatabase db_;
+  StorageDevice* device_;
+  uint32_t num_stops_ = 0;
+  Timestamp max_event_time_ = 0;
+  std::map<std::string, TargetSetInfo> target_sets_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PTLDB_PTLDB_H_

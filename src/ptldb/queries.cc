@@ -1,0 +1,442 @@
+#include "ptldb/queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "engine/exec.h"
+#include "ptldb/tables.h"
+
+namespace ptldb {
+
+namespace {
+
+// ---------- Code 1: vertex-to-vertex over the lout/lin array rows ----------
+
+// A fetched label row viewed as three parallel arrays sorted by (hub, td).
+struct LabelRowView {
+  const std::vector<int32_t>& hubs;
+  const std::vector<int32_t>& tds;
+  const std::vector<int32_t>& tas;
+
+  explicit LabelRowView(const Row& row)
+      : hubs(row[1].AsArray()), tds(row[2].AsArray()), tas(row[3].AsArray()) {}
+
+  size_t size() const { return hubs.size(); }
+};
+
+// First index in [lo, hi) with td >= t (group is Pareto: td ascending).
+size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
+                      Timestamp t) {
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (v.tds[mid] >= t) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// Last index in [lo, hi) with ta <= t, or hi when none.
+size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi, Timestamp t) {
+  size_t l = lo;
+  size_t h = hi;
+  while (l < h) {
+    const size_t mid = l + (h - l) / 2;
+    if (v.tas[mid] <= t) {
+      l = mid + 1;
+    } else {
+      h = mid;
+    }
+  }
+  return l == lo ? hi : l - 1;
+}
+
+// Runs `fn(a_lo, a_hi, b_lo, b_hi)` for every hub present in both rows.
+template <typename Fn>
+void MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int32_t ha = a.hubs[i];
+    const int32_t hb = b.hubs[j];
+    if (ha < hb) {
+      while (i < a.size() && a.hubs[i] == ha) ++i;
+    } else if (hb < ha) {
+      while (j < b.size() && b.hubs[j] == hb) ++j;
+    } else {
+      size_t i2 = i;
+      size_t j2 = j;
+      while (i2 < a.size() && a.hubs[i2] == ha) ++i2;
+      while (j2 < b.size() && b.hubs[j2] == ha) ++j2;
+      fn(i, i2, j, j2);
+      i = i2;
+      j = j2;
+    }
+  }
+}
+
+// Fetches the single label row of `v`; nullopt when the stop is unknown.
+std::optional<Row> FetchLabelRow(EngineDatabase* db, const char* table_name,
+                                 StopId v) {
+  const EngineTable* table = db->FindTable(table_name);
+  assert(table != nullptr && "label tables not built");
+  return table->Get(static_cast<IndexKey>(v), db->buffer_pool());
+}
+
+// ---------- Shared plan pieces for Codes 2-4 ----------
+
+// n1 of Codes 2-4: UNNEST the lout row of q into (hub, td, ta) rows.
+OperatorPtr MakeN1(EngineDatabase* db, StopId q) {
+  const EngineTable* lout = db->FindTable(kLoutTable);
+  assert(lout != nullptr);
+  return MakeUnnest(
+      MakeIndexLookup(lout, static_cast<IndexKey>(q), db->buffer_pool()), {},
+      {1, 2, 3});
+}
+
+// Final rows (stop, time) -> results sorted like the paper's ORDER BY.
+std::vector<StopTimeResult> CollectResults(OperatorPtr plan) {
+  std::vector<StopTimeResult> out;
+  while (auto row = plan->Next()) {
+    out.push_back({static_cast<StopId>((*row)[0].AsInt()), (*row)[1].AsInt()});
+  }
+  return out;
+}
+
+std::function<bool(const Row&, const Row&)> OrderByTimeAscStopAsc() {
+  return [](const Row& a, const Row& b) {
+    const int32_t ta = a[1].AsInt();
+    const int32_t tb = b[1].AsInt();
+    return ta != tb ? ta < tb : a[0].AsInt() < b[0].AsInt();
+  };
+}
+
+std::function<bool(const Row&, const Row&)> OrderByTimeDescStopAsc() {
+  return [](const Row& a, const Row& b) {
+    const int32_t ta = a[1].AsInt();
+    const int32_t tb = b[1].AsInt();
+    return ta != tb ? ta > tb : a[0].AsInt() < b[0].AsInt();
+  };
+}
+
+// GROUP BY v2 + ORDER BY + optional LIMIT tail shared by all plans.
+OperatorPtr FinishEa(OperatorPtr plan, uint32_t k) {
+  plan = MakeHashAggregate(std::move(plan), 0, 1, AggFn::kMin);
+  plan = MakeSort(std::move(plan), OrderByTimeAscStopAsc());
+  if (k != 0) plan = MakeLimit(std::move(plan), k);
+  return plan;
+}
+
+OperatorPtr FinishLd(OperatorPtr plan, uint32_t k) {
+  plan = MakeHashAggregate(std::move(plan), 0, 1, AggFn::kMax);
+  plan = MakeSort(std::move(plan), OrderByTimeDescStopAsc());
+  if (k != 0) plan = MakeLimit(std::move(plan), k);
+  return plan;
+}
+
+}  // namespace
+
+
+namespace {
+
+// The three Code 1 flavors share one plan skeleton; `kind` picks the
+// aggregate and the timestamp predicates.
+enum class V2vPlanKind { kEa, kLd, kSd };
+
+// UNNESTs one label row into (hub, td, ta) rows, like the CTEs of Code 1.
+OperatorPtr UnnestLabelRow(EngineDatabase* db, const char* table_name,
+                           StopId v) {
+  const EngineTable* table = db->FindTable(table_name);
+  assert(table != nullptr && "label tables not built");
+  return MakeUnnest(
+      MakeIndexLookup(table, static_cast<IndexKey>(v), db->buffer_pool()), {},
+      {1, 2, 3});
+}
+
+Timestamp RunV2vPlan(EngineDatabase* db, StopId s, StopId g, Timestamp t,
+                     Timestamp t_end, V2vPlanKind kind) {
+  // outp: (hub, td, ta) from lout[s]; inp: (hub, td, ta) from lin[g].
+  OperatorPtr outp = UnnestLabelRow(db, kLoutTable, s);
+  if (kind != V2vPlanKind::kLd) {
+    outp = MakeFilter(std::move(outp),
+                      [t](const Row& r) { return r[1].AsInt() >= t; });
+  }
+  OperatorPtr inp = UnnestLabelRow(db, kLinTable, g);
+  if (kind != V2vPlanKind::kEa) {
+    inp = MakeFilter(std::move(inp),
+                     [t_end](const Row& r) { return r[2].AsInt() <= t_end; });
+  }
+  // Hash join on hub (outp is the probe side), then the residual
+  // outp.ta <= inp.td predicate. Joined columns: 0 hub, 1 out_td, 2 out_ta,
+  // 3 hub, 4 in_td, 5 in_ta.
+  OperatorPtr joined = MakeHashJoin(std::move(outp), std::move(inp), 0, 0);
+  joined = MakeFilter(std::move(joined), [](const Row& r) {
+    return r[2].AsInt() <= r[4].AsInt();
+  });
+  Timestamp best =
+      kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
+  while (auto row = joined->Next()) {
+    switch (kind) {
+      case V2vPlanKind::kEa:
+        best = std::min(best, (*row)[5].AsInt());
+        break;
+      case V2vPlanKind::kLd:
+        best = std::max(best, (*row)[1].AsInt());
+        break;
+      case V2vPlanKind::kSd:
+        best = std::min(best, (*row)[5].AsInt() - (*row)[1].AsInt());
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Timestamp QueryV2vEa(EngineDatabase* db, StopId s, StopId g, Timestamp t) {
+  return RunV2vPlan(db, s, g, t, 0, V2vPlanKind::kEa);
+}
+
+Timestamp QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
+                     Timestamp t_end) {
+  return RunV2vPlan(db, s, g, 0, t_end, V2vPlanKind::kLd);
+}
+
+Timestamp QueryV2vSd(EngineDatabase* db, StopId s, StopId g, Timestamp t,
+                     Timestamp t_end) {
+  return RunV2vPlan(db, s, g, t, t_end, V2vPlanKind::kSd);
+}
+
+Timestamp QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
+                              Timestamp t) {
+  const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  const auto in_row = FetchLabelRow(db, kLinTable, g);
+  if (!out_row || !in_row) return kInfinityTime;
+  const LabelRowView outp(*out_row);
+  const LabelRowView inp(*in_row);
+  Timestamp best = kInfinityTime;
+  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
+                                 size_t b_hi) {
+    const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
+    if (l1 == a_hi) return;
+    const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
+    if (l2 == b_hi) return;
+    best = std::min(best, inp.tas[l2]);
+  });
+  return best;
+}
+
+Timestamp QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                              Timestamp t_end) {
+  const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  const auto in_row = FetchLabelRow(db, kLinTable, g);
+  if (!out_row || !in_row) return kNegInfinityTime;
+  const LabelRowView outp(*out_row);
+  const LabelRowView inp(*in_row);
+  Timestamp best = kNegInfinityTime;
+  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
+                                 size_t b_hi) {
+    const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
+    if (l2 == b_hi) return;
+    const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
+    if (l1 == a_hi) return;
+    best = std::max(best, outp.tds[l1]);
+  });
+  return best;
+}
+
+Timestamp QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                              Timestamp t, Timestamp t_end) {
+  const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  const auto in_row = FetchLabelRow(db, kLinTable, g);
+  if (!out_row || !in_row) return kInfinityTime;
+  const LabelRowView outp(*out_row);
+  const LabelRowView inp(*in_row);
+  Timestamp best = kInfinityTime;
+  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
+                                 size_t b_hi) {
+    size_t l2 = b_lo;
+    for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi; ++l1) {
+      while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
+      if (l2 == b_hi || inp.tas[l2] > t_end) break;
+      best = std::min(best, inp.tas[l2] - outp.tds[l1]);
+    }
+  });
+  return best;
+}
+
+std::vector<StopTimeResult> QueryEaKnnNaive(EngineDatabase* db,
+                                            const std::string& set_name,
+                                            StopId q, Timestamp t,
+                                            uint32_t k) {
+  const EngineTable* naive = db->FindTable(NaiveKnnTableName(set_name));
+  assert(naive != nullptr && "target set not registered");
+  BufferPool* pool = db->buffer_pool();
+
+  OperatorPtr n1 = MakeFilter(
+      MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
+  // Join every l1 with all naive rows (hub = l1.hub, td >= l1.ta).
+  OperatorPtr n2 = MakeIndexRangeJoin(
+      std::move(n1), naive,
+      [](const Row& r) { return MakeCompositeKey(r[0].AsInt(), r[2].AsInt()); },
+      [](const Row& r) {
+        return MakeCompositeKey(r[0].AsInt(),
+                                std::numeric_limits<int32_t>::max());
+      },
+      pool);
+  // Expand vs[1:k], tas[1:k] -> (v2, ta).
+  OperatorPtr expanded = MakeUnnest(std::move(n2), {}, {5, 6}, k);
+  return CollectResults(FinishEa(std::move(expanded), k));
+}
+
+std::vector<StopTimeResult> QueryLdKnnNaive(EngineDatabase* db,
+                                            const std::string& set_name,
+                                            StopId q, Timestamp t,
+                                            uint32_t k) {
+  const EngineTable* naive = db->FindTable(NaiveKnnTableName(set_name));
+  assert(naive != nullptr && "target set not registered");
+  BufferPool* pool = db->buffer_pool();
+
+  OperatorPtr n2 = MakeIndexRangeJoin(
+      MakeN1(db, q), naive,
+      [](const Row& r) { return MakeCompositeKey(r[0].AsInt(), r[2].AsInt()); },
+      [](const Row& r) {
+        return MakeCompositeKey(r[0].AsInt(),
+                                std::numeric_limits<int32_t>::max());
+      },
+      pool);
+  // Keep n1_td, expand vs[1:k]/tas[1:k] -> (n1_td, v2, ta2).
+  OperatorPtr expanded = MakeUnnest(std::move(n2), {1}, {5, 6}, k);
+  OperatorPtr feasible = MakeFilter(
+      std::move(expanded), [t](const Row& r) { return r[2].AsInt() <= t; });
+  OperatorPtr projected =
+      MakeProject(std::move(feasible),
+                  [](const Row& r) { return Row{r[1], r[0]}; });
+  return CollectResults(FinishLd(std::move(projected), k));
+}
+
+namespace {
+
+// Shared body of Code 3 (EA kNN/OTM): k == 0 selects the OTM variant.
+std::vector<StopTimeResult> EaBucketQuery(EngineDatabase* db,
+                                          const std::string& table_name,
+                                          StopId q, Timestamp t, uint32_t k,
+                                          Timestamp bucket_seconds) {
+  const EngineTable* bucket = db->FindTable(table_name);
+  assert(bucket != nullptr && "target set not registered");
+  BufferPool* pool = db->buffer_pool();
+
+  OperatorPtr n1 = MakeFilter(
+      MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
+  OperatorPtr n1b_plan = MakeIndexJoin(
+      std::move(n1), bucket,
+      [bucket_seconds](const Row& r) {
+        return MakeCompositeKey(r[0].AsInt(), r[2].AsInt() / bucket_seconds);
+      },
+      pool);
+  // n1b columns: 0 hub, 1 n1_td, 2 n1_ta | 3 hub, 4 dephour, 5 vs, 6 tas,
+  // 7 tds_exp, 8 vs_exp, 9 tas_exp.
+  std::vector<Row> n1b = Execute(n1b_plan.get());
+
+  // Branch A: condensed top-k columns (departures after the bucket hour).
+  OperatorPtr a = MakeUnnest(MakeVectorSource(n1b), {}, {5, 6}, k);
+  a = FinishEa(std::move(a), k);
+
+  // Branch B: expanded in-bucket tuples, still checking l1.ta <= l2.td.
+  OperatorPtr b = MakeUnnest(MakeVectorSource(std::move(n1b)), {2}, {7, 8, 9});
+  b = MakeFilter(std::move(b),
+                 [](const Row& r) { return r[0].AsInt() <= r[1].AsInt(); });
+  b = MakeProject(std::move(b), [](const Row& r) { return Row{r[2], r[3]}; });
+  b = FinishEa(std::move(b), k);
+
+  std::vector<OperatorPtr> branches;
+  branches.push_back(std::move(a));
+  branches.push_back(std::move(b));
+  return CollectResults(FinishEa(MakeConcat(std::move(branches)), k));
+}
+
+// Shared body of Code 4 (LD kNN/OTM): k == 0 selects the OTM variant.
+std::vector<StopTimeResult> LdBucketQuery(EngineDatabase* db,
+                                          const std::string& table_name,
+                                          StopId q, Timestamp t, uint32_t k,
+                                          Timestamp bucket_seconds,
+                                          int32_t max_bucket) {
+  const EngineTable* bucket = db->FindTable(table_name);
+  assert(bucket != nullptr && "target set not registered");
+  BufferPool* pool = db->buffer_pool();
+
+  const int32_t arrhour = std::min(t / bucket_seconds, max_bucket);
+  OperatorPtr n1b_plan = MakeIndexJoin(
+      MakeN1(db, q), bucket,
+      [arrhour](const Row& r) {
+        return MakeCompositeKey(r[0].AsInt(), arrhour);
+      },
+      pool);
+  // n1b columns: 0 hub, 1 n1_td, 2 n1_ta | 3 hub, 4 arrhour, 5 vs, 6 tds,
+  // 7 tds_exp, 8 vs_exp, 9 tas_exp.
+  std::vector<Row> n1b = Execute(n1b_plan.get());
+
+  // Branch A: condensed top-k (arrivals before the bucket hour); the label
+  // departure must still be boardable: l2.td >= l1.ta.
+  OperatorPtr a = MakeUnnest(MakeVectorSource(n1b), {1, 2}, {6, 5}, k);
+  // Columns: 0 n1_td, 1 n1_ta, 2 td2, 3 v2.
+  a = MakeFilter(std::move(a),
+                 [](const Row& r) { return r[2].AsInt() >= r[1].AsInt(); });
+  a = MakeProject(std::move(a), [](const Row& r) { return Row{r[3], r[0]}; });
+  a = FinishLd(std::move(a), k);
+
+  // Branch B: expanded in-bucket tuples with both feasibility checks.
+  OperatorPtr b =
+      MakeUnnest(MakeVectorSource(std::move(n1b)), {1, 2}, {7, 8, 9});
+  // Columns: 0 n1_td, 1 n1_ta, 2 td2, 3 v2, 4 ta2.
+  b = MakeFilter(std::move(b), [t](const Row& r) {
+    return r[2].AsInt() >= r[1].AsInt() && r[4].AsInt() <= t;
+  });
+  b = MakeProject(std::move(b), [](const Row& r) { return Row{r[3], r[0]}; });
+  b = FinishLd(std::move(b), k);
+
+  std::vector<OperatorPtr> branches;
+  branches.push_back(std::move(a));
+  branches.push_back(std::move(b));
+  return CollectResults(FinishLd(MakeConcat(std::move(branches)), k));
+}
+
+}  // namespace
+
+std::vector<StopTimeResult> QueryEaKnn(EngineDatabase* db,
+                                       const std::string& set_name, StopId q,
+                                       Timestamp t, uint32_t k,
+                                       Timestamp bucket_seconds) {
+  assert(k > 0);
+  return EaBucketQuery(db, KnnEaTableName(set_name), q, t, k, bucket_seconds);
+}
+
+std::vector<StopTimeResult> QueryEaOtm(EngineDatabase* db,
+                                       const std::string& set_name, StopId q,
+                                       Timestamp t, Timestamp bucket_seconds) {
+  return EaBucketQuery(db, OtmEaTableName(set_name), q, t, /*k=*/0,
+                       bucket_seconds);
+}
+
+std::vector<StopTimeResult> QueryLdKnn(EngineDatabase* db,
+                                       const std::string& set_name, StopId q,
+                                       Timestamp t, uint32_t k,
+                                       Timestamp bucket_seconds,
+                                       int32_t max_bucket) {
+  assert(k > 0);
+  return LdBucketQuery(db, KnnLdTableName(set_name), q, t, k, bucket_seconds,
+                       max_bucket);
+}
+
+std::vector<StopTimeResult> QueryLdOtm(EngineDatabase* db,
+                                       const std::string& set_name, StopId q,
+                                       Timestamp t, Timestamp bucket_seconds,
+                                       int32_t max_bucket) {
+  return LdBucketQuery(db, OtmLdTableName(set_name), q, t, /*k=*/0,
+                       bucket_seconds, max_bucket);
+}
+
+}  // namespace ptldb

@@ -1,0 +1,115 @@
+#include "ptldb/service_calendar.h"
+
+#include <algorithm>
+
+#include "ttl/builder.h"
+
+namespace ptldb {
+
+namespace {
+
+// Two feeds service the same period when their connection multisets match
+// (stop ids are shared across weekday extractions of one feed, so direct
+// comparison is sound).
+bool SameTimetable(const Timetable& a, const Timetable& b) {
+  if (a.num_stops() != b.num_stops() ||
+      a.num_connections() != b.num_connections()) {
+    return false;
+  }
+  const auto ca = a.connections();
+  const auto cb = b.connections();
+  for (size_t i = 0; i < ca.size(); ++i) {
+    // Trip ids may be numbered differently between extractions; compare
+    // the schedule shape only.
+    if (ca[i].from != cb[i].from || ca[i].to != cb[i].to ||
+        ca[i].dep != cb[i].dep || ca[i].arr != cb[i].arr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr Weekday kAllDays[] = {
+    Weekday::kMonday,   Weekday::kTuesday, Weekday::kWednesday,
+    Weekday::kThursday, Weekday::kFriday,  Weekday::kSaturday,
+    Weekday::kSunday};
+
+}  // namespace
+
+Result<std::unique_ptr<CalendarPtldb>> CalendarPtldb::FromGtfs(
+    const std::string& gtfs_directory, const Options& options) {
+  std::unique_ptr<CalendarPtldb> calendar(new CalendarPtldb());
+  for (const Weekday day : kAllDays) {
+    GtfsOptions gtfs_options;
+    gtfs_options.weekday = day;
+    auto feed = LoadGtfs(gtfs_directory, gtfs_options);
+    if (!feed.ok()) return feed.status();
+
+    // Reuse an existing period with the same timetable.
+    size_t period_index = calendar->periods_.size();
+    for (size_t i = 0; i < calendar->periods_.size(); ++i) {
+      if (SameTimetable(calendar->periods_[i]->feed.timetable,
+                        feed->timetable)) {
+        period_index = i;
+        break;
+      }
+    }
+    if (period_index == calendar->periods_.size()) {
+      auto period = std::make_unique<Period>();
+      period->feed = std::move(*feed);
+      auto index = BuildTtlIndex(period->feed.timetable, options.labels);
+      if (!index.ok()) return index.status();
+      period->index = std::move(*index);
+      auto db = PtldbDatabase::Build(period->index, options.database);
+      if (!db.ok()) return db.status();
+      period->db = std::move(*db);
+      calendar->periods_.push_back(std::move(period));
+    }
+    calendar->day_period_[static_cast<size_t>(day)] = period_index;
+  }
+  return calendar;
+}
+
+Status CalendarPtldb::AddTargetSet(
+    const std::string& name, const std::vector<std::string>& gtfs_stop_ids,
+    uint32_t kmax) {
+  for (const auto& period : periods_) {
+    std::vector<StopId> targets;
+    targets.reserve(gtfs_stop_ids.size());
+    for (const std::string& id : gtfs_stop_ids) {
+      const auto it = period->feed.stop_index.find(id);
+      if (it == period->feed.stop_index.end()) {
+        return Status::NotFound("unknown GTFS stop " + id);
+      }
+      targets.push_back(it->second);
+    }
+    PTLDB_RETURN_IF_ERROR(
+        period->db->AddTargetSet(name, period->index, targets, kmax));
+  }
+  return Status::Ok();
+}
+
+PtldbDatabase* CalendarPtldb::ForDay(Weekday day) {
+  return periods_[day_period_[static_cast<size_t>(day)]]->db.get();
+}
+
+StopId CalendarPtldb::StopFor(Weekday day,
+                              const std::string& gtfs_stop_id) const {
+  const auto& period = periods_[day_period_[static_cast<size_t>(day)]];
+  const auto it = period->feed.stop_index.find(gtfs_stop_id);
+  return it == period->feed.stop_index.end() ? kInvalidStop : it->second;
+}
+
+Result<Timestamp> CalendarPtldb::EarliestArrival(Weekday day,
+                                                 const std::string& from,
+                                                 const std::string& to,
+                                                 Timestamp t) {
+  const StopId s = StopFor(day, from);
+  const StopId g = StopFor(day, to);
+  if (s == kInvalidStop || g == kInvalidStop) {
+    return Status::NotFound("unknown GTFS stop id");
+  }
+  return ForDay(day)->EarliestArrival(s, g, t);
+}
+
+}  // namespace ptldb

@@ -1,0 +1,72 @@
+#ifndef PTLDB_PTLDB_SERVICE_CALENDAR_H_
+#define PTLDB_PTLDB_SERVICE_CALENDAR_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ptldb/ptldb.h"
+#include "timetable/gtfs.h"
+#include "ttl/builder.h"
+
+namespace ptldb {
+
+/// Multi-service-period PTLDB, per Section 3.1 of the paper: "In case of
+/// timetables changing depending on the weekday (e.g., weekdays vs
+/// weekends) ... we would need to have different versions of the lout and
+/// lin DB tables, for servicing each different period."
+///
+/// CalendarPtldb loads one GTFS feed, extracts the distinct service days,
+/// builds a full PTLDB database (labels + optional target sets) per
+/// distinct timetable, and dispatches queries by weekday. Weekdays with
+/// identical timetables (the common case: Mon-Fri) share one database.
+class CalendarPtldb {
+ public:
+  struct Options {
+    PtldbOptions database;
+    TtlBuildOptions labels;
+  };
+
+  /// Builds databases for all seven weekdays from a GTFS directory.
+  static Result<std::unique_ptr<CalendarPtldb>> FromGtfs(
+      const std::string& gtfs_directory, const Options& options = {});
+
+  /// Registers a target set (by GTFS stop ids) on every period.
+  Status AddTargetSet(const std::string& name,
+                      const std::vector<std::string>& gtfs_stop_ids,
+                      uint32_t kmax);
+
+  /// The database servicing `day` (never null after FromGtfs succeeds).
+  PtldbDatabase* ForDay(Weekday day);
+
+  /// Dense stop id for a GTFS stop id on `day`'s timetable; kInvalidStop
+  /// when the stop is unknown.
+  StopId StopFor(Weekday day, const std::string& gtfs_stop_id) const;
+
+  /// Convenience: EA dispatched by weekday, by GTFS stop ids.
+  Result<Timestamp> EarliestArrival(Weekday day, const std::string& from,
+                                    const std::string& to, Timestamp t);
+
+  /// Number of distinct timetables backing the seven weekdays.
+  size_t num_distinct_periods() const { return periods_.size(); }
+
+ private:
+  struct Period {
+    GtfsLoadResult feed;
+    TtlIndex index;
+    std::unique_ptr<PtldbDatabase> db;
+  };
+
+  CalendarPtldb() = default;
+
+  std::vector<std::unique_ptr<Period>> periods_;
+  // weekday (0=Monday) -> index into periods_.
+  std::array<size_t, 7> day_period_{};
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PTLDB_SERVICE_CALENDAR_H_

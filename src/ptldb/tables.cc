@@ -1,0 +1,337 @@
+#include "ptldb/tables.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/time_util.h"
+
+namespace ptldb {
+
+namespace {
+
+// One L_in tuple of a target, flattened for grouping.
+struct TargetTuple {
+  int32_t hub = 0;
+  Timestamp td = 0;
+  Timestamp ta = 0;
+  int32_t v = 0;
+};
+
+Schema LabelSchema() {
+  return Schema{{"v", ColumnType::kInt32},
+                {"hubs", ColumnType::kInt32Array},
+                {"tds", ColumnType::kInt32Array},
+                {"tas", ColumnType::kInt32Array}};
+}
+
+Schema NaiveSchema() {
+  return Schema{{"hub", ColumnType::kInt32},
+                {"td", ColumnType::kInt32},
+                {"vs", ColumnType::kInt32Array},
+                {"tas", ColumnType::kInt32Array}};
+}
+
+Schema HourBucketSchema(const char* hour_column, const char* condensed_time) {
+  return Schema{{"hub", ColumnType::kInt32},
+                {hour_column, ColumnType::kInt32},
+                {"vs", ColumnType::kInt32Array},
+                {condensed_time, ColumnType::kInt32Array},
+                {"tds_exp", ColumnType::kInt32Array},
+                {"vs_exp", ColumnType::kInt32Array},
+                {"tas_exp", ColumnType::kInt32Array}};
+}
+
+Status LoadLabelTable(const LabelSet& labels, const std::string& name,
+                      EngineDatabase* db) {
+  auto table = db->CreateTable(name, LabelSchema());
+  if (!table.ok()) return table.status();
+  std::vector<std::pair<IndexKey, Row>> rows;
+  rows.reserve(labels.num_stops());
+  for (StopId v = 0; v < labels.num_stops(); ++v) {
+    const auto tuples = labels.tuples(v);
+    std::vector<int32_t> hubs;
+    std::vector<int32_t> tds;
+    std::vector<int32_t> tas;
+    hubs.reserve(tuples.size());
+    tds.reserve(tuples.size());
+    tas.reserve(tuples.size());
+    for (const LabelTuple& t : tuples) {
+      hubs.push_back(static_cast<int32_t>(t.hub));
+      tds.push_back(t.td);
+      tas.push_back(t.ta);
+    }
+    rows.emplace_back(static_cast<IndexKey>(v),
+                      Row{Value(static_cast<int32_t>(v)),
+                          Value(std::move(hubs)), Value(std::move(tds)),
+                          Value(std::move(tas))});
+  }
+  return (*table)->BulkLoad(std::move(rows));
+}
+
+// Distinct-target best list: (time, v) pairs sorted ascending (EA) or the
+// td-descending variant (LD), truncated to k (0 = keep all).
+std::vector<std::pair<Timestamp, int32_t>> TopEntries(
+    const std::map<int32_t, Timestamp>& best, bool ascending, uint32_t k) {
+  std::vector<std::pair<Timestamp, int32_t>> entries;
+  entries.reserve(best.size());
+  for (const auto& [v, time] : best) entries.emplace_back(time, v);
+  if (ascending) {
+    std::sort(entries.begin(), entries.end());
+  } else {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+  }
+  if (k != 0 && entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace
+
+Status BuildLabelTables(const TtlIndex& index, EngineDatabase* db) {
+  PTLDB_RETURN_IF_ERROR(LoadLabelTable(index.out, kLoutTable, db));
+  return LoadLabelTable(index.in, kLinTable, db);
+}
+
+std::string NaiveKnnTableName(const std::string& s) { return "knn_naive_" + s; }
+std::string KnnEaTableName(const std::string& s) { return "knn_ea_" + s; }
+std::string KnnLdTableName(const std::string& s) { return "knn_ld_" + s; }
+std::string OtmEaTableName(const std::string& s) { return "otm_ea_" + s; }
+std::string OtmLdTableName(const std::string& s) { return "otm_ld_" + s; }
+
+BucketRange ComputeBucketRange(const TtlIndex& index,
+                               Timestamp bucket_seconds) {
+  BucketRange range{std::numeric_limits<int32_t>::max(), 0};
+  bool any = false;
+  for (StopId v = 0; v < index.num_stops(); ++v) {
+    for (const auto* set : {&index.out, &index.in}) {
+      for (const LabelTuple& t : set->tuples(v)) {
+        range.min_bucket = std::min(range.min_bucket, t.td / bucket_seconds);
+        range.max_bucket = std::max(range.max_bucket, t.ta / bucket_seconds);
+        any = true;
+      }
+    }
+  }
+  if (!any) range = {0, 0};
+  return range;
+}
+
+Status BuildTargetSetTables(const TtlIndex& index,
+                            const std::vector<StopId>& targets,
+                            uint32_t kmax, const std::string& set_name,
+                            EngineDatabase* db, Timestamp bucket_seconds) {
+  if (kmax == 0) return Status::InvalidArgument("kmax must be positive");
+  if (bucket_seconds <= 0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  for (const StopId t : targets) {
+    if (t >= index.num_stops()) {
+      return Status::InvalidArgument("target out of range");
+    }
+  }
+
+  // Flatten and group the targets' L_in tuples by hub.
+  std::vector<TargetTuple> tuples;
+  for (const StopId target : targets) {
+    for (const LabelTuple& t : index.in.tuples(target)) {
+      tuples.push_back({static_cast<int32_t>(t.hub), t.td, t.ta,
+                        static_cast<int32_t>(target)});
+    }
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const TargetTuple& a, const TargetTuple& b) {
+              return std::tie(a.hub, a.td, a.ta, a.v) <
+                     std::tie(b.hub, b.td, b.ta, b.v);
+            });
+
+  const BucketRange hours = ComputeBucketRange(index, bucket_seconds);
+
+  auto naive =
+      db->CreateTable(NaiveKnnTableName(set_name), NaiveSchema(), 2);
+  auto knn_ea = db->CreateTable(KnnEaTableName(set_name),
+                                HourBucketSchema("dephour", "tas"), 2);
+  auto knn_ld = db->CreateTable(KnnLdTableName(set_name),
+                                HourBucketSchema("arrhour", "tds"), 2);
+  auto otm_ea = db->CreateTable(OtmEaTableName(set_name),
+                                HourBucketSchema("dephour", "tas"), 2);
+  auto otm_ld = db->CreateTable(OtmLdTableName(set_name),
+                                HourBucketSchema("arrhour", "tds"), 2);
+  for (const auto* t :
+       std::initializer_list<const Result<EngineTable*>*>{
+           &naive, &knn_ea, &knn_ld, &otm_ea, &otm_ld}) {
+    if (!t->ok()) return t->status();
+  }
+
+  std::vector<std::pair<IndexKey, Row>> naive_rows;
+  std::vector<std::pair<IndexKey, Row>> knn_ea_rows;
+  std::vector<std::pair<IndexKey, Row>> knn_ld_rows;
+  std::vector<std::pair<IndexKey, Row>> otm_ea_rows;
+  std::vector<std::pair<IndexKey, Row>> otm_ld_rows;
+
+  size_t group_begin = 0;
+  while (group_begin < tuples.size()) {
+    const int32_t hub = tuples[group_begin].hub;
+    size_t group_end = group_begin;
+    while (group_end < tuples.size() && tuples[group_end].hub == hub) {
+      ++group_end;
+    }
+    const std::span<const TargetTuple> by_td{tuples.data() + group_begin,
+                                             tuples.data() + group_end};
+
+    // ---- knn_naive rows: one per distinct (hub, td). ----
+    {
+      size_t i = 0;
+      while (i < by_td.size()) {
+        size_t j = i;
+        while (j < by_td.size() && by_td[j].td == by_td[i].td) ++j;
+        // Per distinct target keep its earliest arrival within the group.
+        std::map<int32_t, Timestamp> best;
+        for (size_t k = i; k < j; ++k) {
+          const auto [it, inserted] = best.emplace(by_td[k].v, by_td[k].ta);
+          if (!inserted) it->second = std::min(it->second, by_td[k].ta);
+        }
+        const auto top = TopEntries(best, /*ascending=*/true, kmax);
+        std::vector<int32_t> vs;
+        std::vector<int32_t> tas;
+        for (const auto& [ta, v] : top) {
+          vs.push_back(v);
+          tas.push_back(ta);
+        }
+        naive_rows.emplace_back(
+            MakeCompositeKey(hub, by_td[i].td),
+            Row{Value(hub), Value(by_td[i].td), Value(std::move(vs)),
+                Value(std::move(tas))});
+        i = j;
+      }
+    }
+
+    // ---- EA hour buckets (knn_ea + otm_ea). ----
+    {
+      const int32_t max_hour = by_td.back().td / bucket_seconds;
+      // Condensed entries per hour, computed high-to-low by sweeping the
+      // td-sorted group from the back.
+      std::map<int32_t, Timestamp> best;  // target -> earliest arrival.
+      std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> knn_cond;
+      std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> otm_cond;
+      size_t cursor = by_td.size();
+      for (int32_t hour = max_hour; hour >= hours.min_bucket; --hour) {
+        const Timestamp boundary = (hour + 1) * bucket_seconds;
+        while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
+          const TargetTuple& t = by_td[cursor - 1];
+          const auto [it, inserted] = best.emplace(t.v, t.ta);
+          if (!inserted) it->second = std::min(it->second, t.ta);
+          --cursor;
+        }
+        knn_cond[hour] = TopEntries(best, true, kmax);
+        otm_cond[hour] = TopEntries(best, true, 0);
+      }
+      // Emit rows in ascending hour order.
+      size_t exp_cursor = 0;
+      for (int32_t hour = hours.min_bucket; hour <= max_hour; ++hour) {
+        const Timestamp lo = hour * bucket_seconds;
+        const Timestamp hi = lo + bucket_seconds;
+        while (exp_cursor < by_td.size() && by_td[exp_cursor].td < lo) {
+          ++exp_cursor;
+        }
+        std::vector<int32_t> tds_exp;
+        std::vector<int32_t> vs_exp;
+        std::vector<int32_t> tas_exp;
+        for (size_t k = exp_cursor; k < by_td.size() && by_td[k].td < hi;
+             ++k) {
+          tds_exp.push_back(by_td[k].td);
+          vs_exp.push_back(by_td[k].v);
+          tas_exp.push_back(by_td[k].ta);
+        }
+        const auto emit = [&](const std::vector<std::pair<Timestamp, int32_t>>&
+                                  condensed,
+                              std::vector<std::pair<IndexKey, Row>>* out) {
+          std::vector<int32_t> vs;
+          std::vector<int32_t> tas;
+          for (const auto& [ta, v] : condensed) {
+            vs.push_back(v);
+            tas.push_back(ta);
+          }
+          out->emplace_back(
+              MakeCompositeKey(hub, hour),
+              Row{Value(hub), Value(hour), Value(std::move(vs)),
+                  Value(std::move(tas)), Value(tds_exp), Value(vs_exp),
+                  Value(tas_exp)});
+        };
+        emit(knn_cond[hour], &knn_ea_rows);
+        emit(otm_cond[hour], &otm_ea_rows);
+      }
+    }
+
+    // ---- LD hour buckets (knn_ld + otm_ld). ----
+    {
+      std::vector<TargetTuple> by_ta(by_td.begin(), by_td.end());
+      std::sort(by_ta.begin(), by_ta.end(),
+                [](const TargetTuple& a, const TargetTuple& b) {
+                  return std::tie(a.ta, a.td, a.v) <
+                         std::tie(b.ta, b.td, b.v);
+                });
+      const int32_t min_hour = by_ta.front().ta / bucket_seconds;
+      std::map<int32_t, Timestamp> best;  // target -> latest departure.
+      size_t cursor = 0;
+      for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
+        const Timestamp lo = hour * bucket_seconds;
+        const Timestamp hi = lo + bucket_seconds;
+        // Condensed: tuples arriving strictly before this hour.
+        while (cursor < by_ta.size() && by_ta[cursor].ta < lo) {
+          const TargetTuple& t = by_ta[cursor];
+          const auto [it, inserted] = best.emplace(t.v, t.td);
+          if (!inserted) it->second = std::max(it->second, t.td);
+          ++cursor;
+        }
+        // Expanded: tuples arriving within [lo, hi), ordered by td.
+        std::vector<TargetTuple> exp;
+        for (size_t k = cursor; k < by_ta.size() && by_ta[k].ta < hi; ++k) {
+          exp.push_back(by_ta[k]);
+        }
+        std::sort(exp.begin(), exp.end(),
+                  [](const TargetTuple& a, const TargetTuple& b) {
+                    return std::tie(a.td, a.ta, a.v) <
+                           std::tie(b.td, b.ta, b.v);
+                  });
+        std::vector<int32_t> tds_exp;
+        std::vector<int32_t> vs_exp;
+        std::vector<int32_t> tas_exp;
+        for (const TargetTuple& t : exp) {
+          tds_exp.push_back(t.td);
+          vs_exp.push_back(t.v);
+          tas_exp.push_back(t.ta);
+        }
+        const auto emit =
+            [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
+                std::vector<std::pair<IndexKey, Row>>* out) {
+              std::vector<int32_t> vs;
+              std::vector<int32_t> tds;
+              for (const auto& [td, v] : condensed) {
+                vs.push_back(v);
+                tds.push_back(td);
+              }
+              out->emplace_back(
+                  MakeCompositeKey(hub, hour),
+                  Row{Value(hub), Value(hour), Value(std::move(vs)),
+                      Value(std::move(tds)), Value(tds_exp), Value(vs_exp),
+                      Value(tas_exp)});
+            };
+        emit(TopEntries(best, false, kmax), &knn_ld_rows);
+        emit(TopEntries(best, false, 0), &otm_ld_rows);
+      }
+    }
+
+    group_begin = group_end;
+  }
+
+  PTLDB_RETURN_IF_ERROR((*naive)->BulkLoad(std::move(naive_rows)));
+  PTLDB_RETURN_IF_ERROR((*knn_ea)->BulkLoad(std::move(knn_ea_rows)));
+  PTLDB_RETURN_IF_ERROR((*knn_ld)->BulkLoad(std::move(knn_ld_rows)));
+  PTLDB_RETURN_IF_ERROR((*otm_ea)->BulkLoad(std::move(otm_ea_rows)));
+  return (*otm_ld)->BulkLoad(std::move(otm_ld_rows));
+}
+
+}  // namespace ptldb

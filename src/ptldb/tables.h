@@ -1,0 +1,64 @@
+#ifndef PTLDB_PTLDB_TABLES_H_
+#define PTLDB_PTLDB_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "common/time_util.h"
+#include "ttl/label.h"
+
+namespace ptldb {
+
+/// Builders for the PTLDB database tables. Everything here mirrors the
+/// pure-SQL table constructions of Sections 3.1-3.3 of the paper; the
+/// src/pgsql module emits the equivalent SQL for real PostgreSQL.
+
+/// Names of the core label tables.
+inline constexpr char kLoutTable[] = "lout";
+inline constexpr char kLinTable[] = "lin";
+
+/// Builds the lout and lin tables (Section 3.1): one row per stop with
+/// hubs/tds/tas array columns ordered by (hub, td), primary key v.
+Status BuildLabelTables(const TtlIndex& index, EngineDatabase* db);
+
+/// Names of the per-target-set tables ("<base>_<set>").
+std::string NaiveKnnTableName(const std::string& set_name);
+std::string KnnEaTableName(const std::string& set_name);
+std::string KnnLdTableName(const std::string& set_name);
+std::string OtmEaTableName(const std::string& set_name);
+std::string OtmLdTableName(const std::string& set_name);
+
+/// Bucket range shared by the kNN/OTM tables of one index: all label event
+/// times fall inside [min_bucket, max_bucket] (bucket = time / width).
+struct BucketRange {
+  int32_t min_bucket = 0;
+  int32_t max_bucket = 0;
+};
+
+/// Computes the event-bucket range of an index for a bucket width in
+/// seconds (the paper uses one hour; Section 3.2.1 discusses the tradeoff
+/// and the ablation bench sweeps it).
+BucketRange ComputeBucketRange(const TtlIndex& index,
+                               Timestamp bucket_seconds = kSecondsPerHour);
+
+/// Builds the five derived tables for one fixed target set
+/// (Sections 3.2-3.3):
+///   knn_naive_<set> (hub, td)      -> k-best distinct (v, ta) per (hub,td);
+///                                     serves both EA and LD naive queries
+///   knn_ea_<set>    (hub, dephour) -> hour bucket + top-k condensed columns
+///   knn_ld_<set>    (hub, arrhour) -> symmetric for latest departure
+///   otm_ea_<set>    (hub, dephour) -> best entry per target instead of top-k
+///   otm_ld_<set>    (hub, arrhour) -> symmetric
+/// `bucket_seconds` is the grouping interval for the (hub, hour) tables
+/// (3600 in the paper).
+Status BuildTargetSetTables(const TtlIndex& index,
+                            const std::vector<StopId>& targets,
+                            uint32_t kmax, const std::string& set_name,
+                            EngineDatabase* db,
+                            Timestamp bucket_seconds = kSecondsPerHour);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PTLDB_TABLES_H_

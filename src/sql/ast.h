@@ -1,0 +1,106 @@
+#ifndef PTLDB_SQL_AST_H_
+#define PTLDB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ptldb {
+
+/// AST of the PTLDB SQL dialect — exactly the SELECT shapes the paper's
+/// Codes 1-4 use. Produced by ParseSqlSelect (sql/parser.h), evaluated by
+/// SqlInterpreter (sql/interpreter.h).
+
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+enum class SqlExprKind {
+  kColumn,     // [table.]name
+  kStar,       // * or table.* (select lists only)
+  kInteger,    // 3600
+  kParameter,  // $1
+  kBinary,     // a <op> b
+  kFunction,   // MIN/MAX/UNNEST/FLOOR/LEAST/GREATEST(args...)
+  kSlice,      // base[lo:hi]
+};
+
+enum class SqlBinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kDiv,
+};
+
+struct SqlExpr {
+  SqlExprKind kind = SqlExprKind::kInteger;
+
+  // kColumn / kStar: optional qualifier + name.
+  std::string table;
+  std::string column;
+
+  // kInteger / kParameter.
+  int64_t value = 0;
+
+  // kBinary.
+  SqlBinaryOp op = SqlBinaryOp::kEq;
+  SqlExprPtr lhs;
+  SqlExprPtr rhs;
+
+  // kFunction: normalized upper-case name + arguments.
+  std::string function;
+  std::vector<SqlExprPtr> args;
+
+  // kSlice: base (lhs), bounds.
+  SqlExprPtr slice_lo;
+  SqlExprPtr slice_hi;
+};
+
+struct SqlSelect;
+using SqlSelectPtr = std::unique_ptr<SqlSelect>;
+
+/// One FROM item: a base table, a parenthesized subquery, or a CTE
+/// reference (resolved at execution time; syntactically a base table).
+struct SqlTableRef {
+  std::string table;      // Base table / CTE name (empty for subqueries).
+  SqlSelectPtr subquery;  // Set for (SELECT ...) alias.
+  std::string alias;      // Exposure name (defaults to the table name).
+};
+
+struct SqlSelectItem {
+  SqlExprPtr expr;
+  std::string alias;  // Output name ("" derives from the expression).
+};
+
+struct SqlOrderItem {
+  SqlExprPtr expr;
+  bool descending = false;
+};
+
+/// A (possibly compound) SELECT statement.
+struct SqlSelect {
+  // WITH name AS (select), ... — present on the outermost statement only.
+  std::vector<std::pair<std::string, SqlSelectPtr>> ctes;
+
+  std::vector<SqlSelectItem> items;
+  std::vector<SqlTableRef> from;
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;
+  std::vector<SqlOrderItem> order_by;
+  SqlExprPtr limit;
+
+  // UNION [ALL] chain: this select's rows combined with `union_next`.
+  SqlSelectPtr union_next;
+  bool union_all = false;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_AST_H_

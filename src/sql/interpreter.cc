@@ -1,0 +1,861 @@
+#include "sql/interpreter.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "sql/parser.h"
+
+namespace ptldb {
+
+namespace {
+
+// ---------- Name resolution ----------
+
+// Resolves a column reference against a relation's schema. Returns -1 when
+// absent; sets `ambiguous` when more than one column matches.
+int ResolveColumn(const SqlRelation& relation, const std::string& qualifier,
+                  const std::string& name, bool* ambiguous) {
+  int found = -1;
+  *ambiguous = false;
+  for (size_t i = 0; i < relation.columns.size(); ++i) {
+    const auto& col = relation.columns[i];
+    if (col.name != name) continue;
+    if (!qualifier.empty() && col.qualifier != qualifier) continue;
+    if (found >= 0) {
+      *ambiguous = true;
+      return found;
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+// True when every column reference in `expr` resolves in `relation`
+// (uniquely). Star expressions never "resolve" here (handled separately).
+bool ExprResolvesIn(const SqlExpr& expr, const SqlRelation& relation) {
+  switch (expr.kind) {
+    case SqlExprKind::kColumn: {
+      bool ambiguous = false;
+      const int idx =
+          ResolveColumn(relation, expr.table, expr.column, &ambiguous);
+      return idx >= 0 && !ambiguous;
+    }
+    case SqlExprKind::kStar:
+      return false;
+    case SqlExprKind::kInteger:
+    case SqlExprKind::kParameter:
+      return true;
+    case SqlExprKind::kBinary:
+      return ExprResolvesIn(*expr.lhs, relation) &&
+             ExprResolvesIn(*expr.rhs, relation);
+    case SqlExprKind::kFunction:
+      for (const auto& arg : expr.args) {
+        if (!ExprResolvesIn(*arg, relation)) return false;
+      }
+      return true;
+    case SqlExprKind::kSlice:
+      return ExprResolvesIn(*expr.lhs, relation) &&
+             ExprResolvesIn(*expr.slice_lo, relation) &&
+             ExprResolvesIn(*expr.slice_hi, relation);
+  }
+  return false;
+}
+
+bool ExprReferencesAnyColumn(const SqlExpr& expr) {
+  switch (expr.kind) {
+    case SqlExprKind::kColumn:
+    case SqlExprKind::kStar:
+      return true;
+    case SqlExprKind::kInteger:
+    case SqlExprKind::kParameter:
+      return false;
+    case SqlExprKind::kBinary:
+      return ExprReferencesAnyColumn(*expr.lhs) ||
+             ExprReferencesAnyColumn(*expr.rhs);
+    case SqlExprKind::kFunction:
+      for (const auto& arg : expr.args) {
+        if (ExprReferencesAnyColumn(*arg)) return true;
+      }
+      return false;
+    case SqlExprKind::kSlice:
+      return ExprReferencesAnyColumn(*expr.lhs) ||
+             ExprReferencesAnyColumn(*expr.slice_lo) ||
+             ExprReferencesAnyColumn(*expr.slice_hi);
+  }
+  return false;
+}
+
+bool ContainsAggregate(const SqlExpr& expr) {
+  if (expr.kind == SqlExprKind::kFunction &&
+      (expr.function == "MIN" || expr.function == "MAX")) {
+    return true;
+  }
+  switch (expr.kind) {
+    case SqlExprKind::kBinary:
+      return ContainsAggregate(*expr.lhs) || ContainsAggregate(*expr.rhs);
+    case SqlExprKind::kFunction:
+      for (const auto& arg : expr.args) {
+        if (ContainsAggregate(*arg)) return true;
+      }
+      return false;
+    case SqlExprKind::kSlice:
+      return ContainsAggregate(*expr.lhs) ||
+             ContainsAggregate(*expr.slice_lo) ||
+             ContainsAggregate(*expr.slice_hi);
+    default:
+      return false;
+  }
+}
+
+bool ContainsUnnest(const SqlExpr& expr) {
+  if (expr.kind == SqlExprKind::kFunction && expr.function == "UNNEST") {
+    return true;
+  }
+  if (expr.kind == SqlExprKind::kBinary) {
+    return ContainsUnnest(*expr.lhs) || ContainsUnnest(*expr.rhs);
+  }
+  return false;
+}
+
+// ---------- Expression evaluation ----------
+
+struct EvalContext {
+  const SqlRelation* relation = nullptr;
+  const SqlRow* row = nullptr;
+  const std::vector<int64_t>* params = nullptr;
+  // Pre-computed values for aggregate sub-expressions (grouped queries).
+  const std::map<const SqlExpr*, SqlValue>* aggregates = nullptr;
+};
+
+Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx);
+
+Result<int64_t> EvalInt(const SqlExpr& expr, const EvalContext& ctx,
+                        bool* is_null) {
+  auto value = EvalExpr(expr, ctx);
+  if (!value.ok()) return value.status();
+  if (SqlIsNull(*value)) {
+    *is_null = true;
+    return int64_t{0};
+  }
+  if (!std::holds_alternative<int64_t>(*value)) {
+    return Status::InvalidArgument("expected an integer expression");
+  }
+  *is_null = false;
+  return std::get<int64_t>(*value);
+}
+
+Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
+  if (ctx.aggregates != nullptr) {
+    const auto it = ctx.aggregates->find(&expr);
+    if (it != ctx.aggregates->end()) return it->second;
+  }
+  switch (expr.kind) {
+    case SqlExprKind::kInteger:
+      return SqlValue(expr.value);
+    case SqlExprKind::kParameter: {
+      const auto index = static_cast<size_t>(expr.value - 1);
+      if (ctx.params == nullptr || index >= ctx.params->size()) {
+        return Status::InvalidArgument("parameter $" +
+                                       std::to_string(expr.value) +
+                                       " not bound");
+      }
+      return SqlValue((*ctx.params)[index]);
+    }
+    case SqlExprKind::kColumn: {
+      bool ambiguous = false;
+      const int idx =
+          ResolveColumn(*ctx.relation, expr.table, expr.column, &ambiguous);
+      if (ambiguous) {
+        return Status::InvalidArgument("ambiguous column " + expr.column);
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column " +
+                                       (expr.table.empty()
+                                            ? expr.column
+                                            : expr.table + "." + expr.column));
+      }
+      return (*ctx.row)[static_cast<size_t>(idx)];
+    }
+    case SqlExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid in a select list");
+    case SqlExprKind::kBinary: {
+      if (expr.op == SqlBinaryOp::kAnd || expr.op == SqlBinaryOp::kOr) {
+        bool lhs_null = false;
+        bool rhs_null = false;
+        auto lhs = EvalInt(*expr.lhs, ctx, &lhs_null);
+        if (!lhs.ok()) return lhs.status();
+        auto rhs = EvalInt(*expr.rhs, ctx, &rhs_null);
+        if (!rhs.ok()) return rhs.status();
+        const bool a = !lhs_null && *lhs != 0;
+        const bool b = !rhs_null && *rhs != 0;
+        return SqlValue(static_cast<int64_t>(
+            expr.op == SqlBinaryOp::kAnd ? (a && b) : (a || b)));
+      }
+      bool lhs_null = false;
+      bool rhs_null = false;
+      auto lhs = EvalInt(*expr.lhs, ctx, &lhs_null);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = EvalInt(*expr.rhs, ctx, &rhs_null);
+      if (!rhs.ok()) return rhs.status();
+      if (lhs_null || rhs_null) return SqlValue();  // SQL NULL propagation.
+      switch (expr.op) {
+        case SqlBinaryOp::kEq:
+          return SqlValue(static_cast<int64_t>(*lhs == *rhs));
+        case SqlBinaryOp::kNe:
+          return SqlValue(static_cast<int64_t>(*lhs != *rhs));
+        case SqlBinaryOp::kLt:
+          return SqlValue(static_cast<int64_t>(*lhs < *rhs));
+        case SqlBinaryOp::kLe:
+          return SqlValue(static_cast<int64_t>(*lhs <= *rhs));
+        case SqlBinaryOp::kGt:
+          return SqlValue(static_cast<int64_t>(*lhs > *rhs));
+        case SqlBinaryOp::kGe:
+          return SqlValue(static_cast<int64_t>(*lhs >= *rhs));
+        case SqlBinaryOp::kAdd:
+          return SqlValue(*lhs + *rhs);
+        case SqlBinaryOp::kSub:
+          return SqlValue(*lhs - *rhs);
+        case SqlBinaryOp::kDiv:
+          if (*rhs == 0) return Status::InvalidArgument("division by zero");
+          return SqlValue(*lhs / *rhs);
+        case SqlBinaryOp::kAnd:
+        case SqlBinaryOp::kOr:
+          break;
+      }
+      return Status::Internal("unhandled binary operator");
+    }
+    case SqlExprKind::kFunction: {
+      if (expr.function == "FLOOR") {
+        if (expr.args.size() != 1) {
+          return Status::InvalidArgument("FLOOR takes one argument");
+        }
+        // Integer division in this dialect already truncates; operands in
+        // PTLDB queries are non-negative, so FLOOR is the identity.
+        return EvalExpr(*expr.args[0], ctx);
+      }
+      if (expr.function == "LEAST" || expr.function == "GREATEST") {
+        std::optional<int64_t> best;
+        for (const auto& arg : expr.args) {
+          bool is_null = false;
+          auto v = EvalInt(*arg, ctx, &is_null);
+          if (!v.ok()) return v.status();
+          if (is_null) continue;
+          if (!best || (expr.function == "LEAST" ? *v < *best : *v > *best)) {
+            best = *v;
+          }
+        }
+        if (!best) return SqlValue();
+        return SqlValue(*best);
+      }
+      if (expr.function == "MIN" || expr.function == "MAX") {
+        return Status::InvalidArgument(
+            "aggregate used outside an aggregation context");
+      }
+      if (expr.function == "UNNEST") {
+        return Status::InvalidArgument(
+            "UNNEST is only valid at the top of a select item");
+      }
+      return Status::Unsupported("function " + expr.function);
+    }
+    case SqlExprKind::kSlice: {
+      auto base = EvalExpr(*expr.lhs, ctx);
+      if (!base.ok()) return base;
+      if (SqlIsNull(*base)) return SqlValue();
+      if (!std::holds_alternative<std::vector<int32_t>>(*base)) {
+        return Status::InvalidArgument("slice of a non-array value");
+      }
+      bool lo_null = false;
+      bool hi_null = false;
+      auto lo = EvalInt(*expr.slice_lo, ctx, &lo_null);
+      if (!lo.ok()) return lo.status();
+      auto hi = EvalInt(*expr.slice_hi, ctx, &hi_null);
+      if (!hi.ok()) return hi.status();
+      if (lo_null || hi_null) return SqlValue();
+      const auto& arr = std::get<std::vector<int32_t>>(*base);
+      // PostgreSQL slices are 1-based and clamp to the array bounds.
+      const int64_t first = std::max<int64_t>(1, *lo);
+      const int64_t last =
+          std::min<int64_t>(static_cast<int64_t>(arr.size()), *hi);
+      std::vector<int32_t> out;
+      for (int64_t i = first; i <= last; ++i) {
+        out.push_back(arr[static_cast<size_t>(i - 1)]);
+      }
+      return SqlValue(std::move(out));
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---------- Execution ----------
+
+class Executor {
+ public:
+  Executor(EngineDatabase* db, const std::vector<int64_t>& params)
+      : db_(db), params_(params) {}
+
+  Result<SqlRelation> Run(const SqlSelect& select) {
+    for (const auto& [name, body] : select.ctes) {
+      auto relation = RunCompound(*body);
+      if (!relation.ok()) return relation;
+      ctes_[name] = std::move(*relation);
+    }
+    return RunCompound(select);
+  }
+
+ private:
+  // A select plus its UNION chain.
+  Result<SqlRelation> RunCompound(const SqlSelect& select) {
+    auto head = RunSimple(select);
+    if (!head.ok()) return head;
+    const SqlSelect* current = &select;
+    while (current->union_next != nullptr) {
+      const bool all = current->union_all;
+      current = current->union_next.get();
+      auto next = RunSimple(*current);
+      if (!next.ok()) return next;
+      if (next->columns.size() != head->columns.size()) {
+        return Status::InvalidArgument("UNION arity mismatch");
+      }
+      head->rows.insert(head->rows.end(),
+                        std::make_move_iterator(next->rows.begin()),
+                        std::make_move_iterator(next->rows.end()));
+      if (!all) Deduplicate(&head->rows);
+    }
+    return head;
+  }
+
+  static void Deduplicate(std::vector<SqlRow>* rows) {
+    std::sort(rows->begin(), rows->end());
+    rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+  }
+
+  // Loads a base table / CTE as a relation qualified by `alias`.
+  Result<SqlRelation> LoadSource(const SqlTableRef& ref) {
+    SqlRelation relation;
+    if (ref.subquery != nullptr) {
+      auto inner = RunCompound(*ref.subquery);
+      if (!inner.ok()) return inner;
+      relation = std::move(*inner);
+    } else if (const auto it = ctes_.find(ref.table); it != ctes_.end()) {
+      relation = it->second;
+    } else if (const EngineTable* table = db_->FindTable(ref.table)) {
+      const Schema& schema = table->schema();
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        relation.columns.push_back({"", schema.column(i).name});
+      }
+      auto cursor =
+          table->Seek(std::numeric_limits<IndexKey>::min(), db_->buffer_pool());
+      while (cursor.Valid()) {
+        const Row row = cursor.row();
+        SqlRow out;
+        out.reserve(row.size());
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (schema.column(i).type == ColumnType::kInt32) {
+            out.emplace_back(static_cast<int64_t>(row[i].AsInt()));
+          } else {
+            out.emplace_back(row[i].AsArray());
+          }
+        }
+        relation.rows.push_back(std::move(out));
+        cursor.Next();
+      }
+    } else {
+      return Status::NotFound("unknown table " + ref.table);
+    }
+    for (auto& col : relation.columns) col.qualifier = ref.alias;
+    return relation;
+  }
+
+  // Evaluates a predicate to a boolean on one row (NULL -> false).
+  Result<bool> EvalPredicate(const SqlExpr& expr, const SqlRelation& relation,
+                             const SqlRow& row) {
+    EvalContext ctx{&relation, &row, &params_, nullptr};
+    auto value = EvalExpr(expr, ctx);
+    if (!value.ok()) return value.status();
+    return !SqlIsNull(*value) && std::get<int64_t>(*value) != 0;
+  }
+
+  Status FilterInPlace(const SqlExpr& expr, SqlRelation* relation) {
+    std::vector<SqlRow> kept;
+    kept.reserve(relation->rows.size());
+    for (auto& row : relation->rows) {
+      auto pass = EvalPredicate(expr, *relation, row);
+      if (!pass.ok()) return pass.status();
+      if (*pass) kept.push_back(std::move(row));
+    }
+    relation->rows = std::move(kept);
+    return Status::Ok();
+  }
+
+  // FROM clause: load sources, push single-source conjuncts, join with
+  // hash-equi-joins where the WHERE clause provides equality keys.
+  Result<SqlRelation> BuildFromRelation(const SqlSelect& select,
+                                        std::vector<const SqlExpr*>* residual) {
+    // Collect WHERE conjuncts.
+    std::vector<const SqlExpr*> conjuncts;
+    CollectConjuncts(select.where.get(), &conjuncts);
+    std::vector<bool> used(conjuncts.size(), false);
+
+    if (select.from.empty()) {
+      SqlRelation relation;
+      relation.rows.emplace_back();  // One empty row (SELECT 1+1 style).
+      for (size_t c = 0; c < conjuncts.size(); ++c) residual->push_back(conjuncts[c]);
+      return relation;
+    }
+
+    SqlRelation combined;
+    for (size_t s = 0; s < select.from.size(); ++s) {
+      auto next = LoadSource(select.from[s]);
+      if (!next.ok()) return next;
+      // Push down conjuncts that fully resolve in this source alone.
+      for (size_t c = 0; c < conjuncts.size(); ++c) {
+        if (used[c] || !ExprReferencesAnyColumn(*conjuncts[c])) continue;
+        if (ExprResolvesIn(*conjuncts[c], *next)) {
+          PTLDB_RETURN_IF_ERROR(FilterInPlace(*conjuncts[c], &*next));
+          used[c] = true;
+        }
+      }
+      if (s == 0) {
+        combined = std::move(*next);
+        continue;
+      }
+      // Hash keys: conjuncts "a = b" with one side in `combined` and the
+      // other in `next`.
+      std::vector<const SqlExpr*> left_keys;
+      std::vector<const SqlExpr*> right_keys;
+      for (size_t c = 0; c < conjuncts.size(); ++c) {
+        if (used[c]) continue;
+        const SqlExpr* e = conjuncts[c];
+        if (e->kind != SqlExprKind::kBinary || e->op != SqlBinaryOp::kEq) {
+          continue;
+        }
+        if (ExprResolvesIn(*e->lhs, combined) &&
+            ExprResolvesIn(*e->rhs, *next)) {
+          left_keys.push_back(e->lhs.get());
+          right_keys.push_back(e->rhs.get());
+          used[c] = true;
+        } else if (ExprResolvesIn(*e->rhs, combined) &&
+                   ExprResolvesIn(*e->lhs, *next)) {
+          left_keys.push_back(e->rhs.get());
+          right_keys.push_back(e->lhs.get());
+          used[c] = true;
+        }
+      }
+      auto joined = HashJoin(combined, *next, left_keys, right_keys);
+      if (!joined.ok()) return joined;
+      combined = std::move(*joined);
+    }
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (!used[c]) residual->push_back(conjuncts[c]);
+    }
+    return combined;
+  }
+
+  static void CollectConjuncts(const SqlExpr* expr,
+                               std::vector<const SqlExpr*>* out) {
+    if (expr == nullptr) return;
+    if (expr->kind == SqlExprKind::kBinary && expr->op == SqlBinaryOp::kAnd) {
+      CollectConjuncts(expr->lhs.get(), out);
+      CollectConjuncts(expr->rhs.get(), out);
+      return;
+    }
+    out->push_back(expr);
+  }
+
+  Result<SqlRelation> HashJoin(const SqlRelation& left,
+                               const SqlRelation& right,
+                               const std::vector<const SqlExpr*>& left_keys,
+                               const std::vector<const SqlExpr*>& right_keys) {
+    SqlRelation out;
+    out.columns = left.columns;
+    out.columns.insert(out.columns.end(), right.columns.begin(),
+                       right.columns.end());
+    const auto key_of = [&](const SqlRelation& rel, const SqlRow& row,
+                            const std::vector<const SqlExpr*>& keys)
+        -> Result<std::optional<std::vector<int64_t>>> {
+      std::vector<int64_t> key;
+      key.reserve(keys.size());
+      for (const SqlExpr* e : keys) {
+        EvalContext ctx{&rel, &row, &params_, nullptr};
+        auto v = EvalExpr(*e, ctx);
+        if (!v.ok()) return v.status();
+        if (SqlIsNull(*v)) return std::optional<std::vector<int64_t>>();
+        key.push_back(std::get<int64_t>(*v));
+      }
+      return std::optional<std::vector<int64_t>>(std::move(key));
+    };
+
+    if (left_keys.empty()) {  // Plain cross join.
+      for (const auto& l : left.rows) {
+        for (const auto& r : right.rows) {
+          SqlRow row = l;
+          row.insert(row.end(), r.begin(), r.end());
+          out.rows.push_back(std::move(row));
+        }
+      }
+      return out;
+    }
+
+    std::map<std::vector<int64_t>, std::vector<const SqlRow*>> table;
+    for (const auto& r : right.rows) {
+      auto key = key_of(right, r, right_keys);
+      if (!key.ok()) return key.status();
+      if (*key) table[**key].push_back(&r);
+    }
+    for (const auto& l : left.rows) {
+      auto key = key_of(left, l, left_keys);
+      if (!key.ok()) return key.status();
+      if (!*key) continue;
+      const auto it = table.find(**key);
+      if (it == table.end()) continue;
+      for (const SqlRow* r : it->second) {
+        SqlRow row = l;
+        row.insert(row.end(), r->begin(), r->end());
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  // Expands star items and UNNEST items into a projected relation; the
+  // returned schema carries the output aliases (unqualified).
+  Result<SqlRelation> Project(const SqlSelect& select,
+                              const SqlRelation& input) {
+    // Expand the item list: stars become column refs.
+    struct OutItem {
+      const SqlExpr* expr = nullptr;  // Null for expanded star columns.
+      int input_column = -1;          // For star expansion.
+      std::string name;
+    };
+    std::vector<OutItem> out_items;
+    for (const auto& item : select.items) {
+      if (item.expr->kind == SqlExprKind::kStar) {
+        for (size_t i = 0; i < input.columns.size(); ++i) {
+          if (!item.expr->table.empty() &&
+              input.columns[i].qualifier != item.expr->table) {
+            continue;
+          }
+          out_items.push_back(
+              {nullptr, static_cast<int>(i), input.columns[i].name});
+        }
+        continue;
+      }
+      std::string name = item.alias;
+      if (name.empty()) {
+        if (item.expr->kind == SqlExprKind::kColumn) {
+          name = item.expr->column;
+        } else if (item.expr->kind == SqlExprKind::kFunction) {
+          name = item.expr->function;
+          std::transform(name.begin(), name.end(), name.begin(),
+                         [](unsigned char c) { return std::tolower(c); });
+        } else {
+          name = "?column?";
+        }
+      }
+      out_items.push_back({item.expr.get(), -1, std::move(name)});
+    }
+
+    SqlRelation out;
+    for (const auto& item : out_items) out.columns.push_back({"", item.name});
+
+    for (const auto& row : input.rows) {
+      EvalContext ctx{&input, &row, &params_, nullptr};
+      // Evaluate UNNEST arrays (top-level function) per item.
+      std::vector<SqlValue> scalars(out_items.size());
+      std::vector<std::optional<std::vector<int32_t>>> unnests(
+          out_items.size());
+      size_t fanout = 1;
+      bool any_unnest = false;
+      for (size_t i = 0; i < out_items.size(); ++i) {
+        const OutItem& item = out_items[i];
+        if (item.expr == nullptr) {
+          scalars[i] = row[static_cast<size_t>(item.input_column)];
+          continue;
+        }
+        if (item.expr->kind == SqlExprKind::kFunction &&
+            item.expr->function == "UNNEST") {
+          if (item.expr->args.size() != 1) {
+            return Status::InvalidArgument("UNNEST takes one argument");
+          }
+          auto arr = EvalExpr(*item.expr->args[0], ctx);
+          if (!arr.ok()) return arr.status();
+          if (SqlIsNull(*arr)) {
+            unnests[i].emplace();  // NULL array unnests to zero rows.
+          } else if (!std::holds_alternative<std::vector<int32_t>>(*arr)) {
+            return Status::InvalidArgument("UNNEST of a non-array value");
+          } else {
+            unnests[i] = std::get<std::vector<int32_t>>(std::move(*arr));
+          }
+          any_unnest = true;
+          fanout = std::max(fanout, unnests[i]->size());
+          continue;
+        }
+        auto value = EvalExpr(*item.expr, ctx);
+        if (!value.ok()) return value.status();
+        scalars[i] = std::move(*value);
+      }
+      if (any_unnest) {
+        // PostgreSQL parallel unnesting: shorter arrays pad with NULL.
+        size_t max_len = 0;
+        for (const auto& u : unnests) {
+          if (u) max_len = std::max(max_len, u->size());
+        }
+        for (size_t e = 0; e < max_len; ++e) {
+          SqlRow out_row(out_items.size());
+          for (size_t i = 0; i < out_items.size(); ++i) {
+            if (unnests[i]) {
+              out_row[i] = e < unnests[i]->size()
+                               ? SqlValue(static_cast<int64_t>(
+                                     (*unnests[i])[e]))
+                               : SqlValue();
+            } else {
+              out_row[i] = scalars[i];
+            }
+          }
+          out.rows.push_back(std::move(out_row));
+        }
+      } else {
+        out.rows.push_back(std::move(scalars));
+      }
+    }
+    return out;
+  }
+
+  // Rewrites a bare output-alias reference to the aliased expression
+  // (PostgreSQL resolves GROUP BY / ORDER BY names against the select list
+  // first). Returns the original expression when no alias matches.
+  const SqlExpr* ResolveAlias(const SqlExpr* expr, const SqlSelect& select) {
+    if (expr->kind != SqlExprKind::kColumn || !expr->table.empty()) {
+      return expr;
+    }
+    for (const auto& item : select.items) {
+      if (item.alias == expr->column) return item.expr.get();
+    }
+    return expr;
+  }
+
+  Result<SqlRelation> RunSimple(const SqlSelect& select) {
+    std::vector<const SqlExpr*> residual;
+    auto input = BuildFromRelation(select, &residual);
+    if (!input.ok()) return input;
+    for (const SqlExpr* conjunct : residual) {
+      PTLDB_RETURN_IF_ERROR(FilterInPlace(*conjunct, &*input));
+    }
+
+    // Does anything aggregate?
+    bool has_aggregate = !select.group_by.empty();
+    for (const auto& item : select.items) {
+      if (item.expr->kind != SqlExprKind::kStar &&
+          ContainsAggregate(*item.expr)) {
+        has_aggregate = true;
+      }
+    }
+
+    SqlRelation projected;
+    if (has_aggregate) {
+      auto grouped = RunGrouped(select, *input);
+      if (!grouped.ok()) return grouped;
+      projected = std::move(*grouped);
+    } else {
+      // UNNEST / plain projection path with post-projection ORDER BY.
+      auto plain = Project(select, *input);
+      if (!plain.ok()) return plain;
+      projected = std::move(*plain);
+      if (!select.order_by.empty()) {
+        PTLDB_RETURN_IF_ERROR(SortRelation(select, &projected));
+      }
+    }
+    if (select.limit != nullptr) {
+      EvalContext ctx{nullptr, nullptr, &params_, nullptr};
+      bool is_null = false;
+      auto limit = EvalInt(*select.limit, ctx, &is_null);
+      if (!limit.ok()) return limit.status();
+      if (!is_null && *limit >= 0 &&
+          projected.rows.size() > static_cast<size_t>(*limit)) {
+        projected.rows.resize(static_cast<size_t>(*limit));
+      }
+    }
+    return projected;
+  }
+
+  // Sorts a projected relation by the ORDER BY list (which may only
+  // reference output columns here).
+  Status SortRelation(const SqlSelect& select, SqlRelation* relation) {
+    struct Key {
+      SqlRow values;
+      size_t index;
+    };
+    std::vector<Key> keys;
+    keys.reserve(relation->rows.size());
+    for (size_t r = 0; r < relation->rows.size(); ++r) {
+      SqlRow values;
+      for (const auto& order : select.order_by) {
+        EvalContext ctx{relation, &relation->rows[r], &params_, nullptr};
+        auto v = EvalExpr(*order.expr, ctx);
+        if (!v.ok()) return v.status();
+        values.push_back(std::move(*v));
+      }
+      keys.push_back({std::move(values), r});
+    }
+    std::stable_sort(keys.begin(), keys.end(), [&](const Key& a,
+                                                   const Key& b) {
+      for (size_t i = 0; i < select.order_by.size(); ++i) {
+        if (a.values[i] == b.values[i]) continue;
+        const bool less = a.values[i] < b.values[i];
+        return select.order_by[i].descending ? !less : less;
+      }
+      return false;
+    });
+    std::vector<SqlRow> sorted;
+    sorted.reserve(relation->rows.size());
+    for (const Key& k : keys) {
+      sorted.push_back(std::move(relation->rows[k.index]));
+    }
+    relation->rows = std::move(sorted);
+    return Status::Ok();
+  }
+
+  // GROUP BY / global aggregation. Handles aggregate expressions in the
+  // select list and ORDER BY, with output-alias resolution.
+  Result<SqlRelation> RunGrouped(const SqlSelect& select,
+                                 const SqlRelation& input) {
+    // Group key expressions (alias-resolved).
+    std::vector<const SqlExpr*> key_exprs;
+    for (const auto& g : select.group_by) {
+      key_exprs.push_back(ResolveAlias(g.get(), select));
+    }
+
+    // Partition rows by key.
+    std::map<SqlRow, std::vector<const SqlRow*>> groups;
+    for (const auto& row : input.rows) {
+      SqlRow key;
+      for (const SqlExpr* e : key_exprs) {
+        EvalContext ctx{&input, &row, &params_, nullptr};
+        auto v = EvalExpr(*e, ctx);
+        if (!v.ok()) return v.status();
+        key.push_back(std::move(*v));
+      }
+      groups[std::move(key)].push_back(&row);
+    }
+    // A global aggregate (no GROUP BY) over zero rows yields one group.
+    if (select.group_by.empty() && groups.empty()) {
+      groups[{}] = {};
+    }
+
+    // Aggregate expressions appearing anywhere in the outputs or ordering.
+    std::vector<const SqlExpr*> agg_exprs;
+    const auto collect_aggs = [&](const SqlExpr* e, auto&& self) -> void {
+      if (e->kind == SqlExprKind::kFunction &&
+          (e->function == "MIN" || e->function == "MAX")) {
+        agg_exprs.push_back(e);
+        return;
+      }
+      if (e->kind == SqlExprKind::kBinary) {
+        self(e->lhs.get(), self);
+        self(e->rhs.get(), self);
+      } else if (e->kind == SqlExprKind::kFunction) {
+        for (const auto& a : e->args) self(a.get(), self);
+      }
+    };
+    for (const auto& item : select.items) {
+      collect_aggs(item.expr.get(), collect_aggs);
+    }
+    for (const auto& order : select.order_by) {
+      collect_aggs(ResolveAlias(order.expr.get(), select), collect_aggs);
+    }
+
+    SqlRelation out;
+    for (const auto& item : select.items) {
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == SqlExprKind::kColumn ? item.expr->column
+                                                       : "?column?";
+      }
+      out.columns.push_back({"", name});
+    }
+
+    struct GroupRow {
+      SqlRow output;
+      SqlRow order_keys;
+    };
+    std::vector<GroupRow> group_rows;
+    for (const auto& [key, rows] : groups) {
+      // Compute every aggregate over the group.
+      std::map<const SqlExpr*, SqlValue> agg_values;
+      for (const SqlExpr* agg : agg_exprs) {
+        std::optional<int64_t> best;
+        for (const SqlRow* row : rows) {
+          EvalContext ctx{&input, row, &params_, nullptr};
+          bool is_null = false;
+          auto v = EvalInt(*agg->args[0], ctx, &is_null);
+          if (!v.ok()) return v.status();
+          if (is_null) continue;
+          if (!best || (agg->function == "MIN" ? *v < *best : *v > *best)) {
+            best = *v;
+          }
+        }
+        agg_values[agg] = best ? SqlValue(*best) : SqlValue();
+      }
+      const SqlRow* sample = rows.empty() ? nullptr : rows.front();
+      const SqlRow empty_row;
+      EvalContext ctx{&input, sample != nullptr ? sample : &empty_row,
+                      &params_, &agg_values};
+
+      GroupRow group_row;
+      for (const auto& item : select.items) {
+        if (sample == nullptr && !ContainsAggregate(*item.expr)) {
+          group_row.output.emplace_back();  // NULL for empty global group.
+          continue;
+        }
+        auto v = EvalExpr(*item.expr, ctx);
+        if (!v.ok()) return v.status();
+        group_row.output.push_back(std::move(*v));
+      }
+      for (const auto& order : select.order_by) {
+        const SqlExpr* e = ResolveAlias(order.expr.get(), select);
+        auto v = EvalExpr(*e, ctx);
+        if (!v.ok()) return v.status();
+        group_row.order_keys.push_back(std::move(*v));
+      }
+      group_rows.push_back(std::move(group_row));
+    }
+
+    if (!select.order_by.empty()) {
+      std::stable_sort(
+          group_rows.begin(), group_rows.end(),
+          [&](const GroupRow& a, const GroupRow& b) {
+            for (size_t i = 0; i < select.order_by.size(); ++i) {
+              if (a.order_keys[i] == b.order_keys[i]) continue;
+              const bool less = a.order_keys[i] < b.order_keys[i];
+              return select.order_by[i].descending ? !less : less;
+            }
+            return false;
+          });
+    }
+    for (auto& g : group_rows) out.rows.push_back(std::move(g.output));
+    return out;
+  }
+
+  EngineDatabase* db_;
+  const std::vector<int64_t>& params_;
+  std::map<std::string, SqlRelation> ctes_;
+};
+
+}  // namespace
+
+Result<SqlRelation> SqlInterpreter::Execute(
+    const std::string& sql, const std::vector<int64_t>& params) {
+  auto select = ParseSqlSelect(sql);
+  if (!select.ok()) return select.status();
+  return ExecuteSelect(**select, params);
+}
+
+Result<SqlRelation> SqlInterpreter::ExecuteSelect(
+    const SqlSelect& select, const std::vector<int64_t>& params) {
+  Executor executor(db_, params);
+  return executor.Run(select);
+}
+
+}  // namespace ptldb

@@ -1,0 +1,65 @@
+#ifndef PTLDB_SQL_INTERPRETER_H_
+#define PTLDB_SQL_INTERPRETER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace ptldb {
+
+/// A runtime SQL value: NULL, a 64-bit integer, or an integer array.
+using SqlValue =
+    std::variant<std::monostate, int64_t, std::vector<int32_t>>;
+
+inline bool SqlIsNull(const SqlValue& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// One result row.
+using SqlRow = std::vector<SqlValue>;
+
+/// A materialized relation: qualified column names + rows.
+struct SqlRelation {
+  struct ColumnInfo {
+    std::string qualifier;  // Exposure alias of the source ("" = none).
+    std::string name;
+  };
+  std::vector<ColumnInfo> columns;
+  std::vector<SqlRow> rows;
+};
+
+/// Executes parsed SELECT statements against the embedded engine — the
+/// embedded counterpart of running the paper's SQL through PostgreSQL.
+/// Table access goes through the engine's buffer pool, so device-model
+/// accounting applies exactly as for the hand-built plans.
+///
+/// Supported: the dialect of sql/parser.h — CTEs, parallel UNNEST with
+/// array slices, cross joins with automatic hash-equi-join extraction,
+/// MIN/MAX aggregation with and without GROUP BY, ORDER BY (aliases or
+/// aggregates), LIMIT, UNION [ALL], FLOOR/LEAST/GREATEST and integer
+/// arithmetic. Positional parameters bind as integers ($1 = params[0]).
+class SqlInterpreter {
+ public:
+  explicit SqlInterpreter(EngineDatabase* db) : db_(db) {}
+
+  /// Parses and executes `sql` with the given parameters.
+  Result<SqlRelation> Execute(const std::string& sql,
+                              const std::vector<int64_t>& params = {});
+
+  /// Executes an already-parsed statement.
+  Result<SqlRelation> ExecuteSelect(const SqlSelect& select,
+                                    const std::vector<int64_t>& params = {});
+
+ private:
+  EngineDatabase* db_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_INTERPRETER_H_

@@ -1,0 +1,185 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace ptldb {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* keywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP", "ORDER",  "BY",    "LIMIT",
+      "AS",     "WITH",  "UNION", "ALL",   "AND",    "OR",    "NOT",
+      "DESC",   "ASC",   "MIN",   "MAX",   "UNNEST", "FLOOR", "DISTINCT",
+      "NULL",   "IN",    "LEAST", "GREATEST"};
+  return *keywords;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  return Keywords().count(upper_word) != 0;
+}
+
+Result<std::vector<SqlToken>> LexSql(const std::string& sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  const auto push = [&](SqlTokenKind kind, size_t offset,
+                        std::string text = {}, int64_t value = 0) {
+    tokens.push_back({kind, std::move(text), value, offset});
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      const size_t close = sql.find("*/", i + 2);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated /* comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) != 0 ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        push(SqlTokenKind::kKeyword, start, upper);
+      } else {
+        push(SqlTokenKind::kIdentifier, start, ToLower(std::move(word)));
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      int64_t value = 0;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j])) != 0) {
+        value = value * 10 + (sql[j] - '0');
+        ++j;
+      }
+      push(SqlTokenKind::kInteger, start, sql.substr(i, j - i), value);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '$': {
+        size_t j = i + 1;
+        int64_t value = 0;
+        while (j < n &&
+               std::isdigit(static_cast<unsigned char>(sql[j])) != 0) {
+          value = value * 10 + (sql[j] - '0');
+          ++j;
+        }
+        if (j == i + 1 || value < 1) {
+          return Status::InvalidArgument("bad parameter reference");
+        }
+        push(SqlTokenKind::kParameter, start, sql.substr(i, j - i), value);
+        i = j;
+        continue;
+      }
+      case ',':
+        push(SqlTokenKind::kComma, start);
+        break;
+      case '.':
+        push(SqlTokenKind::kDot, start);
+        break;
+      case '*':
+        push(SqlTokenKind::kStar, start);
+        break;
+      case '(':
+        push(SqlTokenKind::kLParen, start);
+        break;
+      case ')':
+        push(SqlTokenKind::kRParen, start);
+        break;
+      case '[':
+        push(SqlTokenKind::kLBracket, start);
+        break;
+      case ']':
+        push(SqlTokenKind::kRBracket, start);
+        break;
+      case ':':
+        push(SqlTokenKind::kColon, start);
+        break;
+      case ';':
+        push(SqlTokenKind::kSemicolon, start);
+        break;
+      case '+':
+        push(SqlTokenKind::kPlus, start);
+        break;
+      case '-':
+        push(SqlTokenKind::kMinus, start);
+        break;
+      case '/':
+        push(SqlTokenKind::kSlash, start);
+        break;
+      case '=':
+        push(SqlTokenKind::kEq, start);
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(SqlTokenKind::kNe, start);
+          ++i;
+          break;
+        }
+        return Status::InvalidArgument("unexpected '!'");
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(SqlTokenKind::kLe, start);
+          ++i;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(SqlTokenKind::kNe, start);
+          ++i;
+        } else {
+          push(SqlTokenKind::kLt, start);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(SqlTokenKind::kGe, start);
+          ++i;
+        } else {
+          push(SqlTokenKind::kGt, start);
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(start));
+    }
+    ++i;
+  }
+  push(SqlTokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace ptldb

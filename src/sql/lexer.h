@@ -1,0 +1,22 @@
+#ifndef PTLDB_SQL_LEXER_H_
+#define PTLDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace ptldb {
+
+/// Tokenizes one SQL statement. Keywords are recognized case-insensitively
+/// and normalized to upper case; identifiers are normalized to lower case
+/// (PostgreSQL folding). Comments ("-- ..." and "/* ... */") are skipped.
+Result<std::vector<SqlToken>> LexSql(const std::string& sql);
+
+/// True when `word` (upper-cased) is a reserved keyword of the dialect.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_LEXER_H_

@@ -1,0 +1,409 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace ptldb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlSelectPtr> ParseStatement() {
+    auto select = ParseSelect(/*allow_with=*/true);
+    if (!select.ok()) return select;
+    Accept(SqlTokenKind::kSemicolon);
+    if (Peek().kind != SqlTokenKind::kEnd) {
+      return Error("trailing tokens after statement");
+    }
+    return select;
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const SqlToken& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(SqlTokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool AcceptKeyword(const char* word) {
+    if (Peek().kind != SqlTokenKind::kKeyword || Peek().text != word) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool PeekKeyword(const char* word, size_t ahead = 0) const {
+    return Peek(ahead).kind == SqlTokenKind::kKeyword &&
+           Peek(ahead).text == word;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " +
+                                   message + " (near '" + Peek().text + "')");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Status Expect(SqlTokenKind kind, const char* what) {
+    if (!Accept(kind)) return Error(std::string("expected ") + what);
+    return Status::Ok();
+  }
+
+  // select := simple (UNION [ALL] simple)*
+  Result<SqlSelectPtr> ParseSelect(bool allow_with) {
+    std::vector<std::pair<std::string, SqlSelectPtr>> ctes;
+    if (allow_with && AcceptKeyword("WITH")) {
+      do {
+        auto name = ExpectIdentifier("CTE name");
+        if (!name.ok()) return name.status();
+        if (!AcceptKeyword("AS")) return Error("expected AS in CTE");
+        PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+        auto body = ParseSelect(/*allow_with=*/false);
+        if (!body.ok()) return body;
+        PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+        ctes.emplace_back(std::move(*name), std::move(*body));
+      } while (Accept(SqlTokenKind::kComma));
+    }
+
+    auto head = ParseSimpleSelect();
+    if (!head.ok()) return head;
+    SqlSelect* tail = head->get();
+    while (PeekKeyword("UNION")) {
+      Advance();
+      const bool all = AcceptKeyword("ALL");
+      auto next = ParseSimpleSelect();
+      if (!next.ok()) return next;
+      tail->union_all = all;
+      tail->union_next = std::move(*next);
+      tail = tail->union_next.get();
+    }
+    (*head)->ctes = std::move(ctes);
+    return std::move(*head);
+  }
+
+  // simple := SELECT ... | "(" select ")"
+  Result<SqlSelectPtr> ParseSimpleSelect() {
+    if (Accept(SqlTokenKind::kLParen)) {
+      auto inner = ParseSelect(/*allow_with=*/false);
+      if (!inner.ok()) return inner;
+      PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+      return inner;
+    }
+    if (!AcceptKeyword("SELECT")) return Error("expected SELECT");
+    auto select = std::make_unique<SqlSelect>();
+    // Select list.
+    do {
+      SqlSelectItem item;
+      auto expr = ParseSelectItemExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = std::move(*expr);
+      if (AcceptKeyword("AS")) {
+        auto alias = ExpectIdentifier("alias");
+        if (!alias.ok()) return alias.status();
+        item.alias = std::move(*alias);
+      } else if (Peek().kind == SqlTokenKind::kIdentifier) {
+        item.alias = Advance().text;  // Bare alias.
+      }
+      select->items.push_back(std::move(item));
+    } while (Accept(SqlTokenKind::kComma));
+
+    if (AcceptKeyword("FROM")) {
+      do {
+        auto source = ParseTableRef();
+        if (!source.ok()) return source.status();
+        select->from.push_back(std::move(*source));
+      } while (Accept(SqlTokenKind::kComma));
+    }
+    if (AcceptKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      select->where = std::move(*where);
+    }
+    if (AcceptKeyword("GROUP")) {
+      if (!AcceptKeyword("BY")) return Error("expected BY");
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        select->group_by.push_back(std::move(*expr));
+      } while (Accept(SqlTokenKind::kComma));
+    }
+    if (AcceptKeyword("ORDER")) {
+      if (!AcceptKeyword("BY")) return Error("expected BY");
+      do {
+        SqlOrderItem item;
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        item.expr = std::move(*expr);
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        select->order_by.push_back(std::move(item));
+      } while (Accept(SqlTokenKind::kComma));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      auto limit = ParseExpr();
+      if (!limit.ok()) return limit.status();
+      select->limit = std::move(*limit);
+    }
+    return select;
+  }
+
+  Result<SqlTableRef> ParseTableRef() {
+    SqlTableRef ref;
+    if (Accept(SqlTokenKind::kLParen)) {
+      auto subquery = ParseSelect(/*allow_with=*/false);
+      if (!subquery.ok()) return subquery.status();
+      PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+      ref.subquery = std::move(*subquery);
+      AcceptKeyword("AS");
+      auto alias = ExpectIdentifier("subquery alias");
+      if (!alias.ok()) return alias.status();
+      ref.alias = std::move(*alias);
+      return ref;
+    }
+    auto table = ExpectIdentifier("table name");
+    if (!table.ok()) return table.status();
+    ref.table = std::move(*table);
+    ref.alias = ref.table;
+    if (AcceptKeyword("AS")) {
+      auto alias = ExpectIdentifier("alias");
+      if (!alias.ok()) return alias.status();
+      ref.alias = std::move(*alias);
+    } else if (Peek().kind == SqlTokenKind::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // Select items additionally allow "*" and "alias.*".
+  Result<SqlExprPtr> ParseSelectItemExpr() {
+    if (Peek().kind == SqlTokenKind::kStar) {
+      Advance();
+      auto star = std::make_unique<SqlExpr>();
+      star->kind = SqlExprKind::kStar;
+      return star;
+    }
+    if (Peek().kind == SqlTokenKind::kIdentifier &&
+        Peek(1).kind == SqlTokenKind::kDot &&
+        Peek(2).kind == SqlTokenKind::kStar) {
+      auto star = std::make_unique<SqlExpr>();
+      star->kind = SqlExprKind::kStar;
+      star->table = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return star;
+    }
+    return ParseExpr();
+  }
+
+  // Precedence: OR < AND < comparison < additive < primary/postfix.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(SqlBinaryOp::kOr, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    auto lhs = ParseComparison();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("AND")) {
+      auto rhs = ParseComparison();
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(SqlBinaryOp::kAnd, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    SqlBinaryOp op;
+    switch (Peek().kind) {
+      case SqlTokenKind::kEq:
+        op = SqlBinaryOp::kEq;
+        break;
+      case SqlTokenKind::kNe:
+        op = SqlBinaryOp::kNe;
+        break;
+      case SqlTokenKind::kLt:
+        op = SqlBinaryOp::kLt;
+        break;
+      case SqlTokenKind::kLe:
+        op = SqlBinaryOp::kLe;
+        break;
+      case SqlTokenKind::kGt:
+        op = SqlBinaryOp::kGt;
+        break;
+      case SqlTokenKind::kGe:
+        op = SqlBinaryOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    auto rhs = ParseAdditive();
+    if (!rhs.ok()) return rhs;
+    return MakeBinary(op, std::move(*lhs), std::move(*rhs));
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      SqlBinaryOp op;
+      if (Peek().kind == SqlTokenKind::kPlus) {
+        op = SqlBinaryOp::kAdd;
+      } else if (Peek().kind == SqlTokenKind::kMinus) {
+        op = SqlBinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs));
+    }
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    auto lhs = ParsePostfix();
+    if (!lhs.ok()) return lhs;
+    while (Peek().kind == SqlTokenKind::kSlash) {
+      Advance();
+      auto rhs = ParsePostfix();
+      if (!rhs.ok()) return rhs;
+      lhs = MakeBinary(SqlBinaryOp::kDiv, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  // Postfix array slice: base[lo:hi].
+  Result<SqlExprPtr> ParsePostfix() {
+    auto base = ParsePrimary();
+    if (!base.ok()) return base;
+    while (Accept(SqlTokenKind::kLBracket)) {
+      auto lo = ParseExpr();
+      if (!lo.ok()) return lo;
+      PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kColon, "':' in slice"));
+      auto hi = ParseExpr();
+      if (!hi.ok()) return hi;
+      PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRBracket, "']'"));
+      auto slice = std::make_unique<SqlExpr>();
+      slice->kind = SqlExprKind::kSlice;
+      slice->lhs = std::move(*base);
+      slice->slice_lo = std::move(*lo);
+      slice->slice_hi = std::move(*hi);
+      base = std::move(slice);
+    }
+    return base;
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    const SqlToken& token = Peek();
+    switch (token.kind) {
+      case SqlTokenKind::kInteger: {
+        Advance();
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kInteger;
+        expr->value = token.int_value;
+        return expr;
+      }
+      case SqlTokenKind::kParameter: {
+        Advance();
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kParameter;
+        expr->value = token.int_value;
+        return expr;
+      }
+      case SqlTokenKind::kLParen: {
+        Advance();
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner;
+        PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case SqlTokenKind::kKeyword: {
+        // Function-style keywords: MIN/MAX/UNNEST/FLOOR/LEAST/GREATEST.
+        if (token.text == "MIN" || token.text == "MAX" ||
+            token.text == "UNNEST" || token.text == "FLOOR" ||
+            token.text == "LEAST" || token.text == "GREATEST") {
+          const std::string name = Advance().text;
+          PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+          auto call = std::make_unique<SqlExpr>();
+          call->kind = SqlExprKind::kFunction;
+          call->function = name;
+          do {
+            auto arg = ParseExpr();
+            if (!arg.ok()) return arg;
+            call->args.push_back(std::move(*arg));
+          } while (Accept(SqlTokenKind::kComma));
+          PTLDB_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+          return call;
+        }
+        return Error("unexpected keyword in expression");
+      }
+      case SqlTokenKind::kIdentifier: {
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kColumn;
+        expr->column = Advance().text;
+        if (Peek().kind == SqlTokenKind::kDot &&
+            Peek(1).kind == SqlTokenKind::kIdentifier) {
+          Advance();  // '.'
+          expr->table = std::move(expr->column);
+          expr->column = Advance().text;
+        }
+        return expr;
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  static SqlExprPtr MakeBinary(SqlBinaryOp op, SqlExprPtr lhs, SqlExprPtr rhs) {
+    auto expr = std::make_unique<SqlExpr>();
+    expr->kind = SqlExprKind::kBinary;
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlSelectPtr> ParseSqlSelect(const std::string& sql) {
+  auto tokens = LexSql(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,32 @@
+#ifndef PTLDB_SQL_PARSER_H_
+#define PTLDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace ptldb {
+
+/// Parses one SELECT statement (optionally WITH-prefixed, optionally a
+/// UNION chain, optional trailing semicolon) of the PTLDB SQL dialect.
+/// Grammar (the subset the paper's Codes 1-4 exercise):
+///
+///   statement  := [WITH cte ("," cte)*] select [";"]
+///   cte        := ident AS "(" select ")"
+///   select     := simple (UNION [ALL] simple)*
+///   simple     := SELECT item ("," item)* [FROM source ("," source)*]
+///                 [WHERE expr] [GROUP BY expr ("," expr)*]
+///                 [ORDER BY order ("," order)*] [LIMIT expr]
+///               | "(" select ")"
+///   source     := ident [AS] [alias] | "(" select ")" [AS] alias
+///   item       := "*" | ident "." "*" | expr [[AS] alias]
+///   expr       := or-chain of AND-chains of comparisons over additive
+///                 terms; primary := int | $n | [ident "."] ident |
+///                 func "(" args ")" | "(" expr ")"; postfix [lo:hi]
+Result<SqlSelectPtr> ParseSqlSelect(const std::string& sql);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_PARSER_H_

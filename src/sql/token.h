@@ -1,0 +1,48 @@
+#ifndef PTLDB_SQL_TOKEN_H_
+#define PTLDB_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ptldb {
+
+/// Token kinds of the PTLDB SQL dialect (the subset PostgreSQL needs for
+/// Codes 1-4 of the paper: SELECT with CTEs, UNNEST, array slices,
+/// aggregates, UNION, ORDER/GROUP/LIMIT).
+enum class SqlTokenKind {
+  kEnd,
+  kIdentifier,   // lout, n1, hub ... (lower-cased; SQL is case-insensitive)
+  kKeyword,      // SELECT, FROM, WHERE ... (lexer upper-cases these)
+  kInteger,      // 3600
+  kParameter,    // $1
+  kComma,        // ,
+  kDot,          // .
+  kStar,         // *
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kColon,        // : (array slice)
+  kSemicolon,    // ;
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,           // =
+  kNe,           // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One token with its source position (for error messages).
+struct SqlToken {
+  SqlTokenKind kind = SqlTokenKind::kEnd;
+  std::string text;     // Identifier/keyword text or literal spelling.
+  int64_t int_value = 0;  // For kInteger / kParameter (the index).
+  size_t offset = 0;    // Byte offset in the statement.
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_TOKEN_H_

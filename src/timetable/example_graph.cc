@@ -1,0 +1,42 @@
+#include "timetable/example_graph.h"
+
+#include <cassert>
+
+namespace ptldb {
+
+Timetable MakeExampleTimetable() {
+  TimetableBuilder builder;
+  for (int i = 0; i < 7; ++i) {
+    builder.AddStop({.name = "stop" + std::to_string(i)});
+  }
+  const TripId t1 = builder.AddTrip();
+  const TripId t2 = builder.AddTrip();
+  const TripId t3 = builder.AddTrip();
+  const TripId t4 = builder.AddTrip();
+
+  // Times below are the paper's values multiplied by 100 (seconds).
+  // Trip 1: 5 -> 1 -> 0 -> 2 -> 6.
+  builder.AddConnection(5, 1, 28800, 32400, t1);
+  builder.AddConnection(1, 0, 32400, 36000, t1);
+  builder.AddConnection(0, 2, 36000, 39600, t1);
+  builder.AddConnection(2, 6, 39600, 43200, t1);
+  // Trip 2: 6 -> 2 -> 0 -> 1 -> 5.
+  builder.AddConnection(6, 2, 28800, 32400, t2);
+  builder.AddConnection(2, 0, 32400, 36000, t2);
+  builder.AddConnection(0, 1, 36000, 39600, t2);
+  builder.AddConnection(1, 5, 39600, 43200, t2);
+  // Trip 3: 3 -> 0.
+  builder.AddConnection(3, 0, 32400, 36000, t3);
+  // Trip 4: 4 -> 0, then 0 -> 3 and 0 -> 4.
+  builder.AddConnection(4, 0, 32400, 36000, t4);
+  builder.AddConnection(0, 3, 36000, 39600, t4);
+  builder.AddConnection(0, 4, 36000, 39600, t4);
+
+  auto result = std::move(builder).Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<StopId> ExampleVertexOrder() { return {0, 1, 2, 3, 4, 5, 6}; }
+
+}  // namespace ptldb

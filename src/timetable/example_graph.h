@@ -1,0 +1,27 @@
+#ifndef PTLDB_TIMETABLE_EXAMPLE_GRAPH_H_
+#define PTLDB_TIMETABLE_EXAMPLE_GRAPH_H_
+
+#include <vector>
+
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// The example timetable graph of Figure 1 in the paper: 7 stops, 4 trips.
+/// The paper prints timestamps in units of 100 s (324 = 32,400 s = 09:00);
+/// this fixture uses real seconds. Reconstructed from the labels of Table 1:
+///   trip 0 ("1"): 5 -> 1 -> 0 -> 2 -> 6  (dep 5 @ 28800)
+///   trip 1 ("2"): 6 -> 2 -> 0 -> 1 -> 5  (dep 6 @ 28800)
+///   trip 2 ("3"): 3 -> 0                 (dep 3 @ 32400)
+///   trip 3 ("4"): 4 -> 0, then branches 0 -> 3 and 0 -> 4 (the multigraph
+///                 of the paper allows arbitrary arc sets per trip)
+/// Vertex order: 0 highest, then 1, 2, 3, 4, 5, 6.
+Timetable MakeExampleTimetable();
+
+/// The vertex order of the example (rank position i holds the stop id with
+/// rank i; most important first): {0, 1, 2, 3, 4, 5, 6}.
+std::vector<StopId> ExampleVertexOrder();
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_EXAMPLE_GRAPH_H_

@@ -1,0 +1,247 @@
+#include "timetable/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ptldb {
+
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Spatial grid for nearest-neighbor candidate lookup.
+class StopGrid {
+ public:
+  StopGrid(const std::vector<Point>& points, uint32_t cells_per_side)
+      : points_(points), side_(std::max(1u, cells_per_side)) {
+    cells_.resize(static_cast<size_t>(side_) * side_);
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      cells_[CellOf(points[i])].push_back(i);
+    }
+  }
+
+  // Up to `k` nearest stops to `s` (excluding s itself), by expanding rings
+  // of grid cells.
+  std::vector<uint32_t> Nearest(uint32_t s, uint32_t k) const {
+    const Point& p = points_[s];
+    const int cx = ClampCell(p.x);
+    const int cy = ClampCell(p.y);
+    std::vector<uint32_t> found;
+    for (int radius = 0; radius < static_cast<int>(side_); ++radius) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        for (int dy = -radius; dy <= radius; ++dy) {
+          if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+          const int x = cx + dx;
+          const int y = cy + dy;
+          if (x < 0 || y < 0 || x >= static_cast<int>(side_) ||
+              y >= static_cast<int>(side_)) {
+            continue;
+          }
+          for (uint32_t id : cells_[static_cast<size_t>(y) * side_ + x]) {
+            if (id != s) found.push_back(id);
+          }
+        }
+      }
+      if (found.size() >= k && radius >= 1) break;
+    }
+    std::sort(found.begin(), found.end(), [&](uint32_t a, uint32_t b) {
+      return Distance(points_[a], p) < Distance(points_[b], p);
+    });
+    if (found.size() > k) found.resize(k);
+    return found;
+  }
+
+ private:
+  int ClampCell(double v) const {
+    const int c = static_cast<int>(v * side_);
+    return std::clamp(c, 0, static_cast<int>(side_) - 1);
+  }
+  size_t CellOf(const Point& p) const {
+    return static_cast<size_t>(ClampCell(p.y)) * side_ + ClampCell(p.x);
+  }
+
+  const std::vector<Point>& points_;
+  uint32_t side_;
+  std::vector<std::vector<uint32_t>> cells_;
+};
+
+bool IsPeakHour(Timestamp t) {
+  const int hour = HourOf(t) % 24;
+  return (hour >= 7 && hour < 9) || (hour >= 16 && hour < 19);
+}
+
+}  // namespace
+
+Result<Timetable> GenerateNetwork(const GeneratorOptions& options) {
+  if (options.num_stops < 2) {
+    return Status::InvalidArgument("need at least 2 stops");
+  }
+  if (options.min_route_len < 2 ||
+      options.max_route_len < options.min_route_len) {
+    return Status::InvalidArgument("bad route length range");
+  }
+  if (options.service_end <= options.service_start) {
+    return Status::InvalidArgument("empty service window");
+  }
+  if (options.peak_headway <= 0 || options.offpeak_headway <= 0) {
+    return Status::InvalidArgument("headways must be positive");
+  }
+
+  Rng rng(options.seed);
+  const uint32_t n = options.num_stops;
+
+  // Stop layout: a dense core plus uniform sprawl, like a real city.
+  std::vector<Point> points(n);
+  for (auto& p : points) {
+    if (rng.NextBool(0.5)) {
+      p.x = 0.5 + (rng.NextDouble() - 0.5) * 0.4;
+      p.y = 0.5 + (rng.NextDouble() - 0.5) * 0.4;
+    } else {
+      p.x = rng.NextDouble();
+      p.y = rng.NextDouble();
+    }
+  }
+  const auto cells =
+      static_cast<uint32_t>(std::max(2.0, std::sqrt(n / 4.0)));
+  StopGrid grid(points, cells);
+
+  // Estimate trips per route direction to size the route count.
+  const Timestamp span = options.service_end - options.service_start;
+  const double avg_headway =
+      0.25 * options.peak_headway + 0.75 * options.offpeak_headway;
+  const double trips_per_direction = std::max(1.0, span / avg_headway);
+  const double avg_len =
+      0.5 * (options.min_route_len + options.max_route_len);
+  const double conns_per_route =
+      2.0 * (avg_len - 1.0) * trips_per_direction;
+  const auto planned_routes = static_cast<uint32_t>(std::max(
+      1.0, std::round(options.target_connections / conns_per_route)));
+
+  TimetableBuilder builder;
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddStop({.name = "stop" + std::to_string(i),
+                     .lat = points[i].y,
+                     .lon = points[i].x});
+  }
+
+  std::vector<bool> covered(n, false);
+
+  // One route = a walk over nearby stops. Returns the stop sequence.
+  auto make_route = [&](StopId start) {
+    const auto len = static_cast<uint32_t>(
+        rng.NextInRange(options.min_route_len, options.max_route_len));
+    std::vector<StopId> seq{start};
+    covered[start] = true;
+    std::vector<bool> used(0);
+    while (seq.size() < len) {
+      const auto near = grid.Nearest(seq.back(), 6);
+      StopId next = kInvalidStop;
+      // Prefer a nearby stop not already on this route.
+      for (int attempt = 0; attempt < 4 && next == kInvalidStop; ++attempt) {
+        if (near.empty()) break;
+        const StopId cand = near[rng.NextBelow(near.size())];
+        if (std::find(seq.begin(), seq.end(), cand) == seq.end()) next = cand;
+      }
+      if (next == kInvalidStop) break;
+      seq.push_back(next);
+      covered[next] = true;
+    }
+    return seq;
+  };
+
+  // Route set: coverage walks from every unserved stop first, then random
+  // density routes up to the planned count.
+  std::vector<std::vector<StopId>> routes;
+  for (StopId s = 0; s < n; ++s) {
+    if (!covered[s]) {
+      auto seq = make_route(s);
+      if (seq.size() >= 2) routes.push_back(std::move(seq));
+    }
+  }
+  while (routes.size() < planned_routes) {
+    auto seq = make_route(static_cast<StopId>(rng.NextBelow(n)));
+    if (seq.size() >= 2) routes.push_back(std::move(seq));
+  }
+
+  // Headway scale keeps the connection count near the target even when the
+  // coverage pass created more routes than planned.
+  double expected = 0.0;
+  for (const auto& seq : routes) {
+    expected += 2.0 * (static_cast<double>(seq.size()) - 1.0) *
+                trips_per_direction;
+  }
+  const double headway_scale = std::clamp(
+      expected / static_cast<double>(options.target_connections), 1.0, 16.0);
+
+  // Emits all trips of one route direction.
+  auto emit_direction = [&](const std::vector<StopId>& seq) {
+    // Per-hop travel times are fixed per route (same physical track).
+    std::vector<Timestamp> hop(seq.size() - 1);
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const double d = Distance(points[seq[i]], points[seq[i + 1]]);
+      hop[i] = std::max<Timestamp>(
+          options.min_hop_seconds,
+          static_cast<Timestamp>(d * options.hop_seconds_per_unit));
+    }
+    Timestamp dep = options.service_start +
+                    static_cast<Timestamp>(rng.NextBelow(
+                        static_cast<uint64_t>(options.peak_headway)));
+    while (dep < options.service_end) {
+      const TripId trip = builder.AddTrip();
+      Timestamp t = dep;
+      for (size_t i = 0; i + 1 < seq.size(); ++i) {
+        const Timestamp arr = t + hop[i];
+        builder.AddConnection(seq[i], seq[i + 1], t, arr, trip);
+        t = arr + options.dwell_seconds;
+      }
+      const Timestamp base =
+          IsPeakHour(dep) ? options.peak_headway : options.offpeak_headway;
+      const auto headway =
+          static_cast<Timestamp>(static_cast<double>(base) * headway_scale);
+      // +-20% jitter keeps event times from aligning artificially.
+      const Timestamp jitter = static_cast<Timestamp>(
+          rng.NextInRange(-headway / 5, headway / 5));
+      dep += std::max<Timestamp>(60, headway + jitter);
+    }
+  };
+
+  for (const auto& seq : routes) {
+    emit_direction(seq);
+    const std::vector<StopId> reversed(seq.rbegin(), seq.rend());
+    emit_direction(reversed);
+  }
+
+  return std::move(builder).Build();
+}
+
+const CityProfile* FindCityProfile(const std::string& name) {
+  for (const CityProfile& p : kCityProfiles) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+GeneratorOptions CityOptions(const CityProfile& profile, double scale,
+                             uint64_t seed) {
+  GeneratorOptions options;
+  options.num_stops = std::max<uint32_t>(
+      50, static_cast<uint32_t>(profile.num_stops * scale));
+  options.target_connections = std::max<uint64_t>(
+      1000, static_cast<uint64_t>(profile.num_connections * scale));
+  options.min_route_len = std::max(4u, profile.route_len - 4);
+  options.max_route_len = profile.route_len + 4;
+  options.peak_headway = profile.peak_headway;
+  options.offpeak_headway = profile.offpeak_headway;
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,88 @@
+#ifndef PTLDB_TIMETABLE_GENERATOR_H_
+#define PTLDB_TIMETABLE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Parameters of the synthetic transit-network generator.
+///
+/// The generator models a city: stops are placed in the unit square with a
+/// denser core, routes are short random walks between nearby stops (run in
+/// both directions), and every route is serviced all day with rush-hour
+/// dependent headways. The result is a schedule-based multigraph with the
+/// same structural shape as the paper's GTFS datasets (Table 7): |V| stops,
+/// roughly `target_connections` arcs, realistic event-time distributions
+/// with morning/evening peaks.
+struct GeneratorOptions {
+  uint32_t num_stops = 1000;
+  /// Desired |E|; the generator sizes the number of routes to approximate it
+  /// (coverage routes for otherwise-unreached stops add a small overshoot).
+  uint64_t target_connections = 100000;
+  /// Stops per route, sampled uniformly in [min_route_len, max_route_len].
+  uint32_t min_route_len = 8;
+  uint32_t max_route_len = 20;
+  /// Service day window (seconds; may extend past midnight).
+  Timestamp service_start = 4 * 3600;
+  Timestamp service_end = 26 * 3600;
+  /// Headways (seconds) during rush hours (07-09, 16-19) and otherwise.
+  Timestamp peak_headway = 600;
+  Timestamp offpeak_headway = 1200;
+  /// Travel time per hop = distance * hop_seconds_per_unit, at least
+  /// min_hop_seconds; a 30 s dwell is added at intermediate stops.
+  double hop_seconds_per_unit = 7200.0;
+  Timestamp min_hop_seconds = 60;
+  Timestamp dwell_seconds = 30;
+  uint64_t seed = 1;
+};
+
+/// Generates a synthetic timetable. Deterministic for fixed options.
+Result<Timetable> GenerateNetwork(const GeneratorOptions& options);
+
+/// Shape parameters of one of the paper's 11 evaluation datasets (Table 7).
+/// `num_stops`/`num_connections` are the paper's full-size figures; callers
+/// scale them down with CityOptions(profile, scale).
+struct CityProfile {
+  const char* name;
+  uint32_t num_stops;        // Paper's |V|.
+  uint64_t num_connections;  // Paper's |E|.
+  uint32_t route_len;        // Typical stops per route.
+  Timestamp peak_headway;    // Densest service (drives avg degree).
+  Timestamp offpeak_headway;
+};
+
+/// The 11 datasets of Table 7.
+inline constexpr CityProfile kCityProfiles[] = {
+    // name            |V|     |E|        len  peak  offpeak
+    {"Austin",          2000,   317000,   14,  600,  1200},
+    {"Berlin",         12000,  2081000,   16,  600,  1200},
+    {"Budapest",        5000,  1446000,   16,  450,   900},
+    {"Denver",         10000,   711000,   14,  900,  1800},
+    {"Houston",        10000,  1113000,   14,  750,  1500},
+    {"LosAngeles",     15000,  1928000,   15,  700,  1400},
+    {"Madrid",          4000,  1913000,   20,  300,   600},
+    {"Roma",            9000,  2281000,   18,  400,   800},
+    {"SaltLakeCity",    6000,   330000,   12, 1200,  2400},
+    {"Sweden",         51000,  4072000,   12,  900,  1800},
+    {"Toronto",        10000,  3300000,   18,  350,   700},
+};
+inline constexpr size_t kNumCityProfiles =
+    sizeof(kCityProfiles) / sizeof(kCityProfiles[0]);
+
+/// Finds a profile by (case-sensitive) name; nullptr when unknown.
+const CityProfile* FindCityProfile(const std::string& name);
+
+/// Generator options for `profile` scaled by `scale` (0 < scale <= 1):
+/// |V| and |E| shrink linearly, so the average degree |E|/|V| — the property
+/// the paper's discussion keys on — is preserved.
+GeneratorOptions CityOptions(const CityProfile& profile, double scale,
+                             uint64_t seed = 1);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_GENERATOR_H_

@@ -1,0 +1,225 @@
+#include "timetable/gtfs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_set>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace ptldb {
+
+namespace {
+
+const char* WeekdayColumn(Weekday day) {
+  switch (day) {
+    case Weekday::kMonday:
+      return "monday";
+    case Weekday::kTuesday:
+      return "tuesday";
+    case Weekday::kWednesday:
+      return "wednesday";
+    case Weekday::kThursday:
+      return "thursday";
+    case Weekday::kFriday:
+      return "friday";
+    case Weekday::kSaturday:
+      return "saturday";
+    case Weekday::kSunday:
+      return "sunday";
+  }
+  return "tuesday";
+}
+
+struct StopTime {
+  Timestamp arrival = kInvalidTime;
+  Timestamp departure = kInvalidTime;
+  StopId stop = kInvalidStop;
+  int64_t sequence = 0;
+};
+
+struct Frequency {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  Timestamp headway = 0;
+};
+
+}  // namespace
+
+Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
+                                const GtfsOptions& options) {
+  namespace fs = std::filesystem;
+  const auto path = [&](const char* file) {
+    return (fs::path(directory) / file).string();
+  };
+
+  GtfsLoadResult out;
+  TimetableBuilder builder;
+
+  // --- stops.txt ---
+  auto stops = CsvTable::ParseFile(path("stops.txt"));
+  if (!stops.ok()) return stops.status();
+  if (stops->ColumnIndex("stop_id") < 0) {
+    return Status::Corruption("stops.txt lacks stop_id column");
+  }
+  for (size_t r = 0; r < stops->num_rows(); ++r) {
+    const std::string& id = stops->Field(r, "stop_id");
+    if (id.empty()) return Status::Corruption("empty stop_id in stops.txt");
+    if (out.stop_index.count(id) != 0) {
+      return Status::Corruption("duplicate stop_id " + id);
+    }
+    StopInfo info;
+    info.name = stops->Field(r, "stop_name");
+    info.lat = ParseDouble(stops->Field(r, "stop_lat")).value_or(0.0);
+    info.lon = ParseDouble(stops->Field(r, "stop_lon")).value_or(0.0);
+    const StopId s = builder.AddStop(std::move(info));
+    out.stop_index.emplace(id, s);
+    out.stop_ids.push_back(id);
+  }
+
+  // --- calendar.txt (optional): services active on the requested day ---
+  std::unordered_set<std::string> active_services;
+  bool have_calendar = false;
+  if (fs::exists(path("calendar.txt"))) {
+    auto calendar = CsvTable::ParseFile(path("calendar.txt"));
+    if (!calendar.ok()) return calendar.status();
+    have_calendar = true;
+    const char* column = WeekdayColumn(options.weekday);
+    for (size_t r = 0; r < calendar->num_rows(); ++r) {
+      if (calendar->Field(r, column) == "1") {
+        active_services.insert(calendar->Field(r, "service_id"));
+      }
+    }
+  }
+
+  // --- trips.txt ---
+  auto trips = CsvTable::ParseFile(path("trips.txt"));
+  if (!trips.ok()) return trips.status();
+  if (trips->ColumnIndex("trip_id") < 0) {
+    return Status::Corruption("trips.txt lacks trip_id column");
+  }
+  std::unordered_map<std::string, TripId> trip_index;
+  for (size_t r = 0; r < trips->num_rows(); ++r) {
+    const std::string& trip_id = trips->Field(r, "trip_id");
+    if (trip_id.empty()) return Status::Corruption("empty trip_id");
+    if (have_calendar &&
+        active_services.count(trips->Field(r, "service_id")) == 0) {
+      out.skipped_trips++;
+      continue;
+    }
+    if (trip_index.count(trip_id) != 0) {
+      return Status::Corruption("duplicate trip_id " + trip_id);
+    }
+    trip_index.emplace(trip_id, kInvalidTrip);  // Trip allocated lazily.
+  }
+
+  // --- stop_times.txt ---
+  auto stop_times = CsvTable::ParseFile(path("stop_times.txt"));
+  if (!stop_times.ok()) return stop_times.status();
+  for (const char* col : {"trip_id", "stop_id", "stop_sequence"}) {
+    if (stop_times->ColumnIndex(col) < 0) {
+      return Status::Corruption(std::string("stop_times.txt lacks ") + col);
+    }
+  }
+  std::unordered_map<std::string, std::vector<StopTime>> trip_stop_times;
+  for (size_t r = 0; r < stop_times->num_rows(); ++r) {
+    const std::string& trip_id = stop_times->Field(r, "trip_id");
+    const auto trip_it = trip_index.find(trip_id);
+    if (trip_it == trip_index.end()) continue;  // Inactive service.
+    const auto stop_it = out.stop_index.find(stop_times->Field(r, "stop_id"));
+    if (stop_it == out.stop_index.end()) {
+      return Status::Corruption("stop_times references unknown stop " +
+                                stop_times->Field(r, "stop_id"));
+    }
+    StopTime st;
+    st.stop = stop_it->second;
+    st.arrival = ParseGtfsTime(stop_times->Field(r, "arrival_time"));
+    st.departure = ParseGtfsTime(stop_times->Field(r, "departure_time"));
+    if (st.departure == kInvalidTime) st.departure = st.arrival;
+    if (st.arrival == kInvalidTime) st.arrival = st.departure;
+    if (st.arrival == kInvalidTime) {
+      return Status::Corruption("stop_time without any time for trip " +
+                                trip_id);
+    }
+    const auto seq = ParseInt(stop_times->Field(r, "stop_sequence"));
+    if (!seq) return Status::Corruption("bad stop_sequence for " + trip_id);
+    st.sequence = *seq;
+    trip_stop_times[trip_id].push_back(st);
+  }
+
+  // --- frequencies.txt (optional): headway-based repetitions ---
+  std::unordered_map<std::string, std::vector<Frequency>> frequencies;
+  if (fs::exists(path("frequencies.txt"))) {
+    auto freq = CsvTable::ParseFile(path("frequencies.txt"));
+    if (!freq.ok()) return freq.status();
+    for (size_t r = 0; r < freq->num_rows(); ++r) {
+      Frequency f;
+      f.start = ParseGtfsTime(freq->Field(r, "start_time"));
+      f.end = ParseGtfsTime(freq->Field(r, "end_time"));
+      const auto headway = ParseInt(freq->Field(r, "headway_secs"));
+      if (f.start == kInvalidTime || f.end == kInvalidTime || !headway ||
+          *headway <= 0) {
+        return Status::Corruption("bad frequencies.txt row");
+      }
+      f.headway = static_cast<Timestamp>(*headway);
+      frequencies[freq->Field(r, "trip_id")].push_back(f);
+    }
+  }
+
+  // Emit connections. Deterministic order: sort trip ids.
+  std::vector<std::string> ordered_trips;
+  ordered_trips.reserve(trip_stop_times.size());
+  for (const auto& [id, _] : trip_stop_times) ordered_trips.push_back(id);
+  std::sort(ordered_trips.begin(), ordered_trips.end());
+
+  auto emit_trip = [&](const std::vector<StopTime>& seq, Timestamp shift,
+                       const std::string& gtfs_trip_id) -> Status {
+    const TripId trip = builder.AddTrip();
+    out.trip_ids.push_back(gtfs_trip_id);
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const Timestamp dep = seq[i].departure + shift;
+      const Timestamp arr = seq[i + 1].arrival + shift;
+      if (arr <= dep) {
+        if (!options.drop_non_positive_durations) {
+          return Status::Corruption("non-positive connection duration in " +
+                                    gtfs_trip_id);
+        }
+        out.dropped_connections++;
+        continue;
+      }
+      builder.AddConnection(seq[i].stop, seq[i + 1].stop, dep, arr, trip);
+    }
+    return Status::Ok();
+  };
+
+  for (const std::string& trip_id : ordered_trips) {
+    auto& seq = trip_stop_times[trip_id];
+    std::sort(seq.begin(), seq.end(),
+              [](const StopTime& a, const StopTime& b) {
+                return a.sequence < b.sequence;
+              });
+    const auto freq_it = frequencies.find(trip_id);
+    if (freq_it == frequencies.end()) {
+      PTLDB_RETURN_IF_ERROR(emit_trip(seq, 0, trip_id));
+      continue;
+    }
+    // Headway expansion: the stop_times define relative travel times from
+    // the trip's first departure; one trip instance per headway slot.
+    const Timestamp base = seq.front().departure;
+    for (const Frequency& f : freq_it->second) {
+      int instance = 0;
+      for (Timestamp start = f.start; start < f.end; start += f.headway) {
+        PTLDB_RETURN_IF_ERROR(emit_trip(
+            seq, start - base,
+            trip_id + "#" + std::to_string(instance++)));
+      }
+    }
+  }
+
+  auto timetable = std::move(builder).Build();
+  if (!timetable.ok()) return timetable.status();
+  out.timetable = std::move(*timetable);
+  return out;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,58 @@
+#ifndef PTLDB_TIMETABLE_GTFS_H_
+#define PTLDB_TIMETABLE_GTFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Day-of-week selector matching GTFS calendar.txt column names.
+enum class Weekday {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+/// Options for loading a GTFS feed. The paper's datasets "record the
+/// timetable ... on a weekday", so the loader extracts a single service day.
+struct GtfsOptions {
+  /// Service day to extract; trips whose service is inactive are skipped.
+  /// When the feed has no calendar.txt every trip is kept.
+  Weekday weekday = Weekday::kTuesday;
+  /// GTFS feeds occasionally contain stop_time pairs with non-increasing
+  /// times; when true such connections are silently dropped (counted in
+  /// GtfsLoadResult::dropped_connections), otherwise loading fails.
+  bool drop_non_positive_durations = true;
+};
+
+/// A loaded feed: the timetable plus id mappings back to the feed.
+struct GtfsLoadResult {
+  Timetable timetable;
+  /// Dense StopId -> GTFS stop_id.
+  std::vector<std::string> stop_ids;
+  /// Dense TripId -> GTFS trip_id.
+  std::vector<std::string> trip_ids;
+  /// GTFS stop_id -> dense StopId.
+  std::unordered_map<std::string, StopId> stop_index;
+  uint64_t dropped_connections = 0;
+  uint64_t skipped_trips = 0;
+};
+
+/// Loads a GTFS feed from a directory containing at least stops.txt,
+/// trips.txt and stop_times.txt. calendar.txt (service days) and
+/// frequencies.txt (headway-expanded trips) are honored when present.
+/// All parsing is done manually (no third-party GTFS library).
+Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
+                                const GtfsOptions& options = {});
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_GTFS_H_

@@ -1,0 +1,99 @@
+#include "timetable/gtfs_writer.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace ptldb {
+
+namespace {
+
+// Escapes a field for CSV output (quotes when it contains , " or newline).
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status WriteGtfs(const Timetable& tt, const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return Status::IoError("cannot create " + directory);
+
+  std::ostringstream stops;
+  stops << "stop_id,stop_name,stop_lat,stop_lon\n";
+  for (StopId s = 0; s < tt.num_stops(); ++s) {
+    const StopInfo& info = tt.stop(s);
+    stops << "S" << s << "," << CsvEscape(info.name) << "," << info.lat << ","
+          << info.lon << "\n";
+  }
+
+  std::ostringstream routes;
+  routes << "route_id,route_short_name,route_type\n";
+  routes << "R0,ptldb,3\n";
+
+  std::ostringstream calendar;
+  calendar << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+              "sunday,start_date,end_date\n";
+  calendar << "ALL,1,1,1,1,1,1,1,20160101,20261231\n";
+
+  std::ostringstream trips;
+  trips << "route_id,service_id,trip_id\n";
+  std::ostringstream stop_times;
+  stop_times << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n";
+
+  // GTFS trips are linear stop sequences; a timetable trip whose connections
+  // do not chain (the multigraph allows that) is split into chained segments.
+  int gtfs_trip = 0;
+  for (TripId t = 0; t < tt.num_trips(); ++t) {
+    const auto conns = tt.trip_connections(t);
+    size_t i = 0;
+    while (i < conns.size()) {
+      size_t j = i;
+      while (j + 1 < conns.size()) {
+        const Connection& cur = tt.connection(conns[j]);
+        const Connection& next = tt.connection(conns[j + 1]);
+        if (cur.to != next.from || next.dep < cur.arr) break;
+        ++j;
+      }
+      const std::string trip_id = "T" + std::to_string(gtfs_trip++);
+      trips << "R0,ALL," << trip_id << "\n";
+      int seq = 0;
+      const Connection& first = tt.connection(conns[i]);
+      stop_times << trip_id << "," << FormatTime(first.dep) << ","
+                 << FormatTime(first.dep) << ",S" << first.from << "," << seq++
+                 << "\n";
+      for (size_t k = i; k <= j; ++k) {
+        const Connection& c = tt.connection(conns[k]);
+        const Timestamp departure =
+            k < j ? tt.connection(conns[k + 1]).dep : c.arr;
+        stop_times << trip_id << "," << FormatTime(c.arr) << ","
+                   << FormatTime(departure) << ",S" << c.to << "," << seq++
+                   << "\n";
+      }
+      i = j + 1;
+    }
+  }
+
+  const auto write = [&](const char* name, const std::ostringstream& body) {
+    return WriteStringToFile((fs::path(directory) / name).string(),
+                             body.str());
+  };
+  PTLDB_RETURN_IF_ERROR(write("stops.txt", stops));
+  PTLDB_RETURN_IF_ERROR(write("routes.txt", routes));
+  PTLDB_RETURN_IF_ERROR(write("calendar.txt", calendar));
+  PTLDB_RETURN_IF_ERROR(write("trips.txt", trips));
+  PTLDB_RETURN_IF_ERROR(write("stop_times.txt", stop_times));
+  return Status::Ok();
+}
+
+}  // namespace ptldb

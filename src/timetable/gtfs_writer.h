@@ -1,0 +1,22 @@
+#ifndef PTLDB_TIMETABLE_GTFS_WRITER_H_
+#define PTLDB_TIMETABLE_GTFS_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Writes `tt` as a minimal GTFS feed (stops.txt, routes.txt, trips.txt,
+/// stop_times.txt, calendar.txt with an every-day service) into `directory`,
+/// creating it if needed. Each trip becomes one GTFS trip whose stop_times
+/// follow the trip's connection sequence.
+///
+/// Round-tripping through WriteGtfs + LoadGtfs reproduces the same
+/// connection multiset, which the test suite exercises as a property.
+Status WriteGtfs(const Timetable& tt, const std::string& directory);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_GTFS_WRITER_H_

@@ -1,0 +1,54 @@
+#include "timetable/serialize.h"
+
+#include "common/binary_io.h"
+
+namespace ptldb {
+
+namespace {
+constexpr uint64_t kMagic = 0x5054544254313031ULL;  // "PTTBT101"
+}  // namespace
+
+Status SaveTimetable(const Timetable& tt, const std::string& path) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.Write(kMagic);
+  w.Write<uint32_t>(tt.num_stops());
+  w.Write<uint32_t>(tt.num_trips());
+  for (StopId s = 0; s < tt.num_stops(); ++s) {
+    const StopInfo& info = tt.stop(s);
+    w.WriteString(info.name);
+    w.Write(info.lat);
+    w.Write(info.lon);
+  }
+  std::vector<Connection> conns(tt.connections().begin(),
+                                tt.connections().end());
+  w.WriteVector(conns);
+  return w.Finish();
+}
+
+Result<Timetable> LoadTimetable(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IoError("cannot open " + path);
+  if (r.Read<uint64_t>() != kMagic) {
+    return Status::Corruption("bad timetable file magic: " + path);
+  }
+  const auto num_stops = r.Read<uint32_t>();
+  const auto num_trips = r.Read<uint32_t>();
+  TimetableBuilder builder;
+  for (uint32_t s = 0; s < num_stops; ++s) {
+    StopInfo info;
+    info.name = r.ReadString();
+    info.lat = r.Read<double>();
+    info.lon = r.Read<double>();
+    builder.AddStop(std::move(info));
+  }
+  for (uint32_t t = 0; t < num_trips; ++t) builder.AddTrip();
+  const auto conns = r.ReadVector<Connection>();
+  if (!r.ok()) return Status::Corruption("truncated timetable file " + path);
+  for (const Connection& c : conns) {
+    builder.AddConnection(c.from, c.to, c.dep, c.arr, c.trip);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,21 @@
+#ifndef PTLDB_TIMETABLE_SERIALIZE_H_
+#define PTLDB_TIMETABLE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+
+/// Persists a timetable to a binary file (stop metadata + connections; the
+/// derived indexes are rebuilt on load). Used by the benchmark dataset
+/// cache so repeated bench runs skip generation.
+Status SaveTimetable(const Timetable& tt, const std::string& path);
+
+/// Loads a timetable previously written by SaveTimetable.
+Result<Timetable> LoadTimetable(const std::string& path);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_SERIALIZE_H_

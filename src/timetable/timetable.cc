@@ -1,0 +1,144 @@
+#include "timetable/timetable.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ptldb {
+
+namespace {
+
+// Canonical total order used for the dep-sorted connection array. Every
+// algorithm that scans connections relies on this being deterministic.
+bool DepLess(const Connection& a, const Connection& b) {
+  return std::tie(a.dep, a.arr, a.from, a.to, a.trip) <
+         std::tie(b.dep, b.arr, b.from, b.to, b.trip);
+}
+
+// Builds a stop -> sorted distinct timestamps CSR from (stop, time) pairs.
+void BuildEventCsr(uint32_t num_stops,
+                   std::vector<std::pair<StopId, Timestamp>> events,
+                   std::vector<uint32_t>* offsets,
+                   std::vector<Timestamp>* times) {
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  offsets->assign(num_stops + 1, 0);
+  times->clear();
+  times->reserve(events.size());
+  for (const auto& [stop, time] : events) {
+    (*offsets)[stop + 1]++;
+    times->push_back(time);
+  }
+  for (uint32_t s = 0; s < num_stops; ++s) (*offsets)[s + 1] += (*offsets)[s];
+}
+
+}  // namespace
+
+std::span<const ConnectionId> Timetable::trip_connections(TripId t) const {
+  return {trip_conns_.data() + trip_offsets_[t],
+          trip_conns_.data() + trip_offsets_[t + 1]};
+}
+
+std::span<const Timestamp> Timetable::arrival_events(StopId s) const {
+  return {arrival_times_.data() + arrival_offsets_[s],
+          arrival_times_.data() + arrival_offsets_[s + 1]};
+}
+
+std::span<const Timestamp> Timetable::departure_events(StopId s) const {
+  return {departure_times_.data() + departure_offsets_[s],
+          departure_times_.data() + departure_offsets_[s + 1]};
+}
+
+size_t Timetable::FirstConnectionNotBefore(Timestamp t) const {
+  return static_cast<size_t>(
+      std::lower_bound(connections_.begin(), connections_.end(), t,
+                       [](const Connection& c, Timestamp v) {
+                         return c.dep < v;
+                       }) -
+      connections_.begin());
+}
+
+StopId TimetableBuilder::AddStop(StopInfo info) {
+  stops_.push_back(std::move(info));
+  return static_cast<StopId>(stops_.size() - 1);
+}
+
+TripId TimetableBuilder::AddTrip() { return num_trips_++; }
+
+void TimetableBuilder::AddConnection(StopId from, StopId to, Timestamp dep,
+                                     Timestamp arr, TripId trip) {
+  connections_.push_back({from, to, dep, arr, trip});
+}
+
+Result<Timetable> TimetableBuilder::Build() && {
+  const auto num_stops = static_cast<uint32_t>(stops_.size());
+  for (const Connection& c : connections_) {
+    if (c.from >= num_stops || c.to >= num_stops) {
+      return Status::InvalidArgument("connection references unknown stop");
+    }
+    if (c.trip >= num_trips_) {
+      return Status::InvalidArgument("connection references unknown trip");
+    }
+    if (c.arr <= c.dep) {
+      return Status::InvalidArgument(
+          "connection must have strictly positive duration");
+    }
+    if (c.from == c.to) {
+      return Status::InvalidArgument("connection loops on one stop");
+    }
+  }
+
+  Timetable tt;
+  tt.stops_ = std::move(stops_);
+  tt.num_trips_ = num_trips_;
+  tt.connections_ = std::move(connections_);
+  std::sort(tt.connections_.begin(), tt.connections_.end(), DepLess);
+
+  const auto n = static_cast<uint32_t>(tt.connections_.size());
+  tt.by_arrival_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) tt.by_arrival_[i] = i;
+  std::sort(tt.by_arrival_.begin(), tt.by_arrival_.end(),
+            [&](ConnectionId a, ConnectionId b) {
+              const Connection& ca = tt.connections_[a];
+              const Connection& cb = tt.connections_[b];
+              return std::tie(ca.arr, ca.dep, ca.from, ca.to, ca.trip) <
+                     std::tie(cb.arr, cb.dep, cb.from, cb.to, cb.trip);
+            });
+
+  // Trip CSR (connections of a trip in departure order; the dep-sorted
+  // global order already gives that within a trip).
+  tt.trip_offsets_.assign(tt.num_trips_ + 1, 0);
+  for (const Connection& c : tt.connections_) tt.trip_offsets_[c.trip + 1]++;
+  for (uint32_t t = 0; t < tt.num_trips_; ++t) {
+    tt.trip_offsets_[t + 1] += tt.trip_offsets_[t];
+  }
+  tt.trip_conns_.resize(n);
+  {
+    std::vector<uint32_t> cursor(tt.trip_offsets_.begin(),
+                                 tt.trip_offsets_.end() - 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      tt.trip_conns_[cursor[tt.connections_[i].trip]++] = i;
+    }
+  }
+
+  // Event CSRs.
+  std::vector<std::pair<StopId, Timestamp>> arrivals;
+  std::vector<std::pair<StopId, Timestamp>> departures;
+  arrivals.reserve(n);
+  departures.reserve(n);
+  for (const Connection& c : tt.connections_) {
+    arrivals.emplace_back(c.to, c.arr);
+    departures.emplace_back(c.from, c.dep);
+  }
+  BuildEventCsr(num_stops, std::move(arrivals), &tt.arrival_offsets_,
+                &tt.arrival_times_);
+  BuildEventCsr(num_stops, std::move(departures), &tt.departure_offsets_,
+                &tt.departure_times_);
+
+  if (!tt.connections_.empty()) {
+    tt.min_time_ = tt.connections_.front().dep;
+    tt.max_time_ = tt.connections_[tt.by_arrival_.back()].arr;
+  }
+  return tt;
+}
+
+}  // namespace ptldb

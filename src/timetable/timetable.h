@@ -1,0 +1,125 @@
+#ifndef PTLDB_TIMETABLE_TIMETABLE_H_
+#define PTLDB_TIMETABLE_TIMETABLE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "timetable/types.h"
+
+namespace ptldb {
+
+/// Optional stop metadata (GTFS carries it; synthetic networks fill it in).
+struct StopInfo {
+  std::string name;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// An immutable schedule-based public-transportation network: the timetable
+/// multigraph of the paper (Section 2.2). Stops are vertices; every
+/// connection <u, v, t_d, t_a, trip> is an arc. Built via TimetableBuilder.
+///
+/// The class maintains the access paths every algorithm in this repo needs:
+///  - connections sorted by (dep, arr, from, to, trip)  [forward scans]
+///  - a permutation sorted by (arr, dep, from, to, trip) [backward scans]
+///  - per-trip connection lists in travel order           [path expansion]
+///  - per-stop distinct arrival-event times               [dummy tuples]
+class Timetable {
+ public:
+  uint32_t num_stops() const { return static_cast<uint32_t>(stops_.size()); }
+  uint32_t num_trips() const { return num_trips_; }
+  uint32_t num_connections() const {
+    return static_cast<uint32_t>(connections_.size());
+  }
+
+  /// |E|/|V| of the multigraph, as reported in Table 7 of the paper.
+  double average_degree() const {
+    return num_stops() == 0
+               ? 0.0
+               : static_cast<double>(num_connections()) / num_stops();
+  }
+
+  const StopInfo& stop(StopId s) const { return stops_[s]; }
+
+  /// All connections, sorted ascending by (dep, arr, from, to, trip).
+  std::span<const Connection> connections() const { return connections_; }
+
+  /// Connection by id (id = position in the dep-sorted order).
+  const Connection& connection(ConnectionId id) const {
+    return connections_[id];
+  }
+
+  /// Connection ids sorted ascending by (arr, dep, from, to, trip).
+  std::span<const ConnectionId> by_arrival() const { return by_arrival_; }
+
+  /// Connection ids of a trip, in ascending departure order.
+  std::span<const ConnectionId> trip_connections(TripId t) const;
+
+  /// Distinct arrival-event timestamps at `s`, ascending.
+  std::span<const Timestamp> arrival_events(StopId s) const;
+
+  /// Distinct departure-event timestamps at `s`, ascending.
+  std::span<const Timestamp> departure_events(StopId s) const;
+
+  /// Index of the first connection (in dep order) with dep >= t.
+  size_t FirstConnectionNotBefore(Timestamp t) const;
+
+  /// Earliest departure in the timetable (0 when empty).
+  Timestamp min_time() const { return min_time_; }
+  /// Latest arrival in the timetable (0 when empty).
+  Timestamp max_time() const { return max_time_; }
+
+ private:
+  friend class TimetableBuilder;
+
+  std::vector<StopInfo> stops_;
+  uint32_t num_trips_ = 0;
+  std::vector<Connection> connections_;   // sorted by dep
+  std::vector<ConnectionId> by_arrival_;  // sorted by arr
+  // CSR: trip -> connection ids.
+  std::vector<uint32_t> trip_offsets_;
+  std::vector<ConnectionId> trip_conns_;
+  // CSR: stop -> distinct event timestamps.
+  std::vector<uint32_t> arrival_offsets_;
+  std::vector<Timestamp> arrival_times_;
+  std::vector<uint32_t> departure_offsets_;
+  std::vector<Timestamp> departure_times_;
+  Timestamp min_time_ = 0;
+  Timestamp max_time_ = 0;
+};
+
+/// Accumulates stops and connections and validates them into a Timetable.
+///
+/// Validation rules:
+///  - connection endpoints must be registered stops,
+///  - arr > dep for every connection (strictly positive durations keep
+///    same-timestamp transfer chains impossible, which makes scan-order
+///    tie-breaking irrelevant for every algorithm in this repo),
+///  - trip ids must be < the declared trip count.
+class TimetableBuilder {
+ public:
+  /// Registers a stop and returns its dense id.
+  StopId AddStop(StopInfo info = {});
+
+  /// Registers a trip and returns its dense id.
+  TripId AddTrip();
+
+  /// Adds one arc. Validation happens in Build().
+  void AddConnection(StopId from, StopId to, Timestamp dep, Timestamp arr,
+                     TripId trip);
+
+  /// Validates and assembles the immutable Timetable.
+  Result<Timetable> Build() &&;
+
+ private:
+  std::vector<StopInfo> stops_;
+  uint32_t num_trips_ = 0;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_TIMETABLE_H_

@@ -1,0 +1,48 @@
+#ifndef PTLDB_TIMETABLE_TYPES_H_
+#define PTLDB_TIMETABLE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/time_util.h"
+
+namespace ptldb {
+
+/// Stop (station) identifier: dense index in [0, num_stops).
+using StopId = uint32_t;
+/// Trip (vehicle run) identifier: dense index in [0, num_trips).
+using TripId = uint32_t;
+/// Connection identifier: dense index in [0, num_connections).
+using ConnectionId = uint32_t;
+
+inline constexpr StopId kInvalidStop = std::numeric_limits<StopId>::max();
+inline constexpr TripId kInvalidTrip = std::numeric_limits<TripId>::max();
+inline constexpr ConnectionId kInvalidConnection =
+    std::numeric_limits<ConnectionId>::max();
+
+/// One answer row of a kNN / one-to-many query: a target stop and its
+/// earliest arrival (EA variants) or latest departure (LD variants).
+struct StopTimeResult {
+  StopId stop = kInvalidStop;
+  Timestamp time = 0;
+
+  friend bool operator==(const StopTimeResult&,
+                         const StopTimeResult&) = default;
+};
+
+/// One elementary arc of the timetable multigraph: trip `trip` departs stop
+/// `from` at `dep` and arrives at stop `to` at `arr` (the tuple
+/// <u, v, t_d, t_a, b> of the paper). Invariant: arr > dep.
+struct Connection {
+  StopId from = kInvalidStop;
+  StopId to = kInvalidStop;
+  Timestamp dep = 0;
+  Timestamp arr = 0;
+  TripId trip = kInvalidTrip;
+
+  friend bool operator==(const Connection&, const Connection&) = default;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TIMETABLE_TYPES_H_

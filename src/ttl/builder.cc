@@ -1,0 +1,359 @@
+#include "ttl/builder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ptldb {
+
+namespace {
+
+// A reached Pareto pair during a profile scan, with the connection that
+// starts (backward scan) or ends (forward scan) the journey.
+struct ScanEntry {
+  Timestamp dep = 0;
+  Timestamp arr = 0;
+  ConnectionId conn = kInvalidConnection;
+};
+
+// Contiguous (hub -> tuple range) index over one stop's label vector.
+// Label vectors are appended hub-by-hub during construction, so each hub's
+// tuples form one contiguous run.
+class HubRangeIndex {
+ public:
+  void Build(const std::vector<LabelTuple>& tuples) {
+    ranges_.clear();
+    size_t i = 0;
+    while (i < tuples.size()) {
+      size_t j = i;
+      while (j < tuples.size() && tuples[j].hub == tuples[i].hub) ++j;
+      ranges_.emplace(tuples[i].hub,
+                      std::make_pair(static_cast<uint32_t>(i),
+                                     static_cast<uint32_t>(j)));
+      i = j;
+    }
+  }
+
+  // Returns [begin, end) of hub `w`, or (0,0) when absent.
+  std::pair<uint32_t, uint32_t> Find(StopId w) const {
+    const auto it = ranges_.find(w);
+    return it == ranges_.end() ? std::make_pair(0u, 0u) : it->second;
+  }
+
+ private:
+  std::unordered_map<StopId, std::pair<uint32_t, uint32_t>> ranges_;
+};
+
+// First tuple in [begin, end) of `tuples` with td >= t; `end` when none.
+// Within a (stop, hub) group tuples are Pareto (td and ta both ascending),
+// so the hit has the minimum ta among feasible tuples.
+uint32_t FirstDepartingNotBefore(const std::vector<LabelTuple>& tuples,
+                                 uint32_t begin, uint32_t end, Timestamp t) {
+  while (begin < end) {
+    const uint32_t mid = begin + (end - begin) / 2;
+    if (tuples[mid].td >= t) {
+      end = mid;
+    } else {
+      begin = mid + 1;
+    }
+  }
+  return begin;
+}
+
+class TtlConstruction {
+ public:
+  TtlConstruction(const Timetable& tt, const TtlBuildOptions& options,
+                  std::vector<StopId> order)
+      : tt_(tt),
+        options_(options),
+        order_(std::move(order)),
+        rank_(RanksFromOrder(order_)),
+        lout_(tt.num_stops()),
+        lin_(tt.num_stops()),
+        scan_lists_(tt.num_stops()) {}
+
+  TtlIndex Run(TtlBuildStats* stats) {
+    for (const StopId hub : order_) {
+      in_hub_index_.Build(lin_[hub]);
+      out_hub_index_.Build(lout_[hub]);
+      BackwardScan(hub);
+      ForwardScan(hub);
+    }
+    TtlIndex index;
+    index.order = order_;
+    index.rank = rank_;
+    index.out = LabelSet(tt_.num_stops());
+    index.in = LabelSet(tt_.num_stops());
+    if (stats != nullptr) {
+      stats->pruned_candidates = pruned_;
+      stats->out_tuples = 0;
+      stats->in_tuples = 0;
+      for (StopId v = 0; v < tt_.num_stops(); ++v) {
+        stats->out_tuples += lout_[v].size();
+        stats->in_tuples += lin_[v].size();
+      }
+    }
+    for (StopId v = 0; v < tt_.num_stops(); ++v) {
+      index.out.mutable_tuples(v) = std::move(lout_[v]);
+      index.in.mutable_tuples(v) = std::move(lin_[v]);
+    }
+    index.out.SortTuples();
+    index.in.SortTuples();
+    return index;
+  }
+
+ private:
+  // Does an existing-label query certify EA(v -> hub, dep >= td) <= ta?
+  // `hub` is the hub currently being processed; its per-hub index over
+  // L_in(hub) is in in_hub_index_.
+  bool CoveredOut(StopId v, StopId hub, Timestamp td, Timestamp ta) const {
+    const auto& in_h = lin_[hub];
+    // Direct case: a v -> hub journey already recorded in L_in(hub).
+    {
+      const auto [b, e] = in_hub_index_.Find(v);
+      const uint32_t i = FirstDepartingNotBefore(in_h, b, e, td);
+      if (i < e && in_h[i].ta <= ta) return true;
+    }
+    // Join case: v -> w (L_out(v)) chained with w -> hub (L_in(hub)).
+    const auto& out_v = lout_[v];
+    size_t i = 0;
+    while (i < out_v.size()) {
+      const StopId w = out_v[i].hub;
+      size_t j = i;
+      while (j < out_v.size() && out_v[j].hub == w) ++j;
+      const uint32_t l1 = FirstDepartingNotBefore(
+          out_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j), td);
+      if (l1 < j) {
+        const auto [b, e] = in_hub_index_.Find(w);
+        if (b != e) {
+          const uint32_t l2 = FirstDepartingNotBefore(in_h, b, e, out_v[l1].ta);
+          if (l2 < e && in_h[l2].ta <= ta) return true;
+        }
+      }
+      i = j;
+    }
+    return false;
+  }
+
+  // Does an existing-label query certify EA(hub -> v, dep >= td) <= ta?
+  bool CoveredIn(StopId v, StopId hub, Timestamp td, Timestamp ta) const {
+    const auto& out_h = lout_[hub];
+    // Direct case: a hub -> v journey already recorded in L_out(hub).
+    {
+      const auto [b, e] = out_hub_index_.Find(v);
+      const uint32_t i = FirstDepartingNotBefore(out_h, b, e, td);
+      if (i < e && out_h[i].ta <= ta) return true;
+    }
+    // Join case: hub -> w (L_out(hub)) chained with w -> v (L_in(v)).
+    const auto& in_v = lin_[v];
+    size_t i = 0;
+    while (i < in_v.size()) {
+      const StopId w = in_v[i].hub;
+      size_t j = i;
+      while (j < in_v.size() && in_v[j].hub == w) ++j;
+      const auto [b, e] = out_hub_index_.Find(w);
+      if (b != e) {
+        const uint32_t l1 = FirstDepartingNotBefore(out_h, b, e, td);
+        if (l1 < e) {
+          const uint32_t l2 = FirstDepartingNotBefore(
+              in_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+              out_h[l1].ta);
+          if (l2 < j && in_v[l2].ta <= ta) return true;
+        }
+      }
+      i = j;
+    }
+    return false;
+  }
+
+  // Backward profile scan from `hub`: Pareto journeys v -> hub. Entries at
+  // each stop accumulate in descending-dep (and descending-arr) order.
+  void BackwardScan(StopId hub) {
+    const auto conns = tt_.connections();
+    for (size_t i = conns.size(); i-- > 0;) {
+      const Connection& c = conns[i];
+      if (c.from == hub) continue;  // No self labels / round trips.
+      Timestamp arr_h = kInfinityTime;
+      if (c.to == hub) arr_h = c.arr;
+      const auto& at_to = scan_lists_[c.to];
+      if (!at_to.empty()) {
+        // Last entry with dep >= c.arr has the min arr among them.
+        const auto it = std::partition_point(
+            at_to.begin(), at_to.end(),
+            [&](const ScanEntry& e) { return e.dep >= c.arr; });
+        if (it != at_to.begin() && (it - 1)->arr < arr_h) {
+          arr_h = (it - 1)->arr;
+        }
+      }
+      if (arr_h == kInfinityTime) continue;
+
+      auto& at_from = scan_lists_[c.from];
+      if (!at_from.empty() && at_from.back().dep == c.dep) {
+        if (arr_h >= at_from.back().arr) continue;  // Dominated.
+        if (options_.prune && CoveredOut(c.from, hub, c.dep, arr_h)) {
+          ++pruned_;
+          continue;
+        }
+        at_from.back() = {c.dep, arr_h, static_cast<ConnectionId>(i)};
+        continue;
+      }
+      if (!at_from.empty() && at_from.back().arr <= arr_h) continue;
+      if (options_.prune && CoveredOut(c.from, hub, c.dep, arr_h)) {
+        ++pruned_;
+        continue;
+      }
+      if (at_from.empty()) touched_.push_back(c.from);
+      at_from.push_back({c.dep, arr_h, static_cast<ConnectionId>(i)});
+    }
+
+    // Emit L_out tuples at lower-ranked stops (ascending td within the
+    // hub's run, i.e. reversed scan order).
+    for (const StopId v : touched_) {
+      auto& list = scan_lists_[v];
+      if (rank_[v] > rank_[hub]) {
+        for (size_t k = list.size(); k-- > 0;) {
+          const Connection& first = tt_.connection(list[k].conn);
+          lout_[v].push_back(
+              {hub, list[k].dep, list[k].arr, first.to, first.trip});
+        }
+      }
+      list.clear();
+    }
+    touched_.clear();
+  }
+
+  // Forward profile scan from `hub`: Pareto journeys hub -> v. Entries at
+  // each stop accumulate in ascending-arr (and ascending-dep) order.
+  void ForwardScan(StopId hub) {
+    for (const ConnectionId id : tt_.by_arrival()) {
+      const Connection& c = tt_.connection(id);
+      if (c.to == hub) continue;  // No self labels / round trips.
+      Timestamp dep_h = kNegInfinityTime;
+      if (c.from == hub) dep_h = c.dep;
+      const auto& at_from = scan_lists_[c.from];
+      if (!at_from.empty()) {
+        // Last entry with arr <= c.dep has the max dep among them.
+        const auto it = std::partition_point(
+            at_from.begin(), at_from.end(),
+            [&](const ScanEntry& e) { return e.arr <= c.dep; });
+        if (it != at_from.begin() && (it - 1)->dep > dep_h) {
+          dep_h = (it - 1)->dep;
+        }
+      }
+      if (dep_h == kNegInfinityTime) continue;
+
+      auto& at_to = scan_lists_[c.to];
+      if (!at_to.empty() && at_to.back().arr == c.arr) {
+        if (dep_h <= at_to.back().dep) continue;  // Dominated.
+        if (options_.prune && CoveredIn(c.to, hub, dep_h, c.arr)) {
+          ++pruned_;
+          continue;
+        }
+        at_to.back() = {dep_h, c.arr, id};
+        continue;
+      }
+      if (!at_to.empty() && at_to.back().dep >= dep_h) continue;
+      if (options_.prune && CoveredIn(c.to, hub, dep_h, c.arr)) {
+        ++pruned_;
+        continue;
+      }
+      if (at_to.empty()) touched_.push_back(c.to);
+      at_to.push_back({dep_h, c.arr, id});
+    }
+
+    // Emit L_in tuples at lower-ranked stops (list order is ascending td).
+    for (const StopId v : touched_) {
+      auto& list = scan_lists_[v];
+      if (rank_[v] > rank_[hub]) {
+        for (const ScanEntry& e : list) {
+          const Connection& last = tt_.connection(e.conn);
+          lin_[v].push_back({hub, e.dep, e.arr, last.from, last.trip});
+        }
+      }
+      list.clear();
+    }
+    touched_.clear();
+  }
+
+  const Timetable& tt_;
+  const TtlBuildOptions& options_;
+  std::vector<StopId> order_;
+  std::vector<uint32_t> rank_;
+  std::vector<std::vector<LabelTuple>> lout_;
+  std::vector<std::vector<LabelTuple>> lin_;
+  HubRangeIndex in_hub_index_;
+  HubRangeIndex out_hub_index_;
+  std::vector<std::vector<ScanEntry>> scan_lists_;
+  std::vector<StopId> touched_;
+  uint64_t pruned_ = 0;
+};
+
+}  // namespace
+
+Result<TtlIndex> BuildTtlIndex(const Timetable& tt,
+                               const TtlBuildOptions& options,
+                               TtlBuildStats* stats) {
+  std::vector<StopId> order;
+  if (!options.custom_order.empty()) {
+    if (options.custom_order.size() != tt.num_stops()) {
+      return Status::InvalidArgument("custom order size mismatch");
+    }
+    std::vector<bool> seen(tt.num_stops(), false);
+    for (const StopId v : options.custom_order) {
+      if (v >= tt.num_stops() || seen[v]) {
+        return Status::InvalidArgument("custom order is not a permutation");
+      }
+      seen[v] = true;
+    }
+    order = options.custom_order;
+  } else {
+    order = ComputeVertexOrder(tt, options.ordering);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  TtlConstruction construction(tt, options, std::move(order));
+  TtlIndex index = construction.Run(stats);
+  uint64_t dummies = 0;
+  if (options.add_dummy_tuples) {
+    dummies = AugmentWithDummyTuples(tt, &index);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (stats != nullptr) {
+    stats->dummy_tuples = dummies;
+    stats->preprocess_seconds =
+        std::chrono::duration<double>(end - start).count();
+  }
+  return index;
+}
+
+uint64_t AugmentWithDummyTuples(const Timetable& tt, TtlIndex* index) {
+  const uint32_t n = index->num_stops();
+  // Event set per stop: hub-tuple endpoint times plus arrival events.
+  std::vector<std::unordered_set<Timestamp>> events(n);
+  for (StopId v = 0; v < n; ++v) {
+    for (const LabelTuple& t : index->out.tuples(v)) {
+      if (!t.is_dummy()) events[t.hub].insert(t.ta);
+    }
+    for (const LabelTuple& t : index->in.tuples(v)) {
+      if (!t.is_dummy()) events[t.hub].insert(t.td);
+    }
+    for (const Timestamp a : tt.arrival_events(v)) events[v].insert(a);
+  }
+  uint64_t added = 0;
+  for (StopId v = 0; v < n; ++v) {
+    std::vector<Timestamp> sorted(events[v].begin(), events[v].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const Timestamp x : sorted) {
+      const LabelTuple dummy{v, x, x, kInvalidStop, kInvalidTrip};
+      index->out.mutable_tuples(v).push_back(dummy);
+      index->in.mutable_tuples(v).push_back(dummy);
+      ++added;
+    }
+  }
+  index->out.SortTuples();
+  index->in.SortTuples();
+  return added;
+}
+
+}  // namespace ptldb

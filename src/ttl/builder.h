@@ -1,0 +1,61 @@
+#ifndef PTLDB_TTL_BUILDER_H_
+#define PTLDB_TTL_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "timetable/timetable.h"
+#include "ttl/label.h"
+#include "ttl/ordering.h"
+
+namespace ptldb {
+
+/// Options for TTL index construction.
+struct TtlBuildOptions {
+  /// Vertex-order heuristic; ignored when custom_order is non-empty.
+  OrderingStrategy ordering = OrderingStrategy::kDegree;
+  /// Explicit vertex order (most important first); must be a permutation of
+  /// all stops when provided. The paper used the TTL authors' order files —
+  /// this is the hook for such external orders.
+  std::vector<StopId> custom_order;
+  /// Label-coverage pruning (the Pruned-Landmark-Labeling idea adapted to
+  /// timetables). Turning it off yields plain hierarchical labels — still
+  /// correct, but much larger; kept as an ablation switch.
+  bool prune = true;
+  /// Adds the dummy tuples of Section 3.1 that let PTLDB answer every v2v
+  /// query with a single join. Disable only to inspect raw TTL labels.
+  bool add_dummy_tuples = true;
+};
+
+/// Construction statistics (feeds the Table 7 bench).
+struct TtlBuildStats {
+  double preprocess_seconds = 0.0;
+  uint64_t out_tuples = 0;        ///< Non-dummy tuples in L_out.
+  uint64_t in_tuples = 0;         ///< Non-dummy tuples in L_in.
+  uint64_t dummy_tuples = 0;      ///< Dummy tuples added per direction.
+  uint64_t pruned_candidates = 0; ///< Pareto pairs pruned by label coverage.
+};
+
+/// Builds the TTL index for a timetable (the preprocessing of Section 2.2):
+/// for each hub in importance order, a backward and a forward profile scan
+/// compute all Pareto-optimal journeys between the hub and every
+/// lower-ranked stop, pruned against the labels built so far.
+Result<TtlIndex> BuildTtlIndex(const Timetable& tt,
+                               const TtlBuildOptions& options = {},
+                               TtlBuildStats* stats = nullptr);
+
+/// Adds the dummy tuples of Section 3.1 to an index built with
+/// add_dummy_tuples=false: for every stop v, a tuple <v, x, x> is added to
+/// both L_out(v) and L_in(v) for each x in
+///   {ta of hub-v tuples in any L_out(u)} ∪
+///   {td of hub-v tuples in any L_in(u)} ∪
+///   {arrival-event times at v}.
+/// This matches Table 1 of the paper on all seven example vertices and
+/// guarantees the single-join v2v query is correct (Theorem 3.1.1).
+/// Returns the number of dummy tuples added per direction.
+uint64_t AugmentWithDummyTuples(const Timetable& tt, TtlIndex* index);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TTL_BUILDER_H_

@@ -1,0 +1,22 @@
+#include "ttl/label.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ptldb {
+
+uint64_t LabelSet::total_tuples() const {
+  uint64_t total = 0;
+  for (const auto& l : labels_) total += l.size();
+  return total;
+}
+
+void LabelSet::SortTuples() {
+  for (auto& l : labels_) {
+    std::sort(l.begin(), l.end(), [](const LabelTuple& a, const LabelTuple& b) {
+      return std::tie(a.hub, a.td, a.ta) < std::tie(b.hub, b.td, b.ta);
+    });
+  }
+}
+
+}  // namespace ptldb

@@ -1,0 +1,86 @@
+#ifndef PTLDB_TTL_LABEL_H_
+#define PTLDB_TTL_LABEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time_util.h"
+#include "timetable/types.h"
+
+namespace ptldb {
+
+/// One TTL label tuple <hub, t_d, t_a, pivot, trip> (Section 2.2 of the
+/// paper): a "fast" (Pareto-optimal) transit path between a stop v and
+/// `hub`, departing at `td` and arriving at `ta`.
+///
+/// For tuples in L_out(v) (paths v -> hub): `trip` is the trip of the first
+/// connection and `pivot` is that connection's destination stop (equal to
+/// hub for a one-connection path) — exactly the convention of Table 1 in
+/// the paper. For tuples in L_in(v) (paths hub -> v): `trip` is the trip of
+/// the last connection and `pivot` its origin stop.
+///
+/// Dummy tuples added by AugmentWithDummyTuples have hub == v, td == ta and
+/// pivot/trip set to the invalid sentinels.
+struct LabelTuple {
+  StopId hub = kInvalidStop;
+  Timestamp td = 0;
+  Timestamp ta = 0;
+  StopId pivot = kInvalidStop;
+  TripId trip = kInvalidTrip;
+
+  bool is_dummy() const {
+    return trip == kInvalidTrip && pivot == kInvalidStop;
+  }
+
+  friend bool operator==(const LabelTuple&, const LabelTuple&) = default;
+};
+
+/// The label tuples of all stops for one direction (L_out or L_in). Each
+/// stop's tuples are sorted by (hub, td) — the order the PTLDB tables use.
+/// Within one (stop, hub) group the tuples are Pareto-optimal, so td and ta
+/// are both strictly increasing; the query code exploits this.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  explicit LabelSet(uint32_t num_stops) : labels_(num_stops) {}
+
+  uint32_t num_stops() const { return static_cast<uint32_t>(labels_.size()); }
+
+  std::span<const LabelTuple> tuples(StopId v) const { return labels_[v]; }
+  std::vector<LabelTuple>& mutable_tuples(StopId v) { return labels_[v]; }
+
+  /// Total tuples over all stops.
+  uint64_t total_tuples() const;
+
+  /// Restores per-stop (hub, td) sort order after mutation.
+  void SortTuples();
+
+ private:
+  std::vector<std::vector<LabelTuple>> labels_;
+};
+
+/// The complete TTL index: forward and backward labels plus the vertex
+/// order that generated them.
+struct TtlIndex {
+  LabelSet out;  ///< L_out(v): fast paths starting at v.
+  LabelSet in;   ///< L_in(v): fast paths ending at v.
+  /// order[i] = stop with rank i (most important first).
+  std::vector<StopId> order;
+  /// rank[v] = importance position of v (0 = most important).
+  std::vector<uint32_t> rank;
+
+  uint32_t num_stops() const { return out.num_stops(); }
+
+  /// Tuples per vertex, the |HL|/|V| column of Table 7.
+  double tuples_per_vertex() const {
+    return num_stops() == 0 ? 0.0
+                            : static_cast<double>(out.total_tuples() +
+                                                  in.total_tuples()) /
+                                  num_stops();
+  }
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TTL_LABEL_H_

@@ -1,0 +1,43 @@
+#include "ttl/ordering.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ptldb {
+
+std::vector<StopId> ComputeVertexOrder(const Timetable& tt,
+                                       OrderingStrategy strategy) {
+  const uint32_t n = tt.num_stops();
+  std::vector<StopId> order(n);
+  for (StopId v = 0; v < n; ++v) order[v] = v;
+  if (strategy == OrderingStrategy::kIdentity) return order;
+
+  std::vector<uint64_t> score(n, 0);
+  switch (strategy) {
+    case OrderingStrategy::kDegree:
+      for (const Connection& c : tt.connections()) {
+        score[c.from]++;
+        score[c.to]++;
+      }
+      break;
+    case OrderingStrategy::kEventCount:
+      for (StopId v = 0; v < n; ++v) {
+        score[v] = tt.arrival_events(v).size() + tt.departure_events(v).size();
+      }
+      break;
+    case OrderingStrategy::kIdentity:
+      break;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](StopId a, StopId b) {
+    return score[a] != score[b] ? score[a] > score[b] : a < b;
+  });
+  return order;
+}
+
+std::vector<uint32_t> RanksFromOrder(const std::vector<StopId>& order) {
+  std::vector<uint32_t> rank(order.size(), 0);
+  for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+}  // namespace ptldb

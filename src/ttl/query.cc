@@ -1,0 +1,172 @@
+#include "ttl/query.h"
+
+#include <algorithm>
+
+namespace ptldb {
+
+namespace {
+
+using TupleSpan = std::span<const LabelTuple>;
+
+// Tuples of `hub` within a (hub, td)-sorted label vector.
+TupleSpan HubGroup(TupleSpan tuples, StopId hub) {
+  const auto lo = std::partition_point(
+      tuples.begin(), tuples.end(),
+      [&](const LabelTuple& t) { return t.hub < hub; });
+  auto hi = lo;
+  while (hi != tuples.end() && hi->hub == hub) ++hi;
+  return {lo, hi};
+}
+
+// First tuple with td >= t; group Pareto order makes it the min-ta feasible
+// tuple. Returns group.end() when none.
+TupleSpan::iterator FirstNotBefore(TupleSpan group, Timestamp t) {
+  return std::partition_point(group.begin(), group.end(),
+                              [&](const LabelTuple& x) { return x.td < t; });
+}
+
+// Last tuple with ta <= t; group Pareto order makes it the max-td feasible
+// tuple. Returns group.end() when none.
+TupleSpan::iterator LastNotAfter(TupleSpan group, Timestamp t) {
+  const auto it = std::partition_point(
+      group.begin(), group.end(),
+      [&](const LabelTuple& x) { return x.ta <= t; });
+  return it == group.begin() ? group.end() : it - 1;
+}
+
+// Runs `fn(group_out, group_in)` for every hub common to both label
+// vectors (merge over the hub-sorted tuples).
+template <typename Fn>
+void ForEachCommonHub(TupleSpan out_s, TupleSpan in_g, Fn&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < out_s.size() && j < in_g.size()) {
+    const StopId ha = out_s[i].hub;
+    const StopId hb = in_g[j].hub;
+    if (ha < hb) {
+      while (i < out_s.size() && out_s[i].hub == ha) ++i;
+    } else if (hb < ha) {
+      while (j < in_g.size() && in_g[j].hub == hb) ++j;
+    } else {
+      size_t i2 = i;
+      size_t j2 = j;
+      while (i2 < out_s.size() && out_s[i2].hub == ha) ++i2;
+      while (j2 < in_g.size() && in_g[j2].hub == ha) ++j2;
+      fn(out_s.subspan(i, i2 - i), in_g.subspan(j, j2 - j));
+      i = i2;
+      j = j2;
+    }
+  }
+}
+
+Timestamp JoinEa(TupleSpan out_s, TupleSpan in_g, Timestamp t) {
+  Timestamp best = kInfinityTime;
+  ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
+    const auto l1 = FirstNotBefore(a, t);
+    if (l1 == a.end()) return;
+    const auto l2 = FirstNotBefore(b, l1->ta);
+    if (l2 == b.end()) return;
+    best = std::min(best, l2->ta);
+  });
+  return best;
+}
+
+Timestamp JoinLd(TupleSpan out_s, TupleSpan in_g, Timestamp t_end) {
+  Timestamp best = kNegInfinityTime;
+  ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
+    const auto l2 = LastNotAfter(b, t_end);
+    if (l2 == b.end()) return;
+    const auto l1 = LastNotAfter(a, l2->td);
+    if (l1 == a.end()) return;
+    best = std::max(best, l1->td);
+  });
+  return best;
+}
+
+Timestamp JoinSd(TupleSpan out_s, TupleSpan in_g, Timestamp t,
+                 Timestamp t_end) {
+  Timestamp best = kInfinityTime;
+  ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
+    auto l2 = b.begin();
+    for (auto l1 = FirstNotBefore(a, t); l1 != a.end(); ++l1) {
+      while (l2 != b.end() && l2->td < l1->ta) ++l2;
+      if (l2 == b.end() || l2->ta > t_end) break;
+      best = std::min(best, l2->ta - l1->td);
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+Timestamp TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
+                             Timestamp t) {
+  const TupleSpan out_s = index.out.tuples(s);
+  const TupleSpan in_g = index.in.tuples(g);
+  Timestamp best = kInfinityTime;
+  // Case (i): direct tuples of L_out(s) ending at g.
+  if (const auto group = HubGroup(out_s, g); !group.empty()) {
+    if (const auto it = FirstNotBefore(group, t); it != group.end()) {
+      best = std::min(best, it->ta);
+    }
+  }
+  // Case (ii): direct tuples of L_in(g) starting at s.
+  if (const auto group = HubGroup(in_g, s); !group.empty()) {
+    if (const auto it = FirstNotBefore(group, t); it != group.end()) {
+      best = std::min(best, it->ta);
+    }
+  }
+  // Case (iii): joined pairs through a common hub.
+  return std::min(best, JoinEa(out_s, in_g, t));
+}
+
+Timestamp TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
+                             Timestamp t_end) {
+  const TupleSpan out_s = index.out.tuples(s);
+  const TupleSpan in_g = index.in.tuples(g);
+  Timestamp best = kNegInfinityTime;
+  if (const auto group = HubGroup(out_s, g); !group.empty()) {
+    if (const auto it = LastNotAfter(group, t_end); it != group.end()) {
+      best = std::max(best, it->td);
+    }
+  }
+  if (const auto group = HubGroup(in_g, s); !group.empty()) {
+    if (const auto it = LastNotAfter(group, t_end); it != group.end()) {
+      best = std::max(best, it->td);
+    }
+  }
+  return std::max(best, JoinLd(out_s, in_g, t_end));
+}
+
+Timestamp TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
+                              Timestamp t, Timestamp t_end) {
+  const TupleSpan out_s = index.out.tuples(s);
+  const TupleSpan in_g = index.in.tuples(g);
+  Timestamp best = kInfinityTime;
+  const auto consider_direct = [&](TupleSpan group) {
+    for (auto it = FirstNotBefore(group, t); it != group.end(); ++it) {
+      if (it->ta <= t_end) best = std::min(best, it->ta - it->td);
+    }
+  };
+  consider_direct(HubGroup(out_s, g));
+  consider_direct(HubGroup(in_g, s));
+  return std::min(best, JoinSd(out_s, in_g, t, t_end));
+}
+
+Timestamp TtlEarliestArrivalJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, Timestamp t) {
+  return JoinEa(index.out.tuples(s), index.in.tuples(g), t);
+}
+
+Timestamp TtlLatestDepartureJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, Timestamp t_end) {
+  return JoinLd(index.out.tuples(s), index.in.tuples(g), t_end);
+}
+
+Timestamp TtlShortestDurationJoinOnly(const TtlIndex& index, StopId s,
+                                      StopId g, Timestamp t,
+                                      Timestamp t_end) {
+  return JoinSd(index.out.tuples(s), index.in.tuples(g), t, t_end);
+}
+
+}  // namespace ptldb

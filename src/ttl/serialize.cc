@@ -1,0 +1,64 @@
+#include "ttl/serialize.h"
+
+#include "common/binary_io.h"
+
+namespace ptldb {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x50544C4254544C31ULL;  // "PTLBTTL1"
+
+void WriteLabelSet(BinaryWriter* w, const LabelSet& set) {
+  w->Write<uint32_t>(set.num_stops());
+  for (StopId v = 0; v < set.num_stops(); ++v) {
+    const auto tuples = set.tuples(v);
+    std::vector<LabelTuple> buf(tuples.begin(), tuples.end());
+    w->WriteVector(buf);
+  }
+}
+
+bool ReadLabelSet(BinaryReader* r, LabelSet* set) {
+  const auto n = r->Read<uint32_t>();
+  if (!r->ok()) return false;
+  *set = LabelSet(n);
+  for (StopId v = 0; v < n; ++v) {
+    set->mutable_tuples(v) = r->ReadVector<LabelTuple>();
+    if (!r->ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveTtlIndex(const TtlIndex& index, const std::string& path) {
+  BinaryWriter w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path);
+  w.Write(kMagic);
+  WriteLabelSet(&w, index.out);
+  WriteLabelSet(&w, index.in);
+  w.WriteVector(index.order);
+  w.WriteVector(index.rank);
+  return w.Finish();
+}
+
+Result<TtlIndex> LoadTtlIndex(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return Status::IoError("cannot open " + path);
+  if (r.Read<uint64_t>() != kMagic) {
+    return Status::Corruption("bad label file magic: " + path);
+  }
+  TtlIndex index;
+  if (!ReadLabelSet(&r, &index.out) || !ReadLabelSet(&r, &index.in)) {
+    return Status::Corruption("truncated label file " + path);
+  }
+  index.order = r.ReadVector<StopId>();
+  index.rank = r.ReadVector<uint32_t>();
+  if (!r.ok() || index.order.size() != index.out.num_stops() ||
+      index.rank.size() != index.out.num_stops() ||
+      index.in.num_stops() != index.out.num_stops()) {
+    return Status::Corruption("inconsistent label file " + path);
+  }
+  return index;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,21 @@
+#ifndef PTLDB_TTL_SERIALIZE_H_
+#define PTLDB_TTL_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ttl/label.h"
+
+namespace ptldb {
+
+/// Persists a TTL index to a binary file. Together with SaveTimetable this
+/// backs the benchmark dataset cache (building labels dominates bench
+/// startup, so benches build once and reload).
+Status SaveTtlIndex(const TtlIndex& index, const std::string& path);
+
+/// Loads an index previously written by SaveTtlIndex.
+Result<TtlIndex> LoadTtlIndex(const std::string& path);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TTL_SERIALIZE_H_

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/brute.h"
+#include "baseline/csa.h"
+#include "baseline/profile.h"
+#include "common/rng.h"
+#include "timetable/example_graph.h"
+#include "timetable/generator.h"
+
+namespace ptldb {
+namespace {
+
+Timetable SmallCity(uint64_t seed) {
+  GeneratorOptions o;
+  o.num_stops = 80;
+  o.target_connections = 4000;
+  o.min_route_len = 4;
+  o.max_route_len = 9;
+  o.seed = seed;
+  auto tt = GenerateNetwork(o);
+  EXPECT_TRUE(tt.ok());
+  return std::move(tt).value();
+}
+
+TEST(CsaTest, ExampleEarliestArrivals) {
+  const Timetable tt = MakeExampleTimetable();
+  // From 5 at 28800: trip 1 reaches 1@32400, 0@36000, 2@39600, 6@43200.
+  const auto arr = EarliestArrivalScan(tt, 5, 28800);
+  EXPECT_EQ(arr[1], 32400);
+  EXPECT_EQ(arr[0], 36000);
+  EXPECT_EQ(arr[2], 39600);
+  EXPECT_EQ(arr[6], 43200);
+  EXPECT_EQ(arr[3], 39600);  // Transfer at 0 onto trip 4.
+  EXPECT_EQ(arr[4], 39600);
+  EXPECT_EQ(arr[5], 28800);  // The source itself.
+}
+
+TEST(CsaTest, DepartureTimeFiltersTrips) {
+  const Timetable tt = MakeExampleTimetable();
+  // Leaving 5 after 28800 there is no service anymore.
+  const auto arr = EarliestArrivalScan(tt, 5, 28801);
+  EXPECT_EQ(arr[0], kInfinityTime);
+  EXPECT_EQ(arr[1], kInfinityTime);
+}
+
+TEST(CsaTest, ExampleLatestDepartures) {
+  const Timetable tt = MakeExampleTimetable();
+  // To reach 5 by 43200: trip 2 leaves 6 at 28800, 2 at 32400, 0 at 36000,
+  // 1 at 39600.
+  const auto dep = LatestDepartureScan(tt, 5, 43200);
+  EXPECT_EQ(dep[6], 28800);
+  EXPECT_EQ(dep[2], 32400);
+  EXPECT_EQ(dep[0], 36000);
+  EXPECT_EQ(dep[1], 39600);
+  EXPECT_EQ(dep[3], 32400);  // Trip 3 into 0, then trip 2.
+  EXPECT_EQ(dep[4], 32400);
+}
+
+TEST(CsaTest, LatestDepartureInfeasible) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto dep = LatestDepartureScan(tt, 5, 43199);
+  EXPECT_EQ(dep[6], kNegInfinityTime);
+}
+
+TEST(CsaTest, ShortestDurationExample) {
+  const Timetable tt = MakeExampleTimetable();
+  // 5 -> 0 within the whole day: 28800 -> 36000 = 7200s.
+  EXPECT_EQ(ShortestDuration(tt, 5, 0, 0, 86400), 7200);
+  // 1 -> 5: depart 39600 arrive 43200 = 3600s.
+  EXPECT_EQ(ShortestDuration(tt, 1, 5, 0, 86400), 3600);
+  // Window too tight.
+  EXPECT_EQ(ShortestDuration(tt, 1, 5, 0, 43199), kInfinityTime);
+}
+
+TEST(ProfileTest, ForwardProfileMatchesEarliestArrivalScans) {
+  const Timetable tt = SmallCity(11);
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const ProfileSet profile = ForwardProfile(tt, q);
+    for (int i = 0; i < 10; ++i) {
+      const auto t = static_cast<Timestamp>(
+          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto arr = EarliestArrivalScan(tt, q, t);
+      for (StopId v = 0; v < tt.num_stops(); ++v) {
+        if (v == q) continue;
+        EXPECT_EQ(profile.EarliestArrival(v, t), arr[v])
+            << "q=" << q << " v=" << v << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, BackwardProfileMatchesLatestDepartureScans) {
+  const Timetable tt = SmallCity(12);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const ProfileSet profile = BackwardProfile(tt, g);
+    for (int i = 0; i < 10; ++i) {
+      const auto t = static_cast<Timestamp>(
+          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto dep = LatestDepartureScan(tt, g, t);
+      for (StopId v = 0; v < tt.num_stops(); ++v) {
+        if (v == g) continue;
+        EXPECT_EQ(profile.LatestDeparture(v, t), dep[v])
+            << "g=" << g << " v=" << v << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, PairsArePareto) {
+  const Timetable tt = SmallCity(13);
+  const ProfileSet profile = ForwardProfile(tt, 0);
+  for (StopId v = 0; v < tt.num_stops(); ++v) {
+    const auto pairs = profile.pairs(v);
+    for (size_t i = 1; i < pairs.size(); ++i) {
+      EXPECT_GT(pairs[i - 1].dep, pairs[i].dep);
+      EXPECT_GT(pairs[i - 1].arr, pairs[i].arr);
+    }
+  }
+}
+
+TEST(ProfileTest, ShortestDurationNeverBeatsAnyFeasibleJourney) {
+  const Timetable tt = SmallCity(14);
+  Rng rng(3);
+  const StopId g = 5;
+  const ProfileSet profile = BackwardProfile(tt, g);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (v == g) continue;
+    const Timestamp t = tt.min_time();
+    const Timestamp t_end = tt.max_time();
+    const Timestamp sd = profile.ShortestDuration(v, t, t_end);
+    const Timestamp ea = profile.EarliestArrival(v, t);
+    if (ea == kInfinityTime) {
+      EXPECT_EQ(sd, kInfinityTime);
+    } else {
+      EXPECT_LE(sd, ea - t);  // The t-departure journey is one candidate.
+      EXPECT_GT(sd, 0);
+    }
+  }
+}
+
+TEST(BruteTest, EaOneToManySortedAndComplete) {
+  const Timetable tt = MakeExampleTimetable();
+  const std::vector<StopId> targets{4, 6};
+  const auto rows = BruteEaOneToMany(tt, 0, targets, 36000);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].stop, 4u);
+  EXPECT_EQ(rows[0].time, 39600);
+  EXPECT_EQ(rows[1].stop, 6u);
+  EXPECT_EQ(rows[1].time, 43200);
+}
+
+TEST(BruteTest, EaKnnTruncates) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto rows = BruteEaKnn(tt, 0, {4, 6}, 36000, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].stop, 4u);
+  EXPECT_EQ(rows[0].time, 39600);
+}
+
+TEST(BruteTest, EaOmitsUnreachableTargets) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto rows = BruteEaOneToMany(tt, 0, {4, 6}, 43201);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(BruteTest, LdOneToManySortedDescending) {
+  const Timetable tt = MakeExampleTimetable();
+  // Reach {3, 4} by 39600: depart 0 at 36000 (both); also from 5 via 1,0.
+  const auto rows = BruteLdOneToMany(tt, 0, {3, 4}, 39600);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].stop, 3u);
+  EXPECT_EQ(rows[0].time, 36000);
+  EXPECT_EQ(rows[1].stop, 4u);
+  EXPECT_EQ(rows[1].time, 36000);
+}
+
+TEST(BruteTest, LdKnnAgainstPerTargetLatestDeparture) {
+  const Timetable tt = SmallCity(15);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    std::vector<StopId> targets;
+    for (StopId v = 0; v < tt.num_stops(); v += 7) {
+      if (v != q) targets.push_back(v);
+    }
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto rows = BruteLdKnn(tt, q, targets, t, 4);
+    // Every row must equal the point-to-point LD and be in order.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].time, LatestDeparture(tt, q, rows[i].stop, t));
+      if (i > 0) {
+        EXPECT_GE(rows[i - 1].time, rows[i].time);
+      }
+    }
+    // No non-selected target may beat the k-th row.
+    if (rows.size() == 4) {
+      for (StopId v : targets) {
+        bool selected = false;
+        for (const auto& r : rows) selected |= (r.stop == v);
+        if (!selected) {
+          EXPECT_LE(LatestDeparture(tt, q, v, t), rows.back().time);
+        }
+      }
+    }
+  }
+}
+
+TEST(TransferLimitTest, ExampleGraphRounds) {
+  const Timetable tt = MakeExampleTimetable();
+  // 5 -> 3 needs two trips (trip 1 to stop 0, trip 4 onward).
+  const auto one = EarliestArrivalWithTrips(tt, 5, 28800, 1);
+  EXPECT_EQ(one[0], 36000);            // Reachable staying on trip 1.
+  EXPECT_EQ(one[6], 43200);            // Trip 1 continues to 6.
+  EXPECT_EQ(one[3], kInfinityTime);    // Needs a transfer.
+  const auto two = EarliestArrivalWithTrips(tt, 5, 28800, 2);
+  EXPECT_EQ(two[3], 39600);
+  const auto zero = EarliestArrivalWithTrips(tt, 5, 28800, 0);
+  EXPECT_EQ(zero[0], kInfinityTime);
+  EXPECT_EQ(zero[5], 28800);
+}
+
+TEST(TransferLimitTest, ConvergesToUnrestrictedEa) {
+  const Timetable tt = SmallCity(17);
+  Rng rng(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto unrestricted = EarliestArrivalScan(tt, s, t);
+    const auto budget = EarliestArrivalWithTrips(tt, s, t, 64);
+    EXPECT_EQ(budget, unrestricted);
+    // Monotonicity: a larger budget can only improve arrivals.
+    const auto small = EarliestArrivalWithTrips(tt, s, t, 1);
+    const auto medium = EarliestArrivalWithTrips(tt, s, t, 2);
+    for (StopId v = 0; v < tt.num_stops(); ++v) {
+      EXPECT_GE(small[v], medium[v]);
+      EXPECT_GE(medium[v], unrestricted[v]);
+    }
+  }
+}
+
+TEST(JourneyTest, ReconstructsExamplePath) {
+  const Timetable tt = MakeExampleTimetable();
+  // 5 -> 3 at 28800: trip 1 to stop 0 (arr 36000), then trip 4 to 3.
+  const auto journey = FindEarliestJourney(tt, 5, 3, 28800);
+  ASSERT_EQ(journey.size(), 3u);
+  EXPECT_EQ(tt.connection(journey[0]).from, 5u);
+  EXPECT_EQ(tt.connection(journey[1]).from, 1u);
+  EXPECT_EQ(tt.connection(journey[2]).from, 0u);
+  EXPECT_EQ(tt.connection(journey[2]).to, 3u);
+  EXPECT_EQ(tt.connection(journey[2]).arr, 39600);
+}
+
+TEST(JourneyTest, EmptyWhenUnreachable) {
+  const Timetable tt = MakeExampleTimetable();
+  EXPECT_TRUE(FindEarliestJourney(tt, 5, 3, 28801).empty());
+  EXPECT_TRUE(FindEarliestJourney(tt, 5, 5, 0).empty());
+}
+
+TEST(JourneyTest, JourneyIsConsistentOnRandomCities) {
+  const Timetable tt = SmallCity(16);
+  Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const Timestamp ea = EarliestArrival(tt, s, g, t);
+    const auto journey = FindEarliestJourney(tt, s, g, t);
+    if (ea == kInfinityTime) {
+      EXPECT_TRUE(journey.empty());
+      continue;
+    }
+    ASSERT_FALSE(journey.empty());
+    // Legs chain with feasible transfers, start at s no sooner than t,
+    // and end at g exactly at the earliest arrival.
+    EXPECT_EQ(tt.connection(journey.front()).from, s);
+    EXPECT_GE(tt.connection(journey.front()).dep, t);
+    EXPECT_EQ(tt.connection(journey.back()).to, g);
+    EXPECT_EQ(tt.connection(journey.back()).arr, ea);
+    for (size_t i = 1; i < journey.size(); ++i) {
+      const Connection& prev = tt.connection(journey[i - 1]);
+      const Connection& next = tt.connection(journey[i]);
+      EXPECT_EQ(prev.to, next.from);
+      EXPECT_LE(prev.arr, next.dep);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptldb

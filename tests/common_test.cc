@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/binary_io.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+
+namespace ptldb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "missing row");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing row");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "INVALID_ARGUMENT: x");
+  EXPECT_EQ(Status::Corruption("x").ToString(), "CORRUPTION: x");
+  EXPECT_EQ(Status::IoError("x").ToString(), "IO_ERROR: x");
+  EXPECT_EQ(Status::Unsupported("x").ToString(), "UNSUPPORTED: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIoError);
+}
+
+TEST(TimeTest, FormatsTimestamps) {
+  EXPECT_EQ(FormatTime(0), "00:00:00");
+  EXPECT_EQ(FormatTime(36000), "10:00:00");
+  EXPECT_EQ(FormatTime(93784), "26:03:04");
+  EXPECT_EQ(FormatTime(kInfinityTime), "--:--:--");
+  EXPECT_EQ(FormatTime(kNegInfinityTime), "--:--:--");
+}
+
+TEST(TimeTest, ParsesGtfsTimes) {
+  EXPECT_EQ(ParseGtfsTime("00:00:00"), 0);
+  EXPECT_EQ(ParseGtfsTime("10:30:15"), 37815);
+  EXPECT_EQ(ParseGtfsTime("26:00:00"), 93600);  // Past-midnight trips.
+  EXPECT_EQ(ParseGtfsTime("garbage"), kInvalidTime);
+  EXPECT_EQ(ParseGtfsTime("10:99:00"), kInvalidTime);
+}
+
+TEST(TimeTest, HourBucketsMatchSqlFloor) {
+  EXPECT_EQ(HourOf(0), 0);
+  EXPECT_EQ(HourOf(3599), 0);
+  EXPECT_EQ(HourOf(3600), 1);
+  EXPECT_EQ(HourOf(36000), 10);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SampleDistinctIsDistinctAndComplete) {
+  Rng rng(5);
+  // Sparse regime.
+  auto sparse = rng.SampleDistinct(1000, 10);
+  EXPECT_EQ(std::set<uint32_t>(sparse.begin(), sparse.end()).size(), 10u);
+  // Dense regime (k > n/2).
+  auto dense = rng.SampleDistinct(10, 9);
+  EXPECT_EQ(std::set<uint32_t>(dense.begin(), dense.end()).size(), 9u);
+  for (uint32_t v : dense) EXPECT_LT(v, 10u);
+  // Full sample is a permutation.
+  auto full = rng.SampleDistinct(20, 20);
+  EXPECT_EQ(std::set<uint32_t>(full.begin(), full.end()).size(), 20u);
+}
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  const auto fields = Split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringTest, TrimRemovesWhitespaceAndBom) {
+  EXPECT_EQ(Trim("  x \r\n"), "x");
+  EXPECT_EQ(Trim("\xEF\xBB\xBFstop_id"), "stop_id");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_FALSE(ParseInt("42x").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+}
+
+TEST(StringTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_FALSE(ParseDouble("3.25abc").has_value());
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(CsvTest, ParsesPlainRecord) {
+  const auto fields = ParseCsvRecord("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  const auto fields = ParseCsvRecord(R"(1,"Main St, Downtown","say ""hi""")");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[1], "Main St, Downtown");
+  EXPECT_EQ((*fields)[2], "say \"hi\"");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsvRecord(R"(a,"broken)").ok());
+}
+
+TEST(CsvTest, HandlesTrailingCarriageReturn) {
+  const auto fields = ParseCsvRecord("a,b\r");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, TableAccessByColumnName) {
+  const auto table = CsvTable::Parse("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->Field(0, "y"), "2");
+  EXPECT_EQ(table->Field(1, "x"), "3");
+  EXPECT_EQ(table->Field(0, "missing"), "");
+}
+
+TEST(CsvTest, EmptyFileIsCorruption) {
+  EXPECT_FALSE(CsvTable::Parse("").ok());
+}
+
+TEST(BinaryIoTest, RoundTripsScalarsVectorsStrings) {
+  const std::string path = testing::TempDir() + "/binary_io_test.bin";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.Write<uint64_t>(123);
+    w.WriteVector(std::vector<int32_t>{1, -2, 3});
+    w.WriteString("hello");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Read<uint64_t>(), 123u);
+  EXPECT_EQ(r.ReadVector<int32_t>(), (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_TRUE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ptldb

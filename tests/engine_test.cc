@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include "engine/btree.h"
+#include "engine/buffer_pool.h"
+#include "engine/database.h"
+#include "engine/device.h"
+#include "engine/exec.h"
+#include "common/rng.h"
+#include "engine/heap_file.h"
+
+namespace ptldb {
+namespace {
+
+TEST(DeviceTest, ChargesRandomVsSequential) {
+  StorageDevice device(DeviceProfile::Hdd7200());
+  device.ResetStats();
+  device.ChargeRead(10);  // Random.
+  device.ChargeRead(11);  // Sequential.
+  device.ChargeRead(12);  // Sequential.
+  device.ChargeRead(50);  // Random.
+  const auto& p = device.profile();
+  EXPECT_EQ(device.total_ns(), 2 * p.random_read_ns + 2 * p.sequential_read_ns);
+  EXPECT_EQ(device.reads(), 4u);
+  EXPECT_EQ(device.sequential_reads(), 2u);
+}
+
+TEST(DeviceTest, ProfilesAreOrdered) {
+  EXPECT_GT(DeviceProfile::Hdd7200().random_read_ns,
+            DeviceProfile::SataSsd().random_read_ns);
+  EXPECT_EQ(DeviceProfile::Ram().random_read_ns, 0u);
+}
+
+TEST(BufferPoolTest, HitsAfterFirstFetch) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  StorageDevice device(DeviceProfile::SataSsd());
+  BufferPool pool(&store, &device);
+  pool.Fetch(a);
+  pool.Fetch(a);
+  pool.Fetch(a);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(device.reads(), 1u);
+}
+
+TEST(BufferPoolTest, DropCachesForcesMissesAgain) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  StorageDevice device(DeviceProfile::SataSsd());
+  BufferPool pool(&store, &device);
+  pool.Fetch(a);
+  pool.DropCaches();
+  pool.Fetch(a);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(BufferPoolTest, LruEvictsColdestPage) {
+  PageStore store;
+  for (int i = 0; i < 3; ++i) store.Allocate();
+  StorageDevice device(DeviceProfile::SataSsd());
+  BufferPool pool(&store, &device, /*capacity_pages=*/2);
+  pool.Fetch(0);
+  pool.Fetch(1);
+  pool.Fetch(0);  // 0 is now hottest.
+  pool.Fetch(2);  // Evicts 1.
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  pool.ResetStats();
+  pool.Fetch(0);
+  EXPECT_EQ(pool.hits(), 1u);
+  pool.Fetch(1);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+class HeapTest : public testing::Test {
+ protected:
+  HeapTest() : device_(DeviceProfile::Ram()), pool_(&store_, &device_) {}
+  PageStore store_;
+  StorageDevice device_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapTest, RoundTripsScalarAndArrayColumns) {
+  const Schema schema{{"a", ColumnType::kInt32},
+                      {"b", ColumnType::kInt32Array}};
+  HeapFile heap(&store_);
+  const Row row{Value(7), Value(std::vector<int32_t>{1, -2, 3})};
+  const RowLocator loc = heap.Append(row, schema);
+  EXPECT_EQ(loc.length, SerializedRowSize(row, schema));
+  EXPECT_EQ(heap.Read(loc, schema, &pool_), row);
+}
+
+TEST_F(HeapTest, RowsLargerThanPageSpanPages) {
+  const Schema schema{{"big", ColumnType::kInt32Array}};
+  HeapFile heap(&store_);
+  std::vector<int32_t> big(5000);  // 20 KB > 2 pages.
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<int32_t>(i * 3);
+  const Row row{Value(big)};
+  const RowLocator loc = heap.Append(row, schema);
+  EXPECT_GE(heap.num_pages(), 3u);
+  EXPECT_EQ(heap.Read(loc, schema, &pool_), row);
+}
+
+TEST_F(HeapTest, ManyRowsBackToBack) {
+  const Schema schema{{"a", ColumnType::kInt32},
+                      {"b", ColumnType::kInt32Array}};
+  HeapFile heap(&store_);
+  std::vector<RowLocator> locators;
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    Row row{Value(i), Value(std::vector<int32_t>(
+                          static_cast<size_t>(i % 37), i))};
+    locators.push_back(heap.Append(row, schema));
+    rows.push_back(std::move(row));
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(heap.Read(locators[i], schema, &pool_), rows[i]) << i;
+  }
+}
+
+TEST_F(HeapTest, WideRowReadIsOneSeekPlusSequential) {
+  const Schema schema{{"big", ColumnType::kInt32Array}};
+  HeapFile heap(&store_);
+  const Row row{Value(std::vector<int32_t>(10000, 1))};  // ~40 KB, 5+ pages.
+  const RowLocator loc = heap.Append(row, schema);
+  StorageDevice hdd(DeviceProfile::Hdd7200());
+  BufferPool cold(&store_, &hdd);
+  heap.Read(loc, schema, &cold);
+  // Exactly one random access; everything else streams.
+  EXPECT_EQ(hdd.reads() - hdd.sequential_reads(), 1u);
+  EXPECT_GE(hdd.sequential_reads(), 4u);
+}
+
+TEST(CompositeKeyTest, PreservesLexicographicOrder) {
+  EXPECT_LT(MakeCompositeKey(1, 5), MakeCompositeKey(2, 0));
+  EXPECT_LT(MakeCompositeKey(1, 5), MakeCompositeKey(1, 6));
+  EXPECT_EQ(MakeCompositeKey(0, 0), 0);
+  EXPECT_LT(MakeCompositeKey(3, 0x7fffffff), MakeCompositeKey(4, 0));
+}
+
+class BTreeTest : public testing::Test {
+ protected:
+  BTreeTest() : device_(DeviceProfile::Ram()), pool_(&store_, &device_) {}
+  PageStore store_;
+  StorageDevice device_;
+  BufferPool pool_;
+};
+
+TEST_F(BTreeTest, FindOnMultiLevelTree) {
+  BTree tree(&store_);
+  std::vector<std::pair<IndexKey, RowLocator>> entries;
+  for (int i = 0; i < 20000; ++i) {
+    entries.emplace_back(i * 3, RowLocator{static_cast<uint64_t>(i), 1});
+  }
+  tree.BulkLoad(entries);
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_EQ(tree.num_entries(), 20000u);
+  for (int i = 0; i < 20000; i += 97) {
+    const auto hit = tree.Find(i * 3, &pool_);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->offset, static_cast<uint64_t>(i));
+    EXPECT_FALSE(tree.Find(i * 3 + 1, &pool_).has_value());
+  }
+  EXPECT_FALSE(tree.Find(-1, &pool_).has_value());
+  EXPECT_FALSE(tree.Find(3 * 20000 + 5, &pool_).has_value());
+}
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTree tree(&store_);
+  tree.BulkLoad({});
+  EXPECT_FALSE(tree.Find(0, &pool_).has_value());
+  EXPECT_FALSE(tree.SeekNotBefore(0, &pool_).Valid());
+}
+
+TEST_F(BTreeTest, SeekIteratesInOrderAcrossLeaves) {
+  BTree tree(&store_);
+  std::vector<std::pair<IndexKey, RowLocator>> entries;
+  for (int i = 0; i < 5000; ++i) {
+    entries.emplace_back(i * 2, RowLocator{static_cast<uint64_t>(i), 1});
+  }
+  tree.BulkLoad(entries);
+  // Seek to an absent key lands on the next present one.
+  auto it = tree.SeekNotBefore(1001, &pool_);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 1002);
+  int count = 0;
+  IndexKey prev = -1;
+  while (it.Valid()) {
+    EXPECT_GT(it.key(), prev);
+    prev = it.key();
+    it.Next();
+    ++count;
+  }
+  EXPECT_EQ(count, 5000 - 501);
+  // Seeking past the end is invalid.
+  EXPECT_FALSE(tree.SeekNotBefore(999999, &pool_).Valid());
+}
+
+TEST_F(BTreeTest, RandomizedAgainstStdMap) {
+  // Property check: bulk-loaded tree behaves like a sorted map for point
+  // lookups and lower-bound seeks, across random key distributions.
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::map<IndexKey, RowLocator> truth;
+    const int n = 1 + static_cast<int>(rng.NextBelow(3000));
+    while (static_cast<int>(truth.size()) < n) {
+      const auto key = static_cast<IndexKey>(rng.NextBelow(1u << 20));
+      truth[key] = RowLocator{static_cast<uint64_t>(key) * 7, 3};
+    }
+    PageStore store;
+    StorageDevice device(DeviceProfile::Ram());
+    BufferPool pool(&store, &device);
+    BTree tree(&store);
+    tree.BulkLoad({truth.begin(), truth.end()});
+    for (int probe = 0; probe < 300; ++probe) {
+      const auto key = static_cast<IndexKey>(rng.NextBelow(1u << 20));
+      const auto hit = tree.Find(key, &pool);
+      const auto it = truth.find(key);
+      ASSERT_EQ(hit.has_value(), it != truth.end()) << key;
+      if (hit) EXPECT_EQ(*hit, it->second);
+      auto cursor = tree.SeekNotBefore(key, &pool);
+      const auto lb = truth.lower_bound(key);
+      if (lb == truth.end()) {
+        EXPECT_FALSE(cursor.Valid());
+      } else {
+        ASSERT_TRUE(cursor.Valid());
+        EXPECT_EQ(cursor.key(), lb->first);
+      }
+    }
+  }
+}
+
+class ExecTest : public testing::Test {
+ protected:
+  ExecTest() : db_(DeviceProfile::Ram()) {
+    auto table = db_.CreateTable(
+        "t", Schema{{"id", ColumnType::kInt32},
+                    {"vals", ColumnType::kInt32Array},
+                    {"times", ColumnType::kInt32Array}});
+    table_ = *table;
+    std::vector<std::pair<IndexKey, Row>> rows;
+    for (int32_t i = 0; i < 10; ++i) {
+      rows.emplace_back(
+          i, Row{Value(i), Value(std::vector<int32_t>{i, i + 1, i + 2}),
+                 Value(std::vector<int32_t>{10 * i, 10 * i + 1, 10 * i + 2})});
+    }
+    EXPECT_TRUE(table_->BulkLoad(std::move(rows)).ok());
+  }
+
+  EngineDatabase db_;
+  EngineTable* table_ = nullptr;
+};
+
+TEST_F(ExecTest, IndexLookupFindsRow) {
+  auto op = MakeIndexLookup(table_, 3, db_.buffer_pool());
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+  EXPECT_TRUE(Execute(op.get()).empty());  // Exhausted.
+}
+
+TEST_F(ExecTest, IndexLookupMissYieldsNothing) {
+  auto op = MakeIndexLookup(table_, 77, db_.buffer_pool());
+  EXPECT_TRUE(Execute(op.get()).empty());
+}
+
+TEST_F(ExecTest, RangeScanRespectsBounds) {
+  auto op = MakeIndexRangeScan(table_, 4, 6, db_.buffer_pool());
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+  EXPECT_EQ(rows[2][0].AsInt(), 6);
+}
+
+TEST_F(ExecTest, UnnestZipsParallelArrays) {
+  auto op = MakeUnnest(MakeIndexLookup(table_, 2, db_.buffer_pool()), {0},
+                       {1, 2});
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 3u);
+  // (id, val, time) triples in array order.
+  EXPECT_EQ(rows[1][0].AsInt(), 2);
+  EXPECT_EQ(rows[1][1].AsInt(), 3);
+  EXPECT_EQ(rows[1][2].AsInt(), 21);
+}
+
+TEST_F(ExecTest, UnnestLimitSlicesLikeSqlOneToK) {
+  auto op = MakeUnnest(MakeIndexLookup(table_, 2, db_.buffer_pool()), {},
+                       {1}, /*limit_elems=*/2);
+  EXPECT_EQ(Execute(op.get()).size(), 2u);
+}
+
+TEST_F(ExecTest, FilterAndProject) {
+  auto op = MakeUnnest(MakeIndexLookup(table_, 5, db_.buffer_pool()), {},
+                       {1, 2});
+  op = MakeFilter(std::move(op),
+                  [](const Row& r) { return r[0].AsInt() % 2 == 0; });
+  op = MakeProject(std::move(op),
+                   [](const Row& r) { return Row{r[1]}; });
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 1u);  // vals {5,6,7} -> only 6 is even.
+  EXPECT_EQ(rows[0][0].AsInt(), 51);  // time of val 6.
+}
+
+TEST_F(ExecTest, IndexJoinAppendsRightRow) {
+  std::vector<Row> left{{Value(1)}, {Value(42)}, {Value(3)}};
+  auto op = MakeIndexJoin(
+      MakeVectorSource(left), table_,
+      [](const Row& r) { return static_cast<IndexKey>(r[0].AsInt()); },
+      db_.buffer_pool());
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 2u);  // Key 42 has no match.
+  EXPECT_EQ(rows[0][1].AsInt(), 1);
+  EXPECT_EQ(rows[1][1].AsInt(), 3);
+}
+
+TEST_F(ExecTest, IndexRangeJoinEmitsAllMatches) {
+  std::vector<Row> left{{Value(7)}};
+  auto op = MakeIndexRangeJoin(
+      MakeVectorSource(left), table_,
+      [](const Row& r) { return static_cast<IndexKey>(r[0].AsInt()); },
+      [](const Row&) { return static_cast<IndexKey>(9); }, db_.buffer_pool());
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 3u);  // Rows 7, 8, 9.
+  EXPECT_EQ(rows[2][1].AsInt(), 9);
+}
+
+TEST_F(ExecTest, HashJoinEmitsAllMatchesPerKey) {
+  std::vector<Row> left{{Value(1), Value(10)},
+                        {Value(2), Value(20)},
+                        {Value(9), Value(90)}};
+  std::vector<Row> right{{Value(100), Value(1)},
+                         {Value(101), Value(1)},
+                         {Value(102), Value(2)}};
+  auto op = MakeHashJoin(MakeVectorSource(left), MakeVectorSource(right),
+                         /*left_key_col=*/0, /*right_key_col=*/1);
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 3u);  // Key 1 matches twice, key 2 once, key 9 none.
+  EXPECT_EQ(rows[0][2].AsInt(), 100);
+  EXPECT_EQ(rows[1][2].AsInt(), 101);
+  EXPECT_EQ(rows[2][0].AsInt(), 2);
+  EXPECT_EQ(rows[2][2].AsInt(), 102);
+}
+
+TEST_F(ExecTest, HashJoinWithEmptySides) {
+  std::vector<Row> left{{Value(1)}};
+  auto no_right = MakeHashJoin(MakeVectorSource(left), MakeVectorSource({}),
+                               0, 0);
+  EXPECT_TRUE(Execute(no_right.get()).empty());
+  std::vector<Row> right{{Value(1)}};
+  auto no_left = MakeHashJoin(MakeVectorSource({}), MakeVectorSource(right),
+                              0, 0);
+  EXPECT_TRUE(Execute(no_left.get()).empty());
+}
+
+TEST_F(ExecTest, HashAggregateMinMax) {
+  std::vector<Row> input{{Value(1), Value(10)},
+                         {Value(2), Value(5)},
+                         {Value(1), Value(3)},
+                         {Value(2), Value(9)}};
+  auto mins = MakeHashAggregate(MakeVectorSource(input), 0, 1, AggFn::kMin);
+  auto rows = Execute(mins.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rows[1][1].AsInt(), 5);
+  auto maxs = MakeHashAggregate(MakeVectorSource(input), 0, 1, AggFn::kMax);
+  rows = Execute(maxs.get());
+  EXPECT_EQ(rows[0][1].AsInt(), 10);
+  EXPECT_EQ(rows[1][1].AsInt(), 9);
+}
+
+TEST_F(ExecTest, SortLimitConcat) {
+  std::vector<Row> a{{Value(3)}, {Value(1)}};
+  std::vector<Row> b{{Value(2)}};
+  std::vector<OperatorPtr> parts;
+  parts.push_back(MakeVectorSource(a));
+  parts.push_back(MakeVectorSource(b));
+  auto op = MakeConcat(std::move(parts));
+  op = MakeSort(std::move(op), [](const Row& x, const Row& y) {
+    return x[0].AsInt() < y[0].AsInt();
+  });
+  op = MakeLimit(std::move(op), 2);
+  const auto rows = Execute(op.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[1][0].AsInt(), 2);
+}
+
+TEST(EngineDatabaseTest, RejectsDuplicateTable) {
+  EngineDatabase db(DeviceProfile::Ram());
+  ASSERT_TRUE(db.CreateTable("x", Schema{{"a", ColumnType::kInt32}}).ok());
+  EXPECT_FALSE(db.CreateTable("x", Schema{{"a", ColumnType::kInt32}}).ok());
+  EXPECT_NE(db.FindTable("x"), nullptr);
+  EXPECT_EQ(db.FindTable("y"), nullptr);
+}
+
+TEST(EngineDatabaseTest, BulkLoadValidatesKeysAndArity) {
+  EngineDatabase db(DeviceProfile::Ram());
+  auto table = db.CreateTable("x", Schema{{"a", ColumnType::kInt32}});
+  ASSERT_TRUE(table.ok());
+  std::vector<std::pair<IndexKey, Row>> out_of_order{{2, {Value(2)}},
+                                                     {1, {Value(1)}}};
+  EXPECT_FALSE((*table)->BulkLoad(std::move(out_of_order)).ok());
+
+  auto table2 = db.CreateTable("y", Schema{{"a", ColumnType::kInt32}});
+  std::vector<std::pair<IndexKey, Row>> bad_arity{
+      {1, {Value(1), Value(2)}}};
+  EXPECT_FALSE((*table2)->BulkLoad(std::move(bad_arity)).ok());
+}
+
+TEST(EngineDatabaseTest, SizeAccounting) {
+  EngineDatabase db(DeviceProfile::Ram());
+  auto table = db.CreateTable("x", Schema{{"a", ColumnType::kInt32}});
+  std::vector<std::pair<IndexKey, Row>> rows;
+  for (int32_t i = 0; i < 100; ++i) rows.emplace_back(i, Row{Value(i)});
+  ASSERT_TRUE((*table)->BulkLoad(std::move(rows)).ok());
+  EXPECT_EQ((*table)->num_rows(), 100u);
+  EXPECT_GT(db.total_size_bytes(), 0u);
+  EXPECT_EQ(db.table_names(), std::vector<std::string>{"x"});
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "timetable/generator.h"
+
+namespace ptldb {
+namespace {
+
+GeneratorOptions SmallOptions(uint64_t seed = 1) {
+  GeneratorOptions o;
+  o.num_stops = 120;
+  o.target_connections = 6000;
+  o.min_route_len = 5;
+  o.max_route_len = 10;
+  o.seed = seed;
+  return o;
+}
+
+TEST(GeneratorTest, ProducesValidTimetable) {
+  const auto tt = GenerateNetwork(SmallOptions());
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  EXPECT_EQ(tt->num_stops(), 120u);
+  EXPECT_GT(tt->num_connections(), 0u);
+  for (const Connection& c : tt->connections()) {
+    EXPECT_LT(c.dep, c.arr);
+    EXPECT_NE(c.from, c.to);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const auto a = GenerateNetwork(SmallOptions(7));
+  const auto b = GenerateNetwork(SmallOptions(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_connections(), b->num_connections());
+  for (uint32_t i = 0; i < a->num_connections(); ++i) {
+    EXPECT_EQ(a->connection(i), b->connection(i));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const auto a = GenerateNetwork(SmallOptions(1));
+  const auto b = GenerateNetwork(SmallOptions(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differ = a->num_connections() != b->num_connections();
+  for (uint32_t i = 0; !differ && i < a->num_connections(); ++i) {
+    differ = !(a->connection(i) == b->connection(i));
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, EveryStopIsServed) {
+  const auto tt = GenerateNetwork(SmallOptions(3));
+  ASSERT_TRUE(tt.ok());
+  std::vector<bool> served(tt->num_stops(), false);
+  for (const Connection& c : tt->connections()) {
+    served[c.from] = true;
+    served[c.to] = true;
+  }
+  for (StopId s = 0; s < tt->num_stops(); ++s) {
+    EXPECT_TRUE(served[s]) << "stop " << s << " has no service";
+  }
+}
+
+TEST(GeneratorTest, ConnectionCountNearTarget) {
+  const auto opts = SmallOptions(4);
+  const auto tt = GenerateNetwork(opts);
+  ASSERT_TRUE(tt.ok());
+  // Coverage routes overshoot a little; accept a factor-of-2 band.
+  EXPECT_GT(tt->num_connections(), opts.target_connections / 2);
+  EXPECT_LT(tt->num_connections(), opts.target_connections * 3);
+}
+
+TEST(GeneratorTest, EventsRespectServiceWindow) {
+  const auto opts = SmallOptions(5);
+  const auto tt = GenerateNetwork(opts);
+  ASSERT_TRUE(tt.ok());
+  EXPECT_GE(tt->min_time(), opts.service_start);
+  // Trips departing before service_end may run past it; a route traversal
+  // is bounded by max_route_len hops.
+  EXPECT_LT(tt->max_time(), opts.service_end + 4 * 3600);
+}
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  GeneratorOptions o = SmallOptions();
+  o.num_stops = 1;
+  EXPECT_FALSE(GenerateNetwork(o).ok());
+  o = SmallOptions();
+  o.min_route_len = 1;
+  EXPECT_FALSE(GenerateNetwork(o).ok());
+  o = SmallOptions();
+  o.service_end = o.service_start;
+  EXPECT_FALSE(GenerateNetwork(o).ok());
+  o = SmallOptions();
+  o.peak_headway = 0;
+  EXPECT_FALSE(GenerateNetwork(o).ok());
+}
+
+TEST(GeneratorTest, CityProfilesLookupAndScaling) {
+  ASSERT_EQ(kNumCityProfiles, 11u);
+  const CityProfile* madrid = FindCityProfile("Madrid");
+  ASSERT_NE(madrid, nullptr);
+  EXPECT_EQ(FindCityProfile("Atlantis"), nullptr);
+  const GeneratorOptions o = CityOptions(*madrid, 0.1);
+  EXPECT_EQ(o.num_stops, 400u);
+  EXPECT_EQ(o.target_connections, 191300u);
+  // Scaling preserves the average-degree target.
+  EXPECT_NEAR(static_cast<double>(o.target_connections) / o.num_stops,
+              static_cast<double>(madrid->num_connections) / madrid->num_stops,
+              25.0);
+}
+
+TEST(GeneratorTest, DenserProfileYieldsDenserNetwork) {
+  const CityProfile* sparse = FindCityProfile("SaltLakeCity");
+  const CityProfile* dense = FindCityProfile("Madrid");
+  ASSERT_NE(sparse, nullptr);
+  ASSERT_NE(dense, nullptr);
+  const auto a = GenerateNetwork(CityOptions(*sparse, 0.02));
+  const auto b = GenerateNetwork(CityOptions(*dense, 0.02));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->average_degree(), a->average_degree());
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/csv.h"
+#include "timetable/example_graph.h"
+#include "timetable/gtfs.h"
+#include "timetable/gtfs_writer.h"
+
+namespace ptldb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GtfsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("gtfs_" + std::string(
+                          testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    ASSERT_TRUE(WriteStringToFile((dir_ / name).string(), content).ok());
+  }
+
+  void WriteBasicFeed() {
+    WriteFile("stops.txt",
+              "stop_id,stop_name,stop_lat,stop_lon\n"
+              "A,\"Alpha, Central\",1.0,2.0\n"
+              "B,Beta,1.5,2.5\n"
+              "C,Gamma,2.0,3.0\n");
+    WriteFile("trips.txt",
+              "route_id,service_id,trip_id\n"
+              "R1,WK,T1\n"
+              "R1,WE,T2\n");
+    WriteFile("stop_times.txt",
+              "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+              "T1,08:00:00,08:00:00,A,1\n"
+              "T1,08:10:00,08:11:00,B,2\n"
+              "T1,08:20:00,08:20:00,C,3\n"
+              "T2,09:00:00,09:00:00,C,1\n"
+              "T2,09:15:00,09:15:00,A,2\n");
+    WriteFile("calendar.txt",
+              "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+              "sunday,start_date,end_date\n"
+              "WK,1,1,1,1,1,0,0,20260101,20261231\n"
+              "WE,0,0,0,0,0,1,1,20260101,20261231\n");
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(GtfsTest, LoadsWeekdayService) {
+  WriteBasicFeed();
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kTuesday});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ(feed->timetable.num_stops(), 3u);
+  // Only T1 runs on Tuesday.
+  EXPECT_EQ(feed->timetable.num_trips(), 1u);
+  EXPECT_EQ(feed->timetable.num_connections(), 2u);
+  EXPECT_EQ(feed->skipped_trips, 1u);
+
+  const StopId a = feed->stop_index.at("A");
+  const StopId b = feed->stop_index.at("B");
+  const StopId c = feed->stop_index.at("C");
+  const Connection& first = feed->timetable.connection(0);
+  EXPECT_EQ(first.from, a);
+  EXPECT_EQ(first.to, b);
+  EXPECT_EQ(first.dep, 8 * 3600);
+  EXPECT_EQ(first.arr, 8 * 3600 + 600);
+  const Connection& second = feed->timetable.connection(1);
+  EXPECT_EQ(second.from, b);
+  EXPECT_EQ(second.to, c);
+  // Departure uses the dwell-adjusted departure_time of the middle stop.
+  EXPECT_EQ(second.dep, 8 * 3600 + 660);
+  EXPECT_EQ(second.arr, 8 * 3600 + 1200);
+  EXPECT_EQ(feed->timetable.stop(a).name, "Alpha, Central");
+}
+
+TEST_F(GtfsTest, WeekendServiceSelectsOtherTrip) {
+  WriteBasicFeed();
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kSaturday});
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->timetable.num_connections(), 1u);  // T2: C -> A.
+  const Connection& c = feed->timetable.connection(0);
+  EXPECT_EQ(c.from, feed->stop_index.at("C"));
+  EXPECT_EQ(c.to, feed->stop_index.at("A"));
+}
+
+TEST_F(GtfsTest, NoCalendarKeepsAllTrips) {
+  WriteBasicFeed();
+  fs::remove(dir_ / "calendar.txt");
+  const auto feed = LoadGtfs(dir_.string());
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->timetable.num_trips(), 2u);
+  EXPECT_EQ(feed->timetable.num_connections(), 3u);
+}
+
+TEST_F(GtfsTest, ExpandsFrequencies) {
+  WriteBasicFeed();
+  // T1 every 30 min from 06:00 to 08:00 -> 4 instances of 2 connections.
+  WriteFile("frequencies.txt",
+            "trip_id,start_time,end_time,headway_secs\n"
+            "T1,06:00:00,08:00:00,1800\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->timetable.num_trips(), 4u);
+  EXPECT_EQ(feed->timetable.num_connections(), 8u);
+  EXPECT_EQ(feed->timetable.connection(0).dep, 6 * 3600);
+}
+
+TEST_F(GtfsTest, DropsNonPositiveDurationsWhenAsked) {
+  WriteBasicFeed();
+  WriteFile("stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,08:00:00,08:00:00,A,1\n"
+            "T1,08:00:00,08:10:00,B,2\n"  // Zero-duration hop A->B.
+            "T1,08:20:00,08:20:00,C,3\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->dropped_connections, 1u);
+  EXPECT_EQ(feed->timetable.num_connections(), 1u);
+
+  GtfsOptions strict;
+  strict.weekday = Weekday::kMonday;
+  strict.drop_non_positive_durations = false;
+  EXPECT_FALSE(LoadGtfs(dir_.string(), strict).ok());
+}
+
+TEST_F(GtfsTest, MissingFilesFail) {
+  EXPECT_FALSE(LoadGtfs(dir_.string()).ok());
+}
+
+TEST_F(GtfsTest, RejectsUnknownStopInStopTimes) {
+  WriteBasicFeed();
+  WriteFile("stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,08:00:00,08:00:00,A,1\n"
+            "T1,08:10:00,08:10:00,ZZZ,2\n");
+  EXPECT_FALSE(LoadGtfs(dir_.string()).ok());
+}
+
+TEST_F(GtfsTest, RejectsDuplicateStopIds) {
+  WriteBasicFeed();
+  WriteFile("stops.txt",
+            "stop_id,stop_name,stop_lat,stop_lon\nA,x,0,0\nA,y,0,0\n");
+  EXPECT_FALSE(LoadGtfs(dir_.string()).ok());
+}
+
+TEST_F(GtfsTest, StopSequenceOrderIndependentOfFileOrder) {
+  WriteBasicFeed();
+  // Same T1 stop_times, shuffled rows.
+  WriteFile("stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,08:20:00,08:20:00,C,3\n"
+            "T1,08:00:00,08:00:00,A,1\n"
+            "T1,08:10:00,08:11:00,B,2\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->timetable.num_connections(), 2u);
+  EXPECT_EQ(feed->timetable.connection(0).from, feed->stop_index.at("A"));
+}
+
+TEST_F(GtfsTest, WriterRoundTripPreservesConnections) {
+  const Timetable original = MakeExampleTimetable();
+  ASSERT_TRUE(WriteGtfs(original, dir_.string()).ok());
+  const auto feed = LoadGtfs(dir_.string());
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  ASSERT_EQ(feed->timetable.num_stops(), original.num_stops());
+  ASSERT_EQ(feed->timetable.num_connections(), original.num_connections());
+  // Trip ids may differ (branching trips are split into linear GTFS trips);
+  // compare the connection multiset modulo trip ids, mapping stop ids back.
+  using Key = std::tuple<StopId, StopId, Timestamp, Timestamp>;
+  std::map<Key, int> want;
+  std::map<Key, int> got;
+  for (const Connection& c : original.connections()) {
+    want[{c.from, c.to, c.dep, c.arr}]++;
+  }
+  // The writer names stops "S<dense id>" and lists them in id order, so the
+  // loader reassigns the same dense ids; verify that, then compare directly.
+  EXPECT_EQ(feed->stop_index.at("S3"), 3u);
+  for (const Connection& c : feed->timetable.connections()) {
+    got[{c.from, c.to, c.dep, c.arr}]++;
+  }
+  EXPECT_EQ(want, got);
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "pgsql/sql_writer.h"
+#include "timetable/example_graph.h"
+#include "ttl/builder.h"
+
+namespace ptldb {
+namespace {
+
+// Complementary SqlWriter coverage (the live-server behaviour is covered
+// by pgsql_test; these check the emitted text itself).
+
+TEST(SqlWriterDetailTest, LdNaiveStructure) {
+  const std::string sql = LdKnnNaiveSql("poi");
+  EXPECT_NE(sql.find("knn_naive_poi"), std::string::npos);
+  EXPECT_NE(sql.find("MAX(n1_td)"), std::string::npos);
+  EXPECT_NE(sql.find("n2.ta <= $2"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY MAX(n1_td) DESC, v2"), std::string::npos);
+  // The LD naive query must not filter n1 by departure time.
+  EXPECT_EQ(sql.find("td >= $2"), std::string::npos);
+}
+
+TEST(SqlWriterDetailTest, LdKnnKeepsBothFeasibilityChecks) {
+  const std::string sql = LdKnnSql("poi");
+  EXPECT_NE(sql.find("n3.td >= n1_ta"), std::string::npos);
+  EXPECT_NE(sql.find("n2.td >= n1_ta"), std::string::npos);
+  EXPECT_NE(sql.find("n2.ta <= $2"), std::string::npos);
+}
+
+TEST(SqlWriterDetailTest, EmptyLabelRowsEmitEmptyArrays) {
+  LabelSet labels(2);
+  labels.mutable_tuples(1).push_back({0, 10, 20, kInvalidStop, kInvalidTrip});
+  const std::string copy = LabelTableCopy(labels, "lout");
+  EXPECT_NE(copy.find("0\t{}\t{}\t{}"), std::string::npos);
+  EXPECT_NE(copy.find("1\t{0}\t{10}\t{20}"), std::string::npos);
+}
+
+TEST(SqlWriterDetailTest, NaiveConstructionSqlInlinesTargets) {
+  const std::string sql = NaiveTableConstructionSql("s", {3, 7, 11}, 4);
+  EXPECT_NE(sql.find("(3), (7), (11)"), std::string::npos);
+  EXPECT_NE(sql.find("rn <= 4"), std::string::npos);
+  EXPECT_NE(sql.find("ADD PRIMARY KEY (hub, td)"), std::string::npos);
+}
+
+TEST(SqlWriterDetailTest, CopyRowCountMatchesStops) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto index = BuildTtlIndex(tt);
+  ASSERT_TRUE(index.ok());
+  const std::string copy = LabelTableCopy(index->in, "lin");
+  // Exactly |V| data lines between the COPY header and the terminator.
+  size_t lines = 0;
+  for (const char c : copy) lines += (c == '\n');
+  EXPECT_EQ(lines, tt.num_stops() + 2u);  // header + |V| rows + "\.".
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,517 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "baseline/brute.h"
+#include "baseline/csa.h"
+#include "common/rng.h"
+#include "ptldb/ptldb.h"
+#include "ptldb/service_calendar.h"
+#include "ptldb/queries.h"
+#include "ptldb/tables.h"
+#include "timetable/example_graph.h"
+#include "timetable/generator.h"
+#include "common/csv.h"
+#include "ttl/builder.h"
+#include "ttl/query.h"
+
+namespace ptldb {
+namespace {
+
+Timetable SmallCity(uint64_t seed, uint32_t stops = 90,
+                    uint64_t connections = 5000) {
+  GeneratorOptions o;
+  o.num_stops = stops;
+  o.target_connections = connections;
+  o.min_route_len = 4;
+  o.max_route_len = 9;
+  o.seed = seed;
+  auto tt = GenerateNetwork(o);
+  EXPECT_TRUE(tt.ok());
+  return std::move(tt).value();
+}
+
+TtlIndex BuildIndex(const Timetable& tt, TtlBuildOptions options = {}) {
+  auto index = BuildTtlIndex(tt, options);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+std::unique_ptr<PtldbDatabase> BuildDb(const TtlIndex& index) {
+  PtldbOptions options;
+  options.device = DeviceProfile::Ram();
+  auto db = PtldbDatabase::Build(index, options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+// kNN answers may legitimately differ from the brute-force list on stops
+// whose times tie at the k-th position ("ties broken arbitrarily" in the
+// paper's table construction). Validate: same times position-by-position,
+// distinct stops, and every returned stop's true time equals the reported
+// time.
+void ExpectKnnValid(const std::vector<StopTimeResult>& got,
+                    const std::vector<StopTimeResult>& brute_full,
+                    uint32_t k, const char* what) {
+  std::map<StopId, Timestamp> truth;
+  for (const auto& r : brute_full) truth.emplace(r.stop, r.time);
+  const size_t expected =
+      std::min<size_t>(k, brute_full.size());
+  ASSERT_EQ(got.size(), expected) << what;
+  std::set<StopId> seen;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, brute_full[i].time)
+        << what << " time mismatch at position " << i;
+    EXPECT_TRUE(seen.insert(got[i].stop).second)
+        << what << " duplicate stop " << got[i].stop;
+    const auto it = truth.find(got[i].stop);
+    ASSERT_NE(it, truth.end())
+        << what << " returned stop " << got[i].stop << " not reachable";
+    EXPECT_EQ(it->second, got[i].time)
+        << what << " stop " << got[i].stop << " has wrong time";
+  }
+}
+
+// ---------- Worked examples from the paper ----------
+
+class PtldbExampleTest : public testing::Test {
+ protected:
+  PtldbExampleTest() : tt_(MakeExampleTimetable()) {
+    TtlBuildOptions options;
+    options.custom_order = ExampleVertexOrder();
+    index_ = BuildIndex(tt_, options);
+    db_ = BuildDb(index_);
+    EXPECT_TRUE(db_->AddTargetSet("t46", index_, {4, 6}, /*kmax=*/2).ok());
+  }
+
+  Timetable tt_;
+  TtlIndex index_;
+  std::unique_ptr<PtldbDatabase> db_;
+};
+
+TEST_F(PtldbExampleTest, V2vMatchesPaper) {
+  // "the answer to the EA(1, 1, 324) query is 324".
+  EXPECT_EQ(db_->EarliestArrival(1, 1, 32400), 32400);
+  EXPECT_EQ(db_->EarliestArrival(5, 6, 28800), 43200);
+  EXPECT_EQ(db_->LatestDeparture(5, 6, 43200), 28800);
+  EXPECT_EQ(db_->ShortestDuration(5, 0, 0, 86400), 7200);
+  EXPECT_EQ(db_->EarliestArrival(5, 0, 28801), kInfinityTime);
+  EXPECT_EQ(db_->LatestDeparture(6, 5, 43199), kNegInfinityTime);
+}
+
+TEST_F(PtldbExampleTest, NaiveTableMatchesTable4) {
+  // Table 4 of the paper: ea_knn_naive for T={4,6} and k=1 has rows
+  // (0,360)->({4},{396}), (2,396)->({6},{432}), (4,396)->({4},{396}),
+  // (6,432)->({6},{432}). With kmax=2 the (0,360) row also keeps (6,432).
+  const EngineTable* naive = db_->engine()->FindTable(NaiveKnnTableName("t46"));
+  ASSERT_NE(naive, nullptr);
+  BufferPool* pool = db_->engine()->buffer_pool();
+
+  const auto row0 = naive->Get(MakeCompositeKey(0, 36000), pool);
+  ASSERT_TRUE(row0.has_value());
+  EXPECT_EQ((*row0)[2].AsArray(), (std::vector<int32_t>{4, 6}));
+  EXPECT_EQ((*row0)[3].AsArray(), (std::vector<int32_t>{39600, 43200}));
+
+  const auto row2 = naive->Get(MakeCompositeKey(2, 39600), pool);
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ((*row2)[2].AsArray(), (std::vector<int32_t>{6}));
+  EXPECT_EQ((*row2)[3].AsArray(), (std::vector<int32_t>{43200}));
+
+  const auto row4 = naive->Get(MakeCompositeKey(4, 39600), pool);
+  ASSERT_TRUE(row4.has_value());
+  EXPECT_EQ((*row4)[2].AsArray(), (std::vector<int32_t>{4}));
+
+  const auto row6 = naive->Get(MakeCompositeKey(6, 43200), pool);
+  ASSERT_TRUE(row6.has_value());
+  EXPECT_EQ((*row6)[2].AsArray(), (std::vector<int32_t>{6}));
+
+  EXPECT_EQ(naive->num_rows(), 4u);
+}
+
+TEST_F(PtldbExampleTest, EaKnnMatchesPaperExample) {
+  // "the EA-kNN(0, {4,6}, 360, 1) will have the correct answer (4, 396)".
+  const auto naive = db_->EaKnnNaive("t46", 0, 36000, 1);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(naive->size(), 1u);
+  EXPECT_EQ((*naive)[0].stop, 4u);
+  EXPECT_EQ((*naive)[0].time, 39600);
+
+  const auto optimized = db_->EaKnn("t46", 0, 36000, 1);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ(optimized->size(), 1u);
+  EXPECT_EQ((*optimized)[0].stop, 4u);
+  EXPECT_EQ((*optimized)[0].time, 39600);
+}
+
+TEST_F(PtldbExampleTest, EaOtmReturnsAllTargets) {
+  const auto rows = db_->EaOneToMany("t46", 0, 36000);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (StopTimeResult{4, 39600}));
+  EXPECT_EQ((*rows)[1], (StopTimeResult{6, 43200}));
+}
+
+TEST_F(PtldbExampleTest, LdQueriesOnExample) {
+  // Reach {4,6} by end of day from stop 5 (departs 28800 on trip 1).
+  const auto knn = db_->LdKnn("t46", 5, 43200, 2);
+  ASSERT_TRUE(knn.ok());
+  const auto brute = BruteLdOneToMany(tt_, 5, {4, 6}, 43200);
+  ExpectKnnValid(*knn, brute, 2, "LD-kNN example");
+
+  const auto otm = db_->LdOneToMany("t46", 5, 43200);
+  ASSERT_TRUE(otm.ok());
+  ASSERT_EQ(otm->size(), brute.size());
+  for (size_t i = 0; i < otm->size(); ++i) EXPECT_EQ((*otm)[i], brute[i]);
+}
+
+TEST_F(PtldbExampleTest, ValidatesTargetSetUsage) {
+  EXPECT_FALSE(db_->EaKnn("nope", 0, 0, 1).ok());
+  EXPECT_FALSE(db_->EaKnn("t46", 0, 0, 3).ok());  // k > kmax.
+  EXPECT_FALSE(db_->EaKnn("t46", 0, 0, 0).ok());
+  EXPECT_FALSE(db_->EaOneToMany("nope", 0, 0).ok());
+  EXPECT_FALSE(db_->AddTargetSet("t46", index_, {1}, 2).ok());  // Duplicate.
+}
+
+// ---------- Randomized integration sweeps ----------
+
+struct SweepCase {
+  uint64_t seed;
+  double density;
+  uint32_t kmax;
+};
+
+class PtldbSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(PtldbSweepTest, AllQueriesMatchGroundTruth) {
+  const SweepCase param = GetParam();
+  const Timetable tt = SmallCity(param.seed);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+
+  Rng rng(param.seed * 131 + 7);
+  const auto num_targets = std::max<uint32_t>(
+      2, static_cast<uint32_t>(param.density * tt.num_stops()));
+  std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), num_targets);
+  ASSERT_TRUE(db->AddTargetSet("T", index, targets, param.kmax).ok());
+
+  const Timestamp lo = tt.min_time();
+  const Timestamp hi = tt.max_time();
+  for (int trial = 0; trial < 40; ++trial) {
+    // Query stops outside the target set (self-queries have label-defined
+    // semantics, see README).
+    StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    while (std::find(targets.begin(), targets.end(), q) != targets.end()) {
+      q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    }
+    const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
+
+    // v2v against CSA.
+    {
+      auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+      if (g == q) g = (g + 1) % tt.num_stops();
+      EXPECT_EQ(db->EarliestArrival(q, g, t), EarliestArrival(tt, q, g, t));
+      EXPECT_EQ(db->LatestDeparture(q, g, t), LatestDeparture(tt, q, g, t));
+      const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
+      EXPECT_EQ(db->ShortestDuration(q, g, t, t_end),
+                ShortestDuration(tt, q, g, t, t_end));
+    }
+
+    const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+    const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
+
+    for (uint32_t k = 1; k <= param.kmax; k *= 2) {
+      const auto ea = db->EaKnn("T", q, t, k);
+      ASSERT_TRUE(ea.ok());
+      ExpectKnnValid(*ea, ea_full, k, "EA-kNN");
+      const auto ea_naive = db->EaKnnNaive("T", q, t, k);
+      ASSERT_TRUE(ea_naive.ok());
+      ExpectKnnValid(*ea_naive, ea_full, k, "EA-kNN-naive");
+      const auto ld = db->LdKnn("T", q, t, k);
+      ASSERT_TRUE(ld.ok());
+      ExpectKnnValid(*ld, ld_full, k, "LD-kNN");
+      const auto ld_naive = db->LdKnnNaive("T", q, t, k);
+      ASSERT_TRUE(ld_naive.ok());
+      ExpectKnnValid(*ld_naive, ld_full, k, "LD-kNN-naive");
+    }
+
+    // One-to-many must match exactly (no tie truncation).
+    const auto ea_otm = db->EaOneToMany("T", q, t);
+    ASSERT_TRUE(ea_otm.ok());
+    ASSERT_EQ(ea_otm->size(), ea_full.size());
+    for (size_t i = 0; i < ea_full.size(); ++i) {
+      EXPECT_EQ((*ea_otm)[i], ea_full[i]) << "EA-OTM row " << i;
+    }
+    const auto ld_otm = db->LdOneToMany("T", q, t);
+    ASSERT_TRUE(ld_otm.ok());
+    ASSERT_EQ(ld_otm->size(), ld_full.size());
+    for (size_t i = 0; i < ld_full.size(); ++i) {
+      EXPECT_EQ((*ld_otm)[i], ld_full[i]) << "LD-OTM row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PtldbSweepTest,
+    testing::Values(SweepCase{1, 0.05, 4}, SweepCase{2, 0.10, 4},
+                    SweepCase{3, 0.10, 16}, SweepCase{4, 0.30, 8},
+                    SweepCase{5, 0.02, 2}, SweepCase{6, 0.50, 4}));
+
+// Section 3.2.1: the hour is a tuning parameter; any bucket width must
+// keep answers exact (only performance changes).
+class PtldbBucketWidthTest : public testing::TestWithParam<Timestamp> {};
+
+TEST_P(PtldbBucketWidthTest, AnswersIndependentOfBucketWidth) {
+  const Timetable tt = SmallCity(77);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(9);
+  std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 10);
+  ASSERT_TRUE(
+      db->AddTargetSet("T", index, targets, 4, GetParam()).ok());
+  for (int trial = 0; trial < 25; ++trial) {
+    StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    while (std::find(targets.begin(), targets.end(), q) != targets.end()) {
+      q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    }
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto ea = db->EaKnn("T", q, t, 4);
+    ASSERT_TRUE(ea.ok());
+    ExpectKnnValid(*ea, BruteEaOneToMany(tt, q, targets, t), 4, "EA bucket");
+    const auto ld = db->LdKnn("T", q, t, 4);
+    ASSERT_TRUE(ld.ok());
+    ExpectKnnValid(*ld, BruteLdOneToMany(tt, q, targets, t), 4, "LD bucket");
+    const auto otm = db->EaOneToMany("T", q, t);
+    ASSERT_TRUE(otm.ok());
+    const auto brute = BruteEaOneToMany(tt, q, targets, t);
+    ASSERT_EQ(otm->size(), brute.size());
+    for (size_t i = 0; i < brute.size(); ++i) EXPECT_EQ((*otm)[i], brute[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PtldbBucketWidthTest,
+                         testing::Values(900, 1800, 3600, 7200, 14400));
+
+// The specialized merge plan must agree with the SQL-shaped plan.
+TEST(PtldbPlanTest, MergePlanMatchesSqlShapedPlan) {
+  const Timetable tt = SmallCity(88);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(21);
+  for (int i = 0; i < 120; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t_end =
+        static_cast<Timestamp>(rng.NextInRange(t, tt.max_time()));
+    EngineDatabase* engine = db->engine();
+    EXPECT_EQ(QueryV2vEa(engine, s, g, t), QueryV2vEaMergePlan(engine, s, g, t));
+    EXPECT_EQ(QueryV2vLd(engine, s, g, t_end),
+              QueryV2vLdMergePlan(engine, s, g, t_end));
+    EXPECT_EQ(QueryV2vSd(engine, s, g, t, t_end),
+              QueryV2vSdMergePlan(engine, s, g, t, t_end));
+  }
+}
+
+// A stop that is never reached (only departures, never a hub target) has
+// an empty lin row; queries against it must come back empty, not crash.
+TEST(PtldbEdgeTest, UnreachableStopHasEmptyAnswers) {
+  TimetableBuilder builder;
+  const StopId x = builder.AddStop();
+  const StopId y = builder.AddStop();
+  const TripId trip = builder.AddTrip();
+  builder.AddConnection(x, y, 100, 200, trip);
+  auto tt = std::move(builder).Build();
+  ASSERT_TRUE(tt.ok());
+  const TtlIndex index = BuildIndex(*tt);
+  auto db = BuildDb(index);
+  EXPECT_EQ(db->EarliestArrival(x, y, 100), 200);
+  EXPECT_EQ(db->EarliestArrival(x, y, 101), kInfinityTime);
+  EXPECT_EQ(db->EarliestArrival(y, x, 0), kInfinityTime);
+  EXPECT_EQ(db->LatestDeparture(y, x, 99999), kNegInfinityTime);
+  EXPECT_EQ(db->ShortestDuration(y, x, 0, 99999), kInfinityTime);
+  ASSERT_TRUE(db->AddTargetSet("T", index, {x}, 2).ok());
+  const auto knn = db->EaKnn("T", y, 0, 1);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+  const auto otm = db->LdOneToMany("T", y, 99999);
+  ASSERT_TRUE(otm.ok());
+  EXPECT_TRUE(otm->empty());
+}
+
+// Correctness must not depend on buffer-pool capacity: a pool of 8 pages
+// forces constant eviction, yet answers stay identical.
+TEST(PtldbEdgeTest, TinyBufferPoolStillCorrect) {
+  const Timetable tt = SmallCity(66);
+  const TtlIndex index = BuildIndex(tt);
+  auto reference = BuildDb(index);
+  PtldbOptions tiny;
+  tiny.device = DeviceProfile::Ram();
+  tiny.buffer_pool_pages = 8;
+  auto constrained = PtldbDatabase::Build(index, tiny);
+  ASSERT_TRUE(constrained.ok());
+  Rng rng(33);
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    EXPECT_EQ((*constrained)->EarliestArrival(s, g, t),
+              reference->EarliestArrival(s, g, t));
+    EXPECT_EQ((*constrained)->LatestDeparture(s, g, t),
+              reference->LatestDeparture(s, g, t));
+  }
+}
+
+// ---------- Multi-service-period support (Section 3.1) ----------
+
+class CalendarTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) / "calendar_ptldb";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    Write("stops.txt",
+          "stop_id,stop_name,stop_lat,stop_lon\n"
+          "A,Alpha,0,0\nB,Beta,0,1\nC,Gamma,1,1\n");
+    Write("trips.txt",
+          "route_id,service_id,trip_id\n"
+          "R,WK,T1\nR,WK,T2\nR,WE,T3\n");
+    // Weekdays: A->B->C morning + B->C midday; weekends: only A->B later.
+    Write("stop_times.txt",
+          "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+          "T1,08:00:00,08:00:00,A,1\n"
+          "T1,08:20:00,08:21:00,B,2\n"
+          "T1,08:40:00,08:40:00,C,3\n"
+          "T2,12:00:00,12:00:00,B,1\n"
+          "T2,12:30:00,12:30:00,C,2\n"
+          "T3,10:00:00,10:00:00,A,1\n"
+          "T3,10:45:00,10:45:00,B,2\n");
+    Write("calendar.txt",
+          "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+          "sunday,start_date,end_date\n"
+          "WK,1,1,1,1,1,0,0,20260101,20261231\n"
+          "WE,0,0,0,0,0,1,1,20260101,20261231\n");
+  }
+
+  void Write(const std::string& name, const std::string& content) {
+    ASSERT_TRUE(WriteStringToFile((dir_ / name).string(), content).ok());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CalendarTest, BuildsOnePeriodPerDistinctTimetable) {
+  CalendarPtldb::Options options;
+  options.database.device = DeviceProfile::Ram();
+  auto calendar = CalendarPtldb::FromGtfs(dir_.string(), options);
+  ASSERT_TRUE(calendar.ok()) << calendar.status().ToString();
+  // Mon-Fri share one timetable, Sat/Sun another.
+  EXPECT_EQ((*calendar)->num_distinct_periods(), 2u);
+
+  // Weekday: A reaches C at 08:40.
+  auto weekday =
+      (*calendar)->EarliestArrival(Weekday::kWednesday, "A", "C", 7 * 3600);
+  ASSERT_TRUE(weekday.ok());
+  EXPECT_EQ(*weekday, 8 * 3600 + 40 * 60);
+  // Weekend: C is unreachable, A->B arrives 10:45.
+  auto weekend_c =
+      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "C", 7 * 3600);
+  ASSERT_TRUE(weekend_c.ok());
+  EXPECT_EQ(*weekend_c, kInfinityTime);
+  auto weekend_b =
+      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "B", 7 * 3600);
+  ASSERT_TRUE(weekend_b.ok());
+  EXPECT_EQ(*weekend_b, 10 * 3600 + 45 * 60);
+}
+
+TEST_F(CalendarTest, TargetSetsSpanAllPeriods) {
+  CalendarPtldb::Options options;
+  options.database.device = DeviceProfile::Ram();
+  auto calendar = CalendarPtldb::FromGtfs(dir_.string(), options);
+  ASSERT_TRUE(calendar.ok());
+  ASSERT_TRUE((*calendar)->AddTargetSet("poi", {"B", "C"}, 2).ok());
+
+  PtldbDatabase* monday = (*calendar)->ForDay(Weekday::kMonday);
+  const StopId a = (*calendar)->StopFor(Weekday::kMonday, "A");
+  const auto knn = monday->EaKnn("poi", a, 7 * 3600, 2);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 2u);
+  EXPECT_EQ((*knn)[0].time, 8 * 3600 + 20 * 60);
+
+  PtldbDatabase* sunday = (*calendar)->ForDay(Weekday::kSunday);
+  const StopId a2 = (*calendar)->StopFor(Weekday::kSunday, "A");
+  const auto weekend = sunday->EaKnn("poi", a2, 7 * 3600, 2);
+  ASSERT_TRUE(weekend.ok());
+  ASSERT_EQ(weekend->size(), 1u);  // Only B reachable.
+}
+
+TEST_F(CalendarTest, UnknownStopsFail) {
+  CalendarPtldb::Options options;
+  options.database.device = DeviceProfile::Ram();
+  auto calendar = CalendarPtldb::FromGtfs(dir_.string(), options);
+  ASSERT_TRUE(calendar.ok());
+  EXPECT_FALSE(
+      (*calendar)->EarliestArrival(Weekday::kMonday, "zz", "A", 0).ok());
+  EXPECT_FALSE((*calendar)->AddTargetSet("bad", {"zz"}, 2).ok());
+}
+
+// ---------- Storage behaviour ----------
+
+TEST(PtldbStorageTest, V2vTouchesExactlyTwoLabelRows) {
+  const Timetable tt = SmallCity(9);
+  const TtlIndex index = BuildIndex(tt);
+  PtldbOptions options;
+  options.device = DeviceProfile::Hdd7200();
+  auto db = PtldbDatabase::Build(index, options);
+  ASSERT_TRUE(db.ok());
+  (*db)->DropCaches();
+  (*db)->ResetIoStats();
+  (*db)->EarliestArrival(3, 7, tt.min_time());
+  // Two label rows: at most two random page accesses beyond index pages,
+  // i.e. random reads are bounded by 2 (rows) + index height * 2.
+  StorageDevice* device = (*db)->engine()->device();
+  const uint64_t random_reads = device->reads() - device->sequential_reads();
+  EXPECT_LE(random_reads, 8u);
+  EXPECT_GT(device->total_ns(), 0u);
+}
+
+TEST(PtldbStorageTest, WarmCacheCostsNoIo) {
+  const Timetable tt = SmallCity(10);
+  const TtlIndex index = BuildIndex(tt);
+  PtldbOptions options;
+  options.device = DeviceProfile::Hdd7200();
+  auto db = PtldbDatabase::Build(index, options);
+  ASSERT_TRUE(db.ok());
+  (*db)->EarliestArrival(3, 7, tt.min_time());
+  (*db)->ResetIoStats();
+  (*db)->EarliestArrival(3, 7, tt.min_time());  // Same rows, now cached.
+  EXPECT_EQ((*db)->io_time_ns(), 0u);
+}
+
+TEST(PtldbStorageTest, SsdIsFasterThanHddForColdV2v) {
+  const Timetable tt = SmallCity(11);
+  const TtlIndex index = BuildIndex(tt);
+  uint64_t io_ns[2] = {0, 0};
+  const DeviceProfile profiles[2] = {DeviceProfile::Hdd7200(),
+                                     DeviceProfile::SataSsd()};
+  for (int i = 0; i < 2; ++i) {
+    PtldbOptions options;
+    options.device = profiles[i];
+    auto db = PtldbDatabase::Build(index, options);
+    ASSERT_TRUE(db.ok());
+    (*db)->DropCaches();
+    (*db)->ResetIoStats();
+    (*db)->EarliestArrival(5, 17, tt.min_time());
+    io_ns[i] = (*db)->io_time_ns();
+  }
+  EXPECT_GT(io_ns[0], io_ns[1] * 5);
+}
+
+}  // namespace
+}  // namespace ptldb

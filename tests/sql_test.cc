@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pgsql/sql_writer.h"
+#include "ptldb/ptldb.h"
+#include "sql/interpreter.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "timetable/example_graph.h"
+#include "timetable/generator.h"
+#include "ttl/builder.h"
+
+namespace ptldb {
+namespace {
+
+// ---------- Lexer ----------
+
+TEST(SqlLexerTest, TokenizesBasics) {
+  const auto tokens = LexSql("SELECT v, hubs[1:$2] FROM lout WHERE v >= 10");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].kind, SqlTokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "v");
+  EXPECT_EQ((*tokens)[1].kind, SqlTokenKind::kIdentifier);
+}
+
+TEST(SqlLexerTest, CaseFolding) {
+  const auto tokens = LexSql("select LOUT Where");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");   // Keywords upper-cased.
+  EXPECT_EQ((*tokens)[1].text, "lout");     // Identifiers lower-cased.
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(SqlLexerTest, CommentsAndOperators) {
+  const auto tokens = LexSql("a <= b -- trailing\n/* block */ c <> d");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, SqlTokenKind::kLe);
+  EXPECT_EQ((*tokens)[4].kind, SqlTokenKind::kNe);
+}
+
+TEST(SqlLexerTest, RejectsJunk) {
+  EXPECT_FALSE(LexSql("SELECT #").ok());
+  EXPECT_FALSE(LexSql("$x").ok());
+  EXPECT_FALSE(LexSql("/* open").ok());
+}
+
+// ---------- Parser ----------
+
+TEST(SqlParserTest, ParsesSimpleSelect) {
+  const auto select =
+      ParseSqlSelect("SELECT v, hubs FROM lout WHERE v = $1;");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  EXPECT_EQ((*select)->items.size(), 2u);
+  EXPECT_EQ((*select)->from.size(), 1u);
+  EXPECT_EQ((*select)->from[0].table, "lout");
+  ASSERT_NE((*select)->where, nullptr);
+  EXPECT_EQ((*select)->where->op, SqlBinaryOp::kEq);
+}
+
+TEST(SqlParserTest, ParsesCtesAndUnion) {
+  const auto select = ParseSqlSelect(
+      "WITH a AS (SELECT 1 AS x), b AS (SELECT 2 AS x) "
+      "(SELECT x FROM a) UNION (SELECT x FROM b)");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  EXPECT_EQ((*select)->ctes.size(), 2u);
+  EXPECT_NE((*select)->union_next, nullptr);
+}
+
+TEST(SqlParserTest, ParsesAllPaperQueries) {
+  for (const std::string sql :
+       {V2vSql(V2vKind::kEarliestArrival), V2vSql(V2vKind::kLatestDeparture),
+        V2vSql(V2vKind::kShortestDuration), EaKnnNaiveSql("poi"),
+        LdKnnNaiveSql("poi"), EaKnnSql("poi"), EaOtmSql("poi"),
+        LdKnnSql("poi"), LdOtmSql("poi")}) {
+    const auto select = ParseSqlSelect(sql);
+    EXPECT_TRUE(select.ok()) << select.status().ToString() << "\n" << sql;
+  }
+}
+
+TEST(SqlParserTest, PrecedenceAndSlices) {
+  const auto select = ParseSqlSelect(
+      "SELECT a + b / 2, vs[1:$1] FROM t WHERE x = 1 AND y <= 2 OR z > 3");
+  ASSERT_TRUE(select.ok());
+  const SqlExpr& where = *(*select)->where;
+  EXPECT_EQ(where.op, SqlBinaryOp::kOr);  // OR binds loosest.
+  EXPECT_EQ(where.lhs->op, SqlBinaryOp::kAnd);
+  const SqlExpr& arith = *(*select)->items[0].expr;
+  EXPECT_EQ(arith.op, SqlBinaryOp::kAdd);  // b / 2 groups first.
+  EXPECT_EQ((*select)->items[1].expr->kind, SqlExprKind::kSlice);
+}
+
+TEST(SqlParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSqlSelect("FROM lout").ok());
+  EXPECT_FALSE(ParseSqlSelect("SELECT v FROM").ok());
+  EXPECT_FALSE(ParseSqlSelect("SELECT v FROM lout WHERE").ok());
+  EXPECT_FALSE(ParseSqlSelect("SELECT v FROM (SELECT 1").ok());
+  EXPECT_FALSE(ParseSqlSelect("SELECT vs[1] FROM t").ok());  // Not a slice.
+  EXPECT_FALSE(ParseSqlSelect("SELECT v FROM lout extra tokens ,").ok());
+}
+
+// ---------- Interpreter on hand-made tables ----------
+
+class SqlInterpreterTest : public testing::Test {
+ protected:
+  SqlInterpreterTest() : db_(DeviceProfile::Ram()) {
+    auto table = db_.CreateTable(
+        "nums", Schema{{"id", ColumnType::kInt32},
+                       {"grp", ColumnType::kInt32},
+                       {"arr", ColumnType::kInt32Array}});
+    std::vector<std::pair<IndexKey, Row>> rows;
+    rows.emplace_back(1, Row{Value(1), Value(10),
+                             Value(std::vector<int32_t>{5, 6, 7})});
+    rows.emplace_back(2, Row{Value(2), Value(10),
+                             Value(std::vector<int32_t>{8})});
+    rows.emplace_back(3, Row{Value(3), Value(20),
+                             Value(std::vector<int32_t>{})});
+    EXPECT_TRUE((*table)->BulkLoad(std::move(rows)).ok());
+  }
+
+  SqlRelation Run(const std::string& sql, std::vector<int64_t> params = {}) {
+    SqlInterpreter interpreter(&db_);
+    auto result = interpreter.Execute(sql, params);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : SqlRelation{};
+  }
+
+  EngineDatabase db_;
+};
+
+TEST_F(SqlInterpreterTest, SelectWithFilterAndParams) {
+  const auto rows = Run("SELECT id FROM nums WHERE grp = $1", {10});
+  ASSERT_EQ(rows.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[1][0]), 2);
+}
+
+TEST_F(SqlInterpreterTest, UnnestExpandsArrays) {
+  const auto rows = Run("SELECT id, UNNEST(arr) AS x FROM nums");
+  ASSERT_EQ(rows.rows.size(), 4u);  // 3 + 1 + 0 elements.
+  EXPECT_EQ(std::get<int64_t>(rows.rows[2][1]), 7);
+  EXPECT_EQ(rows.columns[1].name, "x");
+}
+
+TEST_F(SqlInterpreterTest, SliceClampsLikePostgres) {
+  const auto rows =
+      Run("SELECT UNNEST(arr[1:$1]) AS x FROM nums WHERE id = 1", {2});
+  ASSERT_EQ(rows.rows.size(), 2u);
+  const auto all = Run("SELECT UNNEST(arr[1:99]) AS x FROM nums WHERE id = 1");
+  EXPECT_EQ(all.rows.size(), 3u);
+}
+
+TEST_F(SqlInterpreterTest, GroupByWithAggregatesAndOrdering) {
+  const auto rows = Run(
+      "SELECT grp, MIN(id), MAX(id) FROM nums GROUP BY grp "
+      "ORDER BY MIN(id) DESC");
+  ASSERT_EQ(rows.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 20);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[1][1]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[1][2]), 2);
+}
+
+TEST_F(SqlInterpreterTest, GlobalAggregateOverEmptyInputIsNull) {
+  const auto rows = Run("SELECT MIN(id) FROM nums WHERE id > 100");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_TRUE(SqlIsNull(rows.rows[0][0]));
+}
+
+TEST_F(SqlInterpreterTest, HashJoinOnEquality) {
+  const auto rows = Run(
+      "SELECT a.id, b.id FROM nums a, nums b "
+      "WHERE a.grp = b.grp AND a.id < b.id");
+  ASSERT_EQ(rows.rows.size(), 1u);  // Only (1, 2) shares grp 10.
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][1]), 2);
+}
+
+TEST_F(SqlInterpreterTest, CteStarExpansionUnionLimit) {
+  const auto rows = Run(
+      "WITH base AS (SELECT id, grp FROM nums) "
+      "SELECT x.* FROM ((SELECT id, grp FROM base WHERE grp = 10) UNION "
+      "(SELECT id, grp FROM base)) x ORDER BY id DESC LIMIT 2");
+  ASSERT_EQ(rows.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 3);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[1][0]), 2);
+}
+
+TEST_F(SqlInterpreterTest, UnionDeduplicatesUnionAllKeeps) {
+  const auto distinct = Run(
+      "(SELECT grp FROM nums) UNION (SELECT grp FROM nums)");
+  EXPECT_EQ(distinct.rows.size(), 2u);
+  const auto all = Run(
+      "(SELECT grp FROM nums) UNION ALL (SELECT grp FROM nums)");
+  EXPECT_EQ(all.rows.size(), 6u);
+}
+
+TEST_F(SqlInterpreterTest, ArithmeticAndFunctions) {
+  const auto rows = Run(
+      "SELECT id + 1, id - 1, id / 2, FLOOR(id / 2), LEAST(id, 2), "
+      "GREATEST(id, 2) FROM nums WHERE id = 3");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 4);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][1]), 2);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][2]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][3]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][4]), 2);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][5]), 3);
+}
+
+TEST_F(SqlInterpreterTest, ErrorsSurfaceCleanly) {
+  SqlInterpreter interpreter(&db_);
+  EXPECT_FALSE(interpreter.Execute("SELECT nope FROM nums").ok());
+  EXPECT_FALSE(interpreter.Execute("SELECT id FROM missing_table").ok());
+  EXPECT_FALSE(interpreter.Execute("SELECT id FROM nums WHERE id = $1").ok());
+  EXPECT_FALSE(interpreter.Execute("SELECT UNNEST(id) FROM nums").ok());
+  EXPECT_FALSE(interpreter.Execute("SELECT id / 0 FROM nums").ok());
+}
+
+// ---------- The paper's literal SQL on the embedded engine ----------
+
+class SqlPaperQueriesTest : public testing::Test {
+ protected:
+  SqlPaperQueriesTest() {
+    GeneratorOptions o;
+    o.num_stops = 70;
+    o.target_connections = 3200;
+    o.min_route_len = 4;
+    o.max_route_len = 8;
+    o.seed = 1234;
+    tt_ = std::move(GenerateNetwork(o)).value();
+    index_ = std::move(BuildTtlIndex(tt_)).value();
+    PtldbOptions options;
+    options.device = DeviceProfile::Ram();
+    db_ = std::move(PtldbDatabase::Build(index_, options)).value();
+    Rng rng(9);
+    targets_ = rng.SampleDistinct(tt_.num_stops(), 10);
+    EXPECT_TRUE(db_->AddTargetSet("poi", index_, targets_, 4).ok());
+  }
+
+  Timestamp ScalarOrDefault(const SqlRelation& relation, Timestamp fallback) {
+    if (relation.rows.empty() || SqlIsNull(relation.rows[0][0])) {
+      return fallback;
+    }
+    return static_cast<Timestamp>(std::get<int64_t>(relation.rows[0][0]));
+  }
+
+  std::vector<StopTimeResult> AsResults(const SqlRelation& relation) {
+    std::vector<StopTimeResult> out;
+    for (const auto& row : relation.rows) {
+      out.push_back(
+          {static_cast<StopId>(std::get<int64_t>(row[0])),
+           static_cast<Timestamp>(std::get<int64_t>(row[1]))});
+    }
+    return out;
+  }
+
+  Timetable tt_;
+  TtlIndex index_;
+  std::unique_ptr<PtldbDatabase> db_;
+  std::vector<StopId> targets_;
+};
+
+TEST_F(SqlPaperQueriesTest, Code1MatchesFacade) {
+  SqlInterpreter interpreter(db_->engine());
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<int64_t>(rng.NextBelow(tt_.num_stops()));
+    auto g = static_cast<int64_t>(rng.NextBelow(tt_.num_stops()));
+    if (g == s) g = (g + 1) % tt_.num_stops();
+    const auto t =
+        static_cast<int64_t>(rng.NextInRange(tt_.min_time(), tt_.max_time()));
+    const auto t_end =
+        static_cast<int64_t>(rng.NextInRange(t, tt_.max_time()));
+
+    auto ea = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
+                                  {s, g, t});
+    ASSERT_TRUE(ea.ok()) << ea.status().ToString();
+    EXPECT_EQ(ScalarOrDefault(*ea, kInfinityTime),
+              db_->EarliestArrival(static_cast<StopId>(s),
+                                   static_cast<StopId>(g),
+                                   static_cast<Timestamp>(t)));
+
+    auto ld = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
+                                  {s, g, t_end});
+    ASSERT_TRUE(ld.ok());
+    EXPECT_EQ(ScalarOrDefault(*ld, kNegInfinityTime),
+              db_->LatestDeparture(static_cast<StopId>(s),
+                                   static_cast<StopId>(g),
+                                   static_cast<Timestamp>(t_end)));
+
+    auto sd = interpreter.Execute(V2vSql(V2vKind::kShortestDuration),
+                                  {s, g, t, t_end});
+    ASSERT_TRUE(sd.ok());
+    EXPECT_EQ(ScalarOrDefault(*sd, kInfinityTime),
+              db_->ShortestDuration(static_cast<StopId>(s),
+                                    static_cast<StopId>(g),
+                                    static_cast<Timestamp>(t),
+                                    static_cast<Timestamp>(t_end)));
+  }
+}
+
+TEST_F(SqlPaperQueriesTest, Codes2To4MatchFacade) {
+  SqlInterpreter interpreter(db_->engine());
+  Rng rng(42);
+  const int32_t max_bucket = db_->target_sets()[0].max_bucket;
+  for (int i = 0; i < 12; ++i) {
+    StopId q = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
+    while (std::find(targets_.begin(), targets_.end(), q) != targets_.end()) {
+      q = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
+    }
+    const auto t =
+        static_cast<int64_t>(rng.NextInRange(tt_.min_time(), tt_.max_time()));
+    const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(4));
+    const int64_t arrhour = std::min<int64_t>(t / 3600, max_bucket);
+
+    auto naive = interpreter.Execute(EaKnnNaiveSql("poi"), {q, t, k});
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    EXPECT_EQ(AsResults(*naive),
+              *db_->EaKnnNaive("poi", q, static_cast<Timestamp>(t),
+                               static_cast<uint32_t>(k)));
+
+    auto ld_naive = interpreter.Execute(LdKnnNaiveSql("poi"), {q, t, k});
+    ASSERT_TRUE(ld_naive.ok()) << ld_naive.status().ToString();
+    EXPECT_EQ(AsResults(*ld_naive),
+              *db_->LdKnnNaive("poi", q, static_cast<Timestamp>(t),
+                               static_cast<uint32_t>(k)));
+
+    auto ea_knn = interpreter.Execute(EaKnnSql("poi"), {q, t, k});
+    ASSERT_TRUE(ea_knn.ok()) << ea_knn.status().ToString();
+    EXPECT_EQ(AsResults(*ea_knn),
+              *db_->EaKnn("poi", q, static_cast<Timestamp>(t),
+                          static_cast<uint32_t>(k)));
+
+    auto ld_knn =
+        interpreter.Execute(LdKnnSql("poi"), {q, t, k, arrhour});
+    ASSERT_TRUE(ld_knn.ok()) << ld_knn.status().ToString();
+    EXPECT_EQ(AsResults(*ld_knn),
+              *db_->LdKnn("poi", q, static_cast<Timestamp>(t),
+                          static_cast<uint32_t>(k)));
+
+    auto ea_otm = interpreter.Execute(EaOtmSql("poi"), {q, t});
+    ASSERT_TRUE(ea_otm.ok()) << ea_otm.status().ToString();
+    EXPECT_EQ(AsResults(*ea_otm),
+              *db_->EaOneToMany("poi", q, static_cast<Timestamp>(t)));
+
+    auto ld_otm = interpreter.Execute(LdOtmSql("poi"), {q, t, arrhour});
+    ASSERT_TRUE(ld_otm.ok()) << ld_otm.status().ToString();
+    EXPECT_EQ(AsResults(*ld_otm),
+              *db_->LdOneToMany("poi", q, static_cast<Timestamp>(t)));
+  }
+}
+
+TEST_F(SqlPaperQueriesTest, TableAccessIsChargedToTheDevice) {
+  // The interpreter reads tables through the engine's buffer pool, so a
+  // cold-cache query must account device time just like the hand plans.
+  PtldbOptions options;
+  options.device = DeviceProfile::Hdd7200();
+  auto db = PtldbDatabase::Build(index_, options);
+  ASSERT_TRUE(db.ok());
+  (*db)->DropCaches();
+  (*db)->ResetIoStats();
+  SqlInterpreter interpreter((*db)->engine());
+  auto result = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
+                                    {0, 1, tt_.min_time()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT((*db)->io_time_ns(), 0u);
+  EXPECT_GT((*db)->engine()->buffer_pool()->misses(), 0u);
+}
+
+TEST_F(SqlPaperQueriesTest, PaperWorkedExampleViaSql) {
+  // EA(1, 1, 324) = 324 on the Figure-1 example, via the literal Code 1.
+  const Timetable example = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  const auto index = BuildTtlIndex(example, options);
+  ASSERT_TRUE(index.ok());
+  PtldbOptions popts;
+  popts.device = DeviceProfile::Ram();
+  auto db = PtldbDatabase::Build(*index, popts);
+  ASSERT_TRUE(db.ok());
+  SqlInterpreter interpreter((*db)->engine());
+  auto result = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
+                                    {1, 1, 32400});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result->rows[0][0]), 32400);
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "timetable/example_graph.h"
+#include "timetable/serialize.h"
+#include "timetable/timetable.h"
+
+namespace ptldb {
+namespace {
+
+TEST(TimetableBuilderTest, RejectsUnknownStop) {
+  TimetableBuilder b;
+  b.AddStop();
+  b.AddTrip();
+  b.AddConnection(0, 5, 10, 20, 0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TimetableBuilderTest, RejectsUnknownTrip) {
+  TimetableBuilder b;
+  b.AddStop();
+  b.AddStop();
+  b.AddConnection(0, 1, 10, 20, 0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TimetableBuilderTest, RejectsNonPositiveDuration) {
+  TimetableBuilder b;
+  b.AddStop();
+  b.AddStop();
+  b.AddTrip();
+  b.AddConnection(0, 1, 20, 20, 0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TimetableBuilderTest, RejectsSelfLoop) {
+  TimetableBuilder b;
+  b.AddStop();
+  b.AddTrip();
+  b.AddConnection(0, 0, 10, 20, 0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TimetableBuilderTest, EmptyTimetableIsValid) {
+  const auto tt = TimetableBuilder().Build();
+  ASSERT_TRUE(tt.ok());
+  EXPECT_EQ(tt->num_stops(), 0u);
+  EXPECT_EQ(tt->num_connections(), 0u);
+}
+
+TEST(TimetableTest, ConnectionsSortedByDeparture) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto conns = tt.connections();
+  for (size_t i = 1; i < conns.size(); ++i) {
+    EXPECT_LE(conns[i - 1].dep, conns[i].dep);
+  }
+}
+
+TEST(TimetableTest, ByArrivalSortedByArrival) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto order = tt.by_arrival();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(tt.connection(order[i - 1]).arr, tt.connection(order[i]).arr);
+  }
+}
+
+TEST(TimetableTest, ExampleShape) {
+  const Timetable tt = MakeExampleTimetable();
+  EXPECT_EQ(tt.num_stops(), 7u);
+  EXPECT_EQ(tt.num_trips(), 4u);
+  EXPECT_EQ(tt.num_connections(), 12u);
+  EXPECT_EQ(tt.min_time(), 28800);
+  EXPECT_EQ(tt.max_time(), 43200);
+  EXPECT_NEAR(tt.average_degree(), 12.0 / 7.0, 1e-9);
+}
+
+TEST(TimetableTest, TripConnectionsInTravelOrder) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto conns = tt.trip_connections(0);  // Trip 1: 5->1->0->2->6.
+  ASSERT_EQ(conns.size(), 4u);
+  EXPECT_EQ(tt.connection(conns[0]).from, 5u);
+  EXPECT_EQ(tt.connection(conns[1]).from, 1u);
+  EXPECT_EQ(tt.connection(conns[2]).from, 0u);
+  EXPECT_EQ(tt.connection(conns[3]).from, 2u);
+  for (size_t i = 1; i < conns.size(); ++i) {
+    EXPECT_LE(tt.connection(conns[i - 1]).arr, tt.connection(conns[i]).dep);
+  }
+}
+
+TEST(TimetableTest, ArrivalEventsAreDistinctSorted) {
+  const Timetable tt = MakeExampleTimetable();
+  // Stop 0 is reached at 36000 by four different trips: one distinct event.
+  const auto at0 = tt.arrival_events(0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0], 36000);
+  // Stop 1 is reached at 32400 (trip 1) and 39600 (trip 2).
+  const auto at1 = tt.arrival_events(1);
+  ASSERT_EQ(at1.size(), 2u);
+  EXPECT_EQ(at1[0], 32400);
+  EXPECT_EQ(at1[1], 39600);
+}
+
+TEST(TimetableTest, DepartureEvents) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto at0 = tt.departure_events(0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0], 36000);
+  const auto at5 = tt.departure_events(5);
+  ASSERT_EQ(at5.size(), 1u);
+  EXPECT_EQ(at5[0], 28800);
+}
+
+TEST(TimetableTest, FirstConnectionNotBefore) {
+  const Timetable tt = MakeExampleTimetable();
+  EXPECT_EQ(tt.FirstConnectionNotBefore(0), 0u);
+  const size_t i = tt.FirstConnectionNotBefore(32400);
+  ASSERT_LT(i, tt.num_connections());
+  EXPECT_GE(tt.connection(static_cast<ConnectionId>(i)).dep, 32400);
+  EXPECT_EQ(tt.FirstConnectionNotBefore(99999999), tt.num_connections());
+}
+
+TEST(TimetableSerializeTest, RoundTrip) {
+  const Timetable tt = MakeExampleTimetable();
+  const std::string path = testing::TempDir() + "/tt_roundtrip.bin";
+  ASSERT_TRUE(SaveTimetable(tt, path).ok());
+  const auto loaded = LoadTimetable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_stops(), tt.num_stops());
+  EXPECT_EQ(loaded->num_trips(), tt.num_trips());
+  ASSERT_EQ(loaded->num_connections(), tt.num_connections());
+  for (uint32_t i = 0; i < tt.num_connections(); ++i) {
+    EXPECT_EQ(loaded->connection(i), tt.connection(i));
+  }
+  EXPECT_EQ(loaded->stop(3).name, tt.stop(3).name);
+  std::remove(path.c_str());
+}
+
+TEST(TimetableSerializeTest, RejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/tt_bad_magic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a timetable";
+  }
+  EXPECT_FALSE(LoadTimetable(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ptldb

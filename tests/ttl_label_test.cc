@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+#include "timetable/example_graph.h"
+#include "timetable/generator.h"
+#include "ttl/builder.h"
+#include "ttl/label.h"
+#include "ttl/ordering.h"
+
+namespace ptldb {
+namespace {
+
+std::string TupleToString(const LabelTuple& t) {
+  std::ostringstream ss;
+  ss << "<" << t.hub << "," << t.td << "," << t.ta << ",";
+  if (t.pivot == kInvalidStop) {
+    ss << "-";
+  } else {
+    ss << t.pivot;
+  }
+  ss << ",";
+  if (t.trip == kInvalidTrip) {
+    ss << "-";
+  } else {
+    ss << t.trip;
+  }
+  ss << ">";
+  return ss.str();
+}
+
+std::string TuplesToString(std::span<const LabelTuple> tuples) {
+  std::string out;
+  for (const LabelTuple& t : tuples) out += TupleToString(t) + " ";
+  return out;
+}
+
+void ExpectTuples(std::span<const LabelTuple> got,
+                  std::vector<LabelTuple> want, const char* what, StopId v) {
+  const std::vector<LabelTuple> got_vec(got.begin(), got.end());
+  EXPECT_EQ(got_vec, want) << what << "(" << v << "):\n  got  "
+                           << TuplesToString(got) << "\n  want "
+                           << TuplesToString(want);
+}
+
+constexpr StopId kD = kInvalidStop;    // Dummy pivot.
+constexpr TripId kDT = kInvalidTrip;   // Dummy trip.
+
+// Builds the index for the paper's Figure-1 example with its vertex order.
+TtlIndex BuildExampleIndex(bool add_dummies = true) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  options.add_dummy_tuples = add_dummies;
+  auto index = BuildTtlIndex(tt, options);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+// The labels of Table 1 in the paper, timestamps x100 (seconds), with the
+// paper's 1-based trip numbers mapped to our 0-based TripIds.
+TEST(TtlExampleTest, LabelsMatchTable1Exactly) {
+  const TtlIndex index = BuildExampleIndex();
+
+  ExpectTuples(index.out.tuples(0), {{0, 36000, 36000, kD, kDT}}, "L_out", 0);
+  ExpectTuples(index.in.tuples(0), {{0, 36000, 36000, kD, kDT}}, "L_in", 0);
+
+  ExpectTuples(index.out.tuples(1),
+               {{0, 32400, 36000, 0, 0},
+                {1, 32400, 32400, kD, kDT},
+                {1, 39600, 39600, kD, kDT}},
+               "L_out", 1);
+  ExpectTuples(index.in.tuples(1),
+               {{0, 36000, 39600, 0, 1},
+                {1, 32400, 32400, kD, kDT},
+                {1, 39600, 39600, kD, kDT}},
+               "L_in", 1);
+
+  ExpectTuples(index.out.tuples(2),
+               {{0, 32400, 36000, 0, 1},
+                {2, 32400, 32400, kD, kDT},
+                {2, 39600, 39600, kD, kDT}},
+               "L_out", 2);
+  ExpectTuples(index.in.tuples(2),
+               {{0, 36000, 39600, 0, 0},
+                {2, 32400, 32400, kD, kDT},
+                {2, 39600, 39600, kD, kDT}},
+               "L_in", 2);
+
+  ExpectTuples(index.out.tuples(3),
+               {{0, 32400, 36000, 0, 2}, {3, 39600, 39600, kD, kDT}},
+               "L_out", 3);
+  ExpectTuples(index.in.tuples(3),
+               {{0, 36000, 39600, 0, 3}, {3, 39600, 39600, kD, kDT}},
+               "L_in", 3);
+
+  ExpectTuples(index.out.tuples(4),
+               {{0, 32400, 36000, 0, 3}, {4, 39600, 39600, kD, kDT}},
+               "L_out", 4);
+  ExpectTuples(index.in.tuples(4),
+               {{0, 36000, 39600, 0, 3}, {4, 39600, 39600, kD, kDT}},
+               "L_in", 4);
+
+  ExpectTuples(index.out.tuples(5),
+               {{0, 28800, 36000, 1, 0},
+                {1, 28800, 32400, 1, 0},
+                {5, 43200, 43200, kD, kDT}},
+               "L_out", 5);
+  ExpectTuples(index.in.tuples(5),
+               {{0, 36000, 43200, 1, 1},
+                {1, 39600, 43200, 1, 1},
+                {5, 43200, 43200, kD, kDT}},
+               "L_in", 5);
+
+  ExpectTuples(index.out.tuples(6),
+               {{0, 28800, 36000, 2, 1},
+                {2, 28800, 32400, 2, 1},
+                {6, 43200, 43200, kD, kDT}},
+               "L_out", 6);
+  ExpectTuples(index.in.tuples(6),
+               {{0, 36000, 43200, 2, 0},
+                {2, 39600, 43200, 2, 0},
+                {6, 43200, 43200, kD, kDT}},
+               "L_in", 6);
+}
+
+TEST(TtlExampleTest, DummyTuplesAreMarked) {
+  const TtlIndex index = BuildExampleIndex();
+  uint64_t dummies = 0;
+  for (StopId v = 0; v < index.num_stops(); ++v) {
+    for (const LabelTuple& t : index.out.tuples(v)) {
+      if (t.is_dummy()) {
+        EXPECT_EQ(t.hub, v);
+        EXPECT_EQ(t.td, t.ta);
+        ++dummies;
+      }
+    }
+  }
+  EXPECT_EQ(dummies, 9u);  // Bold tuples in Table 1's L_out column.
+}
+
+TEST(TtlExampleTest, WithoutDummiesOnlyRealPaths) {
+  const TtlIndex index = BuildExampleIndex(/*add_dummies=*/false);
+  for (StopId v = 0; v < index.num_stops(); ++v) {
+    for (const LabelTuple& t : index.out.tuples(v)) {
+      EXPECT_FALSE(t.is_dummy());
+      EXPECT_NE(t.hub, v);
+    }
+    for (const LabelTuple& t : index.in.tuples(v)) {
+      EXPECT_FALSE(t.is_dummy());
+      EXPECT_NE(t.hub, v);
+    }
+  }
+}
+
+TEST(TtlExampleTest, AugmentingLaterMatchesBuildingWithDummies) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlIndex later = BuildExampleIndex(/*add_dummies=*/false);
+  const uint64_t added = AugmentWithDummyTuples(tt, &later);
+  EXPECT_EQ(added, 9u);
+  const TtlIndex direct = BuildExampleIndex(/*add_dummies=*/true);
+  for (StopId v = 0; v < tt.num_stops(); ++v) {
+    const auto a = later.out.tuples(v);
+    const auto b = direct.out.tuples(v);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(TtlExampleTest, StatsAreReported) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  TtlBuildStats stats;
+  const auto index = BuildTtlIndex(tt, options, &stats);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(stats.out_tuples, 8u);   // Non-bold L_out tuples in Table 1.
+  EXPECT_EQ(stats.in_tuples, 8u);
+  EXPECT_EQ(stats.dummy_tuples, 9u);
+  EXPECT_GT(stats.preprocess_seconds, 0.0);
+}
+
+TEST(TtlExampleTest, LabelsSortedByHubThenDeparture) {
+  const TtlIndex index = BuildExampleIndex();
+  for (StopId v = 0; v < index.num_stops(); ++v) {
+    for (const auto* set : {&index.out, &index.in}) {
+      const auto tuples = set->tuples(v);
+      for (size_t i = 1; i < tuples.size(); ++i) {
+        EXPECT_TRUE(tuples[i - 1].hub < tuples[i].hub ||
+                    (tuples[i - 1].hub == tuples[i].hub &&
+                     tuples[i - 1].td <= tuples[i].td));
+      }
+    }
+  }
+}
+
+// Structural invariants of the label sets on random networks:
+//  - non-dummy tuples only reference strictly higher-ranked hubs,
+//  - dummy tuples sit at the stop itself with td == ta,
+//  - within one (stop, hub) group both td and ta strictly increase
+//    (Pareto-optimality), which every query's binary search relies on.
+class TtlInvariantTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TtlInvariantTest, LabelInvariantsHold) {
+  GeneratorOptions o;
+  o.num_stops = 80;
+  o.target_connections = 4500;
+  o.min_route_len = 4;
+  o.max_route_len = 9;
+  o.seed = GetParam();
+  const auto tt = GenerateNetwork(o);
+  ASSERT_TRUE(tt.ok());
+  const auto index = BuildTtlIndex(*tt);
+  ASSERT_TRUE(index.ok());
+  for (StopId v = 0; v < tt->num_stops(); ++v) {
+    for (const auto* set : {&index->out, &index->in}) {
+      const auto tuples = set->tuples(v);
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        const LabelTuple& t = tuples[i];
+        if (t.is_dummy()) {
+          EXPECT_EQ(t.hub, v);
+          EXPECT_EQ(t.td, t.ta);
+        } else {
+          EXPECT_NE(t.hub, v);
+          EXPECT_LT(index->rank[t.hub], index->rank[v])
+              << "tuple hub must outrank the stop";
+          EXPECT_LE(t.td, t.ta);
+        }
+        if (i > 0 && tuples[i - 1].hub == t.hub) {
+          EXPECT_LT(tuples[i - 1].td, t.td) << "group td must increase";
+          EXPECT_LT(tuples[i - 1].ta, t.ta) << "group ta must increase";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtlInvariantTest,
+                         testing::Values(101, 102, 103));
+
+TEST(TtlBuilderTest, RejectsBadCustomOrder) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = {0, 1, 2};  // Too short.
+  EXPECT_FALSE(BuildTtlIndex(tt, options).ok());
+  options.custom_order = {0, 0, 1, 2, 3, 4, 5};  // Duplicate.
+  EXPECT_FALSE(BuildTtlIndex(tt, options).ok());
+}
+
+TEST(TtlOrderingTest, DegreeOrderPutsBusiestFirst) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto order = ComputeVertexOrder(tt, OrderingStrategy::kDegree);
+  EXPECT_EQ(order[0], 0u);  // Stop 0 touches 6 connections.
+  const auto rank = RanksFromOrder(order);
+  EXPECT_EQ(rank[order[3]], 3u);
+}
+
+TEST(TtlOrderingTest, IdentityOrderIsIdentity) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto order = ComputeVertexOrder(tt, OrderingStrategy::kIdentity);
+  for (StopId v = 0; v < tt.num_stops(); ++v) EXPECT_EQ(order[v], v);
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baseline/csa.h"
+#include "baseline/profile.h"
+#include "common/rng.h"
+#include "timetable/example_graph.h"
+#include "timetable/generator.h"
+#include "ttl/builder.h"
+#include "ttl/query.h"
+#include "ttl/serialize.h"
+
+namespace ptldb {
+namespace {
+
+Timetable SmallCity(uint64_t seed, uint32_t stops = 90,
+                    uint64_t connections = 5000) {
+  GeneratorOptions o;
+  o.num_stops = stops;
+  o.target_connections = connections;
+  o.min_route_len = 4;
+  o.max_route_len = 9;
+  o.seed = seed;
+  auto tt = GenerateNetwork(o);
+  EXPECT_TRUE(tt.ok());
+  return std::move(tt).value();
+}
+
+TtlIndex BuildIndex(const Timetable& tt, TtlBuildOptions options = {}) {
+  auto index = BuildTtlIndex(tt, options);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(TtlQueryExampleTest, PaperQueryEa11) {
+  // The paper: "the answer to the EA(1, 1, 324) query is 324".
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  const TtlIndex index = BuildIndex(tt, options);
+  EXPECT_EQ(TtlEarliestArrival(index, 1, 1, 32400), 32400);
+  EXPECT_EQ(TtlEarliestArrivalJoinOnly(index, 1, 1, 32400), 32400);
+}
+
+TEST(TtlQueryExampleTest, ExampleV2vQueries) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  const TtlIndex index = BuildIndex(tt, options);
+
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 6, 28800), 43200);
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28800), 36000);
+  EXPECT_EQ(TtlEarliestArrival(index, 3, 4, 32400), 39600);
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28801), kInfinityTime);
+
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43200), 28800);
+  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, 43200), 28800);
+  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, 43199), kNegInfinityTime);
+
+  EXPECT_EQ(TtlShortestDuration(index, 5, 0, 0, 86400), 7200);
+  EXPECT_EQ(TtlShortestDuration(index, 1, 5, 0, 86400), 3600);
+  EXPECT_EQ(TtlShortestDuration(index, 1, 5, 0, 43199), kInfinityTime);
+}
+
+// Property sweep: on random synthetic cities, every TTL answer must match
+// the Connection Scan ground truth, for all three query types, and the
+// join-only (dummy-tuple, Code 1) variants must match the three-case TTL
+// queries (Theorem 3.1.1).
+class TtlRandomGraphTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TtlRandomGraphTest, MatchesGroundTruth) {
+  const Timetable tt = SmallCity(GetParam());
+  const TtlIndex index = BuildIndex(tt);
+  Rng rng(GetParam() * 977 + 1);
+  const Timestamp lo = tt.min_time();
+  const Timestamp hi = tt.max_time();
+  for (int i = 0; i < 150; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
+    const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
+
+    const Timestamp want_ea = EarliestArrival(tt, s, g, t);
+    EXPECT_EQ(TtlEarliestArrival(index, s, g, t), want_ea)
+        << "EA s=" << s << " g=" << g << " t=" << t;
+    EXPECT_EQ(TtlEarliestArrivalJoinOnly(index, s, g, t), want_ea)
+        << "EA-join s=" << s << " g=" << g << " t=" << t;
+
+    const Timestamp want_ld = LatestDeparture(tt, s, g, t_end);
+    EXPECT_EQ(TtlLatestDeparture(index, s, g, t_end), want_ld)
+        << "LD s=" << s << " g=" << g << " t'=" << t_end;
+    EXPECT_EQ(TtlLatestDepartureJoinOnly(index, s, g, t_end), want_ld)
+        << "LD-join s=" << s << " g=" << g << " t'=" << t_end;
+
+    const Timestamp want_sd = ShortestDuration(tt, s, g, t, t_end);
+    EXPECT_EQ(TtlShortestDuration(index, s, g, t, t_end), want_sd)
+        << "SD s=" << s << " g=" << g << " t=" << t << " t'=" << t_end;
+    EXPECT_EQ(TtlShortestDurationJoinOnly(index, s, g, t, t_end), want_sd)
+        << "SD-join s=" << s << " g=" << g << " t=" << t << " t'=" << t_end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtlRandomGraphTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Pruning is an optimization, not a semantic change: answers must match.
+TEST(TtlPruningTest, UnprunedLabelsGiveSameAnswers) {
+  const Timetable tt = SmallCity(21, 60, 2500);
+  TtlBuildOptions pruned_options;
+  TtlBuildOptions unpruned_options;
+  unpruned_options.prune = false;
+  TtlBuildStats pruned_stats;
+  TtlBuildStats unpruned_stats;
+  const auto pruned = BuildTtlIndex(tt, pruned_options, &pruned_stats);
+  const auto unpruned = BuildTtlIndex(tt, unpruned_options, &unpruned_stats);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(unpruned.ok());
+  // Pruning must actually shrink the index.
+  EXPECT_GT(pruned_stats.pruned_candidates, 0u);
+  EXPECT_LT(pruned_stats.out_tuples + pruned_stats.in_tuples,
+            unpruned_stats.out_tuples + unpruned_stats.in_tuples);
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    EXPECT_EQ(TtlEarliestArrival(*pruned, s, g, t),
+              TtlEarliestArrival(*unpruned, s, g, t));
+    EXPECT_EQ(TtlLatestDeparture(*pruned, s, g, t),
+              TtlLatestDeparture(*unpruned, s, g, t));
+  }
+}
+
+// Every ordering heuristic must stay correct (only the size may differ).
+class TtlOrderingCorrectnessTest
+    : public testing::TestWithParam<OrderingStrategy> {};
+
+TEST_P(TtlOrderingCorrectnessTest, AnswersMatchGroundTruth) {
+  const Timetable tt = SmallCity(31, 70, 3000);
+  TtlBuildOptions options;
+  options.ordering = GetParam();
+  const TtlIndex index = BuildIndex(tt, options);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    EXPECT_EQ(TtlEarliestArrival(index, s, g, t), EarliestArrival(tt, s, g, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TtlOrderingCorrectnessTest,
+                         testing::Values(OrderingStrategy::kDegree,
+                                         OrderingStrategy::kEventCount,
+                                         OrderingStrategy::kIdentity));
+
+TEST(TtlSerializeTest, RoundTrip) {
+  const Timetable tt = SmallCity(41, 50, 2000);
+  const TtlIndex index = BuildIndex(tt);
+  const std::string path = testing::TempDir() + "/ttl_roundtrip.bin";
+  ASSERT_TRUE(SaveTtlIndex(index, path).ok());
+  const auto loaded = LoadTtlIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_stops(), index.num_stops());
+  EXPECT_EQ(loaded->order, index.order);
+  EXPECT_EQ(loaded->rank, index.rank);
+  for (StopId v = 0; v < tt.num_stops(); ++v) {
+    const auto a = index.out.tuples(v);
+    const auto b = loaded->out.tuples(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    const auto c = index.in.tuples(v);
+    const auto d = loaded->in.tuples(v);
+    ASSERT_TRUE(std::equal(c.begin(), c.end(), d.begin(), d.end()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TtlStatsTest, DummyTuplesAreSmallFraction) {
+  // The paper claims dummy tuples are a small fraction (<10%) of all
+  // tuples on full-size city networks. Tiny test graphs have proportionally
+  // more event dummies (labels grow superlinearly with density, events only
+  // linearly), so the bound here is loose; bench_storage reports the real
+  // fraction at benchmark scale.
+  const Timetable tt = SmallCity(51, 150, 15000);
+  TtlBuildStats stats;
+  const auto index = BuildTtlIndex(tt, {}, &stats);
+  ASSERT_TRUE(index.ok());
+  const double dummy_fraction =
+      static_cast<double>(2 * stats.dummy_tuples) /
+      static_cast<double>(stats.out_tuples + stats.in_tuples +
+                          2 * stats.dummy_tuples);
+  EXPECT_LT(dummy_fraction, 0.5) << "dummy fraction " << dummy_fraction;
+}
+
+}  // namespace
+}  // namespace ptldb
