@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const Timestamp ea = (*db)->EarliestArrival(from, to, depart);
+  const Timestamp ea = *(*db)->EarliestArrival(from, to, depart);
   if (ea == kInfinityTime) {
     std::printf("No journey from %s to %s departing at or after %s.\n",
                 tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
@@ -107,11 +107,11 @@ int main(int argc, char** argv) {
   std::printf("%s -> %s, depart >= %s: earliest arrival %s\n",
               tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
               FormatTime(depart).c_str(), FormatTime(ea).c_str());
-  const Timestamp ld = (*db)->LatestDeparture(from, to, ea);
+  const Timestamp ld = *(*db)->LatestDeparture(from, to, ea);
   std::printf("Latest departure still arriving by %s: %s\n",
               FormatTime(ea).c_str(), FormatTime(ld).c_str());
   const Timestamp sd =
-      (*db)->ShortestDuration(from, to, depart, tt.max_time());
+      *(*db)->ShortestDuration(from, to, depart, tt.max_time());
   std::printf("Shortest possible ride today: %d min\n", sd / 60);
 
   // Itinerary via the baseline scan (the paper stores expanded paths in the

@@ -104,7 +104,10 @@ int LoadIndex(const std::map<std::string, std::string>& flags, Timetable* tt,
   auto loaded_tt = LoadTimetable(path->second + ".tt");
   auto loaded_index = LoadTtlIndex(path->second + ".ttl");
   if (!loaded_tt.ok() || !loaded_index.ok()) {
-    std::fprintf(stderr, "cannot load index %s\n", path->second.c_str());
+    const Status& bad =
+        !loaded_tt.ok() ? loaded_tt.status() : loaded_index.status();
+    std::fprintf(stderr, "cannot load index %s: %s\n", path->second.c_str(),
+                 bad.ToString().c_str());
     return 1;
   }
   *tt = std::move(*loaded_tt);
@@ -146,17 +149,17 @@ int Query(const std::map<std::string, std::string>& flags) {
   auto db = PtldbDatabase::Build(index);
   if (!db.ok()) return 1;
   if (type == "ea") {
-    const Timestamp ea = (*db)->EarliestArrival(from, to, at);
+    const Timestamp ea = *(*db)->EarliestArrival(from, to, at);
     std::printf("EA(%u -> %u, depart >= %s) = %s\n", from, to,
                 FormatTime(at).c_str(), FormatTime(ea).c_str());
   } else if (type == "ld") {
-    const Timestamp ld = (*db)->LatestDeparture(from, to, at);
+    const Timestamp ld = *(*db)->LatestDeparture(from, to, at);
     std::printf("LD(%u -> %u, arrive <= %s) = %s\n", from, to,
                 FormatTime(at).c_str(), FormatTime(ld).c_str());
   } else if (type == "sd") {
     const Timestamp until = ParseGtfsTime(get("until"));
     if (until == kInvalidTime) return Usage();
-    const Timestamp sd = (*db)->ShortestDuration(from, to, at, until);
+    const Timestamp sd = *(*db)->ShortestDuration(from, to, at, until);
     if (sd == kInfinityTime) {
       std::printf("SD(%u -> %u) = no feasible journey\n", from, to);
     } else {

@@ -38,13 +38,13 @@ int main() {
   }
 
   // 4. Vertex-to-vertex queries (Code 1).
-  const Timestamp ea = (*db)->EarliestArrival(5, 6, 28800);
+  const Timestamp ea = *(*db)->EarliestArrival(5, 6, 28800);
   std::printf("EA(5 -> 6, depart >= %s): arrive %s\n",
               FormatTime(28800).c_str(), FormatTime(ea).c_str());
-  const Timestamp ld = (*db)->LatestDeparture(5, 6, 43200);
+  const Timestamp ld = *(*db)->LatestDeparture(5, 6, 43200);
   std::printf("LD(5 -> 6, arrive <= %s): depart %s\n",
               FormatTime(43200).c_str(), FormatTime(ld).c_str());
-  const Timestamp sd = (*db)->ShortestDuration(5, 0, 0, 86400);
+  const Timestamp sd = *(*db)->ShortestDuration(5, 0, 0, 86400);
   std::printf("SD(5 -> 0, whole day): %d seconds\n", sd);
 
   // 5. kNN and one-to-many queries over a target set (Sections 3.2-3.3).

@@ -8,13 +8,19 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/status.h"
 
 namespace ptldb {
 
+/// Marker preceding the CRC-32C trailer of checksummed artifacts ("PTCK").
+inline constexpr uint32_t kChecksumTrailerMagic = 0x4B435450u;
+
 /// Little-endian binary file writer for index persistence (timetables,
 /// labels, benchmark caches). Not a public storage format — both ends are
-/// this library on the same machine.
+/// this library on the same machine. Every byte written is folded into a
+/// running CRC-32C; FinishWithChecksum() appends it as a trailer that
+/// BinaryReader::VerifyChecksum() checks on load.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path)
@@ -25,20 +31,19 @@ class BinaryWriter {
   template <typename T>
   void Write(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    WriteRaw(&value, sizeof(T));
   }
 
   template <typename T>
   void WriteVector(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     Write<uint64_t>(values.size());
-    out_.write(reinterpret_cast<const char*>(values.data()),
-               static_cast<std::streamsize>(values.size() * sizeof(T)));
+    WriteRaw(values.data(), values.size() * sizeof(T));
   }
 
   void WriteString(const std::string& s) {
     Write<uint64_t>(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    WriteRaw(s.data(), s.size());
   }
 
   Status Finish() {
@@ -47,15 +52,40 @@ class BinaryWriter {
     return Status::Ok();
   }
 
+  /// Appends the trailer (magic + CRC-32C of every byte written so far)
+  /// and flushes. The trailer itself is excluded from the checksum.
+  Status FinishWithChecksum() {
+    const uint32_t crc = crc_;
+    const uint32_t magic = kChecksumTrailerMagic;
+    out_.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    return Finish();
+  }
+
  private:
+  void WriteRaw(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    crc_ = Crc32cExtend(crc_, data, n);
+  }
+
   std::ofstream out_;
+  uint32_t crc_ = 0;
 };
 
-/// Counterpart reader; every method reports corruption via ok().
+/// Counterpart reader; every method reports corruption via ok(). A short
+/// read trips the fail state immediately (never a zero-filled value), and
+/// VerifyChecksum() validates the whole payload against the file trailer.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path)
-      : in_(path, std::ios::binary) {}
+      : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      file_size_ = static_cast<uint64_t>(in_.tellg());
+      in_.seekg(0, std::ios::beg);
+    }
+  }
 
   bool ok() const { return static_cast<bool>(in_); }
 
@@ -63,7 +93,7 @@ class BinaryReader {
   T Read() {
     static_assert(std::is_trivially_copyable_v<T>);
     T value{};
-    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!ReadRaw(&value, sizeof(T))) value = T{};
     return value;
   }
 
@@ -72,30 +102,71 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto size = Read<uint64_t>();
     std::vector<T> values;
-    if (!in_ || size > (1ULL << 40) / sizeof(T)) {  // Corruption guard.
+    // A (possibly corrupt) count can never exceed what the file holds —
+    // reject before resize() so garbage cannot trigger a huge allocation.
+    if (!in_ || size > RemainingBytes() / sizeof(T)) {
       in_.setstate(std::ios::failbit);
       return values;
     }
     values.resize(size);
-    in_.read(reinterpret_cast<char*>(values.data()),
-             static_cast<std::streamsize>(size * sizeof(T)));
+    if (!ReadRaw(values.data(), size * sizeof(T))) values.clear();
     return values;
   }
 
   std::string ReadString() {
     const auto size = Read<uint64_t>();
     std::string s;
-    if (!in_ || size > (1ULL << 32)) {
+    if (!in_ || size > RemainingBytes()) {
       in_.setstate(std::ios::failbit);
       return s;
     }
     s.resize(size);
-    in_.read(s.data(), static_cast<std::streamsize>(size));
+    if (!ReadRaw(s.data(), size)) s.clear();
     return s;
   }
 
+  /// Reads the trailer written by FinishWithChecksum() and compares it
+  /// against the CRC-32C of every payload byte read so far. Must be
+  /// called after the full payload has been consumed.
+  Status VerifyChecksum() {
+    const uint32_t actual = crc_;
+    uint32_t magic = 0;
+    uint32_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in_ || in_.gcount() != sizeof(stored) ||
+        magic != kChecksumTrailerMagic) {
+      in_.setstate(std::ios::failbit);
+      return Status::Corruption("missing or truncated checksum trailer");
+    }
+    if (stored != actual) {
+      in_.setstate(std::ios::failbit);
+      return Status::Corruption("checksum mismatch: file is corrupted");
+    }
+    return Status::Ok();
+  }
+
  private:
+  uint64_t RemainingBytes() {
+    const auto pos = in_.tellg();
+    if (pos < 0) return 0;
+    const auto at = static_cast<uint64_t>(pos);
+    return at < file_size_ ? file_size_ - at : 0;
+  }
+
+  bool ReadRaw(void* data, size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_.gcount()) != n) {
+      in_.setstate(std::ios::failbit);
+      return false;
+    }
+    crc_ = Crc32cExtend(crc_, data, n);
+    return true;
+  }
+
   std::ifstream in_;
+  uint64_t file_size_ = 0;
+  uint32_t crc_ = 0;
 };
 
 }  // namespace ptldb

@@ -1,0 +1,26 @@
+#ifndef PTLDB_COMMON_CHECKSUM_H_
+#define PTLDB_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptldb {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by iSCSI, ext4, and LevelDB/RocksDB block trailers.
+/// PTLDB stamps every 8 KiB storage-engine page and every persisted
+/// artifact (timetable, TTL label, bench-cache files) with it so that
+/// corruption anywhere below the query layer is detected, never served.
+
+/// Extends a running CRC-32C with `n` bytes. Pass the previous return
+/// value as `crc` to checksum data incrementally; start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// One-shot CRC-32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_CHECKSUM_H_

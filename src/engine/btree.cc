@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace ptldb {
 
@@ -54,6 +55,33 @@ IndexKey InternalKey(const Page& page, uint32_t slot) {
 }
 PageId InternalChild(const Page& page, uint32_t slot) {
   return GetAt<uint64_t>(page, kHeaderSize + slot * kInternalEntrySize + 8);
+}
+
+/// Entry counts are read off disk pages; bound them before any slot
+/// arithmetic so a corrupt count cannot index past the page.
+Status CheckLeaf(const Page& page, PageId id) {
+  if (!IsLeaf(page)) {
+    return Status::Corruption("expected leaf node at page " +
+                              std::to_string(id));
+  }
+  if (Count(page) > kLeafCapacity) {
+    return Status::Corruption("leaf entry count exceeds capacity at page " +
+                              std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status CheckInternal(const Page& page, PageId id) {
+  if (IsLeaf(page)) {
+    return Status::Corruption("expected internal node at page " +
+                              std::to_string(id));
+  }
+  const uint32_t count = Count(page);
+  if (count == 0 || count > kInternalCapacity) {
+    return Status::Corruption("internal entry count out of range at page " +
+                              std::to_string(id));
+  }
+  return Status::Ok();
 }
 
 // First slot in a leaf with key >= target (== count when none).
@@ -154,60 +182,113 @@ void BTree::BulkLoad(
   root_ = level.front().second;
 }
 
-std::optional<RowLocator> BTree::Find(IndexKey key, BufferPool* pool) const {
-  if (root_ == kInvalidPage) return std::nullopt;
+Result<PageId> BTree::DescendToLeaf(IndexKey key, BufferPool* pool) const {
   PageId current = root_;
-  while (true) {
-    const Page& page = pool->Fetch(current);
-    if (IsLeaf(page)) {
-      const uint32_t slot = LeafLowerBound(page, key);
-      if (slot < Count(page) && LeafKey(page, slot) == key) {
-        return LeafLocator(page, slot);
-      }
-      return std::nullopt;
-    }
+  // The recorded height bounds the walk: even if a corrupt page pointed
+  // back into the tree, the descent can never cycle.
+  for (uint32_t depth = 1; depth < height_; ++depth) {
+    auto fetched = pool->Fetch(current);
+    PTLDB_RETURN_IF_ERROR(fetched.status());
+    const Page& page = **fetched;
+    PTLDB_RETURN_IF_ERROR(CheckInternal(page, current));
     current = InternalChild(page, InternalChildSlot(page, key));
+    if (current >= store_->num_pages()) {
+      return Status::Corruption("internal node child pointer out of range");
+    }
   }
+  return current;
+}
+
+Result<std::optional<RowLocator>> BTree::Find(IndexKey key,
+                                              BufferPool* pool) const {
+  if (root_ == kInvalidPage) return std::optional<RowLocator>{};
+  auto leaf_id = DescendToLeaf(key, pool);
+  PTLDB_RETURN_IF_ERROR(leaf_id.status());
+  auto fetched = pool->Fetch(*leaf_id);
+  PTLDB_RETURN_IF_ERROR(fetched.status());
+  const Page& page = **fetched;
+  PTLDB_RETURN_IF_ERROR(CheckLeaf(page, *leaf_id));
+  const uint32_t slot = LeafLowerBound(page, key);
+  if (slot < Count(page) && LeafKey(page, slot) == key) {
+    return std::optional<RowLocator>{LeafLocator(page, slot)};
+  }
+  return std::optional<RowLocator>{};
 }
 
 BTree::Iterator BTree::SeekNotBefore(IndexKey key, BufferPool* pool) const {
-  if (root_ == kInvalidPage) return Iterator(this, pool, kInvalidPage, 0);
-  PageId current = root_;
-  while (true) {
-    const Page& page = pool->Fetch(current);
-    if (IsLeaf(page)) {
-      uint32_t slot = LeafLowerBound(page, key);
-      PageId leaf = current;
-      if (slot == Count(page)) {
-        // All keys in this leaf are smaller; the successor leaf's first
-        // entry (if any) is the answer.
-        leaf = NextLeaf(page);
-        slot = 0;
-        if (leaf == kInvalidPage) return Iterator(this, pool, kInvalidPage, 0);
-        pool->Fetch(leaf);
-      }
-      return Iterator(this, pool, leaf, slot);
-    }
-    current = InternalChild(page, InternalChildSlot(page, key));
+  Iterator it(this, pool);
+  if (root_ == kInvalidPage) return it;
+  auto leaf_id = DescendToLeaf(key, pool);
+  if (!leaf_id.ok()) {
+    it.status_ = leaf_id.status();
+    return it;
   }
+  auto fetched = pool->Fetch(*leaf_id);
+  if (!fetched.ok()) {
+    it.status_ = fetched.status();
+    return it;
+  }
+  const Page& page = **fetched;
+  if (Status s = CheckLeaf(page, *leaf_id); !s.ok()) {
+    it.status_ = std::move(s);
+    return it;
+  }
+  it.page_ = *leaf_id;
+  it.slot_ = LeafLowerBound(page, key);
+  if (it.slot_ == Count(page)) {
+    // All keys in this leaf are smaller; the successor leaf's first
+    // entry (if any) is the answer.
+    it.page_ = NextLeaf(page);
+    it.slot_ = 0;
+    if (it.page_ == kInvalidPage) return it;
+  }
+  it.Load();
+  return it;
 }
 
-IndexKey BTree::Iterator::key() const {
-  return LeafKey(pool_->Fetch(page_), slot_);
-}
-
-RowLocator BTree::Iterator::locator() const {
-  return LeafLocator(pool_->Fetch(page_), slot_);
+void BTree::Iterator::Load() {
+  valid_ = false;
+  auto fetched = pool_->Fetch(page_);
+  if (!fetched.ok()) {
+    status_ = fetched.status();
+    return;
+  }
+  const Page& page = **fetched;
+  if (Status s = CheckLeaf(page, page_); !s.ok()) {
+    status_ = std::move(s);
+    return;
+  }
+  if (slot_ >= Count(page)) {
+    status_ = Status::Corruption("leaf slot out of range at page " +
+                                 std::to_string(page_));
+    return;
+  }
+  key_ = LeafKey(page, slot_);
+  locator_ = LeafLocator(page, slot_);
+  valid_ = true;
 }
 
 void BTree::Iterator::Next() {
-  const Page& page = pool_->Fetch(page_);
-  if (slot_ + 1 < Count(page)) {
-    ++slot_;
+  if (!valid_) return;
+  valid_ = false;
+  auto fetched = pool_->Fetch(page_);
+  if (!fetched.ok()) {
+    status_ = fetched.status();
     return;
   }
-  page_ = NextLeaf(page);
-  slot_ = 0;
+  const Page& page = **fetched;
+  if (slot_ + 1 < Count(page)) {
+    ++slot_;
+  } else {
+    page_ = NextLeaf(page);
+    slot_ = 0;
+    if (page_ == kInvalidPage) return;  // Clean end of scan.
+    if (page_ >= tree_->store_->num_pages()) {
+      status_ = Status::Corruption("leaf chain pointer out of range");
+      return;
+    }
+  }
+  Load();
 }
 
 }  // namespace ptldb

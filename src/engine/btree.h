@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/buffer_pool.h"
 #include "engine/heap_file.h"
 #include "engine/pager.h"
@@ -33,6 +34,12 @@ constexpr IndexKey MakeCompositeKey(int32_t hi, int32_t lo) {
 /// once during preprocessing and only read afterwards (like SST files in an
 /// LSM engine). Leaves are chained for range scans (the naive kNN query
 /// needs a (hub, td >= x) range join).
+///
+/// Every traversal is fallible: page reads surface the BufferPool's
+/// kIoError/kCorruption, and structural invariants (node type per level,
+/// entry counts within page capacity, child pointers inside the store) are
+/// validated instead of trusted, so a page that dodged checksum detection
+/// still cannot crash the process or send the descent into a cycle.
 class BTree {
  public:
   explicit BTree(PageStore* store) : store_(store) {}
@@ -41,29 +48,42 @@ class BTree {
   /// May be called once.
   void BulkLoad(const std::vector<std::pair<IndexKey, RowLocator>>& entries);
 
-  /// Exact-match lookup through the buffer pool.
-  std::optional<RowLocator> Find(IndexKey key, BufferPool* pool) const;
+  /// Exact-match lookup through the buffer pool. The outer Result reports
+  /// I/O or corruption; the inner optional is empty when the key is absent.
+  Result<std::optional<RowLocator>> Find(IndexKey key, BufferPool* pool) const;
 
   /// Forward iterator over leaf entries, positioned by SeekNotBefore.
+  /// The current entry is cached at positioning time, so key()/locator()
+  /// never fault; Next() may, in which case Valid() becomes false and
+  /// status() holds the error (a clean end-of-scan leaves status() OK).
   class Iterator {
    public:
-    bool Valid() const { return page_ != kInvalidPage; }
-    IndexKey key() const;
-    RowLocator locator() const;
+    bool Valid() const { return valid_; }
+    const Status& status() const { return status_; }
+    IndexKey key() const { return key_; }
+    RowLocator locator() const { return locator_; }
     void Next();
 
    private:
     friend class BTree;
-    Iterator(const BTree* tree, BufferPool* pool, PageId page, uint32_t slot)
-        : tree_(tree), pool_(pool), page_(page), slot_(slot) {}
+    Iterator(const BTree* tree, BufferPool* pool)
+        : tree_(tree), pool_(pool) {}
+
+    /// Caches the entry at (page_, slot_); clears valid_ on any fault.
+    void Load();
 
     const BTree* tree_;
     BufferPool* pool_;
-    PageId page_;
-    uint32_t slot_;
+    PageId page_ = kInvalidPage;
+    uint32_t slot_ = 0;
+    bool valid_ = false;
+    IndexKey key_ = 0;
+    RowLocator locator_;
+    Status status_ = Status::Ok();
   };
 
-  /// Iterator at the first entry with key >= `key` (invalid when none).
+  /// Iterator at the first entry with key >= `key`. Invalid when none
+  /// exists or when the descent faulted (distinguished by it.status()).
   Iterator SeekNotBefore(IndexKey key, BufferPool* pool) const;
 
   uint64_t num_pages() const { return num_pages_; }
@@ -71,6 +91,10 @@ class BTree {
   uint64_t num_entries() const { return num_entries_; }
 
  private:
+  /// Walks from the root to the leaf responsible for `key`. Returns the
+  /// leaf page id; the caller re-fetches it (cache hit) to read entries.
+  Result<PageId> DescendToLeaf(IndexKey key, BufferPool* pool) const;
+
   PageStore* store_;
   PageId root_ = kInvalidPage;
   uint32_t height_ = 0;  // 0 = empty, 1 = root is a leaf.

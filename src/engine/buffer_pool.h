@@ -3,19 +3,34 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "common/checksum.h"
+#include "common/status.h"
 #include "engine/device.h"
 #include "engine/page.h"
 #include "engine/pager.h"
 
 namespace ptldb {
 
+/// Bounded-retry schedule for transient device errors: up to
+/// `max_attempts` reads, waiting initial_backoff_ns, 2x, 4x, ... between
+/// attempts. The wait is charged to the device's modeled clock (virtual
+/// time), never slept for real.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;
+  uint64_t initial_backoff_ns = 100 * 1000;  // 100 us
+};
+
 /// LRU page cache in front of a StorageDevice, playing the role of
-/// PostgreSQL's shared buffers. Page bytes live in the PageStore either
-/// way; the pool tracks *which* pages are resident and charges the device
-/// model on misses. DropCaches() models the paper's per-experiment server
-/// restart + OS cache drop.
+/// PostgreSQL's shared buffers. The pool owns verified *copies* of pages:
+/// the PageStore is the authoritative disk image, the device is the
+/// (possibly faulty) wire, and only frames whose CRC-32C matches the
+/// page's stamp are cached and handed out. DropCaches() models the
+/// paper's per-experiment server restart + OS cache drop.
 class BufferPool {
  public:
   /// `capacity_pages` caps residency; the paper configures 8 GiB shared
@@ -28,34 +43,90 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Reads a page through the cache; charges the device on a miss.
-  const Page& Fetch(PageId id) {
+  /// Reads a page through the cache; charges the device on a miss and
+  /// verifies the page's checksum stamp on every delivered frame.
+  /// Transient device errors are retried with bounded exponential backoff
+  /// (charged as modeled wait time); a page that repeatedly fails
+  /// verification is quarantined and every later Fetch of it returns
+  /// kCorruption without touching the device. The returned pointer stays
+  /// valid until the page is evicted or caches are dropped.
+  Result<const Page*> Fetch(PageId id) {
     const auto it = resident_.find(id);
     if (it != resident_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
-      return store_->page(id);
+      return &it->second->second;
     }
-    device_->ChargeRead(id);
+    if (quarantined_.count(id) > 0) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " is quarantined");
+    }
+    if (id >= store_->num_pages()) {
+      return Status::Corruption("page id " + std::to_string(id) +
+                                " beyond end of store (" +
+                                std::to_string(store_->num_pages()) +
+                                " pages)");
+    }
     ++misses_;
-    lru_.push_front(id);
-    resident_.emplace(id, lru_.begin());
-    if (lru_.size() > capacity_) {
-      resident_.erase(lru_.back());
-      lru_.pop_back();
+    const PageStore& store = *store_;  // Read-only: must not dirty stamps.
+    Page frame;
+    Status last = Status::Ok();
+    uint64_t backoff = retry_.initial_backoff_ns;
+    uint32_t checksum_failures = 0;
+    for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        device_->ChargeWait(backoff);
+        backoff *= 2;
+        ++retries_;
+      }
+      last = device_->ReadPage(id, store.page(id), &frame);
+      if (!last.ok()) continue;  // Transient or sticky device error.
+      if (store.stamped(id) &&
+          Crc32c(frame.bytes.data(), kPageSize) != store.checksum(id)) {
+        ++checksum_failures;
+        ++checksum_errors_;
+        last = Status::Corruption("checksum mismatch on page " +
+                                  std::to_string(id));
+        continue;  // Possibly a wire flip; retry.
+      }
+      auto node = lru_.emplace(lru_.begin(), id, frame);
+      resident_.emplace(id, node);
+      if (lru_.size() > capacity_) {
+        resident_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+      return &node->second;
     }
-    return store_->page(id);
+    if (checksum_failures == retry_.max_attempts) {
+      // Every attempt delivered corrupt bytes: latent media corruption,
+      // not a wire glitch. Fail fast from now on.
+      quarantined_.insert(id);
+    }
+    return last;
   }
 
-  /// Evicts everything (cold-cache benchmarking).
+  /// Evicts everything (cold-cache benchmarking) and forgets the device's
+  /// head position so the first post-drop read bills as a random access.
   void DropCaches() {
     resident_.clear();
     lru_.clear();
+    device_->ResetLocality();
   }
+
+  /// Clears the quarantine set (e.g. between fault-soak seeds, after the
+  /// device's sticky fault state has been reset).
+  void ClearQuarantine() { quarantined_.clear(); }
+
+  void set_retry_policy(const RetryPolicy& retry) { retry_ = retry; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t resident_pages() const { return lru_.size(); }
+  /// Fault observability (not reset by ResetStats).
+  uint64_t retries() const { return retries_; }
+  uint64_t checksum_errors() const { return checksum_errors_; }
+  uint64_t quarantined_pages() const { return quarantined_.size(); }
 
   void ResetStats() {
     hits_ = 0;
@@ -66,10 +137,15 @@ class BufferPool {
   PageStore* store_;
   StorageDevice* device_;
   uint64_t capacity_;
-  std::list<PageId> lru_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
+  RetryPolicy retry_;
+  std::list<std::pair<PageId, Page>> lru_;
+  std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
+      resident_;
+  std::unordered_set<PageId> quarantined_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t checksum_errors_ = 0;
 };
 
 }  // namespace ptldb

@@ -21,13 +21,20 @@ Status EngineTable::BulkLoad(std::vector<std::pair<IndexKey, Row>> rows) {
   }
   index_.BulkLoad(entries);
   num_rows_ = rows.size();
+  // Seal the freshly written heap + index pages so every later read can be
+  // verified against its stamp.
+  store_->StampChecksums();
   return Status::Ok();
 }
 
-std::optional<Row> EngineTable::Get(IndexKey key, BufferPool* pool) const {
-  const auto locator = index_.Find(key, pool);
-  if (!locator) return std::nullopt;
-  return heap_.Read(*locator, schema_, pool);
+Result<std::optional<Row>> EngineTable::Get(IndexKey key,
+                                            BufferPool* pool) const {
+  auto locator = index_.Find(key, pool);
+  PTLDB_RETURN_IF_ERROR(locator.status());
+  if (!locator->has_value()) return std::optional<Row>{};
+  auto row = heap_.Read(**locator, schema_, pool);
+  PTLDB_RETURN_IF_ERROR(row.status());
+  return std::optional<Row>{std::move(*row)};
 }
 
 Result<EngineTable*> EngineDatabase::CreateTable(const std::string& name,

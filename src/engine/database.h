@@ -26,6 +26,7 @@ class EngineTable {
       : name_(std::move(name)),
         schema_(std::move(schema)),
         pk_columns_(pk_columns),
+        store_(store),
         heap_(store),
         index_(store) {}
 
@@ -39,21 +40,28 @@ class EngineTable {
   uint32_t pk_columns() const { return pk_columns_; }
 
   /// Loads `rows` with their primary keys; keys must be strictly
-  /// increasing (violations indicate a broken table builder).
+  /// increasing (violations indicate a broken table builder). Seals every
+  /// dirty page in the store with its checksum stamp afterwards, so all
+  /// table pages are verified on read.
   Status BulkLoad(std::vector<std::pair<IndexKey, Row>> rows);
 
   /// Primary-key point lookup (index + heap I/O charged to the device).
-  std::optional<Row> Get(IndexKey key, BufferPool* pool) const;
+  /// The outer Result carries kIoError/kCorruption; the inner optional is
+  /// empty when the key is absent.
+  Result<std::optional<Row>> Get(IndexKey key, BufferPool* pool) const;
 
-  /// Range cursor over (key, row) pairs with key >= `first_key`.
+  /// Range cursor over (key, row) pairs with key >= `first_key`. A faulted
+  /// scan ends with Valid() == false and a non-OK status(); callers must
+  /// check status() after the loop to distinguish errors from a clean end.
   class Cursor {
    public:
     bool Valid() const { return it_.Valid(); }
     IndexKey key() const { return it_.key(); }
-    Row row() const {
+    Result<Row> row() const {
       return table_->heap_.Read(it_.locator(), table_->schema_, pool_);
     }
     void Next() { it_.Next(); }
+    const Status& status() const { return it_.status(); }
 
    private:
     friend class EngineTable;
@@ -79,6 +87,7 @@ class EngineTable {
   std::string name_;
   Schema schema_;
   uint32_t pk_columns_ = 1;
+  PageStore* store_;
   HeapFile heap_;
   BTree index_;
   uint64_t num_rows_ = 0;
@@ -110,6 +119,7 @@ class EngineDatabase {
 
   BufferPool* buffer_pool() { return &pool_; }
   StorageDevice* device() { return &device_; }
+  PageStore* page_store() { return &store_; }
 
   /// Cold-cache reset (the paper restarts the server before experiments).
   void DropCaches() { pool_.DropCaches(); }

@@ -3,7 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/rng.h"
+#include "common/status.h"
 #include "engine/page.h"
 
 namespace ptldb {
@@ -32,8 +36,34 @@ struct DeviceProfile {
   static DeviceProfile Ram();
 };
 
+/// Deterministic, seedable failure regime of a StorageDevice. All
+/// probabilities are rolled per page read from one Rng seeded by `seed`,
+/// so a given (policy, access sequence) always fails the same way —
+/// fault-soak runs are reproducible from their seed.
+struct FaultPolicy {
+  uint64_t seed = 0;
+  /// Probability that a read fails once but succeeds on retry (controller
+  /// hiccup, bus CRC error).
+  double transient_error_prob = 0.0;
+  /// Probability that a read marks its page permanently unreadable
+  /// (grown media defect). Every later read of that page fails too.
+  double sticky_error_prob = 0.0;
+  /// Probability that a read delivers the page with one flipped bit.
+  double corrupt_prob = 0.0;
+  /// If true, a corrupted page keeps returning the same flipped bit
+  /// (latent media corruption); if false the flip is transient (bus
+  /// glitch) and a retry delivers clean bytes.
+  bool sticky_corruption = false;
+
+  bool enabled() const {
+    return transient_error_prob > 0.0 || sticky_error_prob > 0.0 ||
+           corrupt_prob > 0.0;
+  }
+};
+
 /// Accumulates the modeled I/O time of one device. Accesses arrive from the
-/// buffer pool (only cache misses reach the device).
+/// buffer pool (only cache misses reach the device). With a FaultPolicy
+/// installed, ReadPage also injects deterministic failures.
 class StorageDevice {
  public:
   explicit StorageDevice(DeviceProfile profile)
@@ -53,24 +83,101 @@ class StorageDevice {
     return cost;
   }
 
+  /// Reads one page: charges the latency model, then (under a FaultPolicy)
+  /// rolls for injected failures. On success copies `src` into `frame`,
+  /// possibly with an injected bit flip — the authoritative disk image is
+  /// never mutated; corruption happens on the wire, where the BufferPool's
+  /// checksum verification catches it.
+  Status ReadPage(PageId id, const Page& src, Page* frame) {
+    ChargeRead(id);
+    if (fault_.enabled()) {
+      if (bad_pages_.count(id) > 0) {
+        ++read_errors_;
+        return Status::IoError("sticky bad page " + std::to_string(id));
+      }
+      if (fault_.sticky_error_prob > 0.0 &&
+          rng_.NextBool(fault_.sticky_error_prob)) {
+        bad_pages_.insert(id);
+        ++read_errors_;
+        return Status::IoError("page " + std::to_string(id) +
+                               " went bad (sticky)");
+      }
+      if (fault_.transient_error_prob > 0.0 &&
+          rng_.NextBool(fault_.transient_error_prob)) {
+        ++read_errors_;
+        return Status::IoError("transient read error on page " +
+                               std::to_string(id));
+      }
+    }
+    frame->bytes = src.bytes;
+    if (fault_.enabled()) {
+      const auto it = sticky_flips_.find(id);
+      if (it != sticky_flips_.end()) {
+        FlipBit(frame, it->second);
+        ++corruptions_injected_;
+      } else if (fault_.corrupt_prob > 0.0 &&
+                 rng_.NextBool(fault_.corrupt_prob)) {
+        const uint64_t bit = rng_.NextBelow(kPageSize * 8);
+        if (fault_.sticky_corruption) sticky_flips_.emplace(id, bit);
+        FlipBit(frame, bit);
+        ++corruptions_injected_;
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Charges modeled wait time that is not a page transfer (retry backoff).
+  void ChargeWait(uint64_t ns) { total_ns_ += ns; }
+
+  /// Installs (or clears, with a default-constructed policy) the failure
+  /// regime and reseeds the fault Rng. Sticky state is reset.
+  void set_fault_policy(const FaultPolicy& policy) {
+    fault_ = policy;
+    rng_ = Rng(policy.seed);
+    bad_pages_.clear();
+    sticky_flips_.clear();
+  }
+  const FaultPolicy& fault_policy() const { return fault_; }
+
+  /// Forgets the last accessed page so the next read is billed as random.
+  /// Called on cache drops: after a real server restart the head position
+  /// and the device's internal caches are unknown, so crediting the first
+  /// post-drop read as sequential would understate cold-cache cost.
+  void ResetLocality() { last_page_ = kInvalidPage - 1; }
+
   /// Total modeled I/O time since the last ResetStats().
   uint64_t total_ns() const { return total_ns_; }
   uint64_t reads() const { return reads_; }
   uint64_t sequential_reads() const { return sequential_reads_; }
+  /// Injected-fault observability (never reset by ResetStats; the soak
+  /// harness uses these to confirm faults actually fired).
+  uint64_t read_errors() const { return read_errors_; }
+  uint64_t corruptions_injected() const { return corruptions_injected_; }
 
   void ResetStats() {
     total_ns_ = 0;
     reads_ = 0;
     sequential_reads_ = 0;
-    last_page_ = kInvalidPage - 1;
+    ResetLocality();
   }
 
  private:
+  static void FlipBit(Page* frame, uint64_t bit) {
+    frame->bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+
   DeviceProfile profile_;
   uint64_t total_ns_ = 0;
   uint64_t reads_ = 0;
   uint64_t sequential_reads_ = 0;
   PageId last_page_ = kInvalidPage - 1;
+
+  FaultPolicy fault_;
+  Rng rng_{0};
+  std::unordered_set<PageId> bad_pages_;
+  std::unordered_map<PageId, uint64_t> sticky_flips_;
+  uint64_t read_errors_ = 0;
+  uint64_t corruptions_injected_ = 0;
 };
 
 }  // namespace ptldb

@@ -17,14 +17,23 @@ class IndexLookupOp : public Operator {
   std::optional<Row> Next() override {
     if (done_) return std::nullopt;
     done_ = true;
-    return table_->Get(key_, pool_);
+    auto row = table_->Get(key_, pool_);
+    if (!row.ok()) {
+      status_ = row.status();
+      return std::nullopt;
+    }
+    if (!row->has_value()) return std::nullopt;
+    return std::move(**row);
   }
+
+  Status status() const override { return status_; }
 
  private:
   const EngineTable* table_;
   IndexKey key_;
   BufferPool* pool_;
   bool done_ = false;
+  Status status_ = Status::Ok();
 };
 
 class IndexRangeScanOp : public Operator {
@@ -34,15 +43,26 @@ class IndexRangeScanOp : public Operator {
       : cursor_(table->Seek(first_key, pool)), last_key_(last_key) {}
 
   std::optional<Row> Next() override {
-    if (!cursor_.Valid() || cursor_.key() > last_key_) return std::nullopt;
-    Row row = cursor_.row();
+    if (!cursor_.Valid()) {
+      status_ = cursor_.status();  // OK on a clean end of scan.
+      return std::nullopt;
+    }
+    if (cursor_.key() > last_key_) return std::nullopt;
+    auto row = cursor_.row();
+    if (!row.ok()) {
+      status_ = row.status();
+      return std::nullopt;
+    }
     cursor_.Next();
-    return row;
+    return std::move(*row);
   }
+
+  Status status() const override { return status_; }
 
  private:
   EngineTable::Cursor cursor_;
   IndexKey last_key_;
+  Status status_ = Status::Ok();
 };
 
 class UnnestOp : public Operator {
@@ -73,14 +93,22 @@ class UnnestOp : public Operator {
                         ? 0
                         : static_cast<uint32_t>(
                               (*current_)[array_cols_[0]].AsArray().size());
-#ifndef NDEBUG
+      // The PTLDB label arrays are equal-length by construction; a mismatch
+      // means the row decoded from a corrupt page.
       for (const int c : array_cols_) {
-        assert((*current_)[c].AsArray().size() == elem_count_ &&
-               "parallel UNNEST requires equal-length arrays");
+        if ((*current_)[c].AsArray().size() != elem_count_) {
+          status_ = Status::Corruption(
+              "parallel UNNEST arrays have unequal lengths");
+          current_.reset();
+          return std::nullopt;
+        }
       }
-#endif
       if (limit_elems_ != 0) elem_count_ = std::min(elem_count_, limit_elems_);
     }
+  }
+
+  Status status() const override {
+    return status_.ok() ? child_->status() : status_;
   }
 
  private:
@@ -91,6 +119,7 @@ class UnnestOp : public Operator {
   std::optional<Row> current_;
   uint32_t elem_ = 0;
   uint32_t elem_count_ = 0;
+  Status status_ = Status::Ok();
 };
 
 class FilterOp : public Operator {
@@ -104,6 +133,8 @@ class FilterOp : public Operator {
     }
     return std::nullopt;
   }
+
+  Status status() const override { return child_->status(); }
 
  private:
   OperatorPtr child_;
@@ -119,6 +150,8 @@ class ProjectOp : public Operator {
     if (auto row = child_->Next()) return projection_(*row);
     return std::nullopt;
   }
+
+  Status status() const override { return child_->status(); }
 
  private:
   OperatorPtr child_;
@@ -137,13 +170,21 @@ class IndexJoinOp : public Operator {
   std::optional<Row> Next() override {
     while (auto left = child_->Next()) {
       auto right = table_->Get(key_fn_(*left), pool_);
-      if (!right) continue;
+      if (!right.ok()) {
+        status_ = right.status();
+        return std::nullopt;
+      }
+      if (!right->has_value()) continue;
       Row out = std::move(*left);
-      out.insert(out.end(), std::make_move_iterator(right->begin()),
-                 std::make_move_iterator(right->end()));
+      out.insert(out.end(), std::make_move_iterator((*right)->begin()),
+                 std::make_move_iterator((*right)->end()));
       return out;
     }
     return std::nullopt;
+  }
+
+  Status status() const override {
+    return status_.ok() ? child_->status() : status_;
   }
 
  private:
@@ -151,6 +192,7 @@ class IndexJoinOp : public Operator {
   const EngineTable* table_;
   std::function<IndexKey(const Row&)> key_fn_;
   BufferPool* pool_;
+  Status status_ = Status::Ok();
 };
 
 class IndexRangeJoinOp : public Operator {
@@ -166,19 +208,33 @@ class IndexRangeJoinOp : public Operator {
 
   std::optional<Row> Next() override {
     while (true) {
-      if (cursor_ && cursor_->Valid() && cursor_->key() <= hi_) {
-        Row out = *left_;
-        Row right = cursor_->row();
-        out.insert(out.end(), std::make_move_iterator(right.begin()),
-                   std::make_move_iterator(right.end()));
-        cursor_->Next();
-        return out;
+      if (cursor_) {
+        if (cursor_->Valid() && cursor_->key() <= hi_) {
+          Row out = *left_;
+          auto right = cursor_->row();
+          if (!right.ok()) {
+            status_ = right.status();
+            return std::nullopt;
+          }
+          out.insert(out.end(), std::make_move_iterator(right->begin()),
+                     std::make_move_iterator(right->end()));
+          cursor_->Next();
+          return out;
+        }
+        if (!cursor_->status().ok()) {
+          status_ = cursor_->status();
+          return std::nullopt;
+        }
       }
       left_ = child_->Next();
       if (!left_) return std::nullopt;
       hi_ = hi_fn_(*left_);
       cursor_.emplace(table_->Seek(lo_fn_(*left_), pool_));
     }
+  }
+
+  Status status() const override {
+    return status_.ok() ? child_->status() : status_;
   }
 
  private:
@@ -190,6 +246,7 @@ class IndexRangeJoinOp : public Operator {
   std::optional<Row> left_;
   std::optional<EngineTable::Cursor> cursor_;
   IndexKey hi_ = 0;
+  Status status_ = Status::Ok();
 };
 
 class HashJoinOp : public Operator {
@@ -208,6 +265,7 @@ class HashJoinOp : public Operator {
       }
       built_ = true;
     }
+    if (!right_->status().ok()) return std::nullopt;
     while (true) {
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         Row out = *current_left_;
@@ -221,6 +279,11 @@ class HashJoinOp : public Operator {
       matches_ = it == table_.end() ? nullptr : &it->second;
       match_index_ = 0;
     }
+  }
+
+  Status status() const override {
+    if (!right_->status().ok()) return right_->status();
+    return left_->status();
   }
 
  private:
@@ -249,11 +312,14 @@ class HashAggregateOp : public Operator {
       materialized_ = true;
       it_ = groups_.begin();
     }
+    if (!child_->status().ok()) return std::nullopt;
     if (it_ == groups_.end()) return std::nullopt;
     Row out{Value(it_->first), Value(it_->second)};
     ++it_;
     return out;
   }
+
+  Status status() const override { return child_->status(); }
 
  private:
   void Materialize() {
@@ -288,9 +354,12 @@ class SortOp : public Operator {
       std::stable_sort(rows_.begin(), rows_.end(), less_);
       materialized_ = true;
     }
+    if (!child_->status().ok()) return std::nullopt;
     if (next_ >= rows_.size()) return std::nullopt;
     return rows_[next_++];
   }
+
+  Status status() const override { return child_->status(); }
 
  private:
   OperatorPtr child_;
@@ -311,6 +380,8 @@ class LimitOp : public Operator {
     return row;
   }
 
+  Status status() const override { return child_->status(); }
+
  private:
   OperatorPtr child_;
   uint64_t n_;
@@ -325,9 +396,17 @@ class ConcatOp : public Operator {
   std::optional<Row> Next() override {
     while (current_ < children_.size()) {
       if (auto row = children_[current_]->Next()) return row;
+      if (!children_[current_]->status().ok()) return std::nullopt;
       ++current_;
     }
     return std::nullopt;
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      if (Status s = child->status(); !s.ok()) return s;
+    }
+    return Status::Ok();
   }
 
  private:
@@ -421,9 +500,10 @@ OperatorPtr MakeConcat(std::vector<OperatorPtr> children) {
   return std::make_unique<ConcatOp>(std::move(children));
 }
 
-std::vector<Row> Execute(Operator* root) {
+Result<std::vector<Row>> Execute(Operator* root) {
   std::vector<Row> rows;
   while (auto row = root->Next()) rows.push_back(std::move(*row));
+  PTLDB_RETURN_IF_ERROR(root->status());
   return rows;
 }
 

@@ -15,10 +15,18 @@ namespace ptldb {
 /// The PTLDB query plans (Codes 1-4 of the paper) are built as trees of
 /// these operators; table-access operators charge the device model through
 /// the buffer pool, everything else is pure CPU.
+///
+/// Fallibility: a storage fault ends the stream (Next() returns nullopt)
+/// and is reported by status(). Callers must check status() after
+/// exhausting the stream — Execute() does this and returns the error, so
+/// a faulted plan can never be mistaken for a short result.
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual std::optional<Row> Next() = 0;
+  /// Non-OK when the stream ended because of a storage fault (kIoError /
+  /// kCorruption) anywhere in this subtree.
+  virtual Status status() const { return Status::Ok(); }
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -92,8 +100,9 @@ OperatorPtr MakeLimit(OperatorPtr child, uint64_t n);
 /// final GROUP BY, so duplicate elimination would be a no-op.)
 OperatorPtr MakeConcat(std::vector<OperatorPtr> children);
 
-/// Drains an operator tree into a vector.
-std::vector<Row> Execute(Operator* root);
+/// Drains an operator tree into a vector; returns the tree's fault status
+/// instead of a partial result when any operator faulted.
+Result<std::vector<Row>> Execute(Operator* root);
 
 }  // namespace ptldb
 

@@ -42,9 +42,11 @@ std::vector<uint8_t> SerializeRow(const Row& row, const Schema& schema) {
       case ColumnType::kInt32Array: {
         const auto& arr = row[i].AsArray();
         PutU32(&out, static_cast<uint32_t>(arr.size()));
-        const size_t n = out.size();
-        out.resize(n + arr.size() * 4);
-        std::memcpy(out.data() + n, arr.data(), arr.size() * 4);
+        if (!arr.empty()) {
+          const size_t n = out.size();
+          out.resize(n + arr.size() * 4);
+          std::memcpy(out.data() + n, arr.data(), arr.size() * 4);
+        }
         break;
       }
     }
@@ -96,8 +98,22 @@ RowLocator HeapFile::Append(const Row& row, const Schema& schema) {
   return locator;
 }
 
-Row HeapFile::Read(const RowLocator& locator, const Schema& schema,
-                   BufferPool* pool) const {
+Result<Row> HeapFile::Read(const RowLocator& locator, const Schema& schema,
+                           BufferPool* pool) const {
+  // A locator decoded from a corrupt index page can point anywhere; bound
+  // it before touching the store so garbage never crashes the reader.
+  if (locator.length > kMaxRowBytes) {
+    return Status::Corruption("row locator length " +
+                              std::to_string(locator.length) +
+                              " exceeds sanity bound");
+  }
+  // Offsets are absolute in the (shared) page store, so bound against it.
+  const uint64_t store_bytes = store_->num_pages() * kPageSize;
+  if (locator.offset > store_bytes ||
+      locator.offset + locator.length > store_bytes) {
+    return Status::Corruption("row locator points past end of store");
+  }
+
   // Gather the row's bytes across its page span.
   std::vector<uint8_t> bytes(locator.length);
   uint64_t offset = locator.offset;
@@ -107,8 +123,9 @@ Row HeapFile::Read(const RowLocator& locator, const Schema& schema,
     const uint32_t in_page = static_cast<uint32_t>(offset % kPageSize);
     const uint32_t room = kPageSize - in_page;
     const uint32_t chunk = std::min(room, locator.length - copied);
-    const Page& p = pool->Fetch(page);
-    std::memcpy(bytes.data() + copied, p.bytes.data() + in_page, chunk);
+    auto p = pool->Fetch(page);
+    PTLDB_RETURN_IF_ERROR(p.status());
+    std::memcpy(bytes.data() + copied, (*p)->bytes.data() + in_page, chunk);
     copied += chunk;
     offset += chunk;
   }
@@ -116,26 +133,43 @@ Row HeapFile::Read(const RowLocator& locator, const Schema& schema,
   Row row;
   row.reserve(schema.num_columns());
   const uint8_t* cursor = bytes.data();
-  [[maybe_unused]] const uint8_t* end = bytes.data() + bytes.size();
+  const uint8_t* end = bytes.data() + bytes.size();
   for (size_t i = 0; i < schema.num_columns(); ++i) {
     switch (schema.column(i).type) {
       case ColumnType::kInt32:
-        assert(cursor + 4 <= end);
+        if (end - cursor < 4) {
+          return Status::Corruption("truncated row: int32 column " +
+                                    std::to_string(i));
+        }
         row.emplace_back(GetI32(cursor));
         cursor += 4;
         break;
       case ColumnType::kInt32Array: {
-        assert(cursor + 4 <= end);
+        if (end - cursor < 4) {
+          return Status::Corruption("truncated row: array count, column " +
+                                    std::to_string(i));
+        }
         const uint32_t count = GetU32(cursor);
         cursor += 4;
-        assert(cursor + count * 4 <= end);
+        if (static_cast<uint64_t>(end - cursor) <
+            static_cast<uint64_t>(count) * 4) {
+          return Status::Corruption("truncated row: array body, column " +
+                                    std::to_string(i));
+        }
         std::vector<int32_t> arr(count);
-        std::memcpy(arr.data(), cursor, static_cast<size_t>(count) * 4);
+        if (count > 0) {
+          std::memcpy(arr.data(), cursor, static_cast<size_t>(count) * 4);
+        }
         cursor += static_cast<size_t>(count) * 4;
         row.emplace_back(std::move(arr));
         break;
       }
     }
+  }
+  if (cursor != end) {
+    return Status::Corruption("row has " +
+                              std::to_string(end - cursor) +
+                              " trailing bytes after last column");
   }
   return row;
 }

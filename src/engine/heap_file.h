@@ -9,6 +9,10 @@
 
 namespace ptldb {
 
+/// Upper bound on a single serialized row (sanity check when decoding a
+/// locator that may itself come from a corrupt page).
+inline constexpr uint32_t kMaxRowBytes = 1u << 28;  // 256 MiB
+
 /// Location of one serialized row inside the page store.
 struct RowLocator {
   uint64_t offset = 0;  ///< Absolute byte offset (page_id * kPageSize + in-page).
@@ -34,8 +38,11 @@ class HeapFile {
   RowLocator Append(const Row& row, const Schema& schema);
 
   /// Reads a row back through the buffer pool (charges device on misses).
-  Row Read(const RowLocator& locator, const Schema& schema,
-           BufferPool* pool) const;
+  /// Returns kIoError/kCorruption from the pool, or kCorruption when the
+  /// locator or the serialized bytes fail validation (garbage locators
+  /// must never crash the process or fabricate a row).
+  Result<Row> Read(const RowLocator& locator, const Schema& schema,
+                   BufferPool* pool) const;
 
   uint64_t num_pages() const { return num_pages_; }
 

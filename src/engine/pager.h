@@ -1,9 +1,11 @@
 #ifndef PTLDB_ENGINE_PAGER_H_
 #define PTLDB_ENGINE_PAGER_H_
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
+#include "common/checksum.h"
 #include "engine/device.h"
 #include "engine/page.h"
 
@@ -14,21 +16,64 @@ namespace ptldb {
 /// HDD/SSD); every access is routed through the BufferPool, which charges
 /// the device model on cache misses. Writes happen only during bulk load
 /// (before benchmarking) and are not charged.
+///
+/// Each page carries a CRC-32C stamp modeling an on-disk page trailer.
+/// Mutable access marks the page dirty; StampChecksums() seals all dirty
+/// pages (called at the end of bulk load). The BufferPool verifies the
+/// stamp of every stamped page it reads from the device, so a bit flip
+/// anywhere between disk image and delivered frame surfaces as
+/// Status::kCorruption instead of a silently wrong query answer.
 class PageStore {
  public:
   PageId Allocate() {
     pages_.push_back(std::make_unique<Page>());
+    checksums_.push_back(0);
+    stamped_.push_back(false);
     return pages_.size() - 1;
   }
 
   uint64_t num_pages() const { return pages_.size(); }
   uint64_t size_bytes() const { return pages_.size() * kPageSize; }
 
-  Page& page(PageId id) { return *pages_[id]; }
-  const Page& page(PageId id) const { return *pages_[id]; }
+  /// Mutable access (bulk load only); invalidates the page's stamp until
+  /// the next StampChecksums().
+  Page& page(PageId id) {
+    assert(id < pages_.size());
+    stamped_[id] = false;
+    return *pages_[id];
+  }
+  const Page& page(PageId id) const {
+    assert(id < pages_.size());
+    return *pages_[id];
+  }
+
+  /// Seals every dirty page with the CRC-32C of its current contents.
+  void StampChecksums() {
+    for (PageId id = 0; id < pages_.size(); ++id) {
+      if (!stamped_[id]) {
+        checksums_[id] = Crc32c(pages_[id]->bytes.data(), kPageSize);
+        stamped_[id] = true;
+      }
+    }
+  }
+
+  bool stamped(PageId id) const { return id < stamped_.size() && stamped_[id]; }
+  uint32_t checksum(PageId id) const {
+    assert(id < checksums_.size());
+    return checksums_[id];
+  }
+
+  /// Flips one bit of the stored image *without* updating the stamp —
+  /// models latent media corruption for tests. `bit` < kPageSize * 8.
+  void CorruptBitForTest(PageId id, uint64_t bit) {
+    assert(id < pages_.size() && bit < kPageSize * 8);
+    pages_[id]->bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<uint32_t> checksums_;
+  std::vector<bool> stamped_;
 };
 
 }  // namespace ptldb

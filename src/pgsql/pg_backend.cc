@@ -32,20 +32,23 @@ std::string DdlFor(const EngineTable& table) {
   return out.str();
 }
 
-// COPY payload (tab-separated text rows) for one engine table.
-std::string CopyPayloadFor(const EngineTable& table, BufferPool* pool) {
+// COPY payload (tab-separated text rows) for one engine table. Non-OK if
+// any source row cannot be read back cleanly — an export must be complete.
+Result<std::string> CopyPayloadFor(const EngineTable& table,
+                                   BufferPool* pool) {
   std::ostringstream out;
   auto cursor = table.Seek(std::numeric_limits<IndexKey>::min(), pool);
   const Schema& schema = table.schema();
   while (cursor.Valid()) {
-    const Row row = cursor.row();
-    for (size_t i = 0; i < row.size(); ++i) {
+    auto row = cursor.row();
+    PTLDB_RETURN_IF_ERROR(row.status());
+    for (size_t i = 0; i < row->size(); ++i) {
       if (i > 0) out << '\t';
       if (schema.column(i).type == ColumnType::kInt32) {
-        out << row[i].AsInt();
+        out << (*row)[i].AsInt();
       } else {
         out << '{';
-        const auto& arr = row[i].AsArray();
+        const auto& arr = (*row)[i].AsArray();
         for (size_t j = 0; j < arr.size(); ++j) {
           if (j > 0) out << ',';
           out << arr[j];
@@ -56,6 +59,7 @@ std::string CopyPayloadFor(const EngineTable& table, BufferPool* pool) {
     out << '\n';
     cursor.Next();
   }
+  PTLDB_RETURN_IF_ERROR(cursor.status());
   return out.str();
 }
 
@@ -86,8 +90,9 @@ Status PgPtldb::MirrorFrom(PtldbDatabase* src) {
   for (const std::string& name : engine->table_names()) {
     const EngineTable* table = engine->FindTable(name);
     PTLDB_RETURN_IF_ERROR(conn_->Exec(DdlFor(*table)));
-    PTLDB_RETURN_IF_ERROR(
-        conn_->CopyIn(name, CopyPayloadFor(*table, engine->buffer_pool())));
+    auto payload = CopyPayloadFor(*table, engine->buffer_pool());
+    PTLDB_RETURN_IF_ERROR(payload.status());
+    PTLDB_RETURN_IF_ERROR(conn_->CopyIn(name, *payload));
     PTLDB_RETURN_IF_ERROR(conn_->Exec("ANALYZE " + name + ";"));
   }
   set_info_.clear();

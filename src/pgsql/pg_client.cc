@@ -2,6 +2,9 @@
 
 #include <libpq-fe.h>
 
+#include <chrono>
+#include <thread>
+
 namespace ptldb {
 
 namespace {
@@ -16,15 +19,40 @@ std::string ConnError(PGconn* conn) {
 }  // namespace
 
 Result<std::unique_ptr<PgConnection>> PgConnection::Connect(
-    const std::string& conninfo) {
-  PGconn* conn = PQconnectdb(conninfo.c_str());
-  if (conn == nullptr) return Status::IoError("PQconnectdb failed");
-  if (PQstatus(conn) != CONNECTION_OK) {
-    const std::string msg = ConnError(conn);
-    PQfinish(conn);
-    return Status::IoError("cannot connect: " + msg);
+    const std::string& conninfo, const PgConnectOptions& options) {
+  std::string info = conninfo;
+  if (options.connect_timeout_s > 0 &&
+      conninfo.find("connect_timeout") == std::string::npos) {
+    info += " connect_timeout=" + std::to_string(options.connect_timeout_s);
   }
-  return std::unique_ptr<PgConnection>(new PgConnection(conn));
+  const uint32_t attempts = options.max_attempts == 0 ? 1 : options.max_attempts;
+  std::string last_error = "unknown libpq error";
+  uint32_t backoff_ms = options.initial_backoff_ms;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    PGconn* conn = PQconnectdb(info.c_str());
+    if (conn == nullptr) {
+      last_error = "PQconnectdb failed";
+      continue;
+    }
+    if (PQstatus(conn) != CONNECTION_OK) {
+      last_error = ConnError(conn);
+      PQfinish(conn);
+      continue;
+    }
+    std::unique_ptr<PgConnection> client(new PgConnection(conn));
+    if (options.statement_timeout_ms > 0) {
+      PTLDB_RETURN_IF_ERROR(client->Exec(
+          "SET statement_timeout = " +
+          std::to_string(options.statement_timeout_ms)));
+    }
+    return client;
+  }
+  return Status::IoError("cannot connect after " + std::to_string(attempts) +
+                         " attempts: " + last_error);
 }
 
 PgConnection::~PgConnection() {

@@ -1,6 +1,7 @@
 #ifndef PTLDB_PGSQL_PG_CLIENT_H_
 #define PTLDB_PGSQL_PG_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -10,6 +11,25 @@
 
 namespace ptldb {
 
+/// Connection-establishment policy: how hard Connect tries before giving
+/// up, and how long a single statement may run once connected.
+struct PgConnectOptions {
+  /// Total connection attempts (>= 1). Transient failures — the server
+  /// still starting up, a dropped socket — are retried with exponential
+  /// backoff; authentication-style failures still consume attempts but
+  /// typically fail identically each time.
+  uint32_t max_attempts = 3;
+  /// Sleep before the second attempt; doubles per retry. Real wall-clock
+  /// time (this is an external server, not the simulated device).
+  uint32_t initial_backoff_ms = 200;
+  /// Per-connection-attempt timeout, appended to the conninfo as
+  /// connect_timeout (seconds). 0 keeps libpq's default (wait forever).
+  uint32_t connect_timeout_s = 5;
+  /// Applied via SET statement_timeout after connecting so a pathological
+  /// query fails fast instead of hanging the benchmark. 0 disables.
+  uint32_t statement_timeout_ms = 60'000;
+};
+
 /// Thin RAII wrapper around a libpq connection. Only built when libpq is
 /// available (PTLDB_HAVE_LIBPQ); everything PTLDB needs from PostgreSQL:
 /// command execution, parameterized queries with text results, and COPY
@@ -18,8 +38,9 @@ class PgConnection {
  public:
   /// Connects using a libpq conninfo string, e.g.
   /// "host=/tmp/ptldb_pg port=5433 dbname=ptldb user=postgres".
+  /// Retries per `options` and installs its statement timeout.
   static Result<std::unique_ptr<PgConnection>> Connect(
-      const std::string& conninfo);
+      const std::string& conninfo, const PgConnectOptions& options = {});
 
   ~PgConnection();
   PgConnection(const PgConnection&) = delete;

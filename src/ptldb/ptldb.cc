@@ -1,9 +1,22 @@
 #include "ptldb/ptldb.h"
 
+#include <algorithm>
+
 #include "ptldb/queries.h"
 #include "ptldb/tables.h"
 
 namespace ptldb {
+
+namespace {
+
+/// Faults that warrant the degraded fallback path; every other error
+/// (bad arguments, unknown sets) is the caller's to see.
+bool IsStorageFault(const Status& s) {
+  return s.code() == Status::Code::kIoError ||
+         s.code() == Status::Code::kCorruption;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
     const TtlIndex& index, const PtldbOptions& options) {
@@ -35,21 +48,30 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   info.kmax = kmax;
   info.bucket_seconds = bucket_seconds;
   info.max_bucket = max_event_time_ / bucket_seconds;
+  info.targets = targets;
   target_sets_.emplace(name, std::move(info));
   return Status::Ok();
 }
 
-Timestamp PtldbDatabase::EarliestArrival(StopId s, StopId g, Timestamp t) {
+Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
+                                                 Timestamp t) {
+  ++stats_.queries;
+  stats_.last_degraded = false;
   return QueryV2vEa(&db_, s, g, t);
 }
 
-Timestamp PtldbDatabase::LatestDeparture(StopId s, StopId g,
-                                         Timestamp t_end) {
+Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
+                                                 Timestamp t_end) {
+  ++stats_.queries;
+  stats_.last_degraded = false;
   return QueryV2vLd(&db_, s, g, t_end);
 }
 
-Timestamp PtldbDatabase::ShortestDuration(StopId s, StopId g, Timestamp t,
-                                          Timestamp t_end) {
+Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
+                                                  Timestamp t,
+                                                  Timestamp t_end) {
+  ++stats_.queries;
+  stats_.last_degraded = false;
   return QueryV2vSd(&db_, s, g, t, t_end);
 }
 
@@ -66,25 +88,77 @@ Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
   return &it->second;
 }
 
+Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
+    const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
+  std::vector<StopTimeResult> out;
+  for (const StopId v : info.targets) {
+    auto ea = QueryV2vEa(&db_, q, v, t);
+    PTLDB_RETURN_IF_ERROR(ea.status());
+    if (*ea != kInfinityTime) out.push_back({v, *ea});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StopTimeResult& a, const StopTimeResult& b) {
+              return a.time != b.time ? a.time < b.time : a.stop < b.stop;
+            });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
+    const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
+  std::vector<StopTimeResult> out;
+  for (const StopId v : info.targets) {
+    auto ld = QueryV2vLd(&db_, q, v, t);
+    PTLDB_RETURN_IF_ERROR(ld.status());
+    if (*ld != kNegInfinityTime) out.push_back({v, *ld});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StopTimeResult& a, const StopTimeResult& b) {
+              return a.time != b.time ? a.time > b.time : a.stop < b.stop;
+            });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
+    Result<std::vector<StopTimeResult>> primary, const TargetSetInfo& info,
+    StopId q, Timestamp t, uint32_t k, bool ld) {
+  ++stats_.queries;
+  stats_.last_degraded = false;
+  if (primary.ok() || !IsStorageFault(primary.status())) return primary;
+  // A corrupt or unreadable optimized row must not fail the query outright:
+  // the label tables still answer it exactly via per-target v2v (Section
+  // 3.2's baseline), just slower.
+  auto fallback = ld ? LdFallback(info, q, t, k) : EaFallback(info, q, t, k);
+  if (!fallback.ok()) return primary;  // Both paths faulted: first error.
+  stats_.last_degraded = true;
+  ++stats_.degraded;
+  return fallback;
+}
+
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  return QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds);
+  return OrDegrade(QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds),
+                   **info, q, t, k, /*ld=*/false);
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  return QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
-                    (*info)->max_bucket);
+  return OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                              (*info)->max_bucket),
+                   **info, q, t, k, /*ld=*/true);
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
+  ++stats_.queries;
+  stats_.last_degraded = false;
   return QueryEaKnnNaive(&db_, set_name, q, t, k);
 }
 
@@ -92,6 +166,8 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
+  ++stats_.queries;
+  stats_.last_degraded = false;
   return QueryLdKnnNaive(&db_, set_name, q, t, k);
 }
 
@@ -99,15 +175,17 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
   auto info = ValidateSet(set_name, 1);
   if (!info.ok()) return info.status();
-  return QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds);
+  return OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
+                   **info, q, t, /*k=*/0, /*ld=*/false);
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
   auto info = ValidateSet(set_name, 1);
   if (!info.ok()) return info.status();
-  return QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                    (*info)->max_bucket);
+  return OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                              (*info)->max_bucket),
+                   **info, q, t, /*k=*/0, /*ld=*/true);
 }
 
 void PtldbDatabase::ResetIoStats() {

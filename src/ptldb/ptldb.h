@@ -51,12 +51,18 @@ class PtldbDatabase {
                       Timestamp bucket_seconds = kSecondsPerHour);
 
   // --- Vertex-to-vertex queries (Code 1) ---
-  Timestamp EarliestArrival(StopId s, StopId g, Timestamp t);
-  Timestamp LatestDeparture(StopId s, StopId g, Timestamp t_end);
-  Timestamp ShortestDuration(StopId s, StopId g, Timestamp t,
-                             Timestamp t_end);
+  // Non-OK on storage faults (kIoError) or detected corruption
+  // (kCorruption) — never a silently wrong journey.
+  Result<Timestamp> EarliestArrival(StopId s, StopId g, Timestamp t);
+  Result<Timestamp> LatestDeparture(StopId s, StopId g, Timestamp t_end);
+  Result<Timestamp> ShortestDuration(StopId s, StopId g, Timestamp t,
+                                     Timestamp t_end);
 
   // --- kNN queries (Section 3.2); k must be <= the set's kmax ---
+  // Graceful degradation: when the optimized knn_*/otm_* tables hit a
+  // storage fault, the facade re-answers from per-target v2v label queries
+  // (the paper's Section 3.2 baseline) and records degraded=true in
+  // query_stats(). Only if the fallback faults too does the error surface.
   Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
                                             StopId q, Timestamp t, uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
@@ -93,7 +99,18 @@ class PtldbDatabase {
     uint32_t kmax = 0;
     Timestamp bucket_seconds = kSecondsPerHour;
     int32_t max_bucket = 0;  ///< LD deadlines clamp to this bucket.
+    /// The target stops, kept for the degraded v2v fallback path.
+    std::vector<StopId> targets;
   };
+
+  /// Per-facade query accounting, including degradation events.
+  struct QueryStats {
+    uint64_t queries = 0;    ///< Facade queries answered (any type).
+    uint64_t degraded = 0;   ///< Answered via the v2v fallback plan.
+    bool last_degraded = false;  ///< Whether the last query degraded.
+  };
+  const QueryStats& query_stats() const { return stats_; }
+  void ResetQueryStats() { stats_ = QueryStats{}; }
   /// Registered target sets, in name order.
   std::vector<TargetSetInfo> target_sets() const {
     std::vector<TargetSetInfo> out;
@@ -113,11 +130,26 @@ class PtldbDatabase {
   Result<const TargetSetInfo*> ValidateSet(const std::string& set_name,
                                            uint32_t k) const;
 
+  /// Per-target v2v answers (the always-correct baseline) used when the
+  /// optimized kNN/OTM tables fault. k == 0 means one-to-many (no limit).
+  Result<std::vector<StopTimeResult>> EaFallback(const TargetSetInfo& info,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+  Result<std::vector<StopTimeResult>> LdFallback(const TargetSetInfo& info,
+                                                 StopId q, Timestamp t,
+                                                 uint32_t k);
+  /// Applies the degradation policy: pass through a healthy result, fall
+  /// back on a storage fault, surface every other error.
+  Result<std::vector<StopTimeResult>> OrDegrade(
+      Result<std::vector<StopTimeResult>> primary, const TargetSetInfo& info,
+      StopId q, Timestamp t, uint32_t k, bool ld);
+
   EngineDatabase db_;
   StorageDevice* device_;
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
   std::map<std::string, TargetSetInfo> target_sets_;
+  QueryStats stats_;
 };
 
 }  // namespace ptldb

@@ -11,6 +11,17 @@ namespace ptldb {
 
 namespace {
 
+// Looks up a table that the query plan requires; a missing table is a
+// caller error (set never registered / labels never built), not a fault.
+Result<const EngineTable*> RequireTable(EngineDatabase* db,
+                                        const std::string& name) {
+  const EngineTable* table = db->FindTable(name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("table not built: " + name);
+  }
+  return table;
+}
+
 // ---------- Code 1: vertex-to-vertex over the lout/lin array rows ----------
 
 // A fetched label row viewed as three parallel arrays sorted by (hub, td).
@@ -24,6 +35,19 @@ struct LabelRowView {
 
   size_t size() const { return hubs.size(); }
 };
+
+// The three label arrays are parallel by construction; a length mismatch
+// means the row decoded from a corrupt page.
+Status CheckLabelRow(const Row& row) {
+  if (row.size() < 4) {
+    return Status::Corruption("label row has too few columns");
+  }
+  const size_t n = row[1].AsArray().size();
+  if (row[2].AsArray().size() != n || row[3].AsArray().size() != n) {
+    return Status::Corruption("label row arrays have unequal lengths");
+  }
+  return Status::Ok();
+}
 
 // First index in [lo, hi) with td >= t (group is Pareto: td ascending).
 size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
@@ -78,17 +102,22 @@ void MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
   }
 }
 
-// Fetches the single label row of `v`; nullopt when the stop is unknown.
-std::optional<Row> FetchLabelRow(EngineDatabase* db, const char* table_name,
-                                 StopId v) {
-  const EngineTable* table = db->FindTable(table_name);
-  assert(table != nullptr && "label tables not built");
-  return table->Get(static_cast<IndexKey>(v), db->buffer_pool());
+// Fetches the single label row of `v`; an empty inner optional means the
+// stop is unknown.
+Result<std::optional<Row>> FetchLabelRow(EngineDatabase* db,
+                                         const char* table_name, StopId v) {
+  auto table = RequireTable(db, table_name);
+  PTLDB_RETURN_IF_ERROR(table.status());
+  auto row = (*table)->Get(static_cast<IndexKey>(v), db->buffer_pool());
+  PTLDB_RETURN_IF_ERROR(row.status());
+  if (row->has_value()) PTLDB_RETURN_IF_ERROR(CheckLabelRow(**row));
+  return row;
 }
 
 // ---------- Shared plan pieces for Codes 2-4 ----------
 
 // n1 of Codes 2-4: UNNEST the lout row of q into (hub, td, ta) rows.
+// The caller has validated that lout exists.
 OperatorPtr MakeN1(EngineDatabase* db, StopId q) {
   const EngineTable* lout = db->FindTable(kLoutTable);
   assert(lout != nullptr);
@@ -98,11 +127,13 @@ OperatorPtr MakeN1(EngineDatabase* db, StopId q) {
 }
 
 // Final rows (stop, time) -> results sorted like the paper's ORDER BY.
-std::vector<StopTimeResult> CollectResults(OperatorPtr plan) {
+// Surfaces the plan's fault status instead of a partial result.
+Result<std::vector<StopTimeResult>> CollectResults(OperatorPtr plan) {
   std::vector<StopTimeResult> out;
   while (auto row = plan->Next()) {
     out.push_back({static_cast<StopId>((*row)[0].AsInt()), (*row)[1].AsInt()});
   }
+  PTLDB_RETURN_IF_ERROR(plan->status());
   return out;
 }
 
@@ -147,24 +178,26 @@ namespace {
 enum class V2vPlanKind { kEa, kLd, kSd };
 
 // UNNESTs one label row into (hub, td, ta) rows, like the CTEs of Code 1.
-OperatorPtr UnnestLabelRow(EngineDatabase* db, const char* table_name,
+// The caller has validated that `table` exists.
+OperatorPtr UnnestLabelRow(const EngineTable* table, BufferPool* pool,
                            StopId v) {
-  const EngineTable* table = db->FindTable(table_name);
-  assert(table != nullptr && "label tables not built");
   return MakeUnnest(
-      MakeIndexLookup(table, static_cast<IndexKey>(v), db->buffer_pool()), {},
-      {1, 2, 3});
+      MakeIndexLookup(table, static_cast<IndexKey>(v), pool), {}, {1, 2, 3});
 }
 
-Timestamp RunV2vPlan(EngineDatabase* db, StopId s, StopId g, Timestamp t,
-                     Timestamp t_end, V2vPlanKind kind) {
+Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t, Timestamp t_end, V2vPlanKind kind) {
+  auto lout = RequireTable(db, kLoutTable);
+  PTLDB_RETURN_IF_ERROR(lout.status());
+  auto lin = RequireTable(db, kLinTable);
+  PTLDB_RETURN_IF_ERROR(lin.status());
   // outp: (hub, td, ta) from lout[s]; inp: (hub, td, ta) from lin[g].
-  OperatorPtr outp = UnnestLabelRow(db, kLoutTable, s);
+  OperatorPtr outp = UnnestLabelRow(*lout, db->buffer_pool(), s);
   if (kind != V2vPlanKind::kLd) {
     outp = MakeFilter(std::move(outp),
                       [t](const Row& r) { return r[1].AsInt() >= t; });
   }
-  OperatorPtr inp = UnnestLabelRow(db, kLinTable, g);
+  OperatorPtr inp = UnnestLabelRow(*lin, db->buffer_pool(), g);
   if (kind != V2vPlanKind::kEa) {
     inp = MakeFilter(std::move(inp),
                      [t_end](const Row& r) { return r[2].AsInt() <= t_end; });
@@ -191,32 +224,36 @@ Timestamp RunV2vPlan(EngineDatabase* db, StopId s, StopId g, Timestamp t,
         break;
     }
   }
+  PTLDB_RETURN_IF_ERROR(joined->status());
   return best;
 }
 
 }  // namespace
 
-Timestamp QueryV2vEa(EngineDatabase* db, StopId s, StopId g, Timestamp t) {
+Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t) {
   return RunV2vPlan(db, s, g, t, 0, V2vPlanKind::kEa);
 }
 
-Timestamp QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
-                     Timestamp t_end) {
+Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t_end) {
   return RunV2vPlan(db, s, g, 0, t_end, V2vPlanKind::kLd);
 }
 
-Timestamp QueryV2vSd(EngineDatabase* db, StopId s, StopId g, Timestamp t,
-                     Timestamp t_end) {
+Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t, Timestamp t_end) {
   return RunV2vPlan(db, s, g, t, t_end, V2vPlanKind::kSd);
 }
 
-Timestamp QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t) {
+Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t) {
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
-  if (!out_row || !in_row) return kInfinityTime;
-  const LabelRowView outp(*out_row);
-  const LabelRowView inp(*in_row);
+  PTLDB_RETURN_IF_ERROR(in_row.status());
+  if (!*out_row || !*in_row) return kInfinityTime;
+  const LabelRowView outp(**out_row);
+  const LabelRowView inp(**in_row);
   Timestamp best = kInfinityTime;
   MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
                                  size_t b_hi) {
@@ -229,13 +266,15 @@ Timestamp QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
   return best;
 }
 
-Timestamp QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t_end) {
+Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t_end) {
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
-  if (!out_row || !in_row) return kNegInfinityTime;
-  const LabelRowView outp(*out_row);
-  const LabelRowView inp(*in_row);
+  PTLDB_RETURN_IF_ERROR(in_row.status());
+  if (!*out_row || !*in_row) return kNegInfinityTime;
+  const LabelRowView outp(**out_row);
+  const LabelRowView inp(**in_row);
   Timestamp best = kNegInfinityTime;
   MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
                                  size_t b_hi) {
@@ -248,13 +287,15 @@ Timestamp QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
   return best;
 }
 
-Timestamp QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t, Timestamp t_end) {
+Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t, Timestamp t_end) {
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
+  PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
-  if (!out_row || !in_row) return kInfinityTime;
-  const LabelRowView outp(*out_row);
-  const LabelRowView inp(*in_row);
+  PTLDB_RETURN_IF_ERROR(in_row.status());
+  if (!*out_row || !*in_row) return kInfinityTime;
+  const LabelRowView outp(**out_row);
+  const LabelRowView inp(**in_row);
   Timestamp best = kInfinityTime;
   MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
                                  size_t b_hi) {
@@ -268,19 +309,19 @@ Timestamp QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
   return best;
 }
 
-std::vector<StopTimeResult> QueryEaKnnNaive(EngineDatabase* db,
-                                            const std::string& set_name,
-                                            StopId q, Timestamp t,
-                                            uint32_t k) {
-  const EngineTable* naive = db->FindTable(NaiveKnnTableName(set_name));
-  assert(naive != nullptr && "target set not registered");
+Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
+    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    uint32_t k) {
+  PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
+  auto naive = RequireTable(db, NaiveKnnTableName(set_name));
+  PTLDB_RETURN_IF_ERROR(naive.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n1 = MakeFilter(
       MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
   // Join every l1 with all naive rows (hub = l1.hub, td >= l1.ta).
   OperatorPtr n2 = MakeIndexRangeJoin(
-      std::move(n1), naive,
+      std::move(n1), *naive,
       [](const Row& r) { return MakeCompositeKey(r[0].AsInt(), r[2].AsInt()); },
       [](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(),
@@ -292,16 +333,16 @@ std::vector<StopTimeResult> QueryEaKnnNaive(EngineDatabase* db,
   return CollectResults(FinishEa(std::move(expanded), k));
 }
 
-std::vector<StopTimeResult> QueryLdKnnNaive(EngineDatabase* db,
-                                            const std::string& set_name,
-                                            StopId q, Timestamp t,
-                                            uint32_t k) {
-  const EngineTable* naive = db->FindTable(NaiveKnnTableName(set_name));
-  assert(naive != nullptr && "target set not registered");
+Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
+    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    uint32_t k) {
+  PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
+  auto naive = RequireTable(db, NaiveKnnTableName(set_name));
+  PTLDB_RETURN_IF_ERROR(naive.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n2 = MakeIndexRangeJoin(
-      MakeN1(db, q), naive,
+      MakeN1(db, q), *naive,
       [](const Row& r) { return MakeCompositeKey(r[0].AsInt(), r[2].AsInt()); },
       [](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(),
@@ -321,32 +362,36 @@ std::vector<StopTimeResult> QueryLdKnnNaive(EngineDatabase* db,
 namespace {
 
 // Shared body of Code 3 (EA kNN/OTM): k == 0 selects the OTM variant.
-std::vector<StopTimeResult> EaBucketQuery(EngineDatabase* db,
-                                          const std::string& table_name,
-                                          StopId q, Timestamp t, uint32_t k,
-                                          Timestamp bucket_seconds) {
-  const EngineTable* bucket = db->FindTable(table_name);
-  assert(bucket != nullptr && "target set not registered");
+Result<std::vector<StopTimeResult>> EaBucketQuery(EngineDatabase* db,
+                                                  const std::string& table_name,
+                                                  StopId q, Timestamp t,
+                                                  uint32_t k,
+                                                  Timestamp bucket_seconds) {
+  PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
+  auto bucket = RequireTable(db, table_name);
+  PTLDB_RETURN_IF_ERROR(bucket.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n1 = MakeFilter(
       MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
   OperatorPtr n1b_plan = MakeIndexJoin(
-      std::move(n1), bucket,
+      std::move(n1), *bucket,
       [bucket_seconds](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(), r[2].AsInt() / bucket_seconds);
       },
       pool);
   // n1b columns: 0 hub, 1 n1_td, 2 n1_ta | 3 hub, 4 dephour, 5 vs, 6 tas,
   // 7 tds_exp, 8 vs_exp, 9 tas_exp.
-  std::vector<Row> n1b = Execute(n1b_plan.get());
+  auto n1b = Execute(n1b_plan.get());
+  PTLDB_RETURN_IF_ERROR(n1b.status());
 
   // Branch A: condensed top-k columns (departures after the bucket hour).
-  OperatorPtr a = MakeUnnest(MakeVectorSource(n1b), {}, {5, 6}, k);
+  OperatorPtr a = MakeUnnest(MakeVectorSource(*n1b), {}, {5, 6}, k);
   a = FinishEa(std::move(a), k);
 
   // Branch B: expanded in-bucket tuples, still checking l1.ta <= l2.td.
-  OperatorPtr b = MakeUnnest(MakeVectorSource(std::move(n1b)), {2}, {7, 8, 9});
+  OperatorPtr b =
+      MakeUnnest(MakeVectorSource(std::move(*n1b)), {2}, {7, 8, 9});
   b = MakeFilter(std::move(b),
                  [](const Row& r) { return r[0].AsInt() <= r[1].AsInt(); });
   b = MakeProject(std::move(b), [](const Row& r) { return Row{r[2], r[3]}; });
@@ -359,29 +404,32 @@ std::vector<StopTimeResult> EaBucketQuery(EngineDatabase* db,
 }
 
 // Shared body of Code 4 (LD kNN/OTM): k == 0 selects the OTM variant.
-std::vector<StopTimeResult> LdBucketQuery(EngineDatabase* db,
-                                          const std::string& table_name,
-                                          StopId q, Timestamp t, uint32_t k,
-                                          Timestamp bucket_seconds,
-                                          int32_t max_bucket) {
-  const EngineTable* bucket = db->FindTable(table_name);
-  assert(bucket != nullptr && "target set not registered");
+Result<std::vector<StopTimeResult>> LdBucketQuery(EngineDatabase* db,
+                                                  const std::string& table_name,
+                                                  StopId q, Timestamp t,
+                                                  uint32_t k,
+                                                  Timestamp bucket_seconds,
+                                                  int32_t max_bucket) {
+  PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
+  auto bucket = RequireTable(db, table_name);
+  PTLDB_RETURN_IF_ERROR(bucket.status());
   BufferPool* pool = db->buffer_pool();
 
   const int32_t arrhour = std::min(t / bucket_seconds, max_bucket);
   OperatorPtr n1b_plan = MakeIndexJoin(
-      MakeN1(db, q), bucket,
+      MakeN1(db, q), *bucket,
       [arrhour](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(), arrhour);
       },
       pool);
   // n1b columns: 0 hub, 1 n1_td, 2 n1_ta | 3 hub, 4 arrhour, 5 vs, 6 tds,
   // 7 tds_exp, 8 vs_exp, 9 tas_exp.
-  std::vector<Row> n1b = Execute(n1b_plan.get());
+  auto n1b = Execute(n1b_plan.get());
+  PTLDB_RETURN_IF_ERROR(n1b.status());
 
   // Branch A: condensed top-k (arrivals before the bucket hour); the label
   // departure must still be boardable: l2.td >= l1.ta.
-  OperatorPtr a = MakeUnnest(MakeVectorSource(n1b), {1, 2}, {6, 5}, k);
+  OperatorPtr a = MakeUnnest(MakeVectorSource(*n1b), {1, 2}, {6, 5}, k);
   // Columns: 0 n1_td, 1 n1_ta, 2 td2, 3 v2.
   a = MakeFilter(std::move(a),
                  [](const Row& r) { return r[2].AsInt() >= r[1].AsInt(); });
@@ -390,7 +438,7 @@ std::vector<StopTimeResult> LdBucketQuery(EngineDatabase* db,
 
   // Branch B: expanded in-bucket tuples with both feasibility checks.
   OperatorPtr b =
-      MakeUnnest(MakeVectorSource(std::move(n1b)), {1, 2}, {7, 8, 9});
+      MakeUnnest(MakeVectorSource(std::move(*n1b)), {1, 2}, {7, 8, 9});
   // Columns: 0 n1_td, 1 n1_ta, 2 td2, 3 v2, 4 ta2.
   b = MakeFilter(std::move(b), [t](const Row& r) {
     return r[2].AsInt() >= r[1].AsInt() && r[4].AsInt() <= t;
@@ -406,35 +454,39 @@ std::vector<StopTimeResult> LdBucketQuery(EngineDatabase* db,
 
 }  // namespace
 
-std::vector<StopTimeResult> QueryEaKnn(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, uint32_t k,
-                                       Timestamp bucket_seconds) {
-  assert(k > 0);
+Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               uint32_t k,
+                                               Timestamp bucket_seconds) {
+  if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
   return EaBucketQuery(db, KnnEaTableName(set_name), q, t, k, bucket_seconds);
 }
 
-std::vector<StopTimeResult> QueryEaOtm(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, Timestamp bucket_seconds) {
+Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               Timestamp bucket_seconds) {
   return EaBucketQuery(db, OtmEaTableName(set_name), q, t, /*k=*/0,
                        bucket_seconds);
 }
 
-std::vector<StopTimeResult> QueryLdKnn(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, uint32_t k,
-                                       Timestamp bucket_seconds,
-                                       int32_t max_bucket) {
-  assert(k > 0);
+Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               uint32_t k,
+                                               Timestamp bucket_seconds,
+                                               int32_t max_bucket) {
+  if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
   return LdBucketQuery(db, KnnLdTableName(set_name), q, t, k, bucket_seconds,
                        max_bucket);
 }
 
-std::vector<StopTimeResult> QueryLdOtm(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, Timestamp bucket_seconds,
-                                       int32_t max_bucket) {
+Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               Timestamp bucket_seconds,
+                                               int32_t max_bucket) {
   return LdBucketQuery(db, OtmLdTableName(set_name), q, t, /*k=*/0,
                        bucket_seconds, max_bucket);
 }

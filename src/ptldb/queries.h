@@ -15,6 +15,10 @@ namespace ptldb {
 /// physical-plan equivalent of one SQL query of the paper (Codes 1-4); the
 /// src/pgsql module emits the corresponding SQL text.
 ///
+/// Every query is fallible: storage faults (kIoError) and detected
+/// corruption (kCorruption) surface as a non-OK Result instead of a wrong
+/// or partial answer. A missing table is kInvalidArgument.
+///
 /// Prefer the PtldbDatabase facade (ptldb/ptldb.h); these free functions
 /// are the building blocks and are exposed for tests and benchmarks.
 
@@ -22,61 +26,67 @@ namespace ptldb {
 /// outp.ta <= inp.td AND outp.td >= t. kInfinityTime when empty.
 /// Executed as the SQL-shaped plan (UNNEST both label rows, hash join on
 /// hub, residual filter, aggregate) — the same work PostgreSQL does.
-Timestamp QueryV2vEa(EngineDatabase* db, StopId s, StopId g, Timestamp t);
+Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t);
 
 /// Code 1, LD variant. kNegInfinityTime when empty.
-Timestamp QueryV2vLd(EngineDatabase* db, StopId s, StopId g, Timestamp t_end);
+Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t_end);
 
 /// Code 1, SD variant. kInfinityTime when empty.
-Timestamp QueryV2vSd(EngineDatabase* db, StopId s, StopId g, Timestamp t,
-                     Timestamp t_end);
+Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
+                             Timestamp t, Timestamp t_end);
 
 /// Specialized merge-join variants of Code 1 that exploit the (hub, td)
 /// array order instead of hashing + filtering. Same answers, much less CPU
 /// — the ablation bench quantifies what a transit-aware join operator
 /// would buy a DBMS. Not used by the default facade.
-Timestamp QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t);
-Timestamp QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t_end);
-Timestamp QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                              Timestamp t, Timestamp t_end);
+Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t);
+Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t_end);
+Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      Timestamp t, Timestamp t_end);
 
 /// Code 2: the naive EA-kNN query over knn_naive_<set>.
-std::vector<StopTimeResult> QueryEaKnnNaive(EngineDatabase* db,
-                                            const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
+    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    uint32_t k);
 
 /// The LD counterpart of Code 2 (same naive table, mirrored conditions).
-std::vector<StopTimeResult> QueryLdKnnNaive(EngineDatabase* db,
-                                            const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
+    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    uint32_t k);
 
 /// Code 3, EA-kNN branch: optimized query over knn_ea_<set>.
 /// `bucket_seconds` must match the value the set was built with.
-std::vector<StopTimeResult> QueryEaKnn(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, uint32_t k,
-                                       Timestamp bucket_seconds);
+Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               uint32_t k,
+                                               Timestamp bucket_seconds);
 
 /// Code 3, EA-OTM branch: one-to-many over otm_ea_<set>.
-std::vector<StopTimeResult> QueryEaOtm(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, Timestamp bucket_seconds);
+Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               Timestamp bucket_seconds);
 
 /// Code 4, LD-kNN branch over knn_ld_<set>. `max_bucket` is the last event
 /// bucket of the index (deadlines beyond it clamp to that bucket).
-std::vector<StopTimeResult> QueryLdKnn(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, uint32_t k,
-                                       Timestamp bucket_seconds,
-                                       int32_t max_bucket);
+Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               uint32_t k,
+                                               Timestamp bucket_seconds,
+                                               int32_t max_bucket);
 
 /// Code 4, LD-OTM branch over otm_ld_<set>.
-std::vector<StopTimeResult> QueryLdOtm(EngineDatabase* db,
-                                       const std::string& set_name, StopId q,
-                                       Timestamp t, Timestamp bucket_seconds,
-                                       int32_t max_bucket);
+Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
+                                               const std::string& set_name,
+                                               StopId q, Timestamp t,
+                                               Timestamp bucket_seconds,
+                                               int32_t max_bucket);
 
 }  // namespace ptldb
 

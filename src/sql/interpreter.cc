@@ -348,19 +348,23 @@ class Executor {
       auto cursor =
           table->Seek(std::numeric_limits<IndexKey>::min(), db_->buffer_pool());
       while (cursor.Valid()) {
-        const Row row = cursor.row();
+        auto row = cursor.row();
+        PTLDB_RETURN_IF_ERROR(row.status());
         SqlRow out;
-        out.reserve(row.size());
-        for (size_t i = 0; i < row.size(); ++i) {
+        out.reserve(row->size());
+        for (size_t i = 0; i < row->size(); ++i) {
           if (schema.column(i).type == ColumnType::kInt32) {
-            out.emplace_back(static_cast<int64_t>(row[i].AsInt()));
+            out.emplace_back(static_cast<int64_t>((*row)[i].AsInt()));
           } else {
-            out.emplace_back(row[i].AsArray());
+            out.emplace_back((*row)[i].AsArray());
           }
         }
         relation.rows.push_back(std::move(out));
         cursor.Next();
       }
+      // A faulted scan ends like a clean one; the cursor status tells
+      // them apart.
+      PTLDB_RETURN_IF_ERROR(cursor.status());
     } else {
       return Status::NotFound("unknown table " + ref.table);
     }

@@ -23,7 +23,7 @@ Status SaveTimetable(const Timetable& tt, const std::string& path) {
   std::vector<Connection> conns(tt.connections().begin(),
                                 tt.connections().end());
   w.WriteVector(conns);
-  return w.Finish();
+  return w.FinishWithChecksum();
 }
 
 Result<Timetable> LoadTimetable(const std::string& path) {
@@ -45,6 +45,7 @@ Result<Timetable> LoadTimetable(const std::string& path) {
   for (uint32_t t = 0; t < num_trips; ++t) builder.AddTrip();
   const auto conns = r.ReadVector<Connection>();
   if (!r.ok()) return Status::Corruption("truncated timetable file " + path);
+  PTLDB_RETURN_IF_ERROR(r.VerifyChecksum());
   for (const Connection& c : conns) {
     builder.AddConnection(c.from, c.to, c.dep, c.arr, c.trip);
   }

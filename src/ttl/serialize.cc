@@ -38,7 +38,7 @@ Status SaveTtlIndex(const TtlIndex& index, const std::string& path) {
   WriteLabelSet(&w, index.in);
   w.WriteVector(index.order);
   w.WriteVector(index.rank);
-  return w.Finish();
+  return w.FinishWithChecksum();
 }
 
 Result<TtlIndex> LoadTtlIndex(const std::string& path) {
@@ -58,6 +58,7 @@ Result<TtlIndex> LoadTtlIndex(const std::string& path) {
       index.in.num_stops() != index.out.num_stops()) {
     return Status::Corruption("inconsistent label file " + path);
   }
+  PTLDB_RETURN_IF_ERROR(r.VerifyChecksum());
   return index;
 }
 

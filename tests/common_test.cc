@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <vector>
 
 #include "common/binary_io.h"
+#include "common/checksum.h"
 #include "common/csv.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -187,6 +190,118 @@ TEST(CsvTest, TableAccessByColumnName) {
 
 TEST(CsvTest, EmptyFileIsCorruption) {
   EXPECT_FALSE(CsvTable::Parse("").ok());
+}
+
+TEST(ChecksumTest, MatchesKnownCrc32cVectors) {
+  // Reference vectors from RFC 3720 (iSCSI) appendix B.4.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  std::vector<uint8_t> buf(32, 0x00);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x8A9136AAu);
+  buf.assign(32, 0xFF);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x62A8AB43u);
+  for (size_t i = 0; i < 32; ++i) buf[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x46DD794Eu);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(ChecksumTest, ExtendComposesLikeOneShot) {
+  std::vector<uint8_t> data(1000);
+  Rng rng(12);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextBelow(256));
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  // Any split point must give the same digest, including unaligned ones
+  // that exercise the slice-by-8 prologue and tail.
+  for (size_t split : {size_t{1}, size_t{7}, size_t{8}, size_t{13},
+                       size_t{500}, size_t{999}}) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split " << split;
+  }
+}
+
+TEST(ChecksumTest, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(256);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t bit : {size_t{0}, size_t{77}, size_t{1024}, size_t{2047}}) {
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(data.data(), data.size()), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+TEST(BinaryIoTest, ChecksumTrailerRoundTrips) {
+  const std::string path = testing::TempDir() + "/binary_io_crc.bin";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.Write<uint64_t>(0xDEADBEEFu);
+    w.WriteVector(std::vector<int32_t>{4, 5, 6});
+    ASSERT_TRUE(w.FinishWithChecksum().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.Read<uint64_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadVector<int32_t>(), (std::vector<int32_t>{4, 5, 6}));
+  EXPECT_TRUE(r.VerifyChecksum().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ChecksumTrailerCatchesBitFlip) {
+  const std::string path = testing::TempDir() + "/binary_io_flip.bin";
+  {
+    BinaryWriter w(path);
+    w.Write<uint64_t>(42);
+    w.WriteVector(std::vector<int32_t>{7, 8, 9});
+    ASSERT_TRUE(w.FinishWithChecksum().ok());
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(3);
+    char byte;
+    f.seekg(3);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(3);
+    f.write(&byte, 1);
+  }
+  BinaryReader r(path);
+  (void)r.Read<uint64_t>();
+  (void)r.ReadVector<int32_t>();
+  const Status s = r.VerifyChecksum();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingTrailerIsCorruption) {
+  const std::string path = testing::TempDir() + "/binary_io_notrailer.bin";
+  {
+    BinaryWriter w(path);
+    w.Write<uint64_t>(42);
+    ASSERT_TRUE(w.Finish().ok());  // Old-format file: no trailer.
+  }
+  BinaryReader r(path);
+  (void)r.Read<uint64_t>();
+  const Status s = r.VerifyChecksum();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ShortReadTripsFailState) {
+  const std::string path = testing::TempDir() + "/binary_io_short.bin";
+  {
+    BinaryWriter w(path);
+    w.Write<uint32_t>(7);  // Only 4 bytes on disk.
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Read<uint64_t>(), 0u);  // Short read: zero value, fail state.
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.Read<uint32_t>(), 0u);  // Stays failed; never garbage.
+  EXPECT_FALSE(r.VerifyChecksum().ok());
+  std::remove(path.c_str());
 }
 
 TEST(BinaryIoTest, RoundTripsScalarsVectorsStrings) {

@@ -86,7 +86,7 @@ TEST_F(HeapTest, RoundTripsScalarAndArrayColumns) {
   const Row row{Value(7), Value(std::vector<int32_t>{1, -2, 3})};
   const RowLocator loc = heap.Append(row, schema);
   EXPECT_EQ(loc.length, SerializedRowSize(row, schema));
-  EXPECT_EQ(heap.Read(loc, schema, &pool_), row);
+  EXPECT_EQ(*heap.Read(loc, schema, &pool_), row);
 }
 
 TEST_F(HeapTest, RowsLargerThanPageSpanPages) {
@@ -97,7 +97,7 @@ TEST_F(HeapTest, RowsLargerThanPageSpanPages) {
   const Row row{Value(big)};
   const RowLocator loc = heap.Append(row, schema);
   EXPECT_GE(heap.num_pages(), 3u);
-  EXPECT_EQ(heap.Read(loc, schema, &pool_), row);
+  EXPECT_EQ(*heap.Read(loc, schema, &pool_), row);
 }
 
 TEST_F(HeapTest, ManyRowsBackToBack) {
@@ -113,7 +113,7 @@ TEST_F(HeapTest, ManyRowsBackToBack) {
     rows.push_back(std::move(row));
   }
   for (int i = 0; i < 500; ++i) {
-    EXPECT_EQ(heap.Read(locators[i], schema, &pool_), rows[i]) << i;
+    EXPECT_EQ(*heap.Read(locators[i], schema, &pool_), rows[i]) << i;
   }
 }
 
@@ -124,7 +124,7 @@ TEST_F(HeapTest, WideRowReadIsOneSeekPlusSequential) {
   const RowLocator loc = heap.Append(row, schema);
   StorageDevice hdd(DeviceProfile::Hdd7200());
   BufferPool cold(&store_, &hdd);
-  heap.Read(loc, schema, &cold);
+  ASSERT_TRUE(heap.Read(loc, schema, &cold).ok());
   // Exactly one random access; everything else streams.
   EXPECT_EQ(hdd.reads() - hdd.sequential_reads(), 1u);
   EXPECT_GE(hdd.sequential_reads(), 4u);
@@ -156,18 +156,18 @@ TEST_F(BTreeTest, FindOnMultiLevelTree) {
   EXPECT_EQ(tree.num_entries(), 20000u);
   for (int i = 0; i < 20000; i += 97) {
     const auto hit = tree.Find(i * 3, &pool_);
-    ASSERT_TRUE(hit.has_value()) << i;
-    EXPECT_EQ(hit->offset, static_cast<uint64_t>(i));
-    EXPECT_FALSE(tree.Find(i * 3 + 1, &pool_).has_value());
+    ASSERT_TRUE(hit->has_value()) << i;
+    EXPECT_EQ((*hit)->offset, static_cast<uint64_t>(i));
+    EXPECT_FALSE(tree.Find(i * 3 + 1, &pool_)->has_value());
   }
-  EXPECT_FALSE(tree.Find(-1, &pool_).has_value());
-  EXPECT_FALSE(tree.Find(3 * 20000 + 5, &pool_).has_value());
+  EXPECT_FALSE(tree.Find(-1, &pool_)->has_value());
+  EXPECT_FALSE(tree.Find(3 * 20000 + 5, &pool_)->has_value());
 }
 
 TEST_F(BTreeTest, EmptyTree) {
   BTree tree(&store_);
   tree.BulkLoad({});
-  EXPECT_FALSE(tree.Find(0, &pool_).has_value());
+  EXPECT_FALSE(tree.Find(0, &pool_)->has_value());
   EXPECT_FALSE(tree.SeekNotBefore(0, &pool_).Valid());
 }
 
@@ -215,8 +215,8 @@ TEST_F(BTreeTest, RandomizedAgainstStdMap) {
       const auto key = static_cast<IndexKey>(rng.NextBelow(1u << 20));
       const auto hit = tree.Find(key, &pool);
       const auto it = truth.find(key);
-      ASSERT_EQ(hit.has_value(), it != truth.end()) << key;
-      if (hit) EXPECT_EQ(*hit, it->second);
+      ASSERT_EQ(hit->has_value(), it != truth.end()) << key;
+      if (hit->has_value()) EXPECT_EQ(**hit, it->second);
       auto cursor = tree.SeekNotBefore(key, &pool);
       const auto lb = truth.lower_bound(key);
       if (lb == truth.end()) {
@@ -252,20 +252,20 @@ class ExecTest : public testing::Test {
 
 TEST_F(ExecTest, IndexLookupFindsRow) {
   auto op = MakeIndexLookup(table_, 3, db_.buffer_pool());
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0][0].AsInt(), 3);
-  EXPECT_TRUE(Execute(op.get()).empty());  // Exhausted.
+  EXPECT_TRUE(Execute(op.get())->empty());  // Exhausted.
 }
 
 TEST_F(ExecTest, IndexLookupMissYieldsNothing) {
   auto op = MakeIndexLookup(table_, 77, db_.buffer_pool());
-  EXPECT_TRUE(Execute(op.get()).empty());
+  EXPECT_TRUE(Execute(op.get())->empty());
 }
 
 TEST_F(ExecTest, RangeScanRespectsBounds) {
   auto op = MakeIndexRangeScan(table_, 4, 6, db_.buffer_pool());
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0][0].AsInt(), 4);
   EXPECT_EQ(rows[2][0].AsInt(), 6);
@@ -274,7 +274,7 @@ TEST_F(ExecTest, RangeScanRespectsBounds) {
 TEST_F(ExecTest, UnnestZipsParallelArrays) {
   auto op = MakeUnnest(MakeIndexLookup(table_, 2, db_.buffer_pool()), {0},
                        {1, 2});
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 3u);
   // (id, val, time) triples in array order.
   EXPECT_EQ(rows[1][0].AsInt(), 2);
@@ -285,7 +285,7 @@ TEST_F(ExecTest, UnnestZipsParallelArrays) {
 TEST_F(ExecTest, UnnestLimitSlicesLikeSqlOneToK) {
   auto op = MakeUnnest(MakeIndexLookup(table_, 2, db_.buffer_pool()), {},
                        {1}, /*limit_elems=*/2);
-  EXPECT_EQ(Execute(op.get()).size(), 2u);
+  EXPECT_EQ(Execute(op.get())->size(), 2u);
 }
 
 TEST_F(ExecTest, FilterAndProject) {
@@ -295,7 +295,7 @@ TEST_F(ExecTest, FilterAndProject) {
                   [](const Row& r) { return r[0].AsInt() % 2 == 0; });
   op = MakeProject(std::move(op),
                    [](const Row& r) { return Row{r[1]}; });
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 1u);  // vals {5,6,7} -> only 6 is even.
   EXPECT_EQ(rows[0][0].AsInt(), 51);  // time of val 6.
 }
@@ -306,7 +306,7 @@ TEST_F(ExecTest, IndexJoinAppendsRightRow) {
       MakeVectorSource(left), table_,
       [](const Row& r) { return static_cast<IndexKey>(r[0].AsInt()); },
       db_.buffer_pool());
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 2u);  // Key 42 has no match.
   EXPECT_EQ(rows[0][1].AsInt(), 1);
   EXPECT_EQ(rows[1][1].AsInt(), 3);
@@ -318,7 +318,7 @@ TEST_F(ExecTest, IndexRangeJoinEmitsAllMatches) {
       MakeVectorSource(left), table_,
       [](const Row& r) { return static_cast<IndexKey>(r[0].AsInt()); },
       [](const Row&) { return static_cast<IndexKey>(9); }, db_.buffer_pool());
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 3u);  // Rows 7, 8, 9.
   EXPECT_EQ(rows[2][1].AsInt(), 9);
 }
@@ -332,7 +332,7 @@ TEST_F(ExecTest, HashJoinEmitsAllMatchesPerKey) {
                          {Value(102), Value(2)}};
   auto op = MakeHashJoin(MakeVectorSource(left), MakeVectorSource(right),
                          /*left_key_col=*/0, /*right_key_col=*/1);
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 3u);  // Key 1 matches twice, key 2 once, key 9 none.
   EXPECT_EQ(rows[0][2].AsInt(), 100);
   EXPECT_EQ(rows[1][2].AsInt(), 101);
@@ -344,11 +344,11 @@ TEST_F(ExecTest, HashJoinWithEmptySides) {
   std::vector<Row> left{{Value(1)}};
   auto no_right = MakeHashJoin(MakeVectorSource(left), MakeVectorSource({}),
                                0, 0);
-  EXPECT_TRUE(Execute(no_right.get()).empty());
+  EXPECT_TRUE(Execute(no_right.get())->empty());
   std::vector<Row> right{{Value(1)}};
   auto no_left = MakeHashJoin(MakeVectorSource({}), MakeVectorSource(right),
                               0, 0);
-  EXPECT_TRUE(Execute(no_left.get()).empty());
+  EXPECT_TRUE(Execute(no_left.get())->empty());
 }
 
 TEST_F(ExecTest, HashAggregateMinMax) {
@@ -357,12 +357,12 @@ TEST_F(ExecTest, HashAggregateMinMax) {
                          {Value(1), Value(3)},
                          {Value(2), Value(9)}};
   auto mins = MakeHashAggregate(MakeVectorSource(input), 0, 1, AggFn::kMin);
-  auto rows = Execute(mins.get());
+  auto rows = *Execute(mins.get());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][1].AsInt(), 3);
   EXPECT_EQ(rows[1][1].AsInt(), 5);
   auto maxs = MakeHashAggregate(MakeVectorSource(input), 0, 1, AggFn::kMax);
-  rows = Execute(maxs.get());
+  rows = *Execute(maxs.get());
   EXPECT_EQ(rows[0][1].AsInt(), 10);
   EXPECT_EQ(rows[1][1].AsInt(), 9);
 }
@@ -378,10 +378,187 @@ TEST_F(ExecTest, SortLimitConcat) {
     return x[0].AsInt() < y[0].AsInt();
   });
   op = MakeLimit(std::move(op), 2);
-  const auto rows = Execute(op.get());
+  const auto rows = *Execute(op.get());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][0].AsInt(), 1);
   EXPECT_EQ(rows[1][0].AsInt(), 2);
+}
+
+// ---------- Checksums, fault injection, and retries ----------
+
+TEST(ChecksumPageTest, StampAndVerifyRoundTrip) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.page(a).bytes[100] = 42;
+  EXPECT_FALSE(store.stamped(a));  // Dirty until sealed.
+  store.StampChecksums();
+  EXPECT_TRUE(store.stamped(a));
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device);
+  auto page = pool.Fetch(a);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ((*page)->bytes[100], 42);
+  EXPECT_EQ(pool.checksum_errors(), 0u);
+}
+
+TEST(ChecksumPageTest, LatentCorruptionIsDetectedAndQuarantined) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  store.page(a).bytes[0] = 1;
+  store.page(b).bytes[0] = 2;
+  store.StampChecksums();
+  // Flip a stored bit WITHOUT restamping: latent media corruption.
+  store.CorruptBitForTest(a, 8 * 500 + 3);
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device);
+  auto bad = pool.Fetch(a);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kCorruption);
+  EXPECT_GT(pool.checksum_errors(), 0u);
+  // All retries saw the same bad checksum, so the page is quarantined:
+  // the next fetch fails immediately without more device reads.
+  EXPECT_EQ(pool.quarantined_pages(), 1u);
+  const uint64_t reads_before = device.reads();
+  EXPECT_FALSE(pool.Fetch(a).ok());
+  EXPECT_EQ(device.reads(), reads_before);
+  // The healthy page is unaffected.
+  EXPECT_TRUE(pool.Fetch(b).ok());
+  // ClearQuarantine gives the page another chance (still corrupt here).
+  pool.ClearQuarantine();
+  EXPECT_EQ(pool.quarantined_pages(), 0u);
+  EXPECT_FALSE(pool.Fetch(a).ok());
+}
+
+TEST(FaultPolicyTest, TransientErrorsAreRetriedToSuccess) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.page(a).bytes[7] = 99;
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  FaultPolicy faults;
+  faults.seed = 7;
+  faults.transient_error_prob = 0.4;
+  device.set_fault_policy(faults);
+  BufferPool pool(&store, &device);
+  // With p=0.4 and 4 attempts per fetch, 200 cold fetches succeed with
+  // overwhelming probability; every one must return the true bytes.
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    pool.DropCaches();
+    auto page = pool.Fetch(a);
+    if (!page.ok()) {
+      ++failures;
+      continue;
+    }
+    EXPECT_EQ((*page)->bytes[7], 99);
+  }
+  EXPECT_LE(failures, 5);
+  EXPECT_GT(pool.retries(), 0u);       // Some first attempts failed...
+  EXPECT_GT(device.read_errors(), 0u);  // ...and the device recorded them.
+  EXPECT_EQ(pool.checksum_errors(), 0u);
+  EXPECT_EQ(pool.quarantined_pages(), 0u);  // IoErrors never quarantine.
+}
+
+TEST(FaultPolicyTest, BackoffIsChargedAsVirtualTime) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  FaultPolicy faults;
+  faults.seed = 3;
+  faults.transient_error_prob = 1.0;  // Every read fails.
+  device.set_fault_policy(faults);
+  BufferPool pool(&store, &device);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ns = 1000;
+  pool.set_retry_policy(retry);
+  EXPECT_FALSE(pool.Fetch(a).ok());
+  // Two retries: 1000 + 2000 ns of backoff beyond the read charges.
+  EXPECT_GE(device.total_ns(), 3000u);
+  EXPECT_EQ(pool.retries(), 2u);
+}
+
+TEST(FaultPolicyTest, StickyBadPageStaysBad) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  FaultPolicy faults;
+  faults.seed = 5;
+  faults.sticky_error_prob = 1.0;  // First touch marks the page bad forever.
+  device.set_fault_policy(faults);
+  BufferPool pool(&store, &device);
+  for (int i = 0; i < 3; ++i) {
+    pool.DropCaches();
+    auto page = pool.Fetch(a);
+    ASSERT_FALSE(page.ok());
+    EXPECT_EQ(page.status().code(), Status::Code::kIoError);
+  }
+}
+
+TEST(FaultPolicyTest, InjectedCorruptionIsCaughtByChecksum) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.page(a).bytes[11] = 5;
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  FaultPolicy faults;
+  faults.seed = 11;
+  faults.corrupt_prob = 1.0;  // Every delivered frame has a flipped bit.
+  device.set_fault_policy(faults);
+  BufferPool pool(&store, &device);
+  auto page = pool.Fetch(a);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), Status::Code::kCorruption);
+  EXPECT_GT(device.corruptions_injected(), 0u);
+  // The authoritative store copy is untouched: disabling faults heals it.
+  device.set_fault_policy(FaultPolicy{});
+  pool.ClearQuarantine();
+  pool.DropCaches();
+  auto healed = pool.Fetch(a);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ((*healed)->bytes[11], 5);
+}
+
+TEST(BufferPoolTest, FetchBeyondStoreIsCorruption) {
+  PageStore store;
+  store.Allocate();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device);
+  auto r = pool.Fetch(57);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(BufferPoolTest, DropCachesResetsDeviceLocality) {
+  PageStore store;
+  for (int i = 0; i < 3; ++i) store.Allocate();
+  StorageDevice device(DeviceProfile::Hdd7200());
+  BufferPool pool(&store, &device);
+  pool.Fetch(0);
+  pool.Fetch(1);  // Sequential after 0.
+  EXPECT_EQ(device.sequential_reads(), 1u);
+  pool.DropCaches();
+  device.ResetStats();
+  // Page 2 would look sequential after page 1 if locality survived the
+  // cache drop; a real restart loses the head position.
+  pool.Fetch(2);
+  EXPECT_EQ(device.sequential_reads(), 0u);
+}
+
+TEST(HeapFileTest, GarbageLocatorIsCorruptionNotCrash) {
+  PageStore store;
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device);
+  const Schema schema{{"a", ColumnType::kInt32}};
+  HeapFile heap(&store);
+  heap.Append(Row{Value(1)}, schema);
+  store.StampChecksums();
+  EXPECT_FALSE(heap.Read({1u << 30, 4}, schema, &pool).ok());
+  EXPECT_FALSE(heap.Read({0, kMaxRowBytes + 1}, schema, &pool).ok());
+  EXPECT_FALSE(heap.Read({0, 9}, schema, &pool).ok());  // Trailing bytes.
 }
 
 TEST(EngineDatabaseTest, RejectsDuplicateTable) {

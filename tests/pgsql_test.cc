@@ -156,15 +156,16 @@ TEST_F(PgEquivalenceTest, V2vAnswersMatchEmbeddedEngine) {
 
     const auto pg_ea = pg_->EarliestArrival(s, g, t);
     ASSERT_TRUE(pg_ea.ok()) << pg_ea.status().ToString();
-    EXPECT_EQ(*pg_ea, db_->EarliestArrival(s, g, t)) << "EA " << s << "->" << g;
+    EXPECT_EQ(*pg_ea, *db_->EarliestArrival(s, g, t))
+        << "EA " << s << "->" << g;
 
     const auto pg_ld = pg_->LatestDeparture(s, g, t_end);
     ASSERT_TRUE(pg_ld.ok());
-    EXPECT_EQ(*pg_ld, db_->LatestDeparture(s, g, t_end));
+    EXPECT_EQ(*pg_ld, *db_->LatestDeparture(s, g, t_end));
 
     const auto pg_sd = pg_->ShortestDuration(s, g, t, t_end);
     ASSERT_TRUE(pg_sd.ok());
-    EXPECT_EQ(*pg_sd, db_->ShortestDuration(s, g, t, t_end));
+    EXPECT_EQ(*pg_sd, *db_->ShortestDuration(s, g, t, t_end));
   }
 }
 

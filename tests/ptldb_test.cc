@@ -93,12 +93,12 @@ class PtldbExampleTest : public testing::Test {
 
 TEST_F(PtldbExampleTest, V2vMatchesPaper) {
   // "the answer to the EA(1, 1, 324) query is 324".
-  EXPECT_EQ(db_->EarliestArrival(1, 1, 32400), 32400);
-  EXPECT_EQ(db_->EarliestArrival(5, 6, 28800), 43200);
-  EXPECT_EQ(db_->LatestDeparture(5, 6, 43200), 28800);
-  EXPECT_EQ(db_->ShortestDuration(5, 0, 0, 86400), 7200);
-  EXPECT_EQ(db_->EarliestArrival(5, 0, 28801), kInfinityTime);
-  EXPECT_EQ(db_->LatestDeparture(6, 5, 43199), kNegInfinityTime);
+  EXPECT_EQ(*db_->EarliestArrival(1, 1, 32400), 32400);
+  EXPECT_EQ(*db_->EarliestArrival(5, 6, 28800), 43200);
+  EXPECT_EQ(*db_->LatestDeparture(5, 6, 43200), 28800);
+  EXPECT_EQ(*db_->ShortestDuration(5, 0, 0, 86400), 7200);
+  EXPECT_EQ(*db_->EarliestArrival(5, 0, 28801), kInfinityTime);
+  EXPECT_EQ(*db_->LatestDeparture(6, 5, 43199), kNegInfinityTime);
 }
 
 TEST_F(PtldbExampleTest, NaiveTableMatchesTable4) {
@@ -110,22 +110,22 @@ TEST_F(PtldbExampleTest, NaiveTableMatchesTable4) {
   BufferPool* pool = db_->engine()->buffer_pool();
 
   const auto row0 = naive->Get(MakeCompositeKey(0, 36000), pool);
-  ASSERT_TRUE(row0.has_value());
-  EXPECT_EQ((*row0)[2].AsArray(), (std::vector<int32_t>{4, 6}));
-  EXPECT_EQ((*row0)[3].AsArray(), (std::vector<int32_t>{39600, 43200}));
+  ASSERT_TRUE(row0->has_value());
+  EXPECT_EQ((**row0)[2].AsArray(), (std::vector<int32_t>{4, 6}));
+  EXPECT_EQ((**row0)[3].AsArray(), (std::vector<int32_t>{39600, 43200}));
 
   const auto row2 = naive->Get(MakeCompositeKey(2, 39600), pool);
-  ASSERT_TRUE(row2.has_value());
-  EXPECT_EQ((*row2)[2].AsArray(), (std::vector<int32_t>{6}));
-  EXPECT_EQ((*row2)[3].AsArray(), (std::vector<int32_t>{43200}));
+  ASSERT_TRUE(row2->has_value());
+  EXPECT_EQ((**row2)[2].AsArray(), (std::vector<int32_t>{6}));
+  EXPECT_EQ((**row2)[3].AsArray(), (std::vector<int32_t>{43200}));
 
   const auto row4 = naive->Get(MakeCompositeKey(4, 39600), pool);
-  ASSERT_TRUE(row4.has_value());
-  EXPECT_EQ((*row4)[2].AsArray(), (std::vector<int32_t>{4}));
+  ASSERT_TRUE(row4->has_value());
+  EXPECT_EQ((**row4)[2].AsArray(), (std::vector<int32_t>{4}));
 
   const auto row6 = naive->Get(MakeCompositeKey(6, 43200), pool);
-  ASSERT_TRUE(row6.has_value());
-  EXPECT_EQ((*row6)[2].AsArray(), (std::vector<int32_t>{6}));
+  ASSERT_TRUE(row6->has_value());
+  EXPECT_EQ((**row6)[2].AsArray(), (std::vector<int32_t>{6}));
 
   EXPECT_EQ(naive->num_rows(), 4u);
 }
@@ -211,10 +211,10 @@ TEST_P(PtldbSweepTest, AllQueriesMatchGroundTruth) {
     {
       auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
       if (g == q) g = (g + 1) % tt.num_stops();
-      EXPECT_EQ(db->EarliestArrival(q, g, t), EarliestArrival(tt, q, g, t));
-      EXPECT_EQ(db->LatestDeparture(q, g, t), LatestDeparture(tt, q, g, t));
+      EXPECT_EQ(*db->EarliestArrival(q, g, t), EarliestArrival(tt, q, g, t));
+      EXPECT_EQ(*db->LatestDeparture(q, g, t), LatestDeparture(tt, q, g, t));
       const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
-      EXPECT_EQ(db->ShortestDuration(q, g, t, t_end),
+      EXPECT_EQ(*db->ShortestDuration(q, g, t, t_end),
                 ShortestDuration(tt, q, g, t, t_end));
     }
 
@@ -309,11 +309,12 @@ TEST(PtldbPlanTest, MergePlanMatchesSqlShapedPlan) {
     const auto t_end =
         static_cast<Timestamp>(rng.NextInRange(t, tt.max_time()));
     EngineDatabase* engine = db->engine();
-    EXPECT_EQ(QueryV2vEa(engine, s, g, t), QueryV2vEaMergePlan(engine, s, g, t));
-    EXPECT_EQ(QueryV2vLd(engine, s, g, t_end),
-              QueryV2vLdMergePlan(engine, s, g, t_end));
-    EXPECT_EQ(QueryV2vSd(engine, s, g, t, t_end),
-              QueryV2vSdMergePlan(engine, s, g, t, t_end));
+    EXPECT_EQ(*QueryV2vEa(engine, s, g, t),
+              *QueryV2vEaMergePlan(engine, s, g, t));
+    EXPECT_EQ(*QueryV2vLd(engine, s, g, t_end),
+              *QueryV2vLdMergePlan(engine, s, g, t_end));
+    EXPECT_EQ(*QueryV2vSd(engine, s, g, t, t_end),
+              *QueryV2vSdMergePlan(engine, s, g, t, t_end));
   }
 }
 
@@ -329,11 +330,11 @@ TEST(PtldbEdgeTest, UnreachableStopHasEmptyAnswers) {
   ASSERT_TRUE(tt.ok());
   const TtlIndex index = BuildIndex(*tt);
   auto db = BuildDb(index);
-  EXPECT_EQ(db->EarliestArrival(x, y, 100), 200);
-  EXPECT_EQ(db->EarliestArrival(x, y, 101), kInfinityTime);
-  EXPECT_EQ(db->EarliestArrival(y, x, 0), kInfinityTime);
-  EXPECT_EQ(db->LatestDeparture(y, x, 99999), kNegInfinityTime);
-  EXPECT_EQ(db->ShortestDuration(y, x, 0, 99999), kInfinityTime);
+  EXPECT_EQ(*db->EarliestArrival(x, y, 100), 200);
+  EXPECT_EQ(*db->EarliestArrival(x, y, 101), kInfinityTime);
+  EXPECT_EQ(*db->EarliestArrival(y, x, 0), kInfinityTime);
+  EXPECT_EQ(*db->LatestDeparture(y, x, 99999), kNegInfinityTime);
+  EXPECT_EQ(*db->ShortestDuration(y, x, 0, 99999), kInfinityTime);
   ASSERT_TRUE(db->AddTargetSet("T", index, {x}, 2).ok());
   const auto knn = db->EaKnn("T", y, 0, 1);
   ASSERT_TRUE(knn.ok());
@@ -361,10 +362,10 @@ TEST(PtldbEdgeTest, TinyBufferPoolStillCorrect) {
     if (g == s) g = (g + 1) % tt.num_stops();
     const auto t = static_cast<Timestamp>(
         rng.NextInRange(tt.min_time(), tt.max_time()));
-    EXPECT_EQ((*constrained)->EarliestArrival(s, g, t),
-              reference->EarliestArrival(s, g, t));
-    EXPECT_EQ((*constrained)->LatestDeparture(s, g, t),
-              reference->LatestDeparture(s, g, t));
+    EXPECT_EQ(*(*constrained)->EarliestArrival(s, g, t),
+              *reference->EarliestArrival(s, g, t));
+    EXPECT_EQ(*(*constrained)->LatestDeparture(s, g, t),
+              *reference->LatestDeparture(s, g, t));
   }
 }
 

@@ -277,7 +277,7 @@ TEST_F(SqlPaperQueriesTest, Code1MatchesFacade) {
                                   {s, g, t});
     ASSERT_TRUE(ea.ok()) << ea.status().ToString();
     EXPECT_EQ(ScalarOrDefault(*ea, kInfinityTime),
-              db_->EarliestArrival(static_cast<StopId>(s),
+              *db_->EarliestArrival(static_cast<StopId>(s),
                                    static_cast<StopId>(g),
                                    static_cast<Timestamp>(t)));
 
@@ -285,7 +285,7 @@ TEST_F(SqlPaperQueriesTest, Code1MatchesFacade) {
                                   {s, g, t_end});
     ASSERT_TRUE(ld.ok());
     EXPECT_EQ(ScalarOrDefault(*ld, kNegInfinityTime),
-              db_->LatestDeparture(static_cast<StopId>(s),
+              *db_->LatestDeparture(static_cast<StopId>(s),
                                    static_cast<StopId>(g),
                                    static_cast<Timestamp>(t_end)));
 
@@ -293,7 +293,7 @@ TEST_F(SqlPaperQueriesTest, Code1MatchesFacade) {
                                   {s, g, t, t_end});
     ASSERT_TRUE(sd.ok());
     EXPECT_EQ(ScalarOrDefault(*sd, kInfinityTime),
-              db_->ShortestDuration(static_cast<StopId>(s),
+              *db_->ShortestDuration(static_cast<StopId>(s),
                                     static_cast<StopId>(g),
                                     static_cast<Timestamp>(t),
                                     static_cast<Timestamp>(t_end)));

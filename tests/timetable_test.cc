@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "timetable/example_graph.h"
@@ -134,6 +135,52 @@ TEST(TimetableSerializeTest, RoundTrip) {
     EXPECT_EQ(loaded->connection(i), tt.connection(i));
   }
   EXPECT_EQ(loaded->stop(3).name, tt.stop(3).name);
+  std::remove(path.c_str());
+}
+
+TEST(TimetableSerializeTest, TruncatedFileIsCorruptionNotCrash) {
+  const Timetable tt = MakeExampleTimetable();
+  const std::string path = testing::TempDir() + "/tt_trunc.bin";
+  ASSERT_TRUE(SaveTimetable(tt, path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto full = static_cast<size_t>(in.tellg());
+  in.close();
+  // Chop the file at several points, including mid-header, mid-payload,
+  // and inside the checksum trailer. Every truncation must load as a
+  // non-OK status — never a crash, never a partial timetable.
+  for (size_t keep : {size_t{0}, size_t{4}, full / 2, full - 9, full - 1}) {
+    std::filesystem::resize_file(path, keep);
+    const auto loaded = LoadTimetable(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << full;
+    ASSERT_TRUE(SaveTimetable(tt, path).ok());  // Restore for next round.
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimetableSerializeTest, BitFlipIsDetectedByTrailer) {
+  const Timetable tt = MakeExampleTimetable();
+  const std::string path = testing::TempDir() + "/tt_flip.bin";
+  ASSERT_TRUE(SaveTimetable(tt, path).ok());
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(probe.tellg());
+  probe.close();
+  // Flip one bit at several offsets across the payload (skip the magic,
+  // which has its own check) and require a kCorruption on load.
+  for (size_t pos : {size_t{9}, size / 3, size / 2, size - 10}) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(pos));
+    char byte;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x04);
+    f.seekp(static_cast<std::streamoff>(pos));
+    f.write(&byte, 1);
+    f.close();
+    const auto loaded = LoadTimetable(path);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << pos;
+    EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption)
+        << loaded.status().ToString();
+    ASSERT_TRUE(SaveTimetable(tt, path).ok());
+  }
   std::remove(path.c_str());
 }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.h"
@@ -9,6 +12,7 @@
 #include "ttl/builder.h"
 #include "ttl/label.h"
 #include "ttl/ordering.h"
+#include "ttl/serialize.h"
 
 namespace ptldb {
 namespace {
@@ -260,6 +264,52 @@ TEST(TtlOrderingTest, IdentityOrderIsIdentity) {
   const Timetable tt = MakeExampleTimetable();
   const auto order = ComputeVertexOrder(tt, OrderingStrategy::kIdentity);
   for (StopId v = 0; v < tt.num_stops(); ++v) EXPECT_EQ(order[v], v);
+}
+
+// ---------- Corrupted label files (robustness) ----------
+
+TEST(TtlSerializeTest, TruncatedLabelFileIsErrorNotCrash) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto index = BuildTtlIndex(tt);
+  ASSERT_TRUE(index.ok());
+  const std::string path = testing::TempDir() + "/ttl_trunc.bin";
+  ASSERT_TRUE(SaveTtlIndex(*index, path).ok());
+  const auto full = static_cast<size_t>(std::filesystem::file_size(path));
+  for (size_t keep : {size_t{0}, size_t{6}, full / 3, full / 2, full - 9,
+                      full - 1}) {
+    std::filesystem::resize_file(path, keep);
+    const auto loaded = LoadTtlIndex(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << full;
+    ASSERT_TRUE(SaveTtlIndex(*index, path).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TtlSerializeTest, BitFlippedLabelFileIsCorruption) {
+  const Timetable tt = MakeExampleTimetable();
+  const auto index = BuildTtlIndex(tt);
+  ASSERT_TRUE(index.ok());
+  const std::string path = testing::TempDir() + "/ttl_flip.bin";
+  ASSERT_TRUE(SaveTtlIndex(*index, path).ok());
+  const auto size = static_cast<size_t>(std::filesystem::file_size(path));
+  // Flip one bit in the payload (past the magic) at several positions;
+  // the checksum trailer must catch every one as kCorruption.
+  for (size_t pos : {size_t{8}, size / 4, size / 2, size - 12}) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(pos));
+    char byte;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(static_cast<std::streamoff>(pos));
+    f.write(&byte, 1);
+    f.close();
+    const auto loaded = LoadTtlIndex(path);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << pos;
+    EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption)
+        << loaded.status().ToString();
+    ASSERT_TRUE(SaveTtlIndex(*index, path).ok());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
