@@ -37,10 +37,12 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       config.cache_dir = next();
     } else if (arg == "--seed") {
       config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--threads") {
+      config.num_threads = static_cast<uint32_t>(std::atoi(next().c_str()));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--queries N] [--cities A,B] "
-                   "[--cache-dir D] [--seed S]\n",
+                   "[--cache-dir D] [--seed S] [--threads T]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -117,7 +119,9 @@ Result<BenchDataset> LoadOrBuildDataset(const CityProfile& profile,
   auto tt = GenerateNetwork(CityOptions(profile, config.scale, config.seed));
   if (!tt.ok()) return tt.status();
   TtlBuildStats stats;
-  auto index = BuildTtlIndex(*tt, {}, &stats);
+  TtlBuildOptions build_options;
+  build_options.num_threads = config.num_threads;
+  auto index = BuildTtlIndex(*tt, build_options, &stats);
   if (!index.ok()) return index.status();
   data.tt = std::move(*tt);
   data.index = std::move(*index);
@@ -166,9 +170,11 @@ double TimeQueries(PtldbDatabase* db, uint32_t n,
 }
 
 Result<std::unique_ptr<PtldbDatabase>> MakeBenchDb(
-    const BenchDataset& data, const DeviceProfile& device) {
+    const BenchDataset& data, const DeviceProfile& device,
+    uint32_t num_threads) {
   PtldbOptions options;
   options.device = device;
+  options.num_threads = num_threads;
   return PtldbDatabase::Build(data.index, options);
 }
 

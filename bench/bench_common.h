@@ -22,12 +22,16 @@ namespace ptldb {
 ///   --cities A,B    subset of Table 7 city names (default: all 11)
 ///   --cache-dir D   where generated datasets + labels are cached
 ///   --seed S        RNG seed for datasets and workloads
+///   --threads T     worker threads for TTL preprocessing and table builds
+///                   (0 = one per hardware thread; output is identical for
+///                   every value, so this only affects build speed)
 struct BenchConfig {
   double scale = 0.06;
   uint32_t num_queries = 60;
   std::vector<std::string> cities;
   std::string cache_dir = "bench_cache";
   uint64_t seed = 1;
+  uint32_t num_threads = 0;
 };
 
 /// Parses the common flags; exits with usage on errors.
@@ -65,8 +69,11 @@ double TimeQueries(PtldbDatabase* db, uint32_t n,
                    const std::function<void(uint32_t)>& fn);
 
 /// Builds a PtldbDatabase for a dataset on the given device profile.
+/// `num_threads` parallelizes the derived-table builds of AddTargetSet
+/// (0 = one per hardware thread, 1 = serial).
 Result<std::unique_ptr<PtldbDatabase>> MakeBenchDb(const BenchDataset& data,
-                                                   const DeviceProfile& device);
+                                                   const DeviceProfile& device,
+                                                   uint32_t num_threads = 1);
 
 /// Markdown table helper: prints a header row and the separator.
 void PrintTableHeader(const std::vector<std::string>& columns);

@@ -31,6 +31,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  ptldb_cli build (--gtfs DIR | --city NAME [--scale S]) --out IDX\n"
+      "            [--threads T]   (0 = all hardware threads; same index\n"
+      "                             bytes for every thread count)\n"
       "  ptldb_cli stats --index IDX\n"
       "  ptldb_cli query --index IDX --type ea|ld|sd --from STOP --to STOP\n"
       "            --at HH:MM:SS [--until HH:MM:SS]\n");
@@ -76,8 +78,13 @@ int Build(const std::map<std::string, std::string>& flags) {
     return Usage();
   }
 
+  TtlBuildOptions options;
+  if (const auto threads = flags.find("threads"); threads != flags.end()) {
+    options.num_threads =
+        static_cast<uint32_t>(std::atoi(threads->second.c_str()));
+  }
   TtlBuildStats stats;
-  auto index = BuildTtlIndex(tt, {}, &stats);
+  auto index = BuildTtlIndex(tt, options, &stats);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
@@ -91,9 +98,11 @@ int Build(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   std::printf(
-      "built %s: %u stops, %u connections, %.0f tuples/stop in %.2fs\n",
+      "built %s: %u stops, %u connections, %.0f tuples/stop in %.2fs "
+      "(%u threads, %zu waves)\n",
       out->second.c_str(), tt.num_stops(), tt.num_connections(),
-      index->tuples_per_vertex(), stats.preprocess_seconds);
+      index->tuples_per_vertex(), stats.preprocess_seconds,
+      stats.num_threads_used, stats.waves.size());
   return 0;
 }
 

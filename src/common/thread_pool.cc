@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ptldb {
+
+namespace {
+
+/// Index of the pool worker running the current thread, or -1 outside the
+/// pool. Each ThreadPool sets it for its own threads; pools are not nested.
+thread_local int32_t tls_worker_id = -1;
+
+}  // namespace
+
+uint32_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  uint32_t target;
+  if (tls_worker_id >= 0 &&
+      static_cast<uint32_t>(tls_worker_id) < workers_.size()) {
+    target = static_cast<uint32_t>(tls_worker_id);
+  } else {
+    target = static_cast<uint32_t>(
+        next_victim_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++wake_version_;
+  }
+  idle_cv_.notify_all();
+}
+
+std::function<void()> ThreadPool::FindTask(uint32_t id) {
+  {
+    Worker& own = *workers_[id];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  const uint32_t n = num_threads();
+  for (uint32_t d = 1; d < n; ++d) {
+    Worker& victim = *workers_[(id + d) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      auto task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::RunTask(std::function<void()> task) {
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last outstanding task: wake Wait(). The empty critical section orders
+    // the notify after any concurrent Wait() has started waiting.
+    { std::lock_guard<std::mutex> lock(idle_mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(uint32_t id) {
+  tls_worker_id = static_cast<int32_t>(id);
+  for (;;) {
+    if (auto task = FindTask(id)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    uint64_t seen;
+    {
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      if (stop_) return;
+      seen = wake_version_;
+    }
+    // A task may have arrived between the failed scan and recording the
+    // version; re-scan before sleeping so the wakeup cannot be missed.
+    if (auto task = FindTask(id)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] { return stop_ || wake_version_ != seen; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  done_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, const std::function<void(uint32_t, uint64_t)>& fn) {
+  if (n == 0) return;
+  // One drainer task per worker; iterations are claimed from a shared
+  // counter so uneven iteration costs balance across the pool.
+  auto next = std::make_shared<std::atomic<uint64_t>>(0);
+  const uint64_t drainers = std::min<uint64_t>(n, num_threads());
+  for (uint64_t d = 0; d < drainers; ++d) {
+    Submit([next, n, &fn] {
+      const uint32_t worker = static_cast<uint32_t>(tls_worker_id);
+      for (;;) {
+        const uint64_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(worker, i);
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace ptldb

@@ -1,0 +1,89 @@
+#ifndef PTLDB_COMMON_THREAD_POOL_H_
+#define PTLDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptldb {
+
+/// A small work-stealing thread pool used by the parallel TTL build and the
+/// derived-table construction (see DESIGN.md, "Wave-parallel preprocessing").
+///
+/// Each worker owns a deque: tasks submitted from that worker go to its
+/// back (LIFO, cache-friendly); idle workers steal from the front of a
+/// victim's deque (FIFO, oldest first). External submissions are spread
+/// round-robin. Scheduling order is nondeterministic by design — callers
+/// that need deterministic results must make their tasks commutative
+/// (write to disjoint slots) and sequence any order-dependent work
+/// themselves, which is exactly how the TTL wave merge uses it.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Schedules one task. Thread-safe; may be called from inside a task.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished. Must not be
+  /// called from inside a pool task.
+  void Wait();
+
+  /// Runs fn(worker, i) for every i in [0, n) across the pool and waits.
+  /// `worker` is the executing worker's index in [0, num_threads()), so
+  /// callers can keep per-worker scratch without locking. Iterations are
+  /// claimed dynamically; any iteration may run on any worker. Must not be
+  /// called from inside a pool task.
+  void ParallelFor(uint64_t n,
+                   const std::function<void(uint32_t, uint64_t)>& fn);
+
+  /// Tasks executed since construction / tasks obtained by stealing from
+  /// another worker's deque (a subset of executed()).
+  uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+  uint64_t stolen() const { return stolen_.load(std::memory_order_relaxed); }
+
+  /// One worker per hardware thread, at least 1.
+  static uint32_t DefaultThreadCount();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+    std::thread thread;
+  };
+
+  void WorkerLoop(uint32_t id);
+  /// Pops from own back, else steals from another front. Empty when idle.
+  std::function<void()> FindTask(uint32_t id);
+  void RunTask(std::function<void()> task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_victim_{0};  ///< Round-robin submit target.
+  std::atomic<uint64_t> pending_{0};      ///< Submitted but not finished.
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> stolen_{0};
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  ///< Wakes sleeping workers.
+  std::condition_variable done_cv_;  ///< Wakes Wait().
+  uint64_t wake_version_ = 0;        ///< Guarded by idle_mu_.
+  bool stop_ = false;                ///< Guarded by idle_mu_.
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_THREAD_POOL_H_

@@ -42,8 +42,8 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   if (bucket_seconds <= 0) {
     return Status::InvalidArgument("bucket width must be positive");
   }
-  PTLDB_RETURN_IF_ERROR(
-      BuildTargetSetTables(index, targets, kmax, name, &db_, bucket_seconds));
+  PTLDB_RETURN_IF_ERROR(BuildTargetSetTables(index, targets, kmax, name, &db_,
+                                             bucket_seconds, num_threads_));
   TargetSetInfo info;
   info.kmax = kmax;
   info.bucket_seconds = bucket_seconds;

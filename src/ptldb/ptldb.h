@@ -21,6 +21,10 @@ struct PtldbOptions {
   /// shared buffers — far above its dataset sizes — so the default is
   /// effectively unbounded.
   uint64_t buffer_pool_pages = 1u << 20;
+  /// Worker threads for building the derived kNN/OTM tables in
+  /// AddTargetSet (0 = one per hardware thread, 1 = serial). Purely a
+  /// speed knob: the loaded tables are identical for every value.
+  uint32_t num_threads = 1;
 };
 
 /// The PTLDB system of the paper: TTL labels stored in database tables plus
@@ -125,7 +129,8 @@ class PtldbDatabase {
  private:
   explicit PtldbDatabase(const PtldbOptions& options)
       : db_(options.device, options.buffer_pool_pages),
-        device_(db_.device()) {}
+        device_(db_.device()),
+        num_threads_(options.num_threads) {}
 
   Result<const TargetSetInfo*> ValidateSet(const std::string& set_name,
                                            uint32_t k) const;
@@ -146,6 +151,7 @@ class PtldbDatabase {
 
   EngineDatabase db_;
   StorageDevice* device_;
+  uint32_t num_threads_ = 1;  ///< Workers for derived-table construction.
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
   std::map<std::string, TargetSetInfo> target_sets_;

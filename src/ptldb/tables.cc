@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <tuple>
 
+#include "common/thread_pool.h"
 #include "common/time_util.h"
 
 namespace ptldb {
@@ -89,6 +91,165 @@ std::vector<std::pair<Timestamp, int32_t>> TopEntries(
   return entries;
 }
 
+// Rows of the five derived tables for one hub group. Each hub's rows only
+// depend on that hub's tuples, so groups build independently (in parallel
+// when requested) and concatenate in hub order for a deterministic load.
+struct GroupRows {
+  std::vector<std::pair<IndexKey, Row>> naive;
+  std::vector<std::pair<IndexKey, Row>> knn_ea;
+  std::vector<std::pair<IndexKey, Row>> knn_ld;
+  std::vector<std::pair<IndexKey, Row>> otm_ea;
+  std::vector<std::pair<IndexKey, Row>> otm_ld;
+};
+
+GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
+                            const BucketRange& hours, uint32_t kmax,
+                            Timestamp bucket_seconds) {
+  GroupRows rows;
+
+  // ---- knn_naive rows: one per distinct (hub, td). ----
+  {
+    size_t i = 0;
+    while (i < by_td.size()) {
+      size_t j = i;
+      while (j < by_td.size() && by_td[j].td == by_td[i].td) ++j;
+      // Per distinct target keep its earliest arrival within the group.
+      std::map<int32_t, Timestamp> best;
+      for (size_t k = i; k < j; ++k) {
+        const auto [it, inserted] = best.emplace(by_td[k].v, by_td[k].ta);
+        if (!inserted) it->second = std::min(it->second, by_td[k].ta);
+      }
+      const auto top = TopEntries(best, /*ascending=*/true, kmax);
+      std::vector<int32_t> vs;
+      std::vector<int32_t> tas;
+      for (const auto& [ta, v] : top) {
+        vs.push_back(v);
+        tas.push_back(ta);
+      }
+      rows.naive.emplace_back(
+          MakeCompositeKey(hub, by_td[i].td),
+          Row{Value(hub), Value(by_td[i].td), Value(std::move(vs)),
+              Value(std::move(tas))});
+      i = j;
+    }
+  }
+
+  // ---- EA hour buckets (knn_ea + otm_ea). ----
+  {
+    const int32_t max_hour = by_td.back().td / bucket_seconds;
+    // Condensed entries per hour, computed high-to-low by sweeping the
+    // td-sorted group from the back.
+    std::map<int32_t, Timestamp> best;  // target -> earliest arrival.
+    std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> knn_cond;
+    std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> otm_cond;
+    size_t cursor = by_td.size();
+    for (int32_t hour = max_hour; hour >= hours.min_bucket; --hour) {
+      const Timestamp boundary = (hour + 1) * bucket_seconds;
+      while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
+        const TargetTuple& t = by_td[cursor - 1];
+        const auto [it, inserted] = best.emplace(t.v, t.ta);
+        if (!inserted) it->second = std::min(it->second, t.ta);
+        --cursor;
+      }
+      knn_cond[hour] = TopEntries(best, true, kmax);
+      otm_cond[hour] = TopEntries(best, true, 0);
+    }
+    // Emit rows in ascending hour order.
+    size_t exp_cursor = 0;
+    for (int32_t hour = hours.min_bucket; hour <= max_hour; ++hour) {
+      const Timestamp lo = hour * bucket_seconds;
+      const Timestamp hi = lo + bucket_seconds;
+      while (exp_cursor < by_td.size() && by_td[exp_cursor].td < lo) {
+        ++exp_cursor;
+      }
+      std::vector<int32_t> tds_exp;
+      std::vector<int32_t> vs_exp;
+      std::vector<int32_t> tas_exp;
+      for (size_t k = exp_cursor; k < by_td.size() && by_td[k].td < hi; ++k) {
+        tds_exp.push_back(by_td[k].td);
+        vs_exp.push_back(by_td[k].v);
+        tas_exp.push_back(by_td[k].ta);
+      }
+      const auto emit =
+          [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
+              std::vector<std::pair<IndexKey, Row>>* out) {
+            std::vector<int32_t> vs;
+            std::vector<int32_t> tas;
+            for (const auto& [ta, v] : condensed) {
+              vs.push_back(v);
+              tas.push_back(ta);
+            }
+            out->emplace_back(
+                MakeCompositeKey(hub, hour),
+                Row{Value(hub), Value(hour), Value(std::move(vs)),
+                    Value(std::move(tas)), Value(tds_exp), Value(vs_exp),
+                    Value(tas_exp)});
+          };
+      emit(knn_cond[hour], &rows.knn_ea);
+      emit(otm_cond[hour], &rows.otm_ea);
+    }
+  }
+
+  // ---- LD hour buckets (knn_ld + otm_ld). ----
+  {
+    std::vector<TargetTuple> by_ta(by_td.begin(), by_td.end());
+    std::sort(by_ta.begin(), by_ta.end(),
+              [](const TargetTuple& a, const TargetTuple& b) {
+                return std::tie(a.ta, a.td, a.v) < std::tie(b.ta, b.td, b.v);
+              });
+    const int32_t min_hour = by_ta.front().ta / bucket_seconds;
+    std::map<int32_t, Timestamp> best;  // target -> latest departure.
+    size_t cursor = 0;
+    for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
+      const Timestamp lo = hour * bucket_seconds;
+      const Timestamp hi = lo + bucket_seconds;
+      // Condensed: tuples arriving strictly before this hour.
+      while (cursor < by_ta.size() && by_ta[cursor].ta < lo) {
+        const TargetTuple& t = by_ta[cursor];
+        const auto [it, inserted] = best.emplace(t.v, t.td);
+        if (!inserted) it->second = std::max(it->second, t.td);
+        ++cursor;
+      }
+      // Expanded: tuples arriving within [lo, hi), ordered by td.
+      std::vector<TargetTuple> exp;
+      for (size_t k = cursor; k < by_ta.size() && by_ta[k].ta < hi; ++k) {
+        exp.push_back(by_ta[k]);
+      }
+      std::sort(exp.begin(), exp.end(),
+                [](const TargetTuple& a, const TargetTuple& b) {
+                  return std::tie(a.td, a.ta, a.v) < std::tie(b.td, b.ta, b.v);
+                });
+      std::vector<int32_t> tds_exp;
+      std::vector<int32_t> vs_exp;
+      std::vector<int32_t> tas_exp;
+      for (const TargetTuple& t : exp) {
+        tds_exp.push_back(t.td);
+        vs_exp.push_back(t.v);
+        tas_exp.push_back(t.ta);
+      }
+      const auto emit =
+          [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
+              std::vector<std::pair<IndexKey, Row>>* out) {
+            std::vector<int32_t> vs;
+            std::vector<int32_t> tds;
+            for (const auto& [td, v] : condensed) {
+              vs.push_back(v);
+              tds.push_back(td);
+            }
+            out->emplace_back(
+                MakeCompositeKey(hub, hour),
+                Row{Value(hub), Value(hour), Value(std::move(vs)),
+                    Value(std::move(tds)), Value(tds_exp), Value(vs_exp),
+                    Value(tas_exp)});
+          };
+      emit(TopEntries(best, false, kmax), &rows.knn_ld);
+      emit(TopEntries(best, false, 0), &rows.otm_ld);
+    }
+  }
+
+  return rows;
+}
+
 }  // namespace
 
 Status BuildLabelTables(const TtlIndex& index, EngineDatabase* db) {
@@ -122,7 +283,8 @@ BucketRange ComputeBucketRange(const TtlIndex& index,
 Status BuildTargetSetTables(const TtlIndex& index,
                             const std::vector<StopId>& targets,
                             uint32_t kmax, const std::string& set_name,
-                            EngineDatabase* db, Timestamp bucket_seconds) {
+                            EngineDatabase* db, Timestamp bucket_seconds,
+                            uint32_t num_threads) {
   if (kmax == 0) return Status::InvalidArgument("kmax must be positive");
   if (bucket_seconds <= 0) {
     return Status::InvalidArgument("bucket width must be positive");
@@ -165,173 +327,61 @@ Status BuildTargetSetTables(const TtlIndex& index,
     if (!t->ok()) return t->status();
   }
 
-  std::vector<std::pair<IndexKey, Row>> naive_rows;
-  std::vector<std::pair<IndexKey, Row>> knn_ea_rows;
-  std::vector<std::pair<IndexKey, Row>> knn_ld_rows;
-  std::vector<std::pair<IndexKey, Row>> otm_ea_rows;
-  std::vector<std::pair<IndexKey, Row>> otm_ld_rows;
-
+  // Hub-group boundaries in the sorted tuple vector.
+  struct Group {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Group> groups;
   size_t group_begin = 0;
   while (group_begin < tuples.size()) {
-    const int32_t hub = tuples[group_begin].hub;
     size_t group_end = group_begin;
-    while (group_end < tuples.size() && tuples[group_end].hub == hub) {
+    while (group_end < tuples.size() &&
+           tuples[group_end].hub == tuples[group_begin].hub) {
       ++group_end;
     }
-    const std::span<const TargetTuple> by_td{tuples.data() + group_begin,
-                                             tuples.data() + group_end};
-
-    // ---- knn_naive rows: one per distinct (hub, td). ----
-    {
-      size_t i = 0;
-      while (i < by_td.size()) {
-        size_t j = i;
-        while (j < by_td.size() && by_td[j].td == by_td[i].td) ++j;
-        // Per distinct target keep its earliest arrival within the group.
-        std::map<int32_t, Timestamp> best;
-        for (size_t k = i; k < j; ++k) {
-          const auto [it, inserted] = best.emplace(by_td[k].v, by_td[k].ta);
-          if (!inserted) it->second = std::min(it->second, by_td[k].ta);
-        }
-        const auto top = TopEntries(best, /*ascending=*/true, kmax);
-        std::vector<int32_t> vs;
-        std::vector<int32_t> tas;
-        for (const auto& [ta, v] : top) {
-          vs.push_back(v);
-          tas.push_back(ta);
-        }
-        naive_rows.emplace_back(
-            MakeCompositeKey(hub, by_td[i].td),
-            Row{Value(hub), Value(by_td[i].td), Value(std::move(vs)),
-                Value(std::move(tas))});
-        i = j;
-      }
-    }
-
-    // ---- EA hour buckets (knn_ea + otm_ea). ----
-    {
-      const int32_t max_hour = by_td.back().td / bucket_seconds;
-      // Condensed entries per hour, computed high-to-low by sweeping the
-      // td-sorted group from the back.
-      std::map<int32_t, Timestamp> best;  // target -> earliest arrival.
-      std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> knn_cond;
-      std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> otm_cond;
-      size_t cursor = by_td.size();
-      for (int32_t hour = max_hour; hour >= hours.min_bucket; --hour) {
-        const Timestamp boundary = (hour + 1) * bucket_seconds;
-        while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
-          const TargetTuple& t = by_td[cursor - 1];
-          const auto [it, inserted] = best.emplace(t.v, t.ta);
-          if (!inserted) it->second = std::min(it->second, t.ta);
-          --cursor;
-        }
-        knn_cond[hour] = TopEntries(best, true, kmax);
-        otm_cond[hour] = TopEntries(best, true, 0);
-      }
-      // Emit rows in ascending hour order.
-      size_t exp_cursor = 0;
-      for (int32_t hour = hours.min_bucket; hour <= max_hour; ++hour) {
-        const Timestamp lo = hour * bucket_seconds;
-        const Timestamp hi = lo + bucket_seconds;
-        while (exp_cursor < by_td.size() && by_td[exp_cursor].td < lo) {
-          ++exp_cursor;
-        }
-        std::vector<int32_t> tds_exp;
-        std::vector<int32_t> vs_exp;
-        std::vector<int32_t> tas_exp;
-        for (size_t k = exp_cursor; k < by_td.size() && by_td[k].td < hi;
-             ++k) {
-          tds_exp.push_back(by_td[k].td);
-          vs_exp.push_back(by_td[k].v);
-          tas_exp.push_back(by_td[k].ta);
-        }
-        const auto emit = [&](const std::vector<std::pair<Timestamp, int32_t>>&
-                                  condensed,
-                              std::vector<std::pair<IndexKey, Row>>* out) {
-          std::vector<int32_t> vs;
-          std::vector<int32_t> tas;
-          for (const auto& [ta, v] : condensed) {
-            vs.push_back(v);
-            tas.push_back(ta);
-          }
-          out->emplace_back(
-              MakeCompositeKey(hub, hour),
-              Row{Value(hub), Value(hour), Value(std::move(vs)),
-                  Value(std::move(tas)), Value(tds_exp), Value(vs_exp),
-                  Value(tas_exp)});
-        };
-        emit(knn_cond[hour], &knn_ea_rows);
-        emit(otm_cond[hour], &otm_ea_rows);
-      }
-    }
-
-    // ---- LD hour buckets (knn_ld + otm_ld). ----
-    {
-      std::vector<TargetTuple> by_ta(by_td.begin(), by_td.end());
-      std::sort(by_ta.begin(), by_ta.end(),
-                [](const TargetTuple& a, const TargetTuple& b) {
-                  return std::tie(a.ta, a.td, a.v) <
-                         std::tie(b.ta, b.td, b.v);
-                });
-      const int32_t min_hour = by_ta.front().ta / bucket_seconds;
-      std::map<int32_t, Timestamp> best;  // target -> latest departure.
-      size_t cursor = 0;
-      for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
-        const Timestamp lo = hour * bucket_seconds;
-        const Timestamp hi = lo + bucket_seconds;
-        // Condensed: tuples arriving strictly before this hour.
-        while (cursor < by_ta.size() && by_ta[cursor].ta < lo) {
-          const TargetTuple& t = by_ta[cursor];
-          const auto [it, inserted] = best.emplace(t.v, t.td);
-          if (!inserted) it->second = std::max(it->second, t.td);
-          ++cursor;
-        }
-        // Expanded: tuples arriving within [lo, hi), ordered by td.
-        std::vector<TargetTuple> exp;
-        for (size_t k = cursor; k < by_ta.size() && by_ta[k].ta < hi; ++k) {
-          exp.push_back(by_ta[k]);
-        }
-        std::sort(exp.begin(), exp.end(),
-                  [](const TargetTuple& a, const TargetTuple& b) {
-                    return std::tie(a.td, a.ta, a.v) <
-                           std::tie(b.td, b.ta, b.v);
-                  });
-        std::vector<int32_t> tds_exp;
-        std::vector<int32_t> vs_exp;
-        std::vector<int32_t> tas_exp;
-        for (const TargetTuple& t : exp) {
-          tds_exp.push_back(t.td);
-          vs_exp.push_back(t.v);
-          tas_exp.push_back(t.ta);
-        }
-        const auto emit =
-            [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
-                std::vector<std::pair<IndexKey, Row>>* out) {
-              std::vector<int32_t> vs;
-              std::vector<int32_t> tds;
-              for (const auto& [td, v] : condensed) {
-                vs.push_back(v);
-                tds.push_back(td);
-              }
-              out->emplace_back(
-                  MakeCompositeKey(hub, hour),
-                  Row{Value(hub), Value(hour), Value(std::move(vs)),
-                      Value(std::move(tds)), Value(tds_exp), Value(vs_exp),
-                      Value(tas_exp)});
-            };
-        emit(TopEntries(best, false, kmax), &knn_ld_rows);
-        emit(TopEntries(best, false, 0), &otm_ld_rows);
-      }
-    }
-
+    groups.push_back({group_begin, group_end});
     group_begin = group_end;
   }
 
-  PTLDB_RETURN_IF_ERROR((*naive)->BulkLoad(std::move(naive_rows)));
-  PTLDB_RETURN_IF_ERROR((*knn_ea)->BulkLoad(std::move(knn_ea_rows)));
-  PTLDB_RETURN_IF_ERROR((*knn_ld)->BulkLoad(std::move(knn_ld_rows)));
-  PTLDB_RETURN_IF_ERROR((*otm_ea)->BulkLoad(std::move(otm_ea_rows)));
-  return (*otm_ld)->BulkLoad(std::move(otm_ld_rows));
+  // Each group's rows depend only on its own tuples, so groups build in
+  // parallel into disjoint slots; concatenating in group (= hub) order
+  // makes the loaded tables independent of the thread count.
+  std::vector<GroupRows> per_group(groups.size());
+  const auto build_group = [&](size_t g) {
+    const std::span<const TargetTuple> by_td{tuples.data() + groups[g].begin,
+                                             tuples.data() + groups[g].end};
+    per_group[g] =
+        BuildHubGroupRows(by_td, by_td.front().hub, hours, kmax,
+                          bucket_seconds);
+  };
+  if (num_threads != 1 && groups.size() > 1) {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(groups.size(),
+                     [&](uint32_t, uint64_t g) { build_group(g); });
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) build_group(g);
+  }
+
+  GroupRows all;
+  for (GroupRows& rows : per_group) {
+    const auto append = [](std::vector<std::pair<IndexKey, Row>>* dst,
+                           std::vector<std::pair<IndexKey, Row>>* src) {
+      dst->insert(dst->end(), std::make_move_iterator(src->begin()),
+                  std::make_move_iterator(src->end()));
+    };
+    append(&all.naive, &rows.naive);
+    append(&all.knn_ea, &rows.knn_ea);
+    append(&all.knn_ld, &rows.knn_ld);
+    append(&all.otm_ea, &rows.otm_ea);
+    append(&all.otm_ld, &rows.otm_ld);
+  }
+
+  PTLDB_RETURN_IF_ERROR((*naive)->BulkLoad(std::move(all.naive)));
+  PTLDB_RETURN_IF_ERROR((*knn_ea)->BulkLoad(std::move(all.knn_ea)));
+  PTLDB_RETURN_IF_ERROR((*knn_ld)->BulkLoad(std::move(all.knn_ld)));
+  PTLDB_RETURN_IF_ERROR((*otm_ea)->BulkLoad(std::move(all.otm_ea)));
+  return (*otm_ld)->BulkLoad(std::move(all.otm_ld));
 }
 
 }  // namespace ptldb

@@ -52,12 +52,15 @@ BucketRange ComputeBucketRange(const TtlIndex& index,
 ///   otm_ea_<set>    (hub, dephour) -> best entry per target instead of top-k
 ///   otm_ld_<set>    (hub, arrhour) -> symmetric
 /// `bucket_seconds` is the grouping interval for the (hub, hour) tables
-/// (3600 in the paper).
+/// (3600 in the paper). `num_threads` parallelizes the per-hub row
+/// construction (0 = one per hardware thread, 1 = serial); the loaded
+/// tables are identical for every value.
 Status BuildTargetSetTables(const TtlIndex& index,
                             const std::vector<StopId>& targets,
                             uint32_t kmax, const std::string& set_name,
                             EngineDatabase* db,
-                            Timestamp bucket_seconds = kSecondsPerHour);
+                            Timestamp bucket_seconds = kSecondsPerHour,
+                            uint32_t num_threads = 1);
 
 }  // namespace ptldb
 

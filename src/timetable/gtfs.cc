@@ -44,6 +44,26 @@ struct Frequency {
   Timestamp headway = 0;
 };
 
+// Parses "YYYYMMDD" into (year, month, day); false on malformed input.
+bool ParseGtfsDate(const std::string& date, int* y, int* m, int* d) {
+  if (date.size() != 8) return false;
+  for (const char c : date) {
+    if (c < '0' || c > '9') return false;
+  }
+  *y = std::stoi(date.substr(0, 4));
+  *m = std::stoi(date.substr(4, 2));
+  *d = std::stoi(date.substr(6, 2));
+  return *m >= 1 && *m <= 12 && *d >= 1 && *d <= 31;
+}
+
+// Sakamoto's day-of-week, mapped onto the Weekday enum (Monday = 0).
+Weekday WeekdayOfDate(int y, int m, int d) {
+  static const int t[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  if (m < 3) y -= 1;
+  const int sunday0 = (y + y / 4 - y / 100 + y / 400 + t[m - 1] + d) % 7;
+  return static_cast<Weekday>((sunday0 + 6) % 7);
+}
+
 }  // namespace
 
 Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
@@ -77,17 +97,50 @@ Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
     out.stop_ids.push_back(id);
   }
 
-  // --- calendar.txt (optional): services active on the requested day ---
+  // --- calendar.txt / calendar_dates.txt (optional): active services ---
+  Weekday weekday = options.weekday;
+  if (!options.service_date.empty()) {
+    int y, m, d;
+    if (!ParseGtfsDate(options.service_date, &y, &m, &d)) {
+      return Status::InvalidArgument("bad service_date (want YYYYMMDD): " +
+                                     options.service_date);
+    }
+    weekday = WeekdayOfDate(y, m, d);
+  }
   std::unordered_set<std::string> active_services;
   bool have_calendar = false;
   if (fs::exists(path("calendar.txt"))) {
     auto calendar = CsvTable::ParseFile(path("calendar.txt"));
     if (!calendar.ok()) return calendar.status();
     have_calendar = true;
-    const char* column = WeekdayColumn(options.weekday);
+    const char* column = WeekdayColumn(weekday);
     for (size_t r = 0; r < calendar->num_rows(); ++r) {
-      if (calendar->Field(r, column) == "1") {
-        active_services.insert(calendar->Field(r, "service_id"));
+      if (calendar->Field(r, column) != "1") continue;
+      if (!options.service_date.empty()) {
+        // start_date/end_date are fixed-width YYYYMMDD, so string
+        // comparison orders correctly; an absent column reads as "".
+        const std::string& start = calendar->Field(r, "start_date");
+        const std::string& end = calendar->Field(r, "end_date");
+        if (!start.empty() && options.service_date < start) continue;
+        if (!end.empty() && options.service_date > end) continue;
+      }
+      active_services.insert(calendar->Field(r, "service_id"));
+    }
+  }
+  if (!options.service_date.empty() && fs::exists(path("calendar_dates.txt"))) {
+    auto exceptions = CsvTable::ParseFile(path("calendar_dates.txt"));
+    if (!exceptions.ok()) return exceptions.status();
+    have_calendar = true;  // A feed may define services by exceptions only.
+    for (size_t r = 0; r < exceptions->num_rows(); ++r) {
+      if (exceptions->Field(r, "date") != options.service_date) continue;
+      const std::string& service = exceptions->Field(r, "service_id");
+      const std::string& type = exceptions->Field(r, "exception_type");
+      if (type == "1") {
+        active_services.insert(service);
+      } else if (type == "2") {
+        active_services.erase(service);
+      } else {
+        return Status::Corruption("bad exception_type in calendar_dates.txt");
       }
     }
   }

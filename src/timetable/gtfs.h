@@ -27,6 +27,15 @@ struct GtfsOptions {
   /// Service day to extract; trips whose service is inactive are skipped.
   /// When the feed has no calendar.txt every trip is kept.
   Weekday weekday = Weekday::kTuesday;
+  /// Concrete service date as "YYYYMMDD" (e.g. "20240312"). When set it
+  /// takes precedence over `weekday` (the weekday is derived from the
+  /// date), calendar.txt rows are additionally checked against their
+  /// start_date/end_date window, and calendar_dates.txt exceptions are
+  /// applied: exception_type 1 adds the service on that date, 2 removes
+  /// it. A feed may define services via calendar_dates.txt alone. When
+  /// empty, only `weekday` is consulted and calendar_dates.txt is ignored
+  /// (date exceptions are meaningless without a date).
+  std::string service_date = {};
   /// GTFS feeds occasionally contain stop_time pairs with non-increasing
   /// times; when true such connections are silently dropped (counted in
   /// GtfsLoadResult::dropped_connections), otherwise loading fails.
@@ -47,8 +56,9 @@ struct GtfsLoadResult {
 };
 
 /// Loads a GTFS feed from a directory containing at least stops.txt,
-/// trips.txt and stop_times.txt. calendar.txt (service days) and
-/// frequencies.txt (headway-expanded trips) are honored when present.
+/// trips.txt and stop_times.txt. calendar.txt (service days),
+/// calendar_dates.txt (per-date exceptions; needs GtfsOptions::service_date)
+/// and frequencies.txt (headway-expanded trips) are honored when present.
 /// All parsing is done manually (no third-party GTFS library).
 Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
                                 const GtfsOptions& options = {});

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace ptldb {
 
 namespace {
+
+// Hubs per wave once the doubling ramp-up is over (see WavePartition).
+constexpr uint32_t kDefaultWaveCap = 64;
 
 // A reached Pareto pair during a profile scan, with the connection that
 // starts (backward scan) or ends (forward scan) the journey.
@@ -15,6 +21,21 @@ struct ScanEntry {
   Timestamp dep = 0;
   Timestamp arr = 0;
   ConnectionId conn = kInvalidConnection;
+};
+
+// One label tuple produced by a hub scan, waiting for the rank-order merge.
+struct Candidate {
+  StopId stop = kInvalidStop;  ///< The lower-ranked stop the tuple lands on.
+  LabelTuple tuple;
+};
+
+// Everything one hub's scans emit: lout/lin candidates in emission order
+// (the order the serial builder would have appended them) plus the number
+// of Pareto pairs the scans pruned against the wave snapshot.
+struct HubCandidates {
+  std::vector<Candidate> out;
+  std::vector<Candidate> in;
+  uint64_t scan_pruned = 0;
 };
 
 // Contiguous (hub -> tuple range) index over one stop's label vector.
@@ -61,115 +82,105 @@ uint32_t FirstDepartingNotBefore(const std::vector<LabelTuple>& tuples,
   return begin;
 }
 
-class TtlConstruction {
- public:
-  TtlConstruction(const Timetable& tt, const TtlBuildOptions& options,
-                  std::vector<StopId> order)
-      : tt_(tt),
-        options_(options),
-        order_(std::move(order)),
-        rank_(RanksFromOrder(order_)),
-        lout_(tt.num_stops()),
-        lin_(tt.num_stops()),
-        scan_lists_(tt.num_stops()) {}
-
-  TtlIndex Run(TtlBuildStats* stats) {
-    for (const StopId hub : order_) {
-      in_hub_index_.Build(lin_[hub]);
-      out_hub_index_.Build(lout_[hub]);
-      BackwardScan(hub);
-      ForwardScan(hub);
-    }
-    TtlIndex index;
-    index.order = order_;
-    index.rank = rank_;
-    index.out = LabelSet(tt_.num_stops());
-    index.in = LabelSet(tt_.num_stops());
-    if (stats != nullptr) {
-      stats->pruned_candidates = pruned_;
-      stats->out_tuples = 0;
-      stats->in_tuples = 0;
-      for (StopId v = 0; v < tt_.num_stops(); ++v) {
-        stats->out_tuples += lout_[v].size();
-        stats->in_tuples += lin_[v].size();
+// Does an existing-label query certify EA(v -> hub, dep >= td) <= ta?
+// `in_h` is L_in(hub) with `in_hub_index` built over it; `lout` is the
+// label state the certificate may draw from. Never consults tuples whose
+// hub is the one being certified against, so the predicate gives the same
+// answer whether it runs mid-scan (serial) or at merge time (wave build).
+bool CoveredOut(const std::vector<std::vector<LabelTuple>>& lout,
+                const std::vector<LabelTuple>& in_h,
+                const HubRangeIndex& in_hub_index, StopId v, Timestamp td,
+                Timestamp ta) {
+  // Direct case: a v -> hub journey already recorded in L_in(hub).
+  {
+    const auto [b, e] = in_hub_index.Find(v);
+    const uint32_t i = FirstDepartingNotBefore(in_h, b, e, td);
+    if (i < e && in_h[i].ta <= ta) return true;
+  }
+  // Join case: v -> w (L_out(v)) chained with w -> hub (L_in(hub)).
+  const auto& out_v = lout[v];
+  size_t i = 0;
+  while (i < out_v.size()) {
+    const StopId w = out_v[i].hub;
+    size_t j = i;
+    while (j < out_v.size() && out_v[j].hub == w) ++j;
+    const uint32_t l1 = FirstDepartingNotBefore(
+        out_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j), td);
+    if (l1 < j) {
+      const auto [b, e] = in_hub_index.Find(w);
+      if (b != e) {
+        const uint32_t l2 = FirstDepartingNotBefore(in_h, b, e, out_v[l1].ta);
+        if (l2 < e && in_h[l2].ta <= ta) return true;
       }
     }
-    for (StopId v = 0; v < tt_.num_stops(); ++v) {
-      index.out.mutable_tuples(v) = std::move(lout_[v]);
-      index.in.mutable_tuples(v) = std::move(lin_[v]);
+    i = j;
+  }
+  return false;
+}
+
+// Does an existing-label query certify EA(hub -> v, dep >= td) <= ta?
+bool CoveredIn(const std::vector<std::vector<LabelTuple>>& lin,
+               const std::vector<LabelTuple>& out_h,
+               const HubRangeIndex& out_hub_index, StopId v, Timestamp td,
+               Timestamp ta) {
+  // Direct case: a hub -> v journey already recorded in L_out(hub).
+  {
+    const auto [b, e] = out_hub_index.Find(v);
+    const uint32_t i = FirstDepartingNotBefore(out_h, b, e, td);
+    if (i < e && out_h[i].ta <= ta) return true;
+  }
+  // Join case: hub -> w (L_out(hub)) chained with w -> v (L_in(v)).
+  const auto& in_v = lin[v];
+  size_t i = 0;
+  while (i < in_v.size()) {
+    const StopId w = in_v[i].hub;
+    size_t j = i;
+    while (j < in_v.size() && in_v[j].hub == w) ++j;
+    const auto [b, e] = out_hub_index.Find(w);
+    if (b != e) {
+      const uint32_t l1 = FirstDepartingNotBefore(out_h, b, e, td);
+      if (l1 < e) {
+        const uint32_t l2 = FirstDepartingNotBefore(
+            in_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+            out_h[l1].ta);
+        if (l2 < j && in_v[l2].ta <= ta) return true;
+      }
     }
-    index.out.SortTuples();
-    index.in.SortTuples();
-    return index;
+    i = j;
+  }
+  return false;
+}
+
+// One hub's forward/backward profile scans against an immutable label
+// snapshot. Each worker thread owns one HubScan so the O(|V|) scratch is
+// allocated once per worker, not once per hub. The referenced label state
+// must not change while Run() executes — the wave driver guarantees scans
+// only run between merges.
+class HubScan {
+ public:
+  HubScan(const Timetable& tt, bool prune, const std::vector<uint32_t>& rank,
+          const std::vector<std::vector<LabelTuple>>& lout,
+          const std::vector<std::vector<LabelTuple>>& lin)
+      : tt_(tt),
+        prune_(prune),
+        rank_(rank),
+        lout_(lout),
+        lin_(lin),
+        scan_lists_(tt.num_stops()) {}
+
+  HubCandidates Run(StopId hub) {
+    HubCandidates result;
+    in_hub_index_.Build(lin_[hub]);
+    out_hub_index_.Build(lout_[hub]);
+    BackwardScan(hub, &result);
+    ForwardScan(hub, &result);
+    return result;
   }
 
  private:
-  // Does an existing-label query certify EA(v -> hub, dep >= td) <= ta?
-  // `hub` is the hub currently being processed; its per-hub index over
-  // L_in(hub) is in in_hub_index_.
-  bool CoveredOut(StopId v, StopId hub, Timestamp td, Timestamp ta) const {
-    const auto& in_h = lin_[hub];
-    // Direct case: a v -> hub journey already recorded in L_in(hub).
-    {
-      const auto [b, e] = in_hub_index_.Find(v);
-      const uint32_t i = FirstDepartingNotBefore(in_h, b, e, td);
-      if (i < e && in_h[i].ta <= ta) return true;
-    }
-    // Join case: v -> w (L_out(v)) chained with w -> hub (L_in(hub)).
-    const auto& out_v = lout_[v];
-    size_t i = 0;
-    while (i < out_v.size()) {
-      const StopId w = out_v[i].hub;
-      size_t j = i;
-      while (j < out_v.size() && out_v[j].hub == w) ++j;
-      const uint32_t l1 = FirstDepartingNotBefore(
-          out_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j), td);
-      if (l1 < j) {
-        const auto [b, e] = in_hub_index_.Find(w);
-        if (b != e) {
-          const uint32_t l2 = FirstDepartingNotBefore(in_h, b, e, out_v[l1].ta);
-          if (l2 < e && in_h[l2].ta <= ta) return true;
-        }
-      }
-      i = j;
-    }
-    return false;
-  }
-
-  // Does an existing-label query certify EA(hub -> v, dep >= td) <= ta?
-  bool CoveredIn(StopId v, StopId hub, Timestamp td, Timestamp ta) const {
-    const auto& out_h = lout_[hub];
-    // Direct case: a hub -> v journey already recorded in L_out(hub).
-    {
-      const auto [b, e] = out_hub_index_.Find(v);
-      const uint32_t i = FirstDepartingNotBefore(out_h, b, e, td);
-      if (i < e && out_h[i].ta <= ta) return true;
-    }
-    // Join case: hub -> w (L_out(hub)) chained with w -> v (L_in(v)).
-    const auto& in_v = lin_[v];
-    size_t i = 0;
-    while (i < in_v.size()) {
-      const StopId w = in_v[i].hub;
-      size_t j = i;
-      while (j < in_v.size() && in_v[j].hub == w) ++j;
-      const auto [b, e] = out_hub_index_.Find(w);
-      if (b != e) {
-        const uint32_t l1 = FirstDepartingNotBefore(out_h, b, e, td);
-        if (l1 < e) {
-          const uint32_t l2 = FirstDepartingNotBefore(
-              in_v, static_cast<uint32_t>(i), static_cast<uint32_t>(j),
-              out_h[l1].ta);
-          if (l2 < j && in_v[l2].ta <= ta) return true;
-        }
-      }
-      i = j;
-    }
-    return false;
-  }
-
   // Backward profile scan from `hub`: Pareto journeys v -> hub. Entries at
   // each stop accumulate in descending-dep (and descending-arr) order.
-  void BackwardScan(StopId hub) {
+  void BackwardScan(StopId hub, HubCandidates* result) {
     const auto conns = tt_.connections();
     for (size_t i = conns.size(); i-- > 0;) {
       const Connection& c = conns[i];
@@ -191,31 +202,33 @@ class TtlConstruction {
       auto& at_from = scan_lists_[c.from];
       if (!at_from.empty() && at_from.back().dep == c.dep) {
         if (arr_h >= at_from.back().arr) continue;  // Dominated.
-        if (options_.prune && CoveredOut(c.from, hub, c.dep, arr_h)) {
-          ++pruned_;
+        if (prune_ && CoveredOut(lout_, lin_[hub], in_hub_index_, c.from,
+                                 c.dep, arr_h)) {
+          ++result->scan_pruned;
           continue;
         }
         at_from.back() = {c.dep, arr_h, static_cast<ConnectionId>(i)};
         continue;
       }
       if (!at_from.empty() && at_from.back().arr <= arr_h) continue;
-      if (options_.prune && CoveredOut(c.from, hub, c.dep, arr_h)) {
-        ++pruned_;
+      if (prune_ && CoveredOut(lout_, lin_[hub], in_hub_index_, c.from, c.dep,
+                               arr_h)) {
+        ++result->scan_pruned;
         continue;
       }
       if (at_from.empty()) touched_.push_back(c.from);
       at_from.push_back({c.dep, arr_h, static_cast<ConnectionId>(i)});
     }
 
-    // Emit L_out tuples at lower-ranked stops (ascending td within the
+    // Emit L_out candidates at lower-ranked stops (ascending td within the
     // hub's run, i.e. reversed scan order).
     for (const StopId v : touched_) {
       auto& list = scan_lists_[v];
       if (rank_[v] > rank_[hub]) {
         for (size_t k = list.size(); k-- > 0;) {
           const Connection& first = tt_.connection(list[k].conn);
-          lout_[v].push_back(
-              {hub, list[k].dep, list[k].arr, first.to, first.trip});
+          result->out.push_back(
+              {v, {hub, list[k].dep, list[k].arr, first.to, first.trip}});
         }
       }
       list.clear();
@@ -225,7 +238,7 @@ class TtlConstruction {
 
   // Forward profile scan from `hub`: Pareto journeys hub -> v. Entries at
   // each stop accumulate in ascending-arr (and ascending-dep) order.
-  void ForwardScan(StopId hub) {
+  void ForwardScan(StopId hub, HubCandidates* result) {
     for (const ConnectionId id : tt_.by_arrival()) {
       const Connection& c = tt_.connection(id);
       if (c.to == hub) continue;  // No self labels / round trips.
@@ -246,29 +259,32 @@ class TtlConstruction {
       auto& at_to = scan_lists_[c.to];
       if (!at_to.empty() && at_to.back().arr == c.arr) {
         if (dep_h <= at_to.back().dep) continue;  // Dominated.
-        if (options_.prune && CoveredIn(c.to, hub, dep_h, c.arr)) {
-          ++pruned_;
+        if (prune_ && CoveredIn(lin_, lout_[hub], out_hub_index_, c.to, dep_h,
+                                c.arr)) {
+          ++result->scan_pruned;
           continue;
         }
         at_to.back() = {dep_h, c.arr, id};
         continue;
       }
       if (!at_to.empty() && at_to.back().dep >= dep_h) continue;
-      if (options_.prune && CoveredIn(c.to, hub, dep_h, c.arr)) {
-        ++pruned_;
+      if (prune_ && CoveredIn(lin_, lout_[hub], out_hub_index_, c.to, dep_h,
+                              c.arr)) {
+        ++result->scan_pruned;
         continue;
       }
       if (at_to.empty()) touched_.push_back(c.to);
       at_to.push_back({dep_h, c.arr, id});
     }
 
-    // Emit L_in tuples at lower-ranked stops (list order is ascending td).
+    // Emit L_in candidates at lower-ranked stops (list order is ascending
+    // td).
     for (const StopId v : touched_) {
       auto& list = scan_lists_[v];
       if (rank_[v] > rank_[hub]) {
         for (const ScanEntry& e : list) {
           const Connection& last = tt_.connection(e.conn);
-          lin_[v].push_back({hub, e.dep, e.arr, last.from, last.trip});
+          result->in.push_back({v, {hub, e.dep, e.arr, last.from, last.trip}});
         }
       }
       list.clear();
@@ -277,6 +293,154 @@ class TtlConstruction {
   }
 
   const Timetable& tt_;
+  const bool prune_;
+  const std::vector<uint32_t>& rank_;
+  const std::vector<std::vector<LabelTuple>>& lout_;
+  const std::vector<std::vector<LabelTuple>>& lin_;
+  HubRangeIndex in_hub_index_;
+  HubRangeIndex out_hub_index_;
+  std::vector<std::vector<ScanEntry>> scan_lists_;
+  std::vector<StopId> touched_;
+};
+
+// [first_rank, first_rank + num_hubs) slices of the order vector.
+struct Wave {
+  uint32_t first_rank = 0;
+  uint32_t num_hubs = 0;
+};
+
+// Rank waves: 1, 1, 2, 4, 8, ... doubling up to `cap`, then `cap`-sized
+// until every hub is covered. The ramp-up keeps the most important hubs —
+// whose labels prune the most — nearly serial, while the bulk of the hubs
+// land in full-width waves. Depends only on (n, cap), never on the thread
+// count, so the schedule (and therefore the output) is machine-independent.
+std::vector<Wave> WavePartition(uint32_t n, uint32_t cap) {
+  std::vector<Wave> waves;
+  uint32_t start = 0;
+  uint32_t size = 1;
+  while (start < n) {
+    const uint32_t take = std::min(std::min(size, cap), n - start);
+    waves.push_back({start, take});
+    start += take;
+    size = std::min(cap, size * 2);
+  }
+  return waves;
+}
+
+class TtlConstruction {
+ public:
+  TtlConstruction(const Timetable& tt, const TtlBuildOptions& options,
+                  std::vector<StopId> order)
+      : tt_(tt),
+        options_(options),
+        order_(std::move(order)),
+        rank_(RanksFromOrder(order_)),
+        lout_(tt.num_stops()),
+        lin_(tt.num_stops()) {}
+
+  TtlIndex Run(TtlBuildStats* stats) {
+    const uint32_t cap =
+        options_.max_wave_hubs != 0 ? options_.max_wave_hubs : kDefaultWaveCap;
+    const uint32_t num_threads = options_.num_threads != 0
+                                     ? options_.num_threads
+                                     : ThreadPool::DefaultThreadCount();
+    const std::vector<Wave> waves = WavePartition(tt_.num_stops(), cap);
+
+    std::unique_ptr<ThreadPool> pool;
+    if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+    const uint32_t num_workers = pool != nullptr ? num_threads : 1;
+    std::vector<std::unique_ptr<HubScan>> scans;
+    scans.reserve(num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      scans.push_back(std::make_unique<HubScan>(tt_, options_.prune, rank_,
+                                                lout_, lin_));
+    }
+
+    for (const Wave& wave : waves) {
+      const auto wave_start = std::chrono::steady_clock::now();
+      // Scan phase: every hub of the wave against the immutable snapshot of
+      // all previous waves. Results land in disjoint slots, so any
+      // scheduling order yields the same contents.
+      std::vector<HubCandidates> results(wave.num_hubs);
+      if (pool != nullptr && wave.num_hubs > 1) {
+        pool->ParallelFor(wave.num_hubs, [&](uint32_t worker, uint64_t i) {
+          results[i] = scans[worker]->Run(order_[wave.first_rank + i]);
+        });
+      } else {
+        for (uint32_t i = 0; i < wave.num_hubs; ++i) {
+          results[i] = scans[0]->Run(order_[wave.first_rank + i]);
+        }
+      }
+
+      // Merge phase: sequential, in rank order. Re-checking coverage
+      // against the now-complete labels of every higher-ranked hub drops
+      // exactly the candidates the serial builder would have pruned
+      // in-scan, so the merged labels are byte-identical to a serial run.
+      TtlWaveStats ws;
+      ws.first_rank = wave.first_rank;
+      ws.num_hubs = wave.num_hubs;
+      for (uint32_t i = 0; i < wave.num_hubs; ++i) {
+        const StopId hub = order_[wave.first_rank + i];
+        HubCandidates& r = results[i];
+        ws.scan_pruned += r.scan_pruned;
+        ws.candidate_tuples += r.out.size() + r.in.size();
+        in_hub_index_.Build(lin_[hub]);
+        out_hub_index_.Build(lout_[hub]);
+        for (const Candidate& c : r.out) {
+          if (options_.prune &&
+              CoveredOut(lout_, lin_[hub], in_hub_index_, c.stop, c.tuple.td,
+                         c.tuple.ta)) {
+            ++ws.merge_pruned;
+            continue;
+          }
+          lout_[c.stop].push_back(c.tuple);
+        }
+        for (const Candidate& c : r.in) {
+          if (options_.prune &&
+              CoveredIn(lin_, lout_[hub], out_hub_index_, c.stop, c.tuple.td,
+                        c.tuple.ta)) {
+            ++ws.merge_pruned;
+            continue;
+          }
+          lin_[c.stop].push_back(c.tuple);
+        }
+      }
+      ws.merged_tuples = ws.candidate_tuples - ws.merge_pruned;
+      ws.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wave_start)
+                       .count();
+      if (stats != nullptr) stats->waves.push_back(ws);
+    }
+
+    TtlIndex index;
+    index.order = order_;
+    index.rank = rank_;
+    index.out = LabelSet(tt_.num_stops());
+    index.in = LabelSet(tt_.num_stops());
+    if (stats != nullptr) {
+      stats->num_threads_used = num_workers;
+      stats->pruned_candidates = 0;
+      for (const TtlWaveStats& ws : stats->waves) {
+        stats->pruned_candidates += ws.scan_pruned + ws.merge_pruned;
+      }
+      stats->out_tuples = 0;
+      stats->in_tuples = 0;
+      for (StopId v = 0; v < tt_.num_stops(); ++v) {
+        stats->out_tuples += lout_[v].size();
+        stats->in_tuples += lin_[v].size();
+      }
+    }
+    for (StopId v = 0; v < tt_.num_stops(); ++v) {
+      index.out.mutable_tuples(v) = std::move(lout_[v]);
+      index.in.mutable_tuples(v) = std::move(lin_[v]);
+    }
+    index.out.SortTuples();
+    index.in.SortTuples();
+    return index;
+  }
+
+ private:
+  const Timetable& tt_;
   const TtlBuildOptions& options_;
   std::vector<StopId> order_;
   std::vector<uint32_t> rank_;
@@ -284,9 +448,6 @@ class TtlConstruction {
   std::vector<std::vector<LabelTuple>> lin_;
   HubRangeIndex in_hub_index_;
   HubRangeIndex out_hub_index_;
-  std::vector<std::vector<ScanEntry>> scan_lists_;
-  std::vector<StopId> touched_;
-  uint64_t pruned_ = 0;
 };
 
 }  // namespace
@@ -311,6 +472,7 @@ Result<TtlIndex> BuildTtlIndex(const Timetable& tt,
     order = ComputeVertexOrder(tt, options.ordering);
   }
 
+  if (stats != nullptr) *stats = TtlBuildStats{};
   const auto start = std::chrono::steady_clock::now();
   TtlConstruction construction(tt, options, std::move(order));
   TtlIndex index = construction.Run(stats);

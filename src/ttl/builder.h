@@ -26,6 +26,28 @@ struct TtlBuildOptions {
   /// Adds the dummy tuples of Section 3.1 that let PTLDB answer every v2v
   /// query with a single join. Disable only to inspect raw TTL labels.
   bool add_dummy_tuples = true;
+  /// Worker threads for the wave-parallel build: 0 picks one per hardware
+  /// thread, 1 runs fully in-process (no pool). The produced index is
+  /// byte-identical for every value — see DESIGN.md, "Wave-parallel
+  /// preprocessing" — so this is purely a speed knob.
+  uint32_t num_threads = 1;
+  /// Cap on the number of hubs per wave (0 = the built-in default). The
+  /// wave partition depends only on the stop count and this cap — never on
+  /// num_threads or the machine — which is what keeps the output
+  /// reproducible. Larger caps expose more parallelism but weaken in-scan
+  /// pruning (more candidates for the merge to discard).
+  uint32_t max_wave_hubs = 0;
+};
+
+/// Per-wave construction statistics (wave-parallel build telemetry).
+struct TtlWaveStats {
+  uint32_t first_rank = 0;       ///< Rank of the wave's first hub.
+  uint32_t num_hubs = 0;         ///< Hubs scanned in this wave.
+  uint64_t candidate_tuples = 0; ///< Tuples emitted by the wave's scans.
+  uint64_t merged_tuples = 0;    ///< Candidates kept by the rank-order merge.
+  uint64_t scan_pruned = 0;      ///< Pruned in-scan against the wave snapshot.
+  uint64_t merge_pruned = 0;     ///< Dropped by the sequential merge recheck.
+  double seconds = 0.0;          ///< Wall time of the wave (scan + merge).
 };
 
 /// Construction statistics (feeds the Table 7 bench).
@@ -34,13 +56,25 @@ struct TtlBuildStats {
   uint64_t out_tuples = 0;        ///< Non-dummy tuples in L_out.
   uint64_t in_tuples = 0;         ///< Non-dummy tuples in L_in.
   uint64_t dummy_tuples = 0;      ///< Dummy tuples added per direction.
-  uint64_t pruned_candidates = 0; ///< Pareto pairs pruned by label coverage.
+  uint64_t pruned_candidates = 0; ///< Pareto pairs pruned by label coverage
+                                  ///< (in-scan + merge-recheck prunes).
+  uint32_t num_threads_used = 1;  ///< Workers the build actually ran with.
+  std::vector<TtlWaveStats> waves;///< One entry per rank wave, in order.
 };
 
 /// Builds the TTL index for a timetable (the preprocessing of Section 2.2):
 /// for each hub in importance order, a backward and a forward profile scan
 /// compute all Pareto-optimal journeys between the hub and every
 /// lower-ranked stop, pruned against the labels built so far.
+///
+/// Hubs are processed in rank waves: every hub of a wave is scanned
+/// independently (in parallel when options.num_threads != 1) against the
+/// immutable label snapshot of the preceding waves, then the candidates are
+/// merged sequentially in rank order, re-checking coverage against the
+/// up-to-date labels. The result is byte-identical to the fully serial
+/// hub-at-a-time construction for every thread count and wave partition
+/// (both produce exactly the canonical labels — the Pareto journeys whose
+/// highest-ranked stop is the hub itself); ttl_determinism_test pins this.
 Result<TtlIndex> BuildTtlIndex(const Timetable& tt,
                                const TtlBuildOptions& options = {},
                                TtlBuildStats* stats = nullptr);

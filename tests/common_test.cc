@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -11,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/time_util.h"
 
 namespace ptldb {
@@ -321,6 +323,85 @@ TEST(BinaryIoTest, RoundTripsScalarsVectorsStrings) {
   EXPECT_EQ(r.ReadString(), "hello");
   EXPECT_TRUE(r.ok());
   std::remove(path.c_str());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_GE(pool.executed(), 1000u);
+  EXPECT_LE(pool.stolen(), pool.executed());
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(pool.executed(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] {
+      pool.Submit([&count] { count.fetch_add(2); });
+      count.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](uint32_t worker, uint64_t i) {
+    ASSERT_LT(worker, pool.num_threads());
+    ASSERT_LT(i, kN);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](uint32_t, uint64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](uint32_t, uint64_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+  // More iterations than workers and vice versa both drain fully.
+  pool.ParallelFor(3, [&](uint32_t, uint64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStealsNothing) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](uint32_t worker, uint64_t) {
+    EXPECT_EQ(worker, 0u);
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.stolen(), 0u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool(0);  // 0 = hardware concurrency.
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreadCount());
 }
 
 }  // namespace

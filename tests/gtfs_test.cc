@@ -168,6 +168,153 @@ TEST_F(GtfsTest, StopSequenceOrderIndependentOfFileOrder) {
   EXPECT_EQ(feed->timetable.connection(0).from, feed->stop_index.at("A"));
 }
 
+TEST_F(GtfsTest, QuotedAndEscapedCsvFields) {
+  WriteBasicFeed();
+  // Embedded commas, escaped quotes ("" inside a quoted field), quoted
+  // numeric fields, and CRLF line endings must all survive the CSV layer.
+  WriteFile("stops.txt",
+            "stop_id,stop_name,stop_lat,stop_lon\r\n"
+            "A,\"Main St, \"\"Central\"\"\",\"1.0\",2.0\r\n"
+            "B,\"Beta\",1.5,2.5\r\n"
+            "C,Gamma,2.0,3.0\r\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  const StopId a = feed->stop_index.at("A");
+  EXPECT_EQ(feed->timetable.stop(a).name, "Main St, \"Central\"");
+  EXPECT_EQ(feed->timetable.stop(a).lat, 1.0);
+  EXPECT_EQ(feed->timetable.stop(feed->stop_index.at("B")).name, "Beta");
+  EXPECT_EQ(feed->timetable.num_connections(), 2u);
+
+  // A stray quote inside an unquoted field is a parse error, not silent
+  // data corruption.
+  WriteFile("stops.txt",
+            "stop_id,stop_name\nA,Ma\"in\nB,Beta\nC,Gamma\n");
+  EXPECT_FALSE(LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday}).ok());
+}
+
+TEST_F(GtfsTest, MissingOptionalColumnsTolerated) {
+  WriteBasicFeed();
+  // stops.txt with only the required stop_id column: names default to empty
+  // and coordinates to 0.
+  WriteFile("stops.txt", "stop_id\nA\nB\nC\n");
+  // stop_times.txt without departure_time: departure falls back to arrival.
+  WriteFile("stop_times.txt",
+            "trip_id,arrival_time,stop_id,stop_sequence\n"
+            "T1,08:00:00,A,1\n"
+            "T1,08:10:00,B,2\n"
+            "T1,08:20:00,C,3\n"
+            "T2,09:00:00,C,1\n"
+            "T2,09:15:00,A,2\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  const StopId a = feed->stop_index.at("A");
+  EXPECT_EQ(feed->timetable.stop(a).name, "");
+  EXPECT_EQ(feed->timetable.stop(a).lat, 0.0);
+  ASSERT_EQ(feed->timetable.num_connections(), 2u);
+  // Without departure_time the middle stop has no dwell: dep == arrival.
+  EXPECT_EQ(feed->timetable.connection(1).dep, 8 * 3600 + 600);
+}
+
+TEST_F(GtfsTest, OvernightTripsPastMidnight) {
+  WriteBasicFeed();
+  // GTFS times beyond 24:00:00 denote the service day running past
+  // midnight; they must parse as monotonically increasing seconds.
+  WriteFile("stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,23:50:00,23:50:00,A,1\n"
+            "T1,24:10:00,24:12:00,B,2\n"
+            "T1,25:30:00,25:30:00,C,3\n");
+  const auto feed = LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  ASSERT_EQ(feed->timetable.num_connections(), 2u);
+  const Connection& first = feed->timetable.connection(0);
+  EXPECT_EQ(first.dep, 23 * 3600 + 50 * 60);
+  EXPECT_EQ(first.arr, 24 * 3600 + 10 * 60);
+  const Connection& second = feed->timetable.connection(1);
+  EXPECT_EQ(second.dep, 24 * 3600 + 12 * 60);
+  EXPECT_EQ(second.arr, 25 * 3600 + 30 * 60);
+  EXPECT_EQ(feed->dropped_connections, 0u);
+}
+
+TEST_F(GtfsTest, CalendarDatesRemovesServiceOnDate) {
+  WriteBasicFeed();
+  // 2026-07-06 is a Monday, so WK would normally be active -- but a
+  // type-2 exception cancels it (e.g. a public holiday), leaving no trips.
+  WriteFile("calendar_dates.txt",
+            "service_id,date,exception_type\n"
+            "WK,20260706,2\n");
+  const auto feed = LoadGtfs(dir_.string(), {.service_date = "20260706"});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ(feed->timetable.num_trips(), 0u);
+  EXPECT_EQ(feed->timetable.num_connections(), 0u);
+  EXPECT_EQ(feed->skipped_trips, 2u);
+
+  // The same date without the exception file selects the weekday trip.
+  fs::remove(dir_ / "calendar_dates.txt");
+  const auto plain = LoadGtfs(dir_.string(), {.service_date = "20260706"});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->timetable.num_trips(), 1u);
+  EXPECT_EQ(plain->skipped_trips, 1u);
+}
+
+TEST_F(GtfsTest, CalendarDatesAddsServiceOnDate) {
+  WriteBasicFeed();
+  // A type-1 exception runs the weekend service WE on a Monday too.
+  WriteFile("calendar_dates.txt",
+            "service_id,date,exception_type\n"
+            "WE,20260706,1\n");
+  const auto feed = LoadGtfs(dir_.string(), {.service_date = "20260706"});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ(feed->timetable.num_trips(), 2u);
+  EXPECT_EQ(feed->skipped_trips, 0u);
+}
+
+TEST_F(GtfsTest, CalendarDatesAloneDefinesServices) {
+  WriteBasicFeed();
+  // Feeds may omit calendar.txt entirely and enumerate service days via
+  // calendar_dates.txt only.
+  fs::remove(dir_ / "calendar.txt");
+  WriteFile("calendar_dates.txt",
+            "service_id,date,exception_type\n"
+            "WK,20260706,1\n"
+            "WE,20260707,1\n");
+  const auto feed = LoadGtfs(dir_.string(), {.service_date = "20260706"});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ(feed->timetable.num_trips(), 1u);  // Only WK's trip T1.
+  EXPECT_EQ(feed->timetable.num_connections(), 2u);
+  EXPECT_EQ(feed->skipped_trips, 1u);
+}
+
+TEST_F(GtfsTest, ServiceDateOutsideCalendarWindowIsInactive) {
+  WriteBasicFeed();
+  // 2027-01-04 is a Monday but falls outside WK's end_date of 2026-12-31.
+  const auto feed = LoadGtfs(dir_.string(), {.service_date = "20270104"});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  EXPECT_EQ(feed->timetable.num_trips(), 0u);
+  EXPECT_EQ(feed->skipped_trips, 2u);
+}
+
+TEST_F(GtfsTest, ServiceDateDerivesWeekday) {
+  WriteBasicFeed();
+  // 2026-07-11 is a Saturday: the date alone must select the WE trip.
+  const auto feed = LoadGtfs(dir_.string(), {.service_date = "20260711"});
+  ASSERT_TRUE(feed.ok()) << feed.status().ToString();
+  ASSERT_EQ(feed->timetable.num_connections(), 1u);
+  EXPECT_EQ(feed->timetable.connection(0).from, feed->stop_index.at("C"));
+}
+
+TEST_F(GtfsTest, RejectsMalformedServiceDateAndExceptionType) {
+  WriteBasicFeed();
+  EXPECT_FALSE(LoadGtfs(dir_.string(), {.service_date = "2026-07-06"}).ok());
+  EXPECT_FALSE(LoadGtfs(dir_.string(), {.service_date = "20261332"}).ok());
+  WriteFile("calendar_dates.txt",
+            "service_id,date,exception_type\n"
+            "WK,20260706,3\n");
+  EXPECT_FALSE(LoadGtfs(dir_.string(), {.service_date = "20260706"}).ok());
+  // Without a service_date the bad exception file is ignored entirely.
+  EXPECT_TRUE(LoadGtfs(dir_.string(), {.weekday = Weekday::kMonday}).ok());
+}
+
 TEST_F(GtfsTest, WriterRoundTripPreservesConnections) {
   const Timetable original = MakeExampleTimetable();
   ASSERT_TRUE(WriteGtfs(original, dir_.string()).ok());

@@ -368,6 +368,194 @@ TEST_F(SqlPaperQueriesTest, TableAccessIsChargedToTheDevice) {
   EXPECT_GT((*db)->engine()->buffer_pool()->misses(), 0u);
 }
 
+// ---------- Golden tests: Codes 1-4 on the Figure-1 example graph ----------
+
+// Runs the literal paper SQL and the src/ptldb physical plans side by side
+// on the 7-stop example, so a regression in either layer (or a drift
+// between them) is caught with hand-checkable numbers.
+class SqlExampleGoldenTest : public testing::Test {
+ protected:
+  static constexpr uint32_t kKmax = 3;
+
+  SqlExampleGoldenTest() : tt_(MakeExampleTimetable()) {
+    TtlBuildOptions options;
+    options.custom_order = ExampleVertexOrder();
+    index_ = std::move(BuildTtlIndex(tt_, options)).value();
+    PtldbOptions popts;
+    popts.device = DeviceProfile::Ram();
+    db_ = std::move(PtldbDatabase::Build(index_, popts)).value();
+    targets_ = {3, 6};
+    EXPECT_TRUE(db_->AddTargetSet("poi", index_, targets_, kKmax).ok());
+  }
+
+  Timestamp Scalar(const SqlRelation& relation, Timestamp fallback) {
+    if (relation.rows.empty() || SqlIsNull(relation.rows[0][0])) {
+      return fallback;
+    }
+    return static_cast<Timestamp>(std::get<int64_t>(relation.rows[0][0]));
+  }
+
+  std::vector<StopTimeResult> Rows(const SqlRelation& relation) {
+    std::vector<StopTimeResult> out;
+    for (const auto& row : relation.rows) {
+      out.push_back({static_cast<StopId>(std::get<int64_t>(row[0])),
+                     static_cast<Timestamp>(std::get<int64_t>(row[1]))});
+    }
+    return out;
+  }
+
+  Timestamp SqlEa(int64_t s, int64_t g, int64_t t) {
+    SqlInterpreter interpreter(db_->engine());
+    auto r = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival), {s, g, t});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? Scalar(*r, kInfinityTime) : kInfinityTime;
+  }
+
+  Timestamp SqlLd(int64_t s, int64_t g, int64_t t_end) {
+    SqlInterpreter interpreter(db_->engine());
+    auto r = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
+                                 {s, g, t_end});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? Scalar(*r, kNegInfinityTime) : kNegInfinityTime;
+  }
+
+  Timestamp SqlSd(int64_t s, int64_t g, int64_t t, int64_t t_end) {
+    SqlInterpreter interpreter(db_->engine());
+    auto r = interpreter.Execute(V2vSql(V2vKind::kShortestDuration),
+                                 {s, g, t, t_end});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? Scalar(*r, kInfinityTime) : kInfinityTime;
+  }
+
+  int64_t ArrHour(int64_t t) {
+    return std::min<int64_t>(t / 3600, db_->target_sets()[0].max_bucket);
+  }
+
+  Timetable tt_;
+  TtlIndex index_;
+  std::unique_ptr<PtldbDatabase> db_;
+  std::vector<StopId> targets_;
+};
+
+// Hand-derived journeys on Figure 1 (times are paper values x100):
+// trip 1 runs 5->1->0->2->6 and trip 2 runs 6->2->0->1->5, both departing
+// 28800 with hops of 3600 s; trip 3 is 3->0 @ 32400; trip 4 is 4->0 @ 32400
+// branching onward to 3 and 4 at 36000.
+TEST_F(SqlExampleGoldenTest, Code1GoldenJourneys) {
+  EXPECT_EQ(SqlEa(5, 6, 28800), 43200u);   // Full ride on trip 1.
+  EXPECT_EQ(SqlEa(5, 6, 28801), kInfinityTime);  // Missed the only trip.
+  EXPECT_EQ(SqlEa(6, 1, 28800), 39600u);   // Trip 2 prefix.
+  EXPECT_EQ(SqlEa(4, 3, 28800), 39600u);   // Trip 4 through hub 0.
+  EXPECT_EQ(SqlEa(5, 3, 28800), 39600u);   // Trip 1 to 0, transfer to trip 4.
+  EXPECT_EQ(SqlEa(0, 3, 36000), 39600u);   // Single connection.
+  EXPECT_EQ(SqlEa(2, 5, 32400), 43200u);   // Trip 2 suffix.
+  EXPECT_EQ(SqlEa(1, 1, 32400), 32400u);   // Self query: already there.
+  EXPECT_EQ(SqlEa(3, 6, 28800), 43200u);   // Zero-wait transfer at hub 0.
+
+  EXPECT_EQ(SqlLd(5, 6, 43200), 28800u);
+  EXPECT_EQ(SqlLd(5, 6, 43199), kNegInfinityTime);
+  EXPECT_EQ(SqlLd(4, 3, 86400), 32400u);
+
+  EXPECT_EQ(SqlSd(5, 6, 28800, 43200), 14400u);
+  EXPECT_EQ(SqlSd(6, 5, 0, 86400), 14400u);
+  EXPECT_EQ(SqlSd(5, 6, 28801, 86400), kInfinityTime);
+}
+
+TEST_F(SqlExampleGoldenTest, Code1ExhaustiveMatchesPhysicalPlans) {
+  const int64_t times[] = {28799, 28800, 32400, 36000, 39600, 43200, 43201};
+  for (StopId s = 0; s < tt_.num_stops(); ++s) {
+    for (StopId g = 0; g < tt_.num_stops(); ++g) {
+      for (const int64_t t : times) {
+        EXPECT_EQ(SqlEa(s, g, t),
+                  *db_->EarliestArrival(s, g, static_cast<Timestamp>(t)))
+            << "EA(" << s << "," << g << "," << t << ")";
+        EXPECT_EQ(SqlLd(s, g, t),
+                  *db_->LatestDeparture(s, g, static_cast<Timestamp>(t)))
+            << "LD(" << s << "," << g << "," << t << ")";
+      }
+      EXPECT_EQ(SqlSd(s, g, 28800, 43200),
+                *db_->ShortestDuration(s, g, 28800, 43200))
+          << "SD(" << s << "," << g << ")";
+    }
+  }
+}
+
+TEST_F(SqlExampleGoldenTest, Codes2And3GoldenKnn) {
+  SqlInterpreter interpreter(db_->engine());
+  // From stop 5 at 28800, targets {3, 6}: 3 is reached at 39600 (trip 1 to
+  // hub 0, trip 4 onward), 6 at 43200 (trip 1 end to end).
+  const std::vector<StopTimeResult> want = {{3, 39600}, {6, 43200}};
+  for (const std::string& sql : {EaKnnNaiveSql("poi"), EaKnnSql("poi")}) {
+    auto r = interpreter.Execute(sql, {5, 28800, 2});
+    ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    EXPECT_EQ(Rows(*r), want) << sql;
+    auto r1 = interpreter.Execute(sql, {5, 28800, 1});
+    ASSERT_TRUE(r1.ok());
+    const std::vector<StopTimeResult> want_top1 = {{3, 39600}};
+    EXPECT_EQ(Rows(*r1), want_top1) << sql;
+  }
+  EXPECT_EQ(*db_->EaKnnNaive("poi", 5, 28800, 2), want);
+  EXPECT_EQ(*db_->EaKnn("poi", 5, 28800, 2), want);
+}
+
+TEST_F(SqlExampleGoldenTest, Code4GoldenLdKnn) {
+  SqlInterpreter interpreter(db_->engine());
+  // Arriving by 40000 from stop 5 only target 3 is feasible (dep 28800,
+  // arr 39600); target 6 would arrive at 43200.
+  const std::vector<StopTimeResult> want = {{3, 28800}};
+  for (const std::string& sql : {LdKnnNaiveSql("poi"), LdKnnSql("poi")}) {
+    const bool needs_hour = sql == LdKnnSql("poi");
+    auto r = needs_hour
+                 ? interpreter.Execute(sql, {5, 40000, 2, ArrHour(40000)})
+                 : interpreter.Execute(sql, {5, 40000, 2});
+    ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    EXPECT_EQ(Rows(*r), want) << sql;
+  }
+  EXPECT_EQ(*db_->LdKnnNaive("poi", 5, 40000, 2), want);
+  EXPECT_EQ(*db_->LdKnn("poi", 5, 40000, 2), want);
+}
+
+TEST_F(SqlExampleGoldenTest, Codes2To4ExhaustiveMatchPhysicalPlans) {
+  SqlInterpreter interpreter(db_->engine());
+  const int64_t times[] = {28800, 32400, 36000, 40000};
+  for (const StopId q : {0u, 1u, 2u, 4u, 5u}) {  // Non-target stops.
+    for (const int64_t t : times) {
+      for (int64_t k = 1; k <= kKmax; ++k) {
+        auto naive = interpreter.Execute(EaKnnNaiveSql("poi"), {q, t, k});
+        ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+        EXPECT_EQ(Rows(*naive),
+                  *db_->EaKnnNaive("poi", q, static_cast<Timestamp>(t),
+                                   static_cast<uint32_t>(k)));
+        auto ld_naive = interpreter.Execute(LdKnnNaiveSql("poi"), {q, t, k});
+        ASSERT_TRUE(ld_naive.ok());
+        EXPECT_EQ(Rows(*ld_naive),
+                  *db_->LdKnnNaive("poi", q, static_cast<Timestamp>(t),
+                                   static_cast<uint32_t>(k)));
+        auto ea_knn = interpreter.Execute(EaKnnSql("poi"), {q, t, k});
+        ASSERT_TRUE(ea_knn.ok());
+        EXPECT_EQ(Rows(*ea_knn),
+                  *db_->EaKnn("poi", q, static_cast<Timestamp>(t),
+                              static_cast<uint32_t>(k)));
+        auto ld_knn =
+            interpreter.Execute(LdKnnSql("poi"), {q, t, k, ArrHour(t)});
+        ASSERT_TRUE(ld_knn.ok());
+        EXPECT_EQ(Rows(*ld_knn),
+                  *db_->LdKnn("poi", q, static_cast<Timestamp>(t),
+                              static_cast<uint32_t>(k)));
+      }
+      auto ea_otm = interpreter.Execute(EaOtmSql("poi"), {q, t});
+      ASSERT_TRUE(ea_otm.ok());
+      EXPECT_EQ(Rows(*ea_otm),
+                *db_->EaOneToMany("poi", q, static_cast<Timestamp>(t)));
+      auto ld_otm =
+          interpreter.Execute(LdOtmSql("poi"), {q, t, ArrHour(t)});
+      ASSERT_TRUE(ld_otm.ok());
+      EXPECT_EQ(Rows(*ld_otm),
+                *db_->LdOneToMany("poi", q, static_cast<Timestamp>(t)));
+    }
+  }
+}
+
 TEST_F(SqlPaperQueriesTest, PaperWorkedExampleViaSql) {
   // EA(1, 1, 324) = 324 on the Figure-1 example, via the literal Code 1.
   const Timetable example = MakeExampleTimetable();
