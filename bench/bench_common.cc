@@ -39,10 +39,12 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--threads") {
       config.num_threads = static_cast<uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--json") {
+      config.json_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--queries N] [--cities A,B] "
-                   "[--cache-dir D] [--seed S] [--threads T]\n",
+                   "[--cache-dir D] [--seed S] [--threads T] [--json PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -205,6 +207,82 @@ std::string Ms(double ms) {
     std::snprintf(buf, sizeof(buf), "%.2f", ms);
   }
   return buf;
+}
+
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {0};
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+Status WriteBenchJson(const BenchRunRecord& record, const std::string& path) {
+  std::string json = "{\n";
+  json += "  \"bench\": " + JsonString(record.bench) + ",\n";
+  json += "  \"git\": " + JsonString(record.git) + ",\n";
+  json += "  \"scale\": " + JsonDouble(record.scale) + ",\n";
+  json += "  \"seed\": " + std::to_string(record.seed) + ",\n";
+  json += "  \"phases\": [";
+  for (size_t i = 0; i < record.phases.size(); ++i) {
+    const BenchPhase& p = record.phases[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"name\": " + JsonString(p.name) +
+            ", \"seconds\": " + JsonDouble(p.seconds) +
+            ", \"items\": " + std::to_string(p.items) +
+            ", \"ms_per_item\": " + JsonDouble(p.ms_per_item) + "}";
+  }
+  json += record.phases.empty() ? "],\n" : "\n  ],\n";
+  json += "  \"metrics\": " + record.metrics.ToJson() + "\n";
+  json += "}\n";
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace ptldb

@@ -25,6 +25,8 @@ namespace ptldb {
 ///   --threads T     worker threads for TTL preprocessing and table builds
 ///                   (0 = one per hardware thread; output is identical for
 ///                   every value, so this only affects build speed)
+///   --json PATH     also write a machine-readable run record (phases,
+///                   metrics snapshot, git revision) to PATH
 struct BenchConfig {
   double scale = 0.06;
   uint32_t num_queries = 60;
@@ -32,6 +34,7 @@ struct BenchConfig {
   std::string cache_dir = "bench_cache";
   uint64_t seed = 1;
   uint32_t num_threads = 0;
+  std::string json_path;  // Empty = no JSON output.
 };
 
 /// Parses the common flags; exits with usage on errors.
@@ -65,6 +68,18 @@ Timestamp RandomLateTime(Rng* rng, const Timetable& tt);
 /// Runs `fn(i)` for i in [0, n) against `db` with a cold cache and returns
 /// the average per-query time in milliseconds: measured CPU time plus the
 /// modeled device I/O time (see DESIGN.md on the storage simulation).
+///
+/// Cold/warm measurement recipe:
+///   - COLD: DropCaches() empties the buffer pool, then ResetIoStats()
+///     zeroes ALL normal-operation device counters — read/wait/transfer
+///     nanoseconds, read and sequential-read counts — plus the pool's
+///     hit/miss/eviction counters, so io_time_ns() afterwards is exactly
+///     the modeled I/O charged by the measured queries. (Injected-fault
+///     counters survive resets; fault tests accumulate them across runs.)
+///     This function applies that recipe before timing.
+///   - WARM: run the same workload again WITHOUT DropCaches/ResetIoStats;
+///     the pool stays populated, and the second run's wall time plus the
+///     io_time_ns() delta across it is the warm figure.
 double TimeQueries(PtldbDatabase* db, uint32_t n,
                    const std::function<void(uint32_t)>& fn);
 
@@ -81,6 +96,33 @@ void PrintTableRow(const std::vector<std::string>& cells);
 
 /// Formats milliseconds with three significant digits.
 std::string Ms(double ms);
+
+/// One timed phase of a benchmark run (a build step, a query batch, ...).
+struct BenchPhase {
+  std::string name;
+  double seconds = 0;      ///< Wall time (plus modeled I/O where noted).
+  uint64_t items = 0;      ///< Queries/rows processed; 0 = not applicable.
+  double ms_per_item = 0;  ///< Average latency when items > 0.
+};
+
+/// A machine-readable benchmark run: what ran, at which revision, the
+/// per-phase latencies and the engine's metrics snapshot at the end.
+/// Serialized by WriteBenchJson; validated by scripts/check_bench_json.py.
+struct BenchRunRecord {
+  std::string bench;  ///< Binary name, e.g. "bench_table7".
+  std::string git;    ///< `git describe --always --dirty` or "unknown".
+  double scale = 0;
+  uint64_t seed = 0;
+  std::vector<BenchPhase> phases;
+  MetricsSnapshot metrics;
+};
+
+/// Best-effort `git describe --always --dirty`; "unknown" when git or the
+/// repository is unavailable (e.g. running from an exported tarball).
+std::string GitDescribe();
+
+/// Writes `record` to `path` as a single JSON document.
+Status WriteBenchJson(const BenchRunRecord& record, const std::string& path);
 
 }  // namespace ptldb
 

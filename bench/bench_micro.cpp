@@ -2,10 +2,22 @@
 // lookups, label-row fetches, the v2v merge join, in-memory TTL queries and
 // the Connection Scan baseline. These calibrate where the CPU time in the
 // paper-level figures is spent.
+//
+// With `--json PATH` the google-benchmark harness is bypassed: a tiny
+// generator city runs one manually-timed pass over every phase (generate,
+// TTL build, table build, target set, cold/warm v2v, kNN, one-to-many) and
+// the run record — per-phase latencies plus the engine's full metrics
+// snapshot — is written to PATH. CI validates that record's schema and
+// that the tracked engine counters actually moved.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 #include "baseline/csa.h"
 #include "baseline/profile.h"
+#include "bench_common.h"
 #include "common/rng.h"
 #include "ptldb/ptldb.h"
 #include "ptldb/queries.h"
@@ -121,7 +133,109 @@ void BM_TtlPreprocessing(benchmark::State& state) {
 }
 BENCHMARK(BM_TtlPreprocessing);
 
+/// The --json mode: one manually-timed pass over a tiny generator city.
+/// Deterministic fixture (fixed seeds), so the emitted counters are stable
+/// enough for CI to assert they are nonzero.
+int RunJsonMode(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  BenchRunRecord record;
+  record.bench = "bench_micro";
+  record.git = GitDescribe();
+  record.seed = 42;
+
+  const auto timed = [&](const std::string& name, uint64_t items,
+                         const std::function<void()>& fn) {
+    const auto start = Clock::now();
+    fn();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    BenchPhase phase{name, seconds, items,
+                     items > 0 ? seconds * 1e3 / static_cast<double>(items)
+                               : 0.0};
+    record.phases.push_back(phase);
+  };
+
+  GeneratorOptions o;
+  o.num_stops = 150;
+  o.target_connections = 9000;
+  o.seed = 42;
+  Timetable tt;
+  timed("generate", o.num_stops,
+        [&] { tt = std::move(GenerateNetwork(o)).value(); });
+  TtlIndex index;
+  timed("ttl_build", tt.num_stops(),
+        [&] { index = std::move(BuildTtlIndex(tt)).value(); });
+  std::unique_ptr<PtldbDatabase> db;
+  timed("db_build", tt.num_stops(), [&] {
+    PtldbOptions options;
+    options.device = DeviceProfile::SataSsd();
+    db = std::move(PtldbDatabase::Build(index, options)).value();
+  });
+  Rng rng(3);
+  const auto targets = rng.SampleDistinct(tt.num_stops(), 20);
+  timed("add_target_set", targets.size(), [&] {
+    if (!db->AddTargetSet("T", index, targets, 8).ok()) std::exit(1);
+  });
+
+  constexpr uint32_t kQueries = 40;
+  Rng qrng(7);
+  const auto random_stop = [&] {
+    return static_cast<StopId>(qrng.NextBelow(tt.num_stops()));
+  };
+  // Cold batches reset the pool and device stats (see TimeQueries); the
+  // final warm batch leaves everything accumulated for the snapshot.
+  const double v2v_cold = TimeQueries(db.get(), kQueries, [&](uint32_t) {
+    (void)db->EarliestArrival(random_stop(), random_stop(), tt.min_time());
+  });
+  record.phases.push_back(
+      {"v2v_ea_cold", v2v_cold * kQueries / 1e3, kQueries, v2v_cold});
+  const double knn_ms = TimeQueries(db.get(), kQueries, [&](uint32_t) {
+    (void)db->EaKnn("T", random_stop(), tt.min_time(), 4);
+  });
+  record.phases.push_back(
+      {"ea_knn_cold", knn_ms * kQueries / 1e3, kQueries, knn_ms});
+  const double otm_ms = TimeQueries(db.get(), kQueries, [&](uint32_t) {
+    (void)db->EaOneToMany("T", random_stop(), tt.min_time());
+  });
+  record.phases.push_back(
+      {"ea_otm_cold", otm_ms * kQueries / 1e3, kQueries, otm_ms});
+  timed("v2v_ea_warm", kQueries, [&] {
+    for (uint32_t i = 0; i < kQueries; ++i) {
+      (void)db->EarliestArrival(random_stop(), random_stop(), tt.min_time());
+    }
+  });
+
+  record.metrics = db->Snapshot();
+  const Status s = WriteBenchJson(record, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ptldb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json PATH before google-benchmark sees the arguments.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return ptldb::RunJsonMode(json_path);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 // speedup is reported. The two builds produce byte-identical indexes (the
 // wave-parallel construction is deterministic; ttl_determinism_test pins
 // it), so the speedup column is a pure like-for-like comparison.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -22,6 +23,11 @@ int main(int argc, char** argv) {
   const uint32_t par_threads = config.num_threads != 0
                                    ? config.num_threads
                                    : ThreadPool::DefaultThreadCount();
+  BenchRunRecord record;
+  record.bench = "bench_table7";
+  record.git = GitDescribe();
+  record.scale = config.scale;
+  record.seed = config.seed;
   std::printf(
       "# Table 7: graph statistics and TTL preprocessing (scale %g, "
       "%u threads)\n\n",
@@ -58,6 +64,12 @@ int main(int argc, char** argv) {
     };
     const double serial_s = timed_build(1);
     const double par_s = timed_build(par_threads);
+    record.phases.push_back({data->name + ".ttl_build_serial", serial_s,
+                             data->tt.num_stops(), serial_s * 1e3 /
+                                 std::max<uint32_t>(data->tt.num_stops(), 1)});
+    record.phases.push_back({data->name + ".ttl_build_parallel", par_s,
+                             data->tt.num_stops(), par_s * 1e3 /
+                                 std::max<uint32_t>(data->tt.num_stops(), 1)});
     size_t paper_idx = 0;
     for (size_t i = 0; i < kNumCityProfiles; ++i) {
       if (&kCityProfiles[i] == profile) paper_idx = i;
@@ -79,5 +91,13 @@ int main(int argc, char** argv) {
       "(Madrid/Roma/Toronto largest labels; SaltLakeCity/Sweden smallest).\n"
       "The speedup column needs real cores to move: on a single-core\n"
       "machine it stays near 1x by construction.\n");
+  if (!config.json_path.empty()) {
+    const Status s = WriteBenchJson(record, config.json_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", config.json_path.c_str());
+  }
   return 0;
 }

@@ -31,6 +31,9 @@ void PrintRelation(const ptldb::SqlRelation& relation) {
       } else if (std::holds_alternative<int64_t>(value)) {
         std::printf("%-12lld",
                     static_cast<long long>(std::get<int64_t>(value)));
+      } else if (std::holds_alternative<std::string>(value)) {
+        // Text rows (EXPLAIN ANALYZE plans) print unpadded.
+        std::printf("%s", std::get<std::string>(value).c_str());
       } else {
         const auto& arr = std::get<std::vector<int32_t>>(value);
         std::string text = "{";
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExample: %s",
               "SELECT v, hubs[1:3] FROM lout WHERE v = 0;\n");
+  std::printf("Prefix a query with EXPLAIN ANALYZE for its span tree.\n");
 
   SqlInterpreter interpreter((*db)->engine());
   const auto run = [&](const std::string& sql) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validates a benchmark run record written via --json (see
+bench/bench_common.h, WriteBenchJson).
+
+Checks the schema — required top-level fields, phase shape, metrics
+snapshot shape — and, for bench_micro records, that the engine counters the
+observability layer is supposed to track actually moved during the run: a
+tracked counter stuck at zero means an instrumentation point was lost.
+
+Usage: check_bench_json.py RECORD.json [RECORD.json ...]
+Exits non-zero with a message on the first invalid record.
+
+Stdlib only; safe to run in CI without extra dependencies.
+"""
+import json
+import sys
+
+# Counters that a bench_micro --json run (v2v + kNN + one-to-many queries
+# on a SATA-SSD device profile) must have incremented. Keep in sync with
+# bench_micro.cpp's RunJsonMode phases.
+MICRO_NONZERO_COUNTERS = [
+    "bufferpool.hits",
+    "bufferpool.misses",
+    "device.reads",
+    "device.read_ns",
+    "exec.tuples_scanned",
+    "exec.index_seeks",
+    "ttl.hubs_merged",
+    "ttl.label_comparisons",
+    "query.v2v_ea.count",
+    "query.ea_knn.count",
+    "query.ea_otm.count",
+]
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_record(path):
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+
+    for field, kind in [
+        ("bench", str),
+        ("git", str),
+        ("scale", (int, float)),
+        ("seed", int),
+        ("phases", list),
+        ("metrics", dict),
+    ]:
+        if field not in record:
+            fail(path, f"missing field {field!r}")
+        if not isinstance(record[field], kind):
+            fail(path, f"field {field!r} has wrong type")
+
+    if not record["phases"]:
+        fail(path, "no phases recorded")
+    for phase in record["phases"]:
+        for field, kind in [
+            ("name", str),
+            ("seconds", (int, float)),
+            ("items", int),
+            ("ms_per_item", (int, float)),
+        ]:
+            if field not in phase or not isinstance(phase[field], kind):
+                fail(path, f"bad phase entry: {phase!r}")
+        if phase["seconds"] < 0:
+            fail(path, f"negative duration in phase {phase['name']!r}")
+
+    metrics = record["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            fail(path, f"metrics snapshot missing {section!r}")
+    for name, summary in metrics["histograms"].items():
+        for field in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            if field not in summary:
+                fail(path, f"histogram {name!r} missing {field!r}")
+
+    if record["bench"] == "bench_micro":
+        counters = metrics["counters"]
+        for name in MICRO_NONZERO_COUNTERS:
+            if counters.get(name, 0) == 0:
+                fail(path, f"tracked counter {name!r} is zero or missing")
+        latency = metrics["histograms"].get("query.v2v_ea.latency_ns")
+        if latency is None or latency["count"] == 0:
+            fail(path, "query.v2v_ea.latency_ns histogram is empty")
+
+    print(f"{path}: ok ({len(record['phases'])} phases, "
+          f"{len(metrics['counters'])} counters)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_record(path)
+
+
+if __name__ == "__main__":
+    main()

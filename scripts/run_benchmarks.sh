@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs the full PTLDB reproduction benchmark suite (one binary per paper
-# table/figure) and tees each output to results/.
+# table/figure) and tees each output to results/. Binaries that support
+# machine-readable run records (bench_table7, bench_micro) also write
+# results/BENCH_<name>.json — per-phase latencies, the engine metrics
+# snapshot and the git revision — validated by scripts/check_bench_json.py.
 #
 # Usage: scripts/run_benchmarks.sh [build-dir] [extra bench flags...]
 set -euo pipefail
@@ -12,7 +15,14 @@ for b in "$BUILD"/bench/bench_*; do
   echo "=== $name ==="
   if [ "$name" = "bench_micro" ]; then
     "$b" --benchmark_min_time=0.2 | tee "results/$name.txt"
+    "$b" --json "results/BENCH_$name.json"
+  elif [ "$name" = "bench_table7" ]; then
+    "$b" "$@" --json "results/BENCH_$name.json" | tee "results/$name.txt"
   else
     "$b" "$@" | tee "results/$name.txt"
   fi
+done
+for j in results/BENCH_*.json; do
+  [ -e "$j" ] || continue
+  python3 "$(dirname "$0")/check_bench_json.py" "$j"
 done

@@ -1,0 +1,242 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace ptldb {
+
+size_t Counter::ShardIndex() {
+  static thread_local const size_t index =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kNumShards;
+  return index;
+}
+
+namespace {
+
+// 8 sub-buckets per octave: bucket = 8 * octave + top-3-bits-below-msb.
+// Values below 8 land in buckets [0, 8) exactly (one value per bucket).
+constexpr int kSubBits = 3;
+constexpr uint64_t kSubBuckets = 1u << kSubBits;  // 8
+
+int Log2Floor(uint64_t v) {
+  int log = 0;
+  while (v >>= 1) ++log;
+  return log;
+}
+
+}  // namespace
+
+size_t Histogram::BucketOf(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int octave = Log2Floor(value);
+  const uint64_t sub = (value >> (octave - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(octave) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLow(size_t bucket) {
+  const uint64_t octave = bucket / kSubBuckets;
+  if (octave < kSubBits) {
+    // One value per bucket below 8. Indices 8..23 are never produced by
+    // BucketOf (the first sub-divided octave starts at value 8, bucket
+    // 24); treat them as empty ranges collapsed at 8 so BucketHigh stays
+    // monotonic across the gap.
+    return std::min<uint64_t>(bucket, kSubBuckets);
+  }
+  const uint64_t sub = bucket % kSubBuckets;
+  return (uint64_t{1} << octave) | (sub << (octave - kSubBits));
+}
+
+uint64_t Histogram::BucketHigh(size_t bucket) {
+  if (bucket + 1 >= kNumBuckets) return UINT64_MAX;
+  return BucketLow(bucket + 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::Summary() const {
+  HistogramSummary out;
+  uint64_t buckets[kNumBuckets];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += buckets[i];
+  }
+  if (out.count == 0) return out;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+
+  const auto quantile = [&](double q) {
+    // Rank of the q-quantile among `out.count` samples, then linear
+    // interpolation across the matched bucket's width.
+    const double target = q * static_cast<double>(out.count - 1);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (static_cast<double>(seen + buckets[i]) > target) {
+        const double lo = static_cast<double>(BucketLow(i));
+        const double hi = static_cast<double>(BucketHigh(i));
+        const double frac =
+            (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+        double v = lo + frac * (hi - lo);
+        // Clamp to the observed range: single-sample buckets otherwise
+        // report mid-bucket values above the true max.
+        return std::min(std::max(v, static_cast<double>(out.min)),
+                        static_cast<double>(out.max));
+      }
+      seen += buckets[i];
+    }
+    return static_cast<double>(out.max);
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) out.histograms[name] = h->Summary();
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "ptldb_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{quantile=\"0.5\"} " + Num(h.p50) + "\n";
+    out += p + "{quantile=\"0.95\"} " + Num(h.p95) + "\n";
+    out += p + "{quantile=\"0.99\"} " + Num(h.p99) + "\n";
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) + ", \"p50\": " + Num(h.p50) +
+           ", \"p95\": " + Num(h.p95) + ", \"p99\": " + Num(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+LocalQueryCounters& ThisThreadQueryCounters() {
+  static thread_local LocalQueryCounters counters;
+  return counters;
+}
+
+}  // namespace ptldb

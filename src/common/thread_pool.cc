@@ -37,7 +37,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t now = pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t hi = max_pending_.load(std::memory_order_relaxed);
+  while (now > hi && !max_pending_.compare_exchange_weak(
+                         hi, now, std::memory_order_relaxed)) {
+  }
   uint32_t target;
   if (tls_worker_id >= 0 &&
       static_cast<uint32_t>(tls_worker_id) < workers_.size()) {

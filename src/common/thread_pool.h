@@ -55,6 +55,13 @@ class ThreadPool {
   /// another worker's deque (a subset of executed()).
   uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
   uint64_t stolen() const { return stolen_.load(std::memory_order_relaxed); }
+  /// Tasks submitted but not yet finished (instantaneous queue depth plus
+  /// in-flight tasks) and the high-water mark of that value over the
+  /// pool's lifetime — the `threadpool.max_queue_depth` gauge.
+  uint64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+  uint64_t max_pending() const {
+    return max_pending_.load(std::memory_order_relaxed);
+  }
 
   /// One worker per hardware thread, at least 1.
   static uint32_t DefaultThreadCount();
@@ -74,6 +81,7 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> next_victim_{0};  ///< Round-robin submit target.
   std::atomic<uint64_t> pending_{0};      ///< Submitted but not finished.
+  std::atomic<uint64_t> max_pending_{0};  ///< High-water mark of pending_.
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};
 

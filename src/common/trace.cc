@@ -1,0 +1,94 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace ptldb {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace() : epoch_ns_(NowNs()) {
+  root_ = std::make_unique<Span>();
+  root_->name = "query";
+  open_.push_back(root_.get());
+}
+
+uint64_t QueryTrace::ElapsedNs() const { return NowNs() - epoch_ns_; }
+
+QueryTrace::Span* QueryTrace::Begin(const std::string& name) {
+  auto span = std::make_unique<Span>();
+  span->name = name;
+  span->start_ns = ElapsedNs();
+  Span* raw = span.get();
+  open_.back()->children.push_back(std::move(span));
+  open_.push_back(raw);
+  return raw;
+}
+
+void QueryTrace::End() {
+  if (open_.size() <= 1) return;  // Never pop the root.
+  Span* span = open_.back();
+  span->duration_ns = ElapsedNs() - span->start_ns;
+  open_.pop_back();
+}
+
+void QueryTrace::AddStat(const std::string& key, uint64_t value) {
+  open_.back()->stats.emplace_back(key, value);
+}
+
+namespace {
+
+void Render(const QueryTrace::Span& span, int depth, bool include_timings,
+            std::string* out) {
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  *out += span.name;
+  if (include_timings) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "  [time=%.3f ms]",
+                  static_cast<double>(span.duration_ns) / 1e6);
+    *out += buf;
+  }
+  for (const auto& [key, value] : span.stats) {
+    *out += "  " + key + "=" + std::to_string(value);
+  }
+  *out += "\n";
+  for (const auto& child : span.children) {
+    Render(*child, depth + 1, include_timings, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::ToString(bool include_timings) const {
+  std::string out;
+  // Report the root's duration as total elapsed if it was never closed.
+  const Span* r = root_.get();
+  if (include_timings && r->duration_ns == 0) {
+    // Shallow header line only; children render from the real tree.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s  [time=%.3f ms]", r->name.c_str(),
+                  static_cast<double>(ElapsedNs()) / 1e6);
+    out += buf;
+    for (const auto& [key, value] : r->stats) {
+      out += "  " + key + "=" + std::to_string(value);
+    }
+    out += "\n";
+    for (const auto& child : r->children) {
+      Render(*child, 1, include_timings, &out);
+    }
+    return out;
+  }
+  Render(*r, 0, include_timings, &out);
+  return out;
+}
+
+}  // namespace ptldb

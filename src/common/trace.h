@@ -1,0 +1,82 @@
+#ifndef PTLDB_COMMON_TRACE_H_
+#define PTLDB_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ptldb {
+
+/// Per-query span tracer: a tree of named, timed spans with attached
+/// counter stats, the structure behind EXPLAIN ANALYZE. A trace is owned
+/// by one query on one thread — it is deliberately not thread-safe, and
+/// passing nullptr everywhere a trace is accepted disables tracing at
+/// near-zero cost.
+class QueryTrace {
+ public:
+  struct Span {
+    std::string name;
+    uint64_t start_ns = 0;     ///< steady_clock offset from trace start.
+    uint64_t duration_ns = 0;  ///< 0 while the span is still open.
+    /// Counter deltas attached to the span, in insertion order
+    /// (e.g. {"pool.misses", 12}). Deterministic given a fixed plan.
+    std::vector<std::pair<std::string, uint64_t>> stats;
+    std::vector<std::unique_ptr<Span>> children;
+  };
+
+  QueryTrace();
+
+  /// Opens a child span under the innermost open span and makes it the
+  /// innermost. Returns the span for AddStat on the caller's side.
+  Span* Begin(const std::string& name);
+  /// Closes the innermost open span, recording its duration.
+  void End();
+  /// Attaches a stat to the innermost open span (no-op if none is open).
+  void AddStat(const std::string& key, uint64_t value);
+
+  /// The synthetic root ("query"); its children are the top-level spans.
+  const Span& root() const { return *root_; }
+  Span* mutable_root() { return root_.get(); }
+
+  /// Renders the span tree, one line per span:
+  ///   name  [time=1.234 ms]  key=value key=value
+  /// `include_timings=false` drops the wall-clock column — counter stats
+  /// are deterministic, so that form is usable as a golden string.
+  std::string ToString(bool include_timings = true) const;
+
+  /// Nanoseconds since the trace was constructed (monotonic).
+  uint64_t ElapsedNs() const;
+
+ private:
+  std::unique_ptr<Span> root_;
+  std::vector<Span*> open_;  ///< Stack of open spans; back() is innermost.
+  uint64_t epoch_ns_ = 0;    ///< steady_clock at construction.
+};
+
+/// RAII span: begins on construction, ends on destruction. Tolerates a
+/// null trace, so call sites stay unconditional:
+///   TraceSpan span(trace, "scan lout");
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, const std::string& name) : trace_(trace) {
+    if (trace_) trace_->Begin(name);
+  }
+  ~TraceSpan() {
+    if (trace_) trace_->End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddStat(const std::string& key, uint64_t value) {
+    if (trace_) trace_->AddStat(key, value);
+  }
+
+ private:
+  QueryTrace* trace_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_COMMON_TRACE_H_

@@ -1,8 +1,10 @@
 #ifndef PTLDB_ENGINE_BUFFER_POOL_H_
 #define PTLDB_ENGINE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -50,11 +52,17 @@ class BufferPool {
   /// verification is quarantined and every later Fetch of it returns
   /// kCorruption without touching the device. The returned pointer stays
   /// valid until the page is evicted or caches are dropped.
+  ///
+  /// Thread-safe: a single latch serializes Fetch/DropCaches, so multiple
+  /// facade queries may share one pool (the latch also serializes the
+  /// device's non-counter access state). Stat counters are relaxed
+  /// atomics, readable without the latch.
   Result<const Page*> Fetch(PageId id) {
+    std::lock_guard<std::mutex> latch(mu_);
     const auto it = resident_.find(id);
     if (it != resident_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return &it->second->second;
     }
     if (quarantined_.count(id) > 0) {
@@ -67,7 +75,7 @@ class BufferPool {
                                 std::to_string(store_->num_pages()) +
                                 " pages)");
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     const PageStore& store = *store_;  // Read-only: must not dirty stamps.
     Page frame;
     Status last = Status::Ok();
@@ -77,14 +85,14 @@ class BufferPool {
       if (attempt > 0) {
         device_->ChargeWait(backoff);
         backoff *= 2;
-        ++retries_;
+        retries_.fetch_add(1, std::memory_order_relaxed);
       }
       last = device_->ReadPage(id, store.page(id), &frame);
       if (!last.ok()) continue;  // Transient or sticky device error.
       if (store.stamped(id) &&
           Crc32c(frame.bytes.data(), kPageSize) != store.checksum(id)) {
         ++checksum_failures;
-        ++checksum_errors_;
+        checksum_errors_.fetch_add(1, std::memory_order_relaxed);
         last = Status::Corruption("checksum mismatch on page " +
                                   std::to_string(id));
         continue;  // Possibly a wire flip; retry.
@@ -94,6 +102,7 @@ class BufferPool {
       if (lru_.size() > capacity_) {
         resident_.erase(lru_.back().first);
         lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
       }
       return &node->second;
     }
@@ -108,6 +117,7 @@ class BufferPool {
   /// Evicts everything (cold-cache benchmarking) and forgets the device's
   /// head position so the first post-drop read bills as a random access.
   void DropCaches() {
+    std::lock_guard<std::mutex> latch(mu_);
     resident_.clear();
     lru_.clear();
     device_->ResetLocality();
@@ -115,22 +125,40 @@ class BufferPool {
 
   /// Clears the quarantine set (e.g. between fault-soak seeds, after the
   /// device's sticky fault state has been reset).
-  void ClearQuarantine() { quarantined_.clear(); }
+  void ClearQuarantine() {
+    std::lock_guard<std::mutex> latch(mu_);
+    quarantined_.clear();
+  }
 
   void set_retry_policy(const RetryPolicy& retry) { retry_ = retry; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t resident_pages() const { return lru_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t resident_pages() const {
+    std::lock_guard<std::mutex> latch(mu_);
+    return lru_.size();
+  }
   /// Fault observability (not reset by ResetStats).
-  uint64_t retries() const { return retries_; }
-  uint64_t checksum_errors() const { return checksum_errors_; }
-  uint64_t quarantined_pages() const { return quarantined_.size(); }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t checksum_errors() const {
+    return checksum_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t quarantined_pages() const {
+    std::lock_guard<std::mutex> latch(mu_);
+    return quarantined_.size();
+  }
 
+  /// Resets the cache-effectiveness counters of a measurement window.
+  /// Fault counters (retries, checksum errors) survive, like the device's
+  /// injected-fault counters.
   void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -138,14 +166,16 @@ class BufferPool {
   StorageDevice* device_;
   uint64_t capacity_;
   RetryPolicy retry_;
+  mutable std::mutex mu_;  ///< Guards lru_/resident_/quarantined_ + device.
   std::list<std::pair<PageId, Page>> lru_;
   std::unordered_map<PageId, std::list<std::pair<PageId, Page>>::iterator>
       resident_;
   std::unordered_set<PageId> quarantined_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t checksum_errors_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> checksum_errors_{0};
 };
 
 }  // namespace ptldb

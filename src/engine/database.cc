@@ -29,9 +29,11 @@ Status EngineTable::BulkLoad(std::vector<std::pair<IndexKey, Row>> rows) {
 
 Result<std::optional<Row>> EngineTable::Get(IndexKey key,
                                             BufferPool* pool) const {
+  ++ThisThreadQueryCounters().index_seeks;
   auto locator = index_.Find(key, pool);
   PTLDB_RETURN_IF_ERROR(locator.status());
   if (!locator->has_value()) return std::optional<Row>{};
+  ++ThisThreadQueryCounters().tuples_scanned;
   auto row = heap_.Read(**locator, schema_, pool);
   PTLDB_RETURN_IF_ERROR(row.status());
   return std::optional<Row>{std::move(*row)};
@@ -74,6 +76,58 @@ std::vector<std::string> EngineDatabase::table_names() const {
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;
+}
+
+EngineCounters EngineDatabase::CaptureCounters() const {
+  EngineCounters out;
+  out.pool_hits = pool_.hits();
+  out.pool_misses = pool_.misses();
+  out.device_reads = device_.reads();
+  out.device_read_ns = device_.read_ns();
+  out.device_wait_ns = device_.wait_ns();
+  out.local = ThisThreadQueryCounters();
+  return out;
+}
+
+MetricsSnapshot EngineDatabase::Snapshot() const {
+  MetricsSnapshot snap = metrics_.Snapshot();
+  snap.counters["device.reads"] = device_.reads();
+  snap.counters["device.sequential_reads"] = device_.sequential_reads();
+  snap.counters["device.read_ns"] = device_.read_ns();
+  snap.counters["device.wait_ns"] = device_.wait_ns();
+  snap.counters["device.read_errors"] = device_.read_errors();
+  snap.counters["device.corruptions_injected"] =
+      device_.corruptions_injected();
+  snap.counters["bufferpool.hits"] = pool_.hits();
+  snap.counters["bufferpool.misses"] = pool_.misses();
+  snap.counters["bufferpool.evictions"] = pool_.evictions();
+  snap.counters["bufferpool.retries"] = pool_.retries();
+  snap.counters["bufferpool.checksum_errors"] = pool_.checksum_errors();
+  snap.gauges["bufferpool.resident_pages"] =
+      static_cast<int64_t>(pool_.resident_pages());
+  snap.gauges["bufferpool.quarantined_pages"] =
+      static_cast<int64_t>(pool_.quarantined_pages());
+  return snap;
+}
+
+ScopedEngineSpan::~ScopedEngineSpan() {
+  if (!trace_) return;
+  const EngineCounters end = db_->CaptureCounters();
+  const LocalQueryCounters local = end.local - begin_.local;
+  const auto attach = [&](const char* key, uint64_t delta) {
+    if (delta != 0) trace_->AddStat(key, delta);
+  };
+  attach("pool.hits", end.pool_hits - begin_.pool_hits);
+  attach("pool.misses", end.pool_misses - begin_.pool_misses);
+  attach("device.reads", end.device_reads - begin_.device_reads);
+  attach("device.read_ns", end.device_read_ns - begin_.device_read_ns);
+  attach("device.wait_ns", end.device_wait_ns - begin_.device_wait_ns);
+  attach("index.seeks", local.index_seeks);
+  attach("tuples.scanned", local.tuples_scanned);
+  attach("rows.emitted", local.rows_emitted);
+  attach("hubs.merged", local.hubs_merged);
+  attach("label.comparisons", local.label_comparisons);
+  trace_->End();
 }
 
 }  // namespace ptldb

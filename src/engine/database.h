@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/btree.h"
 #include "engine/buffer_pool.h"
 #include "engine/device.h"
@@ -47,7 +49,8 @@ class EngineTable {
 
   /// Primary-key point lookup (index + heap I/O charged to the device).
   /// The outer Result carries kIoError/kCorruption; the inner optional is
-  /// empty when the key is absent.
+  /// empty when the key is absent. Bumps the calling thread's
+  /// index_seeks/tuples_scanned counters (see LocalQueryCounters).
   Result<std::optional<Row>> Get(IndexKey key, BufferPool* pool) const;
 
   /// Range cursor over (key, row) pairs with key >= `first_key`. A faulted
@@ -58,6 +61,7 @@ class EngineTable {
     bool Valid() const { return it_.Valid(); }
     IndexKey key() const { return it_.key(); }
     Result<Row> row() const {
+      ++ThisThreadQueryCounters().tuples_scanned;
       return table_->heap_.Read(it_.locator(), table_->schema_, pool_);
     }
     void Next() { it_.Next(); }
@@ -73,6 +77,7 @@ class EngineTable {
   };
 
   Cursor Seek(IndexKey first_key, BufferPool* pool) const {
+    ++ThisThreadQueryCounters().index_seeks;
     return Cursor(this, pool, index_.SeekNotBefore(first_key, pool));
   }
 
@@ -91,6 +96,20 @@ class EngineTable {
   HeapFile heap_;
   BTree index_;
   uint64_t num_rows_ = 0;
+};
+
+/// Ground-truth engine counters at one instant: the buffer pool's and
+/// device's own counters plus the calling thread's LocalQueryCounters.
+/// The difference of two captures around a query is that query's exact
+/// operation count — this is what EXPLAIN ANALYZE attaches to spans, so
+/// span counts agree with the engine's counters by construction.
+struct EngineCounters {
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t device_reads = 0;
+  uint64_t device_read_ns = 0;
+  uint64_t device_wait_ns = 0;
+  LocalQueryCounters local;
 };
 
 /// The embedded database: one page store, one simulated device, one buffer
@@ -121,6 +140,20 @@ class EngineDatabase {
   StorageDevice* device() { return &device_; }
   PageStore* page_store() { return &store_; }
 
+  /// The database's metrics registry. Upper layers (facade, SQL
+  /// interpreter, thread-pool users) register their metrics here so one
+  /// snapshot covers the whole stack.
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Captures the engine's ground-truth counters plus the calling
+  /// thread's LocalQueryCounters (see EngineCounters).
+  EngineCounters CaptureCounters() const;
+
+  /// Registry snapshot with the engine's own counters (device.*,
+  /// bufferpool.*) overlaid, so the engine keeps single-writer counters on
+  /// its hot paths yet they still appear in every snapshot.
+  MetricsSnapshot Snapshot() const;
+
   /// Cold-cache reset (the paper restarts the server before experiments).
   void DropCaches() { pool_.DropCaches(); }
 
@@ -133,7 +166,39 @@ class EngineDatabase {
   PageStore store_;
   StorageDevice device_;
   BufferPool pool_;
+  MetricsRegistry metrics_;
   std::map<std::string, std::unique_ptr<EngineTable>> tables_;
+};
+
+/// RAII trace span that attaches the engine-counter deltas accumulated
+/// during its lifetime (pool hits/misses, device reads, tuples scanned,
+/// hubs merged, ...). Only nonzero deltas are attached, and time-valued
+/// deltas (read/wait ns) only when nonzero, so traces on the Ram device
+/// stay byte-deterministic. Null trace = no-op.
+class ScopedEngineSpan {
+ public:
+  ScopedEngineSpan(QueryTrace* trace, const EngineDatabase* db,
+                   const std::string& name)
+      : trace_(trace), db_(db) {
+    if (trace_) {
+      trace_->Begin(name);
+      begin_ = db_->CaptureCounters();
+    }
+  }
+  ~ScopedEngineSpan();
+
+  ScopedEngineSpan(const ScopedEngineSpan&) = delete;
+  ScopedEngineSpan& operator=(const ScopedEngineSpan&) = delete;
+
+  /// Extra stats attached before the counter deltas (e.g. rows=).
+  void AddStat(const std::string& key, uint64_t value) {
+    if (trace_) trace_->AddStat(key, value);
+  }
+
+ private:
+  QueryTrace* trace_;
+  const EngineDatabase* db_;
+  EngineCounters begin_;
 };
 
 }  // namespace ptldb

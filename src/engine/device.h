@@ -1,6 +1,7 @@
 #ifndef PTLDB_ENGINE_DEVICE_H_
 #define PTLDB_ENGINE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -72,14 +73,18 @@ class StorageDevice {
   const DeviceProfile& profile() const { return profile_; }
 
   /// Charges one page read and returns its modeled cost in nanoseconds.
+  /// Stat counters are relaxed atomics so observers (metrics snapshots,
+  /// io_time_ns) may read them from any thread; callers serialize the
+  /// non-counter access state (last_page_, fault Rng) themselves — in
+  /// practice the owning BufferPool's latch does.
   uint64_t ChargeRead(PageId page) {
     const bool sequential = (page == last_page_ + 1);
     last_page_ = page;
     const uint64_t cost =
         sequential ? profile_.sequential_read_ns : profile_.random_read_ns;
-    total_ns_ += cost;
-    reads_ += 1;
-    sequential_reads_ += sequential ? 1 : 0;
+    read_ns_.fetch_add(cost, std::memory_order_relaxed);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    if (sequential) sequential_reads_.fetch_add(1, std::memory_order_relaxed);
     return cost;
   }
 
@@ -92,19 +97,19 @@ class StorageDevice {
     ChargeRead(id);
     if (fault_.enabled()) {
       if (bad_pages_.count(id) > 0) {
-        ++read_errors_;
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
         return Status::IoError("sticky bad page " + std::to_string(id));
       }
       if (fault_.sticky_error_prob > 0.0 &&
           rng_.NextBool(fault_.sticky_error_prob)) {
         bad_pages_.insert(id);
-        ++read_errors_;
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
         return Status::IoError("page " + std::to_string(id) +
                                " went bad (sticky)");
       }
       if (fault_.transient_error_prob > 0.0 &&
           rng_.NextBool(fault_.transient_error_prob)) {
-        ++read_errors_;
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
         return Status::IoError("transient read error on page " +
                                std::to_string(id));
       }
@@ -114,20 +119,22 @@ class StorageDevice {
       const auto it = sticky_flips_.find(id);
       if (it != sticky_flips_.end()) {
         FlipBit(frame, it->second);
-        ++corruptions_injected_;
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
       } else if (fault_.corrupt_prob > 0.0 &&
                  rng_.NextBool(fault_.corrupt_prob)) {
         const uint64_t bit = rng_.NextBelow(kPageSize * 8);
         if (fault_.sticky_corruption) sticky_flips_.emplace(id, bit);
         FlipBit(frame, bit);
-        ++corruptions_injected_;
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     return Status::Ok();
   }
 
   /// Charges modeled wait time that is not a page transfer (retry backoff).
-  void ChargeWait(uint64_t ns) { total_ns_ += ns; }
+  void ChargeWait(uint64_t ns) {
+    wait_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   /// Installs (or clears, with a default-constructed policy) the failure
   /// regime and reseeds the fault Rng. Sticky state is reset.
@@ -145,19 +152,34 @@ class StorageDevice {
   /// post-drop read as sequential would understate cold-cache cost.
   void ResetLocality() { last_page_ = kInvalidPage - 1; }
 
-  /// Total modeled I/O time since the last ResetStats().
-  uint64_t total_ns() const { return total_ns_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t sequential_reads() const { return sequential_reads_; }
+  /// Total modeled I/O time since the last ResetStats(): page transfers
+  /// plus retry-backoff waits.
+  uint64_t total_ns() const { return read_ns() + wait_ns(); }
+  /// Page-transfer time only / retry-backoff wait time only.
+  uint64_t read_ns() const { return read_ns_.load(std::memory_order_relaxed); }
+  uint64_t wait_ns() const { return wait_ns_.load(std::memory_order_relaxed); }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t sequential_reads() const {
+    return sequential_reads_.load(std::memory_order_relaxed);
+  }
   /// Injected-fault observability (never reset by ResetStats; the soak
   /// harness uses these to confirm faults actually fired).
-  uint64_t read_errors() const { return read_errors_; }
-  uint64_t corruptions_injected() const { return corruptions_injected_; }
+  uint64_t read_errors() const {
+    return read_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t corruptions_injected() const {
+    return corruptions_injected_.load(std::memory_order_relaxed);
+  }
 
+  /// Resets every accumulated time/count of normal operation — transfer
+  /// ns, retry/backoff wait ns, read counts — so a measurement window
+  /// starts from a true zero. Injected-fault counters are deliberately
+  /// excluded (see above).
   void ResetStats() {
-    total_ns_ = 0;
-    reads_ = 0;
-    sequential_reads_ = 0;
+    read_ns_.store(0, std::memory_order_relaxed);
+    wait_ns_.store(0, std::memory_order_relaxed);
+    reads_.store(0, std::memory_order_relaxed);
+    sequential_reads_.store(0, std::memory_order_relaxed);
     ResetLocality();
   }
 
@@ -167,17 +189,18 @@ class StorageDevice {
   }
 
   DeviceProfile profile_;
-  uint64_t total_ns_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t sequential_reads_ = 0;
+  std::atomic<uint64_t> read_ns_{0};
+  std::atomic<uint64_t> wait_ns_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> sequential_reads_{0};
   PageId last_page_ = kInvalidPage - 1;
 
   FaultPolicy fault_;
   Rng rng_{0};
   std::unordered_set<PageId> bad_pages_;
   std::unordered_map<PageId, uint64_t> sticky_flips_;
-  uint64_t read_errors_ = 0;
-  uint64_t corruptions_injected_ = 0;
+  std::atomic<uint64_t> read_errors_{0};
+  std::atomic<uint64_t> corruptions_injected_{0};
 };
 
 }  // namespace ptldb

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace ptldb {
 
 namespace {
@@ -504,6 +506,7 @@ Result<std::vector<Row>> Execute(Operator* root) {
   std::vector<Row> rows;
   while (auto row = root->Next()) rows.push_back(std::move(*row));
   PTLDB_RETURN_IF_ERROR(root->status());
+  ThisThreadQueryCounters().rows_emitted += rows.size();
   return rows;
 }
 

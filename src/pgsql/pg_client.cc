@@ -18,6 +18,26 @@ std::string ConnError(PGconn* conn) {
 
 }  // namespace
 
+/// Times one statement round-trip and folds it into the connection's
+/// stats on scope exit, error paths included.
+class PgConnection::ScopedStatementTimer {
+ public:
+  explicit ScopedStatementTimer(PgStatementStats* stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedStatementTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    stats_->statements += 1;
+    stats_->total_ns += ns;
+    if (ns > stats_->max_ns) stats_->max_ns = ns;
+  }
+
+ private:
+  PgStatementStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 Result<std::unique_ptr<PgConnection>> PgConnection::Connect(
     const std::string& conninfo, const PgConnectOptions& options) {
   std::string info = conninfo;
@@ -60,6 +80,7 @@ PgConnection::~PgConnection() {
 }
 
 Status PgConnection::Exec(const std::string& sql) {
+  ScopedStatementTimer timer(&stats_);
   PGresult* result = PQexec(Conn(conn_), sql.c_str());
   const ExecStatusType status = PQresultStatus(result);
   PQclear(result);
@@ -77,6 +98,7 @@ Result<std::vector<std::vector<std::string>>> PgConnection::Query(
 Result<std::vector<std::vector<std::string>>> PgConnection::QueryWithNulls(
     const std::string& sql, const std::vector<std::string>& params,
     std::vector<std::vector<bool>>* nulls) {
+  ScopedStatementTimer timer(&stats_);
   std::vector<const char*> values;
   values.reserve(params.size());
   for (const std::string& p : params) values.push_back(p.c_str());
@@ -107,6 +129,7 @@ Result<std::vector<std::vector<std::string>>> PgConnection::QueryWithNulls(
 
 Status PgConnection::CopyIn(const std::string& table,
                             std::string_view payload) {
+  ScopedStatementTimer timer(&stats_);
   PGresult* start =
       PQexec(Conn(conn_), ("COPY " + table + " FROM STDIN").c_str());
   const ExecStatusType status = PQresultStatus(start);

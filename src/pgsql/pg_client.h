@@ -30,6 +30,16 @@ struct PgConnectOptions {
   uint32_t statement_timeout_ms = 60'000;
 };
 
+/// Cumulative timing of statement round-trips on one connection — wall
+/// time from issuing a statement to the last result byte, as seen by the
+/// client. The header (and this struct) compiles without libpq; only the
+/// implementation requires it.
+struct PgStatementStats {
+  uint64_t statements = 0;  ///< Exec + Query + CopyIn calls completed.
+  uint64_t total_ns = 0;    ///< Sum of round-trip wall times.
+  uint64_t max_ns = 0;      ///< Slowest single round-trip.
+};
+
 /// Thin RAII wrapper around a libpq connection. Only built when libpq is
 /// available (PTLDB_HAVE_LIBPQ); everything PTLDB needs from PostgreSQL:
 /// command execution, parameterized queries with text results, and COPY
@@ -66,10 +76,21 @@ class PgConnection {
   /// terminated, without the trailing "\\.") into `table`.
   Status CopyIn(const std::string& table, std::string_view payload);
 
+  /// Round-trip accounting since construction (or the last reset). Every
+  /// Exec/Query/CopyIn — successful or not — is timed, so benchmark
+  /// drivers can report server-side latency separately from client-side
+  /// row decoding. Not thread-safe: a PgConnection serves one thread.
+  const PgStatementStats& statement_stats() const { return stats_; }
+  void ResetStatementStats() { stats_ = {}; }
+
  private:
   explicit PgConnection(void* conn) : conn_(conn) {}
 
+  /// RAII timer used by every statement entry point; see pg_client.cc.
+  class ScopedStatementTimer;
+
   void* conn_;  // PGconn*; kept as void* so the header needs no libpq-fe.h.
+  PgStatementStats stats_;
 };
 
 }  // namespace ptldb

@@ -18,6 +18,47 @@ bool IsStorageFault(const Status& s) {
 
 }  // namespace
 
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kV2vEa:
+      return "v2v_ea";
+    case QueryType::kV2vLd:
+      return "v2v_ld";
+    case QueryType::kV2vSd:
+      return "v2v_sd";
+    case QueryType::kEaKnn:
+      return "ea_knn";
+    case QueryType::kLdKnn:
+      return "ld_knn";
+    case QueryType::kEaOtm:
+      return "ea_otm";
+    case QueryType::kLdOtm:
+      return "ld_otm";
+  }
+  return "unknown";
+}
+
+PtldbDatabase::PtldbDatabase(const PtldbOptions& options)
+    : db_(options.device, options.buffer_pool_pages),
+      device_(db_.device()),
+      num_threads_(options.num_threads) {
+  MetricsRegistry* m = db_.metrics();
+  for (size_t i = 0; i < kNumQueryTypes; ++i) {
+    const std::string prefix =
+        std::string("query.") + QueryTypeName(static_cast<QueryType>(i));
+    query_count_[i] = m->counter(prefix + ".count");
+    query_latency_[i] = m->histogram(prefix + ".latency_ns");
+  }
+  degraded_ = m->counter("query.degraded");
+  degraded_io_error_ = m->counter("query.degraded.io_error");
+  degraded_corruption_ = m->counter("query.degraded.corruption");
+  exec_tuples_ = m->counter("exec.tuples_scanned");
+  exec_seeks_ = m->counter("exec.index_seeks");
+  exec_rows_ = m->counter("exec.rows_emitted");
+  ttl_hubs_ = m->counter("ttl.hubs_merged");
+  ttl_cmps_ = m->counter("ttl.label_comparisons");
+}
+
 Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
     const TtlIndex& index, const PtldbOptions& options) {
   std::unique_ptr<PtldbDatabase> db(new PtldbDatabase(options));
@@ -55,24 +96,23 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
 
 Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
                                                  Timestamp t) {
-  ++stats_.queries;
-  stats_.last_degraded = false;
-  return QueryV2vEa(&db_, s, g, t);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kV2vEa, [&] { return QueryV2vEa(&db_, s, g, t); });
 }
 
 Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
                                                  Timestamp t_end) {
-  ++stats_.queries;
-  stats_.last_degraded = false;
-  return QueryV2vLd(&db_, s, g, t_end);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kV2vLd,
+               [&] { return QueryV2vLd(&db_, s, g, t_end); });
 }
 
 Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
                                                   Timestamp t,
                                                   Timestamp t_end) {
-  ++stats_.queries;
-  stats_.last_degraded = false;
-  return QueryV2vSd(&db_, s, g, t, t_end);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kV2vSd,
+               [&] { return QueryV2vSd(&db_, s, g, t, t_end); });
 }
 
 Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
@@ -123,16 +163,19 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
 Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
     Result<std::vector<StopTimeResult>> primary, const TargetSetInfo& info,
     StopId q, Timestamp t, uint32_t k, bool ld) {
-  ++stats_.queries;
-  stats_.last_degraded = false;
   if (primary.ok() || !IsStorageFault(primary.status())) return primary;
   // A corrupt or unreadable optimized row must not fail the query outright:
   // the label tables still answer it exactly via per-target v2v (Section
   // 3.2's baseline), just slower.
   auto fallback = ld ? LdFallback(info, q, t, k) : EaFallback(info, q, t, k);
   if (!fallback.ok()) return primary;  // Both paths faulted: first error.
-  stats_.last_degraded = true;
-  ++stats_.degraded;
+  last_degraded_.store(true, std::memory_order_relaxed);
+  degraded_->Add(1);
+  (primary.status().code() == Status::Code::kCorruption
+       ? degraded_corruption_
+       : degraded_io_error_)
+      ->Add(1);
+  if (trace_) trace_->AddStat("degraded", 1);
   return fallback;
 }
 
@@ -140,57 +183,94 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  return OrDegrade(QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds),
-                   **info, q, t, k, /*ld=*/false);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kEaKnn, [&] {
+    return OrDegrade(
+        QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds), **info, q,
+        t, k, /*ld=*/false);
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  return OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
-                              (*info)->max_bucket),
-                   **info, q, t, k, /*ld=*/true);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kLdKnn, [&] {
+    return OrDegrade(QueryLdKnn(&db_, set_name, q, t, k,
+                                (*info)->bucket_seconds, (*info)->max_bucket),
+                     **info, q, t, k, /*ld=*/true);
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  ++stats_.queries;
-  stats_.last_degraded = false;
-  return QueryEaKnnNaive(&db_, set_name, q, t, k);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kEaKnn,
+               [&] { return QueryEaKnnNaive(&db_, set_name, q, t, k); });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
-  ++stats_.queries;
-  stats_.last_degraded = false;
-  return QueryLdKnnNaive(&db_, set_name, q, t, k);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kLdKnn,
+               [&] { return QueryLdKnnNaive(&db_, set_name, q, t, k); });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
   auto info = ValidateSet(set_name, 1);
   if (!info.ok()) return info.status();
-  return OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
-                   **info, q, t, /*k=*/0, /*ld=*/false);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kEaOtm, [&] {
+    return OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
+                     **info, q, t, /*k=*/0, /*ld=*/false);
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
   auto info = ValidateSet(set_name, 1);
   if (!info.ok()) return info.status();
-  return OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                              (*info)->max_bucket),
-                   **info, q, t, /*k=*/0, /*ld=*/true);
+  last_degraded_.store(false, std::memory_order_relaxed);
+  return Timed(QueryType::kLdOtm, [&] {
+    return OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                                (*info)->max_bucket),
+                     **info, q, t, /*k=*/0, /*ld=*/true);
+  });
 }
 
 void PtldbDatabase::ResetIoStats() {
   device_->ResetStats();
   db_.buffer_pool()->ResetStats();
 }
+
+PtldbDatabase::QueryStats PtldbDatabase::query_stats() const {
+  QueryStats out;
+  for (size_t i = 0; i < kNumQueryTypes; ++i) {
+    out.by_type[i] = query_count_[i]->value();
+    out.queries += out.by_type[i];
+  }
+  out.degraded = degraded_->value();
+  out.last_degraded = last_degraded_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PtldbDatabase::ResetQueryStats() {
+  for (size_t i = 0; i < kNumQueryTypes; ++i) {
+    query_count_[i]->Reset();
+    query_latency_[i]->Reset();
+  }
+  degraded_->Reset();
+  degraded_io_error_->Reset();
+  degraded_corruption_->Reset();
+  last_degraded_.store(false, std::memory_order_relaxed);
+}
+
+MetricsSnapshot PtldbDatabase::Snapshot() const { return db_.Snapshot(); }
 
 }  // namespace ptldb

@@ -1,17 +1,39 @@
 #ifndef PTLDB_PTLDB_PTLDB_H_
 #define PTLDB_PTLDB_PTLDB_H_
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "timetable/types.h"
 #include "ttl/label.h"
 
 namespace ptldb {
+
+/// The seven query types of the paper (Codes 1-4). Used to key the
+/// facade's per-type counters and latency histograms.
+enum class QueryType {
+  kV2vEa = 0,
+  kV2vLd,
+  kV2vSd,
+  kEaKnn,
+  kLdKnn,
+  kEaOtm,
+  kLdOtm,
+};
+inline constexpr size_t kNumQueryTypes = 7;
+
+/// Stable short name ("v2v_ea", "ea_knn", ...) used in metric names and
+/// trace spans.
+const char* QueryTypeName(QueryType type);
 
 /// Options for building a PtldbDatabase.
 struct PtldbOptions {
@@ -88,11 +110,31 @@ class PtldbDatabase {
   // --- Administration / instrumentation ---
   /// Cold-cache reset, like the paper's server restart between experiments.
   void DropCaches() { db_.DropCaches(); }
-  /// Modeled I/O time accumulated since the last ResetIoStats().
+  /// Modeled I/O time accumulated since the last ResetIoStats(): page
+  /// transfers plus retry-backoff waits.
   uint64_t io_time_ns() const { return device_->total_ns(); }
+  /// Zeroes *every* device counter of normal operation (transfer ns,
+  /// retry/backoff wait ns, read counts) and the buffer pool's
+  /// cache-effectiveness counters, so a measurement window starts from a
+  /// true zero. Injected-fault counters survive (see StorageDevice).
   void ResetIoStats();
   /// Total table footprint in bytes (heap + index pages).
   uint64_t size_bytes() const { return db_.total_size_bytes(); }
+
+  /// Snapshot of every metric in the stack: the engine's device/buffer-pool
+  /// counters, the executor/TTL operation counters, and the facade's
+  /// per-query-type counts, latency histograms and degradation causes.
+  /// Export with MetricsSnapshot::ToPrometheusText() / ToJson().
+  MetricsSnapshot Snapshot() const;
+  /// The registry behind Snapshot(), for callers adding their own metrics.
+  MetricsRegistry* metrics() { return db_.metrics(); }
+
+  /// Installs a span tracer: every facade query opens a span named after
+  /// its query type and attaches its engine-counter deltas (pool
+  /// hits/misses, device reads, hubs merged, ...). The trace is owned by
+  /// the caller and is not thread-safe — install it only while this
+  /// database is queried from one thread; pass nullptr to detach.
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
 
   EngineDatabase* engine() { return &db_; }
   uint32_t num_stops() const { return num_stops_; }
@@ -107,14 +149,20 @@ class PtldbDatabase {
     std::vector<StopId> targets;
   };
 
-  /// Per-facade query accounting, including degradation events.
+  /// Per-facade query accounting, including degradation events. A
+  /// point-in-time snapshot (returned by value): the counters behind it
+  /// are registry-backed atomics, so accounting is exact even when
+  /// multiple threads query one database concurrently.
   struct QueryStats {
     uint64_t queries = 0;    ///< Facade queries answered (any type).
     uint64_t degraded = 0;   ///< Answered via the v2v fallback plan.
     bool last_degraded = false;  ///< Whether the last query degraded.
+    /// Queries per type, indexed by QueryType. The naive kNN baselines
+    /// count toward their kNN type. Sums to `queries`.
+    std::array<uint64_t, kNumQueryTypes> by_type = {};
   };
-  const QueryStats& query_stats() const { return stats_; }
-  void ResetQueryStats() { stats_ = QueryStats{}; }
+  QueryStats query_stats() const;
+  void ResetQueryStats();
   /// Registered target sets, in name order.
   std::vector<TargetSetInfo> target_sets() const {
     std::vector<TargetSetInfo> out;
@@ -127,13 +175,39 @@ class PtldbDatabase {
   }
 
  private:
-  explicit PtldbDatabase(const PtldbOptions& options)
-      : db_(options.device, options.buffer_pool_pages),
-        device_(db_.device()),
-        num_threads_(options.num_threads) {}
+  explicit PtldbDatabase(const PtldbOptions& options);
 
   Result<const TargetSetInfo*> ValidateSet(const std::string& set_name,
                                            uint32_t k) const;
+
+  /// Wraps one facade query: opens a trace span named after the query
+  /// type, then counts the query, records its latency (wall time plus the
+  /// modeled-I/O delta, the paper's reporting convention) and flushes the
+  /// thread's LocalQueryCounters deltas into the registry.
+  template <typename Fn>
+  auto Timed(QueryType type, Fn&& fn) -> decltype(fn()) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    const uint64_t io0 = device_->total_ns();
+    const LocalQueryCounters local0 = ThisThreadQueryCounters();
+    auto result = [&] {
+      ScopedEngineSpan span(trace_, &db_, QueryTypeName(type));
+      return fn();
+    }();
+    const uint64_t wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count());
+    const size_t i = static_cast<size_t>(type);
+    query_count_[i]->Add(1);
+    query_latency_[i]->Record(wall_ns + (device_->total_ns() - io0));
+    const LocalQueryCounters d = ThisThreadQueryCounters() - local0;
+    if (d.tuples_scanned) exec_tuples_->Add(d.tuples_scanned);
+    if (d.index_seeks) exec_seeks_->Add(d.index_seeks);
+    if (d.rows_emitted) exec_rows_->Add(d.rows_emitted);
+    if (d.hubs_merged) ttl_hubs_->Add(d.hubs_merged);
+    if (d.label_comparisons) ttl_cmps_->Add(d.label_comparisons);
+    return result;
+  }
 
   /// Per-target v2v answers (the always-correct baseline) used when the
   /// optimized kNN/OTM tables fault. k == 0 means one-to-many (no limit).
@@ -155,7 +229,23 @@ class PtldbDatabase {
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
   std::map<std::string, TargetSetInfo> target_sets_;
-  QueryStats stats_;
+
+  // Registry-backed query accounting (pointers are stable; see
+  // MetricsRegistry). All writes are atomic, so concurrent facade
+  // queries account exactly.
+  std::array<Counter*, kNumQueryTypes> query_count_ = {};
+  std::array<Histogram*, kNumQueryTypes> query_latency_ = {};
+  Counter* degraded_ = nullptr;
+  Counter* degraded_io_error_ = nullptr;
+  Counter* degraded_corruption_ = nullptr;
+  Counter* exec_tuples_ = nullptr;
+  Counter* exec_seeks_ = nullptr;
+  Counter* exec_rows_ = nullptr;
+  Counter* ttl_hubs_ = nullptr;
+  Counter* ttl_cmps_ = nullptr;
+  std::atomic<bool> last_degraded_{false};
+
+  QueryTrace* trace_ = nullptr;  ///< Borrowed; single-thread use only.
 };
 
 }  // namespace ptldb

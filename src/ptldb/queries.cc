@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/metrics.h"
 #include "engine/exec.h"
 #include "ptldb/tables.h"
 
@@ -52,8 +53,10 @@ Status CheckLabelRow(const Row& row) {
 // First index in [lo, hi) with td >= t (group is Pareto: td ascending).
 size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
                       Timestamp t) {
+  auto& counters = ThisThreadQueryCounters();
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
+    ++counters.label_comparisons;
     if (v.tds[mid] >= t) {
       hi = mid;
     } else {
@@ -65,10 +68,12 @@ size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
 
 // Last index in [lo, hi) with ta <= t, or hi when none.
 size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi, Timestamp t) {
+  auto& counters = ThisThreadQueryCounters();
   size_t l = lo;
   size_t h = hi;
   while (l < h) {
     const size_t mid = l + (h - l) / 2;
+    ++counters.label_comparisons;
     if (v.tas[mid] <= t) {
       l = mid + 1;
     } else {
@@ -95,6 +100,7 @@ void MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
       size_t j2 = j;
       while (i2 < a.size() && a.hubs[i2] == ha) ++i2;
       while (j2 < b.size() && b.hubs[j2] == ha) ++j2;
+      ++ThisThreadQueryCounters().hubs_merged;
       fn(i, i2, j, j2);
       i = i2;
       j = j2;
@@ -134,6 +140,7 @@ Result<std::vector<StopTimeResult>> CollectResults(OperatorPtr plan) {
     out.push_back({static_cast<StopId>((*row)[0].AsInt()), (*row)[1].AsInt()});
   }
   PTLDB_RETURN_IF_ERROR(plan->status());
+  ThisThreadQueryCounters().rows_emitted += out.size();
   return out;
 }
 
@@ -204,14 +211,29 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
   }
   // Hash join on hub (outp is the probe side), then the residual
   // outp.ta <= inp.td predicate. Joined columns: 0 hub, 1 out_td, 2 out_ta,
-  // 3 hub, 4 in_td, 5 in_ta.
+  // 3 hub, 4 in_td, 5 in_ta. Each residual evaluation compares one pair of
+  // label tuples at a common hub; the plan runs on this thread, so the
+  // captured per-thread counters are safe.
+  LocalQueryCounters* counters = &ThisThreadQueryCounters();
   OperatorPtr joined = MakeHashJoin(std::move(outp), std::move(inp), 0, 0);
-  joined = MakeFilter(std::move(joined), [](const Row& r) {
+  joined = MakeFilter(std::move(joined), [counters](const Row& r) {
+    ++counters->label_comparisons;
     return r[2].AsInt() <= r[4].AsInt();
   });
   Timestamp best =
       kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
+  // Probe rows arrive hub-sorted (label rows are), so a hub change in the
+  // join output marks the next common-hub group.
+  int32_t last_hub = 0;
+  bool any_rows = false;
   while (auto row = joined->Next()) {
+    const int32_t hub = (*row)[0].AsInt();
+    if (!any_rows || hub != last_hub) {
+      ++counters->hubs_merged;
+      any_rows = true;
+      last_hub = hub;
+    }
+    ++counters->rows_emitted;
     switch (kind) {
       case V2vPlanKind::kEa:
         best = std::min(best, (*row)[5].AsInt());

@@ -359,6 +359,11 @@ Status BuildTargetSetTables(const TtlIndex& index,
     ThreadPool pool(num_threads);
     pool.ParallelFor(groups.size(),
                      [&](uint32_t, uint64_t g) { build_group(g); });
+    MetricsRegistry* m = db->metrics();
+    m->counter("threadpool.tasks_executed")->Add(pool.executed());
+    m->counter("threadpool.tasks_stolen")->Add(pool.stolen());
+    m->gauge("threadpool.max_queue_depth")
+        ->Max(static_cast<int64_t>(pool.max_pending()));
   } else {
     for (size_t g = 0; g < groups.size(); ++g) build_group(g);
   }

@@ -1,6 +1,7 @@
 #include "sql/interpreter.h"
 
 #include <algorithm>
+#include <cctype>
 #include <limits>
 #include <map>
 #include <unordered_map>
@@ -292,13 +293,16 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
 
 class Executor {
  public:
-  Executor(EngineDatabase* db, const std::vector<int64_t>& params)
-      : db_(db), params_(params) {}
+  Executor(EngineDatabase* db, const std::vector<int64_t>& params,
+           QueryTrace* trace)
+      : db_(db), params_(params), trace_(trace) {}
 
   Result<SqlRelation> Run(const SqlSelect& select) {
     for (const auto& [name, body] : select.ctes) {
+      ScopedEngineSpan span(trace_, db_, "cte " + name);
       auto relation = RunCompound(*body);
       if (!relation.ok()) return relation;
+      span.AddStat("rows", relation->rows.size());
       ctes_[name] = std::move(*relation);
     }
     return RunCompound(select);
@@ -335,12 +339,15 @@ class Executor {
   Result<SqlRelation> LoadSource(const SqlTableRef& ref) {
     SqlRelation relation;
     if (ref.subquery != nullptr) {
+      ScopedEngineSpan span(trace_, db_, "subquery");
       auto inner = RunCompound(*ref.subquery);
       if (!inner.ok()) return inner;
+      span.AddStat("rows", inner->rows.size());
       relation = std::move(*inner);
     } else if (const auto it = ctes_.find(ref.table); it != ctes_.end()) {
       relation = it->second;
     } else if (const EngineTable* table = db_->FindTable(ref.table)) {
+      ScopedEngineSpan span(trace_, db_, "scan " + ref.table);
       const Schema& schema = table->schema();
       for (size_t i = 0; i < schema.num_columns(); ++i) {
         relation.columns.push_back({"", schema.column(i).name});
@@ -365,6 +372,7 @@ class Executor {
       // A faulted scan ends like a clean one; the cursor status tells
       // them apart.
       PTLDB_RETURN_IF_ERROR(cursor.status());
+      span.AddStat("rows", relation.rows.size());
     } else {
       return Status::NotFound("unknown table " + ref.table);
     }
@@ -472,6 +480,8 @@ class Executor {
                                const SqlRelation& right,
                                const std::vector<const SqlExpr*>& left_keys,
                                const std::vector<const SqlExpr*>& right_keys) {
+    ScopedEngineSpan span(trace_, db_,
+                          left_keys.empty() ? "cross join" : "hash join");
     SqlRelation out;
     out.columns = left.columns;
     out.columns.insert(out.columns.end(), right.columns.begin(),
@@ -499,6 +509,7 @@ class Executor {
           out.rows.push_back(std::move(row));
         }
       }
+      span.AddStat("rows", out.rows.size());
       return out;
     }
 
@@ -520,6 +531,7 @@ class Executor {
         out.rows.push_back(std::move(row));
       }
     }
+    span.AddStat("rows", out.rows.size());
     return out;
   }
 
@@ -644,8 +656,12 @@ class Executor {
     std::vector<const SqlExpr*> residual;
     auto input = BuildFromRelation(select, &residual);
     if (!input.ok()) return input;
-    for (const SqlExpr* conjunct : residual) {
-      PTLDB_RETURN_IF_ERROR(FilterInPlace(*conjunct, &*input));
+    if (!residual.empty()) {
+      ScopedEngineSpan span(trace_, db_, "filter");
+      for (const SqlExpr* conjunct : residual) {
+        PTLDB_RETURN_IF_ERROR(FilterInPlace(*conjunct, &*input));
+      }
+      span.AddStat("rows", input->rows.size());
     }
 
     // Does anything aggregate?
@@ -659,15 +675,29 @@ class Executor {
 
     SqlRelation projected;
     if (has_aggregate) {
+      ScopedEngineSpan span(trace_, db_, "aggregate");
       auto grouped = RunGrouped(select, *input);
       if (!grouped.ok()) return grouped;
       projected = std::move(*grouped);
+      span.AddStat("rows", projected.rows.size());
     } else {
       // UNNEST / plain projection path with post-projection ORDER BY.
-      auto plain = Project(select, *input);
-      if (!plain.ok()) return plain;
-      projected = std::move(*plain);
+      bool has_unnest = false;
+      for (const auto& item : select.items) {
+        if (item.expr->kind == SqlExprKind::kFunction &&
+            item.expr->function == "UNNEST") {
+          has_unnest = true;
+        }
+      }
+      {
+        ScopedEngineSpan span(trace_, db_, has_unnest ? "unnest" : "project");
+        auto plain = Project(select, *input);
+        if (!plain.ok()) return plain;
+        projected = std::move(*plain);
+        span.AddStat("rows", projected.rows.size());
+      }
       if (!select.order_by.empty()) {
+        ScopedEngineSpan span(trace_, db_, "sort");
         PTLDB_RETURN_IF_ERROR(SortRelation(select, &projected));
       }
     }
@@ -844,22 +874,99 @@ class Executor {
 
   EngineDatabase* db_;
   const std::vector<int64_t>& params_;
+  QueryTrace* trace_;  // Null = tracing off.
   std::map<std::string, SqlRelation> ctes_;
 };
+
+// Matches an `EXPLAIN ANALYZE` prefix (case-insensitive, any whitespace)
+// and returns the statement after it, or nullopt when not present.
+std::optional<std::string> StripExplainAnalyze(const std::string& sql) {
+  const auto skip_spaces = [&](size_t i) {
+    while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    return i;
+  };
+  const auto match_word = [&](size_t i, const char* word) -> size_t {
+    size_t j = 0;
+    while (word[j] != '\0') {
+      if (i + j >= sql.size() ||
+          std::toupper(static_cast<unsigned char>(sql[i + j])) != word[j]) {
+        return std::string::npos;
+      }
+      ++j;
+    }
+    // The keyword must end at a word boundary.
+    if (i + j < sql.size() &&
+        std::isalnum(static_cast<unsigned char>(sql[i + j]))) {
+      return std::string::npos;
+    }
+    return i + j;
+  };
+  size_t i = skip_spaces(0);
+  i = match_word(i, "EXPLAIN");
+  if (i == std::string::npos) return std::nullopt;
+  i = skip_spaces(i);
+  i = match_word(i, "ANALYZE");
+  if (i == std::string::npos) return std::nullopt;
+  return sql.substr(i);
+}
+
+// Renders a trace as the single-column "QUERY PLAN" relation (one text
+// row per span line), PostgreSQL style.
+SqlRelation RenderPlan(const QueryTrace& trace, bool include_timings) {
+  SqlRelation plan;
+  plan.columns.push_back({"", "QUERY PLAN"});
+  const std::string text = trace.ToString(include_timings);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    plan.rows.push_back({SqlValue(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return plan;
+}
 
 }  // namespace
 
 Result<SqlRelation> SqlInterpreter::Execute(
     const std::string& sql, const std::vector<int64_t>& params) {
+  if (auto inner = StripExplainAnalyze(sql)) {
+    return ExplainAnalyze(*inner, params);
+  }
   auto select = ParseSqlSelect(sql);
   if (!select.ok()) return select.status();
   return ExecuteSelect(**select, params);
 }
 
 Result<SqlRelation> SqlInterpreter::ExecuteSelect(
-    const SqlSelect& select, const std::vector<int64_t>& params) {
-  Executor executor(db_, params);
+    const SqlSelect& select, const std::vector<int64_t>& params,
+    QueryTrace* trace) {
+  Executor executor(db_, params, trace);
   return executor.Run(select);
+}
+
+Result<SqlRelation> SqlInterpreter::ExplainAnalyze(
+    const std::string& sql, const std::vector<int64_t>& params,
+    QueryTrace* trace, SqlRelation* result_out) {
+  const std::string inner = StripExplainAnalyze(sql).value_or(sql);
+  QueryTrace local;
+  QueryTrace* t = trace != nullptr ? trace : &local;
+  Result<SqlRelation> result = [&]() -> Result<SqlRelation> {
+    auto select = [&] {
+      TraceSpan span(t, "parse");
+      return ParseSqlSelect(inner);
+    }();
+    if (!select.ok()) return select.status();
+    ScopedEngineSpan span(t, db_, "execute");
+    auto rows = ExecuteSelect(**select, params, t);
+    if (rows.ok()) span.AddStat("rows", rows->rows.size());
+    return rows;
+  }();
+  PTLDB_RETURN_IF_ERROR(result.status());
+  if (result_out != nullptr) *result_out = std::move(*result);
+  return RenderPlan(*t, /*include_timings=*/true);
 }
 
 }  // namespace ptldb

@@ -8,14 +8,16 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "sql/ast.h"
 
 namespace ptldb {
 
-/// A runtime SQL value: NULL, a 64-bit integer, or an integer array.
+/// A runtime SQL value: NULL, a 64-bit integer, an integer array, or text
+/// (text appears only in informational results such as EXPLAIN ANALYZE).
 using SqlValue =
-    std::variant<std::monostate, int64_t, std::vector<int32_t>>;
+    std::variant<std::monostate, int64_t, std::vector<int32_t>, std::string>;
 
 inline bool SqlIsNull(const SqlValue& v) {
   return std::holds_alternative<std::monostate>(v);
@@ -49,12 +51,34 @@ class SqlInterpreter {
   explicit SqlInterpreter(EngineDatabase* db) : db_(db) {}
 
   /// Parses and executes `sql` with the given parameters.
+  ///
+  /// A statement prefixed with `EXPLAIN ANALYZE` (case-insensitive) is
+  /// executed under a span tracer and returns the rendered span tree —
+  /// one text row per span with wall times and the engine-counter deltas
+  /// (buffer-pool hits/misses, device reads, tuples scanned) of each
+  /// plan step — as a single-column "QUERY PLAN" relation, PostgreSQL
+  /// style. Bare EXPLAIN (without executing) is not supported: the
+  /// interpreter has no cost model to report without running the query.
   Result<SqlRelation> Execute(const std::string& sql,
                               const std::vector<int64_t>& params = {});
 
-  /// Executes an already-parsed statement.
+  /// Executes an already-parsed statement. `trace`, when non-null,
+  /// receives one span per plan step (parse is already done here).
   Result<SqlRelation> ExecuteSelect(const SqlSelect& select,
-                                    const std::vector<int64_t>& params = {});
+                                    const std::vector<int64_t>& params = {},
+                                    QueryTrace* trace = nullptr);
+
+  /// EXPLAIN ANALYZE as an API: runs `sql` (with or without the
+  /// `EXPLAIN ANALYZE` prefix) under `trace` and also hands back the
+  /// query's own result rows via `result_out` (both optional). The
+  /// returned relation is the rendered "QUERY PLAN". Tests use the trace
+  /// to compare span counters against the engine's ground truth; the
+  /// timing-free rendering (QueryTrace::ToString(false)) is deterministic
+  /// for a fixed plan and dataset.
+  Result<SqlRelation> ExplainAnalyze(const std::string& sql,
+                                     const std::vector<int64_t>& params = {},
+                                     QueryTrace* trace = nullptr,
+                                     SqlRelation* result_out = nullptr);
 
  private:
   EngineDatabase* db_;

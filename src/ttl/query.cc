@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace ptldb {
 
 namespace {
@@ -21,16 +23,23 @@ TupleSpan HubGroup(TupleSpan tuples, StopId hub) {
 // First tuple with td >= t; group Pareto order makes it the min-ta feasible
 // tuple. Returns group.end() when none.
 TupleSpan::iterator FirstNotBefore(TupleSpan group, Timestamp t) {
+  auto& counters = ThisThreadQueryCounters();
   return std::partition_point(group.begin(), group.end(),
-                              [&](const LabelTuple& x) { return x.td < t; });
+                              [&](const LabelTuple& x) {
+                                ++counters.label_comparisons;
+                                return x.td < t;
+                              });
 }
 
 // Last tuple with ta <= t; group Pareto order makes it the max-td feasible
 // tuple. Returns group.end() when none.
 TupleSpan::iterator LastNotAfter(TupleSpan group, Timestamp t) {
-  const auto it = std::partition_point(
-      group.begin(), group.end(),
-      [&](const LabelTuple& x) { return x.ta <= t; });
+  auto& counters = ThisThreadQueryCounters();
+  const auto it = std::partition_point(group.begin(), group.end(),
+                                       [&](const LabelTuple& x) {
+                                         ++counters.label_comparisons;
+                                         return x.ta <= t;
+                                       });
   return it == group.begin() ? group.end() : it - 1;
 }
 
@@ -52,6 +61,7 @@ void ForEachCommonHub(TupleSpan out_s, TupleSpan in_g, Fn&& fn) {
       size_t j2 = j;
       while (i2 < out_s.size() && out_s[i2].hub == ha) ++i2;
       while (j2 < in_g.size() && in_g[j2].hub == ha) ++j2;
+      ++ThisThreadQueryCounters().hubs_merged;
       fn(out_s.subspan(i, i2 - i), in_g.subspan(j, j2 - j));
       i = i2;
       j = j2;

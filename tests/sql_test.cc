@@ -556,6 +556,102 @@ TEST_F(SqlExampleGoldenTest, Codes2To4ExhaustiveMatchPhysicalPlans) {
   }
 }
 
+// ---------- EXPLAIN ANALYZE ----------
+
+uint64_t SpanStat(const QueryTrace::Span& span, const std::string& key) {
+  for (const auto& [k, v] : span.stats) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+const QueryTrace::Span* FindChild(const QueryTrace::Span& span,
+                                  const std::string& name) {
+  for (const auto& child : span.children) {
+    if (child->name == name) return child.get();
+  }
+  return nullptr;
+}
+
+TEST_F(SqlExampleGoldenTest, ExplainAnalyzePrefixReturnsPlanRelation) {
+  SqlInterpreter interpreter(db_->engine());
+  auto plan = interpreter.Execute(
+      "explain analyze " + V2vSql(V2vKind::kEarliestArrival), {5, 6, 28800});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->columns.size(), 1u);
+  EXPECT_EQ(plan->columns[0].name, "QUERY PLAN");
+  ASSERT_FALSE(plan->rows.empty());
+  const std::string first = std::get<std::string>(plan->rows[0][0]);
+  EXPECT_NE(first.find("query"), std::string::npos);
+  EXPECT_NE(first.find("[time="), std::string::npos);
+  // An identifier starting with the keyword must not trigger the prefix.
+  EXPECT_FALSE(interpreter.Execute("EXPLAIN ANALYZEX SELECT 1").ok());
+}
+
+TEST_F(SqlExampleGoldenTest, ExplainAnalyzeGoldenPlan) {
+  SqlInterpreter interpreter(db_->engine());
+  QueryTrace trace;
+  SqlRelation result;
+  auto plan = interpreter.ExplainAnalyze(V2vSql(V2vKind::kEarliestArrival),
+                                         {5, 6, 28800}, &trace, &result);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The traced query still answers: EA(5, 6, 28800) = 43200 on Figure 1.
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), 43200);
+  // Timing-free rendering is deterministic: the Ram device has zero
+  // modeled latency (so no ns stats appear) and the operation counts
+  // depend only on the fixed example dataset. Each of the 7 stops has one
+  // lout and one lin row; the two CTE scans each read a 7-row table and
+  // unnest one row's label tuples.
+  EXPECT_EQ(
+      trace.ToString(false),
+      "query\n"
+      "  parse\n"
+      "  execute  rows=1  pool.hits=40  pool.misses=4  device.reads=4"
+      "  index.seeks=2  tuples.scanned=14\n"
+      "    cte outp  rows=3  pool.hits=20  pool.misses=2  device.reads=2"
+      "  index.seeks=1  tuples.scanned=7\n"
+      "      scan lout  rows=7  pool.hits=20  pool.misses=2  device.reads=2"
+      "  index.seeks=1  tuples.scanned=7\n"
+      "      unnest  rows=3\n"
+      "    cte inp  rows=3  pool.hits=20  pool.misses=2  device.reads=2"
+      "  index.seeks=1  tuples.scanned=7\n"
+      "      scan lin  rows=7  pool.hits=20  pool.misses=2  device.reads=2"
+      "  index.seeks=1  tuples.scanned=7\n"
+      "      unnest  rows=3\n"
+      "    hash join  rows=1\n"
+      "    filter  rows=1\n"
+      "    aggregate  rows=1\n");
+}
+
+TEST_F(SqlExampleGoldenTest, ExplainAnalyzeCountersMatchEngineGroundTruth) {
+  // The acceptance bar for the tracer: span counters are captured as
+  // begin/end deltas of the engine's own counters, so after a reset the
+  // top-level execute span must agree with the ground truth exactly.
+  PtldbOptions options;
+  options.device = DeviceProfile::Hdd7200();
+  auto db = PtldbDatabase::Build(index_, options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->AddTargetSet("poi", index_, targets_, kKmax).ok());
+  (*db)->DropCaches();
+  (*db)->ResetIoStats();
+  SqlInterpreter interpreter((*db)->engine());
+  QueryTrace trace;
+  auto plan =
+      interpreter.ExplainAnalyze(EaKnnSql("poi"), {5, 28800, 2}, &trace);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const QueryTrace::Span* exec = FindChild(trace.root(), "execute");
+  ASSERT_NE(exec, nullptr);
+  BufferPool* pool = (*db)->engine()->buffer_pool();
+  StorageDevice* device = (*db)->engine()->device();
+  EXPECT_EQ(SpanStat(*exec, "pool.hits"), pool->hits());
+  EXPECT_EQ(SpanStat(*exec, "pool.misses"), pool->misses());
+  EXPECT_EQ(SpanStat(*exec, "device.reads"), device->reads());
+  EXPECT_GT(SpanStat(*exec, "pool.misses"), 0u);  // Cold cache: real reads.
+  EXPECT_GT(SpanStat(*exec, "device.reads"), 0u);
+  EXPECT_GT(SpanStat(*exec, "tuples.scanned"), 0u);
+}
+
 TEST_F(SqlPaperQueriesTest, PaperWorkedExampleViaSql) {
   // EA(1, 1, 324) = 324 on the Figure-1 example, via the literal Code 1.
   const Timetable example = MakeExampleTimetable();
