@@ -11,9 +11,12 @@
 // that the tracked engine counters actually moved.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "baseline/csa.h"
 #include "baseline/profile.h"
@@ -133,10 +136,48 @@ void BM_TtlPreprocessing(benchmark::State& state) {
 }
 BENCHMARK(BM_TtlPreprocessing);
 
+/// Warm multi-threaded v2v throughput: `threads` workers each replay a
+/// deterministic per-thread schedule of `per_thread` earliest-arrival
+/// queries against the shared (already warm) database. Returns wall
+/// seconds for the whole batch; items = threads * per_thread, so
+/// qps = items / seconds. Used with threads=1 and threads=N to measure
+/// how the sharded buffer pool scales with concurrent readers.
+double RunConcurrentV2v(PtldbDatabase* db, const Timetable& tt,
+                        uint32_t threads, uint32_t per_thread) {
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t * 2654435761u + 101);
+      for (uint32_t i = 0; i < per_thread; ++i) {
+        const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+        const auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+        if (!db->EarliestArrival(s, g, tt.min_time()).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "[bench] %llu concurrent queries failed\n",
+                 static_cast<unsigned long long>(failures.load()));
+    std::exit(1);
+  }
+  return seconds;
+}
+
 /// The --json mode: one manually-timed pass over a tiny generator city.
 /// Deterministic fixture (fixed seeds), so the emitted counters are stable
-/// enough for CI to assert they are nonzero.
-int RunJsonMode(const std::string& path) {
+/// enough for CI to assert they are nonzero. With --concurrency N > 1 the
+/// record additionally carries a single-thread and an N-thread warm v2v
+/// throughput phase (mt_v2v_ea_c1 / mt_v2v_ea_cN) that CI compares.
+int RunJsonMode(const std::string& path, uint32_t concurrency) {
   using Clock = std::chrono::steady_clock;
   BenchRunRecord record;
   record.bench = "bench_micro";
@@ -205,7 +246,32 @@ int RunJsonMode(const std::string& path) {
     }
   });
 
+  if (concurrency > 1) {
+    // Warm throughput scaling: the same per-thread workload measured with
+    // one worker and with `concurrency` workers. On the pre-shard pool a
+    // single global latch serialized every fetch, so cN ~= c1; the sharded
+    // pool must show real scaling (validated by check_bench_json.py).
+    constexpr uint32_t kPerThread = 400;
+    const double c1_s = RunConcurrentV2v(db.get(), tt, 1, kPerThread);
+    record.phases.push_back({"mt_v2v_ea_c1", c1_s, kPerThread,
+                             c1_s * 1e3 / kPerThread});
+    const double cn_s = RunConcurrentV2v(db.get(), tt, concurrency,
+                                         kPerThread);
+    const uint64_t cn_items = static_cast<uint64_t>(concurrency) * kPerThread;
+    record.phases.push_back(
+        {"mt_v2v_ea_c" + std::to_string(concurrency), cn_s, cn_items,
+         cn_s * 1e3 / static_cast<double>(cn_items)});
+    std::fprintf(stderr,
+                 "[bench] warm v2v throughput: c1 %.0f qps, c%u %.0f qps\n",
+                 kPerThread / c1_s, concurrency,
+                 static_cast<double>(cn_items) / cn_s);
+  }
+
   record.metrics = db->Snapshot();
+  // Scaling expectations depend on the machine: a single-core runner can
+  // never beat c1, it can only avoid collapsing. The checker reads this.
+  record.metrics.gauges["bench.hardware_threads"] =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
   const Status s = WriteBenchJson(record, path);
   if (!s.ok()) {
     std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
@@ -219,17 +285,24 @@ int RunJsonMode(const std::string& path) {
 }  // namespace ptldb
 
 int main(int argc, char** argv) {
-  // Peel off --json PATH before google-benchmark sees the arguments.
+  // Peel off --json PATH and --concurrency N before google-benchmark sees
+  // the arguments.
   std::string json_path;
+  uint32_t concurrency = 1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--concurrency") == 0 && i + 1 < argc) {
+      concurrency = static_cast<uint32_t>(std::atoi(argv[++i]));
+      if (concurrency == 0) concurrency = 1;
+      continue;
+    }
     args.push_back(argv[i]);
   }
-  if (!json_path.empty()) return ptldb::RunJsonMode(json_path);
+  if (!json_path.empty()) return ptldb::RunJsonMode(json_path, concurrency);
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

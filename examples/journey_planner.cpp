@@ -112,7 +112,13 @@ int main(int argc, char** argv) {
               FormatTime(ea).c_str(), FormatTime(ld).c_str());
   const Timestamp sd =
       *(*db)->ShortestDuration(from, to, depart, tt.max_time());
-  std::printf("Shortest possible ride today: %d min\n", sd / 60);
+  if (sd == kInfinityTime) {
+    // The EA above can succeed while no journey fits inside the SD window
+    // [depart, max_time]; dividing the sentinel by 60 would print ~35M min.
+    std::printf("No complete ride fits inside today's service window.\n");
+  } else {
+    std::printf("Shortest possible ride today: %d min\n", sd / 60);
+  }
 
   // Itinerary via the baseline scan (the paper stores expanded paths in the
   // DB for this purpose; here the timetable is at hand).

@@ -29,8 +29,16 @@ void PrintRelation(const ptldb::SqlRelation& relation) {
       if (ptldb::SqlIsNull(value)) {
         std::printf("%-12s", "NULL");
       } else if (std::holds_alternative<int64_t>(value)) {
-        std::printf("%-12lld",
-                    static_cast<long long>(std::get<int64_t>(value)));
+        const int64_t v = std::get<int64_t>(value);
+        if (v == ptldb::kInfinityTime || v == ptldb::kNegInfinityTime) {
+          // Unreachable-pair sentinels must never leak as raw integers;
+          // the interpreter returns NULL for empty aggregates, but a user
+          // query can still COALESCE one in (e.g. pasted from the
+          // paper's PostgreSQL dialect, which uses them as defaults).
+          std::printf("%-12s", "unreachable");
+        } else {
+          std::printf("%-12lld", static_cast<long long>(v));
+        }
       } else if (std::holds_alternative<std::string>(value)) {
         // Text rows (EXPLAIN ANALYZE plans) print unpadded.
         std::printf("%s", std::get<std::string>(value).c_str());

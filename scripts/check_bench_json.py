@@ -89,9 +89,45 @@ def check_record(path):
         latency = metrics["histograms"].get("query.v2v_ea.latency_ns")
         if latency is None or latency["count"] == 0:
             fail(path, "query.v2v_ea.latency_ns histogram is empty")
+        check_concurrency_scaling(path, record)
 
     print(f"{path}: ok ({len(record['phases'])} phases, "
           f"{len(metrics['counters'])} counters)")
+
+
+def check_concurrency_scaling(path, record):
+    """When a --concurrency N run recorded the paired warm multi-threaded
+    phases (mt_v2v_ea_c1 and mt_v2v_ea_cN), require the N-thread batch to
+    actually outperform the single-thread batch on multi-core machines.
+
+    The threshold is deliberately modest (1.15x, not Nx) so CI stays stable
+    on shared 2-core runners; the failure mode it guards against — every
+    fetch serializing on one pool-wide latch, giving cN ~= c1 — misses it
+    by a wide margin. On a single-core machine real speedup is impossible,
+    so only require that contention does not collapse throughput (>= 0.5x).
+    """
+    mt = {p["name"]: p for p in record["phases"]
+          if p["name"].startswith("mt_v2v_ea_c")}
+    if not mt:
+        return  # Run without --concurrency; nothing to compare.
+    base = mt.get("mt_v2v_ea_c1")
+    scaled = [p for name, p in mt.items() if name != "mt_v2v_ea_c1"]
+    if base is None or not scaled:
+        fail(path, "mt_v2v_ea phases present but c1/cN pair incomplete")
+    for phase in scaled:
+        if base["seconds"] <= 0 or phase["seconds"] <= 0:
+            fail(path, f"non-positive duration in {phase['name']!r}")
+        qps_base = base["items"] / base["seconds"]
+        qps = phase["items"] / phase["seconds"]
+        cores = record["metrics"]["gauges"].get("bench.hardware_threads", 0)
+        required = 1.15 if cores >= 2 else 0.5
+        if qps < qps_base * required:
+            fail(path,
+                 f"{phase['name']}: {qps:.0f} qps vs c1 {qps_base:.0f} qps "
+                 f"(< {required}x on a {cores}-thread machine) — "
+                 "concurrent fetches are serializing")
+        print(f"{path}: {phase['name']} {qps:.0f} qps vs c1 "
+              f"{qps_base:.0f} qps on {cores} hardware threads")
 
 
 def main():

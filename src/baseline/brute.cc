@@ -7,13 +7,29 @@
 
 namespace ptldb {
 
+namespace {
+
+/// Target lists have set semantics (mirroring PtldbDatabase::AddTargetSet):
+/// duplicates collapse so a stop never appears twice in one answer.
+std::vector<StopId> UniqueTargets(const std::vector<StopId>& targets) {
+  std::vector<StopId> uniq = targets;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  return uniq;
+}
+
+}  // namespace
+
 std::vector<StopTimeResult> BruteEaOneToMany(
     const Timetable& tt, StopId q, const std::vector<StopId>& targets,
     Timestamp t) {
   const std::vector<Timestamp> arr = EarliestArrivalScan(tt, q, t);
+  const std::vector<StopId> uniq = UniqueTargets(targets);
   std::vector<StopTimeResult> out;
-  out.reserve(targets.size());
-  for (StopId v : targets) {
+  out.reserve(uniq.size());
+  // q ∈ T needs no special case here: the CSA scan seeds arr[q] = t (the
+  // querier is at q already), which is exactly the "stay put" answer.
+  for (StopId v : uniq) {
     if (arr[v] != kInfinityTime) out.push_back({v, arr[v]});
   }
   std::sort(out.begin(), out.end(),
@@ -37,9 +53,17 @@ std::vector<StopTimeResult> BruteLdOneToMany(
   // One forward profile from q answers LD(q, v, t) for every v: the latest
   // departure among Pareto journeys arriving v by t.
   const ProfileSet profile = ForwardProfile(tt, q);
+  const std::vector<StopId> uniq = UniqueTargets(targets);
   std::vector<StopTimeResult> out;
-  out.reserve(targets.size());
-  for (StopId v : targets) {
+  out.reserve(uniq.size());
+  for (StopId v : uniq) {
+    if (v == q) {
+      // The profile holds only real journeys into q, but the querier is
+      // already there: departing exactly at the deadline t still "arrives"
+      // by t. Symmetric to EA's arr[q] = t seed above.
+      out.push_back({v, t});
+      continue;
+    }
     const Timestamp dep = profile.LatestDeparture(v, t);
     if (dep != kNegInfinityTime) out.push_back({v, dep});
   }

@@ -187,9 +187,12 @@ Result<PageId> BTree::DescendToLeaf(IndexKey key, BufferPool* pool) const {
   // The recorded height bounds the walk: even if a corrupt page pointed
   // back into the tree, the descent can never cycle.
   for (uint32_t depth = 1; depth < height_; ++depth) {
-    auto fetched = pool->Fetch(current);
-    PTLDB_RETURN_IF_ERROR(fetched.status());
-    const Page& page = **fetched;
+    // The guard pins the node only for this iteration's reads — the child
+    // page id is extracted before the pin is dropped, so the descent holds
+    // at most one pin at a time.
+    auto guard = pool->Fetch(current);
+    PTLDB_RETURN_IF_ERROR(guard.status());
+    const Page& page = **guard;
     PTLDB_RETURN_IF_ERROR(CheckInternal(page, current));
     current = InternalChild(page, InternalChildSlot(page, key));
     if (current >= store_->num_pages()) {
@@ -204,9 +207,9 @@ Result<std::optional<RowLocator>> BTree::Find(IndexKey key,
   if (root_ == kInvalidPage) return std::optional<RowLocator>{};
   auto leaf_id = DescendToLeaf(key, pool);
   PTLDB_RETURN_IF_ERROR(leaf_id.status());
-  auto fetched = pool->Fetch(*leaf_id);
-  PTLDB_RETURN_IF_ERROR(fetched.status());
-  const Page& page = **fetched;
+  auto guard = pool->Fetch(*leaf_id);
+  PTLDB_RETURN_IF_ERROR(guard.status());
+  const Page& page = **guard;
   PTLDB_RETURN_IF_ERROR(CheckLeaf(page, *leaf_id));
   const uint32_t slot = LeafLowerBound(page, key);
   if (slot < Count(page) && LeafKey(page, slot) == key) {
@@ -223,12 +226,12 @@ BTree::Iterator BTree::SeekNotBefore(IndexKey key, BufferPool* pool) const {
     it.status_ = leaf_id.status();
     return it;
   }
-  auto fetched = pool->Fetch(*leaf_id);
-  if (!fetched.ok()) {
-    it.status_ = fetched.status();
+  auto guard = pool->Fetch(*leaf_id);
+  if (!guard.ok()) {
+    it.status_ = guard.status();
     return it;
   }
-  const Page& page = **fetched;
+  const Page& page = **guard;
   if (Status s = CheckLeaf(page, *leaf_id); !s.ok()) {
     it.status_ = std::move(s);
     return it;
@@ -242,18 +245,22 @@ BTree::Iterator BTree::SeekNotBefore(IndexKey key, BufferPool* pool) const {
     it.slot_ = 0;
     if (it.page_ == kInvalidPage) return it;
   }
+  // Unpin before Load() fetches (it may be the successor leaf): holding
+  // at most one pin at a time means a scan can never wedge a shard whose
+  // other frames are pinned by concurrent queries.
+  guard->Release();
   it.Load();
   return it;
 }
 
 void BTree::Iterator::Load() {
   valid_ = false;
-  auto fetched = pool_->Fetch(page_);
-  if (!fetched.ok()) {
-    status_ = fetched.status();
+  auto guard = pool_->Fetch(page_);
+  if (!guard.ok()) {
+    status_ = guard.status();
     return;
   }
-  const Page& page = **fetched;
+  const Page& page = **guard;
   if (Status s = CheckLeaf(page, page_); !s.ok()) {
     status_ = std::move(s);
     return;
@@ -271,12 +278,12 @@ void BTree::Iterator::Load() {
 void BTree::Iterator::Next() {
   if (!valid_) return;
   valid_ = false;
-  auto fetched = pool_->Fetch(page_);
-  if (!fetched.ok()) {
-    status_ = fetched.status();
+  auto guard = pool_->Fetch(page_);
+  if (!guard.ok()) {
+    status_ = guard.status();
     return;
   }
-  const Page& page = **fetched;
+  const Page& page = **guard;
   if (slot_ + 1 < Count(page)) {
     ++slot_;
   } else {
@@ -288,6 +295,9 @@ void BTree::Iterator::Next() {
       return;
     }
   }
+  // Same single-pin discipline as SeekNotBefore: drop the current leaf's
+  // pin before Load() fetches the (possibly different) successor leaf.
+  guard->Release();
   Load();
 }
 

@@ -56,6 +56,12 @@ class BTree {
   /// The current entry is cached at positioning time, so key()/locator()
   /// never fault; Next() may, in which case Valid() becomes false and
   /// status() holds the error (a clean end-of-scan leaves status() OK).
+  ///
+  /// The iterator remembers (page id, slot), never a frame pointer: each
+  /// Load()/Next() re-fetches through the pool and drops its PageGuard
+  /// before returning, so an open cursor holds no pins between calls and
+  /// can be kept across arbitrarily long query plans without starving a
+  /// tiny pool.
   class Iterator {
    public:
     bool Valid() const { return valid_; }

@@ -107,6 +107,21 @@ MetricsSnapshot EngineDatabase::Snapshot() const {
       static_cast<int64_t>(pool_.resident_pages());
   snap.gauges["bufferpool.quarantined_pages"] =
       static_cast<int64_t>(pool_.quarantined_pages());
+  snap.gauges["bufferpool.pinned_pages"] =
+      static_cast<int64_t>(pool_.pinned_pages());
+  snap.gauges["bufferpool.num_shards"] =
+      static_cast<int64_t>(pool_.num_shards());
+  for (uint32_t s = 0; s < pool_.num_shards(); ++s) {
+    const BufferPool::ShardStats stats = pool_.shard_stats(s);
+    const std::string prefix = "bufferpool.shard" + std::to_string(s) + ".";
+    snap.counters[prefix + "hits"] = stats.hits;
+    snap.counters[prefix + "misses"] = stats.misses;
+    snap.counters[prefix + "evictions"] = stats.evictions;
+    snap.gauges[prefix + "resident_pages"] =
+        static_cast<int64_t>(stats.resident_pages);
+    snap.gauges[prefix + "pinned_pages"] =
+        static_cast<int64_t>(stats.pinned_pages);
+  }
   return snap;
 }
 

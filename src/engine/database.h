@@ -119,10 +119,14 @@ struct EngineCounters {
 /// PostgreSQL?").
 class EngineDatabase {
  public:
+  /// `buffer_pool_shards == 0` lets the pool pick its shard count from
+  /// capacity (see BufferPool); pass an explicit count to pin the layout
+  /// (e.g. concurrency stress tests with deliberately tiny pools).
   explicit EngineDatabase(DeviceProfile profile = DeviceProfile::Hdd7200(),
-                          uint64_t buffer_pool_pages = 1u << 20)
+                          uint64_t buffer_pool_pages = 1u << 20,
+                          uint32_t buffer_pool_shards = 0)
       : device_(std::move(profile)),
-        pool_(&store_, &device_, buffer_pool_pages) {}
+        pool_(&store_, &device_, buffer_pool_pages, buffer_pool_shards) {}
 
   EngineDatabase(const EngineDatabase&) = delete;
   EngineDatabase& operator=(const EngineDatabase&) = delete;
@@ -155,7 +159,9 @@ class EngineDatabase {
   MetricsSnapshot Snapshot() const;
 
   /// Cold-cache reset (the paper restarts the server before experiments).
-  void DropCaches() { pool_.DropCaches(); }
+  /// Fails with kInternal if live PageGuards still pin frames — a query
+  /// is in flight and the drop would be partial.
+  Status DropCaches() { return pool_.DropCaches(); }
 
   /// Total bytes across all tables (heap + index pages).
   uint64_t total_size_bytes() const;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -74,18 +75,14 @@ class StorageDevice {
 
   /// Charges one page read and returns its modeled cost in nanoseconds.
   /// Stat counters are relaxed atomics so observers (metrics snapshots,
-  /// io_time_ns) may read them from any thread; callers serialize the
-  /// non-counter access state (last_page_, fault Rng) themselves — in
-  /// practice the owning BufferPool's latch does.
+  /// io_time_ns) may read them from any thread. The non-counter access
+  /// state (last_page_, fault Rng, sticky-fault maps) is guarded by an
+  /// internal mutex: the buffer pool is sharded, so misses on different
+  /// shards reach the device concurrently and no single pool latch
+  /// serializes it anymore.
   uint64_t ChargeRead(PageId page) {
-    const bool sequential = (page == last_page_ + 1);
-    last_page_ = page;
-    const uint64_t cost =
-        sequential ? profile_.sequential_read_ns : profile_.random_read_ns;
-    read_ns_.fetch_add(cost, std::memory_order_relaxed);
-    reads_.fetch_add(1, std::memory_order_relaxed);
-    if (sequential) sequential_reads_.fetch_add(1, std::memory_order_relaxed);
-    return cost;
+    std::lock_guard<std::mutex> lock(mu_);
+    return ChargeReadLocked(page);
   }
 
   /// Reads one page: charges the latency model, then (under a FaultPolicy)
@@ -94,7 +91,8 @@ class StorageDevice {
   /// never mutated; corruption happens on the wire, where the BufferPool's
   /// checksum verification catches it.
   Status ReadPage(PageId id, const Page& src, Page* frame) {
-    ChargeRead(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    ChargeReadLocked(id);
     if (fault_.enabled()) {
       if (bad_pages_.count(id) > 0) {
         read_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +137,7 @@ class StorageDevice {
   /// Installs (or clears, with a default-constructed policy) the failure
   /// regime and reseeds the fault Rng. Sticky state is reset.
   void set_fault_policy(const FaultPolicy& policy) {
+    std::lock_guard<std::mutex> lock(mu_);
     fault_ = policy;
     rng_ = Rng(policy.seed);
     bad_pages_.clear();
@@ -150,7 +149,10 @@ class StorageDevice {
   /// Called on cache drops: after a real server restart the head position
   /// and the device's internal caches are unknown, so crediting the first
   /// post-drop read as sequential would understate cold-cache cost.
-  void ResetLocality() { last_page_ = kInvalidPage - 1; }
+  void ResetLocality() {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_page_ = kInvalidPage - 1;
+  }
 
   /// Total modeled I/O time since the last ResetStats(): page transfers
   /// plus retry-backoff waits.
@@ -188,7 +190,22 @@ class StorageDevice {
     frame->bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   }
 
+  /// Sequential-vs-random billing; caller holds mu_ (ReadPage takes the
+  /// lock once and must not re-enter the public ChargeRead).
+  uint64_t ChargeReadLocked(PageId page) {
+    const bool sequential = (page == last_page_ + 1);
+    last_page_ = page;
+    const uint64_t cost =
+        sequential ? profile_.sequential_read_ns : profile_.random_read_ns;
+    read_ns_.fetch_add(cost, std::memory_order_relaxed);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    if (sequential) sequential_reads_.fetch_add(1, std::memory_order_relaxed);
+    return cost;
+  }
+
   DeviceProfile profile_;
+  /// Guards last_page_, fault_, rng_, bad_pages_, sticky_flips_.
+  std::mutex mu_;
   std::atomic<uint64_t> read_ns_{0};
   std::atomic<uint64_t> wait_ns_{0};
   std::atomic<uint64_t> reads_{0};

@@ -20,6 +20,15 @@ namespace ptldb {
 /// and is reported by status(). Callers must check status() after
 /// exhausting the stream — Execute() does this and returns the error, so
 /// a faulted plan can never be mistaken for a short result.
+///
+/// Page-pin contract: operators never hold BufferPool PageGuards across
+/// Next() calls. Table access goes through EngineTable::Get and cursors
+/// that remember (page id, slot) and re-fetch per call, so a suspended
+/// plan (e.g. the outer side of a nested-loop join, or an interleaved
+/// multi-query workload) pins no frames while idle. This is what lets
+/// many concurrent plans share a small sharded pool without exhausting
+/// any shard. New operators that fetch pages directly must keep their
+/// guards scoped to one Next() invocation.
 class Operator {
  public:
   virtual ~Operator() = default;

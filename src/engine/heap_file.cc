@@ -123,9 +123,14 @@ Result<Row> HeapFile::Read(const RowLocator& locator, const Schema& schema,
     const uint32_t in_page = static_cast<uint32_t>(offset % kPageSize);
     const uint32_t room = kPageSize - in_page;
     const uint32_t chunk = std::min(room, locator.length - copied);
-    auto p = pool->Fetch(page);
-    PTLDB_RETURN_IF_ERROR(p.status());
-    std::memcpy(bytes.data() + copied, (*p)->bytes.data() + in_page, chunk);
+    // One guard per chunk, released before the next Fetch: the pin keeps
+    // the frame alive for exactly the memcpy (a concurrent miss can no
+    // longer evict it mid-copy), and never holding two pins at once means
+    // even a one-frame pool cannot wedge on its own pins.
+    auto guard = pool->Fetch(page);
+    PTLDB_RETURN_IF_ERROR(guard.status());
+    std::memcpy(bytes.data() + copied, (*guard)->bytes.data() + in_page,
+                chunk);
     copied += chunk;
     offset += chunk;
   }

@@ -23,6 +23,13 @@ namespace ptldb {
 /// stamp of every stamped page it reads from the device, so a bit flip
 /// anywhere between disk image and delivered frame surfaces as
 /// Status::kCorruption instead of a silently wrong query answer.
+///
+/// Concurrency contract: the store is write-once, read-many. Allocate(),
+/// mutable page() and StampChecksums() happen single-threaded during bulk
+/// load; once the load is stamped, the image is immutable and the sharded
+/// BufferPool may call num_pages()/page(id) const/stamped()/checksum()
+/// from any number of threads without locking. (CorruptBitForTest is a
+/// test-only exception and must not race live Fetches.)
 class PageStore {
  public:
   PageId Allocate() {

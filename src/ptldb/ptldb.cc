@@ -39,7 +39,8 @@ const char* QueryTypeName(QueryType type) {
 }
 
 PtldbDatabase::PtldbDatabase(const PtldbOptions& options)
-    : db_(options.device, options.buffer_pool_pages),
+    : db_(options.device, options.buffer_pool_pages,
+          options.buffer_pool_shards),
       device_(db_.device()),
       num_threads_(options.num_threads) {
   MetricsRegistry* m = db_.metrics();
@@ -83,13 +84,20 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   if (bucket_seconds <= 0) {
     return Status::InvalidArgument("bucket width must be positive");
   }
-  PTLDB_RETURN_IF_ERROR(BuildTargetSetTables(index, targets, kmax, name, &db_,
+  // Target sets have set semantics: duplicate stops collapse to one
+  // target (a duplicated stop must not appear twice in a kNN answer), and
+  // the canonical list is kept sorted so self-membership tests (q ∈ T)
+  // are a binary search.
+  std::vector<StopId> canon = targets;
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  PTLDB_RETURN_IF_ERROR(BuildTargetSetTables(index, canon, kmax, name, &db_,
                                              bucket_seconds, num_threads_));
   TargetSetInfo info;
   info.kmax = kmax;
   info.bucket_seconds = bucket_seconds;
   info.max_bucket = max_event_time_ / bucket_seconds;
-  info.targets = targets;
+  info.targets = std::move(canon);
   target_sets_.emplace(name, std::move(info));
   return Status::Ok();
 }
@@ -114,6 +122,38 @@ Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
   return Timed(QueryType::kV2vSd,
                [&] { return QueryV2vSd(&db_, s, g, t, t_end); });
 }
+
+namespace {
+
+/// q ∈ T means the querier already stands at a target at time t, so the
+/// true earliest arrival at q is t itself — and symmetrically the latest
+/// departure to reach q by t_end is t_end. The label join cannot see this
+/// "stay put" journey (labels encode only connections), so every facade
+/// path — optimized plan, naive plan, degraded per-target fallback —
+/// patches the self entry in afterwards. This keeps all paths consistent
+/// with each other and with the brute oracle.
+void PatchSelfTarget(std::vector<StopTimeResult>* out,
+                     const std::vector<StopId>& sorted_targets, StopId q,
+                     Timestamp t, uint32_t k, bool ld) {
+  if (!std::binary_search(sorted_targets.begin(), sorted_targets.end(), q)) {
+    return;
+  }
+  out->erase(std::remove_if(
+                 out->begin(), out->end(),
+                 [&](const StopTimeResult& r) { return r.stop == q; }),
+             out->end());
+  out->push_back({q, t});
+  std::sort(out->begin(), out->end(),
+            [&](const StopTimeResult& a, const StopTimeResult& b) {
+              if (a.time != b.time) {
+                return ld ? a.time > b.time : a.time < b.time;
+              }
+              return a.stop < b.stop;
+            });
+  if (k != 0 && out->size() > k) out->resize(k);
+}
+
+}  // namespace
 
 Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
     const std::string& set_name, uint32_t k) const {
@@ -185,9 +225,11 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaKnn, [&] {
-    return OrDegrade(
+    auto r = OrDegrade(
         QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds), **info, q,
         t, k, /*ld=*/false);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
+    return r;
   });
 }
 
@@ -197,9 +239,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdKnn, [&] {
-    return OrDegrade(QueryLdKnn(&db_, set_name, q, t, k,
-                                (*info)->bucket_seconds, (*info)->max_bucket),
-                     **info, q, t, k, /*ld=*/true);
+    auto r =
+        OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                             (*info)->max_bucket),
+                  **info, q, t, k, /*ld=*/true);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
+    return r;
   });
 }
 
@@ -208,8 +253,11 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kEaKnn,
-               [&] { return QueryEaKnnNaive(&db_, set_name, q, t, k); });
+  return Timed(QueryType::kEaKnn, [&] {
+    auto r = QueryEaKnnNaive(&db_, set_name, q, t, k);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
+    return r;
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
@@ -217,8 +265,11 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
   auto info = ValidateSet(set_name, k);
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kLdKnn,
-               [&] { return QueryLdKnnNaive(&db_, set_name, q, t, k); });
+  return Timed(QueryType::kLdKnn, [&] {
+    auto r = QueryLdKnnNaive(&db_, set_name, q, t, k);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
+    return r;
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
@@ -227,8 +278,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaOtm, [&] {
-    return OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
-                     **info, q, t, /*k=*/0, /*ld=*/false);
+    auto r =
+        OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
+                  **info, q, t, /*k=*/0, /*ld=*/false);
+    if (r.ok()) {
+      PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/false);
+    }
+    return r;
   });
 }
 
@@ -238,9 +294,14 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdOtm, [&] {
-    return OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                                (*info)->max_bucket),
-                     **info, q, t, /*k=*/0, /*ld=*/true);
+    auto r =
+        OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                             (*info)->max_bucket),
+                  **info, q, t, /*k=*/0, /*ld=*/true);
+    if (r.ok()) {
+      PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/true);
+    }
+    return r;
   });
 }
 

@@ -43,6 +43,10 @@ struct PtldbOptions {
   /// shared buffers — far above its dataset sizes — so the default is
   /// effectively unbounded.
   uint64_t buffer_pool_pages = 1u << 20;
+  /// Buffer-pool shard count (0 = derive from capacity; see BufferPool).
+  /// Each shard has its own latch and LRU list, so concurrent queries
+  /// stop serializing on one pool mutex.
+  uint32_t buffer_pool_shards = 0;
   /// Worker threads for building the derived kNN/OTM tables in
   /// AddTargetSet (0 = one per hardware thread, 1 = serial). Purely a
   /// speed knob: the loaded tables are identical for every value.
@@ -72,6 +76,10 @@ class PtldbDatabase {
   /// (Sections 3.2-3.3). `kmax` caps the k serviced by the kNN tables;
   /// `bucket_seconds` is the (hub, hour) grouping interval (one hour in the
   /// paper; Section 3.2.1 discusses the tradeoff).
+  ///
+  /// `targets` has set semantics: duplicate stops collapse to a single
+  /// target before the tables are built, so a stop can never appear twice
+  /// in one answer.
   Status AddTargetSet(const std::string& name, const TtlIndex& index,
                       const std::vector<StopId>& targets, uint32_t kmax,
                       Timestamp bucket_seconds = kSecondsPerHour);
@@ -89,6 +97,13 @@ class PtldbDatabase {
   // storage fault, the facade re-answers from per-target v2v label queries
   // (the paper's Section 3.2 baseline) and records degraded=true in
   // query_stats(). Only if the fallback faults too does the error surface.
+  //
+  // Edge semantics (shared with the brute oracle):
+  //  - k > |T| is fine: the answer simply has fewer than k entries.
+  //  - q ∈ T: the querier already stands at target q, so q reports
+  //    arrival t (EA) / departure t_end (LD) — "stay put" beats any
+  //    label journey. Every path (plan, naive, fallback) agrees.
+  //  - Unreachable targets are omitted, never reported with a sentinel.
   Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
                                             StopId q, Timestamp t, uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
@@ -109,7 +124,9 @@ class PtldbDatabase {
 
   // --- Administration / instrumentation ---
   /// Cold-cache reset, like the paper's server restart between experiments.
-  void DropCaches() { db_.DropCaches(); }
+  /// Fails with kInternal if a concurrent query still pins pages (the
+  /// reset would be partial and the "cold" measurement a lie).
+  Status DropCaches() { return db_.DropCaches(); }
   /// Modeled I/O time accumulated since the last ResetIoStats(): page
   /// transfers plus retry-backoff waits.
   uint64_t io_time_ns() const { return device_->total_ns(); }

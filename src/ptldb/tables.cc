@@ -144,6 +144,16 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
     std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> otm_cond;
     size_t cursor = by_td.size();
     for (int32_t hour = max_hour; hour >= hours.min_bucket; --hour) {
+      // Bucket-edge ownership: hour h owns expanded tds in
+      // [h*bs, (h+1)*bs) and condenses everything with td >= (h+1)*bs.
+      // A tuple departing exactly at h*bs therefore lands in h's
+      // *expanded* list (td == lo is inside [lo, hi)) and in the
+      // *condensed* list of every hour < h — the >= below is what makes
+      // a td exactly on the (h+1)*bs edge condensed for h instead of
+      // double-counted in h's expanded range. Queries with t exactly on
+      // an edge rely on this split: EaBucketQuery's condensed branch
+      // needs no ta<->td feasibility filter precisely because every
+      // condensed td >= (hour+1)*bs > any expanded/queried time in hour.
       const Timestamp boundary = (hour + 1) * bucket_seconds;
       while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
         const TargetTuple& t = by_td[cursor - 1];
@@ -203,7 +213,14 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
     for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
       const Timestamp lo = hour * bucket_seconds;
       const Timestamp hi = lo + bucket_seconds;
-      // Condensed: tuples arriving strictly before this hour.
+      // Condensed: tuples arriving *strictly* before this hour — ta < lo,
+      // so a tuple arriving exactly at h*bs stays in h's expanded range
+      // [lo, hi) and is condensed only for hours > h. The strictness is
+      // load-bearing at edges: LdBucketQuery's condensed branch filters
+      // only td2 >= ta1 (not ta2 <= t), which is sound because every
+      // condensed ta < hour*bs <= t for any t in this hour — an
+      // inclusive sweep here would smuggle ta == lo tuples past that
+      // argument when t == lo exactly.
       while (cursor < by_ta.size() && by_ta[cursor].ta < lo) {
         const TargetTuple& t = by_ta[cursor];
         const auto [it, inserted] = best.emplace(t.v, t.td);
@@ -295,9 +312,19 @@ Status BuildTargetSetTables(const TtlIndex& index,
     }
   }
 
+  // Set semantics: a duplicated target must not contribute its tuples
+  // twice (the per-hour condensed lists would still dedup by target, but
+  // the naive and expanded arrays would carry duplicate entries into
+  // query answers). The facade canonicalizes too; dedup here as well so
+  // direct callers (SQL writer tests, benchmarks) get the same tables.
+  std::vector<StopId> uniq_targets = targets;
+  std::sort(uniq_targets.begin(), uniq_targets.end());
+  uniq_targets.erase(std::unique(uniq_targets.begin(), uniq_targets.end()),
+                     uniq_targets.end());
+
   // Flatten and group the targets' L_in tuples by hub.
   std::vector<TargetTuple> tuples;
-  for (const StopId target : targets) {
+  for (const StopId target : uniq_targets) {
     for (const LabelTuple& t : index.in.tuples(target)) {
       tuples.push_back({static_cast<int32_t>(t.hub), t.td, t.ta,
                         static_cast<int32_t>(target)});

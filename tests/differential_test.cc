@@ -52,6 +52,8 @@ struct Network {
   Timetable tt;
   TtlIndex index;
   std::vector<StopId> targets;
+  /// Distinct departure/arrival times, for boundary-biased timestamps.
+  std::vector<Timestamp> events;
 };
 
 Network MakeNetwork(uint64_t seed) {
@@ -76,7 +78,36 @@ Network MakeNetwork(uint64_t seed) {
   const auto num_targets =
       static_cast<uint32_t>(rng.NextInRange(4, 8));
   net.targets = rng.SampleDistinct(net.tt.num_stops(), num_targets);
+  // Every fourth seed hands AddTargetSet a list with duplicates: target
+  // lists have set semantics, so answers must match the deduplicated list
+  // (the brute oracles dedup the same way).
+  if (seed % 4 == 0) {
+    net.targets.push_back(net.targets[0]);
+    net.targets.push_back(net.targets[net.targets.size() / 2]);
+  }
+
+  for (const Connection& c : net.tt.connections()) {
+    net.events.push_back(c.dep);
+    net.events.push_back(c.arr);
+  }
+  std::sort(net.events.begin(), net.events.end());
+  net.events.erase(std::unique(net.events.begin(), net.events.end()),
+                   net.events.end());
   return net;
+}
+
+/// Half the query timestamps land exactly on a departure/arrival event (or
+/// one second to either side) instead of uniformly inside the window:
+/// exact-equality boundaries in the label binary searches and the bucket
+/// tables only get exercised when t collides with an event.
+Timestamp RandomTime(Rng* rng, const Network& net) {
+  if (rng->NextBelow(2) == 0) {
+    const Timestamp base = net.events[rng->NextBelow(
+        static_cast<uint64_t>(net.events.size()))];
+    return static_cast<Timestamp>(base + rng->NextBelow(3)) - 1;
+  }
+  return static_cast<Timestamp>(
+      rng->NextInRange(net.tt.min_time(), net.tt.max_time()));
 }
 
 // Fresh in-memory database over `index` with one target set named "T".
@@ -276,8 +307,9 @@ TEST(DifferentialTest, AllQueryTypesMatchOraclesOnRandomNetworks) {
       StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       if (g == s) g = (g + 1) % net.tt.num_stops();
-      const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
-      const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
+      const Timestamp t = RandomTime(&rng, net);
+      const auto t_end = static_cast<Timestamp>(
+          std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
       for (const char* type : {"EA", "LD", "SD"}) {
         if (auto bad = CheckV2v(db.get(), net.tt, type, s, g, t, t_end)) {
           ADD_FAILURE() << FormatV2vCase(seed, type, s, g, t, t_end, *bad);
@@ -288,14 +320,11 @@ TEST(DifferentialTest, AllQueryTypesMatchOraclesOnRandomNetworks) {
 
     for (int trial = 0; trial < 4 && failures < kMaxReportedFailures;
          ++trial) {
-      // Set-query source outside the target set (self-queries have
-      // label-defined semantics; see README).
-      StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      while (std::find(net.targets.begin(), net.targets.end(), q) !=
-             net.targets.end()) {
-        q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      }
-      const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
+      // Any stop may be the source — q inside the target set has defined
+      // "stay put" semantics (EA reports t, LD reports t_end) that the
+      // brute oracles implement identically.
+      const StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+      const Timestamp t = RandomTime(&rng, net);
       const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
       for (const char* type : {"EA-kNN", "LD-kNN", "EA-OTM", "LD-OTM"}) {
         const bool knn = type[3] == 'k';
@@ -337,15 +366,9 @@ TEST(DifferentialTest, NaiveKnnPlansMatchOracles) {
     const Network net = MakeNetwork(seed);
     auto db = MakeDb(net.index, net.targets, kMaxK);
     Rng rng(seed * 0x2545F4914F6CDD1DULL + 3);
-    const Timestamp lo = net.tt.min_time();
-    const Timestamp hi = net.tt.max_time();
     for (int trial = 0; trial < 6; ++trial) {
-      StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      while (std::find(net.targets.begin(), net.targets.end(), q) !=
-             net.targets.end()) {
-        q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      }
-      const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
+      const StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+      const Timestamp t = RandomTime(&rng, net);
       const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
       const auto ea_brute = BruteEaOneToMany(net.tt, q, net.targets, t);
       const auto ld_brute = BruteLdOneToMany(net.tt, q, net.targets, t);

@@ -71,6 +71,127 @@ TEST(BufferPoolTest, LruEvictsColdestPage) {
   EXPECT_EQ(pool.misses(), 1u);
 }
 
+TEST(PageGuardTest, GuardKeepsFrameAliveUnderEvictionPressure) {
+  PageStore store;
+  for (int i = 0; i < 10; ++i) {
+    const PageId id = store.Allocate();
+    store.page(id).bytes.fill(static_cast<uint8_t>(id + 1));
+  }
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device, /*capacity_pages=*/2);
+  auto pinned = pool.Fetch(0);
+  ASSERT_TRUE(pinned.ok());
+  // Churn every other page through the 2-frame pool: page 0 would be the
+  // LRU victim many times over, but the pin forbids eviction.
+  for (PageId id = 1; id < 10; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+  EXPECT_EQ((*pinned)->bytes[123], 1);
+  EXPECT_EQ(pool.pinned_pages(), 1u);
+  pool.ResetStats();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.hits(), 1u);  // Still resident: never evicted.
+}
+
+TEST(PageGuardTest, MoveTransfersThePin) {
+  PageStore store;
+  store.Allocate();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device, /*capacity_pages=*/2);
+  auto fetched = pool.Fetch(0);
+  ASSERT_TRUE(fetched.ok());
+  PageGuard moved = std::move(*fetched);
+  fetched->Release();  // Moved-from guard: releasing is a no-op.
+  EXPECT_EQ(pool.pinned_pages(), 1u);
+  EXPECT_EQ(moved->bytes[0], 0);
+  moved.Release();
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+  moved.Release();  // Idempotent.
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST(PageGuardTest, AllFramesPinnedFailsLoudly) {
+  PageStore store;
+  for (int i = 0; i < 3; ++i) store.Allocate();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device, /*capacity_pages=*/2);
+  auto g0 = pool.Fetch(0);
+  auto g1 = pool.Fetch(1);
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  // Both frames pinned: the pool must refuse (after its bounded wait)
+  // rather than silently invalidate a live guard.
+  auto r = pool.Fetch(2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+  g0->Release();
+  EXPECT_TRUE(pool.Fetch(2).ok());
+}
+
+TEST(PageGuardTest, DropCachesRejectsActivePins) {
+  PageStore store;
+  for (int i = 0; i < 2; ++i) store.Allocate();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device);
+  auto g = pool.Fetch(0);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());  // Unpinned immediately.
+  const Status rejected = pool.DropCaches();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), Status::Code::kInternal);
+  // The drop was partial: unpinned page 1 went, pinned page 0 stayed.
+  EXPECT_EQ(pool.resident_pages(), 1u);
+  EXPECT_EQ((*g)->bytes[0], 0);  // Guard still valid after the drop.
+  g->Release();
+  EXPECT_TRUE(pool.DropCaches().ok());
+  EXPECT_EQ(pool.resident_pages(), 0u);
+}
+
+TEST(BufferPoolTest, AutoShardCountScalesWithCapacity) {
+  PageStore store;
+  store.Allocate();
+  StorageDevice device(DeviceProfile::Ram());
+  // Tiny pools collapse to one shard so eviction-order tests see strict
+  // global LRU; serving-sized pools spread over several latches.
+  BufferPool tiny(&store, &device, /*capacity_pages=*/2);
+  EXPECT_EQ(tiny.num_shards(), 1u);
+  BufferPool big(&store, &device, /*capacity_pages=*/1u << 20);
+  EXPECT_GT(big.num_shards(), 1u);
+  // An explicit shard count wins, but never exceeds one frame per shard.
+  BufferPool pinned_layout(&store, &device, /*capacity_pages=*/8,
+                           /*num_shards=*/4);
+  EXPECT_EQ(pinned_layout.num_shards(), 4u);
+  BufferPool clamped(&store, &device, /*capacity_pages=*/2, /*num_shards=*/8);
+  EXPECT_EQ(clamped.num_shards(), 2u);
+}
+
+TEST(BufferPoolTest, ShardStatsSumToPoolTotals) {
+  PageStore store;
+  for (int i = 0; i < 64; ++i) {
+    const PageId id = store.Allocate();
+    store.page(id).bytes.fill(static_cast<uint8_t>(id));
+  }
+  store.StampChecksums();
+  StorageDevice device(DeviceProfile::Ram());
+  BufferPool pool(&store, &device, /*capacity_pages=*/16, /*num_shards=*/4);
+  for (PageId id = 0; id < 64; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+  for (PageId id = 0; id < 64; id += 7) ASSERT_TRUE(pool.Fetch(id).ok());
+  uint64_t hits = 0, misses = 0, evictions = 0, resident = 0;
+  for (uint32_t s = 0; s < pool.num_shards(); ++s) {
+    const BufferPool::ShardStats stats = pool.shard_stats(s);
+    EXPECT_LE(stats.resident_pages, stats.capacity_pages);
+    hits += stats.hits;
+    misses += stats.misses;
+    evictions += stats.evictions;
+    resident += stats.resident_pages;
+  }
+  EXPECT_EQ(hits, pool.hits());
+  EXPECT_EQ(misses, pool.misses());
+  EXPECT_EQ(evictions, pool.evictions());
+  EXPECT_EQ(resident, pool.resident_pages());
+  EXPECT_LE(pool.resident_pages(), 16u);
+  EXPECT_EQ(pool.pinned_pages(), 0u);  // All guards were temporaries.
+}
+
 class HeapTest : public testing::Test {
  protected:
   HeapTest() : device_(DeviceProfile::Ram()), pool_(&store_, &device_) {}

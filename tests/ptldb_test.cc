@@ -369,6 +369,200 @@ TEST(PtldbEdgeTest, TinyBufferPoolStillCorrect) {
   }
 }
 
+// ---------- Hour-bucket boundary off-by-ones ----------
+//
+// The condensed (hub, hour) tables carve label events into buckets with
+// asymmetric edge rules (EA: td >= (hour+1)*bucket_seconds is condensed for
+// `hour`; LD: ta strictly before hour*bucket_seconds — see tables.cc). The
+// paper's example timetable has every event at an exact multiple of 3600,
+// so with the default one-hour bucket every label lands exactly on a
+// bucket edge — the configuration where an off-by-one in either rule
+// flips answers. Brute-check every query type at every event time and its
+// +-1 neighbours, from every stop.
+TEST(PtldbBucketBoundaryTest, ExampleGraphEventsOnExactHourEdges) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  const TtlIndex index = BuildIndex(tt, options);
+  auto db = BuildDb(index);
+  const std::vector<StopId> targets = {4, 6};
+  ASSERT_TRUE(db->AddTargetSet("T", index, targets, 2).ok());
+
+  std::set<Timestamp> event_times;
+  for (const Connection& c : tt.connections()) {
+    event_times.insert(c.dep);
+    event_times.insert(c.arr);
+  }
+  for (const Timestamp base : event_times) {
+    ASSERT_EQ(base % kSecondsPerHour, 0)
+        << "example graph events must sit on exact hour edges";
+    for (const Timestamp t : {base - 1, base, base + 1}) {
+      for (StopId q = 0; q < tt.num_stops(); ++q) {
+        const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+        const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
+        const auto ea = db->EaKnn("T", q, t, 2);
+        ASSERT_TRUE(ea.ok());
+        ExpectKnnValid(*ea, ea_full, 2, "EA edge");
+        const auto ld = db->LdKnn("T", q, t, 2);
+        ASSERT_TRUE(ld.ok());
+        ExpectKnnValid(*ld, ld_full, 2, "LD edge");
+        const auto ea_otm = db->EaOneToMany("T", q, t);
+        ASSERT_TRUE(ea_otm.ok());
+        EXPECT_EQ(*ea_otm, ea_full) << "EA-OTM at t=" << t << " q=" << q;
+        const auto ld_otm = db->LdOneToMany("T", q, t);
+        ASSERT_TRUE(ld_otm.ok());
+        EXPECT_EQ(*ld_otm, ld_full) << "LD-OTM at t=" << t << " q=" << q;
+      }
+    }
+  }
+}
+
+// Query timestamps at exact multiples of bucket_seconds (and the seconds
+// on either side) on a generated city: t / bucket_seconds changes value
+// exactly at these points, so both bucket queries' starting hour and the
+// LD feasibility filter are at their most fragile.
+class PtldbBucketBoundaryWidthTest : public testing::TestWithParam<Timestamp> {
+};
+
+TEST_P(PtldbBucketBoundaryWidthTest, QueriesOnExactBucketMultiplesMatchBrute) {
+  const Timestamp bs = GetParam();
+  const Timetable tt = SmallCity(123, /*stops=*/60, /*connections=*/3000);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(55);
+  const std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 8);
+  ASSERT_TRUE(db->AddTargetSet("T", index, targets, 4, bs).ok());
+
+  for (Timestamp edge = (tt.min_time() / bs) * bs;
+       edge <= tt.max_time() + bs; edge += bs) {
+    for (const Timestamp t : {edge - 1, edge, edge + 1}) {
+      for (int qi = 0; qi < 3; ++qi) {
+        const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+        const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+        const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
+        const auto ea = db->EaKnn("T", q, t, 4);
+        ASSERT_TRUE(ea.ok());
+        ExpectKnnValid(*ea, ea_full, 4, "EA bucket edge");
+        const auto ld = db->LdKnn("T", q, t, 4);
+        ASSERT_TRUE(ld.ok());
+        ExpectKnnValid(*ld, ld_full, 4, "LD bucket edge");
+        const auto otm = db->EaOneToMany("T", q, t);
+        ASSERT_TRUE(otm.ok());
+        EXPECT_EQ(*otm, ea_full) << "EA-OTM at bucket edge t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PtldbBucketBoundaryWidthTest,
+                         testing::Values(1800, 3600, 7200));
+
+// ---------- Target-set edge cases ----------
+
+// k larger than the target set: every reachable target comes back, k just
+// stops truncating. (k > kmax is still a usage error, covered above.)
+TEST(PtldbEdgeTest, KnnWithKLargerThanTargetSet) {
+  const Timetable tt = SmallCity(44);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(12);
+  const std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 5);
+  ASSERT_TRUE(db->AddTargetSet("T", index, targets, 8).ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+    const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
+    for (const uint32_t k : {6u, 8u}) {  // Both exceed |T| = 5.
+      ASSERT_GT(k, targets.size());
+      const auto ea = db->EaKnn("T", q, t, k);
+      ASSERT_TRUE(ea.ok());
+      ExpectKnnValid(*ea, ea_full, k, "EA k>|T|");
+      const auto ea_naive = db->EaKnnNaive("T", q, t, k);
+      ASSERT_TRUE(ea_naive.ok());
+      ExpectKnnValid(*ea_naive, ea_full, k, "EA-naive k>|T|");
+      const auto ld = db->LdKnn("T", q, t, k);
+      ASSERT_TRUE(ld.ok());
+      ExpectKnnValid(*ld, ld_full, k, "LD k>|T|");
+    }
+  }
+}
+
+// Duplicate stops in the target list collapse to set semantics: the set
+// behaves exactly like its deduplicated form, and no answer ever lists a
+// stop twice.
+TEST(PtldbEdgeTest, DuplicateTargetsCollapseToSetSemantics) {
+  const Timetable tt = SmallCity(45);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(13);
+  const std::vector<StopId> uniq = rng.SampleDistinct(tt.num_stops(), 6);
+  std::vector<StopId> dup = uniq;
+  dup.push_back(uniq[0]);
+  dup.push_back(uniq[3]);
+  dup.push_back(uniq[0]);
+  ASSERT_TRUE(db->AddTargetSet("dup", index, dup, 8).ok());
+  ASSERT_TRUE(db->AddTargetSet("uniq", index, uniq, 8).ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const auto t = static_cast<Timestamp>(
+        rng.NextInRange(tt.min_time(), tt.max_time()));
+    // Brute takes the raw duplicated list and dedups internally too.
+    ExpectKnnValid(*db->EaKnn("dup", q, t, 8),
+                   BruteEaOneToMany(tt, q, dup, t), 8, "EA dup");
+    EXPECT_EQ(*db->EaOneToMany("dup", q, t), *db->EaOneToMany("uniq", q, t));
+    EXPECT_EQ(*db->LdOneToMany("dup", q, t), *db->LdOneToMany("uniq", q, t));
+    EXPECT_EQ(*db->EaKnn("dup", q, t, 3), *db->EaKnn("uniq", q, t, 3));
+    EXPECT_EQ(*db->LdKnn("dup", q, t, 3), *db->LdKnn("uniq", q, t, 3));
+  }
+}
+
+// The query stop inside its own target set: EA reports arrival t and LD
+// departure t_end ("stay put" — see the kNN doc block in ptldb.h). The
+// optimized plan, the naive table and the brute oracle must all agree.
+TEST(PtldbEdgeTest, QueryStopInsideTargetSet) {
+  const Timetable tt = SmallCity(46);
+  const TtlIndex index = BuildIndex(tt);
+  auto db = BuildDb(index);
+  Rng rng(14);
+  const std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 8);
+  ASSERT_TRUE(db->AddTargetSet("T", index, targets, 4).ok());
+  for (const StopId q : targets) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto t = static_cast<Timestamp>(
+          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+      const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
+      // The self-answer is always first: nothing beats "already there".
+      ASSERT_FALSE(ea_full.empty());
+      EXPECT_EQ(ea_full.front(), (StopTimeResult{q, t}));
+      ASSERT_FALSE(ld_full.empty());
+      EXPECT_EQ(ld_full.front(), (StopTimeResult{q, t}));
+      for (const uint32_t k : {1u, 4u}) {
+        const auto ea = db->EaKnn("T", q, t, k);
+        ASSERT_TRUE(ea.ok());
+        ExpectKnnValid(*ea, ea_full, k, "EA self");
+        const auto ea_naive = db->EaKnnNaive("T", q, t, k);
+        ASSERT_TRUE(ea_naive.ok());
+        ExpectKnnValid(*ea_naive, ea_full, k, "EA-naive self");
+        const auto ld = db->LdKnn("T", q, t, k);
+        ASSERT_TRUE(ld.ok());
+        ExpectKnnValid(*ld, ld_full, k, "LD self");
+        const auto ld_naive = db->LdKnnNaive("T", q, t, k);
+        ASSERT_TRUE(ld_naive.ok());
+        ExpectKnnValid(*ld_naive, ld_full, k, "LD-naive self");
+      }
+      const auto ea_otm = db->EaOneToMany("T", q, t);
+      ASSERT_TRUE(ea_otm.ok());
+      EXPECT_EQ(*ea_otm, ea_full);
+      const auto ld_otm = db->LdOneToMany("T", q, t);
+      ASSERT_TRUE(ld_otm.ok());
+      EXPECT_EQ(*ld_otm, ld_full);
+    }
+  }
+}
+
 // ---------- Multi-service-period support (Section 3.1) ----------
 
 class CalendarTest : public testing::Test {

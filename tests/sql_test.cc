@@ -351,6 +351,64 @@ TEST_F(SqlPaperQueriesTest, Codes2To4MatchFacade) {
   }
 }
 
+// Unreachable pairs must surface through SQL as NULL, never as the
+// engine's kInfinityTime / kNegInfinityTime sentinels pretending to be
+// real timestamps.
+TEST_F(SqlPaperQueriesTest, UnreachablePairYieldsNullNotSentinel) {
+  SqlInterpreter interpreter(db_->engine());
+  // Querying at the end of service leaves (almost) every pair unreachable;
+  // scan for one the facade reports as such.
+  const auto t = static_cast<int64_t>(tt_.max_time());
+  StopId s = 0;
+  StopId g = 1;
+  bool found = false;
+  for (StopId a = 0; a < tt_.num_stops() && !found; ++a) {
+    for (StopId b = 0; b < tt_.num_stops(); ++b) {
+      if (a == b) continue;
+      if (*db_->EarliestArrival(a, b, static_cast<Timestamp>(t)) ==
+          kInfinityTime) {
+        s = a;
+        g = b;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no unreachable pair in the fixture city";
+
+  const auto expect_null = [&](const SqlRelation& relation, const char* what) {
+    ASSERT_LE(relation.rows.size(), 1u) << what;
+    if (relation.rows.empty()) return;  // Zero rows is also sentinel-free.
+    const SqlValue& cell = relation.rows[0][0];
+    EXPECT_TRUE(SqlIsNull(cell)) << what << ": expected NULL";
+    if (std::holds_alternative<int64_t>(cell)) {
+      const int64_t v = std::get<int64_t>(cell);
+      EXPECT_NE(v, kInfinityTime) << what << ": +inf sentinel leaked";
+      EXPECT_NE(v, kNegInfinityTime) << what << ": -inf sentinel leaked";
+    }
+  };
+
+  auto ea = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
+                                {static_cast<int64_t>(s),
+                                 static_cast<int64_t>(g), t});
+  ASSERT_TRUE(ea.ok()) << ea.status().ToString();
+  expect_null(*ea, "EA unreachable");
+
+  // Nothing can arrive by the very start of service.
+  auto ld = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
+                                {static_cast<int64_t>(s),
+                                 static_cast<int64_t>(g),
+                                 static_cast<int64_t>(tt_.min_time())});
+  ASSERT_TRUE(ld.ok()) << ld.status().ToString();
+  expect_null(*ld, "LD unreachable");
+
+  auto sd = interpreter.Execute(V2vSql(V2vKind::kShortestDuration),
+                                {static_cast<int64_t>(s),
+                                 static_cast<int64_t>(g), t, t});
+  ASSERT_TRUE(sd.ok()) << sd.status().ToString();
+  expect_null(*sd, "SD empty window");
+}
+
 TEST_F(SqlPaperQueriesTest, TableAccessIsChargedToTheDevice) {
   // The interpreter reads tables through the engine's buffer pool, so a
   // cold-cache query must account device time just like the hand plans.

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "baseline/csa.h"
 #include "baseline/profile.h"
@@ -104,6 +106,76 @@ TEST_P(TtlRandomGraphTest, MatchesGroundTruth) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TtlRandomGraphTest,
                          testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Exact-equality boundaries of the binary searches. The comparator
+// direction in FirstNotBefore / LastNotAfter decides whether a tuple with
+// td == t ("the trip leaves the second you arrive at the stop") or
+// ta == t_end ("it arrives the second the deadline expires") counts as
+// feasible; both must. Random sweeps almost never land a query timestamp
+// exactly on an event, so pin the cases explicitly.
+
+// Deterministic worked cases on the paper's example graph, where every
+// event time is known.
+TEST(TtlBoundaryTest, ExactEqualityOnExampleGraph) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions options;
+  options.custom_order = ExampleVertexOrder();
+  const TtlIndex index = BuildIndex(tt, options);
+
+  // EA: stop 5 departs at exactly 28800. td == t is feasible; one second
+  // later is not.
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28800), 36000);
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28801), kInfinityTime);
+
+  // LD: the ride into 6 arrives at exactly 43200. ta == t_end is feasible;
+  // one second earlier is not.
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43200), 28800);
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43199), kNegInfinityTime);
+
+  // SD: the [t, t_end] window is closed on both ends — the 28800 -> 43200
+  // journey fits exactly; shrinking either edge by one second kills it.
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28800, 43200), 14400);
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28801, 43200), kInfinityTime);
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28800, 43199), kInfinityTime);
+}
+
+// Property form: every query timestamp sits exactly on a timetable event
+// (or one second to either side), for all pairs against the scan
+// baselines. An off-by-one in either partition_point shows up here as a
+// +-1-second disagreement with CSA / the forward profile.
+TEST(TtlBoundaryTest, EventTimeQueriesMatchBaselines) {
+  const Timetable tt = SmallCity(31, /*stops=*/50, /*connections=*/2500);
+  const TtlIndex index = BuildIndex(tt);
+  std::vector<Timestamp> events;
+  for (const Connection& c : tt.connections()) {
+    events.push_back(c.dep);
+    events.push_back(c.arr);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  Rng rng(8);
+  for (int trial = 0; trial < 400; ++trial) {
+    const Timestamp base =
+        events[rng.NextBelow(static_cast<uint64_t>(events.size()))];
+    const auto t =
+        static_cast<Timestamp>(base + rng.NextBelow(3)) - 1;  // t-1, t, t+1.
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    if (g == s) g = (g + 1) % tt.num_stops();
+
+    EXPECT_EQ(TtlEarliestArrival(index, s, g, t), EarliestArrival(tt, s, g, t))
+        << "EA s=" << s << " g=" << g << " t=" << t;
+    EXPECT_EQ(TtlLatestDeparture(index, s, g, t), LatestDeparture(tt, s, g, t))
+        << "LD s=" << s << " g=" << g << " t'=" << t;
+    // SD with both window edges on event boundaries.
+    const Timestamp t_end = std::max(
+        t, events[rng.NextBelow(static_cast<uint64_t>(events.size()))]);
+    EXPECT_EQ(TtlShortestDuration(index, s, g, t, t_end),
+              ShortestDuration(tt, s, g, t, t_end))
+        << "SD s=" << s << " g=" << g << " t=" << t << " t'=" << t_end;
+  }
+}
 
 // Pruning is an optimization, not a semantic change: answers must match.
 TEST(TtlPruningTest, UnprunedLabelsGiveSameAnswers) {
