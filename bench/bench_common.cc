@@ -160,7 +160,14 @@ Timestamp RandomLateTime(Rng* rng, const Timetable& tt) {
 
 double TimeQueries(PtldbDatabase* db, uint32_t n,
                    const std::function<void(uint32_t)>& fn) {
-  db->DropCaches();
+  // A failed drop means live pins: the cache is half-warm and every
+  // cold-cache number this run would print is a lie. Fail the bench.
+  const Status dropped = db->DropCaches();
+  if (!dropped.ok()) {
+    std::fprintf(stderr, "TimeQueries: DropCaches failed: %s\n",
+                 dropped.ToString().c_str());
+    std::abort();
+  }
   db->ResetIoStats();
   const auto start = std::chrono::steady_clock::now();
   for (uint32_t i = 0; i < n; ++i) fn(i);

@@ -5,7 +5,7 @@
 //   ptldb_cli build --gtfs DIR --out idx            (or --city NAME --scale S)
 //   ptldb_cli stats --index idx
 //   ptldb_cli query --index idx --type ea --from 3 --to 40 --at 08:15:00
-//   ptldb_cli query --index idx --type sd --from 3 --to 40 \
+//   ptldb_cli query --index idx --type sd --from 3 --to 40
 //             --at 08:00:00 --until 20:00:00
 //
 // The index is stored as two files: <out>.tt (timetable) and <out>.ttl

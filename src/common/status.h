@@ -14,7 +14,12 @@ namespace ptldb {
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that ignores a returned
+/// Status fails the build (-Werror=unused-result). Where dropping an
+/// error is genuinely intended, say so with PTLDB_IGNORE_STATUS(expr) —
+/// bare `(void)` casts are rejected by scripts/ptldb_lint.py.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -64,9 +69,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Modeled after
-/// absl::StatusOr; only the pieces PTLDB needs.
+/// absl::StatusOr; only the pieces PTLDB needs. [[nodiscard]] like
+/// Status: discarding a Result discards the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success) or a Status (failure),
   /// so `return value;` and `return Status::NotFound(...);` both work.
@@ -106,6 +112,18 @@ class Result {
   do {                                         \
     ::ptldb::Status _ptldb_status = (expr);    \
     if (!_ptldb_status.ok()) return _ptldb_status; \
+  } while (false)
+
+/// Explicitly discards a Status (or Result) where dropping the error is
+/// a deliberate decision, e.g. best-effort cleanup on an already-failing
+/// path. This is the only sanctioned way to ignore a fallible return:
+/// scripts/ptldb_lint.py rejects bare `(void)` casts, and [[nodiscard]]
+/// rejects silently ignored returns. Keep a comment at the call site
+/// saying why the drop is safe.
+#define PTLDB_IGNORE_STATUS(expr)      \
+  do {                                 \
+    const auto& _ptldb_ignored = (expr); \
+    static_cast<void>(_ptldb_ignored); \
   } while (false)
 
 }  // namespace ptldb

@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     stop_ = true;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (auto& w : workers_) w->thread.join();
 }
 
@@ -52,20 +52,20 @@ void ThreadPool::Submit(std::function<void()> fn) {
         workers_.size());
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    MutexLock lock(workers_[target]->mu);
     workers_[target]->tasks.push_back(std::move(fn));
   }
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     ++wake_version_;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 std::function<void()> ThreadPool::FindTask(uint32_t id) {
   {
     Worker& own = *workers_[id];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       auto task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -75,7 +75,7 @@ std::function<void()> ThreadPool::FindTask(uint32_t id) {
   const uint32_t n = num_threads();
   for (uint32_t d = 1; d < n; ++d) {
     Worker& victim = *workers_[(id + d) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       auto task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -92,8 +92,8 @@ void ThreadPool::RunTask(std::function<void()> task) {
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last outstanding task: wake Wait(). The empty critical section orders
     // the notify after any concurrent Wait() has started waiting.
-    { std::lock_guard<std::mutex> lock(idle_mu_); }
-    done_cv_.notify_all();
+    { MutexLock lock(idle_mu_); }
+    done_cv_.NotifyAll();
   }
 }
 
@@ -106,7 +106,7 @@ void ThreadPool::WorkerLoop(uint32_t id) {
     }
     uint64_t seen;
     {
-      std::unique_lock<std::mutex> lock(idle_mu_);
+      MutexLock lock(idle_mu_);
       if (stop_) return;
       seen = wake_version_;
     }
@@ -116,17 +116,17 @@ void ThreadPool::WorkerLoop(uint32_t id) {
       RunTask(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [&] { return stop_ || wake_version_ != seen; });
+    // Guarded predicate re-checked in a while loop (not a wait lambda) so
+    // the thread-safety analysis sees the accesses under the lock.
+    MutexLock lock(idle_mu_);
+    while (!stop_ && wake_version_ == seen) idle_cv_.Wait(lock);
     if (stop_) return;
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  done_cv_.wait(lock, [&] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(idle_mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) done_cv_.Wait(lock);
 }
 
 void ThreadPool::ParallelFor(

@@ -2,14 +2,14 @@
 #define PTLDB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ptldb {
 
@@ -68,8 +68,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;  ///< Deque latch; leaf lock, nothing acquired under it.
+    std::deque<std::function<void()>> tasks PTLDB_GUARDED_BY(mu);
     std::thread thread;
   };
 
@@ -85,11 +85,11 @@ class ThreadPool {
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;  ///< Wakes sleeping workers.
-  std::condition_variable done_cv_;  ///< Wakes Wait().
-  uint64_t wake_version_ = 0;        ///< Guarded by idle_mu_.
-  bool stop_ = false;                ///< Guarded by idle_mu_.
+  Mutex idle_mu_;     ///< Sleep/wake state; never held with a Worker::mu.
+  CondVar idle_cv_;   ///< Wakes sleeping workers.
+  CondVar done_cv_;   ///< Wakes Wait().
+  uint64_t wake_version_ PTLDB_GUARDED_BY(idle_mu_) = 0;
+  bool stop_ PTLDB_GUARDED_BY(idle_mu_) = false;
 };
 
 }  // namespace ptldb

@@ -29,12 +29,14 @@ QueryTrace::Span* QueryTrace::Begin(const std::string& name) {
   span->name = name;
   span->start_ns = ElapsedNs();
   Span* raw = span.get();
+  MutexLock lock(mu_);
   open_.back()->children.push_back(std::move(span));
   open_.push_back(raw);
   return raw;
 }
 
 void QueryTrace::End() {
+  MutexLock lock(mu_);
   if (open_.size() <= 1) return;  // Never pop the root.
   Span* span = open_.back();
   span->duration_ns = ElapsedNs() - span->start_ns;
@@ -42,6 +44,7 @@ void QueryTrace::End() {
 }
 
 void QueryTrace::AddStat(const std::string& key, uint64_t value) {
+  MutexLock lock(mu_);
   open_.back()->stats.emplace_back(key, value);
 }
 
@@ -69,6 +72,7 @@ void Render(const QueryTrace::Span& span, int depth, bool include_timings,
 }  // namespace
 
 std::string QueryTrace::ToString(bool include_timings) const {
+  MutexLock lock(mu_);
   std::string out;
   // Report the root's duration as total elapsed if it was never closed.
   const Span* r = root_.get();

@@ -7,13 +7,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace ptldb {
 
 /// Per-query span tracer: a tree of named, timed spans with attached
-/// counter stats, the structure behind EXPLAIN ANALYZE. A trace is owned
-/// by one query on one thread — it is deliberately not thread-safe, and
-/// passing nullptr everywhere a trace is accepted disables tracing at
-/// near-zero cost.
+/// counter stats, the structure behind EXPLAIN ANALYZE. A trace is
+/// logically owned by one query — interleaved spans from several threads
+/// produce a meaningless tree — but the mutating entry points are
+/// internally latched, so a misplaced concurrent span can garble the
+/// report, never memory. Passing nullptr everywhere a trace is accepted
+/// disables tracing at near-zero cost.
 class QueryTrace {
  public:
   struct Span {
@@ -37,8 +41,10 @@ class QueryTrace {
   void AddStat(const std::string& key, uint64_t value);
 
   /// The synthetic root ("query"); its children are the top-level spans.
-  const Span& root() const { return *root_; }
-  Span* mutable_root() { return root_.get(); }
+  /// Contract: call only after the trace has quiesced (no concurrent
+  /// Begin/End/AddStat) — the returned reference walks the tree unlatched.
+  const Span& root() const PTLDB_NO_THREAD_SAFETY_ANALYSIS { return *root_; }
+  Span* mutable_root() PTLDB_NO_THREAD_SAFETY_ANALYSIS { return root_.get(); }
 
   /// Renders the span tree, one line per span:
   ///   name  [time=1.234 ms]  key=value key=value
@@ -50,9 +56,14 @@ class QueryTrace {
   uint64_t ElapsedNs() const;
 
  private:
-  std::unique_ptr<Span> root_;
-  std::vector<Span*> open_;  ///< Stack of open spans; back() is innermost.
-  uint64_t epoch_ns_ = 0;    ///< steady_clock at construction.
+  /// Latch over the span tree and the open-span stack. Leaf lock: held
+  /// only for tree surgery, never across user code or engine calls.
+  mutable Mutex mu_;
+  /// Never reseated after construction; the *tree behind it* is guarded.
+  std::unique_ptr<Span> root_ PTLDB_PT_GUARDED_BY(mu_);
+  /// Stack of open spans; back() is innermost.
+  std::vector<Span*> open_ PTLDB_GUARDED_BY(mu_);
+  uint64_t epoch_ns_ = 0;  ///< steady_clock at construction; immutable.
 };
 
 /// RAII span: begins on construction, ends on destruction. Tolerates a

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +14,7 @@
 
 #include "common/checksum.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/device.h"
 #include "engine/page.h"
 #include "engine/pager.h"
@@ -46,7 +46,10 @@ class BufferPool;
 /// may fetch further pages while the pool is near capacity (a thread
 /// that pins more frames than one shard holds cannot make progress and
 /// Fetch will fail loudly after a bounded wait).
-class PageGuard {
+///
+/// [[nodiscard]]: a discarded guard would pin-then-unpin without the
+/// caller ever holding the page — always a bug at the call site.
+class [[nodiscard]] PageGuard {
  public:
   PageGuard() = default;
   PageGuard(PageGuard&& other) noexcept
@@ -156,7 +159,7 @@ class BufferPool {
   Result<PageGuard> Fetch(PageId id) {
     Shard& shard = shards_[ShardIndex(id)];
     for (uint32_t wait = 0;; ++wait) {
-      std::unique_lock<std::mutex> latch(shard.mu);
+      MutexLock latch(shard.mu);
       const auto it = shard.resident.find(id);
       if (it != shard.resident.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -180,7 +183,7 @@ class BufferPool {
       // the shard exhausted.
       if (shard.lru.size() >= shard.capacity && !EvictOneLocked(shard)) {
         if (wait < kPinWaitYields) {
-          latch.unlock();
+          latch.Unlock();
           std::this_thread::yield();
           continue;
         }
@@ -203,7 +206,7 @@ class BufferPool {
   Status DropCaches() {
     uint64_t still_pinned = 0;
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> latch(shard.mu);
+      MutexLock latch(shard.mu);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (it->pins.load(std::memory_order_acquire) == 0) {
           shard.resident.erase(it->id);
@@ -226,7 +229,7 @@ class BufferPool {
   /// device's sticky fault state has been reset).
   void ClearQuarantine() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> latch(shard.mu);
+      MutexLock latch(shard.mu);
       shard.quarantined.clear();
     }
   }
@@ -249,7 +252,7 @@ class BufferPool {
   }
   ShardStats shard_stats(uint32_t s) const {
     const Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> latch(shard.mu);
+    MutexLock latch(shard.mu);
     ShardStats stats;
     stats.hits = shard.hits.load(std::memory_order_relaxed);
     stats.misses = shard.misses.load(std::memory_order_relaxed);
@@ -289,7 +292,7 @@ class BufferPool {
   uint64_t quarantined_pages() const {
     uint64_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> latch(shard.mu);
+      MutexLock latch(shard.mu);
       total += shard.quarantined.size();
     }
     return total;
@@ -328,10 +331,15 @@ class BufferPool {
 
   struct Shard {
     uint64_t capacity = 0;
-    mutable std::mutex mu;  ///< Guards lru/resident/quarantined.
-    std::list<Frame> lru;   ///< Front = most recently used.
-    std::unordered_map<PageId, std::list<Frame>::iterator> resident;
-    std::unordered_set<PageId> quarantined;
+    /// Shard latch. In the lock hierarchy it sits *above* the device
+    /// mutex: ReadIntoShardLocked calls into StorageDevice while holding
+    /// it; the device never calls back into the pool.
+    mutable Mutex mu;
+    /// Front = most recently used.
+    std::list<Frame> lru PTLDB_GUARDED_BY(mu);
+    std::unordered_map<PageId, std::list<Frame>::iterator> resident
+        PTLDB_GUARDED_BY(mu);
+    std::unordered_set<PageId> quarantined PTLDB_GUARDED_BY(mu);
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
@@ -357,7 +365,7 @@ class BufferPool {
 
   /// Evicts the least-recently-used unpinned frame. Caller holds the
   /// shard latch. Returns false if every frame is pinned.
-  bool EvictOneLocked(Shard& shard) {
+  bool EvictOneLocked(Shard& shard) PTLDB_REQUIRES(shard.mu) {
     for (auto it = std::prev(shard.lru.end());; --it) {
       if (it->pins.load(std::memory_order_acquire) == 0) {
         shard.resident.erase(it->id);
@@ -372,7 +380,8 @@ class BufferPool {
   /// Miss path: reads `id` from the device (with retry/backoff and
   /// checksum verification) into a fresh frame at the LRU front. Caller
   /// holds the shard latch and has already made room.
-  Result<PageGuard> ReadIntoShardLocked(Shard& shard, PageId id) {
+  Result<PageGuard> ReadIntoShardLocked(Shard& shard, PageId id)
+      PTLDB_REQUIRES(shard.mu) {
     const PageStore& store = *store_;  // Read-only: must not dirty stamps.
     Status last = Status::Ok();
     uint64_t backoff = retry_.initial_backoff_ns;

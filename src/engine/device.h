@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/page.h"
 
 namespace ptldb {
@@ -81,7 +81,7 @@ class StorageDevice {
   /// shards reach the device concurrently and no single pool latch
   /// serializes it anymore.
   uint64_t ChargeRead(PageId page) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return ChargeReadLocked(page);
   }
 
@@ -91,7 +91,7 @@ class StorageDevice {
   /// never mutated; corruption happens on the wire, where the BufferPool's
   /// checksum verification catches it.
   Status ReadPage(PageId id, const Page& src, Page* frame) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ChargeReadLocked(id);
     if (fault_.enabled()) {
       if (bad_pages_.count(id) > 0) {
@@ -137,20 +137,23 @@ class StorageDevice {
   /// Installs (or clears, with a default-constructed policy) the failure
   /// regime and reseeds the fault Rng. Sticky state is reset.
   void set_fault_policy(const FaultPolicy& policy) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fault_ = policy;
     rng_ = Rng(policy.seed);
     bad_pages_.clear();
     sticky_flips_.clear();
   }
-  const FaultPolicy& fault_policy() const { return fault_; }
+  FaultPolicy fault_policy() const {
+    MutexLock lock(mu_);
+    return fault_;
+  }
 
   /// Forgets the last accessed page so the next read is billed as random.
   /// Called on cache drops: after a real server restart the head position
   /// and the device's internal caches are unknown, so crediting the first
   /// post-drop read as sequential would understate cold-cache cost.
   void ResetLocality() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     last_page_ = kInvalidPage - 1;
   }
 
@@ -192,7 +195,7 @@ class StorageDevice {
 
   /// Sequential-vs-random billing; caller holds mu_ (ReadPage takes the
   /// lock once and must not re-enter the public ChargeRead).
-  uint64_t ChargeReadLocked(PageId page) {
+  uint64_t ChargeReadLocked(PageId page) PTLDB_REQUIRES(mu_) {
     const bool sequential = (page == last_page_ + 1);
     last_page_ = page;
     const uint64_t cost =
@@ -204,18 +207,20 @@ class StorageDevice {
   }
 
   DeviceProfile profile_;
-  /// Guards last_page_, fault_, rng_, bad_pages_, sticky_flips_.
-  std::mutex mu_;
+  /// Device mutex: the *bottom* of the lock hierarchy. A buffer-pool
+  /// shard latch may be held while acquiring it (miss path); the device
+  /// never calls back up into the pool.
+  mutable Mutex mu_;
   std::atomic<uint64_t> read_ns_{0};
   std::atomic<uint64_t> wait_ns_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> sequential_reads_{0};
-  PageId last_page_ = kInvalidPage - 1;
+  PageId last_page_ PTLDB_GUARDED_BY(mu_) = kInvalidPage - 1;
 
-  FaultPolicy fault_;
-  Rng rng_{0};
-  std::unordered_set<PageId> bad_pages_;
-  std::unordered_map<PageId, uint64_t> sticky_flips_;
+  FaultPolicy fault_ PTLDB_GUARDED_BY(mu_);
+  Rng rng_ PTLDB_GUARDED_BY(mu_) = Rng(0);
+  std::unordered_set<PageId> bad_pages_ PTLDB_GUARDED_BY(mu_);
+  std::unordered_map<PageId, uint64_t> sticky_flips_ PTLDB_GUARDED_BY(mu_);
   std::atomic<uint64_t> read_errors_{0};
   std::atomic<uint64_t> corruptions_injected_{0};
 };

@@ -78,6 +78,10 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   if (index.num_stops() != num_stops_) {
     return Status::InvalidArgument("index does not match this database");
   }
+  // Held across the whole build: registration (existence check + table
+  // build + catalog insert) is atomic with respect to queries validating
+  // set names and to other AddTargetSet calls.
+  MutexLock lock(sets_mu_);
   if (target_sets_.count(name) != 0) {
     return Status::InvalidArgument("target set exists: " + name);
   }
@@ -157,6 +161,7 @@ void PatchSelfTarget(std::vector<StopTimeResult>* out,
 
 Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
     const std::string& set_name, uint32_t k) const {
+  MutexLock lock(sets_mu_);
   const auto it = target_sets_.find(set_name);
   if (it == target_sets_.end()) {
     return Status::NotFound("unknown target set: " + set_name);

@@ -11,6 +11,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "engine/database.h"
 #include "timetable/types.h"
@@ -182,6 +183,7 @@ class PtldbDatabase {
   void ResetQueryStats();
   /// Registered target sets, in name order.
   std::vector<TargetSetInfo> target_sets() const {
+    MutexLock lock(sets_mu_);
     std::vector<TargetSetInfo> out;
     for (const auto& [name, info] : target_sets_) {
       TargetSetInfo copy = info;
@@ -245,7 +247,16 @@ class PtldbDatabase {
   uint32_t num_threads_ = 1;  ///< Workers for derived-table construction.
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
-  std::map<std::string, TargetSetInfo> target_sets_;
+  /// Catalog latch: guards the target-set map against a concurrent
+  /// AddTargetSet while queries validate set names. Held across the
+  /// whole derived-table build, so registration is atomic; sets are
+  /// never erased, so TargetSetInfo pointers handed out by ValidateSet
+  /// stay valid after the latch drops (std::map nodes are stable).
+  /// Top of the facade's lock order: shard latches and the device mutex
+  /// are acquired below it, never the other way around.
+  mutable Mutex sets_mu_;
+  std::map<std::string, TargetSetInfo> target_sets_
+      PTLDB_GUARDED_BY(sets_mu_);
 
   // Registry-backed query accounting (pointers are stable; see
   // MetricsRegistry). All writes are atomic, so concurrent facade

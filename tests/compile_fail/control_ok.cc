@@ -1,0 +1,47 @@
+// Positive control: this snippet exercises the same APIs the WILL_FAIL
+// snippets misuse, but correctly, and must COMPILE under the union of all
+// enforcement flags. If this one breaks, the suite's include paths or flags
+// are wrong and every "expected failure" next door is meaningless.
+
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace ptldb {
+namespace {
+
+Status Flush() { return Status::Ok(); }
+Result<int> Parse() { return 42; }
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+  int Get() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ PTLDB_GUARDED_BY(mu_) = 0;
+};
+
+int UseEverything() {
+  const Status s = Flush();
+  if (!s.ok()) return -1;
+  PTLDB_IGNORE_STATUS(Flush());  // Sanctioned, searchable drop.
+  Result<int> r = Parse();
+  if (!r.ok()) return -1;
+  Counter c;
+  c.Increment();
+  return c.Get() + std::move(r).value();
+}
+
+}  // namespace
+}  // namespace ptldb
+
+int main() { return ptldb::UseEverything() > 0 ? 0 : 1; }

@@ -1,0 +1,17 @@
+// Must NOT compile (-Werror=unused-result): a PageGuard return is dropped,
+// which pins and immediately unpins the page — always a bug (the caller
+// wanted the page, or shouldn't have fetched it). Expected diagnostic:
+// ignoring returned value of type 'PageGuard' declared with attribute
+// 'nodiscard'.
+
+#include "engine/buffer_pool.h"
+
+namespace ptldb {
+
+PageGuard AcquireHeader();
+
+void Caller() {
+  AcquireHeader();  // BAD: guard discarded — pin dropped on the same line.
+}
+
+}  // namespace ptldb

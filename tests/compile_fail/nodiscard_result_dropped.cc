@@ -1,0 +1,15 @@
+// Must NOT compile (-Werror=unused-result): a Result<T> return is dropped,
+// losing both the value and the error. Expected diagnostic: ignoring
+// returned value of type 'Result<int>' declared with attribute 'nodiscard'.
+
+#include "common/status.h"
+
+namespace ptldb {
+
+Result<int> ParsePort();
+
+void Caller() {
+  ParsePort();  // BAD: Result discarded — error path vanishes.
+}
+
+}  // namespace ptldb

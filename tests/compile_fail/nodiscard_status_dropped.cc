@@ -1,0 +1,16 @@
+// Must NOT compile (-Werror=unused-result): a Status return is dropped on
+// the floor. Expected diagnostic: ignoring returned value of type 'Status'
+// declared with attribute 'nodiscard'. The fix is to check .ok() or use
+// PTLDB_IGNORE_STATUS for an intentional drop.
+
+#include "common/status.h"
+
+namespace ptldb {
+
+Status Flush();
+
+void Caller() {
+  Flush();  // BAD: Status discarded.
+}
+
+}  // namespace ptldb

@@ -1,0 +1,20 @@
+// Must NOT compile under Clang (-Werror=thread-safety): a PTLDB_GUARDED_BY
+// field is written without holding its mutex. Expected diagnostic: writing
+// variable 'count_' requires holding mutex 'mu_' exclusively.
+
+#include "common/thread_annotations.h"
+
+namespace ptldb {
+
+class Counter {
+ public:
+  void Increment() {
+    ++count_;  // BAD: mu_ not held.
+  }
+
+ private:
+  Mutex mu_;
+  int count_ PTLDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ptldb

@@ -1,0 +1,23 @@
+// Must NOT compile under Clang (-Werror=thread-safety): a manually acquired
+// Mutex is still held when the function returns — the classic leaked-lock
+// deadlock. Expected diagnostic: mutex 'mu_' is still held at the end of
+// function. The fix is MutexLock (RAII), which cannot leak.
+
+#include "common/thread_annotations.h"
+
+namespace ptldb {
+
+class Registry {
+ public:
+  void Touch() {
+    mu_.Lock();
+    ++generation_;
+    // BAD: missing mu_.Unlock(); every later caller deadlocks.
+  }
+
+ private:
+  Mutex mu_;
+  int generation_ PTLDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ptldb

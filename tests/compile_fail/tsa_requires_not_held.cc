@@ -1,0 +1,23 @@
+// Must NOT compile under Clang (-Werror=thread-safety): a PTLDB_REQUIRES
+// function is called without the caller holding the required mutex.
+// Expected diagnostic: calling function 'RebalanceLocked' requires holding
+// mutex 'mu_' exclusively.
+
+#include "common/thread_annotations.h"
+
+namespace ptldb {
+
+class Table {
+ public:
+  void Rebalance() {
+    RebalanceLocked();  // BAD: caller does not hold mu_.
+  }
+
+ private:
+  void RebalanceLocked() PTLDB_REQUIRES(mu_) { ++generation_; }
+
+  Mutex mu_;
+  int generation_ PTLDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ptldb

@@ -35,9 +35,9 @@ TEST(BufferPoolTest, HitsAfterFirstFetch) {
   const PageId a = store.Allocate();
   StorageDevice device(DeviceProfile::SataSsd());
   BufferPool pool(&store, &device);
-  pool.Fetch(a);
-  pool.Fetch(a);
-  pool.Fetch(a);
+  EXPECT_TRUE(pool.Fetch(a).ok());
+  EXPECT_TRUE(pool.Fetch(a).ok());
+  EXPECT_TRUE(pool.Fetch(a).ok());
   EXPECT_EQ(pool.misses(), 1u);
   EXPECT_EQ(pool.hits(), 2u);
   EXPECT_EQ(device.reads(), 1u);
@@ -48,9 +48,9 @@ TEST(BufferPoolTest, DropCachesForcesMissesAgain) {
   const PageId a = store.Allocate();
   StorageDevice device(DeviceProfile::SataSsd());
   BufferPool pool(&store, &device);
-  pool.Fetch(a);
-  pool.DropCaches();
-  pool.Fetch(a);
+  EXPECT_TRUE(pool.Fetch(a).ok());
+  ASSERT_TRUE(pool.DropCaches().ok());
+  EXPECT_TRUE(pool.Fetch(a).ok());
   EXPECT_EQ(pool.misses(), 2u);
 }
 
@@ -59,15 +59,15 @@ TEST(BufferPoolTest, LruEvictsColdestPage) {
   for (int i = 0; i < 3; ++i) store.Allocate();
   StorageDevice device(DeviceProfile::SataSsd());
   BufferPool pool(&store, &device, /*capacity_pages=*/2);
-  pool.Fetch(0);
-  pool.Fetch(1);
-  pool.Fetch(0);  // 0 is now hottest.
-  pool.Fetch(2);  // Evicts 1.
+  EXPECT_TRUE(pool.Fetch(0).ok());
+  EXPECT_TRUE(pool.Fetch(1).ok());
+  EXPECT_TRUE(pool.Fetch(0).ok());  // 0 is now hottest.
+  EXPECT_TRUE(pool.Fetch(2).ok());  // Evicts 1.
   EXPECT_EQ(pool.resident_pages(), 2u);
   pool.ResetStats();
-  pool.Fetch(0);
+  EXPECT_TRUE(pool.Fetch(0).ok());
   EXPECT_EQ(pool.hits(), 1u);
-  pool.Fetch(1);
+  EXPECT_TRUE(pool.Fetch(1).ok());
   EXPECT_EQ(pool.misses(), 1u);
 }
 
@@ -566,7 +566,7 @@ TEST(FaultPolicyTest, TransientErrorsAreRetriedToSuccess) {
   // overwhelming probability; every one must return the true bytes.
   int failures = 0;
   for (int i = 0; i < 200; ++i) {
-    pool.DropCaches();
+    ASSERT_TRUE(pool.DropCaches().ok());
     auto page = pool.Fetch(a);
     if (!page.ok()) {
       ++failures;
@@ -612,7 +612,7 @@ TEST(FaultPolicyTest, StickyBadPageStaysBad) {
   device.set_fault_policy(faults);
   BufferPool pool(&store, &device);
   for (int i = 0; i < 3; ++i) {
-    pool.DropCaches();
+    ASSERT_TRUE(pool.DropCaches().ok());
     auto page = pool.Fetch(a);
     ASSERT_FALSE(page.ok());
     EXPECT_EQ(page.status().code(), Status::Code::kIoError);
@@ -637,7 +637,7 @@ TEST(FaultPolicyTest, InjectedCorruptionIsCaughtByChecksum) {
   // The authoritative store copy is untouched: disabling faults heals it.
   device.set_fault_policy(FaultPolicy{});
   pool.ClearQuarantine();
-  pool.DropCaches();
+  ASSERT_TRUE(pool.DropCaches().ok());
   auto healed = pool.Fetch(a);
   ASSERT_TRUE(healed.ok());
   EXPECT_EQ((*healed)->bytes[11], 5);
@@ -658,14 +658,14 @@ TEST(BufferPoolTest, DropCachesResetsDeviceLocality) {
   for (int i = 0; i < 3; ++i) store.Allocate();
   StorageDevice device(DeviceProfile::Hdd7200());
   BufferPool pool(&store, &device);
-  pool.Fetch(0);
-  pool.Fetch(1);  // Sequential after 0.
+  EXPECT_TRUE(pool.Fetch(0).ok());
+  EXPECT_TRUE(pool.Fetch(1).ok());  // Sequential after 0.
   EXPECT_EQ(device.sequential_reads(), 1u);
-  pool.DropCaches();
+  ASSERT_TRUE(pool.DropCaches().ok());
   device.ResetStats();
   // Page 2 would look sequential after page 1 if locality survived the
   // cache drop; a real restart loses the head position.
-  pool.Fetch(2);
+  EXPECT_TRUE(pool.Fetch(2).ok());
   EXPECT_EQ(device.sequential_reads(), 0u);
 }
 

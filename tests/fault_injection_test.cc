@@ -122,7 +122,7 @@ TEST_F(FaultSoakTest, NoCrashesNoWrongAnswersAcrossSeeds) {
     Rng rng(seed * 31 + 17);
     for (int trial = 0; trial < 12; ++trial) {
       // Cold caches each trial so reads actually hit the faulty device.
-      (*db)->DropCaches();
+      ASSERT_TRUE((*db)->DropCaches().ok());
       StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
       while (std::find(targets.begin(), targets.end(), q) != targets.end()) {
         q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
@@ -205,7 +205,7 @@ TEST_F(FaultSoakTest, NoCrashesNoWrongAnswersAcrossSeeds) {
   // With faults disabled the same database answers everything exactly.
   device->set_fault_policy(FaultPolicy{});
   pool->ClearQuarantine();
-  (*db)->DropCaches();
+  ASSERT_TRUE((*db)->DropCaches().ok());
   Rng rng(999);
   for (int trial = 0; trial < 10; ++trial) {
     StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
@@ -247,7 +247,7 @@ TEST_F(FaultSoakTest, RecoversAfterDeviceHeals) {
   device->set_fault_policy(nasty);
   Rng rng(4);
   for (int i = 0; i < 30; ++i) {
-    (*db)->DropCaches();
+    ASSERT_TRUE((*db)->DropCaches().ok());
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
@@ -259,7 +259,7 @@ TEST_F(FaultSoakTest, RecoversAfterDeviceHeals) {
 
   device->set_fault_policy(FaultPolicy{});  // Heal (clears sticky state).
   (*db)->engine()->buffer_pool()->ClearQuarantine();
-  (*db)->DropCaches();
+  ASSERT_TRUE((*db)->DropCaches().ok());
   for (int i = 0; i < 20; ++i) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));

@@ -665,9 +665,9 @@ TEST(PtldbStorageTest, V2vTouchesExactlyTwoLabelRows) {
   options.device = DeviceProfile::Hdd7200();
   auto db = PtldbDatabase::Build(index, options);
   ASSERT_TRUE(db.ok());
-  (*db)->DropCaches();
+  ASSERT_TRUE((*db)->DropCaches().ok());
   (*db)->ResetIoStats();
-  (*db)->EarliestArrival(3, 7, tt.min_time());
+  EXPECT_TRUE((*db)->EarliestArrival(3, 7, tt.min_time()).ok());
   // Two label rows: at most two random page accesses beyond index pages,
   // i.e. random reads are bounded by 2 (rows) + index height * 2.
   StorageDevice* device = (*db)->engine()->device();
@@ -683,9 +683,9 @@ TEST(PtldbStorageTest, WarmCacheCostsNoIo) {
   options.device = DeviceProfile::Hdd7200();
   auto db = PtldbDatabase::Build(index, options);
   ASSERT_TRUE(db.ok());
-  (*db)->EarliestArrival(3, 7, tt.min_time());
+  EXPECT_TRUE((*db)->EarliestArrival(3, 7, tt.min_time()).ok());
   (*db)->ResetIoStats();
-  (*db)->EarliestArrival(3, 7, tt.min_time());  // Same rows, now cached.
+  EXPECT_TRUE((*db)->EarliestArrival(3, 7, tt.min_time()).ok());  // Same rows, now cached.
   EXPECT_EQ((*db)->io_time_ns(), 0u);
 }
 
@@ -700,9 +700,9 @@ TEST(PtldbStorageTest, SsdIsFasterThanHddForColdV2v) {
     options.device = profiles[i];
     auto db = PtldbDatabase::Build(index, options);
     ASSERT_TRUE(db.ok());
-    (*db)->DropCaches();
+    ASSERT_TRUE((*db)->DropCaches().ok());
     (*db)->ResetIoStats();
-    (*db)->EarliestArrival(5, 17, tt.min_time());
+    EXPECT_TRUE((*db)->EarliestArrival(5, 17, tt.min_time()).ok());
     io_ns[i] = (*db)->io_time_ns();
   }
   EXPECT_GT(io_ns[0], io_ns[1] * 5);

@@ -416,7 +416,7 @@ TEST_F(SqlPaperQueriesTest, TableAccessIsChargedToTheDevice) {
   options.device = DeviceProfile::Hdd7200();
   auto db = PtldbDatabase::Build(index_, options);
   ASSERT_TRUE(db.ok());
-  (*db)->DropCaches();
+  ASSERT_TRUE((*db)->DropCaches().ok());
   (*db)->ResetIoStats();
   SqlInterpreter interpreter((*db)->engine());
   auto result = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
@@ -691,7 +691,7 @@ TEST_F(SqlExampleGoldenTest, ExplainAnalyzeCountersMatchEngineGroundTruth) {
   auto db = PtldbDatabase::Build(index_, options);
   ASSERT_TRUE(db.ok());
   ASSERT_TRUE((*db)->AddTargetSet("poi", index_, targets_, kKmax).ok());
-  (*db)->DropCaches();
+  ASSERT_TRUE((*db)->DropCaches().ok());
   (*db)->ResetIoStats();
   SqlInterpreter interpreter((*db)->engine());
   QueryTrace trace;
