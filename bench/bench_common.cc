@@ -274,7 +274,19 @@ Status WriteBenchJson(const BenchRunRecord& record, const std::string& path) {
     json += "    {\"name\": " + JsonString(p.name) +
             ", \"seconds\": " + JsonDouble(p.seconds) +
             ", \"items\": " + std::to_string(p.items) +
-            ", \"ms_per_item\": " + JsonDouble(p.ms_per_item) + "}";
+            ", \"ms_per_item\": " + JsonDouble(p.ms_per_item);
+    if (p.has_load) {
+      json += ",\n     \"offered_qps\": " + JsonDouble(p.offered_qps) +
+              ", \"workers\": " + std::to_string(p.workers) +
+              ", \"ok\": " + std::to_string(p.ok) +
+              ", \"shed\": " + std::to_string(p.shed) +
+              ", \"deadline\": " + std::to_string(p.deadline) +
+              ", \"errors\": " + std::to_string(p.errors) +
+              ",\n     \"p50_ms\": " + JsonDouble(p.p50_ms) +
+              ", \"p95_ms\": " + JsonDouble(p.p95_ms) +
+              ", \"p99_ms\": " + JsonDouble(p.p99_ms);
+    }
+    json += "}";
   }
   json += record.phases.empty() ? "],\n" : "\n  ],\n";
   json += "  \"metrics\": " + record.metrics.ToJson() + "\n";

@@ -103,6 +103,22 @@ struct BenchPhase {
   double seconds = 0;      ///< Wall time (plus modeled I/O where noted).
   uint64_t items = 0;      ///< Queries/rows processed; 0 = not applicable.
   double ms_per_item = 0;  ///< Average latency when items > 0.
+
+  /// Open-loop serving stats (bench_server): one phase per
+  /// (workers, offered rate, priority class) cell of the latency /
+  /// availability curve. Serialized only when `has_load` is set.
+  /// Invariant the JSON checker enforces: ok + shed + deadline + errors
+  /// == items — every submitted request was answered exactly once.
+  bool has_load = false;
+  double offered_qps = 0;  ///< Scheduled (open-loop) arrival rate.
+  uint64_t workers = 0;    ///< Server worker threads during the phase.
+  uint64_t ok = 0;         ///< Answered OK.
+  uint64_t shed = 0;       ///< Rejected kOverloaded at admission.
+  uint64_t deadline = 0;   ///< kDeadlineExceeded (in queue or mid-query).
+  uint64_t errors = 0;     ///< Any other non-OK status.
+  double p50_ms = 0;       ///< Submit-to-response latency percentiles
+  double p95_ms = 0;       ///< over the answered (ok) requests.
+  double p99_ms = 0;
 };
 
 /// A machine-readable benchmark run: what ran, at which revision, the

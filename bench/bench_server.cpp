@@ -1,0 +1,411 @@
+// Open-loop load harness for the serving layer (DESIGN.md §10).
+//
+// Offered load is generated on a fixed schedule that never waits for
+// responses (open loop): a slow server cannot hide its backlog by slowing
+// the generator down — the coordinated-omission trap a closed loop falls
+// into. The schedule sweeps a fixed interactive (v2v) rate plus an
+// expensive (kNN / one-to-many) rate from well under to 4x the measured
+// expensive capacity, at 1 worker and at one-per-core, and each
+// (workers, rate, class) cell reports p50/p95/p99 latency and the
+// availability split ok / shed / deadline / error.
+//
+// The property the sweep demonstrates is shed-before-collapse: as offered
+// load crosses capacity the expensive class degrades first and explicitly
+// (fast kOverloaded rejections at admission) while interactive v2v
+// availability and latency hold, because the queue reserves headroom for
+// the interactive class and workers serve it first.
+//
+// Service time is made physically real — not just virtual device time —
+// with FaultPolicy::read_delay_ns (a real wall-clock sleep per page read)
+// and a deliberately tiny buffer pool, so "overload" is an actual
+// resource shortage, not a simulation artifact.
+//
+// Dataset, workload and schedule all derive from --seed. Wall-clock
+// latencies vary run to run, so scripts/check_bench_json.py asserts only
+// the robust properties: exactly-once response accounting per phase, and
+// interactive availability >= 99% at the highest overload point while
+// the expensive class sheds.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "server/server.h"
+
+namespace ptldb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Real wall-clock cost per page read (FaultPolicy::read_delay_ns): makes
+/// one query cost tens to hundreds of microseconds of worker time.
+constexpr uint64_t kReadDelayNs = 20'000;
+/// Tiny pool so the read delay keeps applying under steady load instead
+/// of everything going warm after the first pass.
+constexpr uint64_t kPoolPages = 256;
+/// Interactive offered rate as a fraction of interactive capacity — kept
+/// constant across the sweep (the expensive flood is the variable).
+constexpr double kInteractiveFraction = 0.4;
+/// Expensive offered rate multiples of expensive capacity.
+constexpr double kMultiples[] = {0.25, 1.0, 2.0, 4.0};
+/// Wall seconds of offered load per sweep point.
+constexpr double kPhaseSeconds = 1.0;
+/// Per-class submission cap per phase (memory/runtime bound; hit only if
+/// the calibrated capacity is implausibly high). Capping is reported.
+constexpr uint64_t kMaxPerClass = 50'000;
+
+struct LoadPoint {
+  uint32_t workers;
+  double multiple;
+};
+
+/// Everything one scheduled request needs: when to submit and what.
+struct ScheduledRequest {
+  std::chrono::nanoseconds offset;
+  QueryRequest request;
+};
+
+/// Response accounting for one (phase, class) cell. Counters are written
+/// from server worker threads (callbacks), read after the phase drains.
+struct ClassStats {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> errors{0};
+  Mutex mu;
+  std::vector<uint64_t> latencies_ns PTLDB_GUARDED_BY(mu);
+
+  void Record(const QueryResponse& resp, uint64_t latency_ns) {
+    switch (resp.status.code()) {
+      case Status::Code::kOk:
+        ok.fetch_add(1, std::memory_order_relaxed);
+        {
+          MutexLock lock(mu);
+          latencies_ns.push_back(latency_ns);
+        }
+        break;
+      case Status::Code::kOverloaded:
+        shed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::Code::kDeadlineExceeded:
+        deadline.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
+
+double PercentileMs(const std::vector<uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0;
+  const auto idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return static_cast<double>(sorted_ns[std::min(idx, sorted_ns.size() - 1)]) /
+         1e6;
+}
+
+QueryRequest MakeInteractive(Rng* rng, const Timetable& tt) {
+  QueryRequest r;
+  r.type = QueryType::kV2vEa;
+  r.s = static_cast<StopId>(rng->NextBelow(tt.num_stops()));
+  r.g = static_cast<StopId>(rng->NextBelow(tt.num_stops()));
+  r.t = RandomEarlyTime(rng, tt);
+  return r;
+}
+
+QueryRequest MakeExpensive(Rng* rng, const Timetable& tt, uint32_t i) {
+  QueryRequest r;
+  r.type = (i % 2 == 0) ? QueryType::kEaKnn : QueryType::kEaOtm;
+  r.set_name = "T";
+  r.s = static_cast<StopId>(rng->NextBelow(tt.num_stops()));
+  r.t = RandomEarlyTime(rng, tt);
+  r.k = 4;
+  return r;
+}
+
+/// Average wall milliseconds of `n` serial queries — the capacity basis.
+/// Includes the injected read delay, which is where the time goes.
+template <typename Fn>
+double CalibrateMs(uint32_t n, const Fn& fn) {
+  const auto start = Clock::now();
+  for (uint32_t i = 0; i < n; ++i) fn(i);
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+             .count() /
+         n;
+}
+
+/// Runs one open-loop phase: submits `schedule` against `server` at the
+/// scheduled instants, waits for every response, fills `stats`.
+/// Returns the wall seconds of the submit window.
+double RunOpenLoopPhase(PtldbServer* server,
+                        const std::vector<ScheduledRequest>& schedule,
+                        const std::vector<bool>& expensive_of,
+                        ClassStats* interactive, ClassStats* expensive) {
+  std::atomic<uint64_t> responded{0};
+  const auto start = Clock::now();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    // Open loop: sleep until the scheduled instant (no-op when behind
+    // schedule) and submit regardless of how many responses are pending.
+    std::this_thread::sleep_until(start + schedule[i].offset);
+    const auto submitted = Clock::now();
+    ClassStats* stats = expensive_of[i] ? expensive : interactive;
+    server->Submit(schedule[i].request,
+                   [stats, submitted, &responded](QueryResponse resp) {
+                     const auto latency_ns = static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - submitted)
+                             .count());
+                     stats->Record(resp, latency_ns);
+                     responded.fetch_add(1, std::memory_order_release);
+                   });
+  }
+  const double submit_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  // Drain: every Submit answers exactly once, so this terminates unless
+  // the server wedged — which is precisely a bench failure.
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(30);
+  while (responded.load(std::memory_order_acquire) < schedule.size()) {
+    if (Clock::now() >= drain_deadline) {
+      std::fprintf(stderr,
+                   "bench_server: wedged — %llu of %zu responses after 30s\n",
+                   static_cast<unsigned long long>(responded.load()),
+                   schedule.size());
+      std::abort();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return submit_seconds;
+}
+
+BenchPhase MakeLoadPhase(const std::string& name, uint32_t workers,
+                         double offered_qps, double seconds,
+                         uint64_t submitted, ClassStats* stats) {
+  BenchPhase phase;
+  phase.name = name;
+  phase.seconds = seconds;
+  phase.items = submitted;
+  phase.has_load = true;
+  phase.offered_qps = offered_qps;
+  phase.workers = workers;
+  phase.ok = stats->ok.load();
+  phase.shed = stats->shed.load();
+  phase.deadline = stats->deadline.load();
+  phase.errors = stats->errors.load();
+  std::vector<uint64_t> lat;
+  {
+    MutexLock lock(stats->mu);
+    lat = stats->latencies_ns;
+  }
+  std::sort(lat.begin(), lat.end());
+  if (!lat.empty()) {
+    uint64_t sum = 0;
+    for (const uint64_t v : lat) sum += v;
+    phase.ms_per_item =
+        static_cast<double>(sum) / static_cast<double>(lat.size()) / 1e6;
+  }
+  phase.p50_ms = PercentileMs(lat, 0.50);
+  phase.p95_ms = PercentileMs(lat, 0.95);
+  phase.p99_ms = PercentileMs(lat, 0.99);
+  return phase;
+}
+
+int Run(const BenchConfig& config) {
+  const std::vector<const CityProfile*> cities = SelectCities(config);
+  // A serving sweep needs one dataset, not the Table 7 tour: the first
+  // selected city (pass --cities to pick another).
+  const CityProfile& profile = *cities.front();
+  auto data = LoadOrBuildDataset(profile, config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Timetable& tt = data->tt;
+
+  PtldbOptions options;
+  options.device = DeviceProfile::SataSsd();
+  options.buffer_pool_pages = kPoolPages;
+  options.num_threads = config.num_threads;
+  auto built = PtldbDatabase::Build(data->index, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<PtldbDatabase> db = std::move(built).value();
+  Rng target_rng(config.seed + 17);
+  const auto num_targets =
+      std::min<uint32_t>(32, std::max<uint32_t>(4, tt.num_stops() / 4));
+  const std::vector<StopId> targets =
+      target_rng.SampleDistinct(tt.num_stops(), num_targets);
+  if (const Status s = db->AddTargetSet("T", data->index, targets, 8);
+      !s.ok()) {
+    std::fprintf(stderr, "AddTargetSet: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Service cost becomes real wall time from here on (calibration and
+  // serving measure the same physics; the table builds above did not).
+  FaultPolicy delay;
+  delay.read_delay_ns = kReadDelayNs;
+  db->engine()->device()->set_fault_policy(delay);
+
+  BenchRunRecord record;
+  record.bench = "bench_server";
+  record.git = GitDescribe();
+  record.scale = config.scale;
+  record.seed = config.seed;
+
+  // --- Calibration: serial per-class service time -> capacity basis ---
+  Rng cal_rng(config.seed + 23);
+  const uint32_t cal_n = std::max<uint32_t>(8, config.num_queries);
+  const double int_ms = CalibrateMs(cal_n, [&](uint32_t) {
+    const QueryRequest r = MakeInteractive(&cal_rng, tt);
+    if (const auto res = db->EarliestArrival(r.s, r.g, r.t); !res.ok()) {
+      std::fprintf(stderr, "calibrate v2v: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(1);
+    }
+  });
+  const double exp_ms = CalibrateMs(cal_n, [&](uint32_t i) {
+    const QueryRequest r = MakeExpensive(&cal_rng, tt, i);
+    const auto res = r.type == QueryType::kEaKnn
+                         ? db->EaKnn(r.set_name, r.s, r.t, r.k)
+                         : db->EaOneToMany(r.set_name, r.s, r.t);
+    if (!res.ok()) {
+      std::fprintf(stderr, "calibrate set query: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(1);
+    }
+  });
+  record.phases.push_back({"calibrate_int", int_ms * cal_n / 1e3, cal_n,
+                           int_ms});
+  record.phases.push_back({"calibrate_exp", exp_ms * cal_n / 1e3, cal_n,
+                           exp_ms});
+  std::printf("## bench_server — open-loop serving sweep (%s, scale %g)\n\n",
+              profile.name, config.scale);
+  std::printf("serial service time: interactive %s ms, expensive %s ms\n\n",
+              Ms(int_ms).c_str(), Ms(exp_ms).c_str());
+
+  // --- Sweep: (workers, expensive multiple) grid ---
+  std::vector<uint32_t> worker_counts = {1};
+  const uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+  if (cores > 1) worker_counts.push_back(cores);
+
+  PrintTableHeader({"workers", "x cap", "class", "offered qps", "ok", "shed",
+                    "dl", "err", "p50 ms", "p95 ms", "p99 ms"});
+  for (const uint32_t workers : worker_counts) {
+    const double cap_int = workers * 1000.0 / int_ms;
+    const double cap_exp = workers * 1000.0 / exp_ms;
+    for (const double multiple : kMultiples) {
+      const double offered_int = kInteractiveFraction * cap_int;
+      const double offered_exp = multiple * cap_exp;
+      const auto n_int = static_cast<uint64_t>(
+          std::min<double>(offered_int * kPhaseSeconds, kMaxPerClass));
+      const auto n_exp = static_cast<uint64_t>(
+          std::min<double>(offered_exp * kPhaseSeconds, kMaxPerClass));
+      if (offered_int * kPhaseSeconds > kMaxPerClass ||
+          offered_exp * kPhaseSeconds > kMaxPerClass) {
+        std::fprintf(stderr,
+                     "[bench] capped a phase at %llu submissions/class\n",
+                     static_cast<unsigned long long>(kMaxPerClass));
+      }
+
+      // Deterministic interleaved schedule: each class is an arithmetic
+      // sequence of instants; the merge is sorted by (offset, class).
+      Rng rng_int(config.seed + 1000 + workers * 31 +
+                  static_cast<uint64_t>(multiple * 4));
+      Rng rng_exp(config.seed + 2000 + workers * 31 +
+                  static_cast<uint64_t>(multiple * 4));
+      std::vector<ScheduledRequest> schedule;
+      std::vector<bool> expensive_of;
+      schedule.reserve(n_int + n_exp);
+      const auto interval_ns = [](double qps) {
+        return static_cast<int64_t>(1e9 / std::max(qps, 1.0));
+      };
+      size_t ii = 0, ei = 0;
+      while (ii < n_int || ei < n_exp) {
+        const int64_t next_int =
+            ii < n_int ? static_cast<int64_t>(ii) * interval_ns(offered_int)
+                       : INT64_MAX;
+        const int64_t next_exp =
+            ei < n_exp ? static_cast<int64_t>(ei) * interval_ns(offered_exp)
+                       : INT64_MAX;
+        ScheduledRequest sr;
+        if (next_int <= next_exp) {
+          sr.offset = std::chrono::nanoseconds(next_int);
+          sr.request = MakeInteractive(&rng_int, tt);
+          expensive_of.push_back(false);
+          ++ii;
+        } else {
+          sr.offset = std::chrono::nanoseconds(next_exp);
+          sr.request = MakeExpensive(&rng_exp, tt, static_cast<uint32_t>(ei));
+          expensive_of.push_back(true);
+          ++ei;
+        }
+        schedule.push_back(std::move(sr));
+      }
+
+      // Fresh server per sweep point: controller state (shed flag,
+      // windowed p99) must not leak from one load level into the next.
+      ServerOptions so;
+      so.num_workers = workers;
+      so.queue_capacity = 64;
+      so.expensive_admit_fraction = 0.5;
+      so.interactive_slo = std::chrono::milliseconds(25);
+      PtldbServer server(db.get(), so);
+
+      ClassStats interactive, expensive;
+      const double seconds = RunOpenLoopPhase(&server, schedule, expensive_of,
+                                              &interactive, &expensive);
+      server.Shutdown();
+
+      char suffix[64];
+      std::snprintf(suffix, sizeof(suffix), "serve_w%u_x%g", workers,
+                    multiple);
+      const BenchPhase pi =
+          MakeLoadPhase(std::string(suffix) + "_int", workers, offered_int,
+                        seconds, n_int, &interactive);
+      const BenchPhase pe =
+          MakeLoadPhase(std::string(suffix) + "_exp", workers, offered_exp,
+                        seconds, n_exp, &expensive);
+      record.phases.push_back(pi);
+      record.phases.push_back(pe);
+      for (const BenchPhase* p : {&pi, &pe}) {
+        char qps[32];
+        std::snprintf(qps, sizeof(qps), "%.0f", p->offered_qps);
+        char mult[16];
+        std::snprintf(mult, sizeof(mult), "%g", multiple);
+        PrintTableRow({std::to_string(workers), mult,
+                       p == &pi ? "int" : "exp", qps, std::to_string(p->ok),
+                       std::to_string(p->shed), std::to_string(p->deadline),
+                       std::to_string(p->errors), Ms(p->p50_ms),
+                       Ms(p->p95_ms), Ms(p->p99_ms)});
+      }
+    }
+  }
+
+  record.metrics = db->metrics()->Snapshot();
+  if (!config.json_path.empty()) {
+    if (const Status s = WriteBenchJson(record, config.json_path); !s.ok()) {
+      std::fprintf(stderr, "json: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", config.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptldb
+
+int main(int argc, char** argv) {
+  const ptldb::BenchConfig config = ptldb::ParseBenchArgs(argc, argv);
+  return ptldb::Run(config);
+}

@@ -7,12 +7,22 @@ snapshot shape — and, for bench_micro records, that the engine counters the
 observability layer is supposed to track actually moved during the run: a
 tracked counter stuck at zero means an instrumentation point was lost.
 
+For bench_server records (the open-loop serving sweep) it also asserts the
+overload contract of DESIGN.md §10 on the properties that are robust across
+machines and runs:
+  - every serve_* phase accounts for every submitted request exactly once
+    (ok + shed + deadline + errors == items);
+  - at the highest offered multiple, interactive availability stays >= 99%
+    while the expensive class sheds (shed-before-collapse);
+  - the server's admission/rejection counters actually moved.
+
 Usage: check_bench_json.py RECORD.json [RECORD.json ...]
 Exits non-zero with a message on the first invalid record.
 
 Stdlib only; safe to run in CI without extra dependencies.
 """
 import json
+import re
 import sys
 
 # Counters that a bench_micro --json run (v2v + kNN + one-to-many queries
@@ -81,6 +91,9 @@ def check_record(path):
             if field not in summary:
                 fail(path, f"histogram {name!r} missing {field!r}")
 
+    if record["bench"] == "bench_server":
+        check_server_overload(path, record)
+
     if record["bench"] == "bench_micro":
         counters = metrics["counters"]
         for name in MICRO_NONZERO_COUNTERS:
@@ -93,6 +106,85 @@ def check_record(path):
 
     print(f"{path}: ok ({len(record['phases'])} phases, "
           f"{len(metrics['counters'])} counters)")
+
+
+SERVE_PHASE = re.compile(r"^serve_w(\d+)_x([0-9.]+)_(int|exp)$")
+SERVE_LOAD_FIELDS = [
+    ("offered_qps", (int, float)),
+    ("workers", int),
+    ("ok", int),
+    ("shed", int),
+    ("deadline", int),
+    ("errors", int),
+    ("p50_ms", (int, float)),
+    ("p95_ms", (int, float)),
+    ("p99_ms", (int, float)),
+]
+
+
+def check_server_overload(path, record):
+    """Validates the open-loop serving sweep (bench_server) against the
+    DESIGN.md §10 overload contract.
+
+    Latency numbers are machine-dependent, so the assertions stick to
+    structural properties: exactly-once response accounting, and — at the
+    highest offered multiple of each worker count — interactive (v2v)
+    availability >= 99% while the expensive (kNN/OTM) class visibly sheds
+    with explicit kOverloaded rejections. A run where overload silently
+    collapses the interactive class, or where rejections vanish into thin
+    air, fails here even though its schema is well-formed.
+    """
+    points = {}  # (workers, multiple) -> {"int": phase, "exp": phase}
+    for phase in record["phases"]:
+        m = SERVE_PHASE.match(phase["name"])
+        if m is None:
+            continue
+        for field, kind in SERVE_LOAD_FIELDS:
+            if field not in phase or not isinstance(phase[field], kind):
+                fail(path, f"serve phase {phase['name']!r} missing or "
+                           f"mistyped field {field!r}")
+        answered = (phase["ok"] + phase["shed"] + phase["deadline"]
+                    + phase["errors"])
+        if answered != phase["items"]:
+            fail(path, f"{phase['name']}: {answered} responses for "
+                       f"{phase['items']} submissions — the exactly-once "
+                       "callback contract is broken")
+        key = (int(m.group(1)), float(m.group(2)))
+        points.setdefault(key, {})[m.group(3)] = phase
+    if not points:
+        fail(path, "bench_server record has no serve_* phases")
+
+    workers_seen = sorted({w for w, _ in points})
+    for workers in workers_seen:
+        multiples = sorted(m for w, m in points if w == workers)
+        peak = points[(workers, multiples[-1])]
+        if "int" not in peak or "exp" not in peak:
+            fail(path, f"w{workers}: peak load point missing a class phase")
+        pi, pe = peak["int"], peak["exp"]
+        if pi["items"] == 0 or pe["items"] == 0:
+            fail(path, f"w{workers}: empty peak phase")
+        availability = pi["ok"] / pi["items"]
+        if availability < 0.99:
+            fail(path,
+                 f"w{workers} x{multiples[-1]:g}: interactive availability "
+                 f"{availability:.3f} < 0.99 — overload is collapsing the "
+                 "interactive class instead of shedding the expensive one")
+        if multiples[-1] >= 2.0 and pe["shed"] == 0:
+            fail(path,
+                 f"w{workers} x{multiples[-1]:g}: expensive class shed "
+                 "nothing at sustained overload — admission control is "
+                 "not engaging")
+        print(f"{path}: w{workers} x{multiples[-1]:g} interactive "
+              f"availability {availability:.3f}, expensive shed "
+              f"{pe['shed']}/{pe['items']}")
+
+    counters = record["metrics"]["counters"]
+    for name in ("server.admitted", "server.completed"):
+        if counters.get(name, 0) == 0:
+            fail(path, f"serving counter {name!r} is zero or missing")
+    if counters.get("server.rejected.shed", 0) == 0:
+        fail(path, "server.rejected.shed is zero — the sweep never "
+                   "exercised expensive-class rejection")
 
 
 def check_concurrency_scaling(path, record):

@@ -28,6 +28,16 @@ Rules (suppress one occurrence with `// NOLINT` or `// NOLINT(<rule>)`):
                        progress metrics is fine, data-affecting entropy is
                        not.
 
+  unbounded-wait       An unbounded blocking wait on the serving request
+                       path (src/server/, src/engine/exec*): CondVar::Wait
+                       or ThreadPool::Wait with no timeout, or a
+                       std::future/promise (whose .get()/.wait() block
+                       forever). A worker parked on an unbounded wait can
+                       sleep through shutdown or a lost notify and wedge
+                       the queue; every wait there must be bounded
+                       (CondVar::WaitFor / WaitUntil inside a predicate
+                       loop that re-checks stop/deadline state each tick).
+
   value-on-temporary   `.value()` chained directly onto a freshly returned
                        Result temporary (`Fetch(id).value()`): nothing checked
                        ok() first, so a fault becomes an assert/UB instead of
@@ -65,6 +75,10 @@ ALLOWLIST = {
 # Paths whose build output must be bit-reproducible.
 DETERMINISTIC_PATHS = ["src/ttl/", "src/timetable/generator"]
 
+# Paths on the serving request path, where every blocking wait must be
+# bounded (see the unbounded-wait rule).
+REQUEST_WAIT_PATHS = ["src/server/", "src/engine/exec"]
+
 RE_VOID_CAST = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_:(]|static_cast\s*<\s*void\s*>")
 RE_NAKED_MUTEX = re.compile(
     r"std\s*::\s*(?:recursive_|timed_|shared_|recursive_timed_|shared_timed_)?"
@@ -77,6 +91,13 @@ RE_NONDETERMINISM = re.compile(
     r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\bgetenv\s*\("
 )
 RE_VALUE_CALL = re.compile(r"\)\s*\.\s*value\s*\(\s*\)")
+# `.Wait(` / `->Wait(` only: `WaitFor(` / `WaitUntil(` have letters between
+# the method name and the paren and do not match.
+RE_UNBOUNDED_WAIT = re.compile(
+    r"(?:\.|->)\s*Wait\s*\(|"
+    r"\bstd\s*::\s*(?:future|promise|packaged_task|latch|barrier|"
+    r"counting_semaphore|binary_semaphore)\b"
+)
 RE_NOLINT = re.compile(r"//\s*NOLINT(?:\(([^)]*)\))?")
 
 
@@ -177,6 +198,7 @@ def lint_file(path, rel_path):
         findings.append((rel_path, lineno, rule, message))
 
     deterministic = any(p in rel_path for p in DETERMINISTIC_PATHS)
+    request_path = any(p in rel_path for p in REQUEST_WAIT_PATHS)
 
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         if RE_VOID_CAST.search(line):
@@ -196,6 +218,11 @@ def lint_file(path, rel_path):
             report(lineno, "ttl-nondeterminism",
                    "nondeterministic source in a deterministic build path; "
                    "TTL preprocessing must be byte-reproducible")
+        if request_path and RE_UNBOUNDED_WAIT.search(line):
+            report(lineno, "unbounded-wait",
+                   "unbounded blocking wait on the serving request path; "
+                   "use CondVar::WaitFor/WaitUntil in a predicate loop so "
+                   "the waiter re-checks stop/deadline state every tick")
         for m in RE_VALUE_CALL.finditer(line):
             if not preceding_call_is_move(line, m.start()):
                 report(lineno, "value-on-temporary",
@@ -225,7 +252,8 @@ def main(argv):
     args = [a for a in argv[1:] if a != "--list-rules"]
     if "--list-rules" in argv:
         for rule in ("void-cast-status", "naked-mutex", "page-pointer-escape",
-                     "ttl-nondeterminism", "value-on-temporary"):
+                     "ttl-nondeterminism", "unbounded-wait",
+                     "value-on-temporary"):
             print(rule)
         return 0
     if not args:

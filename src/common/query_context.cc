@@ -1,0 +1,41 @@
+#include "common/query_context.h"
+
+namespace ptldb {
+
+namespace {
+
+/// The request context of the calling thread. One query runs on one
+/// thread (the LocalQueryCounters contract), so a plain thread_local is
+/// the whole propagation mechanism — no signature changes through the
+/// operator tree.
+thread_local const QueryContext* tls_query_context = nullptr;
+/// Decimation counter for clock reads; per-thread, never reset (only its
+/// value modulo kCheckpointStride matters).
+thread_local uint32_t tls_checkpoint_calls = 0;
+
+}  // namespace
+
+const QueryContext* CurrentQueryContext() { return tls_query_context; }
+
+ScopedQueryContext::ScopedQueryContext(const QueryContext* ctx)
+    : previous_(tls_query_context) {
+  tls_query_context = ctx;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { tls_query_context = previous_; }
+
+Status CheckQueryCheckpoint() {
+  const QueryContext* ctx = tls_query_context;
+  if (ctx == nullptr) return Status::Ok();
+  if (ctx->cancelled()) {
+    return Status::DeadlineExceeded("query cancelled");
+  }
+  if (!ctx->has_deadline()) return Status::Ok();
+  if (++tls_checkpoint_calls % kCheckpointStride != 0) return Status::Ok();
+  if (QueryContext::Clock::now() >= ctx->deadline()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ptldb

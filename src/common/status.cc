@@ -20,6 +20,10 @@ const char* CodeName(Status::Code code) {
       return "UNSUPPORTED";
     case Status::Code::kInternal:
       return "INTERNAL";
+    case Status::Code::kOverloaded:
+      return "OVERLOADED";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,16 @@ class [[nodiscard]] Status {
     kIoError,
     kUnsupported,
     kInternal,
+    /// The serving layer refused the request without queueing it:
+    /// admission control found the request queue full, or the overload
+    /// controller is shedding this request's priority class. Retryable
+    /// by the client after backoff; the query was never executed.
+    kOverloaded,
+    /// The request's deadline expired — either before execution started
+    /// (dropped at the queue) or mid-query at a cooperative cancellation
+    /// checkpoint (see common/query_context.h). Partial work is
+    /// discarded; no answer is returned.
+    kDeadlineExceeded,
   };
 
   /// Default-constructed Status is OK.
@@ -52,6 +62,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

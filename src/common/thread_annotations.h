@@ -1,6 +1,7 @@
 #ifndef PTLDB_COMMON_THREAD_ANNOTATIONS_H_
 #define PTLDB_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <mutex>
 #include <condition_variable>
 
@@ -131,6 +132,17 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Bounded waits for request-path code: scripts/ptldb_lint.py forbids
+  /// the unbounded Wait() in src/server/ and the executor — a worker
+  /// parked on an unbounded wait cannot observe a deadline or a shutdown
+  /// that the notifying side lost a race on. Returns false on timeout.
+  bool WaitFor(MutexLock& lock, std::chrono::nanoseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -27,13 +27,17 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     MutexLock lock(idle_mu_);
     stop_ = true;
   }
   idle_cv_.NotifyAll();
-  for (auto& w : workers_) w->thread.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
@@ -51,14 +55,25 @@ void ThreadPool::Submit(std::function<void()> fn) {
         next_victim_.fetch_add(1, std::memory_order_relaxed) %
         workers_.size());
   }
+  // The stop_ check and the enqueue are one critical section under
+  // idle_mu_: a task is either pushed strictly before stop_ is set (and
+  // the exiting workers' drain pass will find it) or observes stop_ and
+  // runs inline here. Without this atomicity a task pushed between a
+  // worker's final empty scan and its stop_ check would be orphaned —
+  // every worker exits, the deque keeps the task, and Wait() hangs on a
+  // pending_ count that can never reach zero.
+  MutexLock lock(idle_mu_);
+  if (stop_) {
+    lock.Unlock();
+    RunTask(std::move(fn));
+    return;
+  }
   {
-    MutexLock lock(workers_[target]->mu);
+    MutexLock worker_lock(workers_[target]->mu);
     workers_[target]->tasks.push_back(std::move(fn));
   }
-  {
-    MutexLock lock(idle_mu_);
-    ++wake_version_;
-  }
+  ++wake_version_;
+  lock.Unlock();
   idle_cv_.NotifyAll();
 }
 
@@ -107,7 +122,7 @@ void ThreadPool::WorkerLoop(uint32_t id) {
     uint64_t seen;
     {
       MutexLock lock(idle_mu_);
-      if (stop_) return;
+      if (stop_) break;
       seen = wake_version_;
     }
     // A task may have arrived between the failed scan and recording the
@@ -120,8 +135,14 @@ void ThreadPool::WorkerLoop(uint32_t id) {
     // the thread-safety analysis sees the accesses under the lock.
     MutexLock lock(idle_mu_);
     while (!stop_ && wake_version_ == seen) idle_cv_.Wait(lock);
-    if (stop_) return;
+    if (stop_) break;
   }
+  // Shutdown drain. Once stop_ is observed, every enqueue that could race
+  // with this exit has either completed (Submit pushed under idle_mu_
+  // before stop_ was set) or diverted to run inline on its submitter, so
+  // one pass until the deques are empty is conclusive: when FindTask comes
+  // up empty here, no unexecuted task exists anywhere in the pool.
+  while (auto task = FindTask(id)) RunTask(std::move(task));
 }
 
 void ThreadPool::Wait() {

@@ -37,7 +37,18 @@ class ThreadPool {
   }
 
   /// Schedules one task. Thread-safe; may be called from inside a task.
+  /// If the pool is already shutting down, the task runs inline on the
+  /// submitting thread instead of being queued — Submit never silently
+  /// drops work and never strands a task in a deque no worker will scan.
   void Submit(std::function<void()> fn);
+
+  /// Stops the workers and joins them. Queued tasks are drained (run to
+  /// completion) before the workers exit, and tasks submitted concurrently
+  /// with — or after — Shutdown() run inline on their submitter, so
+  /// pending() is exactly 0 once Shutdown() returns and no task is ever
+  /// orphaned. Idempotent; the destructor calls it. Must not be invoked
+  /// from inside a pool task or from two threads at once.
+  void Shutdown();
 
   /// Blocks until every task submitted so far has finished. Must not be
   /// called from inside a pool task.
@@ -85,7 +96,10 @@ class ThreadPool {
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};
 
-  Mutex idle_mu_;     ///< Sleep/wake state; never held with a Worker::mu.
+  /// Sleep/wake and shutdown state. Lock order: idle_mu_ may be acquired
+  /// BEFORE a Worker::mu (Submit holds it across the enqueue so the
+  /// stop_ check and the push are one atomic decision), never after.
+  Mutex idle_mu_;
   CondVar idle_cv_;   ///< Wakes sleeping workers.
   CondVar done_cv_;   ///< Wakes Wait().
   uint64_t wake_version_ PTLDB_GUARDED_BY(idle_mu_) = 0;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/checksum.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "engine/device.h"
@@ -159,6 +160,14 @@ class BufferPool {
   Result<PageGuard> Fetch(PageId id) {
     Shard& shard = shards_[ShardIndex(id)];
     for (uint32_t wait = 0;; ++wait) {
+      // Cooperative cancellation checkpoint: every page a query touches
+      // funnels through Fetch, so a request whose deadline expired (or
+      // that the server cancelled in-queue) unwinds here before pinning
+      // another frame or charging the device — including each pass of
+      // the all-frames-pinned yield loop below, which must not outlive
+      // the request's deadline either. Outside a served request this is
+      // one thread-local load (see common/query_context.h).
+      PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
       MutexLock latch(shard.mu);
       const auto it = shard.resident.find(id);
       if (it != shard.resident.end()) {

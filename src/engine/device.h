@@ -2,8 +2,10 @@
 #define PTLDB_ENGINE_DEVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -56,6 +58,12 @@ struct FaultPolicy {
   /// (latent media corruption); if false the flip is transient (bus
   /// glitch) and a retry delivers clean bytes.
   bool sticky_corruption = false;
+  /// REAL (wall-clock) delay slept per ReadPage, on top of the virtual
+  /// latency model. The modeled nanoseconds above never block the CPU,
+  /// so deadline/cancellation tests — which need a query to be slow in
+  /// steady_clock terms — use this to make every cache miss genuinely
+  /// take time. Zero (the default) sleeps nothing.
+  uint64_t read_delay_ns = 0;
 
   bool enabled() const {
     return transient_error_prob > 0.0 || sticky_error_prob > 0.0 ||
@@ -91,6 +99,12 @@ class StorageDevice {
   /// never mutated; corruption happens on the wire, where the BufferPool's
   /// checksum verification catches it.
   Status ReadPage(PageId id, const Page& src, Page* frame) {
+    // Real-time slowness is injected *before* taking mu_, so concurrent
+    // readers sleep in parallel instead of convoying on the device lock.
+    const uint64_t delay = read_delay_ns_.load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
     MutexLock lock(mu_);
     ChargeReadLocked(id);
     if (fault_.enabled()) {
@@ -142,6 +156,8 @@ class StorageDevice {
     rng_ = Rng(policy.seed);
     bad_pages_.clear();
     sticky_flips_.clear();
+    // Mirrored into an atomic so ReadPage can sleep without holding mu_.
+    read_delay_ns_.store(policy.read_delay_ns, std::memory_order_relaxed);
   }
   FaultPolicy fault_policy() const {
     MutexLock lock(mu_);
@@ -218,6 +234,8 @@ class StorageDevice {
   PageId last_page_ PTLDB_GUARDED_BY(mu_) = kInvalidPage - 1;
 
   FaultPolicy fault_ PTLDB_GUARDED_BY(mu_);
+  /// Copy of fault_.read_delay_ns readable before mu_ is taken.
+  std::atomic<uint64_t> read_delay_ns_{0};
   Rng rng_ PTLDB_GUARDED_BY(mu_) = Rng(0);
   std::unordered_set<PageId> bad_pages_ PTLDB_GUARDED_BY(mu_);
   std::unordered_map<PageId, uint64_t> sticky_flips_ PTLDB_GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/query_context.h"
 
 namespace ptldb {
 
@@ -262,12 +263,20 @@ class HashJoinOp : public Operator {
 
   std::optional<Row> Next() override {
     if (!built_) {
+      // The build phase consumes the whole right input inside one Next()
+      // call, so it carries its own cancellation checkpoint — the
+      // per-page checkpoint in BufferPool::Fetch cannot fire once the
+      // input is exhausted and rows are only being hashed.
       while (auto row = right_->Next()) {
+        if (Status s = CheckQueryCheckpoint(); !s.ok()) {
+          status_ = std::move(s);
+          return std::nullopt;
+        }
         table_[(*row)[right_key_col_].AsInt()].push_back(std::move(*row));
       }
       built_ = true;
     }
-    if (!right_->status().ok()) return std::nullopt;
+    if (!status_.ok() || !right_->status().ok()) return std::nullopt;
     while (true) {
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         Row out = *current_left_;
@@ -284,6 +293,7 @@ class HashJoinOp : public Operator {
   }
 
   Status status() const override {
+    if (!status_.ok()) return status_;
     if (!right_->status().ok()) return right_->status();
     return left_->status();
   }
@@ -293,6 +303,7 @@ class HashJoinOp : public Operator {
   OperatorPtr right_;
   int left_key_col_;
   int right_key_col_;
+  Status status_ = Status::Ok();
   bool built_ = false;
   std::unordered_map<int32_t, std::vector<Row>> table_;
   std::optional<Row> current_left_;
@@ -314,18 +325,26 @@ class HashAggregateOp : public Operator {
       materialized_ = true;
       it_ = groups_.begin();
     }
-    if (!child_->status().ok()) return std::nullopt;
+    if (!status_.ok() || !child_->status().ok()) return std::nullopt;
     if (it_ == groups_.end()) return std::nullopt;
     Row out{Value(it_->first), Value(it_->second)};
     ++it_;
     return out;
   }
 
-  Status status() const override { return child_->status(); }
+  Status status() const override {
+    return status_.ok() ? child_->status() : status_;
+  }
 
  private:
+  // Materializing loop: checkpointed like the hash-join build (whole
+  // input consumed in one Next() call).
   void Materialize() {
     while (auto row = child_->Next()) {
+      if (Status s = CheckQueryCheckpoint(); !s.ok()) {
+        status_ = std::move(s);
+        return;
+      }
       const int32_t group = (*row)[group_col_].AsInt();
       const int32_t value = (*row)[value_col_].AsInt();
       const auto [it, inserted] = groups_.emplace(group, value);
@@ -340,6 +359,7 @@ class HashAggregateOp : public Operator {
   int group_col_;
   int value_col_;
   AggFn fn_;
+  Status status_ = Status::Ok();
   bool materialized_ = false;
   std::map<int32_t, int32_t> groups_;
   std::map<int32_t, int32_t>::iterator it_;
@@ -352,20 +372,30 @@ class SortOp : public Operator {
 
   std::optional<Row> Next() override {
     if (!materialized_) {
-      while (auto row = child_->Next()) rows_.push_back(std::move(*row));
+      // Materializing loop: checkpointed like the hash-join build.
+      while (auto row = child_->Next()) {
+        if (Status s = CheckQueryCheckpoint(); !s.ok()) {
+          status_ = std::move(s);
+          return std::nullopt;
+        }
+        rows_.push_back(std::move(*row));
+      }
       std::stable_sort(rows_.begin(), rows_.end(), less_);
       materialized_ = true;
     }
-    if (!child_->status().ok()) return std::nullopt;
+    if (!status_.ok() || !child_->status().ok()) return std::nullopt;
     if (next_ >= rows_.size()) return std::nullopt;
     return rows_[next_++];
   }
 
-  Status status() const override { return child_->status(); }
+  Status status() const override {
+    return status_.ok() ? child_->status() : status_;
+  }
 
  private:
   OperatorPtr child_;
   std::function<bool(const Row&, const Row&)> less_;
+  Status status_ = Status::Ok();
   bool materialized_ = false;
   std::vector<Row> rows_;
   size_t next_ = 0;
@@ -504,7 +534,12 @@ OperatorPtr MakeConcat(std::vector<OperatorPtr> children) {
 
 Result<std::vector<Row>> Execute(Operator* root) {
   std::vector<Row> rows;
-  while (auto row = root->Next()) rows.push_back(std::move(*row));
+  // Top-level drain: checkpoint per emitted row so even a plan of pure
+  // streaming operators over cached pages observes its deadline.
+  while (auto row = root->Next()) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    rows.push_back(std::move(*row));
+  }
   PTLDB_RETURN_IF_ERROR(root->status());
   ThisThreadQueryCounters().rows_emitted += rows.size();
   return rows;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/query_context.h"
 #include "ptldb/queries.h"
 #include "ptldb/tables.h"
 
@@ -16,7 +17,17 @@ bool IsStorageFault(const Status& s) {
          s.code() == Status::Code::kCorruption;
 }
 
+/// Per-thread mirror of last_degraded_. The shared atomic answers "did
+/// the database degrade recently" for single-threaded callers; a
+/// concurrent server needs "did MY query degrade" — its circuit breaker
+/// trips per-request, and another thread's healthy query must not clear
+/// the signal between this thread's query and its read. A query runs on
+/// one thread, so a thread_local is exact.
+thread_local bool tls_last_degraded = false;
+
 }  // namespace
+
+bool LastQueryDegradedOnThisThread() { return tls_last_degraded; }
 
 const char* QueryTypeName(QueryType type) {
   switch (type) {
@@ -177,6 +188,9 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
     const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
   std::vector<StopTimeResult> out;
   for (const StopId v : info.targets) {
+    // The fallback is |T| v2v plans back to back — the slowest facade
+    // path, so it checkpoints per target on top of the per-page checks.
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     auto ea = QueryV2vEa(&db_, q, v, t);
     PTLDB_RETURN_IF_ERROR(ea.status());
     if (*ea != kInfinityTime) out.push_back({v, *ea});
@@ -193,6 +207,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
     const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
   std::vector<StopTimeResult> out;
   for (const StopId v : info.targets) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     auto ld = QueryV2vLd(&db_, q, v, t);
     PTLDB_RETURN_IF_ERROR(ld.status());
     if (*ld != kNegInfinityTime) out.push_back({v, *ld});
@@ -215,6 +230,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
   auto fallback = ld ? LdFallback(info, q, t, k) : EaFallback(info, q, t, k);
   if (!fallback.ok()) return primary;  // Both paths faulted: first error.
   last_degraded_.store(true, std::memory_order_relaxed);
+  tls_last_degraded = true;
   degraded_->Add(1);
   (primary.status().code() == Status::Code::kCorruption
        ? degraded_corruption_
@@ -222,6 +238,36 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
       ->Add(1);
   if (trace_) trace_->AddStat("degraded", 1);
   return fallback;
+}
+
+void PtldbDatabase::ClearThreadDegradedFlag() { tls_last_degraded = false; }
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallbackQuery(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  // k == 0 is the one-to-many variant; ValidateSet rejects k == 0, so
+  // validate with k = 1 (sets always support at least one neighbor).
+  auto info = ValidateSet(set_name, k == 0 ? 1 : k);
+  if (!info.ok()) return info.status();
+  last_degraded_.store(false, std::memory_order_relaxed);
+  const QueryType type = k == 0 ? QueryType::kEaOtm : QueryType::kEaKnn;
+  return Timed(type, [&] {
+    auto r = EaFallback(**info, q, t, k);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
+    return r;
+  });
+}
+
+Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallbackQuery(
+    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+  auto info = ValidateSet(set_name, k == 0 ? 1 : k);
+  if (!info.ok()) return info.status();
+  last_degraded_.store(false, std::memory_order_relaxed);
+  const QueryType type = k == 0 ? QueryType::kLdOtm : QueryType::kLdKnn;
+  return Timed(type, [&] {
+    auto r = LdFallback(**info, q, t, k);
+    if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
+    return r;
+  });
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(

@@ -123,6 +123,19 @@ class PtldbDatabase {
   Result<std::vector<StopTimeResult>> LdOneToMany(const std::string& set_name,
                                                   StopId q, Timestamp t);
 
+  // --- Circuit-breaker support (src/server) ---
+  /// Answers a kNN (k > 0) or one-to-many (k == 0) query directly from
+  /// the exact per-target v2v fallback, never touching the optimized
+  /// derived tables. The server routes here while a table's circuit
+  /// breaker is open: repeating the primary against a quarantined or
+  /// unreadable table would burn a retry (and its backoff waits) per
+  /// request for a failure already diagnosed. Same answers and ordering
+  /// as the degraded path of EaKnn/LdKnn/…OneToMany.
+  Result<std::vector<StopTimeResult>> EaFallbackQuery(
+      const std::string& set_name, StopId q, Timestamp t, uint32_t k);
+  Result<std::vector<StopTimeResult>> LdFallbackQuery(
+      const std::string& set_name, StopId q, Timestamp t, uint32_t k);
+
   // --- Administration / instrumentation ---
   /// Cold-cache reset, like the paper's server restart between experiments.
   /// Fails with kInternal if a concurrent query still pins pages (the
@@ -199,12 +212,17 @@ class PtldbDatabase {
   Result<const TargetSetInfo*> ValidateSet(const std::string& set_name,
                                            uint32_t k) const;
 
+  /// Resets this thread's LastQueryDegradedOnThisThread() flag (defined
+  /// in ptldb.cc next to the thread_local it clears).
+  static void ClearThreadDegradedFlag();
+
   /// Wraps one facade query: opens a trace span named after the query
   /// type, then counts the query, records its latency (wall time plus the
   /// modeled-I/O delta, the paper's reporting convention) and flushes the
   /// thread's LocalQueryCounters deltas into the registry.
   template <typename Fn>
   auto Timed(QueryType type, Fn&& fn) -> decltype(fn()) {
+    ClearThreadDegradedFlag();
     const auto wall0 = std::chrono::steady_clock::now();
     const uint64_t io0 = device_->total_ns();
     const LocalQueryCounters local0 = ThisThreadQueryCounters();
@@ -275,6 +293,13 @@ class PtldbDatabase {
 
   QueryTrace* trace_ = nullptr;  ///< Borrowed; single-thread use only.
 };
+
+/// Whether the last facade query executed on the *calling thread* was
+/// answered via the degraded v2v fallback. Unlike
+/// QueryStats::last_degraded (one flag shared by every thread), this is
+/// exact under concurrent serving; the server's per-table circuit
+/// breaker reads it after each kNN/OTM call.
+bool LastQueryDegradedOnThisThread();
 
 }  // namespace ptldb
 

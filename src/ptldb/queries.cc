@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/metrics.h"
+#include "common/query_context.h"
 #include "engine/exec.h"
 #include "ptldb/tables.h"
 
@@ -137,6 +138,8 @@ OperatorPtr MakeN1(EngineDatabase* db, StopId q) {
 Result<std::vector<StopTimeResult>> CollectResults(OperatorPtr plan) {
   std::vector<StopTimeResult> out;
   while (auto row = plan->Next()) {
+    // Deadline checkpoint on the TTL scan drain (see query_context.h).
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     out.push_back({static_cast<StopId>((*row)[0].AsInt()), (*row)[1].AsInt()});
   }
   PTLDB_RETURN_IF_ERROR(plan->status());
@@ -227,6 +230,8 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
   int32_t last_hub = 0;
   bool any_rows = false;
   while (auto row = joined->Next()) {
+    // Deadline checkpoint on the hub-merge drain (see query_context.h).
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     const int32_t hub = (*row)[0].AsInt();
     if (!any_rows || hub != last_hub) {
       ++counters->hubs_merged;

@@ -1,0 +1,145 @@
+#ifndef PTLDB_SERVER_REQUEST_QUEUE_H_
+#define PTLDB_SERVER_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace ptldb {
+
+/// Bounded two-class MPMC queue between the server's submitters and its
+/// worker threads (DESIGN.md §10). Admission control lives at the push:
+/// a full queue rejects immediately with kOverloaded instead of blocking
+/// the submitter — under overload the cheapest place to fail is before
+/// any work or memory is committed, and a fast explicit rejection lets
+/// clients back off instead of piling onto a queue whose wait already
+/// exceeds their deadline.
+///
+/// Two priority classes implement shed-before-collapse:
+///  - interactive items (v2v queries) may use the whole capacity;
+///  - expensive items (kNN / one-to-many) are admitted only while total
+///    depth is below `expensive_limit` (< capacity), reserving headroom
+///    that only interactive traffic can use, and are popped only when no
+///    interactive item is waiting.
+/// So a flood of expensive requests can never push interactive latency
+/// past the backlog the reserve allows, and under sustained overload the
+/// expensive class sheds first while interactive availability holds.
+///
+/// All waits are bounded (CondVar::WaitFor): a worker parked in PopFor
+/// re-checks stop/deadline state every timeout tick, so neither shutdown
+/// nor a lost notify can wedge it. scripts/ptldb_lint.py enforces this
+/// for every wait in src/server/.
+template <typename T>
+class RequestQueue {
+ public:
+  RequestQueue(size_t capacity, size_t expensive_limit)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        expensive_limit_(expensive_limit > capacity_ ? capacity_
+                                                     : expensive_limit) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admission control. Non-blocking: either the item is queued (OK) or
+  /// the caller learns instantly why not (kOverloaded). `expensive`
+  /// selects the priority class. On rejection `item` is NOT consumed —
+  /// the caller keeps it (and its completion callback) to answer the
+  /// client.
+  Status TryPush(T&& item, bool expensive) {
+    {
+      MutexLock lock(mu_);
+      if (stopped_) {
+        return Status::Overloaded("server is shutting down");
+      }
+      const size_t depth = interactive_.size() + expensive_.size();
+      if (depth >= capacity_) {
+        return Status::Overloaded("request queue full");
+      }
+      if (expensive && depth >= expensive_limit_) {
+        return Status::Overloaded(
+            "queue beyond expensive-class admission limit");
+      }
+      if (expensive) {
+        expensive_.push_back(std::move(item));
+      } else {
+        interactive_.push_back(std::move(item));
+      }
+    }
+    cv_.NotifyOne();
+    return Status::Ok();
+  }
+
+  /// Pops the oldest interactive item, else the oldest expensive item,
+  /// waiting at most `timeout`. Empty optional on timeout or when the
+  /// queue is stopped and drained — callers distinguish via stopped().
+  std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (interactive_.empty() && expensive_.empty()) {
+      if (stopped_) return std::nullopt;
+      // Bounded wait: timing out just returns to the caller's loop, so a
+      // worker can never sleep through shutdown (and the lint gate can
+      // prove it — see the unbounded-wait rule).
+      if (!cv_.WaitFor(lock, deadline - std::chrono::steady_clock::now())) {
+        return std::nullopt;
+      }
+    }
+    return PopLocked();
+  }
+
+  /// Non-waiting pop (shutdown drain).
+  std::optional<T> TryPop() {
+    MutexLock lock(mu_);
+    if (interactive_.empty() && expensive_.empty()) return std::nullopt;
+    return PopLocked();
+  }
+
+  /// Rejects all future pushes and wakes every waiting popper. Items
+  /// already queued stay queued — the owner drains them with TryPop and
+  /// answers each one (never silently dropped).
+  void Stop() {
+    {
+      MutexLock lock(mu_);
+      stopped_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  bool stopped() const {
+    MutexLock lock(mu_);
+    return stopped_;
+  }
+  size_t depth() const {
+    MutexLock lock(mu_);
+    return interactive_.size() + expensive_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  size_t expensive_limit() const { return expensive_limit_; }
+
+ private:
+  T PopLocked() PTLDB_REQUIRES(mu_) {
+    std::deque<T>& q = interactive_.empty() ? expensive_ : interactive_;
+    T item = std::move(q.front());
+    q.pop_front();
+    return item;
+  }
+
+  const size_t capacity_;
+  const size_t expensive_limit_;
+  /// Queue latch; a leaf lock (nothing is acquired under it — PopLocked
+  /// and the push bodies are pure deque operations).
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> interactive_ PTLDB_GUARDED_BY(mu_);
+  std::deque<T> expensive_ PTLDB_GUARDED_BY(mu_);
+  bool stopped_ PTLDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SERVER_REQUEST_QUEUE_H_

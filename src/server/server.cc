@@ -1,0 +1,420 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace ptldb {
+
+namespace {
+
+using Clock = QueryContext::Clock;
+
+/// Same fault classification the facade's degradation policy uses.
+bool IsStorageFault(const Status& s) {
+  return s.code() == Status::Code::kIoError ||
+         s.code() == Status::Code::kCorruption;
+}
+
+/// Ticks with fewer interactive samples than this keep the previous shed
+/// decision's latency verdict: a p99 over a handful of queries is noise.
+constexpr uint64_t kMinWindowSamples = 8;
+
+ServerOptions Normalized(ServerOptions o) {
+  if (o.queue_capacity == 0) o.queue_capacity = 1;
+  o.expensive_admit_fraction =
+      std::clamp(o.expensive_admit_fraction, 0.0, 1.0);
+  o.shed_enter_fraction = std::clamp(o.shed_enter_fraction, 0.0, 1.0);
+  o.shed_exit_fraction =
+      std::clamp(o.shed_exit_fraction, 0.0, o.shed_enter_fraction);
+  if (o.worker_poll.count() <= 0) {
+    o.worker_poll = std::chrono::milliseconds(10);
+  }
+  if (o.controller_period.count() <= 0) {
+    o.controller_period = std::chrono::milliseconds(20);
+  }
+  return o;
+}
+
+size_t ExpensiveLimit(const ServerOptions& o) {
+  const auto limit = static_cast<size_t>(
+      static_cast<double>(o.queue_capacity) * o.expensive_admit_fraction);
+  // At least one expensive slot, or the class could never be served at all.
+  return std::max<size_t>(1, limit);
+}
+
+}  // namespace
+
+PtldbServer::PtldbServer(PtldbDatabase* db, const ServerOptions& options)
+    : db_(db),
+      options_(Normalized(options)),
+      queue_(options_.queue_capacity, ExpensiveLimit(options_)) {
+  MetricsRegistry* m = db_->metrics();
+  admitted_ = m->counter("server.admitted");
+  completed_ = m->counter("server.completed");
+  rejected_queue_full_ = m->counter("server.rejected.queue_full");
+  rejected_shed_ = m->counter("server.rejected.shed");
+  dropped_deadline_queue_ = m->counter("server.dropped.deadline_in_queue");
+  deadline_exceeded_ = m->counter("server.deadline_exceeded");
+  shed_transitions_ = m->counter("server.shed.transitions");
+  breaker_open_ = m->counter("server.breaker.opened");
+  breaker_fallback_ = m->counter("server.breaker.fallback_served");
+  breaker_probes_ = m->counter("server.breaker.probes");
+  retry_budget_denied_ = m->counter("server.breaker.budget_denied");
+  queue_depth_gauge_ = m->gauge("server.queue_depth");
+  shed_gauge_ = m->gauge("server.shedding");
+  latency_interactive_ = m->histogram("server.latency.interactive_ns");
+  latency_expensive_ = m->histogram("server.latency.expensive_ns");
+  ctrl_window_ = m->histogram("server.ctrl_window.interactive_ns");
+  {
+    MutexLock lock(budget_mu_);
+    budget_tokens_ = options_.retry_budget_burst;
+    budget_refilled_ = Clock::now();
+  }
+  uint32_t n = options_.num_workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  controller_ = std::thread([this] { ControllerLoop(); });
+}
+
+PtldbServer::~PtldbServer() { Shutdown(); }
+
+void PtldbServer::Shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  queue_.Stop();
+  // Workers keep popping until the stopped queue is empty, so admitted
+  // requests are executed (or deadline-dropped), not abandoned.
+  for (std::thread& w : workers_) w.join();
+  {
+    MutexLock lock(ctrl_mu_);
+    ctrl_stop_ = true;
+  }
+  ctrl_cv_.NotifyAll();
+  controller_.join();
+  // Belt and braces: anything still queued (a push that raced Stop) is
+  // answered, never silently dropped.
+  while (auto task = queue_.TryPop()) {
+    QueryResponse resp;
+    resp.status = Status::Overloaded("server stopped before execution");
+    Respond(&*task, std::move(resp));
+  }
+}
+
+void PtldbServer::Submit(QueryRequest request, Callback done) {
+  const bool expensive = IsExpensive(request.type);
+  Task task;
+  task.enqueued = Clock::now();
+  task.has_deadline = request.has_deadline;
+  task.deadline = request.deadline;
+  if (!task.has_deadline && options_.default_deadline.count() > 0) {
+    task.has_deadline = true;
+    task.deadline = task.enqueued + options_.default_deadline;
+  }
+  task.request = std::move(request);
+  task.done = std::move(done);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    QueryResponse resp;
+    resp.status = Status::Overloaded("server is shutting down");
+    Respond(&task, std::move(resp));
+    return;
+  }
+  // Graceful degradation, step 1: while the controller sheds, the
+  // expensive class is refused before it touches the queue. Interactive
+  // requests are never shed — they are only refused by a full queue.
+  if (expensive && shedding_.load(std::memory_order_relaxed)) {
+    rejected_shed_->Add(1);
+    QueryResponse resp;
+    resp.status =
+        Status::Overloaded("expensive query class is being shed");
+    Respond(&task, std::move(resp));
+    return;
+  }
+  // Graceful degradation, step 2: the queue itself refuses a full queue
+  // (any class) and an expensive request beyond the headroom reserve.
+  // TryPush leaves `task` intact on rejection, so the callback still
+  // fires exactly once.
+  Status pushed = queue_.TryPush(std::move(task), expensive);
+  if (!pushed.ok()) {
+    (expensive ? rejected_shed_ : rejected_queue_full_)->Add(1);
+    QueryResponse resp;
+    resp.status = std::move(pushed);
+    Respond(&task, std::move(resp));
+    return;
+  }
+  admitted_->Add(1);
+  queue_depth_gauge_->Max(static_cast<int64_t>(queue_.depth()));
+}
+
+QueryResponse PtldbServer::Execute(QueryRequest request) {
+  // Same bounded-wait discipline the lint gate enforces on the serving
+  // path (no std::future here): the waiter re-checks its predicate every
+  // tick, so a lost notify can delay the answer by at most one tick.
+  struct SyncState {
+    Mutex mu;
+    CondVar cv;
+    bool done PTLDB_GUARDED_BY(mu) = false;
+    QueryResponse resp PTLDB_GUARDED_BY(mu);
+  };
+  auto state = std::make_shared<SyncState>();
+  Submit(std::move(request), [state](QueryResponse resp) {
+    {
+      MutexLock lock(state->mu);
+      state->resp = std::move(resp);
+      state->done = true;
+    }
+    state->cv.NotifyAll();
+  });
+  MutexLock lock(state->mu);
+  while (!state->done) {
+    state->cv.WaitFor(lock, std::chrono::milliseconds(50));
+  }
+  return std::move(state->resp);
+}
+
+void PtldbServer::WorkerLoop() {
+  for (;;) {
+    std::optional<Task> task = queue_.PopFor(options_.worker_poll);
+    if (!task.has_value()) {
+      if (queue_.stopped()) return;
+      continue;
+    }
+    RunTask(std::move(*task));
+  }
+}
+
+void PtldbServer::RunTask(Task task) {
+  const auto start = Clock::now();
+  QueryResponse resp;
+  // Requests whose deadline expired while queued are dropped without
+  // executing: the client has already given up, so running the query
+  // would spend a worker on an answer nobody reads — exactly the waste
+  // that collapses a queue under overload.
+  if (task.has_deadline && start >= task.deadline) {
+    dropped_deadline_queue_->Add(1);
+    resp.status = Status::DeadlineExceeded("deadline expired in queue");
+    Respond(&task, std::move(resp));
+    return;
+  }
+  {
+    // Deadline propagation: the context is visible to every engine
+    // checkpoint (buffer pool, executor, TTL drains) for the scope of
+    // the query; the scope ends before the callback runs, so user code
+    // never observes a server-installed context.
+    QueryContext ctx = task.has_deadline
+                           ? QueryContext::WithDeadline(task.deadline)
+                           : QueryContext();
+    ScopedQueryContext scope(&ctx);
+    Dispatch(task, &resp);
+  }
+  completed_->Add(1);
+  if (resp.status.code() == Status::Code::kDeadlineExceeded) {
+    deadline_exceeded_->Add(1);
+  }
+  const auto finish = Clock::now();
+  const auto latency_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(finish -
+                                                           task.enqueued)
+          .count());
+  if (IsExpensive(task.request.type)) {
+    latency_expensive_->Record(latency_ns);
+  } else {
+    latency_interactive_->Record(latency_ns);
+    ctrl_window_->Record(latency_ns);
+  }
+  Respond(&task, std::move(resp));
+}
+
+void PtldbServer::Dispatch(const Task& task, QueryResponse* resp) {
+  const QueryRequest& r = task.request;
+  switch (r.type) {
+    case QueryType::kV2vEa: {
+      auto res = db_->EarliestArrival(r.s, r.g, r.t);
+      if (res.ok()) resp->time = *res; else resp->status = res.status();
+      return;
+    }
+    case QueryType::kV2vLd: {
+      auto res = db_->LatestDeparture(r.s, r.g, r.t);
+      if (res.ok()) resp->time = *res; else resp->status = res.status();
+      return;
+    }
+    case QueryType::kV2vSd: {
+      auto res = db_->ShortestDuration(r.s, r.g, r.t, r.t_end);
+      if (res.ok()) resp->time = *res; else resp->status = res.status();
+      return;
+    }
+    case QueryType::kEaKnn:
+    case QueryType::kLdKnn:
+    case QueryType::kEaOtm:
+    case QueryType::kLdOtm:
+      break;
+  }
+  // Set queries route through the per-set circuit breaker: a set whose
+  // derived tables keep faulting is served straight from the exact v2v
+  // fallback until a budgeted half-open probe finds the primary healthy
+  // again — no retry storm against quarantined pages.
+  const bool ld = r.type == QueryType::kLdKnn || r.type == QueryType::kLdOtm;
+  const bool otm = r.type == QueryType::kEaOtm || r.type == QueryType::kLdOtm;
+  const uint32_t k = otm ? 0 : r.k;
+  Breaker* breaker = BreakerFor(r.set_name);
+  Result<std::vector<StopTimeResult>> res = Status::Internal("unreachable");
+  if (AllowPrimary(breaker)) {
+    switch (r.type) {
+      case QueryType::kEaKnn:
+        res = db_->EaKnn(r.set_name, r.s, r.t, r.k);
+        break;
+      case QueryType::kLdKnn:
+        res = db_->LdKnn(r.set_name, r.s, r.t, r.k);
+        break;
+      case QueryType::kEaOtm:
+        res = db_->EaOneToMany(r.set_name, r.s, r.t);
+        break;
+      case QueryType::kLdOtm:
+        res = db_->LdOneToMany(r.set_name, r.s, r.t);
+        break;
+      default:
+        break;
+    }
+    // Failure signal for the breaker: the primary plan faulted — either
+    // surfaced as a storage fault (both paths down) or hidden by the
+    // facade's per-query degradation (fallback answered). A deadline
+    // expiry is NOT a failure: it says the request was slow, not that
+    // the tables are bad.
+    resp->degraded = LastQueryDegradedOnThisThread();
+    const bool failed =
+        resp->degraded || (!res.ok() && IsStorageFault(res.status()));
+    RecordPrimaryOutcome(breaker, failed);
+  } else {
+    breaker_fallback_->Add(1);
+    resp->via_breaker = true;
+    resp->degraded = true;
+    res = ld ? db_->LdFallbackQuery(r.set_name, r.s, r.t, k)
+             : db_->EaFallbackQuery(r.set_name, r.s, r.t, k);
+  }
+  if (res.ok()) {
+    resp->results = std::move(*res);
+  } else {
+    resp->status = res.status();
+  }
+}
+
+bool PtldbServer::AllowPrimary(Breaker* breaker) {
+  MutexLock lock(breaker->mu);
+  switch (breaker->state) {
+    case Breaker::State::kClosed:
+      return true;
+    case Breaker::State::kOpen: {
+      if (Clock::now() < breaker->open_until) return false;
+      // Cooldown over: one budgeted probe may test the primary. The
+      // token bucket caps probe rate across all breakers, so a fleet of
+      // failing sets cannot stampede the primary tables.
+      if (!TryAcquireRetryToken()) {
+        retry_budget_denied_->Add(1);
+        return false;
+      }
+      breaker->state = Breaker::State::kHalfOpen;
+      breaker_probes_->Add(1);
+      return true;
+    }
+    case Breaker::State::kHalfOpen:
+      // A probe is already in flight; everyone else keeps to the
+      // fallback until it reports.
+      return false;
+  }
+  return true;
+}
+
+void PtldbServer::RecordPrimaryOutcome(Breaker* breaker, bool failed) {
+  MutexLock lock(breaker->mu);
+  if (!failed) {
+    breaker->state = Breaker::State::kClosed;
+    breaker->consecutive_failures = 0;
+    return;
+  }
+  const bool was_probe = breaker->state == Breaker::State::kHalfOpen;
+  if (was_probe ||
+      ++breaker->consecutive_failures >= options_.breaker_failure_threshold) {
+    if (breaker->state != Breaker::State::kOpen) breaker_open_->Add(1);
+    breaker->state = Breaker::State::kOpen;
+    breaker->open_until = Clock::now() + options_.breaker_cooldown;
+    breaker->consecutive_failures = 0;
+  }
+}
+
+PtldbServer::Breaker* PtldbServer::BreakerFor(const std::string& set_name) {
+  MutexLock lock(breakers_mu_);
+  auto& slot = breakers_[set_name];
+  if (slot == nullptr) slot = std::make_unique<Breaker>();
+  return slot.get();
+}
+
+bool PtldbServer::TryAcquireRetryToken() {
+  MutexLock lock(budget_mu_);
+  const auto now = Clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - budget_refilled_).count();
+  budget_refilled_ = now;
+  budget_tokens_ =
+      std::min(options_.retry_budget_burst,
+               budget_tokens_ + elapsed_s * options_.retry_budget_per_sec);
+  if (budget_tokens_ < 1.0) return false;
+  budget_tokens_ -= 1.0;
+  return true;
+}
+
+void PtldbServer::ControllerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(ctrl_mu_);
+      if (ctrl_stop_) return;
+      // Bounded wait (lint-enforced): the controller re-checks stop at
+      // least once per period even if the shutdown notify is lost.
+      ctrl_cv_.WaitFor(lock, options_.controller_period);
+      if (ctrl_stop_) return;
+    }
+    ControllerTick();
+  }
+}
+
+void PtldbServer::ControllerTick() {
+  const size_t depth = queue_.depth();
+  queue_depth_gauge_->Set(static_cast<int64_t>(depth));
+  const HistogramSummary window = ctrl_window_->Summary();
+  ctrl_window_->Reset();
+  const auto slo_ns = static_cast<double>(options_.interactive_slo.count());
+  const bool p99_breach =
+      slo_ns > 0 && window.count >= kMinWindowSamples && window.p99 > slo_ns;
+  const auto cap = static_cast<double>(queue_.capacity());
+  const auto enter_depth =
+      static_cast<size_t>(cap * options_.shed_enter_fraction);
+  const auto exit_depth =
+      static_cast<size_t>(cap * options_.shed_exit_fraction);
+  bool shed = shedding_.load(std::memory_order_relaxed);
+  // Hysteresis: enter on either signal (deep queue OR p99 past SLO),
+  // leave only when both have recovered, at a lower depth than entry —
+  // the flag cannot flap on a queue hovering at one threshold.
+  if (!shed) {
+    shed = depth >= enter_depth || p99_breach;
+  } else {
+    shed = depth > exit_depth || p99_breach;
+  }
+  if (shed != shedding_.load(std::memory_order_relaxed)) {
+    shed_transitions_->Add(1);
+    shedding_.store(shed, std::memory_order_relaxed);
+  }
+  shed_gauge_->Set(shed ? 1 : 0);
+}
+
+void PtldbServer::Respond(Task* task, QueryResponse resp) {
+  if (task->done) {
+    Callback done = std::move(task->done);
+    task->done = nullptr;
+    done(std::move(resp));
+  }
+}
+
+}  // namespace ptldb

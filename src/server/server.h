@@ -1,0 +1,238 @@
+#ifndef PTLDB_SERVER_SERVER_H_
+#define PTLDB_SERVER_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/query_context.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "ptldb/ptldb.h"
+#include "server/request_queue.h"
+
+namespace ptldb {
+
+/// One request against a PtldbServer. `type` selects which PtldbDatabase
+/// query runs and which fields matter:
+///   kV2vEa / kV2vLd / kV2vSd : s, g, t (+ t_end for kV2vSd / kV2vLd's
+///                              deadline in t)
+///   kEaKnn / kLdKnn          : set_name, s (the query stop), t, k
+///   kEaOtm / kLdOtm          : set_name, s, t
+struct QueryRequest {
+  QueryType type = QueryType::kV2vEa;
+  std::string set_name;
+  StopId s = 0;
+  StopId g = 0;
+  Timestamp t = 0;
+  Timestamp t_end = 0;
+  uint32_t k = 0;
+  /// Per-request deadline. Unset (has_deadline == false) falls back to
+  /// ServerOptions::default_deadline (none if that is zero too).
+  bool has_deadline = false;
+  QueryContext::Clock::time_point deadline{};
+};
+
+/// Outcome of one request, delivered to the completion callback exactly
+/// once. `status` is the end-to-end contract of DESIGN.md §10:
+///   OK                 — answer fields are valid.
+///   kOverloaded        — rejected at admission (queue full / class shed /
+///                        server stopping); the query never executed.
+///   kDeadlineExceeded  — deadline expired in-queue (dropped at pop,
+///                        never executed) or mid-query at a cancellation
+///                        checkpoint (partial work discarded).
+///   anything else      — the query executed and failed (storage fault
+///                        with no viable fallback, bad arguments, ...).
+struct QueryResponse {
+  Status status = Status::Ok();
+  /// v2v answer (kV2vEa/Ld: time; kV2vSd: duration).
+  Timestamp time = 0;
+  /// kNN / one-to-many answer.
+  std::vector<StopTimeResult> results;
+  /// Answer came from the exact v2v fallback (primary faulted mid-query,
+  /// or the set's circuit breaker routed around the primary entirely).
+  bool degraded = false;
+  /// The set's breaker was open and the primary tables were skipped.
+  bool via_breaker = false;
+};
+
+struct ServerOptions {
+  /// Worker threads executing queries (0 = one per hardware thread).
+  uint32_t num_workers = 0;
+  /// Bounded request-queue capacity; pushes beyond it get kOverloaded.
+  size_t queue_capacity = 256;
+  /// Fraction of the queue the expensive class (kNN/OTM) may fill before
+  /// its admissions are rejected — the headroom reserve that keeps
+  /// interactive (v2v) traffic admittable under an expensive flood.
+  double expensive_admit_fraction = 0.5;
+  /// Deadline applied to requests that carry none (0 = none).
+  std::chrono::nanoseconds default_deadline{0};
+  /// p99 target for interactive queries; the overload controller sheds
+  /// the expensive class while the windowed p99 exceeds it.
+  std::chrono::nanoseconds interactive_slo{std::chrono::milliseconds(50)};
+  /// Controller epoch: how often queue depth and the latency window are
+  /// inspected and the shed flag re-decided.
+  std::chrono::nanoseconds controller_period{std::chrono::milliseconds(20)};
+  /// Queue-depth hysteresis for shedding, as fractions of capacity: the
+  /// controller starts shedding the expensive class at `shed_enter` and
+  /// stops below `shed_exit` (enter > exit, so the flag cannot flap).
+  double shed_enter_fraction = 0.75;
+  double shed_exit_fraction = 0.25;
+  /// Consecutive primary failures (storage-fault degradations) of one
+  /// target set that trip its circuit breaker open.
+  uint32_t breaker_failure_threshold = 3;
+  /// How long an open breaker routes straight to the fallback before it
+  /// lets a half-open probe retry the primary tables.
+  std::chrono::nanoseconds breaker_cooldown{std::chrono::milliseconds(100)};
+  /// Retry budget (token bucket) gating half-open probes: at most
+  /// `retry_budget_per_sec` probes per second, bursting to
+  /// `retry_budget_burst` — a storm of failing requests cannot turn into
+  /// a storm of primary retries against known-bad tables.
+  double retry_budget_per_sec = 10.0;
+  double retry_budget_burst = 5.0;
+  /// Worker pop timeout; bounds every wait on the request path.
+  std::chrono::nanoseconds worker_poll{std::chrono::milliseconds(10)};
+};
+
+/// In-process concurrent serving layer over one PtldbDatabase
+/// (DESIGN.md §10, "Serving & overload"). Owns a bounded two-class
+/// request queue, N worker threads, an overload controller thread, and
+/// per-target-set circuit breakers. The database outlives the server;
+/// the server adds no new locks below the facade's documented hierarchy
+/// (its queue/controller/breaker mutexes are leaves, never held across
+/// a database call).
+class PtldbServer {
+ public:
+  using Callback = std::function<void(QueryResponse)>;
+
+  /// Starts workers and controller immediately. `db` is borrowed and
+  /// must outlive the server.
+  PtldbServer(PtldbDatabase* db, const ServerOptions& options = {});
+  ~PtldbServer();
+
+  PtldbServer(const PtldbServer&) = delete;
+  PtldbServer& operator=(const PtldbServer&) = delete;
+
+  /// Submits one request. `done` is invoked exactly once — synchronously
+  /// (from this call) when admission rejects the request, else later from
+  /// a worker thread. Never blocks: admission control answers
+  /// kOverloaded instead of queueing beyond capacity.
+  void Submit(QueryRequest request, Callback done);
+
+  /// Blocking convenience: Submit + wait for the response.
+  QueryResponse Execute(QueryRequest request);
+
+  /// Stops admission, drains the queue (in-queue requests are answered —
+  /// executed if their deadline allows, kOverloaded once stopping), joins
+  /// workers and controller. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// True while the overload controller is shedding the expensive class.
+  bool shedding() const {
+    return shedding_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const { return queue_.depth(); }
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// The priority class a query type is served under: v2v queries are
+  /// interactive, kNN / one-to-many are expensive.
+  static bool IsExpensive(QueryType type) {
+    return type != QueryType::kV2vEa && type != QueryType::kV2vLd &&
+           type != QueryType::kV2vSd;
+  }
+
+ private:
+  struct Task {
+    QueryRequest request;
+    Callback done;
+    QueryContext::Clock::time_point enqueued{};
+    bool has_deadline = false;
+    QueryContext::Clock::time_point deadline{};
+  };
+
+  /// Per-target-set circuit breaker (DESIGN.md §10). State transitions
+  /// happen under `mu` (a leaf lock, held only for the state math, never
+  /// across a query).
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    Mutex mu;
+    State state PTLDB_GUARDED_BY(mu) = State::kClosed;
+    uint32_t consecutive_failures PTLDB_GUARDED_BY(mu) = 0;
+    QueryContext::Clock::time_point open_until PTLDB_GUARDED_BY(mu){};
+  };
+
+  void WorkerLoop();
+  void ControllerLoop();
+  void ControllerTick();
+  void RunTask(Task task);
+  /// Executes the database query for `task` (breaker-routed for set
+  /// queries) and fills the answer fields of `resp`.
+  void Dispatch(const Task& task, QueryResponse* resp);
+  /// Breaker routing decision for one set query: true = run the primary
+  /// plan, false = go straight to the fallback tables.
+  bool AllowPrimary(Breaker* breaker);
+  void RecordPrimaryOutcome(Breaker* breaker, bool failed);
+  Breaker* BreakerFor(const std::string& set_name);
+  /// Token-bucket draw for a half-open probe.
+  bool TryAcquireRetryToken();
+  void Respond(Task* task, QueryResponse resp);
+
+  PtldbDatabase* db_;
+  ServerOptions options_;
+  RequestQueue<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::thread controller_;
+
+  std::atomic<bool> shedding_{false};
+  std::atomic<bool> stopping_{false};
+  bool shutdown_done_ = false;  ///< Guarded by Shutdown's single-caller contract.
+
+  /// Controller sleep/wake. Leaf lock.
+  Mutex ctrl_mu_;
+  CondVar ctrl_cv_;
+  bool ctrl_stop_ PTLDB_GUARDED_BY(ctrl_mu_) = false;
+
+  /// Breaker registry. Leaf lock; breakers are never erased, so the
+  /// returned pointers stay valid for the server's lifetime.
+  Mutex breakers_mu_;
+  std::map<std::string, std::unique_ptr<Breaker>> breakers_
+      PTLDB_GUARDED_BY(breakers_mu_);
+
+  /// Retry-budget token bucket. Leaf lock.
+  Mutex budget_mu_;
+  double budget_tokens_ PTLDB_GUARDED_BY(budget_mu_) = 0;
+  QueryContext::Clock::time_point budget_refilled_
+      PTLDB_GUARDED_BY(budget_mu_){};
+
+  // Registry-backed serving metrics (pointers stable; see MetricsRegistry).
+  Counter* admitted_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* rejected_queue_full_ = nullptr;
+  Counter* rejected_shed_ = nullptr;
+  Counter* dropped_deadline_queue_ = nullptr;
+  Counter* deadline_exceeded_ = nullptr;
+  Counter* shed_transitions_ = nullptr;
+  Counter* breaker_open_ = nullptr;
+  Counter* breaker_fallback_ = nullptr;
+  Counter* breaker_probes_ = nullptr;
+  Counter* retry_budget_denied_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* shed_gauge_ = nullptr;
+  Histogram* latency_interactive_ = nullptr;
+  Histogram* latency_expensive_ = nullptr;
+  /// Controller-owned p99 window: reset every ControllerTick, so its
+  /// Summary() is "interactive latency since the last tick".
+  Histogram* ctrl_window_ = nullptr;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SERVER_SERVER_H_

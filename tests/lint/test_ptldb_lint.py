@@ -159,6 +159,46 @@ class NondeterminismTest(unittest.TestCase):
                                     rel_path="src/common/rng_tool.cc"))
 
 
+class UnboundedWaitTest(unittest.TestCase):
+    SERVER = "src/server/server.cc"
+
+    def test_unbounded_condvar_wait_flagged(self):
+        self.assertIn("unbounded-wait",
+                      run_on("cv_.Wait(lock);\n", rel_path=self.SERVER))
+
+    def test_pointer_wait_flagged(self):
+        self.assertIn("unbounded-wait",
+                      run_on("pool->Wait();\n", rel_path=self.SERVER))
+
+    def test_bounded_waits_allowed(self):
+        self.assertEqual([], run_on(
+            "while (!done) {\n"
+            "  cv_.WaitFor(lock, std::chrono::milliseconds(50));\n"
+            "}\n"
+            "cv_.WaitUntil(lock, deadline);\n",
+            rel_path=self.SERVER))
+
+    def test_std_future_flagged(self):
+        rules = run_on("std::future<int> f = p.get_future();\n"
+                       "std::promise<int> p;\n", rel_path=self.SERVER)
+        self.assertEqual(rules.count("unbounded-wait"), 2)
+
+    def test_executor_path_in_scope(self):
+        self.assertIn("unbounded-wait",
+                      run_on("cv_.Wait(lock);\n",
+                             rel_path="src/engine/exec.cc"))
+
+    def test_rule_scoped_to_request_paths(self):
+        # ThreadPool::Wait in the pool's own implementation (build-side
+        # barrier, not the serving path) stays legal.
+        self.assertEqual([], run_on("pool.Wait();\n",
+                                    rel_path="src/common/thread_pool.cc"))
+
+    def test_wait_in_comment_ignored(self):
+        self.assertEqual([], run_on("// CondVar::Wait would wedge here\n",
+                                    rel_path=self.SERVER))
+
+
 class ValueOnTemporaryTest(unittest.TestCase):
     def test_chained_value_flagged(self):
         self.assertIn("value-on-temporary",
