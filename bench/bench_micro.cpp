@@ -81,6 +81,23 @@ void BM_V2vEaWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_V2vEaWarmCache);
 
+void BM_V2vEaWarmCompressedLabels(benchmark::State& state) {
+  auto& f = Fixture();
+  static PtldbDatabase* cdb = [&] {
+    PtldbOptions options;
+    options.device = DeviceProfile::SataSsd();
+    options.compressed_labels = true;
+    return std::move(PtldbDatabase::Build(f.index, options)).value().release();
+  }();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto s = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    const auto g = static_cast<StopId>(rng.NextBelow(f.tt.num_stops()));
+    benchmark::DoNotOptimize(cdb->EarliestArrival(s, g, f.tt.min_time()));
+  }
+}
+BENCHMARK(BM_V2vEaWarmCompressedLabels);
+
 void BM_TtlEaInMemory(benchmark::State& state) {
   auto& f = Fixture();
   Rng rng(3);
@@ -246,6 +263,32 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
     }
   });
 
+  // Paired raw-vs-compressed warm v2v: a second database over the same
+  // index with the RAM-resident label tier enabled, measured on an
+  // identical query schedule right after the raw warm phase. The checker
+  // requires the compressed phase to be no slower than the raw one and the
+  // tier to actually have served (decode counters moved).
+  std::unique_ptr<PtldbDatabase> cdb;
+  timed("db_build_compressed", tt.num_stops(), [&] {
+    PtldbOptions options;
+    options.device = DeviceProfile::SataSsd();
+    options.compressed_labels = true;
+    cdb = std::move(PtldbDatabase::Build(index, options)).value();
+  });
+  constexpr uint64_t kWarmSchedule = 0xb5297a4d5dull;
+  const auto warm_pass = [&](PtldbDatabase* target) {
+    Rng wrng(kWarmSchedule);
+    for (uint32_t i = 0; i < kQueries; ++i) {
+      const auto s = static_cast<StopId>(wrng.NextBelow(tt.num_stops()));
+      const auto g = static_cast<StopId>(wrng.NextBelow(tt.num_stops()));
+      (void)target->EarliestArrival(s, g, tt.min_time());
+    }
+  };
+  warm_pass(db.get());   // Heat the raw caches for the paired measurement.
+  warm_pass(cdb.get());  // First pass decodes everything once.
+  timed("v2v_ea_warm_raw_paired", kQueries, [&] { warm_pass(db.get()); });
+  timed("v2v_ea_warm_compressed", kQueries, [&] { warm_pass(cdb.get()); });
+
   if (concurrency > 1) {
     // Warm throughput scaling: the same per-thread workload measured with
     // one worker and with `concurrency` workers. On the pre-shard pool a
@@ -268,6 +311,19 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
   }
 
   record.metrics = db->Snapshot();
+  // The label-tier numbers live in the compressed database's registry;
+  // graft them into the record (the raw database has them absent/zero).
+  const MetricsSnapshot csnap = cdb->Snapshot();
+  for (const char* name : {"ttl.labels.decodes", "ttl.labels.decoded_bytes"}) {
+    const auto it = csnap.counters.find(name);
+    if (it != csnap.counters.end()) record.metrics.counters[name] = it->second;
+  }
+  for (const char* name :
+       {"ttl.labels.bytes_resident", "ttl.labels.bytes_per_label",
+        "ttl.labels.count", "ttl.labels.raw_bytes"}) {
+    const auto it = csnap.gauges.find(name);
+    if (it != csnap.gauges.end()) record.metrics.gauges[name] = it->second;
+  }
   // Scaling expectations depend on the machine: a single-core runner can
   // never beat c1, it can only avoid collapsing. The checker reads this.
   record.metrics.gauges["bench.hardware_threads"] =

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "common/thread_pool.h"
 #include "ttl/builder.h"
+#include "ttl/label_store.h"
 
 using namespace ptldb;
 
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
   char par_col[48];
   std::snprintf(par_col, sizeof(par_col), "Par@%u (s)", par_threads);
   PrintTableHeader({"Graph", "|V|", "|E|", "Avg degr.", "|HL|/|V|",
-                    "Serial (s)", par_col, "Speedup", "paper |HL|/|V|",
-                    "paper preproc (s)"});
+                    "B/label", "Serial (s)", par_col, "Speedup",
+                    "paper |HL|/|V|", "paper preproc (s)"});
   const char* paper_hl[] = {"1600", "1734", "2486", "1190", "2196", "2572",
                             "7230", "4370", "630", "775", "2987"};
   const char* paper_pp[] = {"11.3", "184.7", "54.4", "27.3", "72.6", "194.5",
@@ -70,19 +71,39 @@ int main(int argc, char** argv) {
     record.phases.push_back({data->name + ".ttl_build_parallel", par_s,
                              data->tt.num_stops(), par_s * 1e3 /
                                  std::max<uint32_t>(data->tt.num_stops(), 1)});
+    // Compressed in-memory tier: bytes per label against the 12-byte raw
+    // (hub, td, ta) triple, per city (label distributions differ, so the
+    // compression ratio is a per-city statistic worth tracking).
+    auto store = LabelStore::Build(data->index);
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s: %s\n", profile->name,
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t label_count = (*store)->total_labels();
+    const double bytes_per_label =
+        label_count > 0
+            ? static_cast<double>((*store)->bytes_resident()) /
+                  static_cast<double>(label_count)
+            : 0.0;
+    record.metrics.gauges[data->name + ".labels.compressed_bytes"] =
+        static_cast<int64_t>((*store)->bytes_resident());
+    record.metrics.gauges[data->name + ".labels.count"] =
+        static_cast<int64_t>(label_count);
     size_t paper_idx = 0;
     for (size_t i = 0; i < kNumCityProfiles; ++i) {
       if (&kCityProfiles[i] == profile) paper_idx = i;
     }
-    char v[32], e[32], deg[32], hl[32], ser[32], par[32], sp[32];
+    char v[32], e[32], deg[32], hl[32], bpl[32], ser[32], par[32], sp[32];
     std::snprintf(v, sizeof(v), "%u", data->tt.num_stops());
     std::snprintf(e, sizeof(e), "%u", data->tt.num_connections());
     std::snprintf(deg, sizeof(deg), "%.0f", data->tt.average_degree());
     std::snprintf(hl, sizeof(hl), "%.0f", data->index.tuples_per_vertex());
+    std::snprintf(bpl, sizeof(bpl), "%.2f", bytes_per_label);
     std::snprintf(ser, sizeof(ser), "%.1f", serial_s);
     std::snprintf(par, sizeof(par), "%.1f", par_s);
     std::snprintf(sp, sizeof(sp), "%.2fx", par_s > 0 ? serial_s / par_s : 0.0);
-    PrintTableRow({data->name, v, e, deg, hl, ser, par, sp,
+    PrintTableRow({data->name, v, e, deg, hl, bpl, ser, par, sp,
                    paper_hl[paper_idx], paper_pp[paper_idx]});
   }
   std::printf(

@@ -103,6 +103,7 @@ def check_record(path):
         if latency is None or latency["count"] == 0:
             fail(path, "query.v2v_ea.latency_ns histogram is empty")
         check_concurrency_scaling(path, record)
+        check_compressed_labels(path, record)
 
     print(f"{path}: ok ({len(record['phases'])} phases, "
           f"{len(metrics['counters'])} counters)")
@@ -220,6 +221,50 @@ def check_concurrency_scaling(path, record):
                  "concurrent fetches are serializing")
         print(f"{path}: {phase['name']} {qps:.0f} qps vs c1 "
               f"{qps_base:.0f} qps on {cores} hardware threads")
+
+
+def check_compressed_labels(path, record):
+    """Gates the compressed in-memory label tier (DESIGN.md §12) on a
+    bench_micro record:
+      - the tier was built and actually served queries (resident bytes,
+        label count and decode counters all nonzero);
+      - the delta+varint buckets compress to at most half of the raw
+        12-byte-per-tuple arrays;
+      - the paired warm v2v phases show the compressed path no slower
+        than the raw heap path (the in-memory merge join skips the
+        executor and buffer pool entirely, so this holds with a wide
+        margin on any machine; 1.05x absorbs timer jitter on the short
+        CI batches).
+    """
+    gauges = record["metrics"]["gauges"]
+    counters = record["metrics"]["counters"]
+    resident = gauges.get("ttl.labels.bytes_resident", 0)
+    raw = gauges.get("ttl.labels.raw_bytes", 0)
+    count = gauges.get("ttl.labels.count", 0)
+    if resident <= 0 or raw <= 0 or count <= 0:
+        fail(path, "compressed label tier gauges missing or zero "
+                   f"(resident={resident}, raw={raw}, count={count})")
+    if counters.get("ttl.labels.decodes", 0) == 0:
+        fail(path, "ttl.labels.decodes is zero — the compressed tier "
+                   "never served a query")
+    if resident * 2 > raw:
+        fail(path,
+             f"compressed labels use {resident} bytes vs {raw} raw "
+             f"({resident / raw:.2f}x) — the 0.5x compression gate failed")
+    phases = {p["name"]: p for p in record["phases"]}
+    raw_phase = phases.get("v2v_ea_warm_raw_paired")
+    comp_phase = phases.get("v2v_ea_warm_compressed")
+    if raw_phase is None or comp_phase is None:
+        fail(path, "paired warm v2v phases (raw/compressed) missing")
+    if comp_phase["ms_per_item"] > raw_phase["ms_per_item"] * 1.05:
+        fail(path,
+             f"compressed warm v2v {comp_phase['ms_per_item']:.4f} ms vs "
+             f"raw {raw_phase['ms_per_item']:.4f} ms — the compressed "
+             "tier is slower than the heap path")
+    print(f"{path}: labels {resident}/{raw} bytes "
+          f"({resident / raw:.2f}x raw, {resident / count:.2f} B/label), "
+          f"warm v2v compressed {comp_phase['ms_per_item']:.4f} ms vs raw "
+          f"{raw_phase['ms_per_item']:.4f} ms")
 
 
 def main():

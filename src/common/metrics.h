@@ -164,11 +164,15 @@ struct LocalQueryCounters {
   uint64_t rows_emitted = 0;       ///< Rows drained from plan roots.
   uint64_t hubs_merged = 0;        ///< Common-hub groups visited in merges.
   uint64_t label_comparisons = 0;  ///< Label tuple comparisons in merges.
+  uint64_t label_decodes = 0;      ///< Compressed label buckets decoded.
+  uint64_t label_decode_bytes = 0;  ///< Encoded bytes those decodes read.
 
   LocalQueryCounters operator-(const LocalQueryCounters& o) const {
     return {tuples_scanned - o.tuples_scanned, index_seeks - o.index_seeks,
             rows_emitted - o.rows_emitted, hubs_merged - o.hubs_merged,
-            label_comparisons - o.label_comparisons};
+            label_comparisons - o.label_comparisons,
+            label_decodes - o.label_decodes,
+            label_decode_bytes - o.label_decode_bytes};
   }
 };
 

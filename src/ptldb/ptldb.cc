@@ -69,6 +69,8 @@ PtldbDatabase::PtldbDatabase(const PtldbOptions& options)
   exec_rows_ = m->counter("exec.rows_emitted");
   ttl_hubs_ = m->counter("ttl.hubs_merged");
   ttl_cmps_ = m->counter("ttl.label_comparisons");
+  ttl_decodes_ = m->counter("ttl.labels.decodes");
+  ttl_decode_bytes_ = m->counter("ttl.labels.decoded_bytes");
 }
 
 Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
@@ -78,6 +80,28 @@ Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
   db->num_stops_ = index.num_stops();
   db->max_event_time_ =
       ComputeBucketRange(index, /*bucket_seconds=*/1).max_bucket;
+  if (options.compressed_labels) {
+    auto store = LabelStore::Build(index);
+    PTLDB_RETURN_IF_ERROR(store.status());
+    db->labels_ = std::move(*store);
+    // Footprint accounting for the tier (DESIGN.md "Compressed label
+    // tier"): raw_bytes is what the same tuples occupy as int32 arrays
+    // in the heap rows — 3 columns x 4 bytes per label — the baseline
+    // of the bytes/label <= 0.5x raw CI gate.
+    MetricsRegistry* m = db->db_.metrics();
+    const uint64_t resident = db->labels_->bytes_resident();
+    const uint64_t count = db->labels_->total_labels();
+    m->gauge("ttl.labels.bytes_resident")
+        ->Set(static_cast<int64_t>(resident));
+    m->gauge("ttl.labels.count")->Set(static_cast<int64_t>(count));
+    m->gauge("ttl.labels.raw_bytes")
+        ->Set(static_cast<int64_t>(count * 3 * sizeof(int32_t)));
+    // Integer gauge: rounded up, so it never understates the footprint.
+    m->gauge("ttl.labels.bytes_per_label")
+        ->Set(count == 0
+                  ? 0
+                  : static_cast<int64_t>((resident + count - 1) / count));
+  }
   return db;
 }
 
@@ -120,22 +144,24 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
 Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
                                                  Timestamp t) {
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kV2vEa, [&] { return QueryV2vEa(&db_, s, g, t); });
+  return Timed(QueryType::kV2vEa,
+               [&] { return QueryV2vEa(&db_, s, g, t, labels_.get()); });
 }
 
 Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
                                                  Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vLd,
-               [&] { return QueryV2vLd(&db_, s, g, t_end); });
+               [&] { return QueryV2vLd(&db_, s, g, t_end, labels_.get()); });
 }
 
 Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
                                                   Timestamp t,
                                                   Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kV2vSd,
-               [&] { return QueryV2vSd(&db_, s, g, t, t_end); });
+  return Timed(QueryType::kV2vSd, [&] {
+    return QueryV2vSd(&db_, s, g, t, t_end, labels_.get());
+  });
 }
 
 namespace {
@@ -191,7 +217,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
     // The fallback is |T| v2v plans back to back — the slowest facade
     // path, so it checkpoints per target on top of the per-page checks.
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
-    auto ea = QueryV2vEa(&db_, q, v, t);
+    auto ea = QueryV2vEa(&db_, q, v, t, labels_.get());
     PTLDB_RETURN_IF_ERROR(ea.status());
     if (*ea != kInfinityTime) out.push_back({v, *ea});
   }
@@ -208,7 +234,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
   std::vector<StopTimeResult> out;
   for (const StopId v : info.targets) {
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
-    auto ld = QueryV2vLd(&db_, q, v, t);
+    auto ld = QueryV2vLd(&db_, q, v, t, labels_.get());
     PTLDB_RETURN_IF_ERROR(ld.status());
     if (*ld != kNegInfinityTime) out.push_back({v, *ld});
   }
@@ -277,8 +303,9 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaKnn, [&] {
     auto r = OrDegrade(
-        QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds), **info, q,
-        t, k, /*ld=*/false);
+        QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                   labels_.get()),
+        **info, q, t, k, /*ld=*/false);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
     return r;
   });
@@ -292,7 +319,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
   return Timed(QueryType::kLdKnn, [&] {
     auto r =
         OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
-                             (*info)->max_bucket),
+                             (*info)->max_bucket, labels_.get()),
                   **info, q, t, k, /*ld=*/true);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
     return r;
@@ -305,7 +332,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaKnn, [&] {
-    auto r = QueryEaKnnNaive(&db_, set_name, q, t, k);
+    auto r = QueryEaKnnNaive(&db_, set_name, q, t, k, labels_.get());
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
     return r;
   });
@@ -317,7 +344,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
   if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdKnn, [&] {
-    auto r = QueryLdKnnNaive(&db_, set_name, q, t, k);
+    auto r = QueryLdKnnNaive(&db_, set_name, q, t, k, labels_.get());
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
     return r;
   });
@@ -330,7 +357,8 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaOtm, [&] {
     auto r =
-        OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds),
+        OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                             labels_.get()),
                   **info, q, t, /*k=*/0, /*ld=*/false);
     if (r.ok()) {
       PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/false);
@@ -347,7 +375,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
   return Timed(QueryType::kLdOtm, [&] {
     auto r =
         OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                             (*info)->max_bucket),
+                             (*info)->max_bucket, labels_.get()),
                   **info, q, t, /*k=*/0, /*ld=*/true);
     if (r.ok()) {
       PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/true);

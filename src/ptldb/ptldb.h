@@ -16,6 +16,7 @@
 #include "engine/database.h"
 #include "timetable/types.h"
 #include "ttl/label.h"
+#include "ttl/label_store.h"
 
 namespace ptldb {
 
@@ -52,6 +53,14 @@ struct PtldbOptions {
   /// AddTargetSet (0 = one per hardware thread, 1 = serial). Purely a
   /// speed knob: the loaded tables are identical for every value.
   uint32_t num_threads = 1;
+  /// Build the RAM-resident compressed label tier (delta+varint SoA
+  /// buckets, DESIGN.md "Compressed label tier") at Build time and answer
+  /// every label scan from it: Code 1 becomes an in-memory merge join,
+  /// Codes 2-4 decode their n1 row instead of fetching it. The lout/lin
+  /// heap tables are built either way — they remain the durable tier, and
+  /// the only tier when this is false (the seed behavior). Answers are
+  /// identical in both modes; the differential harness pins it.
+  bool compressed_labels = false;
 };
 
 /// The PTLDB system of the paper: TTL labels stored in database tables plus
@@ -169,6 +178,10 @@ class PtldbDatabase {
 
   EngineDatabase* engine() { return &db_; }
   uint32_t num_stops() const { return num_stops_; }
+  /// The compressed label tier, or nullptr when compressed_labels was
+  /// false. Exposed for tests (determinism goldens over content_crc())
+  /// and benchmarks (bytes/label accounting).
+  const LabelStore* label_store() const { return labels_.get(); }
 
   /// Metadata of a registered target set.
   struct TargetSetInfo {
@@ -243,6 +256,8 @@ class PtldbDatabase {
     if (d.rows_emitted) exec_rows_->Add(d.rows_emitted);
     if (d.hubs_merged) ttl_hubs_->Add(d.hubs_merged);
     if (d.label_comparisons) ttl_cmps_->Add(d.label_comparisons);
+    if (d.label_decodes) ttl_decodes_->Add(d.label_decodes);
+    if (d.label_decode_bytes) ttl_decode_bytes_->Add(d.label_decode_bytes);
     return result;
   }
 
@@ -262,6 +277,9 @@ class PtldbDatabase {
 
   EngineDatabase db_;
   StorageDevice* device_;
+  /// Compressed label tier (nullptr unless PtldbOptions::compressed_labels).
+  /// Immutable after Build, read lock-free by concurrent queries.
+  std::unique_ptr<LabelStore> labels_;
   uint32_t num_threads_ = 1;  ///< Workers for derived-table construction.
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
@@ -289,6 +307,8 @@ class PtldbDatabase {
   Counter* exec_rows_ = nullptr;
   Counter* ttl_hubs_ = nullptr;
   Counter* ttl_cmps_ = nullptr;
+  Counter* ttl_decodes_ = nullptr;
+  Counter* ttl_decode_bytes_ = nullptr;
   std::atomic<bool> last_degraded_{false};
 
   QueryTrace* trace_ = nullptr;  ///< Borrowed; single-thread use only.

@@ -8,6 +8,7 @@
 #include "common/query_context.h"
 #include "engine/exec.h"
 #include "ptldb/tables.h"
+#include "ttl/label_store.h"
 
 namespace ptldb {
 
@@ -26,17 +27,33 @@ Result<const EngineTable*> RequireTable(EngineDatabase* db,
 
 // ---------- Code 1: vertex-to-vertex over the lout/lin array rows ----------
 
-// A fetched label row viewed as three parallel arrays sorted by (hub, td).
+// One stop's labels viewed as three parallel arrays sorted by (hub, td) —
+// spans, so the same merge code runs over a fetched heap row (Value
+// arrays) or a compressed bucket decoded into a LabelArrays scratch.
 struct LabelRowView {
-  const std::vector<int32_t>& hubs;
-  const std::vector<int32_t>& tds;
-  const std::vector<int32_t>& tas;
+  std::span<const int32_t> hubs;
+  std::span<const int32_t> tds;
+  std::span<const int32_t> tas;
 
   explicit LabelRowView(const Row& row)
       : hubs(row[1].AsArray()), tds(row[2].AsArray()), tas(row[3].AsArray()) {}
+  explicit LabelRowView(const LabelView& view)
+      : hubs(view.hubs), tds(view.tds), tas(view.tas) {}
 
   size_t size() const { return hubs.size(); }
 };
+
+// Decodes stop v's resident bucket into *scratch, charging the decode to
+// this thread's query counters (the facade flushes them into the
+// `ttl.labels.decodes` / `ttl.labels.decoded_bytes` registry counters).
+Result<LabelView> DecodeCounted(const LabelStore& store,
+                                LabelStore::Direction dir, StopId v,
+                                LabelArrays* scratch) {
+  auto& counters = ThisThreadQueryCounters();
+  ++counters.label_decodes;
+  counters.label_decode_bytes += store.bucket_bytes(dir, v).size();
+  return store.Decode(dir, v, scratch);
+}
 
 // The three label arrays are parallel by construction; a length mismatch
 // means the row decoded from a corrupt page.
@@ -85,11 +102,15 @@ size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi, Timestamp t) {
 }
 
 // Runs `fn(a_lo, a_hi, b_lo, b_hi)` for every hub present in both rows.
+// Deadline checkpoint per merge step (see query_context.h): a served
+// query with an expired deadline unwinds here with kDeadlineExceeded,
+// exactly like the hash-join drain of the SQL-shaped Code 1 plan.
 template <typename Fn>
-void MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
+Status MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     const int32_t ha = a.hubs[i];
     const int32_t hb = b.hubs[j];
     if (ha < hb) {
@@ -107,6 +128,57 @@ void MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
       j = j2;
     }
   }
+  return Status::Ok();
+}
+
+// The three Code 1 answers over a pair of label views. Shared by the
+// merge-plan entry points (raw rows) and the compressed-tier fast path
+// (decoded buckets): the representation changes, the merge does not.
+Result<Timestamp> MergeV2vEa(const LabelRowView& outp, const LabelRowView& inp,
+                             Timestamp t) {
+  Timestamp best = kInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
+        if (l1 == a_hi) return;
+        const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
+        if (l2 == b_hi) return;
+        best = std::min(best, inp.tas[l2]);
+      }));
+  return best;
+}
+
+Result<Timestamp> MergeV2vLd(const LabelRowView& outp, const LabelRowView& inp,
+                             Timestamp t_end) {
+  Timestamp best = kNegInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
+        if (l2 == b_hi) return;
+        const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
+        if (l1 == a_hi) return;
+        best = std::max(best, outp.tds[l1]);
+      }));
+  return best;
+}
+
+Result<Timestamp> MergeV2vSd(const LabelRowView& outp, const LabelRowView& inp,
+                             Timestamp t, Timestamp t_end) {
+  Timestamp best = kInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        size_t l2 = b_lo;
+        for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi;
+             ++l1) {
+          while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
+          if (l2 == b_hi || inp.tas[l2] > t_end) break;
+          best = std::min(best, inp.tas[l2] - outp.tds[l1]);
+        }
+      }));
+  return best;
 }
 
 // Fetches the single label row of `v`; an empty inner optional means the
@@ -123,9 +195,55 @@ Result<std::optional<Row>> FetchLabelRow(EngineDatabase* db,
 
 // ---------- Shared plan pieces for Codes 2-4 ----------
 
-// n1 of Codes 2-4: UNNEST the lout row of q into (hub, td, ta) rows.
-// The caller has validated that lout exists.
-OperatorPtr MakeN1(EngineDatabase* db, StopId q) {
+// Leaf operator over the compressed tier: decodes stop v's bucket and
+// emits it as one row shaped exactly like a lout/lin heap row —
+// (v, hubs, tds, tas) — so the plans above it (UNNEST, joins, filters)
+// are identical for both representations. Decode failures (resident bit
+// rot) surface through status(), like a corrupt page in IndexLookupOp;
+// a stop the store does not know yields an empty stream, like a missing
+// heap row. Pure CPU: no pages are fetched, no guards held.
+class LabelSourceOp : public Operator {
+ public:
+  LabelSourceOp(const LabelStore* store, LabelStore::Direction dir, StopId v)
+      : store_(store), dir_(dir), v_(v) {}
+
+  std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    if (v_ >= store_->num_stops()) return std::nullopt;
+    LabelArrays scratch;
+    auto view = DecodeCounted(*store_, dir_, v_, &scratch);
+    if (!view.ok()) {
+      status_ = view.status();
+      return std::nullopt;
+    }
+    return Row{Value(static_cast<int32_t>(v_)), Value(std::move(scratch.hubs)),
+               Value(std::move(scratch.tds)), Value(std::move(scratch.tas))};
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  const LabelStore* store_;
+  LabelStore::Direction dir_;
+  StopId v_;
+  bool done_ = false;
+  Status status_;
+};
+
+OperatorPtr MakeLabelSource(const LabelStore* store, LabelStore::Direction dir,
+                            StopId v) {
+  return std::make_unique<LabelSourceOp>(store, dir, v);
+}
+
+// n1 of Codes 2-4: UNNEST the lout row of q into (hub, td, ta) rows,
+// sourced from the compressed tier when one is installed. The caller has
+// validated that lout exists.
+OperatorPtr MakeN1(EngineDatabase* db, StopId q, const LabelStore* labels) {
+  if (labels != nullptr) {
+    return MakeUnnest(MakeLabelSource(labels, LabelStore::Direction::kOut, q),
+                      {}, {1, 2, 3});
+  }
   const EngineTable* lout = db->FindTable(kLoutTable);
   assert(lout != nullptr);
   return MakeUnnest(
@@ -195,8 +313,44 @@ OperatorPtr UnnestLabelRow(const EngineTable* table, BufferPool* pool,
       MakeIndexLookup(table, static_cast<IndexKey>(v), pool), {}, {1, 2, 3});
 }
 
+// Code 1 against the compressed tier: both buckets decode into scratch
+// views and merge hub by hub — the same answer as the SQL-shaped plan
+// below (the differential harness pins the equivalence), but a pure
+// in-memory scan: no buffer-pool fetches, no hash table, no per-row
+// virtual dispatch. This is what makes warm compressed v2v strictly
+// faster than the raw path (the PTL argument, gated in bench JSON).
+Result<Timestamp> RunV2vCompressed(const LabelStore& labels, StopId s,
+                                   StopId g, Timestamp t, Timestamp t_end,
+                                   V2vPlanKind kind) {
+  const Timestamp empty =
+      kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
+  // A stop the store does not know has no label row: the empty answer,
+  // matching the raw plan's empty index lookup.
+  if (s >= labels.num_stops() || g >= labels.num_stops()) return empty;
+  LabelArrays out_scratch;
+  auto outv =
+      DecodeCounted(labels, LabelStore::Direction::kOut, s, &out_scratch);
+  PTLDB_RETURN_IF_ERROR(outv.status());
+  LabelArrays in_scratch;
+  auto inv = DecodeCounted(labels, LabelStore::Direction::kIn, g, &in_scratch);
+  PTLDB_RETURN_IF_ERROR(inv.status());
+  const LabelRowView outp(*outv);
+  const LabelRowView inp(*inv);
+  switch (kind) {
+    case V2vPlanKind::kEa:
+      return MergeV2vEa(outp, inp, t);
+    case V2vPlanKind::kLd:
+      return MergeV2vLd(outp, inp, t_end);
+    case V2vPlanKind::kSd:
+      return MergeV2vSd(outp, inp, t, t_end);
+  }
+  return empty;
+}
+
 Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end, V2vPlanKind kind) {
+                             Timestamp t, Timestamp t_end, V2vPlanKind kind,
+                             const LabelStore* labels) {
+  if (labels != nullptr) return RunV2vCompressed(*labels, s, g, t, t_end, kind);
   auto lout = RequireTable(db, kLoutTable);
   PTLDB_RETURN_IF_ERROR(lout.status());
   auto lin = RequireTable(db, kLinTable);
@@ -258,94 +412,73 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
 }  // namespace
 
 Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t) {
-  return RunV2vPlan(db, s, g, t, 0, V2vPlanKind::kEa);
+                             Timestamp t, const LabelStore* labels) {
+  return RunV2vPlan(db, s, g, t, 0, V2vPlanKind::kEa, labels);
 }
 
 Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t_end) {
-  return RunV2vPlan(db, s, g, 0, t_end, V2vPlanKind::kLd);
+                             Timestamp t_end, const LabelStore* labels) {
+  return RunV2vPlan(db, s, g, 0, t_end, V2vPlanKind::kLd, labels);
 }
 
 Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end) {
-  return RunV2vPlan(db, s, g, t, t_end, V2vPlanKind::kSd);
+                             Timestamp t, Timestamp t_end,
+                             const LabelStore* labels) {
+  return RunV2vPlan(db, s, g, t, t_end, V2vPlanKind::kSd, labels);
 }
 
 Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t) {
+                                      Timestamp t, const LabelStore* labels) {
+  if (labels != nullptr) {
+    return RunV2vCompressed(*labels, s, g, t, 0, V2vPlanKind::kEa);
+  }
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
   if (!*out_row || !*in_row) return kInfinityTime;
-  const LabelRowView outp(**out_row);
-  const LabelRowView inp(**in_row);
-  Timestamp best = kInfinityTime;
-  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
-                                 size_t b_hi) {
-    const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
-    if (l1 == a_hi) return;
-    const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
-    if (l2 == b_hi) return;
-    best = std::min(best, inp.tas[l2]);
-  });
-  return best;
+  return MergeV2vEa(LabelRowView(**out_row), LabelRowView(**in_row), t);
 }
 
 Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t_end) {
+                                      Timestamp t_end,
+                                      const LabelStore* labels) {
+  if (labels != nullptr) {
+    return RunV2vCompressed(*labels, s, g, 0, t_end, V2vPlanKind::kLd);
+  }
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
   if (!*out_row || !*in_row) return kNegInfinityTime;
-  const LabelRowView outp(**out_row);
-  const LabelRowView inp(**in_row);
-  Timestamp best = kNegInfinityTime;
-  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
-                                 size_t b_hi) {
-    const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
-    if (l2 == b_hi) return;
-    const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
-    if (l1 == a_hi) return;
-    best = std::max(best, outp.tds[l1]);
-  });
-  return best;
+  return MergeV2vLd(LabelRowView(**out_row), LabelRowView(**in_row), t_end);
 }
 
 Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t, Timestamp t_end) {
+                                      Timestamp t, Timestamp t_end,
+                                      const LabelStore* labels) {
+  if (labels != nullptr) {
+    return RunV2vCompressed(*labels, s, g, t, t_end, V2vPlanKind::kSd);
+  }
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
   if (!*out_row || !*in_row) return kInfinityTime;
-  const LabelRowView outp(**out_row);
-  const LabelRowView inp(**in_row);
-  Timestamp best = kInfinityTime;
-  MergeCommonHubs(outp, inp, [&](size_t a_lo, size_t a_hi, size_t b_lo,
-                                 size_t b_hi) {
-    size_t l2 = b_lo;
-    for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi; ++l1) {
-      while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
-      if (l2 == b_hi || inp.tas[l2] > t_end) break;
-      best = std::min(best, inp.tas[l2] - outp.tds[l1]);
-    }
-  });
-  return best;
+  return MergeV2vSd(LabelRowView(**out_row), LabelRowView(**in_row), t,
+                    t_end);
 }
 
 Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
     EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
-    uint32_t k) {
+    uint32_t k, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto naive = RequireTable(db, NaiveKnnTableName(set_name));
   PTLDB_RETURN_IF_ERROR(naive.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n1 = MakeFilter(
-      MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
+      MakeN1(db, q, labels), [t](const Row& r) { return r[1].AsInt() >= t; });
   // Join every l1 with all naive rows (hub = l1.hub, td >= l1.ta).
   OperatorPtr n2 = MakeIndexRangeJoin(
       std::move(n1), *naive,
@@ -362,14 +495,14 @@ Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
 
 Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
     EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
-    uint32_t k) {
+    uint32_t k, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto naive = RequireTable(db, NaiveKnnTableName(set_name));
   PTLDB_RETURN_IF_ERROR(naive.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n2 = MakeIndexRangeJoin(
-      MakeN1(db, q), *naive,
+      MakeN1(db, q, labels), *naive,
       [](const Row& r) { return MakeCompositeKey(r[0].AsInt(), r[2].AsInt()); },
       [](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(),
@@ -389,18 +522,16 @@ Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
 namespace {
 
 // Shared body of Code 3 (EA kNN/OTM): k == 0 selects the OTM variant.
-Result<std::vector<StopTimeResult>> EaBucketQuery(EngineDatabase* db,
-                                                  const std::string& table_name,
-                                                  StopId q, Timestamp t,
-                                                  uint32_t k,
-                                                  Timestamp bucket_seconds) {
+Result<std::vector<StopTimeResult>> EaBucketQuery(
+    EngineDatabase* db, const std::string& table_name, StopId q, Timestamp t,
+    uint32_t k, Timestamp bucket_seconds, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto bucket = RequireTable(db, table_name);
   PTLDB_RETURN_IF_ERROR(bucket.status());
   BufferPool* pool = db->buffer_pool();
 
   OperatorPtr n1 = MakeFilter(
-      MakeN1(db, q), [t](const Row& r) { return r[1].AsInt() >= t; });
+      MakeN1(db, q, labels), [t](const Row& r) { return r[1].AsInt() >= t; });
   OperatorPtr n1b_plan = MakeIndexJoin(
       std::move(n1), *bucket,
       [bucket_seconds](const Row& r) {
@@ -431,12 +562,10 @@ Result<std::vector<StopTimeResult>> EaBucketQuery(EngineDatabase* db,
 }
 
 // Shared body of Code 4 (LD kNN/OTM): k == 0 selects the OTM variant.
-Result<std::vector<StopTimeResult>> LdBucketQuery(EngineDatabase* db,
-                                                  const std::string& table_name,
-                                                  StopId q, Timestamp t,
-                                                  uint32_t k,
-                                                  Timestamp bucket_seconds,
-                                                  int32_t max_bucket) {
+Result<std::vector<StopTimeResult>> LdBucketQuery(
+    EngineDatabase* db, const std::string& table_name, StopId q, Timestamp t,
+    uint32_t k, Timestamp bucket_seconds, int32_t max_bucket,
+    const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto bucket = RequireTable(db, table_name);
   PTLDB_RETURN_IF_ERROR(bucket.status());
@@ -444,7 +573,7 @@ Result<std::vector<StopTimeResult>> LdBucketQuery(EngineDatabase* db,
 
   const int32_t arrhour = std::min(t / bucket_seconds, max_bucket);
   OperatorPtr n1b_plan = MakeIndexJoin(
-      MakeN1(db, q), *bucket,
+      MakeN1(db, q, labels), *bucket,
       [arrhour](const Row& r) {
         return MakeCompositeKey(r[0].AsInt(), arrhour);
       },
@@ -485,17 +614,20 @@ Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds) {
+                                               Timestamp bucket_seconds,
+                                               const LabelStore* labels) {
   if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
-  return EaBucketQuery(db, KnnEaTableName(set_name), q, t, k, bucket_seconds);
+  return EaBucketQuery(db, KnnEaTableName(set_name), q, t, k, bucket_seconds,
+                       labels);
 }
 
 Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
-                                               Timestamp bucket_seconds) {
+                                               Timestamp bucket_seconds,
+                                               const LabelStore* labels) {
   return EaBucketQuery(db, OtmEaTableName(set_name), q, t, /*k=*/0,
-                       bucket_seconds);
+                       bucket_seconds, labels);
 }
 
 Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
@@ -503,19 +635,21 @@ Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
                                                StopId q, Timestamp t,
                                                uint32_t k,
                                                Timestamp bucket_seconds,
-                                               int32_t max_bucket) {
+                                               int32_t max_bucket,
+                                               const LabelStore* labels) {
   if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
   return LdBucketQuery(db, KnnLdTableName(set_name), q, t, k, bucket_seconds,
-                       max_bucket);
+                       max_bucket, labels);
 }
 
 Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
                                                Timestamp bucket_seconds,
-                                               int32_t max_bucket) {
+                                               int32_t max_bucket,
+                                               const LabelStore* labels) {
   return LdBucketQuery(db, OtmLdTableName(set_name), q, t, /*k=*/0,
-                       bucket_seconds, max_bucket);
+                       bucket_seconds, max_bucket, labels);
 }
 
 }  // namespace ptldb

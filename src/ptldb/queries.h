@@ -8,6 +8,7 @@
 #include "common/time_util.h"
 #include "engine/database.h"
 #include "timetable/types.h"
+#include "ttl/label_store.h"
 
 namespace ptldb {
 
@@ -21,42 +22,57 @@ namespace ptldb {
 ///
 /// Prefer the PtldbDatabase facade (ptldb/ptldb.h); these free functions
 /// are the building blocks and are exposed for tests and benchmarks.
+///
+/// Every query takes an optional `labels` — the RAM-resident compressed
+/// label tier (ttl/label_store.h). When non-null, label scans decode the
+/// store's delta+varint buckets instead of fetching lout/lin heap rows
+/// through the buffer pool: Code 1 runs as an in-memory merge join over
+/// the decoded views, Codes 2-4 source their n1 CTE from a decoded
+/// bucket. Answers are identical in either representation (the
+/// differential harness proves it); only the access path and the
+/// decode/IO counter mix differ. nullptr selects the raw heap tier.
 
 /// Code 1, EA variant: SELECT MIN(inp.ta) ... WHERE outp.hub = inp.hub AND
 /// outp.ta <= inp.td AND outp.td >= t. kInfinityTime when empty.
 /// Executed as the SQL-shaped plan (UNNEST both label rows, hash join on
 /// hub, residual filter, aggregate) — the same work PostgreSQL does.
 Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t);
+                             Timestamp t,
+                             const LabelStore* labels = nullptr);
 
 /// Code 1, LD variant. kNegInfinityTime when empty.
 Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t_end);
+                             Timestamp t_end,
+                             const LabelStore* labels = nullptr);
 
 /// Code 1, SD variant. kInfinityTime when empty.
 Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end);
+                             Timestamp t, Timestamp t_end,
+                             const LabelStore* labels = nullptr);
 
 /// Specialized merge-join variants of Code 1 that exploit the (hub, td)
 /// array order instead of hashing + filtering. Same answers, much less CPU
 /// — the ablation bench quantifies what a transit-aware join operator
 /// would buy a DBMS. Not used by the default facade.
 Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t);
+                                      Timestamp t,
+                                      const LabelStore* labels = nullptr);
 Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t_end);
+                                      Timestamp t_end,
+                                      const LabelStore* labels = nullptr);
 Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t, Timestamp t_end);
+                                      Timestamp t, Timestamp t_end,
+                                      const LabelStore* labels = nullptr);
 
 /// Code 2: the naive EA-kNN query over knn_naive_<set>.
 Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
     EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
-    uint32_t k);
+    uint32_t k, const LabelStore* labels = nullptr);
 
 /// The LD counterpart of Code 2 (same naive table, mirrored conditions).
 Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
     EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
-    uint32_t k);
+    uint32_t k, const LabelStore* labels = nullptr);
 
 /// Code 3, EA-kNN branch: optimized query over knn_ea_<set>.
 /// `bucket_seconds` must match the value the set was built with.
@@ -64,13 +80,17 @@ Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds);
+                                               Timestamp bucket_seconds,
+                                               const LabelStore* labels =
+                                                   nullptr);
 
 /// Code 3, EA-OTM branch: one-to-many over otm_ea_<set>.
 Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
-                                               Timestamp bucket_seconds);
+                                               Timestamp bucket_seconds,
+                                               const LabelStore* labels =
+                                                   nullptr);
 
 /// Code 4, LD-kNN branch over knn_ld_<set>. `max_bucket` is the last event
 /// bucket of the index (deadlines beyond it clamp to that bucket).
@@ -79,14 +99,18 @@ Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
                                                StopId q, Timestamp t,
                                                uint32_t k,
                                                Timestamp bucket_seconds,
-                                               int32_t max_bucket);
+                                               int32_t max_bucket,
+                                               const LabelStore* labels =
+                                                   nullptr);
 
 /// Code 4, LD-OTM branch over otm_ld_<set>.
 Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
                                                const std::string& set_name,
                                                StopId q, Timestamp t,
                                                Timestamp bucket_seconds,
-                                               int32_t max_bucket);
+                                               int32_t max_bucket,
+                                               const LabelStore* labels =
+                                                   nullptr);
 
 }  // namespace ptldb
 

@@ -154,8 +154,13 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       // an edge rely on this split: EaBucketQuery's condensed branch
       // needs no ta<->td feasibility filter precisely because every
       // condensed td >= (hour+1)*bs > any expanded/queried time in hour.
-      const Timestamp boundary = (hour + 1) * bucket_seconds;
-      while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
+      // 64-bit: at hour == max_hour == td_max/bs the edge (hour+1)*bs can
+      // exceed INT32_MAX (labels at the top of the service day), and the
+      // int32 product would wrap negative and condense the whole group.
+      const int64_t boundary =
+          (static_cast<int64_t>(hour) + 1) * bucket_seconds;
+      while (cursor > 0 &&
+             static_cast<int64_t>(by_td[cursor - 1].td) >= boundary) {
         const TargetTuple& t = by_td[cursor - 1];
         const auto [it, inserted] = best.emplace(t.v, t.ta);
         if (!inserted) it->second = std::min(it->second, t.ta);
@@ -167,15 +172,18 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
     // Emit rows in ascending hour order.
     size_t exp_cursor = 0;
     for (int32_t hour = hours.min_bucket; hour <= max_hour; ++hour) {
+      // lo <= td_max always fits; the upper edge needs 64 bits (same
+      // top-of-range wrap as the condensing sweep above).
       const Timestamp lo = hour * bucket_seconds;
-      const Timestamp hi = lo + bucket_seconds;
+      const int64_t hi = static_cast<int64_t>(lo) + bucket_seconds;
       while (exp_cursor < by_td.size() && by_td[exp_cursor].td < lo) {
         ++exp_cursor;
       }
       std::vector<int32_t> tds_exp;
       std::vector<int32_t> vs_exp;
       std::vector<int32_t> tas_exp;
-      for (size_t k = exp_cursor; k < by_td.size() && by_td[k].td < hi; ++k) {
+      for (size_t k = exp_cursor;
+           k < by_td.size() && static_cast<int64_t>(by_td[k].td) < hi; ++k) {
         tds_exp.push_back(by_td[k].td);
         vs_exp.push_back(by_td[k].v);
         tas_exp.push_back(by_td[k].ta);
@@ -211,8 +219,9 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
     std::map<int32_t, Timestamp> best;  // target -> latest departure.
     size_t cursor = 0;
     for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
+      // lo <= ta_max always fits; the upper edge needs 64 bits.
       const Timestamp lo = hour * bucket_seconds;
-      const Timestamp hi = lo + bucket_seconds;
+      const int64_t hi = static_cast<int64_t>(lo) + bucket_seconds;
       // Condensed: tuples arriving *strictly* before this hour — ta < lo,
       // so a tuple arriving exactly at h*bs stays in h's expanded range
       // [lo, hi) and is condensed only for hours > h. The strictness is
@@ -229,7 +238,8 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       }
       // Expanded: tuples arriving within [lo, hi), ordered by td.
       std::vector<TargetTuple> exp;
-      for (size_t k = cursor; k < by_ta.size() && by_ta[k].ta < hi; ++k) {
+      for (size_t k = cursor;
+           k < by_ta.size() && static_cast<int64_t>(by_ta[k].ta) < hi; ++k) {
         exp.push_back(by_ta[k]);
       }
       std::sort(exp.begin(), exp.end(),

@@ -1,0 +1,225 @@
+#include "ttl/label_codec.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/checksum.h"
+
+namespace ptldb {
+namespace {
+
+// LEB128 varint for uint32 values: 1..5 bytes, 7 payload bits per byte,
+// high bit = continuation. The 5th byte may carry at most 4 significant
+// bits; anything more is an overflow and decodes as corruption.
+constexpr int kMaxVarint32Bytes = 5;
+
+void AppendVarint32(uint32_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Cursor over the bucket payload. Every read is bounds-checked; a failed
+// read poisons the cursor so callers can check once per stream.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : data_(bytes) {}
+
+  bool ReadVarint32(uint32_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    for (int i = 0; i < kMaxVarint32Bytes; ++i) {
+      if (pos_ >= data_.size()) return Fail();  // truncated mid-varint
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        if (v > std::numeric_limits<uint32_t>::max()) return Fail();
+        *out = static_cast<uint32_t>(v);
+        return true;
+      }
+      shift += 7;
+    }
+    return Fail();  // 5 continuation bytes: not a uint32
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status CorruptBucket(const char* what) {
+  return Status::Corruption(std::string("label bucket: ") + what);
+}
+
+// Parses and validates the header shared by Decode and Peek: CRC field,
+// payload checksum, and the tuple count with its plausibility bound.
+// On success *reader is positioned past the count varint and *n holds it.
+Status OpenBucket(std::string_view bytes, PayloadReader* reader,
+                  uint64_t* n) {
+  if (bytes.size() < sizeof(uint32_t)) {
+    return CorruptBucket("shorter than the CRC header");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data(), sizeof(stored_crc));
+  const std::string_view payload = bytes.substr(sizeof(uint32_t));
+  if (Crc32c(payload.data(), payload.size()) != stored_crc) {
+    return CorruptBucket("CRC mismatch");
+  }
+  *reader = PayloadReader(payload);
+  uint32_t count;
+  if (!reader->ReadVarint32(&count)) {
+    return CorruptBucket("unreadable tuple count");
+  }
+  // Each tuple contributes at least one byte to each of the three
+  // streams, so a count larger than the remaining payload can never be
+  // satisfied. Rejecting here (before any reserve) keeps a flipped count
+  // byte from driving a huge allocation. The CRC already catches flips
+  // on well-formed buckets; this bound is the backstop for hand-crafted
+  // input.
+  if (count > reader->remaining()) {
+    return CorruptBucket("tuple count exceeds payload size");
+  }
+  *n = count;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EncodeLabelBucket(std::span<const int32_t> hubs,
+                         std::span<const int32_t> tds,
+                         std::span<const int32_t> tas, std::string* out) {
+  if (hubs.size() != tds.size() || hubs.size() != tas.size()) {
+    return Status::InvalidArgument(
+        "label bucket: hubs/tds/tas lengths differ");
+  }
+  const size_t n = hubs.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (hubs[i] < 0) {
+      return Status::InvalidArgument("label bucket: negative hub id");
+    }
+    if (i > 0 && hubs[i] < hubs[i - 1]) {
+      return Status::InvalidArgument(
+          "label bucket: hubs not sorted (LabelSet (hub, td) order "
+          "required)");
+    }
+  }
+
+  std::string payload;
+  payload.reserve(1 + 3 * n);
+  AppendVarint32(static_cast<uint32_t>(n), &payload);
+  // Hub stream: first id plain, then nonnegative deltas.
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v =
+        i == 0 ? static_cast<uint32_t>(hubs[0])
+               : static_cast<uint32_t>(hubs[i]) -
+                     static_cast<uint32_t>(hubs[i - 1]);
+    AppendVarint32(v, &payload);
+  }
+  // Departure stream: zigzag first + zigzag deltas. Deltas are computed
+  // in 64-bit and always fit int32 on decode because both endpoints do;
+  // on encode the subtraction itself must not overflow int32, so it is
+  // done in int64 and narrowed through the zigzag of the wrapped
+  // two's-complement difference, which round-trips exactly.
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t delta =
+        i == 0 ? tds[0]
+               : static_cast<int32_t>(static_cast<uint32_t>(tds[i]) -
+                                      static_cast<uint32_t>(tds[i - 1]));
+    AppendVarint32(ZigZagEncode32(delta), &payload);
+  }
+  // Duration stream: ta - td per tuple (wrapped difference, see above).
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t dur = static_cast<int32_t>(
+        static_cast<uint32_t>(tas[i]) - static_cast<uint32_t>(tds[i]));
+    AppendVarint32(ZigZagEncode32(dur), &payload);
+  }
+
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  out->reserve(out->size() + sizeof(crc) + payload.size());
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out->append(payload);
+  return Status::Ok();
+}
+
+Status DecodeLabelBucket(std::string_view bytes, LabelArrays* out) {
+  out->Clear();
+  PayloadReader reader{std::string_view()};
+  uint64_t n = 0;
+  PTLDB_RETURN_IF_ERROR(OpenBucket(bytes, &reader, &n));
+
+  out->hubs.reserve(n);
+  out->tds.reserve(n);
+  out->tas.reserve(n);
+
+  // Hub stream. Accumulate in 64-bit: deltas are individually <= 2^32-1,
+  // and n * 2^32 fits uint64 comfortably, so overflow of the accumulator
+  // itself is impossible before the range check trips.
+  uint64_t hub = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t v;
+    if (!reader.ReadVarint32(&v)) {
+      out->Clear();
+      return CorruptBucket("truncated hub stream");
+    }
+    hub = (i == 0) ? v : hub + v;
+    if (hub > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+      out->Clear();
+      return CorruptBucket("hub id out of range");
+    }
+    out->hubs.push_back(static_cast<int32_t>(hub));
+  }
+
+  // Departure stream: zigzag deltas applied as wrapped 32-bit addition —
+  // the exact inverse of the encoder's wrapped subtraction, so any
+  // int32 td sequence round-trips with no intermediate UB.
+  uint32_t td_bits = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t v;
+    if (!reader.ReadVarint32(&v)) {
+      out->Clear();
+      return CorruptBucket("truncated departure stream");
+    }
+    const uint32_t delta = static_cast<uint32_t>(ZigZagDecode32(v));
+    td_bits = (i == 0) ? delta : td_bits + delta;
+    out->tds.push_back(static_cast<int32_t>(td_bits));
+  }
+
+  // Duration stream: ta = td + dur, again as wrapped 32-bit addition.
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t v;
+    if (!reader.ReadVarint32(&v)) {
+      out->Clear();
+      return CorruptBucket("truncated duration stream");
+    }
+    const uint32_t ta_bits = static_cast<uint32_t>(out->tds[i]) +
+                             static_cast<uint32_t>(ZigZagDecode32(v));
+    out->tas.push_back(static_cast<int32_t>(ta_bits));
+  }
+
+  if (!reader.exhausted()) {
+    out->Clear();
+    return CorruptBucket("trailing bytes after duration stream");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> PeekLabelBucketCount(std::string_view bytes) {
+  PayloadReader reader{std::string_view()};
+  uint64_t n = 0;
+  PTLDB_RETURN_IF_ERROR(OpenBucket(bytes, &reader, &n));
+  return n;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,95 @@
+#ifndef PTLDB_TTL_LABEL_CODEC_H_
+#define PTLDB_TTL_LABEL_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptldb {
+
+/// Compressed encoding of one stop's label row — the (hubs, tds, tas)
+/// parallel arrays of the lout/lin tables — into a self-validating byte
+/// bucket, following the layout arguments of *Public Transit Labeling*
+/// (Delling et al.): structure-of-arrays, delta-encoded ids and times,
+/// variable-length integers.
+///
+/// Bucket layout (all multi-byte integers little-endian / LEB128 varint):
+///
+///   +--------+---------+----------------------------------------------+
+///   | u32    | crc     | CRC-32C of every byte after this field        |
+///   +--------+---------+----------------------------------------------+
+///   | varint | n       | tuple count                                   |
+///   +--------+---------+----------------------------------------------+
+///   | varint | hub[0]  | first hub id                   (n > 0 only)  |
+///   | varint | Δhub    | hub[i] - hub[i-1], i = 1..n-1  (sorted => >=0)|
+///   +--------+---------+----------------------------------------------+
+///   | zigzag | td[0]   | first departure                (n > 0 only)  |
+///   | zigzag | Δtd     | td[i] - td[i-1] (negative across hub groups)  |
+///   +--------+---------+----------------------------------------------+
+///   | zigzag | dur[i]  | ta[i] - td[i], i = 0..n-1                     |
+///   +--------+---------+----------------------------------------------+
+///
+/// Hubs are rank-sorted within a row, so hub deltas are small nonnegative
+/// integers; departures are sorted within a hub group, so td deltas are
+/// small except at group boundaries; durations are short relative to
+/// absolute times. All three streams are stored contiguously (SoA) so a
+/// decode is three tight varint scans.
+///
+/// Safety contract: DecodeLabelBucket never reads outside `bytes` and
+/// never returns a partially-decoded row. Every prefix truncation and
+/// every byte flip of a valid bucket yields kCorruption (the CRC covers
+/// the whole payload; varint and range validation backstop the header
+/// itself). Time/id accumulation happens in 64-bit with explicit range
+/// checks, so adversarial deltas cannot overflow into silently wrong
+/// int32 values — including tuples at the extreme service-day boundary
+/// (td/ta at multiples of 86400 or at INT32_MAX round-trip exactly).
+
+/// Decoded structure-of-arrays label row (scratch space reused across
+/// decodes to avoid per-query allocation).
+struct LabelArrays {
+  std::vector<int32_t> hubs;
+  std::vector<int32_t> tds;
+  std::vector<int32_t> tas;
+
+  void Clear() {
+    hubs.clear();
+    tds.clear();
+    tas.clear();
+  }
+  size_t size() const { return hubs.size(); }
+};
+
+/// ZigZag mapping used for the signed streams (td deltas, durations):
+/// small magnitudes of either sign become small unsigned varints.
+constexpr uint32_t ZigZagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(v >> 31);
+}
+constexpr int32_t ZigZagDecode32(uint32_t v) {
+  return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Encodes the parallel arrays (equal lengths; hubs non-decreasing) into a
+/// bucket appended to `*out`. kInvalidArgument when the arrays disagree in
+/// length or the hubs are not sorted — the codec's compression argument
+/// (nonnegative hub deltas) depends on the LabelSet (hub, td) sort order.
+Status EncodeLabelBucket(std::span<const int32_t> hubs,
+                         std::span<const int32_t> tds,
+                         std::span<const int32_t> tas, std::string* out);
+
+/// Decodes one bucket produced by EncodeLabelBucket into `*out`
+/// (replacing its contents). kCorruption on any truncated, trailing,
+/// CRC-mismatching or range-violating input; `*out` is cleared on error.
+Status DecodeLabelBucket(std::string_view bytes, LabelArrays* out);
+
+/// Number of tuples in a bucket without decoding the time streams;
+/// kCorruption on malformed headers. Exposed for accounting and tests.
+Result<uint64_t> PeekLabelBucketCount(std::string_view bytes);
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TTL_LABEL_CODEC_H_

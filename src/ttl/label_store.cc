@@ -1,0 +1,64 @@
+#include "ttl/label_store.h"
+
+#include <utility>
+
+#include "common/checksum.h"
+
+namespace ptldb {
+
+Status LabelStore::BuildTier(const LabelSet& labels, Tier* tier) {
+  tier->arena.clear();
+  tier->offsets.clear();
+  tier->offsets.reserve(labels.num_stops() + 1);
+  std::vector<int32_t> hubs, tds, tas;
+  for (StopId v = 0; v < labels.num_stops(); ++v) {
+    tier->offsets.push_back(tier->arena.size());
+    const auto tuples = labels.tuples(v);
+    hubs.clear();
+    tds.clear();
+    tas.clear();
+    hubs.reserve(tuples.size());
+    tds.reserve(tuples.size());
+    tas.reserve(tuples.size());
+    for (const LabelTuple& t : tuples) {
+      hubs.push_back(static_cast<int32_t>(t.hub));
+      tds.push_back(t.td);
+      tas.push_back(t.ta);
+    }
+    PTLDB_RETURN_IF_ERROR(EncodeLabelBucket(hubs, tds, tas, &tier->arena));
+  }
+  tier->offsets.push_back(tier->arena.size());
+  tier->arena.shrink_to_fit();
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<LabelStore>> LabelStore::Build(const TtlIndex& index) {
+  auto store = std::unique_ptr<LabelStore>(new LabelStore());
+  store->num_stops_ = index.num_stops();
+  store->total_labels_ =
+      index.out.total_tuples() + index.in.total_tuples();
+  PTLDB_RETURN_IF_ERROR(BuildTier(index.out, &store->out_));
+  PTLDB_RETURN_IF_ERROR(BuildTier(index.in, &store->in_));
+  store->content_crc_ = Crc32cExtend(
+      Crc32c(store->out_.arena.data(), store->out_.arena.size()),
+      store->in_.arena.data(), store->in_.arena.size());
+  return store;
+}
+
+std::string_view LabelStore::bucket_bytes(Direction dir, StopId v) const {
+  const Tier& t = tier(dir);
+  if (v >= num_stops_) return {};
+  return std::string_view(t.arena)
+      .substr(t.offsets[v], t.offsets[v + 1] - t.offsets[v]);
+}
+
+Result<LabelView> LabelStore::Decode(Direction dir, StopId v,
+                                     LabelArrays* scratch) const {
+  if (v >= num_stops_) {
+    return Status::InvalidArgument("LabelStore::Decode: stop out of range");
+  }
+  PTLDB_RETURN_IF_ERROR(DecodeLabelBucket(bucket_bytes(dir, v), scratch));
+  return LabelView{scratch->hubs, scratch->tds, scratch->tas};
+}
+
+}  // namespace ptldb

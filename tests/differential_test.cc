@@ -48,6 +48,15 @@ uint32_t TestThreads() {
   return 2;
 }
 
+// When PTLDB_TEST_COMPRESSED is set (the CI "compressed-labels" job), the
+// whole harness runs against the RAM-resident delta+varint label tier
+// instead of the raw heap tables — every oracle check doubles as a proof
+// that the compressed representation answers identically.
+bool TestCompressed() {
+  const char* env = std::getenv("PTLDB_TEST_COMPRESSED");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
 struct Network {
   Timetable tt;
   TtlIndex index;
@@ -111,16 +120,23 @@ Timestamp RandomTime(Rng* rng, const Network& net) {
 }
 
 // Fresh in-memory database over `index` with one target set named "T".
-std::unique_ptr<PtldbDatabase> MakeDb(const TtlIndex& index,
-                                      const std::vector<StopId>& targets,
-                                      uint32_t kmax) {
+std::unique_ptr<PtldbDatabase> MakeDbWith(const TtlIndex& index,
+                                          const std::vector<StopId>& targets,
+                                          uint32_t kmax, bool compressed) {
   PtldbOptions options;
   options.device = DeviceProfile::Ram();
   options.num_threads = TestThreads();
+  options.compressed_labels = compressed;
   auto db = PtldbDatabase::Build(index, options);
   EXPECT_TRUE(db.ok()) << db.status().ToString();
   EXPECT_TRUE((*db)->AddTargetSet("T", index, targets, kmax).ok());
   return std::move(db).value();
+}
+
+std::unique_ptr<PtldbDatabase> MakeDb(const TtlIndex& index,
+                                      const std::vector<StopId>& targets,
+                                      uint32_t kmax) {
+  return MakeDbWith(index, targets, kmax, TestCompressed());
 }
 
 // ---------- Oracles (return a mismatch description, or nullopt) ----------
@@ -385,6 +401,77 @@ TEST(DifferentialTest, NaiveKnnPlansMatchOracles) {
                       << " t=" << t << " k=" << k << " -- " << *bad;
       }
     }
+  }
+}
+
+// Raw heap tables vs. the compressed in-memory label tier, head to head on
+// the same databases: both representations pack the exact same tuples in
+// the exact same order, so every query type must agree bit-for-bit — not
+// just up to ties. Runs regardless of PTLDB_TEST_COMPRESSED so plain CI
+// jobs cover the compressed tier too.
+TEST(DifferentialTest, CompressedLabelTierMatchesRawPath) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Network net = MakeNetwork(seed);
+    auto raw = MakeDbWith(net.index, net.targets, kMaxK, false);
+    auto comp = MakeDbWith(net.index, net.targets, kMaxK, true);
+    ASSERT_NE(comp->label_store(), nullptr);
+    ASSERT_EQ(raw->label_store(), nullptr);
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 77);
+    const Timestamp lo = net.tt.min_time();
+    const Timestamp hi = net.tt.max_time();
+    for (int trial = 0; trial < 8; ++trial) {
+      StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+      StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+      if (g == s) g = (g + 1) % net.tt.num_stops();
+      const Timestamp t = RandomTime(&rng, net);
+      const auto t_end = static_cast<Timestamp>(
+          std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
+      const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
+
+      const auto ea_r = raw->EarliestArrival(s, g, t);
+      const auto ea_c = comp->EarliestArrival(s, g, t);
+      ASSERT_TRUE(ea_r.ok() && ea_c.ok());
+      EXPECT_EQ(*ea_r, *ea_c) << "EA seed=" << seed << " s=" << s
+                              << " g=" << g << " t=" << t;
+      const auto ld_r = raw->LatestDeparture(s, g, t_end);
+      const auto ld_c = comp->LatestDeparture(s, g, t_end);
+      ASSERT_TRUE(ld_r.ok() && ld_c.ok());
+      EXPECT_EQ(*ld_r, *ld_c) << "LD seed=" << seed << " s=" << s
+                              << " g=" << g << " t_end=" << t_end;
+      const auto sd_r = raw->ShortestDuration(s, g, t, t_end);
+      const auto sd_c = comp->ShortestDuration(s, g, t, t_end);
+      ASSERT_TRUE(sd_r.ok() && sd_c.ok());
+      EXPECT_EQ(*sd_r, *sd_c) << "SD seed=" << seed << " s=" << s
+                              << " g=" << g << " t=" << t
+                              << " t_end=" << t_end;
+
+      const auto eaknn_r = raw->EaKnn("T", s, t, k);
+      const auto eaknn_c = comp->EaKnn("T", s, t, k);
+      ASSERT_TRUE(eaknn_r.ok() && eaknn_c.ok());
+      EXPECT_EQ(*eaknn_r, *eaknn_c) << "EA-kNN seed=" << seed << " q=" << s
+                                    << " t=" << t << " k=" << k;
+      const auto ldknn_r = raw->LdKnn("T", s, t, k);
+      const auto ldknn_c = comp->LdKnn("T", s, t, k);
+      ASSERT_TRUE(ldknn_r.ok() && ldknn_c.ok());
+      EXPECT_EQ(*ldknn_r, *ldknn_c) << "LD-kNN seed=" << seed << " q=" << s
+                                    << " t=" << t << " k=" << k;
+      const auto eaotm_r = raw->EaOneToMany("T", s, t);
+      const auto eaotm_c = comp->EaOneToMany("T", s, t);
+      ASSERT_TRUE(eaotm_r.ok() && eaotm_c.ok());
+      EXPECT_EQ(*eaotm_r, *eaotm_c) << "EA-OTM seed=" << seed << " q=" << s
+                                    << " t=" << t;
+      const auto ldotm_r = raw->LdOneToMany("T", s, t);
+      const auto ldotm_c = comp->LdOneToMany("T", s, t);
+      ASSERT_TRUE(ldotm_r.ok() && ldotm_c.ok());
+      EXPECT_EQ(*ldotm_r, *ldotm_c) << "LD-OTM seed=" << seed << " q=" << s
+                                    << " t=" << t;
+    }
+    // The compressed tier actually served those queries: decode counters
+    // moved on the compressed database and stayed flat on the raw one.
+    const auto snap_c = comp->metrics()->Snapshot();
+    const auto snap_r = raw->metrics()->Snapshot();
+    EXPECT_GT(snap_c.counters.at("ttl.labels.decodes"), 0u);
+    EXPECT_EQ(snap_r.counters.at("ttl.labels.decodes"), 0u);
   }
 }
 

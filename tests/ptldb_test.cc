@@ -457,6 +457,76 @@ TEST_P(PtldbBucketBoundaryWidthTest, QueriesOnExactBucketMultiplesMatchBrute) {
 INSTANTIATE_TEST_SUITE_P(Widths, PtldbBucketBoundaryWidthTest,
                          testing::Values(1800, 3600, 7200));
 
+// Service times at the very top of the int32 range: the highest hour
+// bucket's upper edge (hour+1)*bucket_seconds exceeds INT32_MAX, so the
+// table build must carry it in 64 bits — the int32 product would wrap
+// negative and condense every tuple into every hour (UB under UBSan).
+// Times sit on exact bucket multiples where they can so the edge-ownership
+// rules are exercised at the same extreme.
+TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
+  // 596523 * 3600 = 2147482800 is the last hour edge below INT32_MAX.
+  constexpr Timestamp kTopEdge = 596523 * 3600;
+  TimetableBuilder builder;
+  const StopId q = builder.AddStop();
+  const StopId m = builder.AddStop();
+  const StopId a = builder.AddStop();
+  const StopId b = builder.AddStop();
+  const TripId t0 = builder.AddTrip();
+  const TripId t1 = builder.AddTrip();
+  const TripId t2 = builder.AddTrip();
+  // Transfer chain q -> m -> a straddling the last hour edge.
+  builder.AddConnection(q, m, kTopEdge - 7200, kTopEdge - 5400, t0);
+  builder.AddConnection(m, a, kTopEdge - 3600, kTopEdge, t0);
+  // Direct q -> b inside the very last (partial) hour bucket.
+  builder.AddConnection(q, b, kTopEdge, kInfinityTime - 1, t1);
+  // Early q -> a alternative one bucket down, arriving on the edge.
+  builder.AddConnection(q, a, kTopEdge - 3600, kTopEdge - 1, t2);
+  auto built = std::move(builder).Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Timetable tt = std::move(built).value();
+
+  const TtlIndex index = BuildIndex(tt);
+  const std::vector<StopId> targets = {a, b};
+  for (const bool compressed : {false, true}) {
+    PtldbOptions options;
+    options.device = DeviceProfile::Ram();
+    options.compressed_labels = compressed;
+    auto db_r = PtldbDatabase::Build(index, options);
+    ASSERT_TRUE(db_r.ok()) << db_r.status().ToString();
+    auto db = std::move(db_r).value();
+    ASSERT_TRUE(db->AddTargetSet("T", index, targets, 2).ok());
+
+    for (const Timestamp base : {kTopEdge - 7200, kTopEdge - 3600, kTopEdge}) {
+      for (const Timestamp t : {base - 1, base, base + 1}) {
+        const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
+        const auto ea = db->EaKnn("T", q, t, 2);
+        ASSERT_TRUE(ea.ok());
+        ExpectKnnValid(*ea, ea_full, 2, "EA near INT32_MAX");
+        const auto ea_otm = db->EaOneToMany("T", q, t);
+        ASSERT_TRUE(ea_otm.ok());
+        EXPECT_EQ(*ea_otm, ea_full) << "EA-OTM t=" << t;
+        EXPECT_EQ(*db->EarliestArrival(q, a, t), EarliestArrival(tt, q, a, t));
+        EXPECT_EQ(*db->EarliestArrival(q, b, t), EarliestArrival(tt, q, b, t));
+      }
+    }
+    for (const Timestamp base : {kTopEdge - 1, kTopEdge, kInfinityTime - 1}) {
+      for (const Timestamp t_end : {base, base + 1}) {
+        const auto ld_full = BruteLdOneToMany(tt, q, targets, t_end);
+        const auto ld = db->LdKnn("T", q, t_end, 2);
+        ASSERT_TRUE(ld.ok());
+        ExpectKnnValid(*ld, ld_full, 2, "LD near INT32_MAX");
+        const auto ld_otm = db->LdOneToMany("T", q, t_end);
+        ASSERT_TRUE(ld_otm.ok());
+        EXPECT_EQ(*ld_otm, ld_full) << "LD-OTM t_end=" << t_end;
+        EXPECT_EQ(*db->LatestDeparture(q, b, t_end),
+                  LatestDeparture(tt, q, b, t_end));
+      }
+    }
+    EXPECT_EQ(*db->ShortestDuration(q, a, kTopEdge - 7200, kInfinityTime),
+              ShortestDuration(tt, q, a, kTopEdge - 7200, kInfinityTime));
+  }
+}
+
 // ---------- Target-set edge cases ----------
 
 // k larger than the target set: every reachable target comes back, k just

@@ -14,6 +14,7 @@
 #include "timetable/example_graph.h"
 #include "timetable/generator.h"
 #include "ttl/builder.h"
+#include "ttl/label_store.h"
 #include "ttl/serialize.h"
 
 namespace ptldb {
@@ -195,6 +196,50 @@ TEST(TtlDeterminismTest, UnprunedBuildIsAlsoDeterministic) {
   TtlBuildOptions base;
   base.prune = false;
   BuildAllThreadCounts(tt, "unpruned", base);
+}
+
+// The compressed label tier inherits the build's determinism: the encoded
+// arenas (delta+varint buckets, tier CRC over L_out then L_in) must be
+// byte-identical for every thread count, and pinned against goldens so a
+// codec change that silently alters the wire format is caught here. The
+// golden CRCs were captured from the single-threaded build.
+TEST(TtlDeterminismTest, CompressedLabelTierIsDeterministicAcrossThreads) {
+  struct Golden {
+    uint64_t seed;  // 0 = the example graph
+    uint64_t bytes;
+    uint32_t crc;
+  };
+  const Golden goldens[] = {
+      {0, 234, 0x00895e65u},
+      {7, 147118, 0xcd76e206u},
+      {1234, 150638, 0xda56cbf3u},
+  };
+  for (const Golden& g : goldens) {
+    uint32_t ref_crc = 0;
+    uint64_t ref_bytes = 0;
+    const Timetable tt = g.seed == 0 ? MakeExampleTimetable()
+                                     : MediumCity(g.seed);
+    for (const uint32_t threads : kThreadCounts) {
+      TtlBuildOptions options;
+      if (g.seed == 0) options.custom_order = ExampleVertexOrder();
+      options.num_threads = threads;
+      auto index = BuildTtlIndex(tt, options);
+      ASSERT_TRUE(index.ok());
+      auto store = LabelStore::Build(*index);
+      ASSERT_TRUE(store.ok());
+      if (threads == kThreadCounts[0]) {
+        ref_crc = (*store)->content_crc();
+        ref_bytes = (*store)->bytes_resident();
+        EXPECT_EQ(ref_bytes, g.bytes) << "seed " << g.seed;
+        EXPECT_EQ(ref_crc, g.crc) << "seed " << g.seed;
+        continue;
+      }
+      EXPECT_EQ((*store)->content_crc(), ref_crc)
+          << "seed " << g.seed << ": encoded labels differ between "
+          << kThreadCounts[0] << " and " << threads << " threads";
+      EXPECT_EQ((*store)->bytes_resident(), ref_bytes) << "seed " << g.seed;
+    }
+  }
 }
 
 // num_threads = 0 ("use the hardware") must resolve to some worker count
