@@ -285,6 +285,10 @@ Status WriteBenchJson(const BenchRunRecord& record, const std::string& path) {
               ",\n     \"p50_ms\": " + JsonDouble(p.p50_ms) +
               ", \"p95_ms\": " + JsonDouble(p.p95_ms) +
               ", \"p99_ms\": " + JsonDouble(p.p99_ms);
+    } else if (p.has_percentiles) {
+      json += ",\n     \"p50_ms\": " + JsonDouble(p.p50_ms) +
+              ", \"p95_ms\": " + JsonDouble(p.p95_ms) +
+              ", \"p99_ms\": " + JsonDouble(p.p99_ms);
     }
     json += "}";
   }

@@ -116,6 +116,11 @@ struct BenchPhase {
   uint64_t shed = 0;       ///< Rejected kOverloaded at admission.
   uint64_t deadline = 0;   ///< kDeadlineExceeded (in queue or mid-query).
   uint64_t errors = 0;     ///< Any other non-OK status.
+
+  /// Per-query latency percentiles without the load-phase fields; set by
+  /// micro phases that time each query individually (the observability
+  /// overhead pair compares p50s, which a batch mean cannot provide).
+  bool has_percentiles = false;
   double p50_ms = 0;       ///< Submit-to-response latency percentiles
   double p95_ms = 0;       ///< over the answered (ok) requests.
   double p99_ms = 0;

@@ -11,12 +11,14 @@
 // that the tracked engine counters actually moved.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "baseline/csa.h"
 #include "baseline/profile.h"
@@ -288,6 +290,74 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
   warm_pass(cdb.get());  // First pass decodes everything once.
   timed("v2v_ea_warm_raw_paired", kQueries, [&] { warm_pass(db.get()); });
   timed("v2v_ea_warm_compressed", kQueries, [&] { warm_pass(cdb.get()); });
+
+  // Observability overhead: warm v2v with the query log + tail sampler
+  // runtime-disabled vs enabled, on the SAME database so every other
+  // condition (pool contents, compiled code, device profile) is shared.
+  // Each query is timed individually and the two modes run in alternating
+  // batches over identical per-mode schedules, so slow drift (frequency
+  // scaling, background noise) hits both sides equally; the checker
+  // compares the p50s, which batch means cannot provide.
+  {
+    constexpr uint32_t kObsRounds = 8;
+    constexpr uint32_t kObsBatch = 250;
+    constexpr uint64_t kObsSchedule = 0x0b5e77ull;
+    QueryLog* qlog = db->query_log();
+    std::vector<uint64_t> obs_ns[2];
+    Rng obs_rng[2] = {Rng(kObsSchedule), Rng(kObsSchedule)};
+    for (auto& v : obs_ns) v.reserve(kObsRounds * kObsBatch);
+    {
+      // Heat the schedule's pages once so neither mode pays first-touch.
+      Rng heat(kObsSchedule);
+      for (uint32_t i = 0; i < kObsBatch; ++i) {
+        const auto s = static_cast<StopId>(heat.NextBelow(tt.num_stops()));
+        const auto g = static_cast<StopId>(heat.NextBelow(tt.num_stops()));
+        (void)db->EarliestArrival(s, g, tt.min_time());
+      }
+    }
+    for (uint32_t round = 0; round < kObsRounds; ++round) {
+      for (const int mode : {0, 1}) {
+        qlog->set_enabled(mode == 1);
+        for (uint32_t i = 0; i < kObsBatch; ++i) {
+          const auto s =
+              static_cast<StopId>(obs_rng[mode].NextBelow(tt.num_stops()));
+          const auto g =
+              static_cast<StopId>(obs_rng[mode].NextBelow(tt.num_stops()));
+          const auto start = Clock::now();
+          (void)db->EarliestArrival(s, g, tt.min_time());
+          obs_ns[mode].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - start)
+                  .count()));
+        }
+      }
+    }
+    qlog->set_enabled(true);  // The final snapshot must see the log live.
+    const char* names[2] = {"v2v_ea_warm_obs_off", "v2v_ea_warm_obs_on"};
+    for (const int mode : {0, 1}) {
+      std::sort(obs_ns[mode].begin(), obs_ns[mode].end());
+      uint64_t sum = 0;
+      for (const uint64_t v : obs_ns[mode]) sum += v;
+      const auto pct = [&](double q) {
+        const auto idx = static_cast<size_t>(
+            q * static_cast<double>(obs_ns[mode].size() - 1) + 0.5);
+        return static_cast<double>(
+                   obs_ns[mode][std::min(idx, obs_ns[mode].size() - 1)]) /
+               1e6;
+      };
+      BenchPhase phase;
+      phase.name = names[mode];
+      phase.seconds = static_cast<double>(sum) / 1e9;
+      phase.items = obs_ns[mode].size();
+      phase.ms_per_item = static_cast<double>(sum) / 1e6 /
+                          static_cast<double>(obs_ns[mode].size());
+      phase.has_percentiles = true;
+      phase.p50_ms = pct(0.50);
+      phase.p95_ms = pct(0.95);
+      phase.p99_ms = pct(0.99);
+      record.phases.push_back(phase);
+    }
+  }
 
   if (concurrency > 1) {
     // Warm throughput scaling: the same per-thread workload measured with

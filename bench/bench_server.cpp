@@ -392,6 +392,39 @@ int Run(const BenchConfig& config) {
   }
 
   record.metrics = db->metrics()->Snapshot();
+
+  // --- Observability summary over the whole sweep ---
+  // Queue-wait percentiles come from the server's per-class histograms;
+  // the shed-cause breakdown from the admission counters. Both live in
+  // the registry snapshot, so the JSON record carries them for
+  // check_bench_json.py's exactly-once and retention gates.
+  std::printf("\nqueue wait per class (whole sweep):\n\n");
+  PrintTableHeader({"class", "count", "p50 ms", "p95 ms", "p99 ms"});
+  for (const char* cls : {"interactive", "expensive"}) {
+    const auto it = record.metrics.histograms.find(
+        std::string("server.queue_wait.") + cls + "_ns");
+    if (it == record.metrics.histograms.end()) continue;
+    const auto& h = it->second;
+    PrintTableRow({cls, std::to_string(h.count), Ms(h.p50 / 1e6),
+                   Ms(h.p95 / 1e6), Ms(h.p99 / 1e6)});
+  }
+  std::printf("\nshed causes and request outcomes:\n\n");
+  PrintTableHeader({"counter", "count"});
+  for (const char* name :
+       {"server.rejected.cause.shed", "server.rejected.cause.queue_full",
+        "server.rejected.cause.headroom", "server.rejected.cause.stopping",
+        "querylog.outcome.ok", "querylog.outcome.shed",
+        "querylog.outcome.deadline", "querylog.outcome.error",
+        "traces.retained.slow", "traces.retained.shed",
+        "traces.retained.deadline", "traces.retained.error",
+        "traces.retained.sampled"}) {
+    const auto it = record.metrics.counters.find(name);
+    PrintTableRow({name, std::to_string(
+                             it == record.metrics.counters.end()
+                                 ? 0
+                                 : it->second)});
+  }
+
   if (!config.json_path.empty()) {
     if (const Status s = WriteBenchJson(record, config.json_path); !s.ok()) {
       std::fprintf(stderr, "json: %s\n", s.ToString().c_str());

@@ -14,6 +14,7 @@
 #include "pgsql/sql_writer.h"
 #include "ptldb/ptldb.h"
 #include "sql/interpreter.h"
+#include "sql/system_tables.h"
 #include "timetable/generator.h"
 #include "ttl/builder.h"
 
@@ -100,13 +101,31 @@ int main(int argc, char** argv) {
   for (const auto& name : (*db)->engine()->table_names()) {
     std::printf(" %s", name.c_str());
   }
+  std::printf(" ptldb_stats ptldb_server ptldb_slow_queries ptldb_traces");
   std::printf("\nExample: %s",
               "SELECT v, hubs[1:3] FROM lout WHERE v = 0;\n");
+  std::printf("Observability: %s",
+              "SELECT type, outcome, latency_ns FROM ptldb_slow_queries;\n");
   std::printf("Prefix a query with EXPLAIN ANALYZE for its span tree.\n");
 
   SqlInterpreter interpreter((*db)->engine());
+  PtldbDatabase* pdb = db->get();
+  SystemTableCatalog system_tables([pdb] { return pdb->Snapshot(); },
+                                   pdb->query_log());
+  interpreter.set_system_tables(&system_tables);
   const auto run = [&](const std::string& sql) {
+    // Each statement is a recorded request: earlier statements show up in
+    // ptldb_slow_queries / ptldb_traces with phase attribution, so the
+    // shell demonstrates the self-describing loop on its own history.
+    RequestRecorder recorder(pdb->query_log());
+    if (recorder.active()) recorder.record().set_type("sql");
     auto result = interpreter.Execute(sql);
+    if (recorder.active()) {
+      const char* cause = nullptr;
+      const QueryOutcome outcome =
+          OutcomeForStatus(result.status(), &cause);
+      recorder.Finish(outcome, cause);
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
       return;

@@ -104,6 +104,7 @@ def check_record(path):
             fail(path, "query.v2v_ea.latency_ns histogram is empty")
         check_concurrency_scaling(path, record)
         check_compressed_labels(path, record)
+        check_observability_overhead(path, record)
 
     print(f"{path}: ok ({len(record['phases'])} phases, "
           f"{len(metrics['counters'])} counters)")
@@ -186,6 +187,64 @@ def check_server_overload(path, record):
     if counters.get("server.rejected.shed", 0) == 0:
         fail(path, "server.rejected.shed is zero — the sweep never "
                    "exercised expensive-class rejection")
+    check_server_querylog(path, record, points)
+
+
+def check_server_querylog(path, record, points):
+    """The slow-log / trace-retention contract over the whole sweep
+    (DESIGN.md §11): every request that was shed, expired or errored left
+    exactly one structured record in the query log and retained a trace.
+
+    The serve-phase response counts are the ground truth (each submission
+    is answered exactly once, checked above); the query-log outcome
+    counters must match them exactly — a deficit means a rejection path
+    skipped logging, a surplus means a request was double-recorded. The
+    same equality against traces.retained.* is the 100%-retention gate,
+    and against server.rejected.cause.* it pins every shed record to an
+    attributed admission cause.
+    """
+    counters = record["metrics"]["counters"]
+    outcome = lambda o: counters.get(f"querylog.outcome.{o}", 0)
+    retained = lambda r: counters.get(f"traces.retained.{r}", 0)
+    total = {"shed": 0, "deadline": 0, "errors": 0}
+    for classes in points.values():
+        for phase in classes.values():
+            for field in total:
+                total[field] += phase[field]
+    if outcome("shed") != total["shed"]:
+        fail(path, f"querylog.outcome.shed {outcome('shed')} != "
+                   f"{total['shed']} shed responses — slow-log records "
+                   "and shed responses must match exactly once")
+    if outcome("deadline") != total["deadline"]:
+        fail(path, f"querylog.outcome.deadline {outcome('deadline')} != "
+                   f"{total['deadline']} deadline responses — a deadline "
+                   "path skipped or double-wrote the query log")
+    if outcome("error") != total["errors"]:
+        fail(path, f"querylog.outcome.error {outcome('error')} != "
+                   f"{total['errors']} error responses")
+    for reason in ("shed", "deadline", "error"):
+        o = outcome(reason)
+        r = retained(reason)
+        if o != r:
+            fail(path, f"traces.retained.{reason} {r} != "
+                       f"querylog.outcome.{reason} {o} — tail sampling "
+                       "must retain a trace for 100% of them")
+    causes = ("stopping", "shed", "queue_full", "headroom")
+    cause_sum = sum(counters.get(f"server.rejected.cause.{c}", 0)
+                    for c in causes)
+    if cause_sum != outcome("shed"):
+        fail(path, f"shed-cause breakdown sums to {cause_sum} but "
+                   f"querylog.outcome.shed is {outcome('shed')} — a "
+                   "rejection lost its cause attribution")
+    hists = record["metrics"]["histograms"]
+    for cls in ("interactive", "expensive"):
+        h = hists.get(f"server.queue_wait.{cls}_ns")
+        if h is None or h["count"] == 0:
+            fail(path, f"server.queue_wait.{cls}_ns histogram empty — "
+                       "queue-wait attribution is not being recorded")
+    print(f"{path}: querylog exactly-once ok (shed {total['shed']}, "
+          f"deadline {total['deadline']}, errors {total['errors']}; "
+          f"all traced, causes {cause_sum})")
 
 
 def check_concurrency_scaling(path, record):
@@ -265,6 +324,44 @@ def check_compressed_labels(path, record):
           f"({resident / raw:.2f}x raw, {resident / count:.2f} B/label), "
           f"warm v2v compressed {comp_phase['ms_per_item']:.4f} ms vs raw "
           f"{raw_phase['ms_per_item']:.4f} ms")
+
+
+def check_observability_overhead(path, record):
+    """Gates the cost of always-on observability on a bench_micro record:
+    the paired warm v2v phases with the query log + tail sampler disabled
+    (v2v_ea_warm_obs_off) and enabled (v2v_ea_warm_obs_on) run identical
+    schedules on one database, and the enabled p50 must stay within 5% of
+    the disabled p50. A small absolute guard (2 microseconds) absorbs
+    clock quantization on sub-50us warm queries, where a single timer
+    tick would otherwise exceed 5% on its own; a real regression — say a
+    lock acquisition or an allocation added to the per-query path —
+    shows up far above both bounds.
+
+    Also requires that the enabled phase actually recorded: a run where
+    querylog.records stayed zero proves nothing about overhead.
+    """
+    phases = {p["name"]: p for p in record["phases"]}
+    off = phases.get("v2v_ea_warm_obs_off")
+    on = phases.get("v2v_ea_warm_obs_on")
+    if off is None or on is None:
+        fail(path, "paired observability phases (obs_off/obs_on) missing")
+    for phase in (off, on):
+        if "p50_ms" not in phase:
+            fail(path, f"{phase['name']}: missing p50_ms")
+        if phase["items"] == 0 or phase["p50_ms"] <= 0:
+            fail(path, f"{phase['name']}: empty or zero-latency phase")
+    budget = off["p50_ms"] * 1.05 + 0.002
+    if on["p50_ms"] > budget:
+        fail(path,
+             f"observability overhead: warm v2v p50 {on['p50_ms']:.4f} ms "
+             f"enabled vs {off['p50_ms']:.4f} ms disabled — exceeds the "
+             "5% (+2us guard) budget")
+    counters = record["metrics"]["counters"]
+    if counters.get("querylog.records", 0) == 0:
+        fail(path, "querylog.records is zero — the enabled phase never "
+                   "recorded, so the overhead comparison is vacuous")
+    print(f"{path}: observability overhead ok — warm v2v p50 "
+          f"{on['p50_ms']:.4f} ms on vs {off['p50_ms']:.4f} ms off")
 
 
 def main():

@@ -38,6 +38,16 @@ Rules (suppress one occurrence with `// NOLINT` or `// NOLINT(<rule>)`):
                        (CondVar::WaitFor / WaitUntil inside a predicate
                        loop that re-checks stop/deadline state each tick).
 
+  raw-diagnostic       Raw diagnostic output (`fprintf`, `printf`, `puts`,
+                       `fputs`, `std::cerr`, `std::cout`, `std::clog`) in
+                       library code under src/. A library must not write to
+                       the process's streams behind its caller's back:
+                       diagnostics belong in Status messages, the metrics
+                       registry, the query log or the trace tree, all of
+                       which are queryable (system tables, Prometheus text)
+                       instead of lost to a console. `snprintf` into a
+                       buffer is string formatting, not output, and is fine.
+
   value-on-temporary   `.value()` chained directly onto a freshly returned
                        Result temporary (`Fetch(id).value()`): nothing checked
                        ok() first, so a fault becomes an assert/UB instead of
@@ -91,6 +101,11 @@ RE_NONDETERMINISM = re.compile(
     r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\bgetenv\s*\("
 )
 RE_VALUE_CALL = re.compile(r"\)\s*\.\s*value\s*\(\s*\)")
+# \b keeps snprintf/vsnprintf (buffer formatting) from matching printf.
+RE_RAW_DIAGNOSTIC = re.compile(
+    r"\b(?:fprintf|printf|vfprintf|vprintf|puts|fputs|putc|putchar|"
+    r"perror)\s*\(|std\s*::\s*(?:cerr|cout|clog)\b"
+)
 # `.Wait(` / `->Wait(` only: `WaitFor(` / `WaitUntil(` have letters between
 # the method name and the paren and do not match.
 RE_UNBOUNDED_WAIT = re.compile(
@@ -223,6 +238,11 @@ def lint_file(path, rel_path):
                    "unbounded blocking wait on the serving request path; "
                    "use CondVar::WaitFor/WaitUntil in a predicate loop so "
                    "the waiter re-checks stop/deadline state every tick")
+        if RE_RAW_DIAGNOSTIC.search(line):
+            report(lineno, "raw-diagnostic",
+                   "raw stream/stdio output in library code; surface "
+                   "diagnostics through Status, metrics, the query log or "
+                   "the trace tree instead of writing to the console")
         for m in RE_VALUE_CALL.finditer(line):
             if not preceding_call_is_move(line, m.start()):
                 report(lineno, "value-on-temporary",
@@ -252,7 +272,7 @@ def main(argv):
     args = [a for a in argv[1:] if a != "--list-rules"]
     if "--list-rules" in argv:
         for rule in ("void-cast-status", "naked-mutex", "page-pointer-escape",
-                     "ttl-nondeterminism", "unbounded-wait",
+                     "ttl-nondeterminism", "unbounded-wait", "raw-diagnostic",
                      "value-on-temporary"):
             print(rule)
         return 0

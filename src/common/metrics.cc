@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <functional>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace ptldb {
 
@@ -152,12 +154,116 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+void MetricsRegistry::ResetPrefix(const std::string& prefix) {
+  MutexLock lock(mu_);
+  // std::map is ordered, so the prefix range is contiguous; a linear
+  // scan is still fine at registry sizes (cold path).
+  for (auto& [name, c] : counters_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) c->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) h->Reset();
+  }
+}
+
 namespace {
 
 std::string PromName(const std::string& name) {
   std::string out = "ptldb_";
   for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
   return out;
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline get a backslash escape.
+std::string PromLabelEscape(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One exported series: the Prometheus metric (family) name plus its
+/// label pairs (without braces; empty for unlabeled series).
+struct PromSeries {
+  std::string family;
+  std::string labels;
+};
+
+std::vector<std::string> SplitDots(const std::string& name) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : name) {
+    if (c == '.') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string JoinMangled(const std::vector<std::string>& seg, size_t from) {
+  std::string out;
+  for (size_t i = from; i < seg.size(); ++i) {
+    if (i != from) out += '_';
+    for (char c : seg[i]) out += (c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+bool IsQueryTypeName(const std::string& s) {
+  static const char* kTypes[] = {"v2v_ea", "v2v_ld", "v2v_sd", "ea_knn",
+                                 "ld_knn", "ea_otm", "ld_otm"};
+  for (const char* t : kTypes) {
+    if (s == t) return true;
+  }
+  return false;
+}
+
+/// Maps a dotted registry name to its Prometheus series. Names whose
+/// middle segment is a known dimension become real labels; everything
+/// else keeps the historical dot->underscore mangling. The query_type
+/// rule is gated on the seven real type names so `query.degraded.*`
+/// stays an ordinary metric.
+PromSeries PromSplit(const std::string& name) {
+  const std::vector<std::string> seg = SplitDots(name);
+  if (seg.size() >= 3 && seg[0] == "query" && IsQueryTypeName(seg[1])) {
+    return {"ptldb_query_" + JoinMangled(seg, 2),
+            "query_type=\"" + PromLabelEscape(seg[1]) + "\""};
+  }
+  if (seg.size() == 3 && seg[0] == "server" &&
+      (seg[1] == "latency" || seg[1] == "queue_wait") &&
+      seg[2].size() > 3 &&
+      seg[2].compare(seg[2].size() - 3, 3, "_ns") == 0) {
+    const std::string cls = seg[2].substr(0, seg[2].size() - 3);
+    return {"ptldb_server_" + seg[1] + "_ns",
+            "class=\"" + PromLabelEscape(cls) + "\""};
+  }
+  if (seg.size() >= 3 && seg[0] == "phase") {
+    return {"ptldb_phase_" + JoinMangled(seg, 2),
+            "phase=\"" + PromLabelEscape(seg[1]) + "\""};
+  }
+  if (seg.size() == 3 && seg[0] == "querylog" && seg[1] == "outcome") {
+    return {"ptldb_querylog_outcome",
+            "outcome=\"" + PromLabelEscape(seg[2]) + "\""};
+  }
+  if (seg.size() == 3 && seg[0] == "traces" && seg[1] == "retained") {
+    return {"ptldb_traces_retained",
+            "reason=\"" + PromLabelEscape(seg[2]) + "\""};
+  }
+  return {PromName(name), ""};
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -178,25 +284,59 @@ std::string Num(double v) {
 }  // namespace
 
 std::string MetricsSnapshot::ToPrometheusText() const {
+  // The exposition format requires all series of one metric to form a
+  // single group under one # TYPE line, and labeled series of a family
+  // (query.v2v_ea.count, query.v2v_sd.count, ...) interleave with other
+  // families in our sorted name maps — so group by family first.
   std::string out;
+  const auto braced = [](const std::string& labels) {
+    return labels.empty() ? std::string() : "{" + labels + "}";
+  };
+
+  std::map<std::string, std::vector<std::pair<std::string, uint64_t>>>
+      counter_groups;
   for (const auto& [name, v] : counters) {
-    const std::string p = PromName(name);
-    out += "# TYPE " + p + " counter\n";
-    out += p + " " + std::to_string(v) + "\n";
+    const PromSeries s = PromSplit(name);
+    counter_groups[s.family].emplace_back(s.labels, v);
   }
+  for (const auto& [family, series] : counter_groups) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [labels, v] : series) {
+      out += family + braced(labels) + " " + std::to_string(v) + "\n";
+    }
+  }
+
+  std::map<std::string, std::vector<std::pair<std::string, int64_t>>>
+      gauge_groups;
   for (const auto& [name, v] : gauges) {
-    const std::string p = PromName(name);
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " " + std::to_string(v) + "\n";
+    const PromSeries s = PromSplit(name);
+    gauge_groups[s.family].emplace_back(s.labels, v);
   }
+  for (const auto& [family, series] : gauge_groups) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [labels, v] : series) {
+      out += family + braced(labels) + " " + std::to_string(v) + "\n";
+    }
+  }
+
+  std::map<std::string, std::vector<std::pair<std::string, HistogramSummary>>>
+      histogram_groups;
   for (const auto& [name, h] : histograms) {
-    const std::string p = PromName(name);
-    out += "# TYPE " + p + " summary\n";
-    out += p + "{quantile=\"0.5\"} " + Num(h.p50) + "\n";
-    out += p + "{quantile=\"0.95\"} " + Num(h.p95) + "\n";
-    out += p + "{quantile=\"0.99\"} " + Num(h.p99) + "\n";
-    out += p + "_sum " + std::to_string(h.sum) + "\n";
-    out += p + "_count " + std::to_string(h.count) + "\n";
+    const PromSeries s = PromSplit(name);
+    histogram_groups[s.family].emplace_back(s.labels, h);
+  }
+  for (const auto& [family, series] : histogram_groups) {
+    out += "# TYPE " + family + " summary\n";
+    for (const auto& [labels, h] : series) {
+      const std::string sep = labels.empty() ? "" : labels + ",";
+      out += family + "{" + sep + "quantile=\"0.5\"} " + Num(h.p50) + "\n";
+      out += family + "{" + sep + "quantile=\"0.95\"} " + Num(h.p95) + "\n";
+      out += family + "{" + sep + "quantile=\"0.99\"} " + Num(h.p99) + "\n";
+      out += family + "_sum" + braced(labels) + " " + std::to_string(h.sum) +
+             "\n";
+      out += family + "_count" + braced(labels) + " " +
+             std::to_string(h.count) + "\n";
+    }
   }
   return out;
 }

@@ -115,7 +115,18 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSummary> histograms;
 
   /// Prometheus text exposition format (`ptldb_` prefix, dots -> underscores,
-  /// histograms as summaries with quantile labels).
+  /// histograms as summaries with quantile labels). Names whose middle
+  /// segment is a recognized dimension are emitted as real Prometheus
+  /// labels instead of being mangled into the metric name:
+  ///   query.v2v_ea.count        -> ptldb_query_count{query_type="v2v_ea"}
+  ///   server.latency.expensive_ns
+  ///                             -> ptldb_server_latency_ns{class="expensive"}
+  ///   phase.merge.io_ns         -> ptldb_phase_io_ns{phase="merge"}
+  ///   querylog.outcome.shed     -> ptldb_querylog_outcome{outcome="shed"}
+  ///   traces.retained.sampled   -> ptldb_traces_retained{reason="sampled"}
+  /// Label values are escaped per the exposition format (backslash,
+  /// quote, newline). Series of one family are emitted as one group
+  /// under a single # TYPE line, as the format requires.
   std::string ToPrometheusText() const;
   /// Nested JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, min, max, p50, p95, p99}}}.
@@ -138,6 +149,13 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   /// Zeroes every registered metric (benchmark phase boundaries).
   void ResetAll();
+  /// Zeroes every counter and histogram whose name starts with `prefix`
+  /// (e.g. "server." / "ttl.labels."), so callers can carve per-window
+  /// deltas out of process-lifetime totals the way ResetIoStats() does
+  /// for the device. Gauges are deliberately excluded: they are
+  /// instantaneous readings (resident bytes, queue depth), not
+  /// accumulations, and zeroing them would fabricate state.
+  void ResetPrefix(const std::string& prefix);
 
  private:
   /// Registry latch (cold path only): guards the name->metric maps. The
@@ -166,13 +184,19 @@ struct LocalQueryCounters {
   uint64_t label_comparisons = 0;  ///< Label tuple comparisons in merges.
   uint64_t label_decodes = 0;      ///< Compressed label buckets decoded.
   uint64_t label_decode_bytes = 0;  ///< Encoded bytes those decodes read.
+  /// Modeled device I/O ns charged to this thread (page transfers plus
+  /// retry-backoff waits). Mirrors the StorageDevice global atomics, but
+  /// per-thread, so a query's I/O attribution stays exact under
+  /// concurrency.
+  uint64_t modeled_io_ns = 0;
 
   LocalQueryCounters operator-(const LocalQueryCounters& o) const {
     return {tuples_scanned - o.tuples_scanned, index_seeks - o.index_seeks,
             rows_emitted - o.rows_emitted, hubs_merged - o.hubs_merged,
             label_comparisons - o.label_comparisons,
             label_decodes - o.label_decodes,
-            label_decode_bytes - o.label_decode_bytes};
+            label_decode_bytes - o.label_decode_bytes,
+            modeled_io_ns - o.modeled_io_ns};
   }
 };
 

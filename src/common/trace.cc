@@ -71,6 +71,48 @@ void Render(const QueryTrace::Span& span, int depth, bool include_timings,
 
 }  // namespace
 
+namespace {
+
+void EscapeJsonInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+}
+
+void RenderJson(const QueryTrace::Span& span, std::string* out) {
+  *out += "{\"name\": \"";
+  EscapeJsonInto(span.name, out);
+  *out += "\", \"start_ns\": " + std::to_string(span.start_ns);
+  *out += ", \"duration_ns\": " + std::to_string(span.duration_ns);
+  *out += ", \"stats\": [";
+  bool first = true;
+  for (const auto& [key, value] : span.stats) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "[\"";
+    EscapeJsonInto(key, out);
+    *out += "\", " + std::to_string(value) + "]";
+  }
+  *out += "], \"children\": [";
+  first = true;
+  for (const auto& child : span.children) {
+    if (!first) *out += ", ";
+    first = false;
+    RenderJson(*child, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  MutexLock lock(mu_);
+  std::string out;
+  RenderJson(*root_, &out);
+  return out;
+}
+
 std::string QueryTrace::ToString(bool include_timings) const {
   MutexLock lock(mu_);
   std::string out;

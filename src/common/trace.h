@@ -52,6 +52,14 @@ class QueryTrace {
   /// are deterministic, so that form is usable as a golden string.
   std::string ToString(bool include_timings = true) const;
 
+  /// Renders the span tree as a JSON object:
+  ///   {"name": ..., "start_ns": ..., "duration_ns": ...,
+  ///    "stats": [["key", value], ...], "children": [...]}
+  /// Stats stay an ordered pair list (insertion order, duplicate keys
+  /// legal), matching the in-memory representation. Used by the tail
+  /// sampler to embed full trees in retained traces.
+  std::string ToJson() const;
+
   /// Nanoseconds since the trace was constructed (monotonic).
   uint64_t ElapsedNs() const;
 

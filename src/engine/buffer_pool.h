@@ -14,6 +14,7 @@
 
 #include "common/checksum.h"
 #include "common/query_context.h"
+#include "common/query_log.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "engine/device.h"
@@ -203,6 +204,12 @@ class BufferPool {
             "the shard has frames)");
       }
       shard.misses.fetch_add(1, std::memory_order_relaxed);
+      // Attribute miss servicing (device read + retry backoff, modeled
+      // I/O included) to the buffer_io phase of the current request.
+      // Hits stay charged to the surrounding phase: no I/O happened, and
+      // keeping the hit path free of clock reads is what makes always-on
+      // recording affordable.
+      ScopedQueryPhase io_phase(QueryPhase::kBufferIo);
       return ReadIntoShardLocked(shard, id);
     }
   }

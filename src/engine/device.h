@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -146,6 +147,10 @@ class StorageDevice {
   /// Charges modeled wait time that is not a page transfer (retry backoff).
   void ChargeWait(uint64_t ns) {
     wait_ns_.fetch_add(ns, std::memory_order_relaxed);
+    // Per-thread mirror: the charging thread is the query's thread, so
+    // this keeps a query's I/O attribution exact under concurrency
+    // (total_ns() mixes every thread's charges together).
+    ThisThreadQueryCounters().modeled_io_ns += ns;
   }
 
   /// Installs (or clears, with a default-constructed policy) the failure
@@ -217,6 +222,9 @@ class StorageDevice {
     const uint64_t cost =
         sequential ? profile_.sequential_read_ns : profile_.random_read_ns;
     read_ns_.fetch_add(cost, std::memory_order_relaxed);
+    // Mirrored per-thread (see ChargeWait): read_ns_ + wait_ns_ deltas on
+    // one thread always equal its modeled_io_ns delta.
+    ThisThreadQueryCounters().modeled_io_ns += cost;
     reads_.fetch_add(1, std::memory_order_relaxed);
     if (sequential) sequential_reads_.fetch_add(1, std::memory_order_relaxed);
     return cost;

@@ -71,6 +71,7 @@ PtldbDatabase::PtldbDatabase(const PtldbOptions& options)
   ttl_cmps_ = m->counter("ttl.label_comparisons");
   ttl_decodes_ = m->counter("ttl.labels.decodes");
   ttl_decode_bytes_ = m->counter("ttl.labels.decoded_bytes");
+  query_log_ = std::make_unique<QueryLog>(options.query_log, m);
 }
 
 Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
@@ -144,14 +145,14 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
 Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
                                                  Timestamp t) {
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kV2vEa,
+  return Timed(QueryType::kV2vEa, {.s = s, .g = g, .t = t},
                [&] { return QueryV2vEa(&db_, s, g, t, labels_.get()); });
 }
 
 Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
                                                  Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kV2vLd,
+  return Timed(QueryType::kV2vLd, {.s = s, .g = g, .t_end = t_end},
                [&] { return QueryV2vLd(&db_, s, g, t_end, labels_.get()); });
 }
 
@@ -159,9 +160,8 @@ Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
                                                   Timestamp t,
                                                   Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kV2vSd, [&] {
-    return QueryV2vSd(&db_, s, g, t, t_end, labels_.get());
-  });
+  return Timed(QueryType::kV2vSd, {.s = s, .g = g, .t = t, .t_end = t_end},
+               [&] { return QueryV2vSd(&db_, s, g, t, t_end, labels_.get()); });
 }
 
 namespace {
@@ -270,13 +270,17 @@ void PtldbDatabase::ClearThreadDegradedFlag() { tls_last_degraded = false; }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallbackQuery(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  // k == 0 is the one-to-many variant; ValidateSet rejects k == 0, so
-  // validate with k = 1 (sets always support at least one neighbor).
-  auto info = ValidateSet(set_name, k == 0 ? 1 : k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   const QueryType type = k == 0 ? QueryType::kEaOtm : QueryType::kEaKnn;
-  return Timed(type, [&] {
+  return Timed(type,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    // k == 0 is the one-to-many variant; ValidateSet rejects k == 0, so
+    // validate with k = 1 (sets always support at least one neighbor).
+    // Validation runs inside Timed so a bad set name still leaves a
+    // query-log record (outcome=error, cause=not_found).
+    auto info = ValidateSet(set_name, k == 0 ? 1 : k);
+    if (!info.ok()) return info.status();
     auto r = EaFallback(**info, q, t, k);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
     return r;
@@ -285,11 +289,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallbackQuery(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallbackQuery(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  auto info = ValidateSet(set_name, k == 0 ? 1 : k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
   const QueryType type = k == 0 ? QueryType::kLdOtm : QueryType::kLdKnn;
-  return Timed(type, [&] {
+  return Timed(type,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, k == 0 ? 1 : k);
+    if (!info.ok()) return info.status();
     auto r = LdFallback(**info, q, t, k);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
     return r;
@@ -298,10 +304,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallbackQuery(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  auto info = ValidateSet(set_name, k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kEaKnn, [&] {
+  return Timed(QueryType::kEaKnn,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, k);
+    if (!info.ok()) return info.status();
     auto r = OrDegrade(
         QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
                    labels_.get()),
@@ -313,10 +321,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  auto info = ValidateSet(set_name, k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kLdKnn, [&] {
+  return Timed(QueryType::kLdKnn,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, k);
+    if (!info.ok()) return info.status();
     auto r =
         OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
                              (*info)->max_bucket, labels_.get()),
@@ -328,10 +338,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  auto info = ValidateSet(set_name, k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kEaKnn, [&] {
+  return Timed(QueryType::kEaKnn,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, k);
+    if (!info.ok()) return info.status();
     auto r = QueryEaKnnNaive(&db_, set_name, q, t, k, labels_.get());
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
     return r;
@@ -340,10 +352,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
     const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
-  auto info = ValidateSet(set_name, k);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kLdKnn, [&] {
+  return Timed(QueryType::kLdKnn,
+               {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, k);
+    if (!info.ok()) return info.status();
     auto r = QueryLdKnnNaive(&db_, set_name, q, t, k, labels_.get());
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
     return r;
@@ -352,10 +366,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
-  auto info = ValidateSet(set_name, 1);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kEaOtm, [&] {
+  return Timed(QueryType::kEaOtm,
+               {.s = q, .t = t, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, 1);
+    if (!info.ok()) return info.status();
     auto r =
         OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
                              labels_.get()),
@@ -369,10 +385,12 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
     const std::string& set_name, StopId q, Timestamp t) {
-  auto info = ValidateSet(set_name, 1);
-  if (!info.ok()) return info.status();
   last_degraded_.store(false, std::memory_order_relaxed);
-  return Timed(QueryType::kLdOtm, [&] {
+  return Timed(QueryType::kLdOtm,
+               {.s = q, .t = t, .set_name = set_name.c_str()},
+               [&]() -> Result<std::vector<StopTimeResult>> {
+    auto info = ValidateSet(set_name, 1);
+    if (!info.ok()) return info.status();
     auto r =
         OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
                              (*info)->max_bucket, labels_.get()),

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/trace.h"
@@ -37,6 +38,10 @@ inline constexpr size_t kNumQueryTypes = 7;
 /// trace spans.
 const char* QueryTypeName(QueryType type);
 
+/// Declared early for use in Timed(); documented at the bottom of this
+/// header next to QueryStats.
+bool LastQueryDegradedOnThisThread();
+
 /// Options for building a PtldbDatabase.
 struct PtldbOptions {
   /// Simulated storage device backing the database (see DESIGN.md).
@@ -61,6 +66,11 @@ struct PtldbOptions {
   /// the only tier when this is false (the seed behavior). Answers are
   /// identical in both modes; the differential harness pins it.
   bool compressed_labels = false;
+  /// Structured request history: ring capacity, tail-sampling policy and
+  /// slow-query threshold (DESIGN.md §11). Always on by default — the
+  /// CI overhead gate pins the cost — and togglable at runtime via
+  /// query_log()->set_enabled().
+  QueryLogOptions query_log;
 };
 
 /// The PTLDB system of the paper: TTL labels stored in database tables plus
@@ -169,6 +179,20 @@ class PtldbDatabase {
   /// The registry behind Snapshot(), for callers adding their own metrics.
   MetricsRegistry* metrics() { return db_.metrics(); }
 
+  /// The structured request history: one record per facade (or served)
+  /// query with a phase-attributed latency breakdown, plus the
+  /// tail-sampled traces. Backs the `ptldb_slow_queries` /
+  /// `ptldb_traces` SQL system tables. Never null.
+  QueryLog* query_log() { return query_log_.get(); }
+  const QueryLog* query_log() const { return query_log_.get(); }
+
+  /// Zeroes the `ttl.*` operation counters (hubs merged, label
+  /// comparisons, label decodes/bytes) the way ResetIoStats() zeroes the
+  /// device, so warm/cold bench recipes and the system tables report
+  /// per-window numbers. Gauges (resident bytes, bytes/label) are
+  /// instantaneous and survive.
+  void ResetLabelStats() { db_.metrics()->ResetPrefix("ttl."); }
+
   /// Installs a span tracer: every facade query opens a span named after
   /// its query type and attaches its engine-counter deltas (pool
   /// hits/misses, device reads, hubs merged, ...). The trace is owned by
@@ -229,17 +253,51 @@ class PtldbDatabase {
   /// in ptldb.cc next to the thread_local it clears).
   static void ClearThreadDegradedFlag();
 
+  /// Request arguments recorded into the query log (all optional; -1 /
+  /// nullptr mean "not applicable to this query type").
+  struct QueryArgs {
+    int64_t s = -1;
+    int64_t g = -1;
+    int64_t t = -1;
+    int64_t t_end = -1;
+    int64_t k = -1;
+    const char* set_name = nullptr;
+  };
+
   /// Wraps one facade query: opens a trace span named after the query
   /// type, then counts the query, records its latency (wall time plus the
   /// modeled-I/O delta, the paper's reporting convention) and flushes the
   /// thread's LocalQueryCounters deltas into the registry.
+  ///
+  /// Query-log integration: if no RequestRecorder is installed on this
+  /// thread (direct library use), one is installed here, so every facade
+  /// query leaves exactly one record; if the server already installed
+  /// one around Dispatch, this only fills in the type/args of the
+  /// outermost query (nested fallback v2v calls leave them alone) and
+  /// the server finishes the record after the response callback.
+  /// Execution outside the explicit decode/merge/buffer-I/O scopes is
+  /// attributed to the `plan` phase.
   template <typename Fn>
-  auto Timed(QueryType type, Fn&& fn) -> decltype(fn()) {
+  auto Timed(QueryType type, const QueryArgs& args, Fn&& fn)
+      -> decltype(fn()) {
     ClearThreadDegradedFlag();
+    RequestRecorder recorder(query_log_.get());
+    if (RequestRecorder* rec = RequestRecorder::Current();
+        rec != nullptr && rec->record().type[0] == '\0') {
+      QueryLogRecord& r = rec->record();
+      r.set_type(QueryTypeName(type));
+      r.s = static_cast<int32_t>(args.s);
+      r.g = static_cast<int32_t>(args.g);
+      r.t = static_cast<int32_t>(args.t);
+      r.t_end = static_cast<int32_t>(args.t_end);
+      r.k = static_cast<int32_t>(args.k);
+      if (args.set_name != nullptr) r.set_set_name(args.set_name);
+    }
     const auto wall0 = std::chrono::steady_clock::now();
     const uint64_t io0 = device_->total_ns();
     const LocalQueryCounters local0 = ThisThreadQueryCounters();
     auto result = [&] {
+      ScopedQueryPhase plan_phase(QueryPhase::kPlan);
       ScopedEngineSpan span(trace_, &db_, QueryTypeName(type));
       return fn();
     }();
@@ -258,6 +316,15 @@ class PtldbDatabase {
     if (d.label_comparisons) ttl_cmps_->Add(d.label_comparisons);
     if (d.label_decodes) ttl_decodes_->Add(d.label_decodes);
     if (d.label_decode_bytes) ttl_decode_bytes_->Add(d.label_decode_bytes);
+    if (RequestRecorder* rec = RequestRecorder::Current(); rec != nullptr) {
+      if (LastQueryDegradedOnThisThread()) rec->record().degraded = true;
+      if (trace_ != nullptr) rec->AttachTraceJson(trace_->ToJson());
+    }
+    if (recorder.active()) {
+      const char* cause = nullptr;
+      const QueryOutcome outcome = OutcomeForStatus(result.status(), &cause);
+      recorder.Finish(outcome, cause);
+    }
     return result;
   }
 
@@ -310,6 +377,11 @@ class PtldbDatabase {
   Counter* ttl_decodes_ = nullptr;
   Counter* ttl_decode_bytes_ = nullptr;
   std::atomic<bool> last_degraded_{false};
+
+  /// Structured request history (never null; see query_log()). Owned
+  /// here so the ring lives exactly as long as the registry it reports
+  /// into.
+  std::unique_ptr<QueryLog> query_log_;
 
   QueryTrace* trace_ = nullptr;  ///< Borrowed; single-thread use only.
 };

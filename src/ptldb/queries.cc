@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/query_context.h"
+#include "common/query_log.h"
 #include "engine/exec.h"
 #include "ptldb/tables.h"
 #include "ttl/label_store.h"
@@ -49,6 +50,9 @@ struct LabelRowView {
 Result<LabelView> DecodeCounted(const LabelStore& store,
                                 LabelStore::Direction dir, StopId v,
                                 LabelArrays* scratch) {
+  // Attributed to the label_decode phase of the current request record
+  // (no-op when none is installed; see common/query_log.h).
+  ScopedQueryPhase phase(QueryPhase::kLabelDecode);
   auto& counters = ThisThreadQueryCounters();
   ++counters.label_decodes;
   counters.label_decode_bytes += store.bucket_bytes(dir, v).size();
@@ -136,6 +140,7 @@ Status MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
 // (decoded buckets): the representation changes, the merge does not.
 Result<Timestamp> MergeV2vEa(const LabelRowView& outp, const LabelRowView& inp,
                              Timestamp t) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
   Timestamp best = kInfinityTime;
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,
@@ -151,6 +156,7 @@ Result<Timestamp> MergeV2vEa(const LabelRowView& outp, const LabelRowView& inp,
 
 Result<Timestamp> MergeV2vLd(const LabelRowView& outp, const LabelRowView& inp,
                              Timestamp t_end) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
   Timestamp best = kNegInfinityTime;
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,
@@ -166,6 +172,7 @@ Result<Timestamp> MergeV2vLd(const LabelRowView& outp, const LabelRowView& inp,
 
 Result<Timestamp> MergeV2vSd(const LabelRowView& outp, const LabelRowView& inp,
                              Timestamp t, Timestamp t_end) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
   Timestamp best = kInfinityTime;
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,

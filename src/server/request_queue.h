@@ -49,18 +49,23 @@ class RequestQueue {
   /// the caller learns instantly why not (kOverloaded). `expensive`
   /// selects the priority class. On rejection `item` is NOT consumed —
   /// the caller keeps it (and its completion callback) to answer the
-  /// client.
-  Status TryPush(T&& item, bool expensive) {
+  /// client. `reject_cause`, when non-null, receives a static cause tag
+  /// ("stopping" / "queue_full" / "headroom") for structured accounting.
+  Status TryPush(T&& item, bool expensive,
+                 const char** reject_cause = nullptr) {
     {
       MutexLock lock(mu_);
       if (stopped_) {
+        if (reject_cause != nullptr) *reject_cause = "stopping";
         return Status::Overloaded("server is shutting down");
       }
       const size_t depth = interactive_.size() + expensive_.size();
       if (depth >= capacity_) {
+        if (reject_cause != nullptr) *reject_cause = "queue_full";
         return Status::Overloaded("request queue full");
       }
       if (expensive && depth >= expensive_limit_) {
+        if (reject_cause != nullptr) *reject_cause = "headroom";
         return Status::Overloaded(
             "queue beyond expensive-class admission limit");
       }

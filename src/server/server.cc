@@ -1,14 +1,52 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
+
+#include "common/query_log.h"
 
 namespace ptldb {
 
 namespace {
 
 using Clock = QueryContext::Clock;
+
+uint64_t NsSince(Clock::time_point from) {
+  const auto d = Clock::now() - from;
+  if (d.count() <= 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+/// Fills a record's type/argument fields from the request, using the same
+/// per-type field conventions the facade documents on QueryRequest (unset
+/// fields stay -1 so the slow-query table shows n/a, not zeros).
+void FillRecordFromRequest(QueryLogRecord* rec, const QueryRequest& r) {
+  rec->set_type(QueryTypeName(r.type));
+  rec->s = static_cast<int32_t>(r.s);
+  rec->t = static_cast<int32_t>(r.t);
+  switch (r.type) {
+    case QueryType::kV2vEa:
+    case QueryType::kV2vLd:
+      rec->g = static_cast<int32_t>(r.g);
+      break;
+    case QueryType::kV2vSd:
+      rec->g = static_cast<int32_t>(r.g);
+      rec->t_end = static_cast<int32_t>(r.t_end);
+      break;
+    case QueryType::kEaKnn:
+    case QueryType::kLdKnn:
+      rec->set_set_name(r.set_name.c_str());
+      rec->k = static_cast<int32_t>(r.k);
+      break;
+    case QueryType::kEaOtm:
+    case QueryType::kLdOtm:
+      rec->set_set_name(r.set_name.c_str());
+      break;
+  }
+}
 
 /// Same fault classification the facade's degradation policy uses.
 bool IsStorageFault(const Status& s) {
@@ -61,10 +99,16 @@ PtldbServer::PtldbServer(PtldbDatabase* db, const ServerOptions& options)
   breaker_fallback_ = m->counter("server.breaker.fallback_served");
   breaker_probes_ = m->counter("server.breaker.probes");
   retry_budget_denied_ = m->counter("server.breaker.budget_denied");
+  reject_cause_stopping_ = m->counter("server.rejected.cause.stopping");
+  reject_cause_shed_ = m->counter("server.rejected.cause.shed");
+  reject_cause_queue_full_ = m->counter("server.rejected.cause.queue_full");
+  reject_cause_headroom_ = m->counter("server.rejected.cause.headroom");
   queue_depth_gauge_ = m->gauge("server.queue_depth");
   shed_gauge_ = m->gauge("server.shedding");
   latency_interactive_ = m->histogram("server.latency.interactive_ns");
   latency_expensive_ = m->histogram("server.latency.expensive_ns");
+  queue_wait_interactive_ = m->histogram("server.queue_wait.interactive_ns");
+  queue_wait_expensive_ = m->histogram("server.queue_wait.expensive_ns");
   ctrl_window_ = m->histogram("server.ctrl_window.interactive_ns");
   {
     MutexLock lock(budget_mu_);
@@ -99,10 +143,46 @@ void PtldbServer::Shutdown() {
   // Belt and braces: anything still queued (a push that raced Stop) is
   // answered, never silently dropped.
   while (auto task = queue_.TryPop()) {
+    reject_cause_stopping_->Add(1);
+    LogUnexecuted(*task, QueryOutcome::kShed, "stopping",
+                  NsSince(task->enqueued));
     QueryResponse resp;
     resp.status = Status::Overloaded("server stopped before execution");
     Respond(&*task, std::move(resp));
   }
+}
+
+void PtldbServer::ResetStats() { db_->metrics()->ResetPrefix("server."); }
+
+Counter* PtldbServer::RejectCauseCounter(const char* cause) {
+  if (std::strcmp(cause, "stopping") == 0) return reject_cause_stopping_;
+  if (std::strcmp(cause, "queue_full") == 0) return reject_cause_queue_full_;
+  if (std::strcmp(cause, "headroom") == 0) return reject_cause_headroom_;
+  return reject_cause_shed_;
+}
+
+void PtldbServer::LogUnexecuted(const Task& task, QueryOutcome outcome,
+                                const char* cause, uint64_t queue_wait_ns) {
+  QueryLog* qlog = db_->query_log();
+  if (qlog == nullptr || !qlog->enabled()) return;
+  QueryLogRecord rec;
+  FillRecordFromRequest(&rec, task.request);
+  rec.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          task.enqueued.time_since_epoch())
+          .count());
+  rec.outcome = outcome;
+  rec.set_cause(cause);
+  // Keep the record's exactness invariant (latency == phase sum) even for
+  // requests that never reached the engine: admission and queue wait are
+  // the only phases such a request ever had.
+  rec.phases.ns[static_cast<size_t>(QueryPhase::kAdmission)] =
+      task.admission_ns;
+  rec.phases.ns[static_cast<size_t>(QueryPhase::kQueueWait)] =
+      queue_wait_ns > task.admission_ns ? queue_wait_ns - task.admission_ns
+                                        : 0;
+  rec.latency_ns = rec.phases.total_ns();
+  qlog->Append(rec);
 }
 
 void PtldbServer::Submit(QueryRequest request, Callback done) {
@@ -118,6 +198,9 @@ void PtldbServer::Submit(QueryRequest request, Callback done) {
   task.request = std::move(request);
   task.done = std::move(done);
   if (stopping_.load(std::memory_order_relaxed)) {
+    reject_cause_stopping_->Add(1);
+    task.admission_ns = NsSince(task.enqueued);
+    LogUnexecuted(task, QueryOutcome::kShed, "stopping", 0);
     QueryResponse resp;
     resp.status = Status::Overloaded("server is shutting down");
     Respond(&task, std::move(resp));
@@ -128,6 +211,9 @@ void PtldbServer::Submit(QueryRequest request, Callback done) {
   // requests are never shed — they are only refused by a full queue.
   if (expensive && shedding_.load(std::memory_order_relaxed)) {
     rejected_shed_->Add(1);
+    reject_cause_shed_->Add(1);
+    task.admission_ns = NsSince(task.enqueued);
+    LogUnexecuted(task, QueryOutcome::kShed, "shed", 0);
     QueryResponse resp;
     resp.status =
         Status::Overloaded("expensive query class is being shed");
@@ -137,10 +223,15 @@ void PtldbServer::Submit(QueryRequest request, Callback done) {
   // Graceful degradation, step 2: the queue itself refuses a full queue
   // (any class) and an expensive request beyond the headroom reserve.
   // TryPush leaves `task` intact on rejection, so the callback still
-  // fires exactly once.
-  Status pushed = queue_.TryPush(std::move(task), expensive);
+  // fires exactly once. Admission time is stamped before the push (the
+  // push itself is queue wait, not admission).
+  task.admission_ns = NsSince(task.enqueued);
+  const char* reject_cause = "queue_full";
+  Status pushed = queue_.TryPush(std::move(task), expensive, &reject_cause);
   if (!pushed.ok()) {
     (expensive ? rejected_shed_ : rejected_queue_full_)->Add(1);
+    RejectCauseCounter(reject_cause)->Add(1);
+    LogUnexecuted(task, QueryOutcome::kShed, reject_cause, 0);
     QueryResponse resp;
     resp.status = std::move(pushed);
     Respond(&task, std::move(resp));
@@ -189,6 +280,13 @@ void PtldbServer::WorkerLoop() {
 
 void PtldbServer::RunTask(Task task) {
   const auto start = Clock::now();
+  const uint64_t since_submit = NsSince(task.enqueued);
+  const uint64_t queue_wait_ns = since_submit > task.admission_ns
+                                     ? since_submit - task.admission_ns
+                                     : 0;
+  const bool expensive = IsExpensive(task.request.type);
+  (expensive ? queue_wait_expensive_ : queue_wait_interactive_)
+      ->Record(queue_wait_ns);
   QueryResponse resp;
   // Requests whose deadline expired while queued are dropped without
   // executing: the client has already given up, so running the query
@@ -196,9 +294,20 @@ void PtldbServer::RunTask(Task task) {
   // that collapses a queue under overload.
   if (task.has_deadline && start >= task.deadline) {
     dropped_deadline_queue_->Add(1);
+    LogUnexecuted(task, QueryOutcome::kDeadline, "queue", since_submit);
     resp.status = Status::DeadlineExceeded("deadline expired in queue");
     Respond(&task, std::move(resp));
     return;
+  }
+  // The worker owns the request boundary, so it installs the recorder
+  // (the facade's Timed() then sees one current and does not finish its
+  // own): queue wait and admission were measured outside the recorder's
+  // lifetime and are charged as external phases.
+  RequestRecorder recorder(db_->query_log());
+  if (recorder.active()) {
+    FillRecordFromRequest(&recorder.record(), task.request);
+    recorder.ChargeExternal(QueryPhase::kQueueWait, queue_wait_ns);
+    recorder.ChargeExternal(QueryPhase::kAdmission, task.admission_ns);
   }
   {
     // Deadline propagation: the context is visible to every engine
@@ -220,13 +329,27 @@ void PtldbServer::RunTask(Task task) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(finish -
                                                            task.enqueued)
           .count());
-  if (IsExpensive(task.request.type)) {
+  if (expensive) {
     latency_expensive_->Record(latency_ns);
   } else {
     latency_interactive_->Record(latency_ns);
     ctrl_window_->Record(latency_ns);
   }
+  // The callback runs inside the record's kCallback phase; the record is
+  // appended only after it returns, so the log's latency covers delivery.
+  const Status final_status = resp.status;
+  if (recorder.active()) {
+    // The facade already set `degraded` for in-query fallbacks; breaker
+    // routing (primary never tried) is only visible here.
+    if (resp.degraded) recorder.record().degraded = true;
+    recorder.SwitchPhase(QueryPhase::kCallback);
+  }
   Respond(&task, std::move(resp));
+  if (recorder.active()) {
+    const char* cause = nullptr;
+    const QueryOutcome outcome = OutcomeForStatus(final_status, &cause);
+    recorder.Finish(outcome, cause);
+  }
 }
 
 void PtldbServer::Dispatch(const Task& task, QueryResponse* resp) {

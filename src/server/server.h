@@ -133,6 +133,11 @@ class PtldbServer {
   /// workers and controller. Idempotent; the destructor calls it.
   void Shutdown();
 
+  /// Zeroes every `server.*` counter and histogram (gauges keep their
+  /// instantaneous reading) — the serving-layer analogue of the facade's
+  /// ResetIoStats(), so load phases can be measured as deltas.
+  void ResetStats();
+
   /// True while the overload controller is shedding the expensive class.
   bool shedding() const {
     return shedding_.load(std::memory_order_relaxed);
@@ -156,6 +161,9 @@ class PtldbServer {
     QueryContext::Clock::time_point enqueued{};
     bool has_deadline = false;
     QueryContext::Clock::time_point deadline{};
+    /// Submit-measured admission-control duration (ns); the worker
+    /// charges it to the request's kAdmission phase.
+    uint64_t admission_ns = 0;
   };
 
   /// Per-target-set circuit breaker (DESIGN.md §10). State transitions
@@ -184,6 +192,13 @@ class PtldbServer {
   /// Token-bucket draw for a half-open probe.
   bool TryAcquireRetryToken();
   void Respond(Task* task, QueryResponse resp);
+  /// Synthesizes the query-log record for a request that never executed
+  /// (admission rejection or in-queue deadline drop) — every request
+  /// leaves exactly one record, executed or not.
+  void LogUnexecuted(const Task& task, QueryOutcome outcome,
+                     const char* cause, uint64_t queue_wait_ns);
+  /// The `server.rejected.cause.*` counter for a TryPush/shed cause tag.
+  Counter* RejectCauseCounter(const char* cause);
 
   PtldbDatabase* db_;
   ServerOptions options_;
@@ -226,8 +241,16 @@ class PtldbServer {
   Counter* retry_budget_denied_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* shed_gauge_ = nullptr;
+  Counter* reject_cause_stopping_ = nullptr;
+  Counter* reject_cause_shed_ = nullptr;
+  Counter* reject_cause_queue_full_ = nullptr;
+  Counter* reject_cause_headroom_ = nullptr;
   Histogram* latency_interactive_ = nullptr;
   Histogram* latency_expensive_ = nullptr;
+  /// Time spent queued (pop minus push), split by class — the slice of
+  /// end-to-end latency the overload controller can actually shed.
+  Histogram* queue_wait_interactive_ = nullptr;
+  Histogram* queue_wait_expensive_ = nullptr;
   /// Controller-owned p99 window: reset every ControllerTick, so its
   /// Summary() is "interactive latency since the last tick".
   Histogram* ctrl_window_ = nullptr;

@@ -19,6 +19,7 @@ enum class SqlExprKind {
   kColumn,     // [table.]name
   kStar,       // * or table.* (select lists only)
   kInteger,    // 3600
+  kString,     // 'poi'
   kParameter,  // $1
   kBinary,     // a <op> b
   kFunction,   // MIN/MAX/UNNEST/FLOOR/LEAST/GREATEST(args...)
@@ -48,6 +49,9 @@ struct SqlExpr {
 
   // kInteger / kParameter.
   int64_t value = 0;
+
+  // kString: the unescaped literal contents.
+  std::string text;
 
   // kBinary.
   SqlBinaryOp op = SqlBinaryOp::kEq;

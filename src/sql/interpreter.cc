@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "sql/parser.h"
+#include "sql/system_tables.h"
 
 namespace ptldb {
 
@@ -46,6 +47,7 @@ bool ExprResolvesIn(const SqlExpr& expr, const SqlRelation& relation) {
     case SqlExprKind::kStar:
       return false;
     case SqlExprKind::kInteger:
+    case SqlExprKind::kString:
     case SqlExprKind::kParameter:
       return true;
     case SqlExprKind::kBinary:
@@ -70,6 +72,7 @@ bool ExprReferencesAnyColumn(const SqlExpr& expr) {
     case SqlExprKind::kStar:
       return true;
     case SqlExprKind::kInteger:
+    case SqlExprKind::kString:
     case SqlExprKind::kParameter:
       return false;
     case SqlExprKind::kBinary:
@@ -155,6 +158,8 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
   switch (expr.kind) {
     case SqlExprKind::kInteger:
       return SqlValue(expr.value);
+    case SqlExprKind::kString:
+      return SqlValue(expr.text);
     case SqlExprKind::kParameter: {
       const auto index = static_cast<size_t>(expr.value - 1);
       if (ctx.params == nullptr || index >= ctx.params->size()) {
@@ -194,6 +199,45 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
         return SqlValue(static_cast<int64_t>(
             expr.op == SqlBinaryOp::kAnd ? (a && b) : (a || b)));
       }
+      const bool is_comparison =
+          expr.op == SqlBinaryOp::kEq || expr.op == SqlBinaryOp::kNe ||
+          expr.op == SqlBinaryOp::kLt || expr.op == SqlBinaryOp::kLe ||
+          expr.op == SqlBinaryOp::kGt || expr.op == SqlBinaryOp::kGe;
+      if (is_comparison) {
+        // Comparisons are typed: integers to integers, text to text
+        // (system-table columns are text), no implicit casts between them.
+        auto lv = EvalExpr(*expr.lhs, ctx);
+        if (!lv.ok()) return lv;
+        auto rv = EvalExpr(*expr.rhs, ctx);
+        if (!rv.ok()) return rv;
+        if (SqlIsNull(*lv) || SqlIsNull(*rv)) return SqlValue();
+        int cmp = 0;
+        if (std::holds_alternative<int64_t>(*lv) &&
+            std::holds_alternative<int64_t>(*rv)) {
+          const int64_t a = std::get<int64_t>(*lv);
+          const int64_t b = std::get<int64_t>(*rv);
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        } else if (std::holds_alternative<std::string>(*lv) &&
+                   std::holds_alternative<std::string>(*rv)) {
+          const int c = std::get<std::string>(*lv).compare(
+              std::get<std::string>(*rv));
+          cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+        } else {
+          return Status::InvalidArgument(
+              "cannot compare values of different types");
+        }
+        bool truth = false;
+        switch (expr.op) {
+          case SqlBinaryOp::kEq: truth = cmp == 0; break;
+          case SqlBinaryOp::kNe: truth = cmp != 0; break;
+          case SqlBinaryOp::kLt: truth = cmp < 0; break;
+          case SqlBinaryOp::kLe: truth = cmp <= 0; break;
+          case SqlBinaryOp::kGt: truth = cmp > 0; break;
+          case SqlBinaryOp::kGe: truth = cmp >= 0; break;
+          default: break;
+        }
+        return SqlValue(static_cast<int64_t>(truth));
+      }
       bool lhs_null = false;
       bool rhs_null = false;
       auto lhs = EvalInt(*expr.lhs, ctx, &lhs_null);
@@ -202,18 +246,6 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
       if (!rhs.ok()) return rhs.status();
       if (lhs_null || rhs_null) return SqlValue();  // SQL NULL propagation.
       switch (expr.op) {
-        case SqlBinaryOp::kEq:
-          return SqlValue(static_cast<int64_t>(*lhs == *rhs));
-        case SqlBinaryOp::kNe:
-          return SqlValue(static_cast<int64_t>(*lhs != *rhs));
-        case SqlBinaryOp::kLt:
-          return SqlValue(static_cast<int64_t>(*lhs < *rhs));
-        case SqlBinaryOp::kLe:
-          return SqlValue(static_cast<int64_t>(*lhs <= *rhs));
-        case SqlBinaryOp::kGt:
-          return SqlValue(static_cast<int64_t>(*lhs > *rhs));
-        case SqlBinaryOp::kGe:
-          return SqlValue(static_cast<int64_t>(*lhs >= *rhs));
         case SqlBinaryOp::kAdd:
           return SqlValue(*lhs + *rhs);
         case SqlBinaryOp::kSub:
@@ -221,9 +253,15 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
         case SqlBinaryOp::kDiv:
           if (*rhs == 0) return Status::InvalidArgument("division by zero");
           return SqlValue(*lhs / *rhs);
+        case SqlBinaryOp::kEq:
+        case SqlBinaryOp::kNe:
+        case SqlBinaryOp::kLt:
+        case SqlBinaryOp::kLe:
+        case SqlBinaryOp::kGt:
+        case SqlBinaryOp::kGe:
         case SqlBinaryOp::kAnd:
         case SqlBinaryOp::kOr:
-          break;
+          break;  // Handled above.
       }
       return Status::Internal("unhandled binary operator");
     }
@@ -293,9 +331,12 @@ Result<SqlValue> EvalExpr(const SqlExpr& expr, const EvalContext& ctx) {
 
 class Executor {
  public:
-  Executor(EngineDatabase* db, const std::vector<int64_t>& params,
-           QueryTrace* trace)
-      : db_(db), params_(params), trace_(trace) {}
+  Executor(EngineDatabase* db, const SystemTableCatalog* system_tables,
+           const std::vector<int64_t>& params, QueryTrace* trace)
+      : db_(db),
+        system_tables_(system_tables),
+        params_(params),
+        trace_(trace) {}
 
   Result<SqlRelation> Run(const SqlSelect& select) {
     for (const auto& [name, body] : select.ctes) {
@@ -373,6 +414,16 @@ class Executor {
       // them apart.
       PTLDB_RETURN_IF_ERROR(cursor.status());
       span.AddStat("rows", relation.rows.size());
+    } else if (system_tables_ != nullptr &&
+               SystemTableCatalog::IsSystemTable(ref.table)) {
+      // Virtual system tables materialize from live registry/ring state
+      // and then flow through the same projection/filter/join machinery
+      // as engine tables.
+      ScopedEngineSpan span(trace_, db_, "system " + ref.table);
+      auto system = system_tables_->Load(ref.table);
+      if (!system.ok()) return system;
+      relation = std::move(*system);
+      span.AddStat("rows", relation.rows.size());
     } else {
       return Status::NotFound("unknown table " + ref.table);
     }
@@ -386,7 +437,11 @@ class Executor {
     EvalContext ctx{&relation, &row, &params_, nullptr};
     auto value = EvalExpr(expr, ctx);
     if (!value.ok()) return value.status();
-    return !SqlIsNull(*value) && std::get<int64_t>(*value) != 0;
+    if (SqlIsNull(*value)) return false;
+    if (!std::holds_alternative<int64_t>(*value)) {
+      return Status::InvalidArgument("predicate is not boolean");
+    }
+    return std::get<int64_t>(*value) != 0;
   }
 
   Status FilterInPlace(const SqlExpr& expr, SqlRelation* relation) {
@@ -496,6 +551,9 @@ class Executor {
         auto v = EvalExpr(*e, ctx);
         if (!v.ok()) return v.status();
         if (SqlIsNull(*v)) return std::optional<std::vector<int64_t>>();
+        if (!std::holds_alternative<int64_t>(*v)) {
+          return Status::InvalidArgument("hash-join keys must be integers");
+        }
         key.push_back(std::get<int64_t>(*v));
       }
       return std::optional<std::vector<int64_t>>(std::move(key));
@@ -873,6 +931,7 @@ class Executor {
   }
 
   EngineDatabase* db_;
+  const SystemTableCatalog* system_tables_;  // Null = unavailable.
   const std::vector<int64_t>& params_;
   QueryTrace* trace_;  // Null = tracing off.
   std::map<std::string, SqlRelation> ctes_;
@@ -943,7 +1002,7 @@ Result<SqlRelation> SqlInterpreter::Execute(
 Result<SqlRelation> SqlInterpreter::ExecuteSelect(
     const SqlSelect& select, const std::vector<int64_t>& params,
     QueryTrace* trace) {
-  Executor executor(db_, params, trace);
+  Executor executor(db_, system_tables_, params, trace);
   return executor.Run(select);
 }
 

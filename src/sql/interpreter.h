@@ -46,9 +46,18 @@ struct SqlRelation {
 /// MIN/MAX aggregation with and without GROUP BY, ORDER BY (aliases or
 /// aggregates), LIMIT, UNION [ALL], FLOOR/LEAST/GREATEST and integer
 /// arithmetic. Positional parameters bind as integers ($1 = params[0]).
+class SystemTableCatalog;
+
 class SqlInterpreter {
  public:
   explicit SqlInterpreter(EngineDatabase* db) : db_(db) {}
+
+  /// Attaches the virtual system tables (sql/system_tables.h). `catalog`
+  /// is borrowed and consulted when a FROM name matches no engine table;
+  /// null (the default) leaves the system tables unavailable.
+  void set_system_tables(const SystemTableCatalog* catalog) {
+    system_tables_ = catalog;
+  }
 
   /// Parses and executes `sql` with the given parameters.
   ///
@@ -82,6 +91,7 @@ class SqlInterpreter {
 
  private:
   EngineDatabase* db_;
+  const SystemTableCatalog* system_tables_ = nullptr;
 };
 
 }  // namespace ptldb

@@ -90,6 +90,31 @@ Result<std::vector<SqlToken>> LexSql(const std::string& sql) {
       i = j;
       continue;
     }
+    // String literal: single quotes, with '' escaping a quote (the SQL
+    // standard rule; needed to query system tables by name/cause).
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      while (true) {
+        if (j >= n) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      push(SqlTokenKind::kString, start, std::move(value));
+      i = j;
+      continue;
+    }
     switch (c) {
       case '$': {
         size_t j = i + 1;

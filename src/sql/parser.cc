@@ -333,6 +333,13 @@ class Parser {
         expr->value = token.int_value;
         return expr;
       }
+      case SqlTokenKind::kString: {
+        Advance();
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kString;
+        expr->text = token.text;
+        return expr;
+      }
       case SqlTokenKind::kParameter: {
         Advance();
         auto expr = std::make_unique<SqlExpr>();

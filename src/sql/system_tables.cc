@@ -1,0 +1,147 @@
+#include "sql/system_tables.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ptldb {
+
+namespace {
+
+SqlValue IntVal(uint64_t v) { return SqlValue(static_cast<int64_t>(v)); }
+
+/// -1 argument fields mean "not applicable" in the ring record; surface
+/// them as SQL NULL, not as a misleading integer.
+SqlValue ArgVal(int32_t v) {
+  return v < 0 ? SqlValue() : SqlValue(static_cast<int64_t>(v));
+}
+
+SqlValue TextVal(const char* s) {
+  return s[0] == '\0' ? SqlValue() : SqlValue(std::string(s));
+}
+
+}  // namespace
+
+bool SystemTableCatalog::IsSystemTable(const std::string& name) {
+  return name == "ptldb_stats" || name == "ptldb_server" ||
+         name == "ptldb_slow_queries" || name == "ptldb_traces";
+}
+
+Result<SqlRelation> SystemTableCatalog::Load(const std::string& name) const {
+  if (name == "ptldb_stats") return LoadStats();
+  if (name == "ptldb_server") return LoadServer();
+  if (name == "ptldb_slow_queries") return LoadSlowQueries();
+  if (name == "ptldb_traces") return LoadTraces();
+  return Status::NotFound("unknown system table " + name);
+}
+
+SqlRelation SystemTableCatalog::LoadStats() const {
+  SqlRelation out;
+  for (const char* col : {"kind", "name", "value", "count", "sum", "min",
+                          "max", "p50", "p95", "p99"}) {
+    out.columns.push_back({"", col});
+  }
+  if (!snapshot_) return out;
+  const MetricsSnapshot snap = snapshot_();
+  for (const auto& [name, value] : snap.counters) {
+    out.rows.push_back({SqlValue(std::string("counter")), SqlValue(name),
+                        IntVal(value), SqlValue(), SqlValue(), SqlValue(),
+                        SqlValue(), SqlValue(), SqlValue(), SqlValue()});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out.rows.push_back({SqlValue(std::string("gauge")), SqlValue(name),
+                        SqlValue(value), SqlValue(), SqlValue(), SqlValue(),
+                        SqlValue(), SqlValue(), SqlValue(), SqlValue()});
+  }
+  for (const auto& [name, s] : snap.histograms) {
+    out.rows.push_back({SqlValue(std::string("histogram")), SqlValue(name),
+                        SqlValue(), IntVal(s.count), IntVal(s.sum),
+                        IntVal(s.min), IntVal(s.max),
+                        SqlValue(static_cast<int64_t>(s.p50)),
+                        SqlValue(static_cast<int64_t>(s.p95)),
+                        SqlValue(static_cast<int64_t>(s.p99))});
+  }
+  return out;
+}
+
+SqlRelation SystemTableCatalog::LoadServer() const {
+  SqlRelation out;
+  out.columns.push_back({"", "name"});
+  out.columns.push_back({"", "value"});
+  if (!snapshot_) return out;
+  const MetricsSnapshot snap = snapshot_();
+  const auto is_server = [](const std::string& name) {
+    return name.compare(0, 7, "server.") == 0;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    if (is_server(name)) out.rows.push_back({SqlValue(name), IntVal(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (is_server(name)) out.rows.push_back({SqlValue(name), SqlValue(value)});
+  }
+  for (const auto& [name, s] : snap.histograms) {
+    if (!is_server(name)) continue;
+    out.rows.push_back({SqlValue(name + ".count"), IntVal(s.count)});
+    out.rows.push_back({SqlValue(name + ".sum"), IntVal(s.sum)});
+    out.rows.push_back(
+        {SqlValue(name + ".p50"), SqlValue(static_cast<int64_t>(s.p50))});
+    out.rows.push_back(
+        {SqlValue(name + ".p95"), SqlValue(static_cast<int64_t>(s.p95))});
+    out.rows.push_back(
+        {SqlValue(name + ".p99"), SqlValue(static_cast<int64_t>(s.p99))});
+  }
+  return out;
+}
+
+SqlRelation SystemTableCatalog::LoadSlowQueries() const {
+  SqlRelation out;
+  for (const char* col : {"seq", "type", "set_name", "outcome", "cause", "s",
+                          "g", "t", "t_end", "k", "degraded", "slow",
+                          "trace_retained", "latency_ns"}) {
+    out.columns.push_back({"", col});
+  }
+  for (size_t p = 0; p < kNumQueryPhases; ++p) {
+    out.columns.push_back(
+        {"", std::string(QueryPhaseName(static_cast<QueryPhase>(p))) + "_ns"});
+  }
+  if (query_log_ == nullptr) return out;
+  for (const QueryLogRecord& rec : query_log_->SnapshotRecords()) {
+    SqlRow row;
+    row.reserve(out.columns.size());
+    row.push_back(IntVal(rec.seq));
+    row.push_back(TextVal(rec.type));
+    row.push_back(TextVal(rec.set_name));
+    row.push_back(SqlValue(std::string(QueryOutcomeName(rec.outcome))));
+    row.push_back(TextVal(rec.cause));
+    row.push_back(ArgVal(rec.s));
+    row.push_back(ArgVal(rec.g));
+    row.push_back(ArgVal(rec.t));
+    row.push_back(ArgVal(rec.t_end));
+    row.push_back(ArgVal(rec.k));
+    row.push_back(IntVal(rec.degraded ? 1 : 0));
+    row.push_back(IntVal(rec.slow ? 1 : 0));
+    row.push_back(IntVal(rec.trace_retained ? 1 : 0));
+    row.push_back(IntVal(rec.latency_ns));
+    for (size_t p = 0; p < kNumQueryPhases; ++p) {
+      row.push_back(IntVal(rec.phases.ns[p]));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+SqlRelation SystemTableCatalog::LoadTraces() const {
+  SqlRelation out;
+  for (const char* col : {"seq", "type", "reason", "latency_ns", "trace"}) {
+    out.columns.push_back({"", col});
+  }
+  if (query_log_ == nullptr) return out;
+  for (const RetainedTrace& trace : query_log_->SnapshotTraces()) {
+    out.rows.push_back({IntVal(trace.seq), TextVal(trace.type),
+                        TextVal(trace.reason), IntVal(trace.latency_ns),
+                        SqlValue(trace.json)});
+  }
+  return out;
+}
+
+}  // namespace ptldb

@@ -1,0 +1,68 @@
+#ifndef PTLDB_SQL_SYSTEM_TABLES_H_
+#define PTLDB_SQL_SYSTEM_TABLES_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/query_log.h"
+#include "sql/interpreter.h"
+
+namespace ptldb {
+
+/// Virtual system tables: the database describes itself through its own
+/// SQL front-end (DESIGN.md §11). Each table is materialized on access
+/// from live in-memory state — no storage, no schema objects — and then
+/// flows through the normal executor machinery, so projections,
+/// predicates, ORDER BY and joins compose exactly as over engine tables.
+///
+///   ptldb_stats        — every registry metric: kind, name, value
+///                        (counter/gauge), and count/sum/min/max/p50/p95/
+///                        p99 for histograms (NULL where not applicable).
+///   ptldb_server       — the `server.*` slice of the registry flattened
+///                        to (name, value) rows; histograms expand to
+///                        .count/.sum/.p50/.p95/.p99 rows.
+///   ptldb_slow_queries — the request ring log: one row per recorded
+///                        request with args, outcome, cause and the
+///                        per-phase latency attribution columns.
+///   ptldb_traces       — tail-sampled traces: retention reason plus the
+///                        span-tree JSON.
+class SystemTableCatalog {
+ public:
+  /// Both pointers are borrowed and may be null (the corresponding
+  /// tables then materialize empty).
+  SystemTableCatalog(MetricsRegistry* metrics, QueryLog* query_log)
+      : query_log_(query_log) {
+    if (metrics != nullptr) {
+      snapshot_ = [metrics] { return metrics->Snapshot(); };
+    }
+  }
+
+  /// Variant taking a snapshot provider — use this with the facade's
+  /// Snapshot(), which overlays the device/buffer-pool counters that live
+  /// outside the registry (raw registry snapshots lack them).
+  SystemTableCatalog(std::function<MetricsSnapshot()> snapshot,
+                     QueryLog* query_log)
+      : snapshot_(std::move(snapshot)), query_log_(query_log) {}
+
+  /// True when `name` (lower-case) names a system table.
+  static bool IsSystemTable(const std::string& name);
+
+  /// Materializes the named table from live state. NotFound for names
+  /// that are not system tables.
+  Result<SqlRelation> Load(const std::string& name) const;
+
+ private:
+  SqlRelation LoadStats() const;
+  SqlRelation LoadServer() const;
+  SqlRelation LoadSlowQueries() const;
+  SqlRelation LoadTraces() const;
+
+  std::function<MetricsSnapshot()> snapshot_;  // Null = no metrics.
+  QueryLog* query_log_;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_SQL_SYSTEM_TABLES_H_

@@ -14,6 +14,7 @@ enum class SqlTokenKind {
   kIdentifier,   // lout, n1, hub ... (lower-cased; SQL is case-insensitive)
   kKeyword,      // SELECT, FROM, WHERE ... (lexer upper-cases these)
   kInteger,      // 3600
+  kString,       // 'poi' (single-quoted, '' escapes a quote)
   kParameter,    // $1
   kComma,        // ,
   kDot,          // .
@@ -38,7 +39,8 @@ enum class SqlTokenKind {
 /// One token with its source position (for error messages).
 struct SqlToken {
   SqlTokenKind kind = SqlTokenKind::kEnd;
-  std::string text;     // Identifier/keyword text or literal spelling.
+  std::string text;     // Identifier/keyword text or literal value
+                        // (kString carries the unescaped contents).
   int64_t int_value = 0;  // For kInteger / kParameter (the index).
   size_t offset = 0;    // Byte offset in the statement.
 };

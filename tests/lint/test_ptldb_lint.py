@@ -199,6 +199,39 @@ class UnboundedWaitTest(unittest.TestCase):
                                     rel_path=self.SERVER))
 
 
+class RawDiagnosticTest(unittest.TestCase):
+    def test_fprintf_stderr_flagged(self):
+        self.assertIn("raw-diagnostic",
+                      run_on('fprintf(stderr, "boom %d\\n", rc);\n'))
+
+    def test_std_cerr_flagged(self):
+        self.assertIn("raw-diagnostic",
+                      run_on('std::cerr << "warning" << std::endl;\n'))
+
+    def test_std_cout_and_printf_flagged(self):
+        rules = run_on('std::cout << n;\nprintf("%d\\n", n);\n')
+        self.assertEqual(rules.count("raw-diagnostic"), 2)
+
+    def test_perror_and_puts_flagged(self):
+        rules = run_on('perror("open");\nputs("done");\n')
+        self.assertEqual(rules.count("raw-diagnostic"), 2)
+
+    def test_snprintf_formatting_allowed(self):
+        # Buffer formatting is not console output.
+        self.assertEqual([], run_on(
+            'std::snprintf(buf, sizeof(buf), "%02d:%02d", h, m);\n'
+            "vsnprintf(buf, n, fmt, ap);\n"))
+
+    def test_cerr_in_comment_or_string_ignored(self):
+        self.assertEqual([], run_on(
+            "// never std::cerr in library code\n"
+            'Log("printf-style: %s");\n'))
+
+    def test_nolint_suppresses(self):
+        self.assertEqual([], run_on(
+            "std::cerr << x;  // NOLINT(raw-diagnostic)\n"))
+
+
 class ValueOnTemporaryTest(unittest.TestCase):
     def test_chained_value_flagged(self):
         self.assertIn("value-on-temporary",

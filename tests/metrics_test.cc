@@ -178,10 +178,76 @@ TEST(MetricsExportTest, PrometheusText) {
   EXPECT_NE(text.find("ptldb_device_reads 7"), std::string::npos);
   EXPECT_NE(text.find("ptldb_bufferpool_resident_pages 12"),
             std::string::npos);
-  EXPECT_NE(text.find("ptldb_query_v2v_ea_latency_ns{quantile=\"0.5\"}"),
+  // Per-type query metrics export as ONE family with a query_type label.
+  EXPECT_NE(text.find("ptldb_query_latency_ns"
+                      "{query_type=\"v2v_ea\",quantile=\"0.5\"}"),
             std::string::npos);
-  EXPECT_NE(text.find("ptldb_query_v2v_ea_latency_ns_count 1"),
+  EXPECT_NE(text.find("ptldb_query_latency_ns_count"
+                      "{query_type=\"v2v_ea\"} 1"),
             std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusLabelFamilies) {
+  MetricsRegistry registry;
+  registry.counter("query.v2v_ea.count")->Add(3);
+  registry.counter("query.ea_knn.count")->Add(4);
+  // `query.degraded.*` is NOT a per-type metric: "degraded" must not be
+  // minted as a query_type label value.
+  registry.counter("query.degraded.io_error")->Add(1);
+  registry.histogram("server.queue_wait.interactive_ns")->Record(50);
+  registry.counter("phase.merge.label_decodes")->Add(9);
+  registry.histogram("phase.merge.ns")->Record(10);
+  registry.counter("querylog.outcome.shed")->Add(2);
+  registry.counter("traces.retained.slow")->Add(1);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("ptldb_query_count{query_type=\"v2v_ea\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_query_count{query_type=\"ea_knn\"} 4"),
+            std::string::npos);
+  // Both series share one family declaration.
+  const size_t first = text.find("# TYPE ptldb_query_count counter");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE ptldb_query_count counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_query_degraded_io_error 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("query_type=\"degraded\""), std::string::npos);
+  EXPECT_NE(
+      text.find("ptldb_server_queue_wait_ns_count{class=\"interactive\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("ptldb_phase_label_decodes{phase=\"merge\"} 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_phase_ns_count{phase=\"merge\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_querylog_outcome{outcome=\"shed\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptldb_traces_retained{reason=\"slow\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusLabelEscaping) {
+  MetricsRegistry registry;
+  // A phase segment is an arbitrary label value; exercise the escapes the
+  // exposition format requires: backslash, double quote, newline.
+  registry.counter("phase.we\\ird\"x.io_ns")->Add(1);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("ptldb_phase_io_ns{phase=\"we\\\\ird\\\"x\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetPrefixZeroesOnlyMatchingCountersAndHists) {
+  MetricsRegistry registry;
+  registry.counter("server.admitted")->Add(5);
+  registry.counter("ttl.labels.decodes")->Add(7);
+  registry.histogram("server.latency.interactive_ns")->Record(9);
+  registry.gauge("server.queue_depth")->Set(3);
+  registry.ResetPrefix("server.");
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("server.admitted"), 0u);
+  EXPECT_EQ(snap.counters.at("ttl.labels.decodes"), 7u);
+  EXPECT_EQ(snap.histograms.at("server.latency.interactive_ns").count, 0u);
+  // Gauges are instantaneous readings; ResetPrefix leaves them alone.
+  EXPECT_EQ(snap.gauges.at("server.queue_depth"), 3);
 }
 
 TEST(MetricsExportTest, Json) {

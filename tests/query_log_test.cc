@@ -1,0 +1,395 @@
+#include "common/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace ptldb {
+namespace {
+
+// Tests for the structured request history (DESIGN.md §11): the
+// lock-sharded bounded ring, tail-based trace retention, the
+// RequestRecorder's exact phase attribution (per-record phase sums equal
+// latency_ns; published phase.* metrics telescope to the querylog
+// totals), and the concurrent writer/reader stress the TSan CI lane runs.
+
+QueryLogRecord OkRecord(uint64_t latency_ns) {
+  QueryLogRecord rec;
+  rec.set_type("v2v_ea");
+  rec.s = 1;
+  rec.g = 2;
+  rec.t = 3;
+  rec.phases.ns[static_cast<size_t>(QueryPhase::kPlan)] = latency_ns;
+  rec.latency_ns = latency_ns;
+  return rec;
+}
+
+TEST(QueryLogTest, PhaseAndOutcomeNamesAreStable) {
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kQueueWait), "queue_wait");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kAdmission), "admission");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kPlan), "plan");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kLabelDecode), "label_decode");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kMerge), "merge");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kBufferIo), "buffer_io");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kCallback), "callback");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kOther), "other");
+  EXPECT_STREQ(QueryOutcomeName(QueryOutcome::kOk), "ok");
+  EXPECT_STREQ(QueryOutcomeName(QueryOutcome::kShed), "shed");
+  EXPECT_STREQ(QueryOutcomeName(QueryOutcome::kDeadline), "deadline");
+  EXPECT_STREQ(QueryOutcomeName(QueryOutcome::kError), "error");
+}
+
+TEST(QueryLogTest, OutcomeForStatusMapsEveryCode) {
+  const char* cause = nullptr;
+  EXPECT_EQ(OutcomeForStatus(Status::Ok(), &cause), QueryOutcome::kOk);
+  EXPECT_EQ(cause, nullptr);
+  EXPECT_EQ(OutcomeForStatus(Status::DeadlineExceeded("x"), &cause),
+            QueryOutcome::kDeadline);
+  EXPECT_STREQ(cause, "exec");
+  EXPECT_EQ(OutcomeForStatus(Status::Overloaded("x"), &cause),
+            QueryOutcome::kShed);
+  EXPECT_STREQ(cause, "shed");
+  EXPECT_EQ(OutcomeForStatus(Status::IoError("x"), &cause),
+            QueryOutcome::kError);
+  EXPECT_STREQ(cause, "io_error");
+  EXPECT_EQ(OutcomeForStatus(Status::NotFound("x"), &cause),
+            QueryOutcome::kError);
+  EXPECT_STREQ(cause, "not_found");
+}
+
+TEST(QueryLogTest, AppendAssignsMonotonicSeqAndSnapshotsInOrder) {
+  QueryLogOptions opts;
+  opts.capacity = 64;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.Append(OkRecord(1000 + i)), static_cast<uint64_t>(i + 1));
+  }
+  const auto records = log.SnapshotRecords();
+  ASSERT_EQ(records.size(), 10u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+    EXPECT_EQ(records[i].latency_ns, 1000 + i);
+    EXPECT_STREQ(records[i].type, "v2v_ea");
+  }
+}
+
+TEST(QueryLogTest, RingWrapsKeepingNewestWithBoundedMemory) {
+  QueryLogOptions opts;
+  opts.capacity = 8;
+  opts.shards = 2;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  for (int i = 0; i < 100; ++i) log.Append(OkRecord(1));
+  const auto records = log.SnapshotRecords();
+  EXPECT_EQ(records.size(), 8u);
+  std::set<uint64_t> seqs;
+  for (const auto& rec : records) seqs.insert(rec.seq);
+  EXPECT_EQ(seqs.size(), records.size());
+  // Newest survives; with round-robin sharding the retained window is the
+  // last per_shard_cap appends of each shard.
+  EXPECT_EQ(*seqs.rbegin(), 100u);
+  EXPECT_GE(*seqs.begin(), 100u - 2 * 8);
+}
+
+TEST(QueryLogTest, DisabledLogStoresAndCountsNothing) {
+  MetricsRegistry metrics;
+  QueryLogOptions opts;
+  QueryLog log(opts, &metrics);
+  log.set_enabled(false);
+  EXPECT_EQ(log.Append(OkRecord(5000)), 0u);
+  EXPECT_TRUE(log.SnapshotRecords().empty());
+  EXPECT_EQ(metrics.Snapshot().counters.at("querylog.records"), 0u);
+
+  // Recorders constructed against a disabled log are inactive no-ops.
+  RequestRecorder recorder(&log);
+  EXPECT_FALSE(recorder.active());
+  EXPECT_EQ(recorder.Finish(QueryOutcome::kOk), 0u);
+}
+
+TEST(QueryLogTest, SlowClassificationStartsAtFloorThenTracksP99) {
+  QueryLogOptions opts;
+  opts.slow_floor_ns = 1000;
+  opts.slow_multiplier = 2.0;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  EXPECT_EQ(log.slow_threshold_ns(), 1000u);
+  log.Append(OkRecord(500));
+  log.Append(OkRecord(5000));
+  auto records = log.SnapshotRecords();
+  EXPECT_FALSE(records[0].slow);
+  EXPECT_TRUE(records[1].slow);
+
+  // After 64+ appends of ~1ms queries the threshold re-derives from the
+  // log's own p99: ordinary 1ms latencies stop classifying as slow.
+  for (int i = 0; i < 64; ++i) log.Append(OkRecord(1'000'000));
+  EXPECT_GE(log.slow_threshold_ns(), 1'900'000u);  // ~2x p99, bucketed.
+  const uint64_t seq = log.Append(OkRecord(1'100'000));
+  records = log.SnapshotRecords();
+  EXPECT_FALSE(records.back().slow);
+  EXPECT_EQ(records.back().seq, seq);
+}
+
+TEST(QueryLogTest, TailRetainsEveryNonOkRequestAndNoFastOkOnes) {
+  MetricsRegistry metrics;
+  QueryLogOptions opts;
+  opts.sample_every = 0;  // Isolate the tail rules from the 1-in-N sample.
+  QueryLog log(opts, &metrics);
+
+  log.Append(OkRecord(100));  // Fast ok: not retained.
+  QueryLogRecord shed = OkRecord(50);
+  shed.outcome = QueryOutcome::kShed;
+  shed.set_cause("queue_full");
+  log.Append(shed);
+  QueryLogRecord deadline = OkRecord(50);
+  deadline.outcome = QueryOutcome::kDeadline;
+  deadline.set_cause("queue");
+  log.Append(deadline);
+  QueryLogRecord error = OkRecord(50);
+  error.outcome = QueryOutcome::kError;
+  error.set_cause("io_error");
+  log.Append(error);
+
+  const auto traces = log.SnapshotTraces();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_STREQ(traces[0].reason, "shed");
+  EXPECT_STREQ(traces[1].reason, "deadline");
+  EXPECT_STREQ(traces[2].reason, "error");
+
+  // 100% retention is also visible in the counters the CI gate reads.
+  const auto counters = metrics.Snapshot().counters;
+  EXPECT_EQ(counters.at("traces.retained.shed"),
+            counters.at("querylog.outcome.shed"));
+  EXPECT_EQ(counters.at("traces.retained.deadline"),
+            counters.at("querylog.outcome.deadline"));
+  EXPECT_EQ(counters.at("traces.retained.error"),
+            counters.at("querylog.outcome.error"));
+  EXPECT_EQ(counters.at("traces.retained.sampled"), 0u);
+}
+
+TEST(QueryLogTest, NormalSampleRetainsOneInN) {
+  QueryLogOptions opts;
+  opts.sample_every = 1;  // Degenerate sample: every normal request kept.
+  QueryLog log(opts);
+  for (int i = 0; i < 5; ++i) log.Append(OkRecord(10));
+  const auto traces = log.SnapshotTraces();
+  ASSERT_EQ(traces.size(), 5u);
+  for (const auto& t : traces) EXPECT_STREQ(t.reason, "sampled");
+}
+
+TEST(QueryLogTest, TraceQueueIsBoundedAndEvictsOldest) {
+  MetricsRegistry metrics;
+  QueryLogOptions opts;
+  opts.trace_capacity = 4;
+  opts.sample_every = 0;
+  QueryLog log(opts, &metrics);
+  for (int i = 0; i < 10; ++i) {
+    QueryLogRecord rec = OkRecord(50);
+    rec.outcome = QueryOutcome::kShed;
+    log.Append(rec);
+  }
+  const auto traces = log.SnapshotTraces();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(traces.front().seq, 7u);  // Oldest evicted first.
+  EXPECT_EQ(traces.back().seq, 10u);
+  EXPECT_EQ(metrics.Snapshot().counters.at("querylog.trace_evictions"), 6u);
+}
+
+TEST(QueryLogTest, TraceJsonCarriesArgsSpansAndEmbeddedTree) {
+  QueryLogRecord rec = OkRecord(4200);
+  rec.seq = 17;
+  rec.set_set_name("poi");
+  rec.k = 4;
+  rec.phases.label_decodes[static_cast<size_t>(QueryPhase::kPlan)] = 9;
+  const std::string json = QueryLog::TraceJson(rec, "slow", "{\"x\": 1}");
+  EXPECT_NE(json.find("\"seq\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"slow\""), std::string::npos);
+  EXPECT_NE(json.find("\"set\": \"poi\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"label_decodes\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": {\"x\": 1}"), std::string::npos);
+}
+
+TEST(RequestRecorderTest, PhaseSumsEqualLatencyExactly) {
+  QueryLogOptions opts;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  {
+    RequestRecorder recorder(&log);
+    ASSERT_TRUE(recorder.active());
+    recorder.record().set_type("v2v_ea");
+    {
+      ScopedQueryPhase plan(QueryPhase::kPlan);
+      ScopedQueryPhase merge(QueryPhase::kMerge);
+    }
+    EXPECT_GT(recorder.Finish(QueryOutcome::kOk), 0u);
+  }
+  const auto records = log.SnapshotRecords();
+  ASSERT_EQ(records.size(), 1u);
+  const QueryLogRecord& rec = records[0];
+  EXPECT_EQ(rec.outcome, QueryOutcome::kOk);
+  EXPECT_EQ(rec.latency_ns, rec.phases.total_ns());
+  EXPECT_GT(rec.latency_ns, 0u);
+}
+
+TEST(RequestRecorderTest, ChargeExternalCountsTowardLatency) {
+  QueryLogOptions opts;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  RequestRecorder recorder(&log);
+  ASSERT_TRUE(recorder.active());
+  recorder.ChargeExternal(QueryPhase::kQueueWait, 123456);
+  recorder.ChargeExternal(QueryPhase::kAdmission, 1000);
+  recorder.Finish(QueryOutcome::kOk);
+  const auto records = log.SnapshotRecords();
+  ASSERT_EQ(records.size(), 1u);
+  const auto& phases = records[0].phases;
+  EXPECT_GE(phases.ns[static_cast<size_t>(QueryPhase::kQueueWait)], 123456u);
+  EXPECT_GE(phases.ns[static_cast<size_t>(QueryPhase::kAdmission)], 1000u);
+  EXPECT_EQ(records[0].latency_ns, phases.total_ns());
+}
+
+TEST(RequestRecorderTest, SecondRecorderOnSameThreadIsInactive) {
+  QueryLogOptions opts;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  RequestRecorder outer(&log);
+  ASSERT_TRUE(outer.active());
+  {
+    RequestRecorder inner(&log);
+    EXPECT_FALSE(inner.active());  // Nested queries never double-record.
+  }
+  EXPECT_EQ(RequestRecorder::Current(), &outer);  // Inner did not uninstall.
+  outer.Finish(QueryOutcome::kOk);
+  EXPECT_EQ(log.SnapshotRecords().size(), 1u);
+}
+
+TEST(RequestRecorderTest, AbandonedRecorderLeavesErrorRecord) {
+  QueryLogOptions opts;
+  opts.sample_every = 0;
+  QueryLog log(opts);
+  {
+    RequestRecorder recorder(&log);
+    ASSERT_TRUE(recorder.active());
+    recorder.record().set_type("ea_knn");
+    // No Finish: early return / unwind. The destructor backstops.
+  }
+  const auto records = log.SnapshotRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, QueryOutcome::kError);
+  EXPECT_STREQ(records[0].cause, "abandoned");
+  EXPECT_EQ(RequestRecorder::Current(), nullptr);
+}
+
+TEST(RequestRecorderTest, ScopedPhaseWithoutRecorderIsANoOp) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);  // Must not crash or install.
+  EXPECT_EQ(RequestRecorder::Current(), nullptr);
+}
+
+TEST(QueryLogMetricsTest, PhaseSumsTelescopeToQuerylogTotals) {
+  MetricsRegistry metrics;
+  QueryLogOptions opts;
+  opts.sample_every = 0;
+  QueryLog log(opts, &metrics);
+
+  uint64_t want_latency = 0;
+  uint64_t want_decodes = 0;
+  for (int i = 1; i <= 20; ++i) {
+    QueryLogRecord rec;
+    rec.set_type("v2v_ea");
+    rec.phases.ns[static_cast<size_t>(QueryPhase::kPlan)] = 100 * i;
+    rec.phases.ns[static_cast<size_t>(QueryPhase::kMerge)] = 10 * i;
+    rec.phases.ns[static_cast<size_t>(QueryPhase::kOther)] = i;
+    rec.phases.label_decodes[static_cast<size_t>(QueryPhase::kMerge)] = 3;
+    rec.phases.label_decodes[static_cast<size_t>(QueryPhase::kPlan)] = 1;
+    rec.latency_ns = rec.phases.total_ns();
+    want_latency += rec.latency_ns;
+    want_decodes += 4;
+    log.Append(rec);
+  }
+
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("querylog.records"), 20u);
+  EXPECT_EQ(snap.counters.at("querylog.latency_ns"), want_latency);
+  // The per-phase attribution is exact: summing the phase.* series
+  // reconstructs the querylog totals with no residue.
+  uint64_t phase_ns_sum = 0;
+  uint64_t phase_decode_sum = 0;
+  for (size_t p = 0; p < kNumQueryPhases; ++p) {
+    const std::string base =
+        std::string("phase.") + QueryPhaseName(static_cast<QueryPhase>(p));
+    const auto hist = snap.histograms.find(base + ".ns");
+    if (hist != snap.histograms.end()) phase_ns_sum += hist->second.sum;
+    const auto decodes = snap.counters.find(base + ".label_decodes");
+    if (decodes != snap.counters.end()) phase_decode_sum += decodes->second;
+  }
+  EXPECT_EQ(phase_ns_sum, want_latency);
+  EXPECT_EQ(phase_decode_sum, want_decodes);
+}
+
+TEST(QueryLogStressTest, ConcurrentWritersAndSnapshotReaders) {
+  MetricsRegistry metrics;
+  QueryLogOptions opts;
+  opts.capacity = 256;
+  opts.shards = 4;
+  opts.trace_capacity = 32;
+  opts.sample_every = 8;
+  QueryLog log(opts, &metrics);
+
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> appended{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      // Snapshots under concurrent wraparound must always be seq-unique
+      // and bounded — a torn read or an unsorted merge shows up here
+      // (and as a TSan report in the sanitizer lane).
+      while (!done.load(std::memory_order_acquire)) {
+        const auto records = log.SnapshotRecords();
+        EXPECT_LE(records.size(), opts.capacity);
+        for (size_t i = 1; i < records.size(); ++i) {
+          EXPECT_LT(records[i - 1].seq, records[i].seq);
+        }
+        EXPECT_LE(log.SnapshotTraces().size(), opts.trace_capacity);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        QueryLogRecord rec = OkRecord(100 + i);
+        rec.s = w;
+        if (i % 17 == 0) rec.outcome = QueryOutcome::kShed;
+        if (log.Append(rec) != 0) {
+          appended.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(appended.load(), static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(metrics.Snapshot().counters.at("querylog.records"),
+            appended.load());
+  const auto records = log.SnapshotRecords();
+  EXPECT_EQ(records.size(), opts.capacity);  // Full ring, never more.
+  std::set<uint64_t> seqs;
+  for (const auto& rec : records) seqs.insert(rec.seq);
+  EXPECT_EQ(seqs.size(), records.size());
+}
+
+}  // namespace
+}  // namespace ptldb

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -431,6 +432,106 @@ TEST(PtldbServerTest, FaultSoakNeverWedgesAndAnswersEverything) {
   // The registry is coherent after the storm (Snapshot walks every shard).
   const MetricsSnapshot snap = db->metrics()->Snapshot();
   EXPECT_GT(snap.counters.count("server.admitted"), 0u);
+}
+
+// Observability contract (DESIGN.md §11): every shed request leaves both a
+// query-log record (outcome=shed, cause attributing the admission decision)
+// and a retained trace — the 100%-tail-retention rule — and executed
+// requests populate the per-class queue-wait histograms.
+TEST(PtldbServerTest, ShedRequestsAlwaysLeaveRecordsAndTraces) {
+  auto db = MakeDb();
+  const Timetable& tt = SharedFixture().tt;
+  ServerOptions so;
+  so.num_workers = 2;
+  PtldbServer server(db.get(), so);
+  Rng rng(404);
+  constexpr int kExecuted = 8;
+  for (int i = 0; i < kExecuted; ++i) {
+    EXPECT_TRUE(server.Execute(V2vRequest(&rng, tt)).status.ok());
+    EXPECT_TRUE(server.Execute(KnnRequest(&rng, tt)).status.ok());
+  }
+  server.Shutdown();
+  // Post-shutdown submissions are shed deterministically (cause=stopping).
+  constexpr int kShed = 5;
+  for (int i = 0; i < kShed; ++i) {
+    const QueryResponse resp = server.Execute(KnnRequest(&rng, tt));
+    EXPECT_EQ(resp.status.code(), Status::Code::kOverloaded);
+  }
+
+  const MetricsSnapshot snap = db->metrics()->Snapshot();
+  // Counter-level retention equality: shed == retained-shed, exactly.
+  EXPECT_EQ(snap.counters.at("querylog.outcome.shed"), uint64_t{kShed});
+  EXPECT_EQ(snap.counters.at("traces.retained.shed"), uint64_t{kShed});
+  EXPECT_EQ(snap.counters.at("server.rejected.cause.stopping"),
+            uint64_t{kShed});
+  // Record-level: each shed left exactly one ring record with its cause,
+  // marked trace-retained, and the trace queue really holds its trace.
+  const auto records = db->query_log()->SnapshotRecords();
+  std::vector<uint64_t> shed_seqs;
+  for (const QueryLogRecord& r : records) {
+    if (r.outcome != QueryOutcome::kShed) continue;
+    EXPECT_STREQ(r.cause, "stopping");
+    EXPECT_TRUE(r.trace_retained);
+    shed_seqs.push_back(r.seq);
+  }
+  EXPECT_EQ(shed_seqs.size(), static_cast<size_t>(kShed));
+  const auto traces = db->query_log()->SnapshotTraces();
+  size_t shed_traces = 0;
+  for (const auto& t : traces) {
+    if (std::find(shed_seqs.begin(), shed_seqs.end(), t.seq) !=
+        shed_seqs.end()) {
+      ++shed_traces;
+    }
+  }
+  EXPECT_EQ(shed_traces, static_cast<size_t>(kShed));
+  // Executed requests landed in both per-class queue-wait histograms.
+  EXPECT_EQ(snap.histograms.at("server.queue_wait.interactive_ns").count,
+            uint64_t{kExecuted});
+  EXPECT_EQ(snap.histograms.at("server.queue_wait.expensive_ns").count,
+            uint64_t{kExecuted});
+}
+
+// ResetStats carves per-window deltas out of lifetime totals: it zeroes
+// every server.* counter and histogram, and nothing else — the query log,
+// querylog.* counters and query.* latencies keep accumulating.
+TEST(PtldbServerTest, ResetStatsZeroesServerMetricsOnly) {
+  auto db = MakeDb();
+  const Timetable& tt = SharedFixture().tt;
+  ServerOptions so;
+  so.num_workers = 2;
+  PtldbServer server(db.get(), so);
+  Rng rng(405);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(server.Execute(V2vRequest(&rng, tt)).status.ok());
+  }
+  const MetricsSnapshot before = db->metrics()->Snapshot();
+  EXPECT_GT(before.counters.at("server.admitted"), 0u);
+  EXPECT_GT(before.histograms.at("server.queue_wait.interactive_ns").count,
+            0u);
+  const uint64_t records_before = before.counters.at("querylog.records");
+  EXPECT_GT(records_before, 0u);
+
+  server.ResetStats();
+
+  const MetricsSnapshot after = db->metrics()->Snapshot();
+  for (const auto& [name, value] : after.counters) {
+    if (name.rfind("server.", 0) == 0) {
+      EXPECT_EQ(value, 0u) << name << " not reset";
+    }
+  }
+  for (const auto& [name, h] : after.histograms) {
+    if (name.rfind("server.", 0) == 0) {
+      EXPECT_EQ(h.count, 0u) << name << " not reset";
+      EXPECT_EQ(h.sum, 0u) << name << " not reset";
+    }
+  }
+  // Non-server metrics and the ring itself are untouched.
+  EXPECT_EQ(after.counters.at("querylog.records"), records_before);
+  EXPECT_FALSE(db->query_log()->SnapshotRecords().empty());
+  // The window restarts cleanly: new traffic re-accumulates from zero.
+  EXPECT_TRUE(server.Execute(V2vRequest(&rng, tt)).status.ok());
+  EXPECT_EQ(db->metrics()->counter("server.admitted")->value(), 1u);
+  server.Shutdown();
 }
 
 TEST(PtldbServerTest, IsExpensiveClassifiesQueryTypes) {

@@ -6,6 +6,7 @@
 #include "sql/interpreter.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "sql/system_tables.h"
 #include "timetable/example_graph.h"
 #include "timetable/generator.h"
 #include "ttl/builder.h"
@@ -727,6 +728,210 @@ TEST_F(SqlPaperQueriesTest, PaperWorkedExampleViaSql) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(std::get<int64_t>(result->rows[0][0]), 32400);
+}
+
+// ---------- String literals and typed comparisons ----------
+
+TEST(SqlLexerTest, StringLiteralsWithEscapes) {
+  const auto tokens = LexSql("SELECT 'poi' , 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, SqlTokenKind::kString);
+  EXPECT_EQ((*tokens)[1].text, "poi");
+  EXPECT_EQ((*tokens)[3].kind, SqlTokenKind::kString);
+  EXPECT_EQ((*tokens)[3].text, "it's");  // '' unescapes to one quote.
+  EXPECT_FALSE(LexSql("SELECT 'unterminated").ok());
+}
+
+TEST_F(SqlInterpreterTest, StringComparisonsAreTyped) {
+  // String-string comparisons evaluate; string-int mixes are errors, not
+  // silent falsehoods.
+  const auto rows = Run("SELECT id FROM nums WHERE 'a' = 'a'");
+  EXPECT_EQ(rows.rows.size(), 3u);
+  EXPECT_TRUE(Run("SELECT id FROM nums WHERE 'a' < 'b'").rows.size() == 3u);
+  EXPECT_TRUE(Run("SELECT id FROM nums WHERE 'a' = 'b'").rows.empty());
+  SqlInterpreter interpreter(&db_);
+  EXPECT_FALSE(interpreter.Execute("SELECT id FROM nums WHERE id = 'a'").ok());
+}
+
+// ---------- System tables: the database describes itself ----------
+
+// Goldens on the Figure-1 example: run known queries through the facade,
+// then read the self-description back through the SQL front-end. The
+// system tables materialize from live state and flow through the normal
+// executor, so predicates / projections / ORDER BY must compose.
+class SqlSystemTableTest : public testing::Test {
+ protected:
+  SqlSystemTableTest() : tt_(MakeExampleTimetable()) {
+    TtlBuildOptions options;
+    options.custom_order = ExampleVertexOrder();
+    index_ = std::move(BuildTtlIndex(tt_, options)).value();
+    PtldbOptions popts;
+    popts.device = DeviceProfile::Ram();
+    popts.query_log.sample_every = 0;  // Deterministic retention only.
+    db_ = std::move(PtldbDatabase::Build(index_, popts)).value();
+    PtldbDatabase* raw = db_.get();
+    catalog_ = std::make_unique<SystemTableCatalog>(
+        [raw] { return raw->Snapshot(); }, raw->query_log());
+  }
+
+  SqlRelation Run(const std::string& sql) {
+    SqlInterpreter interpreter(db_->engine());
+    interpreter.set_system_tables(catalog_.get());
+    auto result = interpreter.Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : SqlRelation{};
+  }
+
+  Timetable tt_;
+  TtlIndex index_;
+  std::unique_ptr<PtldbDatabase> db_;
+  std::unique_ptr<SystemTableCatalog> catalog_;
+};
+
+TEST_F(SqlSystemTableTest, SlowQueriesGoldenRecordForKnownQuery) {
+  EXPECT_TRUE(Run("SELECT seq FROM ptldb_slow_queries").rows.empty());
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+
+  const auto rows = Run(
+      "SELECT seq, type, outcome, s, g, t, latency_ns FROM "
+      "ptldb_slow_queries");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][0]), 1);  // First seq.
+  EXPECT_EQ(std::get<std::string>(rows.rows[0][1]), "v2v_ea");
+  EXPECT_EQ(std::get<std::string>(rows.rows[0][2]), "ok");
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][3]), 5);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][4]), 6);
+  EXPECT_EQ(std::get<int64_t>(rows.rows[0][5]), 28800);
+  EXPECT_GT(std::get<int64_t>(rows.rows[0][6]), 0);
+
+  // The per-row phase columns sum exactly to the latency column.
+  SqlRelation detail = Run(
+      "SELECT latency_ns, queue_wait_ns, admission_ns, plan_ns, "
+      "label_decode_ns, merge_ns, buffer_io_ns, callback_ns, other_ns "
+      "FROM ptldb_slow_queries");
+  ASSERT_EQ(detail.rows.size(), 1u);
+  int64_t phase_sum = 0;
+  for (size_t c = 1; c < detail.columns.size(); ++c) {
+    phase_sum += std::get<int64_t>(detail.rows[0][c]);
+  }
+  EXPECT_EQ(std::get<int64_t>(detail.rows[0][0]), phase_sum);
+}
+
+TEST_F(SqlSystemTableTest, StringPredicatesAndOrderingCompose) {
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+  ASSERT_TRUE(db_->EarliestArrival(6, 1, 28800).ok());
+  EXPECT_FALSE(db_->EaKnn("nope", 5, 28800, 2).ok());  // Unknown set.
+
+  const auto ok_rows = Run(
+      "SELECT seq FROM ptldb_slow_queries WHERE outcome = 'ok' "
+      "ORDER BY seq DESC LIMIT 1");
+  ASSERT_EQ(ok_rows.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(ok_rows.rows[0][0]), 2);
+
+  const auto err = Run(
+      "SELECT type, cause FROM ptldb_slow_queries WHERE outcome = 'error'");
+  ASSERT_EQ(err.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(err.rows[0][0]), "ea_knn");
+  EXPECT_EQ(std::get<std::string>(err.rows[0][1]), "not_found");
+}
+
+TEST_F(SqlSystemTableTest, TracesRetainErroredRequests) {
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());  // Fast ok: dropped.
+  EXPECT_FALSE(db_->EaKnn("nope", 5, 28800, 2).ok());
+
+  const auto traces =
+      Run("SELECT seq, type, reason, trace FROM ptldb_traces");
+  ASSERT_EQ(traces.rows.size(), 1u);  // 100% of errors, 0% of fast oks.
+  EXPECT_EQ(std::get<std::string>(traces.rows[0][1]), "ea_knn");
+  EXPECT_EQ(std::get<std::string>(traces.rows[0][2]), "error");
+  const std::string& json = std::get<std::string>(traces.rows[0][3]);
+  EXPECT_NE(json.find("\"cause\": \"not_found\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST_F(SqlSystemTableTest, StatsExposesCountersAndHistogramsWithNulls) {
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+
+  const auto counter = Run(
+      "SELECT value, p50 FROM ptldb_stats WHERE name = 'querylog.records'");
+  ASSERT_EQ(counter.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(counter.rows[0][0]), 1);
+  EXPECT_TRUE(SqlIsNull(counter.rows[0][1]));  // Counters have no quantiles.
+
+  const auto hist = Run(
+      "SELECT kind, count, value FROM ptldb_stats "
+      "WHERE name = 'query.v2v_ea.latency_ns'");
+  ASSERT_EQ(hist.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(hist.rows[0][0]), "histogram");
+  EXPECT_EQ(std::get<int64_t>(hist.rows[0][1]), 1);
+  EXPECT_TRUE(SqlIsNull(hist.rows[0][2]));  // Histograms have no value.
+
+  // The facade overlay: engine-side counters that live outside the
+  // registry (device, buffer pool) are still visible rows.
+  const auto device =
+      Run("SELECT value FROM ptldb_stats WHERE name = 'bufferpool.hits'");
+  ASSERT_EQ(device.rows.size(), 1u);
+
+  // ptldb_server is empty when no serving layer is attached — a golden in
+  // itself (library-embedded databases have no server.* slice).
+  EXPECT_TRUE(Run("SELECT name FROM ptldb_server").rows.empty());
+}
+
+TEST_F(SqlSystemTableTest, EngineTablesAreNotShadowedAndUnknownStillErrors) {
+  const auto lout = Run("SELECT v FROM lout WHERE v = 0");
+  EXPECT_FALSE(lout.rows.empty());  // Engine resolution unchanged.
+  SqlInterpreter interpreter(db_->engine());
+  interpreter.set_system_tables(catalog_.get());
+  EXPECT_FALSE(interpreter.Execute("SELECT x FROM no_such_table").ok());
+}
+
+// ---------- Phase attribution vs engine ground truth ----------
+
+// The exactness claim of DESIGN.md §11: summing the query log's phase.*
+// series reconstructs the engine's own counters with zero residue —
+// attribution is a partition of the same thread-local deltas, not a
+// parallel estimate.
+TEST(QueryLogAttributionTest, PhaseSumsEqualEngineCountersExactly) {
+  GeneratorOptions o;
+  o.num_stops = 60;
+  o.target_connections = 2500;
+  o.seed = 77;
+  const Timetable tt = std::move(GenerateNetwork(o)).value();
+  const TtlIndex index = std::move(BuildTtlIndex(tt)).value();
+  PtldbOptions popts;
+  popts.device = DeviceProfile::SataSsd();
+  popts.compressed_labels = true;  // Exercise the label_decode phase too.
+  popts.query_log.sample_every = 0;
+  auto db = std::move(PtldbDatabase::Build(index, popts)).value();
+
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    const auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
+    ASSERT_TRUE(db->EarliestArrival(s, g, tt.min_time()).ok());
+  }
+
+  const MetricsSnapshot snap = db->Snapshot();
+  uint64_t ns_sum = 0, decode_sum = 0, cmp_sum = 0, hub_sum = 0;
+  for (size_t p = 0; p < kNumQueryPhases; ++p) {
+    const std::string base =
+        std::string("phase.") + QueryPhaseName(static_cast<QueryPhase>(p));
+    const auto hist = snap.histograms.find(base + ".ns");
+    if (hist != snap.histograms.end()) ns_sum += hist->second.sum;
+    const auto get = [&](const char* leaf) {
+      const auto it = snap.counters.find(base + leaf);
+      return it == snap.counters.end() ? 0 : it->second;
+    };
+    decode_sum += get(".label_decodes");
+    cmp_sum += get(".label_comparisons");
+    hub_sum += get(".hubs_merged");
+  }
+  EXPECT_EQ(ns_sum, snap.counters.at("querylog.latency_ns"));
+  EXPECT_EQ(decode_sum, snap.counters.at("ttl.labels.decodes"));
+  EXPECT_EQ(cmp_sum, snap.counters.at("ttl.label_comparisons"));
+  EXPECT_EQ(hub_sum, snap.counters.at("ttl.hubs_merged"));
+  EXPECT_GT(decode_sum, 0u);  // The compressed tier actually served.
+  EXPECT_GT(hub_sum, 0u);
 }
 
 }  // namespace
