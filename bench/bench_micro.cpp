@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -29,6 +31,47 @@
 #include "timetable/generator.h"
 #include "ttl/builder.h"
 #include "ttl/query.h"
+
+// ---- Allocation probe ----------------------------------------------------
+// The binary's operator new/delete are replaced with counting versions so
+// the --json mode can prove the warm compiled-VM query path honors the
+// arena contract (DESIGN.md §13): zero heap allocations per warm v2v
+// query, and for kNN only the materialized result vector. Storage still
+// comes from malloc, so google-benchmark and the fixtures behave normally;
+// the counter is thread-local and the measured sections run on one thread.
+namespace {
+thread_local uint64_t g_bench_thread_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_bench_thread_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_bench_thread_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace ptldb {
 namespace {
@@ -191,6 +234,30 @@ double RunConcurrentV2v(PtldbDatabase* db, const Timetable& tt,
   return seconds;
 }
 
+/// Builds a phase record with p50/p95/p99 from per-query nanosecond
+/// samples. Sorts `ns` in place.
+BenchPhase PercentilePhase(const char* name, std::vector<uint64_t>& ns) {
+  std::sort(ns.begin(), ns.end());
+  uint64_t sum = 0;
+  for (const uint64_t v : ns) sum += v;
+  const auto pct = [&](double q) {
+    const auto idx =
+        static_cast<size_t>(q * static_cast<double>(ns.size() - 1) + 0.5);
+    return static_cast<double>(ns[std::min(idx, ns.size() - 1)]) / 1e6;
+  };
+  BenchPhase phase;
+  phase.name = name;
+  phase.seconds = static_cast<double>(sum) / 1e9;
+  phase.items = ns.size();
+  phase.ms_per_item =
+      static_cast<double>(sum) / 1e6 / static_cast<double>(ns.size());
+  phase.has_percentiles = true;
+  phase.p50_ms = pct(0.50);
+  phase.p95_ms = pct(0.95);
+  phase.p99_ms = pct(0.99);
+  return phase;
+}
+
 /// The --json mode: one manually-timed pass over a tiny generator city.
 /// Deterministic fixture (fixed seeds), so the emitted counters are stable
 /// enough for CI to assert they are nonzero. With --concurrency N > 1 the
@@ -286,10 +353,19 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
       (void)target->EarliestArrival(s, g, tt.min_time());
     }
   };
+  // This pair compares the label TIERS, so both sides are pinned to the
+  // interpreter: the tier gate asserts the in-memory merge join beats the
+  // volcano heap path, which only means something when the raw side
+  // actually runs the volcano plan. (The executor comparison has its own
+  // paired interp/vm phases below.)
+  db->set_compiled_queries(false);
+  cdb->set_compiled_queries(false);
   warm_pass(db.get());   // Heat the raw caches for the paired measurement.
   warm_pass(cdb.get());  // First pass decodes everything once.
   timed("v2v_ea_warm_raw_paired", kQueries, [&] { warm_pass(db.get()); });
   timed("v2v_ea_warm_compressed", kQueries, [&] { warm_pass(cdb.get()); });
+  db->set_compiled_queries(true);
+  cdb->set_compiled_queries(true);
 
   // Observability overhead: warm v2v with the query log + tail sampler
   // runtime-disabled vs enabled, on the SAME database so every other
@@ -335,28 +411,72 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
     qlog->set_enabled(true);  // The final snapshot must see the log live.
     const char* names[2] = {"v2v_ea_warm_obs_off", "v2v_ea_warm_obs_on"};
     for (const int mode : {0, 1}) {
-      std::sort(obs_ns[mode].begin(), obs_ns[mode].end());
-      uint64_t sum = 0;
-      for (const uint64_t v : obs_ns[mode]) sum += v;
-      const auto pct = [&](double q) {
-        const auto idx = static_cast<size_t>(
-            q * static_cast<double>(obs_ns[mode].size() - 1) + 0.5);
-        return static_cast<double>(
-                   obs_ns[mode][std::min(idx, obs_ns[mode].size() - 1)]) /
-               1e6;
-      };
-      BenchPhase phase;
-      phase.name = names[mode];
-      phase.seconds = static_cast<double>(sum) / 1e9;
-      phase.items = obs_ns[mode].size();
-      phase.ms_per_item = static_cast<double>(sum) / 1e6 /
-                          static_cast<double>(obs_ns[mode].size());
-      phase.has_percentiles = true;
-      phase.p50_ms = pct(0.50);
-      phase.p95_ms = pct(0.95);
-      phase.p99_ms = pct(0.99);
-      record.phases.push_back(phase);
+      record.phases.push_back(PercentilePhase(names[mode], obs_ns[mode]));
     }
+  }
+
+  // Paired interpreter-vs-VM warm phases: identical per-mode schedules on
+  // the SAME database with only the executor toggled, run in alternating
+  // batches (as above) so slow drift hits both sides equally. The checker
+  // requires the compiled-VM p50 to beat the interpreter p50 by 1.2x on
+  // both query shapes. The query log is disabled for the window so the
+  // allocation probe sees the query path alone: warm compiled v2v must
+  // not touch the heap at all, kNN only for the result vector.
+  int64_t vm_v2v_allocs = -1;
+  int64_t vm_knn_allocs = -1;
+  constexpr uint32_t kVmRounds = 8;
+  constexpr uint32_t kVmBatch = 250;
+  {
+    QueryLog* qlog = db->query_log();
+    qlog->set_enabled(false);
+    const auto paired = [&](const char* interp_name, const char* vm_name,
+                            uint64_t schedule,
+                            const std::function<void(Rng&)>& one_query)
+        -> int64_t {
+      std::vector<uint64_t> ns[2];
+      Rng mode_rng[2] = {Rng(schedule), Rng(schedule)};
+      for (auto& v : ns) v.reserve(kVmRounds * kVmBatch);
+      // One batch per executor up front: heats the schedule's pages and
+      // grows the VM's thread-local arena and scratch to steady state, so
+      // the count below reflects the warm path, not first touch.
+      for (const int mode : {0, 1}) {
+        Rng heat(schedule);
+        db->set_compiled_queries(mode == 1);
+        for (uint32_t i = 0; i < kVmBatch; ++i) one_query(heat);
+      }
+      uint64_t allocs = 0;
+      for (uint32_t round = 0; round < kVmRounds; ++round) {
+        for (const int mode : {0, 1}) {
+          db->set_compiled_queries(mode == 1);
+          const uint64_t allocs0 = g_bench_thread_allocs;
+          for (uint32_t i = 0; i < kVmBatch; ++i) {
+            const auto start = Clock::now();
+            one_query(mode_rng[mode]);
+            ns[mode].push_back(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - start)
+                    .count()));
+          }
+          if (mode == 1) allocs += g_bench_thread_allocs - allocs0;
+        }
+      }
+      db->set_compiled_queries(true);
+      record.phases.push_back(PercentilePhase(interp_name, ns[0]));
+      record.phases.push_back(PercentilePhase(vm_name, ns[1]));
+      return static_cast<int64_t>(allocs);
+    };
+    vm_v2v_allocs = paired(
+        "v2v_ea_warm_interp", "v2v_ea_warm_vm", 0x5eedf00dull, [&](Rng& r) {
+          const auto s = static_cast<StopId>(r.NextBelow(tt.num_stops()));
+          const auto g = static_cast<StopId>(r.NextBelow(tt.num_stops()));
+          (void)db->EarliestArrival(s, g, tt.min_time());
+        });
+    vm_knn_allocs = paired(
+        "ea_knn_warm_interp", "ea_knn_warm_vm", 0xca11ab1eull, [&](Rng& r) {
+          const auto q = static_cast<StopId>(r.NextBelow(tt.num_stops()));
+          (void)db->EaKnn("T", q, tt.min_time(), 4);
+        });
+    qlog->set_enabled(true);
   }
 
   if (concurrency > 1) {
@@ -398,6 +518,13 @@ int RunJsonMode(const std::string& path, uint32_t concurrency) {
   // never beat c1, it can only avoid collapsing. The checker reads this.
   record.metrics.gauges["bench.hardware_threads"] =
       static_cast<int64_t>(std::thread::hardware_concurrency());
+  // Allocation-probe totals across the measured warm VM batches (query
+  // log off). The checker divides by the query count and enforces the
+  // arena contract: v2v exactly zero, kNN at most the result vector.
+  record.metrics.gauges["bench.vm_warm_queries"] =
+      static_cast<int64_t>(kVmRounds) * kVmBatch;
+  record.metrics.gauges["bench.vm_v2v_warm_allocs"] = vm_v2v_allocs;
+  record.metrics.gauges["bench.vm_knn_warm_allocs"] = vm_knn_allocs;
   const Status s = WriteBenchJson(record, path);
   if (!s.ok()) {
     std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());

@@ -37,6 +37,7 @@ MICRO_NONZERO_COUNTERS = [
     "exec.index_seeks",
     "ttl.hubs_merged",
     "ttl.label_comparisons",
+    "exec.vm_steps",
     "query.v2v_ea.count",
     "query.ea_knn.count",
     "query.ea_otm.count",
@@ -105,6 +106,7 @@ def check_record(path):
         check_concurrency_scaling(path, record)
         check_compressed_labels(path, record)
         check_observability_overhead(path, record)
+        check_vm_speedup(path, record)
 
     print(f"{path}: ok ({len(record['phases'])} phases, "
           f"{len(metrics['counters'])} counters)")
@@ -362,6 +364,59 @@ def check_observability_overhead(path, record):
                    "recorded, so the overhead comparison is vacuous")
     print(f"{path}: observability overhead ok — warm v2v p50 "
           f"{on['p50_ms']:.4f} ms on vs {off['p50_ms']:.4f} ms off")
+
+
+def check_vm_speedup(path, record):
+    """Gates the compiled register VM (DESIGN.md §13) on a bench_micro
+    record. The paired warm phases run identical alternating schedules on
+    one database with only the executor toggled, so the comparison is
+    apples-to-apples on any machine:
+      - the compiled-VM p50 beats the interpreter p50 by at least 1.2x on
+        both query shapes (the observed margin is far larger — the gate
+        only needs to catch the VM silently falling back to the volcano
+        path, which would make the ratio ~1.0);
+      - the bench's allocation probe proves the arena contract: across
+        the measured warm VM batches, v2v made zero heap allocations and
+        kNN at most 3 per query (the materialized result vector).
+    """
+    phases = {p["name"]: p for p in record["phases"]}
+    for interp_name, vm_name in (("v2v_ea_warm_interp", "v2v_ea_warm_vm"),
+                                 ("ea_knn_warm_interp", "ea_knn_warm_vm")):
+        interp = phases.get(interp_name)
+        vm = phases.get(vm_name)
+        if interp is None or vm is None:
+            fail(path, f"paired executor phases ({interp_name}/{vm_name}) "
+                       "missing")
+        for phase in (interp, vm):
+            if "p50_ms" not in phase:
+                fail(path, f"{phase['name']}: missing p50_ms")
+            if phase["items"] == 0 or phase["p50_ms"] <= 0:
+                fail(path, f"{phase['name']}: empty or zero-latency phase")
+        if vm["p50_ms"] * 1.2 > interp["p50_ms"]:
+            fail(path,
+                 f"{vm_name}: p50 {vm['p50_ms']:.4f} ms vs interpreter "
+                 f"{interp['p50_ms']:.4f} ms — the compiled VM must beat "
+                 "the interpreter by at least 1.2x on the warm path")
+        print(f"{path}: {vm_name} p50 {vm['p50_ms']:.4f} ms vs interpreter "
+              f"{interp['p50_ms']:.4f} ms "
+              f"({interp['p50_ms'] / vm['p50_ms']:.1f}x)")
+
+    gauges = record["metrics"]["gauges"]
+    queries = gauges.get("bench.vm_warm_queries", 0)
+    if queries <= 0:
+        fail(path, "bench.vm_warm_queries missing — allocation probe absent")
+    v2v_allocs = gauges.get("bench.vm_v2v_warm_allocs", -1)
+    knn_allocs = gauges.get("bench.vm_knn_warm_allocs", -1)
+    if v2v_allocs != 0:
+        fail(path, f"warm compiled v2v made {v2v_allocs} heap allocations "
+                   f"over {queries} queries — the arena contract requires "
+                   "zero")
+    if knn_allocs < 0 or knn_allocs > 3 * queries:
+        fail(path, f"warm compiled kNN made {knn_allocs} heap allocations "
+                   f"over {queries} queries — more than the 3/query budget "
+                   "for the materialized result")
+    print(f"{path}: warm VM allocations ok — v2v {v2v_allocs}, "
+          f"kNN {knn_allocs} over {queries} queries each")
 
 
 def main():

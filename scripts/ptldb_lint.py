@@ -48,6 +48,17 @@ Rules (suppress one occurrence with `// NOLINT` or `// NOLINT(<rule>)`):
                        instead of lost to a console. `snprintf` into a
                        buffer is string formatting, not output, and is fine.
 
+  vm-hot-path-alloc    Heap allocation in the compiled-VM hot path
+                       (src/engine/vm.h, src/ptldb/compiled.*): `new`,
+                       make_unique/make_shared, or std-container growth
+                       (push_back / emplace / resize / reserve). The warm
+                       VM query path must carve every byte of scratch from
+                       the per-request bump arena (src/engine/arena.h,
+                       the one sanctioned allocation point), which resets
+                       in O(1); a stray container or naked new silently
+                       reintroduces steady-state heap traffic that the
+                       bench allocation gate only catches much later.
+
   value-on-temporary   `.value()` chained directly onto a freshly returned
                        Result temporary (`Fetch(id).value()`): nothing checked
                        ok() first, so a fault becomes an assert/UB instead of
@@ -89,6 +100,12 @@ DETERMINISTIC_PATHS = ["src/ttl/", "src/timetable/generator"]
 # bounded (see the unbounded-wait rule).
 REQUEST_WAIT_PATHS = ["src/server/", "src/engine/exec"]
 
+# The compiled-VM hot path, where all scratch must come from the arena
+# (see the vm-hot-path-alloc rule). arena.h itself is the sanctioned
+# allocation point and is deliberately not listed.
+VM_HOT_PATHS = ["src/engine/vm.h", "src/ptldb/compiled.h",
+                "src/ptldb/compiled.cc"]
+
 RE_VOID_CAST = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_:(]|static_cast\s*<\s*void\s*>")
 RE_NAKED_MUTEX = re.compile(
     r"std\s*::\s*(?:recursive_|timed_|shared_|recursive_timed_|shared_timed_)?"
@@ -112,6 +129,12 @@ RE_UNBOUNDED_WAIT = re.compile(
     r"(?:\.|->)\s*Wait\s*\(|"
     r"\bstd\s*::\s*(?:future|promise|packaged_task|latch|barrier|"
     r"counting_semaphore|binary_semaphore)\b"
+)
+# `new` as an allocation: the keyword itself (placement new included —
+# the arena is the only sanctioned placement target and lives elsewhere).
+RE_VM_ALLOC = re.compile(
+    r"\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|"
+    r"(?:\.|->)\s*(?:push_back|emplace_back|emplace|resize|reserve)\s*\("
 )
 RE_NOLINT = re.compile(r"//\s*NOLINT(?:\(([^)]*)\))?")
 
@@ -214,6 +237,7 @@ def lint_file(path, rel_path):
 
     deterministic = any(p in rel_path for p in DETERMINISTIC_PATHS)
     request_path = any(p in rel_path for p in REQUEST_WAIT_PATHS)
+    vm_hot_path = any(rel_path.endswith(p) for p in VM_HOT_PATHS)
 
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         if RE_VOID_CAST.search(line):
@@ -238,6 +262,11 @@ def lint_file(path, rel_path):
                    "unbounded blocking wait on the serving request path; "
                    "use CondVar::WaitFor/WaitUntil in a predicate loop so "
                    "the waiter re-checks stop/deadline state every tick")
+        if vm_hot_path and RE_VM_ALLOC.search(line):
+            report(lineno, "vm-hot-path-alloc",
+                   "heap allocation in the compiled-VM hot path; carve "
+                   "scratch from the per-request arena (engine/arena.h) "
+                   "so the warm path stays allocation-free")
         if RE_RAW_DIAGNOSTIC.search(line):
             report(lineno, "raw-diagnostic",
                    "raw stream/stdio output in library code; surface "
@@ -273,7 +302,7 @@ def main(argv):
     if "--list-rules" in argv:
         for rule in ("void-cast-status", "naked-mutex", "page-pointer-escape",
                      "ttl-nondeterminism", "unbounded-wait", "raw-diagnostic",
-                     "value-on-temporary"):
+                     "vm-hot-path-alloc", "value-on-temporary"):
             print(rule)
         return 0
     if not args:

@@ -184,6 +184,11 @@ struct LocalQueryCounters {
   uint64_t label_comparisons = 0;  ///< Label tuple comparisons in merges.
   uint64_t label_decodes = 0;      ///< Compressed label buckets decoded.
   uint64_t label_decode_bytes = 0;  ///< Encoded bytes those decodes read.
+  /// Compiled-query VM work units: one per instruction dispatch, per
+  /// bucket probe and per candidate tuple examined in the fused scan
+  /// macro-ops (see engine/vm.h). Zero on every interpreter path, so a
+  /// nonzero delta proves a query really ran compiled.
+  uint64_t vm_steps = 0;
   /// Modeled device I/O ns charged to this thread (page transfers plus
   /// retry-backoff waits). Mirrors the StorageDevice global atomics, but
   /// per-thread, so a query's I/O attribution stays exact under
@@ -196,6 +201,7 @@ struct LocalQueryCounters {
             label_comparisons - o.label_comparisons,
             label_decodes - o.label_decodes,
             label_decode_bytes - o.label_decode_bytes,
+            vm_steps - o.vm_steps,
             modeled_io_ns - o.modeled_io_ns};
   }
 };

@@ -1,0 +1,228 @@
+#ifndef PTLDB_ENGINE_ARENA_H_
+#define PTLDB_ENGINE_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ptldb {
+
+/// Per-request bump allocator backing the compiled-query VM (engine/vm.h,
+/// ptldb/compiled.cc). All per-query scratch — join/aggregate tables,
+/// candidate buffers, top-k staging — is carved from one of these instead
+/// of the global heap, and Reset() recycles everything in O(1) between
+/// requests.
+///
+/// Lifetime rules (DESIGN.md "Compiled query programs & arena memory"):
+///  - Allocate() never frees; pointers stay valid until the next Reset().
+///  - Reset() keeps every chunk, so a warm arena's steady state performs
+///    zero heap allocations: chunks grow to the high-water mark of the
+///    workload during the first requests and are bump-reused afterwards.
+///  - Only trivially-destructible payloads may live in an arena (nothing
+///    runs destructors); ArenaVector/ArenaInt32Map enforce this.
+///
+/// This header is the one sanctioned allocation point for VM hot-path
+/// code: the `vm-hot-path-alloc` lint rule bans operator new and
+/// std-container growth in vm.h/compiled.* but excludes this file, the
+/// same way thread_annotations.h is the sanctioned home of naked mutexes.
+///
+/// Not thread-safe; the VM keeps one arena per thread (thread_local), the
+/// same single-thread-per-query contract as LocalQueryCounters.
+class Arena {
+ public:
+  /// First-chunk size. Oversized requests get a dedicated chunk, so any
+  /// single allocation up to available memory works.
+  static constexpr size_t kMinChunkBytes = size_t{1} << 16;  // 64 KiB
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). The
+  /// returned memory is uninitialized and owned by the arena.
+  void* Allocate(size_t bytes, size_t align) {
+    assert(align != 0 && (align & (align - 1)) == 0);
+    while (chunk_ < chunks_.size()) {
+      const Chunk& c = chunks_[chunk_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+      const uintptr_t p = (base + offset_ + align - 1) & ~(align - 1);
+      if (p + bytes <= base + c.size) {
+        offset_ = static_cast<size_t>(p + bytes - base);
+        return reinterpret_cast<void*>(p);
+      }
+      // Current chunk exhausted: move to the next retained one (it may be
+      // larger — chunks double), or fall through to grow.
+      ++chunk_;
+      offset_ = 0;
+    }
+    Grow(bytes + align);
+    return Allocate(bytes, align);
+  }
+
+  /// Typed array allocation (uninitialized).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// O(1): rewinds to the first chunk, keeping every chunk for reuse.
+  /// Invalidates all memory previously handed out.
+  void Reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes held across chunks — the high-water footprint.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void Grow(size_t at_least) {
+    size_t want = chunks_.empty() ? kMinChunkBytes : chunks_.back().size * 2;
+    if (want < at_least) want = at_least;
+    chunks_.push_back({std::make_unique<std::byte[]>(want), want});
+    chunk_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;   // Index of the chunk currently bumped into.
+  size_t offset_ = 0;  // Bump offset within that chunk.
+};
+
+/// Growable array of a trivially-copyable T backed by an arena. Grow
+/// abandons the old buffer (the arena reclaims it at Reset), so steady
+/// state after warmup allocates nothing. The minimal surface the VM
+/// needs: append, indexed access, iteration for std::sort.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "ArenaVector payloads must be trivial (no destructors run)");
+
+ public:
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+
+  void PushBack(const T& value) {
+    if (size_ == capacity_) GrowStorage();
+    data_[size_++] = value;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops elements past `n` (no destructors; payloads are trivial).
+  void Truncate(size_t n) {
+    if (n < size_) size_ = n;
+  }
+
+ private:
+  void GrowStorage() {
+    const size_t new_capacity = capacity_ == 0 ? 16 : capacity_ * 2;
+    T* new_data = arena_->AllocateArray<T>(new_capacity);
+    if (size_ != 0) std::memcpy(new_data, data_, size_ * sizeof(T));
+    data_ = new_data;
+    capacity_ = new_capacity;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Open-addressing int32 -> int32 hash map in arena memory: the VM's
+/// GROUP BY stop aggregate (stop ids are dense non-negative ints, so -1
+/// is a free empty sentinel). Linear probing, power-of-two capacity,
+/// rehash at 50% load; rehashes abandon the old slot array to the arena.
+class ArenaInt32Map {
+ public:
+  struct Slot {
+    int32_t key;
+    int32_t value;
+  };
+  static constexpr int32_t kEmptyKey = -1;
+
+  explicit ArenaInt32Map(Arena* arena) : arena_(arena) {}
+
+  /// The value slot for `key` (which must be >= 0), inserting it with
+  /// `init` when absent. The pointer is valid until the next insertion.
+  int32_t* FindOrInsert(int32_t key, int32_t init) {
+    assert(key >= 0);
+    if (size_ * 2 >= capacity_) Rehash();
+    const size_t mask = capacity_ - 1;
+    size_t i = Hash(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) {
+        s.key = key;
+        s.value = init;
+        ++size_;
+        return &s.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  /// Every slot including empties (key == kEmptyKey); callers draining
+  /// the aggregate skip those.
+  std::span<const Slot> slots() const { return {slots_, capacity_}; }
+
+ private:
+  static size_t Hash(int32_t key) {
+    uint64_t h = static_cast<uint32_t>(key);
+    h *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing.
+    return static_cast<size_t>(h >> 32);
+  }
+
+  void Rehash() {
+    const size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
+    Slot* new_slots = arena_->AllocateArray<Slot>(new_capacity);
+    for (size_t i = 0; i < new_capacity; ++i) {
+      new_slots[i].key = kEmptyKey;
+    }
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < capacity_; ++i) {
+      const Slot& s = slots_[i];
+      if (s.key == kEmptyKey) continue;
+      size_t j = Hash(s.key) & mask;
+      while (new_slots[j].key != kEmptyKey) j = (j + 1) & mask;
+      new_slots[j] = s;
+    }
+    slots_ = new_slots;
+    capacity_ = new_capacity;
+  }
+
+  Arena* arena_;
+  Slot* slots_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace ptldb
+
+#endif  // PTLDB_ENGINE_ARENA_H_

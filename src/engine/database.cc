@@ -39,6 +39,17 @@ Result<std::optional<Row>> EngineTable::Get(IndexKey key,
   return std::optional<Row>{std::move(*row)};
 }
 
+Result<bool> EngineTable::GetInto(IndexKey key, BufferPool* pool,
+                                  RowScratch* scratch) const {
+  ++ThisThreadQueryCounters().index_seeks;
+  auto locator = index_.Find(key, pool);
+  PTLDB_RETURN_IF_ERROR(locator.status());
+  if (!locator->has_value()) return false;
+  ++ThisThreadQueryCounters().tuples_scanned;
+  PTLDB_RETURN_IF_ERROR(heap_.ReadInto(**locator, schema_, pool, scratch));
+  return true;
+}
+
 Result<EngineTable*> EngineDatabase::CreateTable(const std::string& name,
                                                  Schema schema,
                                                  uint32_t pk_columns) {
@@ -142,6 +153,7 @@ ScopedEngineSpan::~ScopedEngineSpan() {
   attach("rows.emitted", local.rows_emitted);
   attach("hubs.merged", local.hubs_merged);
   attach("label.comparisons", local.label_comparisons);
+  attach("vm.steps", local.vm_steps);
   trace_->End();
 }
 

@@ -53,6 +53,14 @@ class EngineTable {
   /// index_seeks/tuples_scanned counters (see LocalQueryCounters).
   Result<std::optional<Row>> Get(IndexKey key, BufferPool* pool) const;
 
+  /// Allocation-free point lookup for the compiled query path: decodes
+  /// into `scratch` via HeapFile::ReadInto instead of building a Row.
+  /// Returns false when the key is absent (scratch untouched). Bumps the
+  /// same index_seeks/tuples_scanned counters as Get, so EXPLAIN ANALYZE
+  /// accounting is identical across the two paths.
+  Result<bool> GetInto(IndexKey key, BufferPool* pool,
+                       RowScratch* scratch) const;
+
   /// Range cursor over (key, row) pairs with key >= `first_key`. A faulted
   /// scan ends with Valid() == false and a non-OK status(); callers must
   /// check status() after the loop to distinguish errors from a clean end.

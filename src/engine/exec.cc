@@ -46,14 +46,20 @@ class IndexRangeScanOp : public Operator {
       : cursor_(table->Seek(first_key, pool)), last_key_(last_key) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     if (!cursor_.Valid()) {
       status_ = cursor_.status();  // OK on a clean end of scan.
+      done_ = true;
       return std::nullopt;
     }
-    if (cursor_.key() > last_key_) return std::nullopt;
+    if (cursor_.key() > last_key_) {
+      done_ = true;
+      return std::nullopt;
+    }
     auto row = cursor_.row();
     if (!row.ok()) {
       status_ = row.status();
+      done_ = true;
       return std::nullopt;
     }
     cursor_.Next();
@@ -65,6 +71,12 @@ class IndexRangeScanOp : public Operator {
  private:
   EngineTable::Cursor cursor_;
   IndexKey last_key_;
+  // End/fault latch (the Operator contract in exec.h): the faulting read
+  // did not advance the cursor, so without the latch a pull after a
+  // transient mid-scan fault would retry the read, resume the stream, and
+  // a later clean end would overwrite the parked error with OK — turning
+  // a mid-stream I/O error into a silently truncated-but-OK result.
+  bool done_ = false;
   Status status_ = Status::Ok();
 };
 
@@ -78,6 +90,7 @@ class UnnestOp : public Operator {
         limit_elems_(limit_elems) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     while (true) {
       if (current_ && elem_ < elem_count_) {
         Row out;
@@ -90,7 +103,10 @@ class UnnestOp : public Operator {
         return out;
       }
       current_ = child_->Next();
-      if (!current_) return std::nullopt;
+      if (!current_) {
+        done_ = true;
+        return std::nullopt;
+      }
       elem_ = 0;
       elem_count_ = array_cols_.empty()
                         ? 0
@@ -103,6 +119,9 @@ class UnnestOp : public Operator {
           status_ = Status::Corruption(
               "parallel UNNEST arrays have unequal lengths");
           current_.reset();
+          // Latch: a pull after the corruption must not fetch the next
+          // child row and keep streaming past a damaged page.
+          done_ = true;
           return std::nullopt;
         }
       }
@@ -122,6 +141,7 @@ class UnnestOp : public Operator {
   std::optional<Row> current_;
   uint32_t elem_ = 0;
   uint32_t elem_count_ = 0;
+  bool done_ = false;
   Status status_ = Status::Ok();
 };
 
@@ -171,10 +191,12 @@ class IndexJoinOp : public Operator {
         pool_(pool) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     while (auto left = child_->Next()) {
       auto right = table_->Get(key_fn_(*left), pool_);
       if (!right.ok()) {
         status_ = right.status();
+        done_ = true;
         return std::nullopt;
       }
       if (!right->has_value()) continue;
@@ -183,6 +205,7 @@ class IndexJoinOp : public Operator {
                  std::make_move_iterator((*right)->end()));
       return out;
     }
+    done_ = true;
     return std::nullopt;
   }
 
@@ -195,6 +218,7 @@ class IndexJoinOp : public Operator {
   const EngineTable* table_;
   std::function<IndexKey(const Row&)> key_fn_;
   BufferPool* pool_;
+  bool done_ = false;
   Status status_ = Status::Ok();
 };
 
@@ -210,6 +234,7 @@ class IndexRangeJoinOp : public Operator {
         pool_(pool) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     while (true) {
       if (cursor_) {
         if (cursor_->Valid() && cursor_->key() <= hi_) {
@@ -217,6 +242,7 @@ class IndexRangeJoinOp : public Operator {
           auto right = cursor_->row();
           if (!right.ok()) {
             status_ = right.status();
+            done_ = true;
             return std::nullopt;
           }
           out.insert(out.end(), std::make_move_iterator(right->begin()),
@@ -226,11 +252,15 @@ class IndexRangeJoinOp : public Operator {
         }
         if (!cursor_->status().ok()) {
           status_ = cursor_->status();
+          done_ = true;
           return std::nullopt;
         }
       }
       left_ = child_->Next();
-      if (!left_) return std::nullopt;
+      if (!left_) {
+        done_ = true;
+        return std::nullopt;
+      }
       hi_ = hi_fn_(*left_);
       cursor_.emplace(table_->Seek(lo_fn_(*left_), pool_));
     }
@@ -249,6 +279,7 @@ class IndexRangeJoinOp : public Operator {
   std::optional<Row> left_;
   std::optional<EngineTable::Cursor> cursor_;
   IndexKey hi_ = 0;
+  bool done_ = false;
   Status status_ = Status::Ok();
 };
 
@@ -262,6 +293,7 @@ class HashJoinOp : public Operator {
         right_key_col_(right_key_col) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     if (!built_) {
       // The build phase consumes the whole right input inside one Next()
       // call, so it carries its own cancellation checkpoint — the
@@ -270,13 +302,17 @@ class HashJoinOp : public Operator {
       while (auto row = right_->Next()) {
         if (Status s = CheckQueryCheckpoint(); !s.ok()) {
           status_ = std::move(s);
+          done_ = true;
           return std::nullopt;
         }
         table_[(*row)[right_key_col_].AsInt()].push_back(std::move(*row));
       }
       built_ = true;
     }
-    if (!status_.ok() || !right_->status().ok()) return std::nullopt;
+    if (!status_.ok() || !right_->status().ok()) {
+      done_ = true;
+      return std::nullopt;
+    }
     while (true) {
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         Row out = *current_left_;
@@ -285,7 +321,10 @@ class HashJoinOp : public Operator {
         return out;
       }
       current_left_ = left_->Next();
-      if (!current_left_) return std::nullopt;
+      if (!current_left_) {
+        done_ = true;
+        return std::nullopt;
+      }
       const auto it = table_.find((*current_left_)[left_key_col_].AsInt());
       matches_ = it == table_.end() ? nullptr : &it->second;
       match_index_ = 0;
@@ -303,6 +342,7 @@ class HashJoinOp : public Operator {
   OperatorPtr right_;
   int left_key_col_;
   int right_key_col_;
+  bool done_ = false;
   Status status_ = Status::Ok();
   bool built_ = false;
   std::unordered_map<int32_t, std::vector<Row>> table_;
@@ -385,7 +425,8 @@ class SortOp : public Operator {
     }
     if (!status_.ok() || !child_->status().ok()) return std::nullopt;
     if (next_ >= rows_.size()) return std::nullopt;
-    return rows_[next_++];
+    // Moved out, not copied: next_ only advances, so the slot is dead.
+    return std::move(rows_[next_++]);
   }
 
   Status status() const override {
@@ -406,9 +447,15 @@ class LimitOp : public Operator {
   LimitOp(OperatorPtr child, uint64_t n) : child_(std::move(child)), n_(n) {}
 
   std::optional<Row> Next() override {
-    if (emitted_ >= n_) return std::nullopt;
+    if (done_ || emitted_ >= n_) return std::nullopt;
     auto row = child_->Next();
-    if (row) ++emitted_;
+    if (row) {
+      ++emitted_;
+    } else {
+      // Latch so a pull after the child's end (clean or faulted) can never
+      // re-drive a child whose fault state is not itself latched.
+      done_ = true;
+    }
     return row;
   }
 
@@ -418,6 +465,7 @@ class LimitOp : public Operator {
   OperatorPtr child_;
   uint64_t n_;
   uint64_t emitted_ = 0;
+  bool done_ = false;
 };
 
 class ConcatOp : public Operator {
@@ -426,11 +474,19 @@ class ConcatOp : public Operator {
       : children_(std::move(children)) {}
 
   std::optional<Row> Next() override {
+    if (done_) return std::nullopt;
     while (current_ < children_.size()) {
       if (auto row = children_[current_]->Next()) return row;
-      if (!children_[current_]->status().ok()) return std::nullopt;
+      if (!children_[current_]->status().ok()) {
+        // Latch on the faulted child: a later pull must not re-drive it
+        // (nor skip ahead to the next child and keep emitting rows past
+        // the fault point).
+        done_ = true;
+        return std::nullopt;
+      }
       ++current_;
     }
+    done_ = true;
     return std::nullopt;
   }
 
@@ -444,6 +500,7 @@ class ConcatOp : public Operator {
  private:
   std::vector<OperatorPtr> children_;
   size_t current_ = 0;
+  bool done_ = false;
 };
 
 class VectorSourceOp : public Operator {
@@ -452,7 +509,10 @@ class VectorSourceOp : public Operator {
 
   std::optional<Row> Next() override {
     if (next_ >= rows_.size()) return std::nullopt;
-    return rows_[next_++];
+    // Moved out, not copied: the source vector is owned by this operator
+    // and each slot is read exactly once, so handing the row's array
+    // buffers to the consumer saves one deep copy per emitted row.
+    return std::move(rows_[next_++]);
   }
 
  private:

@@ -21,6 +21,15 @@ namespace ptldb {
 /// exhausting the stream — Execute() does this and returns the error, so
 /// a faulted plan can never be mistaken for a short result.
 ///
+/// End-of-stream is latched: once Next() has returned nullopt, every later
+/// Next() returns nullopt and status() keeps reporting the same fault.
+/// Without the latch, a pull-after-fault could retry the failed read (a
+/// transient injected fault then *succeeds*, silently resuming a stream
+/// whose consumer already saw it end) or overwrite the parked error with a
+/// clean end-of-scan OK — both turn a mid-stream kIoError into a
+/// truncated-but-OK result. Stateful operators each carry a done_ latch;
+/// pure pass-throughs (Filter/Project) inherit the child's.
+///
 /// Page-pin contract: operators never hold BufferPool PageGuards across
 /// Next() calls. Table access goes through EngineTable::Get and cursors
 /// that remember (page id, slot) and re-fetch per call, so a suspended

@@ -179,4 +179,85 @@ Result<Row> HeapFile::Read(const RowLocator& locator, const Schema& schema,
   return row;
 }
 
+Status HeapFile::ReadInto(const RowLocator& locator, const Schema& schema,
+                          BufferPool* pool, RowScratch* scratch) const {
+  // Same validation ladder as Read above, clause for clause: a locator or
+  // payload the allocating reader rejects must be rejected here too.
+  if (locator.length > kMaxRowBytes) {
+    return Status::Corruption("row locator length " +
+                              std::to_string(locator.length) +
+                              " exceeds sanity bound");
+  }
+  const uint64_t store_bytes = store_->num_pages() * kPageSize;
+  if (locator.offset > store_bytes ||
+      locator.offset + locator.length > store_bytes) {
+    return Status::Corruption("row locator points past end of store");
+  }
+
+  scratch->bytes.resize(locator.length);
+  scratch->ints.clear();
+  scratch->cols.clear();
+
+  uint64_t offset = locator.offset;
+  uint32_t copied = 0;
+  while (copied < locator.length) {
+    const PageId page = offset / kPageSize;
+    const uint32_t in_page = static_cast<uint32_t>(offset % kPageSize);
+    const uint32_t room = kPageSize - in_page;
+    const uint32_t chunk = std::min(room, locator.length - copied);
+    auto guard = pool->Fetch(page);
+    PTLDB_RETURN_IF_ERROR(guard.status());
+    std::memcpy(scratch->bytes.data() + copied,
+                (*guard)->bytes.data() + in_page, chunk);
+    copied += chunk;
+    offset += chunk;
+  }
+
+  const uint8_t* cursor = scratch->bytes.data();
+  const uint8_t* end = scratch->bytes.data() + scratch->bytes.size();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    RowScratch::Column col;
+    switch (schema.column(i).type) {
+      case ColumnType::kInt32:
+        if (end - cursor < 4) {
+          return Status::Corruption("truncated row: int32 column " +
+                                    std::to_string(i));
+        }
+        col.scalar = GetI32(cursor);
+        cursor += 4;
+        break;
+      case ColumnType::kInt32Array: {
+        if (end - cursor < 4) {
+          return Status::Corruption("truncated row: array count, column " +
+                                    std::to_string(i));
+        }
+        const uint32_t count = GetU32(cursor);
+        cursor += 4;
+        if (static_cast<uint64_t>(end - cursor) <
+            static_cast<uint64_t>(count) * 4) {
+          return Status::Corruption("truncated row: array body, column " +
+                                    std::to_string(i));
+        }
+        col.is_array = true;
+        col.offset = static_cast<uint32_t>(scratch->ints.size());
+        col.length = count;
+        scratch->ints.resize(scratch->ints.size() + count);
+        if (count > 0) {
+          std::memcpy(scratch->ints.data() + col.offset, cursor,
+                      static_cast<size_t>(count) * 4);
+        }
+        cursor += static_cast<size_t>(count) * 4;
+        break;
+      }
+    }
+    scratch->cols.push_back(col);
+  }
+  if (cursor != end) {
+    return Status::Corruption("row has " +
+                              std::to_string(end - cursor) +
+                              " trailing bytes after last column");
+  }
+  return Status::Ok();
+}
+
 }  // namespace ptldb

@@ -2,6 +2,8 @@
 #define PTLDB_ENGINE_HEAP_FILE_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "engine/buffer_pool.h"
 #include "engine/pager.h"
@@ -19,6 +21,32 @@ struct RowLocator {
   uint32_t length = 0;  ///< Serialized length in bytes.
 
   friend bool operator==(const RowLocator&, const RowLocator&) = default;
+};
+
+/// Reusable decode target for HeapFile::ReadInto: the row's raw bytes,
+/// its array payloads and its column directory live in buffers that are
+/// cleared — not freed — between reads, so a warm reader (the compiled
+/// query VM, see engine/vm.h) materializes rows with zero steady-state
+/// heap allocation. Column values are viewed through scalar()/array(),
+/// which index into the shared `ints` pool; views are invalidated by the
+/// next ReadInto against the same scratch.
+struct RowScratch {
+  struct Column {
+    int32_t scalar = 0;    ///< Value when !is_array.
+    uint32_t offset = 0;   ///< Start in `ints` when is_array.
+    uint32_t length = 0;   ///< Element count when is_array.
+    bool is_array = false;
+  };
+
+  std::vector<uint8_t> bytes;  ///< Serialized row bytes (page gather target).
+  std::vector<int32_t> ints;   ///< Decoded array payloads, back to back.
+  std::vector<Column> cols;    ///< One entry per schema column.
+
+  int32_t scalar(size_t col) const { return cols[col].scalar; }
+  std::span<const int32_t> array(size_t col) const {
+    const Column& c = cols[col];
+    return {ints.data() + c.offset, c.length};
+  }
 };
 
 /// Append-only heap storage for rows. Rows are serialized back-to-back and
@@ -43,6 +71,13 @@ class HeapFile {
   /// must never crash the process or fabricate a row).
   Result<Row> Read(const RowLocator& locator, const Schema& schema,
                    BufferPool* pool) const;
+
+  /// Allocation-free variant of Read for the compiled query path: decodes
+  /// into `scratch`'s reusable buffers instead of building a Row. Applies
+  /// the exact same locator / bounds / truncation validation as Read —
+  /// the two must never diverge on what counts as a corrupt row.
+  Status ReadInto(const RowLocator& locator, const Schema& schema,
+                  BufferPool* pool, RowScratch* scratch) const;
 
   uint64_t num_pages() const { return num_pages_; }
 

@@ -1,0 +1,354 @@
+#include "ptldb/compiled.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/query_context.h"
+#include "engine/arena.h"
+#include "ptldb/label_merge.h"
+#include "ptldb/tables.h"
+
+namespace ptldb {
+
+namespace {
+
+// All per-request VM scratch, one instance per thread: the bump arena for
+// aggregate tables and top-k staging, the decode targets for label and
+// bucket rows. Everything here reaches its high-water size during the
+// first requests and is reused (Reset / clear-keeping-capacity)
+// afterwards — the zero-steady-state-allocation contract of the warm
+// path. Queries run on one thread (the same contract as
+// LocalQueryCounters), so no synchronization is needed.
+struct VmState {
+  Arena arena;
+  LabelArrays out_arrays;  // Compressed-tier decode target, out label.
+  LabelArrays in_arrays;   // Compressed-tier decode target, in label.
+  RowScratch out_row;      // Raw-tier decode target, out label.
+  RowScratch in_row;       // Raw-tier decode target, in label.
+  RowScratch bucket_row;   // Probed bucket rows (reused per probe).
+};
+
+VmState& ThisThreadVmState() {
+  static thread_local VmState state;
+  return state;
+}
+
+// Loads one stop's label row into `view`, from whichever tier the program
+// was compiled against. Returns false when the stop has no label (unknown
+// stop / missing heap row) — the empty answer, not a fault. The view
+// borrows `arrays` or `scratch`, which must outlive its use.
+Result<bool> LoadLabel(EngineDatabase* db, const VmProgram& prog,
+                       bool outbound, StopId v, LabelArrays* arrays,
+                       RowScratch* scratch, LabelRowView* view) {
+  if (prog.labels != nullptr) {
+    if (v >= prog.labels->num_stops()) return false;
+    auto decoded = DecodeCounted(
+        *prog.labels,
+        outbound ? LabelStore::Direction::kOut : LabelStore::Direction::kIn, v,
+        arrays);
+    PTLDB_RETURN_IF_ERROR(decoded.status());
+    *view = LabelRowView(*decoded);
+    return true;
+  }
+  const EngineTable* table = outbound ? prog.lout : prog.lin;
+  auto found =
+      table->GetInto(static_cast<IndexKey>(v), db->buffer_pool(), scratch);
+  PTLDB_RETURN_IF_ERROR(found.status());
+  if (!*found) return false;
+  // CheckLabelRow parity (label_merge.h): the three arrays are parallel
+  // by construction, so a mismatch means the row decoded from a corrupt
+  // page.
+  if (scratch->cols.size() < 4 || !scratch->cols[1].is_array ||
+      !scratch->cols[2].is_array || !scratch->cols[3].is_array) {
+    return Status::Corruption("label row has too few columns");
+  }
+  const auto hubs = scratch->array(1);
+  const auto tds = scratch->array(2);
+  const auto tas = scratch->array(3);
+  if (tds.size() != hubs.size() || tas.size() != hubs.size()) {
+    return Status::Corruption("label row arrays have unequal lengths");
+  }
+  *view = LabelRowView(hubs, tds, tas);
+  return true;
+}
+
+// Bucket row layout (BuildTargetSetTables): 0 hub, 1 hour, 2 vs,
+// 3 condensed time (tas for EA tables, tds for LD), 4 tds_exp, 5 vs_exp,
+// 6 tas_exp. The condensed pair and the expanded triple are each
+// parallel; UnnestOp treats a mismatch as corruption and so do we.
+struct BucketRowView {
+  std::span<const int32_t> vs;
+  std::span<const int32_t> cond;
+  std::span<const int32_t> tds_exp;
+  std::span<const int32_t> vs_exp;
+  std::span<const int32_t> tas_exp;
+};
+
+Status ViewBucketRow(const RowScratch& scratch, BucketRowView* view) {
+  if (scratch.cols.size() < 7) {
+    return Status::Corruption("bucket row has too few columns");
+  }
+  view->vs = scratch.array(2);
+  view->cond = scratch.array(3);
+  view->tds_exp = scratch.array(4);
+  view->vs_exp = scratch.array(5);
+  view->tas_exp = scratch.array(6);
+  if (view->cond.size() != view->vs.size() ||
+      view->vs_exp.size() != view->tds_exp.size() ||
+      view->tas_exp.size() != view->tds_exp.size()) {
+    return Status::Corruption("parallel UNNEST arrays have unequal lengths");
+  }
+  return Status::Ok();
+}
+
+// Folds `value` for stop `v` into the per-stop aggregate.
+void AggMin(ArenaInt32Map* agg, int32_t v, int32_t value) {
+  int32_t* slot = agg->FindOrInsert(v, value);
+  *slot = std::min(*slot, value);
+}
+
+void AggMax(ArenaInt32Map* agg, int32_t v, int32_t value) {
+  int32_t* slot = agg->FindOrInsert(v, value);
+  *slot = std::max(*slot, value);
+}
+
+// Fused Code 3 scan (one kScanEaBuckets instruction): for every n1 label
+// tuple departing at or after t, probe the (hub, dephour) bucket row and
+// fold both branches — the condensed top-k columns and the expanded
+// in-bucket tuples with the l1.ta <= l2.td feasibility check — into the
+// global per-stop minimum. Step accounting: one vm_step per probe and
+// one per candidate element examined.
+Status ScanEaBuckets(EngineDatabase* db, const VmProgram& prog,
+                     const LabelRowView& n1, Timestamp t, uint32_t k,
+                     ArenaInt32Map* agg, RowScratch* scratch) {
+  auto& counters = ThisThreadQueryCounters();
+  BufferPool* pool = db->buffer_pool();
+  for (size_t i = 0; i < n1.size(); ++i) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    if (n1.tds[i] < t) continue;
+    ++counters.vm_steps;
+    auto found = prog.buckets->GetInto(
+        MakeCompositeKey(n1.hubs[i], n1.tas[i] / prog.bucket_seconds), pool,
+        scratch);
+    PTLDB_RETURN_IF_ERROR(found.status());
+    if (!*found) continue;
+    BucketRowView row;
+    PTLDB_RETURN_IF_ERROR(ViewBucketRow(*scratch, &row));
+    // Branch A: the condensed (v, ta) pairs, first k per bucket row (the
+    // vs[1:k] slice of Code 3; k == 0 = OTM = no slice).
+    const size_t lim =
+        k == 0 ? row.vs.size() : std::min<size_t>(row.vs.size(), k);
+    for (size_t j = 0; j < lim; ++j) {
+      ++counters.vm_steps;
+      AggMin(agg, row.vs[j], row.cond[j]);
+    }
+    // Branch B: expanded in-bucket tuples, still checking l1.ta <= l2.td.
+    for (size_t j = 0; j < row.tds_exp.size(); ++j) {
+      ++counters.vm_steps;
+      if (n1.tas[i] <= row.tds_exp[j]) {
+        AggMin(agg, row.vs_exp[j], row.tas_exp[j]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Fused Code 4 scan: every n1 tuple probes the single arrival-hour
+// bucket; both branches require the label departure to be boardable
+// (l2.td >= l1.ta), branch B additionally l2.ta <= t. The aggregated
+// value is the n1 departure time (the answer of an LD query is when to
+// leave, not when to arrive).
+Status ScanLdBuckets(EngineDatabase* db, const VmProgram& prog,
+                     const LabelRowView& n1, Timestamp t, uint32_t k,
+                     ArenaInt32Map* agg, RowScratch* scratch) {
+  auto& counters = ThisThreadQueryCounters();
+  BufferPool* pool = db->buffer_pool();
+  const int32_t arrhour = std::min(t / prog.bucket_seconds, prog.max_bucket);
+  for (size_t i = 0; i < n1.size(); ++i) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    ++counters.vm_steps;
+    auto found = prog.buckets->GetInto(MakeCompositeKey(n1.hubs[i], arrhour),
+                                       pool, scratch);
+    PTLDB_RETURN_IF_ERROR(found.status());
+    if (!*found) continue;
+    BucketRowView row;
+    PTLDB_RETURN_IF_ERROR(ViewBucketRow(*scratch, &row));
+    const size_t lim =
+        k == 0 ? row.vs.size() : std::min<size_t>(row.vs.size(), k);
+    for (size_t j = 0; j < lim; ++j) {
+      ++counters.vm_steps;
+      if (row.cond[j] >= n1.tas[i]) {
+        AggMax(agg, row.vs[j], n1.tds[i]);
+      }
+    }
+    for (size_t j = 0; j < row.tds_exp.size(); ++j) {
+      ++counters.vm_steps;
+      if (row.tds_exp[j] >= n1.tas[i] && row.tas_exp[j] <= t) {
+        AggMax(agg, row.vs_exp[j], n1.tds[i]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+VmProgram CompileV2v(EngineDatabase* db, CompiledV2vKind kind,
+                     const LabelStore* labels) {
+  VmProgram p;
+  p.labels = labels;
+  p.lout = db->FindTable(kLoutTable);
+  p.lin = db->FindTable(kLinTable);
+  p.empty_result =
+      kind == CompiledV2vKind::kLd ? kNegInfinityTime : kInfinityTime;
+  p.Push(VmOp::kLoadOut, 0);
+  p.Push(VmOp::kLoadIn, 1);
+  switch (kind) {
+    case CompiledV2vKind::kEa:
+      p.Push(VmOp::kMergeEa, 0, 1);
+      break;
+    case CompiledV2vKind::kLd:
+      p.Push(VmOp::kMergeLd, 0, 1);
+      break;
+    case CompiledV2vKind::kSd:
+      p.Push(VmOp::kMergeSd, 0, 1);
+      break;
+  }
+  p.valid =
+      labels != nullptr || (p.lout != nullptr && p.lin != nullptr);
+  return p;
+}
+
+VmProgram CompileSetQuery(EngineDatabase* db, bool ld,
+                          const std::string& bucket_table,
+                          Timestamp bucket_seconds, int32_t max_bucket,
+                          uint32_t kmax, const LabelStore* labels) {
+  VmProgram p;
+  p.labels = labels;
+  p.lout = db->FindTable(kLoutTable);
+  p.buckets = db->FindTable(bucket_table);
+  p.bucket_seconds = bucket_seconds;
+  p.max_bucket = max_bucket;
+  p.kmax = kmax;
+  p.Push(VmOp::kLoadOut, 0);
+  p.Push(ld ? VmOp::kScanLdBuckets : VmOp::kScanEaBuckets, 0);
+  p.Push(VmOp::kEmitTopK, ld ? 1 : 0);
+  p.valid =
+      p.buckets != nullptr && (labels != nullptr || p.lout != nullptr);
+  return p;
+}
+
+Result<Timestamp> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
+                                 StopId s, StopId g, Timestamp t,
+                                 Timestamp t_end) {
+  VmState& state = ThisThreadVmState();
+  state.arena.Reset();
+  auto& counters = ThisThreadQueryCounters();
+  LabelRowView reg[2];
+  for (uint8_t pc = 0; pc < prog.num_instrs; ++pc) {
+    const VmInstr instr = prog.code[pc];
+    ++counters.vm_steps;
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    switch (instr.op) {
+      case VmOp::kLoadOut: {
+        auto present = LoadLabel(db, prog, /*outbound=*/true, s,
+                                 &state.out_arrays, &state.out_row,
+                                 &reg[instr.a]);
+        PTLDB_RETURN_IF_ERROR(present.status());
+        if (!*present) return prog.empty_result;
+        break;
+      }
+      case VmOp::kLoadIn: {
+        auto present = LoadLabel(db, prog, /*outbound=*/false, g,
+                                 &state.in_arrays, &state.in_row,
+                                 &reg[instr.a]);
+        PTLDB_RETURN_IF_ERROR(present.status());
+        if (!*present) return prog.empty_result;
+        break;
+      }
+      case VmOp::kMergeEa:
+        return MergeV2vEa(reg[instr.a], reg[instr.b], t);
+      case VmOp::kMergeLd:
+        return MergeV2vLd(reg[instr.a], reg[instr.b], t_end);
+      case VmOp::kMergeSd:
+        return MergeV2vSd(reg[instr.a], reg[instr.b], t, t_end);
+      case VmOp::kHalt:
+        return prog.empty_result;
+      default:
+        return Status::Internal("op not valid in a v2v program");
+    }
+  }
+  return prog.empty_result;
+}
+
+Result<std::vector<StopTimeResult>> RunCompiledSetQuery(EngineDatabase* db,
+                                                        const VmProgram& prog,
+                                                        StopId q, Timestamp t,
+                                                        uint32_t k) {
+  VmState& state = ThisThreadVmState();
+  state.arena.Reset();
+  auto& counters = ThisThreadQueryCounters();
+  LabelRowView reg[2];
+  // Absent n1 label (unknown stop): the scans are skipped and kEmitTopK
+  // drains an empty aggregate — the interpreter's empty index lookup.
+  bool have_label = false;
+  ArenaInt32Map agg(&state.arena);
+  for (uint8_t pc = 0; pc < prog.num_instrs; ++pc) {
+    const VmInstr instr = prog.code[pc];
+    ++counters.vm_steps;
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    switch (instr.op) {
+      case VmOp::kLoadOut: {
+        auto present = LoadLabel(db, prog, /*outbound=*/true, q,
+                                 &state.out_arrays, &state.out_row,
+                                 &reg[instr.a]);
+        PTLDB_RETURN_IF_ERROR(present.status());
+        have_label = *present;
+        break;
+      }
+      case VmOp::kScanEaBuckets:
+        if (have_label) {
+          PTLDB_RETURN_IF_ERROR(ScanEaBuckets(db, prog, reg[instr.a], t, k,
+                                              &agg, &state.bucket_row));
+        }
+        break;
+      case VmOp::kScanLdBuckets:
+        if (have_label) {
+          PTLDB_RETURN_IF_ERROR(ScanLdBuckets(db, prog, reg[instr.a], t, k,
+                                              &agg, &state.bucket_row));
+        }
+        break;
+      case VmOp::kEmitTopK: {
+        // Drain the per-stop aggregate, order like the paper's ORDER BY
+        // (time, then stop for determinism), cut to k. The one heap
+        // allocation of a kNN query is the result vector itself.
+        ArenaVector<StopTimeResult> staged(&state.arena);
+        for (const auto& slot : agg.slots()) {
+          if (slot.key == ArenaInt32Map::kEmptyKey) continue;
+          staged.PushBack(
+              {static_cast<StopId>(slot.key), Timestamp{slot.value}});
+        }
+        const bool desc = instr.a == 1;
+        std::sort(staged.begin(), staged.end(),
+                  [desc](const StopTimeResult& a, const StopTimeResult& b) {
+                    if (a.time != b.time) {
+                      return desc ? a.time > b.time : a.time < b.time;
+                    }
+                    return a.stop < b.stop;
+                  });
+        const size_t n =
+            k == 0 ? staged.size() : std::min<size_t>(staged.size(), k);
+        counters.rows_emitted += n;
+        return std::vector<StopTimeResult>(staged.begin(),
+                                           staged.begin() + n);
+      }
+      case VmOp::kHalt:
+        return std::vector<StopTimeResult>{};
+      default:
+        return Status::Internal("op not valid in a set-query program");
+    }
+  }
+  return std::vector<StopTimeResult>{};
+}
+
+}  // namespace ptldb

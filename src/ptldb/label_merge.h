@@ -1,0 +1,204 @@
+#ifndef PTLDB_PTLDB_LABEL_MERGE_H_
+#define PTLDB_PTLDB_LABEL_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/metrics.h"
+#include "common/query_context.h"
+#include "common/query_log.h"
+#include "common/status.h"
+#include "common/time_util.h"
+#include "engine/value.h"
+#include "ttl/label_store.h"
+
+namespace ptldb {
+
+/// The Code 1 common-hub merge kernels, shared by three execution
+/// surfaces: the volcano merge plans in queries.cc (raw heap rows), the
+/// compressed-tier fast path (decoded buckets), and the compiled query
+/// VM (compiled.cc, rows decoded into RowScratch spans). One
+/// implementation, three representations — the differential harness pins
+/// that they answer identically.
+
+/// One stop's labels viewed as three parallel arrays sorted by
+/// (hub, td) — spans, so the same merge code runs over a fetched heap
+/// row (Value arrays), a compressed bucket decoded into a LabelArrays
+/// scratch, or raw RowScratch columns on the compiled path.
+struct LabelRowView {
+  std::span<const int32_t> hubs;
+  std::span<const int32_t> tds;
+  std::span<const int32_t> tas;
+
+  LabelRowView() = default;
+  explicit LabelRowView(const Row& row)
+      : hubs(row[1].AsArray()), tds(row[2].AsArray()), tas(row[3].AsArray()) {}
+  explicit LabelRowView(const LabelView& view)
+      : hubs(view.hubs), tds(view.tds), tas(view.tas) {}
+  LabelRowView(std::span<const int32_t> h, std::span<const int32_t> d,
+               std::span<const int32_t> a)
+      : hubs(h), tds(d), tas(a) {}
+
+  size_t size() const { return hubs.size(); }
+};
+
+/// Decodes stop v's resident bucket into *scratch, charging the decode to
+/// this thread's query counters (the facade flushes them into the
+/// `ttl.labels.decodes` / `ttl.labels.decoded_bytes` registry counters).
+inline Result<LabelView> DecodeCounted(const LabelStore& store,
+                                       LabelStore::Direction dir, StopId v,
+                                       LabelArrays* scratch) {
+  // Attributed to the label_decode phase of the current request record
+  // (no-op when none is installed; see common/query_log.h).
+  ScopedQueryPhase phase(QueryPhase::kLabelDecode);
+  auto& counters = ThisThreadQueryCounters();
+  ++counters.label_decodes;
+  counters.label_decode_bytes += store.bucket_bytes(dir, v).size();
+  return store.Decode(dir, v, scratch);
+}
+
+/// The three label arrays are parallel by construction; a length mismatch
+/// means the row decoded from a corrupt page.
+inline Status CheckLabelRow(const Row& row) {
+  if (row.size() < 4) {
+    return Status::Corruption("label row has too few columns");
+  }
+  const size_t n = row[1].AsArray().size();
+  if (row[2].AsArray().size() != n || row[3].AsArray().size() != n) {
+    return Status::Corruption("label row arrays have unequal lengths");
+  }
+  return Status::Ok();
+}
+
+/// First index in [lo, hi) with td >= t (group is Pareto: td ascending).
+inline size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
+                             Timestamp t) {
+  auto& counters = ThisThreadQueryCounters();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++counters.label_comparisons;
+    if (v.tds[mid] >= t) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Last index in [lo, hi) with ta <= t, or hi when none.
+inline size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi,
+                           Timestamp t) {
+  auto& counters = ThisThreadQueryCounters();
+  size_t l = lo;
+  size_t h = hi;
+  while (l < h) {
+    const size_t mid = l + (h - l) / 2;
+    ++counters.label_comparisons;
+    if (v.tas[mid] <= t) {
+      l = mid + 1;
+    } else {
+      h = mid;
+    }
+  }
+  return l == lo ? hi : l - 1;
+}
+
+/// Runs `fn(a_lo, a_hi, b_lo, b_hi)` for every hub present in both rows.
+/// Deadline checkpoint per merge step (see query_context.h): a served
+/// query with an expired deadline unwinds here with kDeadlineExceeded,
+/// exactly like the hash-join drain of the SQL-shaped Code 1 plan.
+template <typename Fn>
+Status MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    const int32_t ha = a.hubs[i];
+    const int32_t hb = b.hubs[j];
+    if (ha < hb) {
+      while (i < a.size() && a.hubs[i] == ha) ++i;
+    } else if (hb < ha) {
+      while (j < b.size() && b.hubs[j] == hb) ++j;
+    } else {
+      size_t i2 = i;
+      size_t j2 = j;
+      while (i2 < a.size() && a.hubs[i2] == ha) ++i2;
+      while (j2 < b.size() && b.hubs[j2] == ha) ++j2;
+      ++ThisThreadQueryCounters().hubs_merged;
+      fn(i, i2, j, j2);
+      i = i2;
+      j = j2;
+    }
+  }
+  return Status::Ok();
+}
+
+/// The three Code 1 answers over a pair of label views. Shared by the
+/// merge-plan entry points (raw rows), the compressed-tier fast path
+/// (decoded buckets) and the compiled VM: the representation changes,
+/// the merge does not.
+inline Result<Timestamp> MergeV2vEa(const LabelRowView& outp,
+                                    const LabelRowView& inp, Timestamp t) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
+  Timestamp best = kInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
+        if (l1 == a_hi) return;
+        const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
+        if (l2 == b_hi) return;
+        best = std::min(best, inp.tas[l2]);
+      }));
+  return best;
+}
+
+inline Result<Timestamp> MergeV2vLd(const LabelRowView& outp,
+                                    const LabelRowView& inp, Timestamp t_end) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
+  Timestamp best = kNegInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
+        if (l2 == b_hi) return;
+        const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
+        if (l1 == a_hi) return;
+        best = std::max(best, outp.tds[l1]);
+      }));
+  return best;
+}
+
+inline Result<Timestamp> MergeV2vSd(const LabelRowView& outp,
+                                    const LabelRowView& inp, Timestamp t,
+                                    Timestamp t_end) {
+  ScopedQueryPhase phase(QueryPhase::kMerge);
+  // Durations accumulate in 64 bits: ta - td can exceed INT32_MAX when a
+  // timetable spans near-INT32_MAX timestamps (e.g. an arrival close to
+  // INT32_MAX reached from a departure below zero), and signed int32
+  // overflow would be UB, not just a wrong answer. A duration that still
+  // exceeds INT32_MAX after the min-fold saturates to kInfinityTime —
+  // indistinguishable from "unreachable", which is the only honest int32
+  // answer.
+  int64_t best = kInfinityTime;
+  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
+      outp, inp,
+      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+        size_t l2 = b_lo;
+        for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi;
+             ++l1) {
+          while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
+          if (l2 == b_hi || inp.tas[l2] > t_end) break;
+          best = std::min(best, static_cast<int64_t>(inp.tas[l2]) -
+                                    static_cast<int64_t>(outp.tds[l1]));
+        }
+      }));
+  return static_cast<Timestamp>(
+      std::min<int64_t>(best, static_cast<int64_t>(kInfinityTime)));
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_PTLDB_LABEL_MERGE_H_

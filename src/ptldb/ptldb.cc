@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/query_context.h"
+#include "ptldb/compiled.h"
 #include "ptldb/queries.h"
 #include "ptldb/tables.h"
 
@@ -71,6 +72,9 @@ PtldbDatabase::PtldbDatabase(const PtldbOptions& options)
   ttl_cmps_ = m->counter("ttl.label_comparisons");
   ttl_decodes_ = m->counter("ttl.labels.decodes");
   ttl_decode_bytes_ = m->counter("ttl.labels.decoded_bytes");
+  vm_steps_ = m->counter("exec.vm_steps");
+  compiled_queries_.store(options.compiled_queries,
+                          std::memory_order_relaxed);
   query_log_ = std::make_unique<QueryLog>(options.query_log, m);
 }
 
@@ -103,6 +107,15 @@ Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
                   ? 0
                   : static_cast<int64_t>((resident + count - 1) / count));
   }
+  // Compile the three Code 1 programs against whichever label tier this
+  // database serves from. Done once here; the entry points only select.
+  const LabelStore* labels = db->labels_.get();
+  db->v2v_programs_[static_cast<size_t>(QueryType::kV2vEa)] =
+      CompileV2v(&db->db_, CompiledV2vKind::kEa, labels);
+  db->v2v_programs_[static_cast<size_t>(QueryType::kV2vLd)] =
+      CompileV2v(&db->db_, CompiledV2vKind::kLd, labels);
+  db->v2v_programs_[static_cast<size_t>(QueryType::kV2vSd)] =
+      CompileV2v(&db->db_, CompiledV2vKind::kSd, labels);
   return db;
 }
 
@@ -138,6 +151,24 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   info.bucket_seconds = bucket_seconds;
   info.max_bucket = max_event_time_ / bucket_seconds;
   info.targets = std::move(canon);
+  // Compile the four bucket-scan programs once per set; the kNN/OTM entry
+  // points select a stored program instead of building a plan per query.
+  // OTM programs share the kNN scan shape with k clamped to kmax at
+  // compile time and 0 at run time (no output truncation).
+  info.ea_knn_program =
+      CompileSetQuery(&db_, /*ld=*/false, KnnEaTableName(name),
+                      bucket_seconds, info.max_bucket, kmax, labels_.get());
+  info.ld_knn_program =
+      CompileSetQuery(&db_, /*ld=*/true, KnnLdTableName(name),
+                      bucket_seconds, info.max_bucket, kmax, labels_.get());
+  info.ea_otm_program =
+      CompileSetQuery(&db_, /*ld=*/false, OtmEaTableName(name),
+                      bucket_seconds, info.max_bucket, /*kmax=*/0,
+                      labels_.get());
+  info.ld_otm_program =
+      CompileSetQuery(&db_, /*ld=*/true, OtmLdTableName(name),
+                      bucket_seconds, info.max_bucket, /*kmax=*/0,
+                      labels_.get());
   target_sets_.emplace(name, std::move(info));
   return Status::Ok();
 }
@@ -146,14 +177,30 @@ Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
                                                  Timestamp t) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vEa, {.s = s, .g = g, .t = t},
-               [&] { return QueryV2vEa(&db_, s, g, t, labels_.get()); });
+               [&]() -> Result<Timestamp> {
+                 const VmProgram& prog =
+                     v2v_programs_[static_cast<size_t>(QueryType::kV2vEa)];
+                 if (compiled_queries_.load(std::memory_order_relaxed) &&
+                     prog.valid) {
+                   return RunCompiledV2v(&db_, prog, s, g, t, /*t_end=*/0);
+                 }
+                 return QueryV2vEa(&db_, s, g, t, labels_.get());
+               });
 }
 
 Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
                                                  Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vLd, {.s = s, .g = g, .t_end = t_end},
-               [&] { return QueryV2vLd(&db_, s, g, t_end, labels_.get()); });
+               [&]() -> Result<Timestamp> {
+                 const VmProgram& prog =
+                     v2v_programs_[static_cast<size_t>(QueryType::kV2vLd)];
+                 if (compiled_queries_.load(std::memory_order_relaxed) &&
+                     prog.valid) {
+                   return RunCompiledV2v(&db_, prog, s, g, /*t=*/0, t_end);
+                 }
+                 return QueryV2vLd(&db_, s, g, t_end, labels_.get());
+               });
 }
 
 Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
@@ -161,7 +208,15 @@ Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
                                                   Timestamp t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vSd, {.s = s, .g = g, .t = t, .t_end = t_end},
-               [&] { return QueryV2vSd(&db_, s, g, t, t_end, labels_.get()); });
+               [&]() -> Result<Timestamp> {
+                 const VmProgram& prog =
+                     v2v_programs_[static_cast<size_t>(QueryType::kV2vSd)];
+                 if (compiled_queries_.load(std::memory_order_relaxed) &&
+                     prog.valid) {
+                   return RunCompiledV2v(&db_, prog, s, g, t, t_end);
+                 }
+                 return QueryV2vSd(&db_, s, g, t, t_end, labels_.get());
+               });
 }
 
 namespace {
@@ -310,10 +365,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
                [&]() -> Result<std::vector<StopTimeResult>> {
     auto info = ValidateSet(set_name, k);
     if (!info.ok()) return info.status();
-    auto r = OrDegrade(
-        QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
-                   labels_.get()),
-        **info, q, t, k, /*ld=*/false);
+    const VmProgram& prog = (*info)->ea_knn_program;
+    auto primary =
+        compiled_queries_.load(std::memory_order_relaxed) && prog.valid
+            ? RunCompiledSetQuery(&db_, prog, q, t, k)
+            : QueryEaKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                         labels_.get());
+    auto r = OrDegrade(std::move(primary), **info, q, t, k, /*ld=*/false);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/false);
     return r;
   });
@@ -327,10 +385,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
                [&]() -> Result<std::vector<StopTimeResult>> {
     auto info = ValidateSet(set_name, k);
     if (!info.ok()) return info.status();
-    auto r =
-        OrDegrade(QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
-                             (*info)->max_bucket, labels_.get()),
-                  **info, q, t, k, /*ld=*/true);
+    const VmProgram& prog = (*info)->ld_knn_program;
+    auto primary =
+        compiled_queries_.load(std::memory_order_relaxed) && prog.valid
+            ? RunCompiledSetQuery(&db_, prog, q, t, k)
+            : QueryLdKnn(&db_, set_name, q, t, k, (*info)->bucket_seconds,
+                         (*info)->max_bucket, labels_.get());
+    auto r = OrDegrade(std::move(primary), **info, q, t, k, /*ld=*/true);
     if (r.ok()) PatchSelfTarget(&*r, (*info)->targets, q, t, k, /*ld=*/true);
     return r;
   });
@@ -372,10 +433,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
                [&]() -> Result<std::vector<StopTimeResult>> {
     auto info = ValidateSet(set_name, 1);
     if (!info.ok()) return info.status();
-    auto r =
-        OrDegrade(QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                             labels_.get()),
-                  **info, q, t, /*k=*/0, /*ld=*/false);
+    const VmProgram& prog = (*info)->ea_otm_program;
+    auto primary =
+        compiled_queries_.load(std::memory_order_relaxed) && prog.valid
+            ? RunCompiledSetQuery(&db_, prog, q, t, /*k=*/0)
+            : QueryEaOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                         labels_.get());
+    auto r = OrDegrade(std::move(primary), **info, q, t, /*k=*/0, /*ld=*/false);
     if (r.ok()) {
       PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/false);
     }
@@ -391,10 +455,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
                [&]() -> Result<std::vector<StopTimeResult>> {
     auto info = ValidateSet(set_name, 1);
     if (!info.ok()) return info.status();
-    auto r =
-        OrDegrade(QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
-                             (*info)->max_bucket, labels_.get()),
-                  **info, q, t, /*k=*/0, /*ld=*/true);
+    const VmProgram& prog = (*info)->ld_otm_program;
+    auto primary =
+        compiled_queries_.load(std::memory_order_relaxed) && prog.valid
+            ? RunCompiledSetQuery(&db_, prog, q, t, /*k=*/0)
+            : QueryLdOtm(&db_, set_name, q, t, (*info)->bucket_seconds,
+                         (*info)->max_bucket, labels_.get());
+    auto r = OrDegrade(std::move(primary), **info, q, t, /*k=*/0, /*ld=*/true);
     if (r.ok()) {
       PatchSelfTarget(&*r, (*info)->targets, q, t, /*k=*/0, /*ld=*/true);
     }

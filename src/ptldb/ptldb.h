@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "engine/database.h"
+#include "engine/vm.h"
 #include "timetable/types.h"
 #include "ttl/label.h"
 #include "ttl/label_store.h"
@@ -66,6 +67,16 @@ struct PtldbOptions {
   /// the only tier when this is false (the seed behavior). Answers are
   /// identical in both modes; the differential harness pins it.
   bool compressed_labels = false;
+  /// Execute the seven query types as compiled VM programs (engine/vm.h,
+  /// DESIGN.md "Compiled query programs & arena memory"): each type
+  /// compiles once — Code 1 at Build, Codes 2-4 per target set — and the
+  /// entry points run the stored program with all scratch in a
+  /// per-request bump arena instead of constructing a volcano plan per
+  /// call. Answers are identical (the differential harness pins it);
+  /// the volcano interpreter remains the general-SQL surface and the
+  /// fallback when a program fails to compile. Togglable at runtime via
+  /// set_compiled_queries() for paired benchmarking.
+  bool compiled_queries = true;
   /// Structured request history: ring capacity, tail-sampling policy and
   /// slow-query threshold (DESIGN.md §11). Always on by default — the
   /// CI overhead gate pins the cost — and togglable at runtime via
@@ -207,6 +218,17 @@ class PtldbDatabase {
   /// and benchmarks (bytes/label accounting).
   const LabelStore* label_store() const { return labels_.get(); }
 
+  /// Runtime toggle for the compiled-program path (initialized from
+  /// PtldbOptions::compiled_queries). Off = every entry point builds the
+  /// volcano plan, exactly the pre-VM behavior; benchmarks flip this to
+  /// pair interpreter and VM phases on one database.
+  void set_compiled_queries(bool on) {
+    compiled_queries_.store(on, std::memory_order_relaxed);
+  }
+  bool compiled_queries() const {
+    return compiled_queries_.load(std::memory_order_relaxed);
+  }
+
   /// Metadata of a registered target set.
   struct TargetSetInfo {
     std::string name;
@@ -215,6 +237,14 @@ class PtldbDatabase {
     int32_t max_bucket = 0;  ///< LD deadlines clamp to this bucket.
     /// The target stops, kept for the degraded v2v fallback path.
     std::vector<StopId> targets;
+    /// Compiled programs for this set's four bucket-query flavors
+    /// (engine/vm.h), bound at AddTargetSet. They differ only in the
+    /// bucket table and scan direction. POD copies; the table pointers
+    /// inside stay valid for the database's lifetime.
+    VmProgram ea_knn_program;
+    VmProgram ld_knn_program;
+    VmProgram ea_otm_program;
+    VmProgram ld_otm_program;
   };
 
   /// Per-facade query accounting, including degradation events. A
@@ -316,6 +346,7 @@ class PtldbDatabase {
     if (d.label_comparisons) ttl_cmps_->Add(d.label_comparisons);
     if (d.label_decodes) ttl_decodes_->Add(d.label_decodes);
     if (d.label_decode_bytes) ttl_decode_bytes_->Add(d.label_decode_bytes);
+    if (d.vm_steps) vm_steps_->Add(d.vm_steps);
     if (RequestRecorder* rec = RequestRecorder::Current(); rec != nullptr) {
       if (LastQueryDegradedOnThisThread()) rec->record().degraded = true;
       if (trace_ != nullptr) rec->AttachTraceJson(trace_->ToJson());
@@ -350,6 +381,12 @@ class PtldbDatabase {
   uint32_t num_threads_ = 1;  ///< Workers for derived-table construction.
   uint32_t num_stops_ = 0;
   Timestamp max_event_time_ = 0;
+  /// Runtime switch for the compiled path (see set_compiled_queries).
+  std::atomic<bool> compiled_queries_{true};
+  /// The three Code 1 programs, compiled once at Build (indexed by
+  /// QueryType kV2vEa/kV2vLd/kV2vSd). Immutable afterwards, read
+  /// lock-free by concurrent queries.
+  std::array<VmProgram, 3> v2v_programs_ = {};
   /// Catalog latch: guards the target-set map against a concurrent
   /// AddTargetSet while queries validate set names. Held across the
   /// whole derived-table build, so registration is atomic; sets are
@@ -376,6 +413,7 @@ class PtldbDatabase {
   Counter* ttl_cmps_ = nullptr;
   Counter* ttl_decodes_ = nullptr;
   Counter* ttl_decode_bytes_ = nullptr;
+  Counter* vm_steps_ = nullptr;
   std::atomic<bool> last_degraded_{false};
 
   /// Structured request history (never null; see query_log()). Owned

@@ -8,6 +8,7 @@
 #include "common/query_context.h"
 #include "common/query_log.h"
 #include "engine/exec.h"
+#include "ptldb/label_merge.h"
 #include "ptldb/tables.h"
 #include "ttl/label_store.h"
 
@@ -28,165 +29,8 @@ Result<const EngineTable*> RequireTable(EngineDatabase* db,
 
 // ---------- Code 1: vertex-to-vertex over the lout/lin array rows ----------
 
-// One stop's labels viewed as three parallel arrays sorted by (hub, td) —
-// spans, so the same merge code runs over a fetched heap row (Value
-// arrays) or a compressed bucket decoded into a LabelArrays scratch.
-struct LabelRowView {
-  std::span<const int32_t> hubs;
-  std::span<const int32_t> tds;
-  std::span<const int32_t> tas;
-
-  explicit LabelRowView(const Row& row)
-      : hubs(row[1].AsArray()), tds(row[2].AsArray()), tas(row[3].AsArray()) {}
-  explicit LabelRowView(const LabelView& view)
-      : hubs(view.hubs), tds(view.tds), tas(view.tas) {}
-
-  size_t size() const { return hubs.size(); }
-};
-
-// Decodes stop v's resident bucket into *scratch, charging the decode to
-// this thread's query counters (the facade flushes them into the
-// `ttl.labels.decodes` / `ttl.labels.decoded_bytes` registry counters).
-Result<LabelView> DecodeCounted(const LabelStore& store,
-                                LabelStore::Direction dir, StopId v,
-                                LabelArrays* scratch) {
-  // Attributed to the label_decode phase of the current request record
-  // (no-op when none is installed; see common/query_log.h).
-  ScopedQueryPhase phase(QueryPhase::kLabelDecode);
-  auto& counters = ThisThreadQueryCounters();
-  ++counters.label_decodes;
-  counters.label_decode_bytes += store.bucket_bytes(dir, v).size();
-  return store.Decode(dir, v, scratch);
-}
-
-// The three label arrays are parallel by construction; a length mismatch
-// means the row decoded from a corrupt page.
-Status CheckLabelRow(const Row& row) {
-  if (row.size() < 4) {
-    return Status::Corruption("label row has too few columns");
-  }
-  const size_t n = row[1].AsArray().size();
-  if (row[2].AsArray().size() != n || row[3].AsArray().size() != n) {
-    return Status::Corruption("label row arrays have unequal lengths");
-  }
-  return Status::Ok();
-}
-
-// First index in [lo, hi) with td >= t (group is Pareto: td ascending).
-size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
-                      Timestamp t) {
-  auto& counters = ThisThreadQueryCounters();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    ++counters.label_comparisons;
-    if (v.tds[mid] >= t) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
-}
-
-// Last index in [lo, hi) with ta <= t, or hi when none.
-size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi, Timestamp t) {
-  auto& counters = ThisThreadQueryCounters();
-  size_t l = lo;
-  size_t h = hi;
-  while (l < h) {
-    const size_t mid = l + (h - l) / 2;
-    ++counters.label_comparisons;
-    if (v.tas[mid] <= t) {
-      l = mid + 1;
-    } else {
-      h = mid;
-    }
-  }
-  return l == lo ? hi : l - 1;
-}
-
-// Runs `fn(a_lo, a_hi, b_lo, b_hi)` for every hub present in both rows.
-// Deadline checkpoint per merge step (see query_context.h): a served
-// query with an expired deadline unwinds here with kDeadlineExceeded,
-// exactly like the hash-join drain of the SQL-shaped Code 1 plan.
-template <typename Fn>
-Status MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
-    const int32_t ha = a.hubs[i];
-    const int32_t hb = b.hubs[j];
-    if (ha < hb) {
-      while (i < a.size() && a.hubs[i] == ha) ++i;
-    } else if (hb < ha) {
-      while (j < b.size() && b.hubs[j] == hb) ++j;
-    } else {
-      size_t i2 = i;
-      size_t j2 = j;
-      while (i2 < a.size() && a.hubs[i2] == ha) ++i2;
-      while (j2 < b.size() && b.hubs[j2] == ha) ++j2;
-      ++ThisThreadQueryCounters().hubs_merged;
-      fn(i, i2, j, j2);
-      i = i2;
-      j = j2;
-    }
-  }
-  return Status::Ok();
-}
-
-// The three Code 1 answers over a pair of label views. Shared by the
-// merge-plan entry points (raw rows) and the compressed-tier fast path
-// (decoded buckets): the representation changes, the merge does not.
-Result<Timestamp> MergeV2vEa(const LabelRowView& outp, const LabelRowView& inp,
-                             Timestamp t) {
-  ScopedQueryPhase phase(QueryPhase::kMerge);
-  Timestamp best = kInfinityTime;
-  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
-      outp, inp,
-      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
-        const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
-        if (l1 == a_hi) return;
-        const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
-        if (l2 == b_hi) return;
-        best = std::min(best, inp.tas[l2]);
-      }));
-  return best;
-}
-
-Result<Timestamp> MergeV2vLd(const LabelRowView& outp, const LabelRowView& inp,
-                             Timestamp t_end) {
-  ScopedQueryPhase phase(QueryPhase::kMerge);
-  Timestamp best = kNegInfinityTime;
-  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
-      outp, inp,
-      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
-        const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
-        if (l2 == b_hi) return;
-        const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
-        if (l1 == a_hi) return;
-        best = std::max(best, outp.tds[l1]);
-      }));
-  return best;
-}
-
-Result<Timestamp> MergeV2vSd(const LabelRowView& outp, const LabelRowView& inp,
-                             Timestamp t, Timestamp t_end) {
-  ScopedQueryPhase phase(QueryPhase::kMerge);
-  Timestamp best = kInfinityTime;
-  PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
-      outp, inp,
-      [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
-        size_t l2 = b_lo;
-        for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi;
-             ++l1) {
-          while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
-          if (l2 == b_hi || inp.tas[l2] > t_end) break;
-          best = std::min(best, inp.tas[l2] - outp.tds[l1]);
-        }
-      }));
-  return best;
-}
+// The LabelRowView / merge kernels formerly here now live in
+// ptldb/label_merge.h, shared with the compiled query VM (compiled.cc).
 
 // Fetches the single label row of `v`; an empty inner optional means the
 // stop is unknown.
@@ -384,7 +228,11 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
     ++counters->label_comparisons;
     return r[2].AsInt() <= r[4].AsInt();
   });
-  Timestamp best =
+  // 64-bit fold: the SD case subtracts timestamps, and near-INT32_MAX
+  // timetables can push a duration past INT32_MAX (signed overflow = UB).
+  // Matches the clamp in MergeV2vSd (label_merge.h) so both Code 1 paths
+  // saturate identically.
+  int64_t best =
       kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
   // Probe rows arrive hub-sorted (label rows are), so a hub change in the
   // join output marks the next common-hub group.
@@ -402,18 +250,21 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
     ++counters->rows_emitted;
     switch (kind) {
       case V2vPlanKind::kEa:
-        best = std::min(best, (*row)[5].AsInt());
+        best = std::min<int64_t>(best, (*row)[5].AsInt());
         break;
       case V2vPlanKind::kLd:
-        best = std::max(best, (*row)[1].AsInt());
+        best = std::max<int64_t>(best, (*row)[1].AsInt());
         break;
       case V2vPlanKind::kSd:
-        best = std::min(best, (*row)[5].AsInt() - (*row)[1].AsInt());
+        best = std::min<int64_t>(best,
+                                 static_cast<int64_t>((*row)[5].AsInt()) -
+                                     static_cast<int64_t>((*row)[1].AsInt()));
         break;
     }
   }
   PTLDB_RETURN_IF_ERROR(joined->status());
-  return best;
+  return static_cast<Timestamp>(
+      std::min<int64_t>(best, static_cast<int64_t>(kInfinityTime)));
 }
 
 }  // namespace

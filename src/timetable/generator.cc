@@ -191,25 +191,33 @@ Result<Timetable> GenerateNetwork(const GeneratorOptions& options) {
           options.min_hop_seconds,
           static_cast<Timestamp>(d * options.hop_seconds_per_unit));
     }
-    Timestamp dep = options.service_start +
-                    static_cast<Timestamp>(rng.NextBelow(
-                        static_cast<uint64_t>(options.peak_headway)));
+    // The event clock runs in 64-bit: with a service window ending near
+    // INT32_MAX, `t + hop`, `arr + dwell` and the headway advance all
+    // overflow int32 (UB, and the wrapped departure can turn the while
+    // loop infinite) before the loop condition has a chance to stop the
+    // trip. Hops that would reach the kInfinityTime sentinel are dropped —
+    // the sentinel must stay unreachable as a real event time.
+    int64_t dep = static_cast<int64_t>(options.service_start) +
+                  static_cast<int64_t>(rng.NextBelow(
+                      static_cast<uint64_t>(options.peak_headway)));
     while (dep < options.service_end) {
       const TripId trip = builder.AddTrip();
-      Timestamp t = dep;
+      int64_t t = dep;
       for (size_t i = 0; i + 1 < seq.size(); ++i) {
-        const Timestamp arr = t + hop[i];
-        builder.AddConnection(seq[i], seq[i + 1], t, arr, trip);
+        const int64_t arr = t + hop[i];
+        if (arr >= kInfinityTime) break;
+        builder.AddConnection(seq[i], seq[i + 1], static_cast<Timestamp>(t),
+                              static_cast<Timestamp>(arr), trip);
         t = arr + options.dwell_seconds;
       }
-      const Timestamp base =
-          IsPeakHour(dep) ? options.peak_headway : options.offpeak_headway;
+      const Timestamp base = IsPeakHour(static_cast<Timestamp>(dep))
+                                 ? options.peak_headway
+                                 : options.offpeak_headway;
       const auto headway =
-          static_cast<Timestamp>(static_cast<double>(base) * headway_scale);
+          static_cast<int64_t>(static_cast<double>(base) * headway_scale);
       // +-20% jitter keeps event times from aligning artificially.
-      const Timestamp jitter = static_cast<Timestamp>(
-          rng.NextInRange(-headway / 5, headway / 5));
-      dep += std::max<Timestamp>(60, headway + jitter);
+      const int64_t jitter = rng.NextInRange(-headway / 5, headway / 5);
+      dep += std::max<int64_t>(60, headway + jitter);
     }
   };
 

@@ -57,6 +57,16 @@ bool TestCompressed() {
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
+// PTLDB_TEST_VM selects which executor the whole harness drives: unset or
+// nonzero runs the compiled register-VM programs (the production default),
+// PTLDB_TEST_VM=0 pins the volcano interpreter so the fallback path keeps
+// its own full oracle coverage. The head-to-head VmMatchesInterpreterPath
+// test below covers both in every configuration.
+bool TestVm() {
+  const char* env = std::getenv("PTLDB_TEST_VM");
+  return env == nullptr || *env == '\0' || *env != '0';
+}
+
 struct Network {
   Timetable tt;
   TtlIndex index;
@@ -127,6 +137,7 @@ std::unique_ptr<PtldbDatabase> MakeDbWith(const TtlIndex& index,
   options.device = DeviceProfile::Ram();
   options.num_threads = TestThreads();
   options.compressed_labels = compressed;
+  options.compiled_queries = TestVm();
   auto db = PtldbDatabase::Build(index, options);
   EXPECT_TRUE(db.ok()) << db.status().ToString();
   EXPECT_TRUE((*db)->AddTargetSet("T", index, targets, kmax).ok());
@@ -472,6 +483,85 @@ TEST(DifferentialTest, CompressedLabelTierMatchesRawPath) {
     const auto snap_r = raw->metrics()->Snapshot();
     EXPECT_GT(snap_c.counters.at("ttl.labels.decodes"), 0u);
     EXPECT_EQ(snap_r.counters.at("ttl.labels.decodes"), 0u);
+  }
+}
+
+// Compiled register-VM programs vs. the volcano interpreter, head to head
+// on the same database (toggled per trial via set_compiled_queries) for
+// all seven query types on both label tiers. The two executors share the
+// merge kernels but nothing else — plan shape, scratch memory, aggregation
+// and top-k all differ — so bit-for-bit agreement here plus the oracle
+// coverage above pins the compiled path end to end. The vm_steps counter
+// proves each half really took the executor it claims: it moves on every
+// compiled query and stays flat across the interpreter half.
+TEST(DifferentialTest, VmMatchesInterpreterPath) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Network net = MakeNetwork(seed);
+    for (const bool compressed : {false, true}) {
+      auto db = MakeDbWith(net.index, net.targets, kMaxK, compressed);
+      Rng rng(seed * 0x9e3779b97f4a7c15ULL + 101);
+      const Timestamp lo = net.tt.min_time();
+      const Timestamp hi = net.tt.max_time();
+      const auto vm_steps = [&db] {
+        return db->metrics()->Snapshot().counters.at("exec.vm_steps");
+      };
+      for (int trial = 0; trial < 8; ++trial) {
+        StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+        StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
+        if (g == s) g = (g + 1) % net.tt.num_stops();
+        const Timestamp t = RandomTime(&rng, net);
+        const auto t_end = static_cast<Timestamp>(
+            std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
+        const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
+
+        const uint64_t steps_before = vm_steps();
+        db->set_compiled_queries(true);
+        const auto ea_v = db->EarliestArrival(s, g, t);
+        const auto ld_v = db->LatestDeparture(s, g, t_end);
+        const auto sd_v = db->ShortestDuration(s, g, t, t_end);
+        const auto eaknn_v = db->EaKnn("T", s, t, k);
+        const auto ldknn_v = db->LdKnn("T", s, t, k);
+        const auto eaotm_v = db->EaOneToMany("T", s, t);
+        const auto ldotm_v = db->LdOneToMany("T", s, t);
+        const uint64_t steps_mid = vm_steps();
+        EXPECT_GT(steps_mid, steps_before)
+            << "compiled half did not execute on the VM";
+
+        db->set_compiled_queries(false);
+        const auto ea_i = db->EarliestArrival(s, g, t);
+        const auto ld_i = db->LatestDeparture(s, g, t_end);
+        const auto sd_i = db->ShortestDuration(s, g, t, t_end);
+        const auto eaknn_i = db->EaKnn("T", s, t, k);
+        const auto ldknn_i = db->LdKnn("T", s, t, k);
+        const auto eaotm_i = db->EaOneToMany("T", s, t);
+        const auto ldotm_i = db->LdOneToMany("T", s, t);
+        EXPECT_EQ(vm_steps(), steps_mid)
+            << "interpreter half touched the VM step counter";
+
+        ASSERT_TRUE(ea_v.ok() && ea_i.ok());
+        EXPECT_EQ(*ea_v, *ea_i) << "EA seed=" << seed << " s=" << s
+                                << " g=" << g << " t=" << t;
+        ASSERT_TRUE(ld_v.ok() && ld_i.ok());
+        EXPECT_EQ(*ld_v, *ld_i) << "LD seed=" << seed << " s=" << s
+                                << " g=" << g << " t_end=" << t_end;
+        ASSERT_TRUE(sd_v.ok() && sd_i.ok());
+        EXPECT_EQ(*sd_v, *sd_i) << "SD seed=" << seed << " s=" << s
+                                << " g=" << g << " t=" << t
+                                << " t_end=" << t_end;
+        ASSERT_TRUE(eaknn_v.ok() && eaknn_i.ok());
+        EXPECT_EQ(*eaknn_v, *eaknn_i) << "EA-kNN seed=" << seed << " q=" << s
+                                      << " t=" << t << " k=" << k;
+        ASSERT_TRUE(ldknn_v.ok() && ldknn_i.ok());
+        EXPECT_EQ(*ldknn_v, *ldknn_i) << "LD-kNN seed=" << seed << " q=" << s
+                                      << " t=" << t << " k=" << k;
+        ASSERT_TRUE(eaotm_v.ok() && eaotm_i.ok());
+        EXPECT_EQ(*eaotm_v, *eaotm_i) << "EA-OTM seed=" << seed << " q=" << s
+                                      << " t=" << t;
+        ASSERT_TRUE(ldotm_v.ok() && ldotm_i.ok());
+        EXPECT_EQ(*ldotm_v, *ldotm_i) << "LD-OTM seed=" << seed << " q=" << s
+                                      << " t=" << t;
+      }
+    }
   }
 }
 

@@ -505,6 +505,79 @@ TEST_F(ExecTest, SortLimitConcat) {
   EXPECT_EQ(rows[1][0].AsInt(), 2);
 }
 
+// ---------- End-of-stream latching under injected faults ----------
+//
+// Regression tests for the Operator latch contract (exec.h): before the
+// latch existed, the faulting read did not advance the scan cursor, so a
+// pull after a transient mid-scan fault retried the read, silently resumed
+// the stream, and a later clean end overwrote the parked error with OK —
+// a mid-stream kIoError surfaced as a shorter-but-OK result.
+
+TEST_F(ExecTest, MidStreamFaultIsLatchedNotResumed) {
+  auto op = MakeIndexRangeScan(table_, 0, 9, db_.buffer_pool());
+  ASSERT_TRUE(op->Next().has_value());
+  ASSERT_TRUE(op->Next().has_value());
+  // Fail every device read and cold-cache so the next pull really faults.
+  FaultPolicy faults;
+  faults.seed = 9;
+  faults.transient_error_prob = 1.0;
+  db_.device()->set_fault_policy(faults);
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  ASSERT_FALSE(op->Next().has_value());
+  const Status fault = op->status();
+  ASSERT_FALSE(fault.ok());
+  EXPECT_EQ(fault.code(), Status::Code::kIoError);
+  // Heal the device: the fault is now transient in hindsight. The stream
+  // must stay ended and the parked error must survive further pulls.
+  db_.device()->set_fault_policy(FaultPolicy{});
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  for (int i = 0; i < 12; ++i) EXPECT_FALSE(op->Next().has_value());
+  EXPECT_EQ(op->status().code(), Status::Code::kIoError);
+  EXPECT_EQ(op->status().ToString(), fault.ToString());
+}
+
+TEST_F(ExecTest, ConcatDoesNotResumePastAFaultedChild) {
+  std::vector<OperatorPtr> parts;
+  parts.push_back(MakeIndexRangeScan(table_, 0, 4, db_.buffer_pool()));
+  std::vector<Row> tail{{Value(100)}};
+  parts.push_back(MakeVectorSource(tail));
+  auto op = MakeConcat(std::move(parts));
+  ASSERT_TRUE(op->Next().has_value());
+  FaultPolicy faults;
+  faults.seed = 3;
+  faults.transient_error_prob = 1.0;
+  db_.device()->set_fault_policy(faults);
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  ASSERT_FALSE(op->Next().has_value());
+  ASSERT_FALSE(op->status().ok());
+  db_.device()->set_fault_policy(FaultPolicy{});
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  // Neither the faulted child nor the healthy one after it may produce
+  // more rows once the fault ended the concatenated stream.
+  EXPECT_FALSE(op->Next().has_value());
+  EXPECT_FALSE(op->status().ok());
+}
+
+TEST_F(ExecTest, FaultedPlanStaysFaultedAfterHeal) {
+  auto op = MakeIndexRangeScan(table_, 0, 9, db_.buffer_pool());
+  FaultPolicy faults;
+  faults.seed = 21;
+  faults.transient_error_prob = 1.0;
+  db_.device()->set_fault_policy(faults);
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  const auto first = Execute(op.get());
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), Status::Code::kIoError);
+  // Re-draining the same faulted root after the device heals must report
+  // the original fault — before the latch it re-ran the scan from the
+  // parked cursor and returned the rows with an OK status.
+  db_.device()->set_fault_policy(FaultPolicy{});
+  ASSERT_TRUE(db_.buffer_pool()->DropCaches().ok());
+  const auto second = Execute(op.get());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), Status::Code::kIoError);
+}
+
 // ---------- Checksums, fault injection, and retries ----------
 
 TEST(ChecksumPageTest, StampAndVerifyRoundTrip) {

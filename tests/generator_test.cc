@@ -81,6 +81,31 @@ TEST(GeneratorTest, EventsRespectServiceWindow) {
   EXPECT_LT(tt->max_time(), opts.service_end + 4 * 3600);
 }
 
+// A service window pushed against INT32_MAX: before the 64-bit event
+// clock in emit_direction, `t + hop` / `arr + dwell` / the headway advance
+// overflowed int32 — UB that in practice wrapped arrivals negative (so
+// dep < arr broke) and could wrap the departure into a near-endless loop.
+// The generated schedule must stay strictly below the kInfinityTime
+// sentinel, which every query treats as "unreachable".
+TEST(GeneratorTest, ServiceWindowNearInt32MaxDoesNotOverflow) {
+  GeneratorOptions o;
+  o.num_stops = 40;
+  o.target_connections = 800;
+  o.min_route_len = 3;
+  o.max_route_len = 6;
+  o.seed = 11;
+  o.service_start = kInfinityTime - 2 * 3600;
+  o.service_end = kInfinityTime - 1;
+  const auto tt = GenerateNetwork(o);
+  ASSERT_TRUE(tt.ok()) << tt.status().ToString();
+  EXPECT_GT(tt->num_connections(), 0u);
+  for (const Connection& c : tt->connections()) {
+    EXPECT_LT(c.dep, c.arr);
+    EXPECT_LT(c.arr, kInfinityTime);
+    EXPECT_GE(c.dep, o.service_start);
+  }
+}
+
 TEST(GeneratorTest, RejectsBadOptions) {
   GeneratorOptions o = SmallOptions();
   o.num_stops = 1;

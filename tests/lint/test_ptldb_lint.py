@@ -232,6 +232,52 @@ class RawDiagnosticTest(unittest.TestCase):
             "std::cerr << x;  // NOLINT(raw-diagnostic)\n"))
 
 
+class VmHotPathAllocTest(unittest.TestCase):
+    VM = "src/ptldb/compiled.cc"
+
+    def test_naked_new_flagged(self):
+        self.assertIn("vm-hot-path-alloc",
+                      run_on("auto* s = new VmState();\n", rel_path=self.VM))
+
+    def test_make_unique_flagged(self):
+        self.assertIn("vm-hot-path-alloc",
+                      run_on("auto p = std::make_unique<VmState>();\n",
+                             rel_path=self.VM))
+
+    def test_container_growth_flagged(self):
+        rules = run_on("rows.push_back(row);\n"
+                       "heap.emplace_back(stop, time);\n"
+                       "buf.resize(n);\n"
+                       "scratch.reserve(n);\n"
+                       "table->emplace(key, value);\n", rel_path=self.VM)
+        self.assertEqual(rules.count("vm-hot-path-alloc"), 5)
+
+    def test_arena_idioms_allowed(self):
+        # The sanctioned spellings: arena carving and ArenaVector's
+        # deliberately capitalized PushBack.
+        self.assertEqual([], run_on(
+            "ArenaVector<StopTimeResult> staged(&arena);\n"
+            "staged.PushBack({stop, time});\n"
+            "auto* buf = arena.AllocateArray<int32_t>(n);\n",
+            rel_path=self.VM))
+
+    def test_rule_scoped_to_vm_files(self):
+        # The same allocation is fine outside the VM hot path.
+        self.assertEqual([], run_on("rows.push_back(row);\n",
+                                    rel_path="src/engine/exec.cc"))
+        self.assertEqual([], run_on("rows.push_back(row);\n",
+                                    rel_path="src/engine/arena.h"))
+
+    def test_vm_header_in_scope(self):
+        self.assertIn("vm-hot-path-alloc",
+                      run_on("code.reserve(kMaxCode);\n",
+                             rel_path="src/engine/vm.h"))
+
+    def test_new_in_comment_ignored(self):
+        self.assertEqual([], run_on("// a new program per query type\n",
+                                    rel_path=self.VM))
+
+
 class ValueOnTemporaryTest(unittest.TestCase):
     def test_chained_value_flagged(self):
         self.assertIn("value-on-temporary",

@@ -759,6 +759,69 @@ TEST(PtldbStorageTest, WarmCacheCostsNoIo) {
   EXPECT_EQ((*db)->io_time_ns(), 0u);
 }
 
+// A handcrafted timetable whose event times sit a few hours below
+// INT32_MAX: every layer that does time arithmetic (label merge kernels,
+// the SD duration fold, bucket index math at the top of the key range)
+// must run its intermediates in 64-bit. Answers are checked against both
+// handcomputed values and the CSA/brute oracles, on both executors.
+TEST(PtldbOverflowTest, AnswersOnTimetableNearInt32Max) {
+  const Timestamp base = kInfinityTime - 8 * 3600;
+  TimetableBuilder builder;
+  for (int i = 0; i < 4; ++i) {
+    builder.AddStop({.name = "s" + std::to_string(i)});
+  }
+  const TripId t1 = builder.AddTrip();
+  const TripId t2 = builder.AddTrip();
+  const TripId t3 = builder.AddTrip();
+  builder.AddConnection(0, 1, base + 100, base + 200, t1);
+  builder.AddConnection(1, 2, base + 300, base + 400, t2);
+  builder.AddConnection(2, 3, base + 500, base + 600, t3);
+  auto built = std::move(builder).Build();
+  ASSERT_TRUE(built.ok());
+  const Timetable tt = std::move(built).value();
+  const TtlIndex index = BuildIndex(tt);
+
+  for (const bool compressed : {false, true}) {
+    PtldbOptions options;
+    options.device = DeviceProfile::Ram();
+    options.compressed_labels = compressed;
+    auto db = PtldbDatabase::Build(index, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    const std::vector<StopId> targets = {1, 3};
+    ASSERT_TRUE((*db)->AddTargetSet("T", index, targets, 2).ok());
+    for (const bool compiled : {true, false}) {
+      (*db)->set_compiled_queries(compiled);
+      const auto ea = (*db)->EarliestArrival(0, 3, base);
+      ASSERT_TRUE(ea.ok());
+      EXPECT_EQ(*ea, base + 600);
+      EXPECT_EQ(*ea, EarliestArrival(tt, 0, 3, base));
+      const auto ld = (*db)->LatestDeparture(0, 3, base + 600);
+      ASSERT_TRUE(ld.ok());
+      EXPECT_EQ(*ld, base + 100);
+      EXPECT_EQ(*ld, LatestDeparture(tt, 0, 3, base + 600));
+      const auto sd = (*db)->ShortestDuration(0, 3, base, base + 600);
+      ASSERT_TRUE(sd.ok());
+      EXPECT_EQ(*sd, 500);
+      EXPECT_EQ(*sd, ShortestDuration(tt, 0, 3, base, base + 600));
+      // Unreachable stays the saturated sentinel, not a wrapped value.
+      const auto none = (*db)->EarliestArrival(3, 0, base);
+      ASSERT_TRUE(none.ok());
+      EXPECT_EQ(*none, kInfinityTime);
+      const auto knn = (*db)->EaKnn("T", 0, base, 2);
+      ASSERT_TRUE(knn.ok());
+      ExpectKnnValid(*knn, BruteEaOneToMany(tt, 0, targets, base), 2,
+                     compiled ? "EA-kNN vm" : "EA-kNN interp");
+      const auto otm = (*db)->LdOneToMany("T", 0, base + 600);
+      ASSERT_TRUE(otm.ok());
+      const auto brute = BruteLdOneToMany(tt, 0, targets, base + 600);
+      ASSERT_EQ(otm->size(), brute.size());
+      for (size_t i = 0; i < brute.size(); ++i) {
+        EXPECT_EQ((*otm)[i], brute[i]);
+      }
+    }
+  }
+}
+
 TEST(PtldbStorageTest, SsdIsFasterThanHddForColdV2v) {
   const Timetable tt = SmallCity(11);
   const TtlIndex index = BuildIndex(tt);

@@ -711,6 +711,49 @@ TEST_F(SqlExampleGoldenTest, ExplainAnalyzeCountersMatchEngineGroundTruth) {
   EXPECT_GT(SpanStat(*exec, "tuples.scanned"), 0u);
 }
 
+TEST_F(SqlExampleGoldenTest, VmStepsSpanStatMatchesEngineCounter) {
+  // The compiled VM publishes its step count through one
+  // LocalQueryCounters field that Timed() flushes to the exec.vm_steps
+  // registry counter and the facade span attaches as "vm.steps". The two
+  // views must agree exactly, and the interpreter path must attach no
+  // vm.steps stat at all — which is why the golden trace strings above
+  // (recorded on interpreter plans) need no vm.steps column.
+  Counter* steps = db_->engine()->metrics()->counter("exec.vm_steps");
+  db_->set_compiled_queries(true);
+  QueryTrace vm_trace;
+  db_->set_trace(&vm_trace);
+  const uint64_t before_vm = steps->value();
+  auto ea = db_->EarliestArrival(5, 6, 28800);
+  ASSERT_TRUE(ea.ok());
+  EXPECT_EQ(*ea, 43200);
+  auto knn = db_->EaKnn("poi", 5, 28800, 2);
+  ASSERT_TRUE(knn.ok());
+  const uint64_t vm_delta = steps->value() - before_vm;
+  EXPECT_GT(vm_delta, 0u);
+  const QueryTrace::Span* v2v = FindChild(vm_trace.root(), "v2v_ea");
+  const QueryTrace::Span* ea_knn = FindChild(vm_trace.root(), "ea_knn");
+  ASSERT_NE(v2v, nullptr);
+  ASSERT_NE(ea_knn, nullptr);
+  EXPECT_GT(SpanStat(*v2v, "vm.steps"), 0u);
+  EXPECT_GT(SpanStat(*ea_knn, "vm.steps"), 0u);
+  EXPECT_EQ(SpanStat(*v2v, "vm.steps") + SpanStat(*ea_knn, "vm.steps"),
+            vm_delta);
+
+  // Same queries on the interpreter: the counter must not move and the
+  // spans must carry no vm.steps stat (only nonzero deltas attach).
+  db_->set_compiled_queries(false);
+  QueryTrace interp_trace;
+  db_->set_trace(&interp_trace);
+  const uint64_t before_interp = steps->value();
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+  ASSERT_TRUE(db_->EaKnn("poi", 5, 28800, 2).ok());
+  EXPECT_EQ(steps->value(), before_interp);
+  const QueryTrace::Span* iv2v = FindChild(interp_trace.root(), "v2v_ea");
+  ASSERT_NE(iv2v, nullptr);
+  EXPECT_EQ(SpanStat(*iv2v, "vm.steps"), 0u);
+  db_->set_trace(nullptr);
+}
+
 TEST_F(SqlPaperQueriesTest, PaperWorkedExampleViaSql) {
   // EA(1, 1, 324) = 324 on the Figure-1 example, via the literal Code 1.
   const Timetable example = MakeExampleTimetable();

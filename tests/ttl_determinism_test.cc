@@ -10,7 +10,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/checksum.h"
+#include "ptldb/ptldb.h"
 #include "timetable/example_graph.h"
 #include "timetable/generator.h"
 #include "ttl/builder.h"
@@ -238,6 +241,81 @@ TEST(TtlDeterminismTest, CompressedLabelTierIsDeterministicAcrossThreads) {
           << "seed " << g.seed << ": encoded labels differ between "
           << kThreadCounts[0] << " and " << threads << " threads";
       EXPECT_EQ((*store)->bytes_resident(), ref_bytes) << "seed " << g.seed;
+    }
+  }
+}
+
+// The executor must not be a source of nondeterminism either: exhaustively
+// over every ordered stop pair of the example graph and every event
+// boundary (each departure/arrival time and one second to either side),
+// the compiled register VM and the volcano interpreter return identical
+// answers for all seven query types, on both label tiers. The build
+// goldens above pin the index bytes; this pins that executor choice can
+// never leak into an answer served from those bytes.
+TEST(TtlDeterminismTest, ExecutorChoiceDoesNotChangeAnswers) {
+  const Timetable tt = MakeExampleTimetable();
+  TtlBuildOptions build;
+  build.custom_order = ExampleVertexOrder();
+  auto index = BuildTtlIndex(tt, build);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<Timestamp> times;
+  for (const Connection& c : tt.connections()) {
+    for (const Timestamp base : {c.dep, c.arr}) {
+      times.push_back(base - 1);
+      times.push_back(base);
+      times.push_back(base + 1);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::vector<StopId> targets;
+  for (StopId v = 0; v < tt.num_stops(); v += 2) targets.push_back(v);
+
+  for (const bool compressed : {false, true}) {
+    PtldbOptions options;
+    options.device = DeviceProfile::Ram();
+    options.compressed_labels = compressed;
+    auto built = PtldbDatabase::Build(*index, options);
+    ASSERT_TRUE(built.ok());
+    PtldbDatabase* db = built->get();
+    ASSERT_TRUE(db->AddTargetSet("T", *index, targets, 4).ok());
+    const Timestamp t_end = tt.max_time();
+    for (StopId s = 0; s < tt.num_stops(); ++s) {
+      for (StopId g = 0; g < tt.num_stops(); ++g) {
+        if (g == s) continue;
+        for (const Timestamp t : times) {
+          db->set_compiled_queries(true);
+          const auto ea_v = db->EarliestArrival(s, g, t);
+          const auto ld_v = db->LatestDeparture(s, g, t);
+          const auto sd_v = db->ShortestDuration(s, g, t, t_end);
+          const auto eaknn_v = db->EaKnn("T", s, t, 2);
+          const auto ldknn_v = db->LdKnn("T", s, t, 2);
+          const auto eaotm_v = db->EaOneToMany("T", s, t);
+          const auto ldotm_v = db->LdOneToMany("T", s, t);
+          db->set_compiled_queries(false);
+          const auto ea_i = db->EarliestArrival(s, g, t);
+          const auto ld_i = db->LatestDeparture(s, g, t);
+          const auto sd_i = db->ShortestDuration(s, g, t, t_end);
+          const auto eaknn_i = db->EaKnn("T", s, t, 2);
+          const auto ldknn_i = db->LdKnn("T", s, t, 2);
+          const auto eaotm_i = db->EaOneToMany("T", s, t);
+          const auto ldotm_i = db->LdOneToMany("T", s, t);
+          ASSERT_TRUE(ea_v.ok() && ea_i.ok() && ld_v.ok() && ld_i.ok() &&
+                      sd_v.ok() && sd_i.ok());
+          ASSERT_TRUE(eaknn_v.ok() && eaknn_i.ok() && ldknn_v.ok() &&
+                      ldknn_i.ok() && eaotm_v.ok() && eaotm_i.ok() &&
+                      ldotm_v.ok() && ldotm_i.ok());
+          EXPECT_EQ(*ea_v, *ea_i) << "EA s=" << s << " g=" << g << " t=" << t;
+          EXPECT_EQ(*ld_v, *ld_i) << "LD s=" << s << " g=" << g << " t=" << t;
+          EXPECT_EQ(*sd_v, *sd_i) << "SD s=" << s << " g=" << g << " t=" << t;
+          EXPECT_EQ(*eaknn_v, *eaknn_i) << "EA-kNN q=" << s << " t=" << t;
+          EXPECT_EQ(*ldknn_v, *ldknn_i) << "LD-kNN q=" << s << " t=" << t;
+          EXPECT_EQ(*eaotm_v, *eaotm_i) << "EA-OTM q=" << s << " t=" << t;
+          EXPECT_EQ(*ldotm_v, *ldotm_i) << "LD-OTM q=" << s << " t=" << t;
+        }
+      }
     }
   }
 }
