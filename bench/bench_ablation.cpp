@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     Rng wrng(config.seed * 31 + 5);
     const KnnWorkload w = MakeKnnWorkload(&wrng, data->tt, config.num_queries);
     const struct {
-      Timestamp seconds;
+      int32_t seconds;
       const char* label;
     } widths[] = {{900, "15min"},
                   {1800, "30min"},
@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
     for (const auto& width : widths) {
       char set[16];
       std::snprintf(set, sizeof(set), "b%d", width.seconds);
-      if (!(*db)->AddTargetSet(set, data->index, targets, 4, width.seconds)
+      if (!(*db)->AddTargetSet(set, data->index, targets, 4,
+                               Duration::FromSeconds(width.seconds))
                .ok()) {
         return 1;
       }
@@ -121,7 +122,7 @@ int main(int argc, char** argv) {
     Rng rng(config.seed * 7919 + 13);
     const uint32_t n = config.num_queries;
     std::vector<StopId> src(n), dst(n);
-    std::vector<Timestamp> early(n), late(n);
+    std::vector<EventTime> early(n), late(n);
     for (uint32_t i = 0; i < n; ++i) {
       src[i] = static_cast<StopId>(rng.NextBelow(data->tt.num_stops()));
       dst[i] = static_cast<StopId>(rng.NextBelow(data->tt.num_stops()));

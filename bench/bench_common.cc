@@ -144,18 +144,18 @@ Result<BenchDataset> LoadOrBuildDataset(const CityProfile& profile,
   return data;
 }
 
-Timestamp RandomEarlyTime(Rng* rng, const Timetable& tt) {
-  const Timestamp span = tt.max_time() - tt.min_time();
+EventTime RandomEarlyTime(Rng* rng, const Timetable& tt) {
+  const Duration span = tt.max_time() - tt.min_time();
   return tt.min_time() +
-         static_cast<Timestamp>(rng->NextBelow(
-             static_cast<uint64_t>(span / 4) + 1));
+         Duration::FromSeconds(static_cast<int64_t>(rng->NextBelow(
+             static_cast<uint64_t>(span.raw_seconds() / 4) + 1)));
 }
 
-Timestamp RandomLateTime(Rng* rng, const Timetable& tt) {
-  const Timestamp span = tt.max_time() - tt.min_time();
+EventTime RandomLateTime(Rng* rng, const Timetable& tt) {
+  const Duration span = tt.max_time() - tt.min_time();
   return tt.max_time() -
-         static_cast<Timestamp>(rng->NextBelow(
-             static_cast<uint64_t>(span / 4) + 1));
+         Duration::FromSeconds(static_cast<int64_t>(rng->NextBelow(
+             static_cast<uint64_t>(span.raw_seconds() / 4) + 1)));
 }
 
 double TimeQueries(PtldbDatabase* db, uint32_t n,

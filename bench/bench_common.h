@@ -62,8 +62,8 @@ Result<BenchDataset> LoadOrBuildDataset(const CityProfile& profile,
 /// Random workload times per Section 4 of the paper: starting timestamps
 /// from the first quarter of the timetable's range, ending timestamps from
 /// the fourth quarter.
-Timestamp RandomEarlyTime(Rng* rng, const Timetable& tt);
-Timestamp RandomLateTime(Rng* rng, const Timetable& tt);
+EventTime RandomEarlyTime(Rng* rng, const Timetable& tt);
+EventTime RandomLateTime(Rng* rng, const Timetable& tt);
 
 /// Runs `fn(i)` for i in [0, n) against `db` with a cold cache and returns
 /// the average per-query time in milliseconds: measured CPU time plus the

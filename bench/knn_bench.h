@@ -28,8 +28,8 @@ inline std::vector<StopId> MakeTargets(Rng* rng, const Timetable& tt,
 /// fourth-quarter deadlines (Section 4).
 struct KnnWorkload {
   std::vector<StopId> q;
-  std::vector<Timestamp> early;
-  std::vector<Timestamp> late;
+  std::vector<EventTime> early;
+  std::vector<EventTime> late;
 };
 
 inline KnnWorkload MakeKnnWorkload(Rng* rng, const Timetable& tt,

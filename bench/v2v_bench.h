@@ -38,8 +38,8 @@ inline int RunV2vBench(int argc, char** argv, const DeviceProfile& device,
       const uint32_t n = config.num_queries;
       std::vector<StopId> src(n);
       std::vector<StopId> dst(n);
-      std::vector<Timestamp> early(n);
-      std::vector<Timestamp> late(n);
+      std::vector<EventTime> early(n);
+      std::vector<EventTime> late(n);
       Rng rng(config.seed * 7919 + 13);
       for (uint32_t i = 0; i < n; ++i) {
         src[i] = static_cast<StopId>(rng.NextBelow(data->tt.num_stops()));

@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
   // the reverse direction; here we score how many clients the store
   // reaches by courier before noon) and one LD-OTM (how late clients may
   // leave the store and still be home by 20:00).
-  const Timestamp open = 10 * 3600;
-  const Timestamp close = 20 * 3600;
+  const EventTime open = EventTime::FromSeconds(10 * 3600);
+  const EventTime close = EventTime::FromSeconds(20 * 3600);
   std::printf("%s (scale %.2f): scoring %u candidate store stops against %u "
               "client stops\n\n",
               city.c_str(), scale, num_candidates, num_clients);
@@ -77,17 +77,19 @@ int main(int argc, char** argv) {
     const auto ea = (*db)->EaOneToMany("clients", store, open);
     const auto ld = (*db)->LdOneToMany("clients", store, close);
     if (!ea.ok() || !ld.ok()) continue;
-    const Timestamp med_arrive =
-        ea->empty() ? kInfinityTime : (*ea)[ea->size() / 2].time;
-    const Timestamp med_leave =
-        ld->empty() ? kNegInfinityTime : (*ld)[ld->size() / 2].time;
+    const EventTime med_arrive =
+        ea->empty() ? EventTime::Infinity() : (*ea)[ea->size() / 2].time;
+    const EventTime med_leave =
+        ld->empty() ? EventTime::NegInfinity() : (*ld)[ld->size() / 2].time;
     std::printf("%-8u %-18zu %-22s %-14s\n", store, ea->size(),
                 FormatTime(med_arrive).c_str(),
                 FormatTime(med_leave).c_str());
     const double score =
         static_cast<double>(ea->size()) -
-        (med_arrive == kInfinityTime ? 0.0
-                                     : (med_arrive - open) / 36000.0);
+        (med_arrive == EventTime::Infinity()
+             ? 0.0
+             : static_cast<double>((med_arrive - open).raw_seconds()) /
+                   36000.0);
     if (score > best_score) {
       best_score = score;
       best = store;

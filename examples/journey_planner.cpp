@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   double scale = 0.05;
   StopId from = 0;
   StopId to = 25;
-  Timestamp depart = 8 * 3600;
+  EventTime depart = EventTime::FromSeconds(8 * 3600);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (depart == kInvalidTime) {
+  if (depart == EventTime::Invalid()) {
     Usage();
     return 2;
   }
@@ -97,8 +97,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const Timestamp ea = *(*db)->EarliestArrival(from, to, depart);
-  if (ea == kInfinityTime) {
+  const EventTime ea = *(*db)->EarliestArrival(from, to, depart);
+  if (ea == EventTime::Infinity()) {
     std::printf("No journey from %s to %s departing at or after %s.\n",
                 tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
                 FormatTime(depart).c_str());
@@ -107,17 +107,18 @@ int main(int argc, char** argv) {
   std::printf("%s -> %s, depart >= %s: earliest arrival %s\n",
               tt.stop(from).name.c_str(), tt.stop(to).name.c_str(),
               FormatTime(depart).c_str(), FormatTime(ea).c_str());
-  const Timestamp ld = *(*db)->LatestDeparture(from, to, ea);
+  const EventTime ld = *(*db)->LatestDeparture(from, to, ea);
   std::printf("Latest departure still arriving by %s: %s\n",
               FormatTime(ea).c_str(), FormatTime(ld).c_str());
-  const Timestamp sd =
+  const Duration sd =
       *(*db)->ShortestDuration(from, to, depart, tt.max_time());
-  if (sd == kInfinityTime) {
+  if (sd == Duration::Infinity()) {
     // The EA above can succeed while no journey fits inside the SD window
     // [depart, max_time]; dividing the sentinel by 60 would print ~35M min.
     std::printf("No complete ride fits inside today's service window.\n");
   } else {
-    std::printf("Shortest possible ride today: %d min\n", sd / 60);
+    std::printf("Shortest possible ride today: %d min\n",
+                static_cast<int>((sd / 60).raw_seconds()));
   }
 
   // Itinerary via the baseline scan (the paper stores expanded paths in the

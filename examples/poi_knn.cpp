@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
               city.c_str(), scale, tt->num_stops(), num_pois);
 
   // Morning scenario: at 09:30, which k POIs can I reach first?
-  const Timestamp now = 9 * 3600 + 30 * 60;
+  const EventTime now = EventTime::FromSeconds(9 * 3600 + 30 * 60);
   const auto knn = (*db)->EaKnn("poi", at, now, k);
   if (!knn.ok()) {
     std::fprintf(stderr, "%s\n", knn.status().ToString().c_str());
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
 
   // Breakfast scenario (the paper's LD-kNN example): reach one of the k
   // nearest POIs by 11:00 - when must I leave, at the latest?
-  const Timestamp deadline = 11 * 3600;
+  const EventTime deadline = EventTime::FromSeconds(11 * 3600);
   const auto ld = (*db)->LdKnn("poi", at, deadline, k);
   if (!ld.ok()) {
     std::fprintf(stderr, "%s\n", ld.status().ToString().c_str());

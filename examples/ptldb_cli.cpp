@@ -149,8 +149,8 @@ int Query(const std::map<std::string, std::string>& flags) {
   const std::string type = get("type");
   const StopId from = static_cast<StopId>(std::atoi(get("from").c_str()));
   const StopId to = static_cast<StopId>(std::atoi(get("to").c_str()));
-  const Timestamp at = ParseGtfsTime(get("at"));
-  if (type.empty() || at == kInvalidTime || from >= tt.num_stops() ||
+  const EventTime at = ParseGtfsTime(get("at"));
+  if (type.empty() || at == EventTime::Invalid() || from >= tt.num_stops() ||
       to >= tt.num_stops()) {
     return Usage();
   }
@@ -158,22 +158,23 @@ int Query(const std::map<std::string, std::string>& flags) {
   auto db = PtldbDatabase::Build(index);
   if (!db.ok()) return 1;
   if (type == "ea") {
-    const Timestamp ea = *(*db)->EarliestArrival(from, to, at);
+    const EventTime ea = *(*db)->EarliestArrival(from, to, at);
     std::printf("EA(%u -> %u, depart >= %s) = %s\n", from, to,
                 FormatTime(at).c_str(), FormatTime(ea).c_str());
   } else if (type == "ld") {
-    const Timestamp ld = *(*db)->LatestDeparture(from, to, at);
+    const EventTime ld = *(*db)->LatestDeparture(from, to, at);
     std::printf("LD(%u -> %u, arrive <= %s) = %s\n", from, to,
                 FormatTime(at).c_str(), FormatTime(ld).c_str());
   } else if (type == "sd") {
-    const Timestamp until = ParseGtfsTime(get("until"));
-    if (until == kInvalidTime) return Usage();
-    const Timestamp sd = *(*db)->ShortestDuration(from, to, at, until);
-    if (sd == kInfinityTime) {
+    const EventTime until = ParseGtfsTime(get("until"));
+    if (until == EventTime::Invalid()) return Usage();
+    const Duration sd = *(*db)->ShortestDuration(from, to, at, until);
+    if (sd == Duration::Infinity()) {
       std::printf("SD(%u -> %u) = no feasible journey\n", from, to);
     } else {
       std::printf("SD(%u -> %u, within [%s, %s]) = %d min\n", from, to,
-                  FormatTime(at).c_str(), FormatTime(until).c_str(), sd / 60);
+                  FormatTime(at).c_str(), FormatTime(until).c_str(),
+                  static_cast<int>((sd / 60).raw_seconds()));
     }
   } else {
     return Usage();

@@ -38,14 +38,18 @@ int main() {
   }
 
   // 4. Vertex-to-vertex queries (Code 1).
-  const Timestamp ea = *(*db)->EarliestArrival(5, 6, 28800);
+  const EventTime depart = EventTime::FromSeconds(28800);
+  const EventTime ea = *(*db)->EarliestArrival(5, 6, depart);
   std::printf("EA(5 -> 6, depart >= %s): arrive %s\n",
-              FormatTime(28800).c_str(), FormatTime(ea).c_str());
-  const Timestamp ld = *(*db)->LatestDeparture(5, 6, 43200);
+              FormatTime(depart).c_str(), FormatTime(ea).c_str());
+  const EventTime by = EventTime::FromSeconds(43200);
+  const EventTime ld = *(*db)->LatestDeparture(5, 6, by);
   std::printf("LD(5 -> 6, arrive <= %s): depart %s\n",
-              FormatTime(43200).c_str(), FormatTime(ld).c_str());
-  const Timestamp sd = *(*db)->ShortestDuration(5, 0, 0, 86400);
-  std::printf("SD(5 -> 0, whole day): %d seconds\n", sd);
+              FormatTime(by).c_str(), FormatTime(ld).c_str());
+  const Duration sd = *(*db)->ShortestDuration(
+      5, 0, EventTime::FromSeconds(0), EventTime::FromSeconds(86400));
+  std::printf("SD(5 -> 0, whole day): %lld seconds\n",
+              static_cast<long long>(sd.raw_seconds()));
 
   // 5. kNN and one-to-many queries over a target set (Sections 3.2-3.3).
   if (const auto status = (*db)->AddTargetSet("poi", *index, {4, 6}, 2);
@@ -53,13 +57,14 @@ int main() {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  const auto knn = (*db)->EaKnn("poi", 0, 36000, 1);
+  const EventTime ten = EventTime::FromSeconds(36000);
+  const auto knn = (*db)->EaKnn("poi", 0, ten, 1);
   if (knn.ok() && !knn->empty()) {
     std::printf("EA-1NN from stop 0 at %s: stop %u (arrive %s)\n",
-                FormatTime(36000).c_str(), (*knn)[0].stop,
+                FormatTime(ten).c_str(), (*knn)[0].stop,
                 FormatTime((*knn)[0].time).c_str());
   }
-  const auto otm = (*db)->EaOneToMany("poi", 0, 36000);
+  const auto otm = (*db)->EaOneToMany("poi", 0, ten);
   if (otm.ok()) {
     std::printf("EA one-to-many from stop 0:\n");
     for (const auto& row : *otm) {

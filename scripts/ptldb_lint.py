@@ -91,6 +91,10 @@ ALLOWLIST = {
         "src/engine/pager.h",
         "src/engine/device.h",
     ],
+    # The checked-narrowing abort path: the process is about to die on a
+    # corrupt-index invariant, and stderr is the only channel that still
+    # exists on the way into std::abort().
+    "raw-diagnostic": ["src/common/time_types.cc"],
 }
 
 # Paths whose build output must be bit-reproducible.

@@ -22,15 +22,15 @@ std::vector<StopId> UniqueTargets(const std::vector<StopId>& targets) {
 
 std::vector<StopTimeResult> BruteEaOneToMany(
     const Timetable& tt, StopId q, const std::vector<StopId>& targets,
-    Timestamp t) {
-  const std::vector<Timestamp> arr = EarliestArrivalScan(tt, q, t);
+    EventTime t) {
+  const std::vector<EventTime> arr = EarliestArrivalScan(tt, q, t);
   const std::vector<StopId> uniq = UniqueTargets(targets);
   std::vector<StopTimeResult> out;
   out.reserve(uniq.size());
   // q ∈ T needs no special case here: the CSA scan seeds arr[q] = t (the
   // querier is at q already), which is exactly the "stay put" answer.
   for (StopId v : uniq) {
-    if (arr[v] != kInfinityTime) out.push_back({v, arr[v]});
+    if (arr[v] != EventTime::Infinity()) out.push_back({v, arr[v]});
   }
   std::sort(out.begin(), out.end(),
             [](const StopTimeResult& a, const StopTimeResult& b) {
@@ -41,7 +41,7 @@ std::vector<StopTimeResult> BruteEaOneToMany(
 
 std::vector<StopTimeResult> BruteEaKnn(const Timetable& tt, StopId q,
                                        const std::vector<StopId>& targets,
-                                       Timestamp t, uint32_t k) {
+                                       EventTime t, uint32_t k) {
   auto out = BruteEaOneToMany(tt, q, targets, t);
   if (out.size() > k) out.resize(k);
   return out;
@@ -49,7 +49,7 @@ std::vector<StopTimeResult> BruteEaKnn(const Timetable& tt, StopId q,
 
 std::vector<StopTimeResult> BruteLdOneToMany(
     const Timetable& tt, StopId q, const std::vector<StopId>& targets,
-    Timestamp t) {
+    EventTime t) {
   // One forward profile from q answers LD(q, v, t) for every v: the latest
   // departure among Pareto journeys arriving v by t.
   const ProfileSet profile = ForwardProfile(tt, q);
@@ -64,8 +64,8 @@ std::vector<StopTimeResult> BruteLdOneToMany(
       out.push_back({v, t});
       continue;
     }
-    const Timestamp dep = profile.LatestDeparture(v, t);
-    if (dep != kNegInfinityTime) out.push_back({v, dep});
+    const EventTime dep = profile.LatestDeparture(v, t);
+    if (dep != EventTime::NegInfinity()) out.push_back({v, dep});
   }
   std::sort(out.begin(), out.end(),
             [](const StopTimeResult& a, const StopTimeResult& b) {
@@ -76,7 +76,7 @@ std::vector<StopTimeResult> BruteLdOneToMany(
 
 std::vector<StopTimeResult> BruteLdKnn(const Timetable& tt, StopId q,
                                        const std::vector<StopId>& targets,
-                                       Timestamp t, uint32_t k) {
+                                       EventTime t, uint32_t k) {
   auto out = BruteLdOneToMany(tt, q, targets, t);
   if (out.size() > k) out.resize(k);
   return out;

@@ -15,24 +15,24 @@ namespace ptldb {
 /// semantics; see README).
 std::vector<StopTimeResult> BruteEaOneToMany(
     const Timetable& tt, StopId q, const std::vector<StopId>& targets,
-    Timestamp t);
+    EventTime t);
 
 /// Ground-truth EA kNN (Section 3.2): the k first rows of BruteEaOneToMany.
 std::vector<StopTimeResult> BruteEaKnn(const Timetable& tt, StopId q,
                                        const std::vector<StopId>& targets,
-                                       Timestamp t, uint32_t k);
+                                       EventTime t, uint32_t k);
 
 /// Ground-truth LD one-to-many: latest departure from `q` reaching each
 /// target no later than `t`. Rows sorted by (departure desc, stop);
 /// infeasible targets omitted. Precondition: q not in `targets`.
 std::vector<StopTimeResult> BruteLdOneToMany(
     const Timetable& tt, StopId q, const std::vector<StopId>& targets,
-    Timestamp t);
+    EventTime t);
 
 /// Ground-truth LD kNN: the k first rows of BruteLdOneToMany.
 std::vector<StopTimeResult> BruteLdKnn(const Timetable& tt, StopId q,
                                        const std::vector<StopId>& targets,
-                                       Timestamp t, uint32_t k);
+                                       EventTime t, uint32_t k);
 
 }  // namespace ptldb
 

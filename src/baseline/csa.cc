@@ -6,9 +6,9 @@
 
 namespace ptldb {
 
-std::vector<Timestamp> EarliestArrivalScan(const Timetable& tt, StopId source,
-                                           Timestamp depart_after) {
-  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+std::vector<EventTime> EarliestArrivalScan(const Timetable& tt, StopId source,
+                                           EventTime depart_after) {
+  std::vector<EventTime> arr(tt.num_stops(), EventTime::Infinity());
   arr[source] = depart_after;
   const auto conns = tt.connections();
   for (size_t i = tt.FirstConnectionNotBefore(depart_after); i < conns.size();
@@ -19,9 +19,9 @@ std::vector<Timestamp> EarliestArrivalScan(const Timetable& tt, StopId source,
   return arr;
 }
 
-std::vector<Timestamp> LatestDepartureScan(const Timetable& tt, StopId target,
-                                           Timestamp arrive_by) {
-  std::vector<Timestamp> dep(tt.num_stops(), kNegInfinityTime);
+std::vector<EventTime> LatestDepartureScan(const Timetable& tt, StopId target,
+                                           EventTime arrive_by) {
+  std::vector<EventTime> dep(tt.num_stops(), EventTime::NegInfinity());
   dep[target] = arrive_by;
   const auto order = tt.by_arrival();
   // Last connection with arr <= arrive_by, scanning backwards from there.
@@ -37,29 +37,29 @@ std::vector<Timestamp> LatestDepartureScan(const Timetable& tt, StopId target,
   return dep;
 }
 
-Timestamp EarliestArrival(const Timetable& tt, StopId s, StopId g,
-                          Timestamp t) {
+EventTime EarliestArrival(const Timetable& tt, StopId s, StopId g,
+                          EventTime t) {
   return EarliestArrivalScan(tt, s, t)[g];
 }
 
-Timestamp LatestDeparture(const Timetable& tt, StopId s, StopId g,
-                          Timestamp t) {
+EventTime LatestDeparture(const Timetable& tt, StopId s, StopId g,
+                          EventTime t) {
   return LatestDepartureScan(tt, g, t)[s];
 }
 
-Timestamp ShortestDuration(const Timetable& tt, StopId s, StopId g,
-                           Timestamp t, Timestamp t_end) {
+Duration ShortestDuration(const Timetable& tt, StopId s, StopId g,
+                          EventTime t, EventTime t_end) {
   return BackwardProfile(tt, g).ShortestDuration(s, t, t_end);
 }
 
-std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
+std::vector<EventTime> EarliestArrivalWithTrips(const Timetable& tt,
                                                 StopId source,
-                                                Timestamp depart_after,
+                                                EventTime depart_after,
                                                 uint32_t max_trips) {
-  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+  std::vector<EventTime> arr(tt.num_stops(), EventTime::Infinity());
   arr[source] = depart_after;
   if (max_trips == 0) return arr;
-  std::vector<Timestamp> prev = arr;
+  std::vector<EventTime> prev = arr;
   std::vector<bool> on_trip(tt.num_trips(), false);
   const auto conns = tt.connections();
   const size_t first = tt.FirstConnectionNotBefore(depart_after);
@@ -85,8 +85,8 @@ std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
 }
 
 std::vector<ConnectionId> FindEarliestJourney(const Timetable& tt, StopId s,
-                                              StopId g, Timestamp t) {
-  std::vector<Timestamp> arr(tt.num_stops(), kInfinityTime);
+                                              StopId g, EventTime t) {
+  std::vector<EventTime> arr(tt.num_stops(), EventTime::Infinity());
   std::vector<ConnectionId> parent(tt.num_stops(), kInvalidConnection);
   arr[s] = t;
   const auto conns = tt.connections();
@@ -98,7 +98,7 @@ std::vector<ConnectionId> FindEarliestJourney(const Timetable& tt, StopId s,
     }
   }
   std::vector<ConnectionId> journey;
-  if (s == g || arr[g] == kInfinityTime) return journey;
+  if (s == g || arr[g] == EventTime::Infinity()) return journey;
   for (StopId v = g; v != s;) {
     const ConnectionId id = parent[v];
     journey.push_back(id);

@@ -18,30 +18,31 @@ namespace ptldb {
 
 /// One-to-all earliest arrival via a Connection Scan: returns arr[v] = the
 /// earliest arrival at v over paths leaving `source` no sooner than
-/// `depart_after` (kInfinityTime when unreachable). arr[source] =
+/// `depart_after` (EventTime::Infinity() when unreachable). arr[source] =
 /// depart_after. O(|E|).
-std::vector<Timestamp> EarliestArrivalScan(const Timetable& tt, StopId source,
-                                           Timestamp depart_after);
+std::vector<EventTime> EarliestArrivalScan(const Timetable& tt, StopId source,
+                                           EventTime depart_after);
 
 /// All-to-one latest departure via a reverse Connection Scan: returns
 /// dep[v] = the latest departure from v over paths reaching `target` no
-/// later than `arrive_by` (kNegInfinityTime when infeasible).
+/// later than `arrive_by` (EventTime::NegInfinity() when infeasible).
 /// dep[target] = arrive_by. O(|E|).
-std::vector<Timestamp> LatestDepartureScan(const Timetable& tt, StopId target,
-                                           Timestamp arrive_by);
+std::vector<EventTime> LatestDepartureScan(const Timetable& tt, StopId target,
+                                           EventTime arrive_by);
 
 /// Point-to-point wrappers (s != g; self-queries have label-defined
 /// semantics, see docs/QUERY_SEMANTICS in README).
-Timestamp EarliestArrival(const Timetable& tt, StopId s, StopId g,
-                          Timestamp t);
-Timestamp LatestDeparture(const Timetable& tt, StopId s, StopId g,
-                          Timestamp t);
+EventTime EarliestArrival(const Timetable& tt, StopId s, StopId g,
+                          EventTime t);
+EventTime LatestDeparture(const Timetable& tt, StopId s, StopId g,
+                          EventTime t);
 
 /// Shortest duration within [t, t']: the minimum (arrival - departure) over
-/// paths departing s at >= t and arriving g at <= t'. kInfinityTime when no
-/// such path exists. Implemented over the forward profile (see profile.h).
-Timestamp ShortestDuration(const Timetable& tt, StopId s, StopId g,
-                           Timestamp t, Timestamp t_end);
+/// paths departing s at >= t and arriving g at <= t'. Duration::Infinity()
+/// when no such path exists. Implemented over the forward profile (see
+/// profile.h).
+Duration ShortestDuration(const Timetable& tt, StopId s, StopId g,
+                          EventTime t, EventTime t_end);
 
 /// Earliest arrival with a transfer budget (the paper's future-work
 /// extension: "taking the number of transfers as an additional
@@ -50,9 +51,9 @@ Timestamp ShortestDuration(const Timetable& tt, StopId s, StopId g,
 /// at most `max_trips` vehicles (= max_trips - 1 transfers). Implemented
 /// as a round-based Connection Scan, O(max_trips * |E|). With
 /// max_trips >= the network diameter this equals EarliestArrivalScan.
-std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
+std::vector<EventTime> EarliestArrivalWithTrips(const Timetable& tt,
                                                 StopId source,
-                                                Timestamp depart_after,
+                                                EventTime depart_after,
                                                 uint32_t max_trips);
 
 /// An earliest-arrival journey from s (departing >= t) to g as the ordered
@@ -60,7 +61,7 @@ std::vector<Timestamp> EarliestArrivalWithTrips(const Timetable& tt,
 /// Empty when g is unreachable (or s == g). The journey's last connection
 /// arrives exactly at EarliestArrival(tt, s, g, t).
 std::vector<ConnectionId> FindEarliestJourney(const Timetable& tt, StopId s,
-                                              StopId g, Timestamp t);
+                                              StopId g, EventTime t);
 
 }  // namespace ptldb
 

@@ -18,29 +18,29 @@ ProfileSet ProfileSet::FromLists(uint32_t num_stops,
   return set;
 }
 
-Timestamp ProfileSet::EarliestArrival(StopId v, Timestamp t) const {
+EventTime ProfileSet::EarliestArrival(StopId v, EventTime t) const {
   const auto p = pairs(v);
   // Pairs are sorted by descending dep; dep >= t is a prefix and arr is
   // descending within it, so the last prefix element has the minimum arr.
   const auto it = std::partition_point(
       p.begin(), p.end(), [&](const ProfilePair& x) { return x.dep >= t; });
-  if (it == p.begin()) return kInfinityTime;
+  if (it == p.begin()) return EventTime::Infinity();
   return (it - 1)->arr;
 }
 
-Timestamp ProfileSet::LatestDeparture(StopId v, Timestamp t_end) const {
+EventTime ProfileSet::LatestDeparture(StopId v, EventTime t_end) const {
   const auto p = pairs(v);
   // arr <= t_end is a suffix; its first element has the maximum dep.
   const auto it = std::partition_point(
       p.begin(), p.end(),
       [&](const ProfilePair& x) { return x.arr > t_end; });
-  if (it == p.end()) return kNegInfinityTime;
+  if (it == p.end()) return EventTime::NegInfinity();
   return it->dep;
 }
 
-Timestamp ProfileSet::ShortestDuration(StopId v, Timestamp t,
-                                       Timestamp t_end) const {
-  Timestamp best = kInfinityTime;
+Duration ProfileSet::ShortestDuration(StopId v, EventTime t,
+                                      EventTime t_end) const {
+  Duration best = Duration::Infinity();
   for (const ProfilePair& x : pairs(v)) {
     if (x.dep < t) break;  // Descending dep: the rest depart too early.
     if (x.arr > t_end) continue;
@@ -56,7 +56,7 @@ ProfileSet ForwardProfile(const Timetable& tt, StopId source) {
   std::vector<std::vector<ProfilePair>> lists(tt.num_stops());
   for (ConnectionId id : tt.by_arrival()) {
     const Connection& c = tt.connection(id);
-    Timestamp dep_q = kNegInfinityTime;
+    EventTime dep_q = EventTime::NegInfinity();
     if (c.from == source) dep_q = c.dep;
     const auto& at_from = lists[c.from];
     // Latest departure from source that reaches c.from by c.dep: the last
@@ -65,7 +65,7 @@ ProfileSet ForwardProfile(const Timetable& tt, StopId source) {
         at_from.begin(), at_from.end(),
         [&](const ProfilePair& x) { return x.arr <= c.dep; });
     if (it != at_from.begin()) dep_q = std::max(dep_q, (it - 1)->dep);
-    if (dep_q == kNegInfinityTime) continue;
+    if (dep_q == EventTime::NegInfinity()) continue;
 
     auto& at_to = lists[c.to];
     if (!at_to.empty() && at_to.back().arr == c.arr) {
@@ -87,7 +87,7 @@ ProfileSet BackwardProfile(const Timetable& tt, StopId target) {
   const auto conns = tt.connections();
   for (size_t i = conns.size(); i-- > 0;) {
     const Connection& c = conns[i];
-    Timestamp arr_g = kInfinityTime;
+    EventTime arr_g = EventTime::Infinity();
     if (c.to == target) arr_g = c.arr;
     const auto& at_to = lists[c.to];
     // Earliest arrival at target when continuing from c.to no sooner than
@@ -97,7 +97,7 @@ ProfileSet BackwardProfile(const Timetable& tt, StopId target) {
         at_to.begin(), at_to.end(),
         [&](const ProfilePair& x) { return x.dep >= c.arr; });
     if (it != at_to.begin()) arr_g = std::min(arr_g, (it - 1)->arr);
-    if (arr_g == kInfinityTime) continue;
+    if (arr_g == EventTime::Infinity()) continue;
 
     auto& at_from = lists[c.from];
     if (!at_from.empty() && at_from.back().dep == c.dep) {

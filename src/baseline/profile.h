@@ -12,8 +12,8 @@ namespace ptldb {
 /// A Pareto-optimal journey option: depart at `dep`, arrive at `arr`.
 /// "Pareto" = no other option departs later AND arrives earlier.
 struct ProfilePair {
-  Timestamp dep = 0;
-  Timestamp arr = 0;
+  EventTime dep;
+  EventTime arr;
 
   friend bool operator==(const ProfilePair&, const ProfilePair&) = default;
 };
@@ -40,13 +40,14 @@ class ProfileSet {
   /// For a forward profile from source q: earliest arrival at v departing q
   /// no sooner than t. For a backward profile to target g (pairs are
   /// (dep@v, arr@g)): earliest arrival at g departing v no sooner than t.
-  Timestamp EarliestArrival(StopId v, Timestamp t) const;
+  EventTime EarliestArrival(StopId v, EventTime t) const;
 
-  /// Latest departure such that arrival <= t_end (kNegInfinityTime if none).
-  Timestamp LatestDeparture(StopId v, Timestamp t_end) const;
+  /// Latest departure such that arrival <= t_end (EventTime::NegInfinity()
+  /// if none).
+  EventTime LatestDeparture(StopId v, EventTime t_end) const;
 
   /// Minimum (arr - dep) over pairs with dep >= t and arr <= t_end.
-  Timestamp ShortestDuration(StopId v, Timestamp t, Timestamp t_end) const;
+  Duration ShortestDuration(StopId v, EventTime t, EventTime t_end) const;
 
   uint64_t total_pairs() const { return pairs_.size(); }
 

@@ -252,8 +252,8 @@ std::string QueryLog::TraceJson(const QueryLogRecord& rec, const char* reason,
   out += ", \"latency_ns\": " + std::to_string(rec.latency_ns);
   out += ", \"args\": {\"s\": " + std::to_string(rec.s) +
          ", \"g\": " + std::to_string(rec.g) +
-         ", \"t\": " + std::to_string(rec.t) +
-         ", \"t_end\": " + std::to_string(rec.t_end) +
+         ", \"t\": " + std::to_string(rec.t.raw_seconds()) +
+         ", \"t_end\": " + std::to_string(rec.t_end.raw_seconds()) +
          ", \"k\": " + std::to_string(rec.k) + ", \"set\": \"" +
          JsonEscape(rec.set_name) + "\"}";
   out += ", \"spans\": [";

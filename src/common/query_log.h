@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_annotations.h"
+#include "common/time_types.h"
 
 namespace ptldb {
 
@@ -95,8 +96,10 @@ struct QueryLogRecord {
   char cause[16] = {};    ///< Outcome detail ("queue_full", "exec", ...).
   int32_t s = -1;         ///< Source stop (-1 = n/a).
   int32_t g = -1;         ///< Goal stop.
-  int32_t t = -1;         ///< Departure/arrival time argument.
-  int32_t t_end = -1;     ///< Window end (shortest-duration), else -1.
+  /// Departure/arrival time argument at full compute-tier width —
+  /// a multi-day timestamp renders exactly in ptldb_slow_queries.
+  EventTime t = EventTime::Invalid();
+  EventTime t_end = EventTime::Invalid();  ///< Window end, else Invalid().
   int32_t k = -1;         ///< kNN k, else -1.
   QueryOutcome outcome = QueryOutcome::kOk;
   bool degraded = false;       ///< Served by the exact-v2v fallback.

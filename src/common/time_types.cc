@@ -1,0 +1,22 @@
+#include "common/time_types.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptldb {
+namespace internal {
+
+void StoredTimeNarrowingFault(int64_t seconds) {
+  // Fatal-path diagnostic: the process is about to abort because a
+  // compute-tier time escaped the stored range on a *data* (not
+  // predicate) boundary, meaning the index or an on-disk format would be
+  // corrupt. stderr is the only channel guaranteed to still exist here.
+  std::fprintf(stderr,
+               "ptldb: fatal: time value %lld s does not fit the 32-bit "
+               "stored encoding (checked narrowing boundary)\n",
+               static_cast<long long>(seconds));
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ptldb

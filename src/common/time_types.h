@@ -1,0 +1,278 @@
+#ifndef PTLDB_COMMON_TIME_TYPES_H_
+#define PTLDB_COMMON_TIME_TYPES_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+/// Typed time algebra (DESIGN.md §15).
+///
+/// Two widths, one conversion boundary:
+///
+///  * Compute tier: `EventTime` / `Duration`, int64-backed strong types.
+///    Everything that *computes* with time — timetable model, generator
+///    event clocks, TTL label tuples, merge kernels, query arguments,
+///    oracle scans — uses these. int64 seconds cannot overflow on any
+///    realistic horizon (2^63 s ≈ 292 billion years), which retires the
+///    int32 overflow bug class fixed twice already (tables.cc hour-bucket
+///    edges; generator emit_direction event clock).
+///
+///  * Stored tier: `StoredTime`, the 32-bit on-page / on-disk / codec
+///    encoding (engine Value rows, varint label streams, serialized
+///    timetables). Stored widths are a physical format, not an arithmetic
+///    domain: bytes cross between the tiers only through the checked
+///    boundary functions below, never through a bare static_cast.
+///
+/// Sentinels are *stored-width* values widened into the compute tier:
+/// `EventTime::Infinity().raw_seconds() == kInfinityTime`. That keeps
+/// `FromStoredTime` a pure widening, keeps every on-disk byte and CRC
+/// golden identical, and preserves the saturation behavior of
+/// shortest-duration folds. When multi-day horizons (ROADMAP item 4) need
+/// event times beyond int32, the sentinels move to int64 extremes and
+/// only this header and the boundary functions change.
+///
+/// `scripts/ptldb_analyzer.py` (check: time-width) enforces the split:
+/// raw int arithmetic on time-typed values and unchecked narrowing casts
+/// are findings everywhere outside this header.
+
+namespace ptldb {
+
+/// Stored (on-page / codec / serialized) time encoding: 32-bit seconds
+/// since service-day midnight, matching GTFS stop_times semantics. Values
+/// may exceed 24h (86400) for trips that run past midnight.
+using StoredTime = int32_t;
+
+/// Sentinel for "no feasible trip" (earliest-arrival queries).
+inline constexpr StoredTime kInfinityTime =
+    std::numeric_limits<StoredTime>::max();
+/// Sentinel for "no feasible trip" (latest-departure queries).
+inline constexpr StoredTime kNegInfinityTime =
+    std::numeric_limits<StoredTime>::min();
+/// Generic "not a timestamp" marker used in serialized label tuples.
+inline constexpr StoredTime kInvalidTime = -1;
+
+class Duration;
+
+/// A point on the service-day clock, in whole seconds. Construction is
+/// explicit (`EventTime::FromSeconds`, `FromStoredTime`); there is no
+/// conversion to or from raw integers, and the only arithmetic is the
+/// affine algebra: EventTime - EventTime = Duration, EventTime ± Duration
+/// = EventTime. Trivially copyable (lives in VM programs, arena vectors
+/// and the query-log ring).
+class EventTime {
+ public:
+  constexpr EventTime() = default;
+
+  static constexpr EventTime FromSeconds(int64_t seconds) {
+    return EventTime(seconds);
+  }
+  /// "No feasible trip" for earliest-arrival style folds.
+  static constexpr EventTime Infinity() { return EventTime(kInfinityTime); }
+  /// "No feasible trip" for latest-departure style folds.
+  static constexpr EventTime NegInfinity() {
+    return EventTime(kNegInfinityTime);
+  }
+  /// "Not a timestamp".
+  static constexpr EventTime Invalid() { return EventTime(kInvalidTime); }
+
+  /// Escape hatch to the raw integer domain. Every use site is a
+  /// time-width analyzer obligation: arithmetic on the result must stay
+  /// 64-bit, and narrowing must go through ToStoredTime.
+  constexpr int64_t raw_seconds() const { return seconds_; }
+
+  friend constexpr bool operator==(EventTime, EventTime) = default;
+  friend constexpr auto operator<=>(EventTime a, EventTime b) {
+    return a.seconds_ <=> b.seconds_;
+  }
+
+  constexpr EventTime& operator+=(Duration d);
+  constexpr EventTime& operator-=(Duration d);
+
+ private:
+  explicit constexpr EventTime(int64_t seconds) : seconds_(seconds) {}
+
+  int64_t seconds_ = 0;
+};
+
+/// A signed span of seconds: headways, dwell and hop times, bucket
+/// widths, shortest-duration results. Same construction discipline as
+/// EventTime; closed under +, -, and integer scaling.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration FromSeconds(int64_t seconds) {
+    return Duration(seconds);
+  }
+  /// Saturation value for shortest-duration folds; matches the stored
+  /// sentinel so SD answers narrow losslessly.
+  static constexpr Duration Infinity() { return Duration(kInfinityTime); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t raw_seconds() const { return seconds_; }
+
+  friend constexpr bool operator==(Duration, Duration) = default;
+  friend constexpr auto operator<=>(Duration a, Duration b) {
+    return a.seconds_ <=> b.seconds_;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  constexpr Duration operator-() const { return Duration(-seconds_); }
+  friend constexpr Duration operator*(Duration d, int64_t k) {
+    return Duration(d.seconds_ * k);
+  }
+  friend constexpr Duration operator*(int64_t k, Duration d) {
+    return Duration(k * d.seconds_);
+  }
+  friend constexpr Duration operator/(Duration d, int64_t k) {
+    return Duration(d.seconds_ / k);
+  }
+  constexpr Duration& operator+=(Duration d) {
+    seconds_ += d.seconds_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    seconds_ -= d.seconds_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr Duration(int64_t seconds) : seconds_(seconds) {}
+
+  int64_t seconds_ = 0;
+};
+
+constexpr Duration operator-(EventTime a, EventTime b) {
+  return Duration::FromSeconds(a.raw_seconds() - b.raw_seconds());
+}
+constexpr EventTime operator+(EventTime t, Duration d) {
+  return EventTime::FromSeconds(t.raw_seconds() + d.raw_seconds());
+}
+constexpr EventTime operator-(EventTime t, Duration d) {
+  return EventTime::FromSeconds(t.raw_seconds() - d.raw_seconds());
+}
+constexpr EventTime& EventTime::operator+=(Duration d) {
+  seconds_ += d.raw_seconds();
+  return *this;
+}
+constexpr EventTime& EventTime::operator-=(Duration d) {
+  seconds_ -= d.raw_seconds();
+  return *this;
+}
+
+/// Widening a stored encoding into the compute tier is always exact.
+constexpr EventTime FromStoredTime(StoredTime t) {
+  return EventTime::FromSeconds(t);
+}
+
+namespace internal {
+/// Reports the out-of-range value and aborts. Out-of-line so the header
+/// stays diagnostic-free; a narrowing fault is an index/format invariant
+/// violation, not a recoverable condition.
+[[noreturn]] void StoredTimeNarrowingFault(int64_t seconds);
+}  // namespace internal
+
+/// Checked narrowing for *data* leaving the compute tier: label tuples
+/// materialized into engine rows, codec inputs, serialized connections,
+/// query answers rendered as SQL values. The stored format cannot
+/// represent the value => the index would be silently corrupt; abort.
+constexpr StoredTime ToStoredTime(EventTime t) {
+  const int64_t s = t.raw_seconds();
+  if (s < static_cast<int64_t>(kNegInfinityTime) ||
+      s > static_cast<int64_t>(kInfinityTime)) {
+    internal::StoredTimeNarrowingFault(s);
+  }
+  return static_cast<StoredTime>(s);
+}
+
+/// Saturating narrowing for *predicate bounds* entering the stored tier:
+/// comparing stored int32 columns against a query argument that may lie
+/// outside the stored range. Clamping to the stored extremes (which are
+/// the infinity sentinels) preserves the comparison semantics: a bound
+/// past +inf matches nothing an EA scan accepts, a bound past -inf
+/// matches everything.
+constexpr StoredTime SaturatingToStoredTime(EventTime t) {
+  const int64_t s = t.raw_seconds();
+  if (s > static_cast<int64_t>(kInfinityTime)) return kInfinityTime;
+  if (s < static_cast<int64_t>(kNegInfinityTime)) return kNegInfinityTime;
+  return static_cast<StoredTime>(s);
+}
+
+/// Checked narrowing for duration *data* (shortest-duration answers
+/// rendered as stored values). Saturated folds produce at most
+/// Duration::Infinity(), which is stored-representable by construction.
+constexpr StoredTime ToStoredSeconds(Duration d) {
+  const int64_t s = d.raw_seconds();
+  if (s < static_cast<int64_t>(kNegInfinityTime) ||
+      s > static_cast<int64_t>(kInfinityTime)) {
+    internal::StoredTimeNarrowingFault(s);
+  }
+  return static_cast<StoredTime>(s);
+}
+
+/// Bucket index of `t` for bucket width `width`: FLOOR toward zero, the
+/// paper's t/3600 SQL semantics (negative test times keep C++ truncating
+/// division, exactly as the int32 code did). 64-bit because a compute-tier
+/// time divided by a 1s bucket does not fit int32.
+constexpr int64_t TimeBucket(EventTime t, Duration width) {
+  return t.raw_seconds() / width.raw_seconds();
+}
+
+/// Bucket index of a stored column value. Stored inputs make the result
+/// int32-representable for any positive width, so this is the data-side
+/// (scan-side) form; no narrowing check is needed.
+constexpr int32_t StoredBucketOf(StoredTime t, Duration width) {
+  return static_cast<int32_t>(static_cast<int64_t>(t) / width.raw_seconds());
+}
+
+/// Bucket index of data-tier time known to be stored-representable (label
+/// tuples being materialized into bucket tables). The int32 bucket domain
+/// is what the hour columns store; a bucket outside it means the data
+/// itself was out of the stored range, so fault like ToStoredTime.
+constexpr int32_t CheckedBucketOf(EventTime t, Duration width) {
+  const int64_t b = TimeBucket(t, width);
+  if (b > static_cast<int64_t>(std::numeric_limits<int32_t>::max()) ||
+      b < static_cast<int64_t>(std::numeric_limits<int32_t>::min())) {
+    internal::StoredTimeNarrowingFault(b);
+  }
+  return static_cast<int32_t>(b);
+}
+
+/// Bucket index of a query argument, clamped into int32 (and typically
+/// further min'ed against a table's max_bucket by the caller). Arguments
+/// beyond the stored horizon saturate, mirroring SaturatingToStoredTime.
+constexpr int32_t SaturatingBucketOf(EventTime t, Duration width) {
+  const int64_t b = TimeBucket(t, width);
+  if (b > static_cast<int64_t>(std::numeric_limits<int32_t>::max())) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (b < static_cast<int64_t>(std::numeric_limits<int32_t>::min())) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(b);
+}
+
+/// Start of bucket `bucket` for width `width`, in the compute tier. The
+/// 64-bit product is exact even for the top bucket edge that used to
+/// overflow int32 (the PR 7 tables.cc bug).
+constexpr EventTime BucketStart(int64_t bucket, Duration width) {
+  return EventTime::FromSeconds(bucket * width.raw_seconds());
+}
+
+}  // namespace ptldb
+
+template <>
+struct std::hash<ptldb::EventTime> {
+  size_t operator()(ptldb::EventTime t) const noexcept {
+    return std::hash<int64_t>{}(t.raw_seconds());
+  }
+};
+
+#endif  // PTLDB_COMMON_TIME_TYPES_H_

@@ -5,23 +5,29 @@
 
 namespace ptldb {
 
-std::string FormatTime(Timestamp t) {
-  if (t == kInfinityTime || t == kNegInfinityTime || t < 0) {
+std::string FormatTime(EventTime t) {
+  if (t == EventTime::Infinity() || t == EventTime::NegInfinity() ||
+      t < EventTime::FromSeconds(0)) {
     return "--:--:--";
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", t / 3600, (t / 60) % 60,
-                t % 60);
+  const int64_t s = t.raw_seconds();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                static_cast<long long>(s / 3600),
+                static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
   return buf;
 }
 
-Timestamp ParseGtfsTime(const std::string& text) {
+EventTime ParseGtfsTime(const std::string& text) {
   int h = 0, m = 0, s = 0;
   if (std::sscanf(text.c_str(), "%d:%d:%d", &h, &m, &s) != 3) {
-    return kInvalidTime;
+    return EventTime::Invalid();
   }
-  if (h < 0 || m < 0 || m > 59 || s < 0 || s > 59) return kInvalidTime;
-  return h * 3600 + m * 60 + s;
+  if (h < 0 || m < 0 || m > 59 || s < 0 || s > 59) {
+    return EventTime::Invalid();
+  }
+  return EventTime::FromSeconds(static_cast<int64_t>(h) * 3600 + m * 60 + s);
 }
 
 }  // namespace ptldb

@@ -2,36 +2,25 @@
 #define PTLDB_COMMON_TIME_UTIL_H_
 
 #include <cstdint>
-#include <limits>
 #include <string>
+
+#include "common/time_types.h"
 
 namespace ptldb {
 
-/// Timestamps are seconds since service-day midnight, matching GTFS
-/// stop_times semantics. Values may exceed 24h (86400) for trips that run
-/// past midnight.
-using Timestamp = int32_t;
-
-/// Sentinel for "no feasible trip" (earliest-arrival queries).
-inline constexpr Timestamp kInfinityTime = std::numeric_limits<Timestamp>::max();
-/// Sentinel for "no feasible trip" (latest-departure queries).
-inline constexpr Timestamp kNegInfinityTime = std::numeric_limits<Timestamp>::min();
-/// Generic "not a timestamp" marker used in serialized label tuples.
-inline constexpr Timestamp kInvalidTime = -1;
-
 /// Seconds per hour; the paper's kNN/OTM tables bucket label tuples by hour.
-inline constexpr Timestamp kSecondsPerHour = 3600;
+inline constexpr Duration kHourBucket = Duration::FromSeconds(3600);
 
-/// Hour bucket of a timestamp: FLOOR(t/3600) in the paper's SQL.
-constexpr int32_t HourOf(Timestamp t) { return t / kSecondsPerHour; }
+/// Hour bucket of an event time: FLOOR(t/3600) in the paper's SQL.
+constexpr int64_t HourOf(EventTime t) { return TimeBucket(t, kHourBucket); }
 
-/// Formats a timestamp as "HH:MM:SS" (hours may exceed 24). Sentinels are
-/// rendered as "--:--:--".
-std::string FormatTime(Timestamp t);
+/// Formats an event time as "HH:MM:SS" (hours may exceed 24). Sentinels
+/// and negative times are rendered as "--:--:--".
+std::string FormatTime(EventTime t);
 
 /// Parses "HH:MM:SS" (GTFS-style; hours may exceed 24). Returns
-/// kInvalidTime on malformed input.
-Timestamp ParseGtfsTime(const std::string& text);
+/// EventTime::Invalid() on malformed input.
+EventTime ParseGtfsTime(const std::string& text);
 
 }  // namespace ptldb
 

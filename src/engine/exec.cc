@@ -491,6 +491,7 @@ class ConcatOp : public Operator {
   }
 
   Status status() const override {
+    // analyzer: bounded(plan fan-in: one status probe per child operator)
     for (const auto& child : children_) {
       if (Status s = child->status(); !s.ok()) return s;
     }

@@ -71,13 +71,15 @@ struct VmProgram {
   const LabelStore* labels = nullptr;   ///< Compressed tier, else nullptr.
 
   /// Plan constants for the bucket family.
-  int32_t bucket_seconds = 0;
+  Duration bucket_seconds = Duration::Zero();
   int32_t max_bucket = 0;
   uint32_t kmax = 0;
 
-  /// Sentinel a v2v program returns when no journey exists / a label is
-  /// absent (kInfinityTime for EA/SD, kNegInfinityTime for LD).
-  Timestamp empty_result = kInfinityTime;
+  /// Sentinel an EA/LD v2v program returns when no journey exists / a
+  /// label is absent (Infinity for EA, NegInfinity for LD). SD programs
+  /// answer in the Duration domain; their executor supplies
+  /// Duration::Infinity() itself.
+  EventTime empty_result = EventTime::Infinity();
 
   /// False when compilation could not bind every input (e.g. a derived
   /// table failed to build); callers fall back to the interpreter.

@@ -63,10 +63,19 @@ Result<std::string> CopyPayloadFor(const EngineTable& table,
   return out.str();
 }
 
-Timestamp ParseTimeOrDefault(const std::string& text, bool is_null,
-                             Timestamp fallback) {
+// The paper's SQL answers in the stored int32 encoding; widen the parsed
+// value into the compute tier (NULL and parse failures map to `fallback`).
+EventTime ParseTimeOrDefault(const std::string& text, bool is_null,
+                             EventTime fallback) {
   if (is_null || text.empty()) return fallback;
-  return static_cast<Timestamp>(ParseInt(text).value_or(fallback));
+  const auto parsed = ParseInt(text);
+  return parsed ? EventTime::FromSeconds(*parsed) : fallback;
+}
+
+// Time arguments bind to integer columns on the PostgreSQL side, so a
+// compute-tier bound saturates to the stored width before rendering.
+std::string TimeParam(EventTime t) {
+  return std::to_string(SaturatingToStoredTime(t));
 }
 
 }  // namespace
@@ -97,7 +106,7 @@ Status PgPtldb::MirrorFrom(PtldbDatabase* src) {
   }
   set_info_.clear();
   for (const auto& info : src->target_sets()) {
-    if (info.bucket_seconds != kSecondsPerHour) {
+    if (info.bucket_seconds != kHourBucket) {
       return Status::Unsupported(
           "the PostgreSQL backend emits the paper's literal SQL, which "
           "buckets by hour; rebuild the set with bucket_seconds=3600");
@@ -107,38 +116,39 @@ Status PgPtldb::MirrorFrom(PtldbDatabase* src) {
   return Status::Ok();
 }
 
-Result<Timestamp> PgPtldb::EarliestArrival(StopId s, StopId g, Timestamp t) {
+Result<EventTime> PgPtldb::EarliestArrival(StopId s, StopId g, EventTime t) {
   std::vector<std::vector<bool>> nulls;
   auto rows = conn_->QueryWithNulls(
       V2vSql(V2vKind::kEarliestArrival),
-      {std::to_string(s), std::to_string(g), std::to_string(t)}, &nulls);
+      {std::to_string(s), std::to_string(g), TimeParam(t)}, &nulls);
   if (!rows.ok()) return rows.status();
-  if (rows->empty()) return kInfinityTime;
-  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kInfinityTime);
+  if (rows->empty()) return EventTime::Infinity();
+  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], EventTime::Infinity());
 }
 
-Result<Timestamp> PgPtldb::LatestDeparture(StopId s, StopId g,
-                                           Timestamp t_end) {
+Result<EventTime> PgPtldb::LatestDeparture(StopId s, StopId g,
+                                           EventTime t_end) {
   std::vector<std::vector<bool>> nulls;
   auto rows = conn_->QueryWithNulls(
       V2vSql(V2vKind::kLatestDeparture),
-      {std::to_string(s), std::to_string(g), std::to_string(t_end)}, &nulls);
+      {std::to_string(s), std::to_string(g), TimeParam(t_end)}, &nulls);
   if (!rows.ok()) return rows.status();
-  if (rows->empty()) return kNegInfinityTime;
-  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kNegInfinityTime);
+  if (rows->empty()) return EventTime::NegInfinity();
+  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0],
+                            EventTime::NegInfinity());
 }
 
-Result<Timestamp> PgPtldb::ShortestDuration(StopId s, StopId g, Timestamp t,
-                                            Timestamp t_end) {
+Result<Duration> PgPtldb::ShortestDuration(StopId s, StopId g, EventTime t,
+                                           EventTime t_end) {
   std::vector<std::vector<bool>> nulls;
   auto rows = conn_->QueryWithNulls(
       V2vSql(V2vKind::kShortestDuration),
-      {std::to_string(s), std::to_string(g), std::to_string(t),
-       std::to_string(t_end)},
+      {std::to_string(s), std::to_string(g), TimeParam(t), TimeParam(t_end)},
       &nulls);
   if (!rows.ok()) return rows.status();
-  if (rows->empty()) return kInfinityTime;
-  return ParseTimeOrDefault((*rows)[0][0], nulls[0][0], kInfinityTime);
+  if (rows->empty() || nulls[0][0]) return Duration::Infinity();
+  const auto parsed = ParseInt((*rows)[0][0]);
+  return parsed ? Duration::FromSeconds(*parsed) : Duration::Infinity();
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::RunListQuery(
@@ -151,58 +161,56 @@ Result<std::vector<StopTimeResult>> PgPtldb::RunListQuery(
     const auto stop = ParseInt(row[0]);
     const auto time = ParseInt(row[1]);
     if (!stop || !time) return Status::Corruption("non-integer query result");
-    out.push_back({static_cast<StopId>(*stop),
-                   static_cast<Timestamp>(*time)});
+    out.push_back({static_cast<StopId>(*stop), EventTime::FromSeconds(*time)});
   }
   return out;
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::EaKnn(const std::string& set,
-                                                   StopId q, Timestamp t,
+                                                   StopId q, EventTime t,
                                                    uint32_t k) {
-  return RunListQuery(EaKnnSql(set), {std::to_string(q), std::to_string(t),
-                                      std::to_string(k)});
+  return RunListQuery(EaKnnSql(set),
+                      {std::to_string(q), TimeParam(t), std::to_string(k)});
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::LdKnn(const std::string& set,
-                                                   StopId q, Timestamp t,
+                                                   StopId q, EventTime t,
                                                    uint32_t k) {
   const auto it = set_info_.find(set);
   if (it == set_info_.end()) return Status::NotFound("unknown set " + set);
-  const int32_t arrhour = std::min(HourOf(t), it->second.max_bucket);
+  const int32_t arrhour =
+      std::min(SaturatingBucketOf(t, kHourBucket), it->second.max_bucket);
   return RunListQuery(LdKnnSql(set),
-                      {std::to_string(q), std::to_string(t),
-                       std::to_string(k), std::to_string(arrhour)});
+                      {std::to_string(q), TimeParam(t), std::to_string(k),
+                       std::to_string(arrhour)});
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::EaKnnNaive(
-    const std::string& set, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set, StopId q, EventTime t, uint32_t k) {
   return RunListQuery(EaKnnNaiveSql(set),
-                      {std::to_string(q), std::to_string(t),
-                       std::to_string(k)});
+                      {std::to_string(q), TimeParam(t), std::to_string(k)});
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::LdKnnNaive(
-    const std::string& set, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set, StopId q, EventTime t, uint32_t k) {
   return RunListQuery(LdKnnNaiveSql(set),
-                      {std::to_string(q), std::to_string(t),
-                       std::to_string(k)});
+                      {std::to_string(q), TimeParam(t), std::to_string(k)});
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::EaOneToMany(
-    const std::string& set, StopId q, Timestamp t) {
-  return RunListQuery(EaOtmSql(set),
-                      {std::to_string(q), std::to_string(t)});
+    const std::string& set, StopId q, EventTime t) {
+  return RunListQuery(EaOtmSql(set), {std::to_string(q), TimeParam(t)});
 }
 
 Result<std::vector<StopTimeResult>> PgPtldb::LdOneToMany(
-    const std::string& set, StopId q, Timestamp t) {
+    const std::string& set, StopId q, EventTime t) {
   const auto it = set_info_.find(set);
   if (it == set_info_.end()) return Status::NotFound("unknown set " + set);
-  const int32_t arrhour = std::min(HourOf(t), it->second.max_bucket);
+  const int32_t arrhour =
+      std::min(SaturatingBucketOf(t, kHourBucket), it->second.max_bucket);
   return RunListQuery(
       LdOtmSql(set),
-      {std::to_string(q), std::to_string(t), std::to_string(arrhour)});
+      {std::to_string(q), TimeParam(t), std::to_string(arrhour)});
 }
 
 }  // namespace ptldb

@@ -31,24 +31,24 @@ class PgPtldb {
   Status MirrorFrom(PtldbDatabase* src);
 
   // --- The same query API as PtldbDatabase, evaluated by PostgreSQL ---
-  Result<Timestamp> EarliestArrival(StopId s, StopId g, Timestamp t);
-  Result<Timestamp> LatestDeparture(StopId s, StopId g, Timestamp t_end);
-  Result<Timestamp> ShortestDuration(StopId s, StopId g, Timestamp t,
-                                     Timestamp t_end);
+  Result<EventTime> EarliestArrival(StopId s, StopId g, EventTime t);
+  Result<EventTime> LatestDeparture(StopId s, StopId g, EventTime t_end);
+  Result<Duration> ShortestDuration(StopId s, StopId g, EventTime t,
+                                    EventTime t_end);
   Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+                                            StopId q, EventTime t, uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+                                            StopId q, EventTime t, uint32_t k);
   Result<std::vector<StopTimeResult>> EaKnnNaive(const std::string& set_name,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnnNaive(const std::string& set_name,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
   Result<std::vector<StopTimeResult>> EaOneToMany(const std::string& set_name,
-                                                  StopId q, Timestamp t);
+                                                  StopId q, EventTime t);
   Result<std::vector<StopTimeResult>> LdOneToMany(const std::string& set_name,
-                                                  StopId q, Timestamp t);
+                                                  StopId q, EventTime t);
 
   PgConnection* connection() { return conn_.get(); }
 

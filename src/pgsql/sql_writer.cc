@@ -22,9 +22,11 @@ void AppendLabelCopyLine(std::ostringstream* out, StopId v,
   };
   append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.hub); });
   *out << '\t';
-  append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.td); });
+  // td/ta land in `integer` columns: checked narrowing, same as the
+  // embedded engine's stored tier.
+  append_array([](const LabelTuple& t) { return ToStoredTime(t.td); });
   *out << '\t';
-  append_array([](const LabelTuple& t) { return static_cast<int64_t>(t.ta); });
+  append_array([](const LabelTuple& t) { return ToStoredTime(t.ta); });
   *out << '\n';
 }
 

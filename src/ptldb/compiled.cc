@@ -119,17 +119,21 @@ void AggMax(ArenaInt32Map* agg, int32_t v, int32_t value) {
 // global per-stop minimum. Step accounting: one vm_step per probe and
 // one per candidate element examined.
 Status ScanEaBuckets(EngineDatabase* db, const VmProgram& prog,
-                     const LabelRowView& n1, Timestamp t, uint32_t k,
+                     const LabelRowView& n1, EventTime t, uint32_t k,
                      ArenaInt32Map* agg, RowScratch* scratch) {
   auto& counters = ThisThreadQueryCounters();
   BufferPool* pool = db->buffer_pool();
+  // The query bound narrows saturating once; the scan then compares
+  // stored int32 columns against a stored bound (see time_types.h).
+  const StoredTime td_min = SaturatingToStoredTime(t);
   for (size_t i = 0; i < n1.size(); ++i) {
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
-    if (n1.tds[i] < t) continue;
+    if (n1.tds[i] < td_min) continue;
     ++counters.vm_steps;
     auto found = prog.buckets->GetInto(
-        MakeCompositeKey(n1.hubs[i], n1.tas[i] / prog.bucket_seconds), pool,
-        scratch);
+        MakeCompositeKey(n1.hubs[i],
+                         StoredBucketOf(n1.tas[i], prog.bucket_seconds)),
+        pool, scratch);
     PTLDB_RETURN_IF_ERROR(found.status());
     if (!*found) continue;
     BucketRowView row;
@@ -159,11 +163,14 @@ Status ScanEaBuckets(EngineDatabase* db, const VmProgram& prog,
 // value is the n1 departure time (the answer of an LD query is when to
 // leave, not when to arrive).
 Status ScanLdBuckets(EngineDatabase* db, const VmProgram& prog,
-                     const LabelRowView& n1, Timestamp t, uint32_t k,
+                     const LabelRowView& n1, EventTime t, uint32_t k,
                      ArenaInt32Map* agg, RowScratch* scratch) {
   auto& counters = ThisThreadQueryCounters();
   BufferPool* pool = db->buffer_pool();
-  const int32_t arrhour = std::min(t / prog.bucket_seconds, prog.max_bucket);
+  // Deadlines beyond the indexed horizon clamp to the last event bucket.
+  const int32_t arrhour =
+      std::min(SaturatingBucketOf(t, prog.bucket_seconds), prog.max_bucket);
+  const StoredTime ta_max = SaturatingToStoredTime(t);
   for (size_t i = 0; i < n1.size(); ++i) {
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     ++counters.vm_steps;
@@ -183,7 +190,7 @@ Status ScanLdBuckets(EngineDatabase* db, const VmProgram& prog,
     }
     for (size_t j = 0; j < row.tds_exp.size(); ++j) {
       ++counters.vm_steps;
-      if (row.tds_exp[j] >= n1.tas[i] && row.tas_exp[j] <= t) {
+      if (row.tds_exp[j] >= n1.tas[i] && row.tas_exp[j] <= ta_max) {
         AggMax(agg, row.vs_exp[j], n1.tds[i]);
       }
     }
@@ -199,8 +206,8 @@ VmProgram CompileV2v(EngineDatabase* db, CompiledV2vKind kind,
   p.labels = labels;
   p.lout = db->FindTable(kLoutTable);
   p.lin = db->FindTable(kLinTable);
-  p.empty_result =
-      kind == CompiledV2vKind::kLd ? kNegInfinityTime : kInfinityTime;
+  p.empty_result = kind == CompiledV2vKind::kLd ? EventTime::NegInfinity()
+                                                : EventTime::Infinity();
   p.Push(VmOp::kLoadOut, 0);
   p.Push(VmOp::kLoadIn, 1);
   switch (kind) {
@@ -221,7 +228,7 @@ VmProgram CompileV2v(EngineDatabase* db, CompiledV2vKind kind,
 
 VmProgram CompileSetQuery(EngineDatabase* db, bool ld,
                           const std::string& bucket_table,
-                          Timestamp bucket_seconds, int32_t max_bucket,
+                          Duration bucket_seconds, int32_t max_bucket,
                           uint32_t kmax, const LabelStore* labels) {
   VmProgram p;
   p.labels = labels;
@@ -238,13 +245,17 @@ VmProgram CompileSetQuery(EngineDatabase* db, bool ld,
   return p;
 }
 
-Result<Timestamp> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
-                                 StopId s, StopId g, Timestamp t,
-                                 Timestamp t_end) {
+namespace {
+
+// Walks a v2v program's load prefix into `reg` and returns the pending
+// merge instruction. A kHalt return means the answer is empty — a label
+// was absent (unknown stop / missing heap row) or the program had no
+// merge — and the typed wrappers supply their domain's empty value.
+Result<VmInstr> RunV2vLoads(EngineDatabase* db, const VmProgram& prog,
+                            StopId s, StopId g, LabelRowView reg[2]) {
   VmState& state = ThisThreadVmState();
   state.arena.Reset();
   auto& counters = ThisThreadQueryCounters();
-  LabelRowView reg[2];
   for (uint8_t pc = 0; pc < prog.num_instrs; ++pc) {
     const VmInstr instr = prog.code[pc];
     ++counters.vm_steps;
@@ -255,7 +266,7 @@ Result<Timestamp> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
                                  &state.out_arrays, &state.out_row,
                                  &reg[instr.a]);
         PTLDB_RETURN_IF_ERROR(present.status());
-        if (!*present) return prog.empty_result;
+        if (!*present) return VmInstr{VmOp::kHalt, 0, 0};
         break;
       }
       case VmOp::kLoadIn: {
@@ -263,27 +274,61 @@ Result<Timestamp> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
                                  &state.in_arrays, &state.in_row,
                                  &reg[instr.a]);
         PTLDB_RETURN_IF_ERROR(present.status());
-        if (!*present) return prog.empty_result;
+        if (!*present) return VmInstr{VmOp::kHalt, 0, 0};
         break;
       }
       case VmOp::kMergeEa:
-        return MergeV2vEa(reg[instr.a], reg[instr.b], t);
       case VmOp::kMergeLd:
-        return MergeV2vLd(reg[instr.a], reg[instr.b], t_end);
       case VmOp::kMergeSd:
-        return MergeV2vSd(reg[instr.a], reg[instr.b], t, t_end);
+        return instr;
       case VmOp::kHalt:
-        return prog.empty_result;
+        return instr;
       default:
         return Status::Internal("op not valid in a v2v program");
     }
   }
-  return prog.empty_result;
+  return VmInstr{VmOp::kHalt, 0, 0};
+}
+
+}  // namespace
+
+Result<EventTime> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
+                                 StopId s, StopId g, EventTime t,
+                                 EventTime t_end) {
+  LabelRowView reg[2];
+  auto instr = RunV2vLoads(db, prog, s, g, reg);
+  PTLDB_RETURN_IF_ERROR(instr.status());
+  switch (instr->op) {
+    case VmOp::kMergeEa:
+      return MergeV2vEa(reg[instr->a], reg[instr->b], t);
+    case VmOp::kMergeLd:
+      return MergeV2vLd(reg[instr->a], reg[instr->b], t_end);
+    case VmOp::kHalt:
+      return prog.empty_result;
+    default:
+      return Status::Internal("program does not answer in the time domain");
+  }
+}
+
+Result<Duration> RunCompiledV2vSd(EngineDatabase* db, const VmProgram& prog,
+                                  StopId s, StopId g, EventTime t,
+                                  EventTime t_end) {
+  LabelRowView reg[2];
+  auto instr = RunV2vLoads(db, prog, s, g, reg);
+  PTLDB_RETURN_IF_ERROR(instr.status());
+  switch (instr->op) {
+    case VmOp::kMergeSd:
+      return MergeV2vSd(reg[instr->a], reg[instr->b], t, t_end);
+    case VmOp::kHalt:
+      return Duration::Infinity();
+    default:
+      return Status::Internal("program does not answer in the span domain");
+  }
 }
 
 Result<std::vector<StopTimeResult>> RunCompiledSetQuery(EngineDatabase* db,
                                                         const VmProgram& prog,
-                                                        StopId q, Timestamp t,
+                                                        StopId q, EventTime t,
                                                         uint32_t k) {
   VmState& state = ThisThreadVmState();
   state.arena.Reset();
@@ -326,7 +371,7 @@ Result<std::vector<StopTimeResult>> RunCompiledSetQuery(EngineDatabase* db,
         for (const auto& slot : agg.slots()) {
           if (slot.key == ArenaInt32Map::kEmptyKey) continue;
           staged.PushBack(
-              {static_cast<StopId>(slot.key), Timestamp{slot.value}});
+              {static_cast<StopId>(slot.key), FromStoredTime(slot.value)});
         }
         const bool desc = instr.a == 1;
         std::sort(staged.begin(), staged.end(),

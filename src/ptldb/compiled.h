@@ -37,21 +37,28 @@ VmProgram CompileV2v(EngineDatabase* db, CompiledV2vKind kind,
 /// `ld` selects the LD scan and descending emit order.
 VmProgram CompileSetQuery(EngineDatabase* db, bool ld,
                           const std::string& bucket_table,
-                          Timestamp bucket_seconds, int32_t max_bucket,
+                          Duration bucket_seconds, int32_t max_bucket,
                           uint32_t kmax, const LabelStore* labels);
 
-/// Executes a compiled Code 1 program. `t_end` is ignored by EA, `t` by
-/// LD — same convention as the QueryV2v* interpreter entry points.
-/// Requires prog.valid.
-Result<Timestamp> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
-                                 StopId s, StopId g, Timestamp t,
-                                 Timestamp t_end);
+/// Executes a compiled EA or LD Code 1 program (answers are points on
+/// the service clock). `t_end` is ignored by EA, `t` by LD — same
+/// convention as the QueryV2v* interpreter entry points. Requires
+/// prog.valid.
+Result<EventTime> RunCompiledV2v(EngineDatabase* db, const VmProgram& prog,
+                                 StopId s, StopId g, EventTime t,
+                                 EventTime t_end);
+
+/// Executes a compiled SD Code 1 program (the answer is a span, not a
+/// point). Requires prog.valid.
+Result<Duration> RunCompiledV2vSd(EngineDatabase* db, const VmProgram& prog,
+                                  StopId s, StopId g, EventTime t,
+                                  EventTime t_end);
 
 /// Executes a compiled Code 3/4 program. k == 0 selects the one-to-many
 /// variant (no candidate or output limit). Requires prog.valid.
 Result<std::vector<StopTimeResult>> RunCompiledSetQuery(EngineDatabase* db,
                                                         const VmProgram& prog,
-                                                        StopId q, Timestamp t,
+                                                        StopId q, EventTime t,
                                                         uint32_t k);
 
 }  // namespace ptldb

@@ -72,13 +72,16 @@ inline Status CheckLabelRow(const Row& row) {
 }
 
 /// First index in [lo, hi) with td >= t (group is Pareto: td ascending).
+/// Stored td columns widen into the compute tier for the comparison, so a
+/// query bound beyond the stored horizon needs no narrowing cast here.
 inline size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
-                             Timestamp t) {
+                             EventTime t) {
   auto& counters = ThisThreadQueryCounters();
+  // analyzer: bounded(binary search: O(log n) over one Pareto group)
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
     ++counters.label_comparisons;
-    if (v.tds[mid] >= t) {
+    if (FromStoredTime(v.tds[mid]) >= t) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -89,14 +92,15 @@ inline size_t FirstNotBefore(const LabelRowView& v, size_t lo, size_t hi,
 
 /// Last index in [lo, hi) with ta <= t, or hi when none.
 inline size_t LastNotAfter(const LabelRowView& v, size_t lo, size_t hi,
-                           Timestamp t) {
+                           EventTime t) {
   auto& counters = ThisThreadQueryCounters();
   size_t l = lo;
   size_t h = hi;
+  // analyzer: bounded(binary search: O(log n) over one Pareto group)
   while (l < h) {
     const size_t mid = l + (h - l) / 2;
     ++counters.label_comparisons;
-    if (v.tas[mid] <= t) {
+    if (FromStoredTime(v.tas[mid]) <= t) {
       l = mid + 1;
     } else {
       h = mid;
@@ -139,64 +143,66 @@ Status MergeCommonHubs(const LabelRowView& a, const LabelRowView& b, Fn&& fn) {
 /// merge-plan entry points (raw rows), the compressed-tier fast path
 /// (decoded buckets) and the compiled VM: the representation changes,
 /// the merge does not.
-inline Result<Timestamp> MergeV2vEa(const LabelRowView& outp,
-                                    const LabelRowView& inp, Timestamp t) {
+inline Result<EventTime> MergeV2vEa(const LabelRowView& outp,
+                                    const LabelRowView& inp, EventTime t) {
   ScopedQueryPhase phase(QueryPhase::kMerge);
-  Timestamp best = kInfinityTime;
+  EventTime best = EventTime::Infinity();
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,
       [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
         const size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t);
         if (l1 == a_hi) return;
-        const size_t l2 = FirstNotBefore(inp, b_lo, b_hi, outp.tas[l1]);
+        const size_t l2 =
+            FirstNotBefore(inp, b_lo, b_hi, FromStoredTime(outp.tas[l1]));
         if (l2 == b_hi) return;
-        best = std::min(best, inp.tas[l2]);
+        best = std::min(best, FromStoredTime(inp.tas[l2]));
       }));
   return best;
 }
 
-inline Result<Timestamp> MergeV2vLd(const LabelRowView& outp,
-                                    const LabelRowView& inp, Timestamp t_end) {
+inline Result<EventTime> MergeV2vLd(const LabelRowView& outp,
+                                    const LabelRowView& inp, EventTime t_end) {
   ScopedQueryPhase phase(QueryPhase::kMerge);
-  Timestamp best = kNegInfinityTime;
+  EventTime best = EventTime::NegInfinity();
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,
       [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
         const size_t l2 = LastNotAfter(inp, b_lo, b_hi, t_end);
         if (l2 == b_hi) return;
-        const size_t l1 = LastNotAfter(outp, a_lo, a_hi, inp.tds[l2]);
+        const size_t l1 =
+            LastNotAfter(outp, a_lo, a_hi, FromStoredTime(inp.tds[l2]));
         if (l1 == a_hi) return;
-        best = std::max(best, outp.tds[l1]);
+        best = std::max(best, FromStoredTime(outp.tds[l1]));
       }));
   return best;
 }
 
-inline Result<Timestamp> MergeV2vSd(const LabelRowView& outp,
-                                    const LabelRowView& inp, Timestamp t,
-                                    Timestamp t_end) {
+inline Result<Duration> MergeV2vSd(const LabelRowView& outp,
+                                   const LabelRowView& inp, EventTime t,
+                                   EventTime t_end) {
   ScopedQueryPhase phase(QueryPhase::kMerge);
-  // Durations accumulate in 64 bits: ta - td can exceed INT32_MAX when a
-  // timetable spans near-INT32_MAX timestamps (e.g. an arrival close to
-  // INT32_MAX reached from a departure below zero), and signed int32
-  // overflow would be UB, not just a wrong answer. A duration that still
-  // exceeds INT32_MAX after the min-fold saturates to kInfinityTime —
-  // indistinguishable from "unreachable", which is the only honest int32
-  // answer.
-  int64_t best = kInfinityTime;
+  // Durations are typed 64-bit: ta - td can exceed INT32_MAX when a
+  // timetable spans near-horizon timestamps (e.g. an arrival close to the
+  // stored maximum reached from a departure below zero), and the int32
+  // subtraction this fold once used was UB, not just a wrong answer. A
+  // duration that still exceeds the stored horizon after the min-fold
+  // saturates to Duration::Infinity() — indistinguishable from
+  // "unreachable", which is the only honest stored-width answer.
+  Duration best = Duration::Infinity();
   PTLDB_RETURN_IF_ERROR(MergeCommonHubs(
       outp, inp,
       [&](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
         size_t l2 = b_lo;
+        // analyzer: bounded(one Pareto group; MergeCommonHubs checkpoints per hub)
         for (size_t l1 = FirstNotBefore(outp, a_lo, a_hi, t); l1 < a_hi;
              ++l1) {
           while (l2 < b_hi && inp.tds[l2] < outp.tas[l1]) ++l2;
-          if (l2 == b_hi || inp.tas[l2] > t_end) break;
-          best = std::min(best, static_cast<int64_t>(inp.tas[l2]) -
-                                    static_cast<int64_t>(outp.tds[l1]));
+          if (l2 == b_hi || FromStoredTime(inp.tas[l2]) > t_end) break;
+          best = std::min(best, FromStoredTime(inp.tas[l2]) -
+                                    FromStoredTime(outp.tds[l1]));
         }
       }));
-  return static_cast<Timestamp>(
-      std::min<int64_t>(best, static_cast<int64_t>(kInfinityTime)));
+  return std::min(best, Duration::Infinity());
 }
 
 }  // namespace ptldb

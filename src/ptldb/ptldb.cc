@@ -83,8 +83,8 @@ Result<std::unique_ptr<PtldbDatabase>> PtldbDatabase::Build(
   std::unique_ptr<PtldbDatabase> db(new PtldbDatabase(options));
   PTLDB_RETURN_IF_ERROR(BuildLabelTables(index, &db->db_));
   db->num_stops_ = index.num_stops();
-  db->max_event_time_ =
-      ComputeBucketRange(index, /*bucket_seconds=*/1).max_bucket;
+  db->max_event_time_ = EventTime::FromSeconds(
+      ComputeBucketRange(index, Duration::FromSeconds(1)).max_bucket);
   if (options.compressed_labels) {
     auto store = LabelStore::Build(index);
     PTLDB_RETURN_IF_ERROR(store.status());
@@ -123,7 +123,7 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
                                    const TtlIndex& index,
                                    const std::vector<StopId>& targets,
                                    uint32_t kmax,
-                                   Timestamp bucket_seconds) {
+                                   Duration bucket_seconds) {
   if (index.num_stops() != num_stops_) {
     return Status::InvalidArgument("index does not match this database");
   }
@@ -134,7 +134,7 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   if (target_sets_.count(name) != 0) {
     return Status::InvalidArgument("target set exists: " + name);
   }
-  if (bucket_seconds <= 0) {
+  if (bucket_seconds <= Duration::Zero()) {
     return Status::InvalidArgument("bucket width must be positive");
   }
   // Target sets have set semantics: duplicate stops collapse to one
@@ -149,7 +149,7 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   TargetSetInfo info;
   info.kmax = kmax;
   info.bucket_seconds = bucket_seconds;
-  info.max_bucket = max_event_time_ / bucket_seconds;
+  info.max_bucket = CheckedBucketOf(max_event_time_, bucket_seconds);
   info.targets = std::move(canon);
   // Compile the four bucket-scan programs once per set; the kNN/OTM entry
   // points select a stored program instead of building a plan per query.
@@ -173,47 +173,49 @@ Status PtldbDatabase::AddTargetSet(const std::string& name,
   return Status::Ok();
 }
 
-Result<Timestamp> PtldbDatabase::EarliestArrival(StopId s, StopId g,
-                                                 Timestamp t) {
+Result<EventTime> PtldbDatabase::EarliestArrival(StopId s, StopId g,
+                                                 EventTime t) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vEa, {.s = s, .g = g, .t = t},
-               [&]() -> Result<Timestamp> {
+               [&]() -> Result<EventTime> {
                  const VmProgram& prog =
                      v2v_programs_[static_cast<size_t>(QueryType::kV2vEa)];
                  if (compiled_queries_.load(std::memory_order_relaxed) &&
                      prog.valid) {
-                   return RunCompiledV2v(&db_, prog, s, g, t, /*t_end=*/0);
+                   return RunCompiledV2v(&db_, prog, s, g, t,
+                                         /*t_end=*/EventTime());
                  }
                  return QueryV2vEa(&db_, s, g, t, labels_.get());
                });
 }
 
-Result<Timestamp> PtldbDatabase::LatestDeparture(StopId s, StopId g,
-                                                 Timestamp t_end) {
+Result<EventTime> PtldbDatabase::LatestDeparture(StopId s, StopId g,
+                                                 EventTime t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vLd, {.s = s, .g = g, .t_end = t_end},
-               [&]() -> Result<Timestamp> {
+               [&]() -> Result<EventTime> {
                  const VmProgram& prog =
                      v2v_programs_[static_cast<size_t>(QueryType::kV2vLd)];
                  if (compiled_queries_.load(std::memory_order_relaxed) &&
                      prog.valid) {
-                   return RunCompiledV2v(&db_, prog, s, g, /*t=*/0, t_end);
+                   return RunCompiledV2v(&db_, prog, s, g, /*t=*/EventTime(),
+                                         t_end);
                  }
                  return QueryV2vLd(&db_, s, g, t_end, labels_.get());
                });
 }
 
-Result<Timestamp> PtldbDatabase::ShortestDuration(StopId s, StopId g,
-                                                  Timestamp t,
-                                                  Timestamp t_end) {
+Result<Duration> PtldbDatabase::ShortestDuration(StopId s, StopId g,
+                                                 EventTime t,
+                                                 EventTime t_end) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kV2vSd, {.s = s, .g = g, .t = t, .t_end = t_end},
-               [&]() -> Result<Timestamp> {
+               [&]() -> Result<Duration> {
                  const VmProgram& prog =
                      v2v_programs_[static_cast<size_t>(QueryType::kV2vSd)];
                  if (compiled_queries_.load(std::memory_order_relaxed) &&
                      prog.valid) {
-                   return RunCompiledV2v(&db_, prog, s, g, t, t_end);
+                   return RunCompiledV2vSd(&db_, prog, s, g, t, t_end);
                  }
                  return QueryV2vSd(&db_, s, g, t, t_end, labels_.get());
                });
@@ -230,7 +232,7 @@ namespace {
 /// with each other and with the brute oracle.
 void PatchSelfTarget(std::vector<StopTimeResult>* out,
                      const std::vector<StopId>& sorted_targets, StopId q,
-                     Timestamp t, uint32_t k, bool ld) {
+                     EventTime t, uint32_t k, bool ld) {
   if (!std::binary_search(sorted_targets.begin(), sorted_targets.end(), q)) {
     return;
   }
@@ -266,7 +268,7 @@ Result<const PtldbDatabase::TargetSetInfo*> PtldbDatabase::ValidateSet(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
-    const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
+    const TargetSetInfo& info, StopId q, EventTime t, uint32_t k) {
   std::vector<StopTimeResult> out;
   for (const StopId v : info.targets) {
     // The fallback is |T| v2v plans back to back — the slowest facade
@@ -274,7 +276,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     auto ea = QueryV2vEa(&db_, q, v, t, labels_.get());
     PTLDB_RETURN_IF_ERROR(ea.status());
-    if (*ea != kInfinityTime) out.push_back({v, *ea});
+    if (*ea != EventTime::Infinity()) out.push_back({v, *ea});
   }
   std::sort(out.begin(), out.end(),
             [](const StopTimeResult& a, const StopTimeResult& b) {
@@ -285,13 +287,13 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallback(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
-    const TargetSetInfo& info, StopId q, Timestamp t, uint32_t k) {
+    const TargetSetInfo& info, StopId q, EventTime t, uint32_t k) {
   std::vector<StopTimeResult> out;
   for (const StopId v : info.targets) {
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
     auto ld = QueryV2vLd(&db_, q, v, t, labels_.get());
     PTLDB_RETURN_IF_ERROR(ld.status());
-    if (*ld != kNegInfinityTime) out.push_back({v, *ld});
+    if (*ld != EventTime::NegInfinity()) out.push_back({v, *ld});
   }
   std::sort(out.begin(), out.end(),
             [](const StopTimeResult& a, const StopTimeResult& b) {
@@ -303,7 +305,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallback(
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
     Result<std::vector<StopTimeResult>> primary, const TargetSetInfo& info,
-    StopId q, Timestamp t, uint32_t k, bool ld) {
+    StopId q, EventTime t, uint32_t k, bool ld) {
   if (primary.ok() || !IsStorageFault(primary.status())) return primary;
   // A corrupt or unreadable optimized row must not fail the query outright:
   // the label tables still answer it exactly via per-target v2v (Section
@@ -324,7 +326,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::OrDegrade(
 void PtldbDatabase::ClearThreadDegradedFlag() { tls_last_degraded = false; }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallbackQuery(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   const QueryType type = k == 0 ? QueryType::kEaOtm : QueryType::kEaKnn;
   return Timed(type,
@@ -343,7 +345,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaFallbackQuery(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallbackQuery(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   const QueryType type = k == 0 ? QueryType::kLdOtm : QueryType::kLdKnn;
   return Timed(type,
@@ -358,7 +360,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdFallbackQuery(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaKnn,
                {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
@@ -378,7 +380,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnn(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdKnn,
                {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
@@ -398,7 +400,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnn(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaKnn,
                {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
@@ -412,7 +414,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaKnnNaive(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
-    const std::string& set_name, StopId q, Timestamp t, uint32_t k) {
+    const std::string& set_name, StopId q, EventTime t, uint32_t k) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdKnn,
                {.s = q, .t = t, .k = k, .set_name = set_name.c_str()},
@@ -426,7 +428,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::LdKnnNaive(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
-    const std::string& set_name, StopId q, Timestamp t) {
+    const std::string& set_name, StopId q, EventTime t) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kEaOtm,
                {.s = q, .t = t, .set_name = set_name.c_str()},
@@ -448,7 +450,7 @@ Result<std::vector<StopTimeResult>> PtldbDatabase::EaOneToMany(
 }
 
 Result<std::vector<StopTimeResult>> PtldbDatabase::LdOneToMany(
-    const std::string& set_name, StopId q, Timestamp t) {
+    const std::string& set_name, StopId q, EventTime t) {
   last_degraded_.store(false, std::memory_order_relaxed);
   return Timed(QueryType::kLdOtm,
                {.s = q, .t = t, .set_name = set_name.c_str()},

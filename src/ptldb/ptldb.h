@@ -113,15 +113,15 @@ class PtldbDatabase {
   /// in one answer.
   Status AddTargetSet(const std::string& name, const TtlIndex& index,
                       const std::vector<StopId>& targets, uint32_t kmax,
-                      Timestamp bucket_seconds = kSecondsPerHour);
+                      Duration bucket_seconds = kHourBucket);
 
   // --- Vertex-to-vertex queries (Code 1) ---
   // Non-OK on storage faults (kIoError) or detected corruption
   // (kCorruption) — never a silently wrong journey.
-  Result<Timestamp> EarliestArrival(StopId s, StopId g, Timestamp t);
-  Result<Timestamp> LatestDeparture(StopId s, StopId g, Timestamp t_end);
-  Result<Timestamp> ShortestDuration(StopId s, StopId g, Timestamp t,
-                                     Timestamp t_end);
+  Result<EventTime> EarliestArrival(StopId s, StopId g, EventTime t);
+  Result<EventTime> LatestDeparture(StopId s, StopId g, EventTime t_end);
+  Result<Duration> ShortestDuration(StopId s, StopId g, EventTime t,
+                                    EventTime t_end);
 
   // --- kNN queries (Section 3.2); k must be <= the set's kmax ---
   // Graceful degradation: when the optimized knn_*/otm_* tables hit a
@@ -136,22 +136,22 @@ class PtldbDatabase {
   //    label journey. Every path (plan, naive, fallback) agrees.
   //  - Unreachable targets are omitted, never reported with a sentinel.
   Result<std::vector<StopTimeResult>> EaKnn(const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+                                            StopId q, EventTime t, uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnn(const std::string& set_name,
-                                            StopId q, Timestamp t, uint32_t k);
+                                            StopId q, EventTime t, uint32_t k);
   /// The naive baselines of Code 2 (Figure 3 compares against these).
   Result<std::vector<StopTimeResult>> EaKnnNaive(const std::string& set_name,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
   Result<std::vector<StopTimeResult>> LdKnnNaive(const std::string& set_name,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
 
   // --- One-to-many queries (Section 3.3) ---
   Result<std::vector<StopTimeResult>> EaOneToMany(const std::string& set_name,
-                                                  StopId q, Timestamp t);
+                                                  StopId q, EventTime t);
   Result<std::vector<StopTimeResult>> LdOneToMany(const std::string& set_name,
-                                                  StopId q, Timestamp t);
+                                                  StopId q, EventTime t);
 
   // --- Circuit-breaker support (src/server) ---
   /// Answers a kNN (k > 0) or one-to-many (k == 0) query directly from
@@ -162,9 +162,9 @@ class PtldbDatabase {
   /// request for a failure already diagnosed. Same answers and ordering
   /// as the degraded path of EaKnn/LdKnn/…OneToMany.
   Result<std::vector<StopTimeResult>> EaFallbackQuery(
-      const std::string& set_name, StopId q, Timestamp t, uint32_t k);
+      const std::string& set_name, StopId q, EventTime t, uint32_t k);
   Result<std::vector<StopTimeResult>> LdFallbackQuery(
-      const std::string& set_name, StopId q, Timestamp t, uint32_t k);
+      const std::string& set_name, StopId q, EventTime t, uint32_t k);
 
   // --- Administration / instrumentation ---
   /// Cold-cache reset, like the paper's server restart between experiments.
@@ -233,7 +233,7 @@ class PtldbDatabase {
   struct TargetSetInfo {
     std::string name;
     uint32_t kmax = 0;
-    Timestamp bucket_seconds = kSecondsPerHour;
+    Duration bucket_seconds = kHourBucket;
     int32_t max_bucket = 0;  ///< LD deadlines clamp to this bucket.
     /// The target stops, kept for the degraded v2v fallback path.
     std::vector<StopId> targets;
@@ -284,12 +284,12 @@ class PtldbDatabase {
   static void ClearThreadDegradedFlag();
 
   /// Request arguments recorded into the query log (all optional; -1 /
-  /// nullptr mean "not applicable to this query type").
+  /// Invalid() / nullptr mean "not applicable to this query type").
   struct QueryArgs {
     int64_t s = -1;
     int64_t g = -1;
-    int64_t t = -1;
-    int64_t t_end = -1;
+    EventTime t = EventTime::Invalid();
+    EventTime t_end = EventTime::Invalid();
     int64_t k = -1;
     const char* set_name = nullptr;
   };
@@ -318,8 +318,10 @@ class PtldbDatabase {
       r.set_type(QueryTypeName(type));
       r.s = static_cast<int32_t>(args.s);
       r.g = static_cast<int32_t>(args.g);
-      r.t = static_cast<int32_t>(args.t);
-      r.t_end = static_cast<int32_t>(args.t_end);
+      // Times are recorded at full compute-tier width: a multi-day
+      // timestamp must not truncate in ptldb_slow_queries.
+      r.t = args.t;
+      r.t_end = args.t_end;
       r.k = static_cast<int32_t>(args.k);
       if (args.set_name != nullptr) r.set_set_name(args.set_name);
     }
@@ -362,16 +364,16 @@ class PtldbDatabase {
   /// Per-target v2v answers (the always-correct baseline) used when the
   /// optimized kNN/OTM tables fault. k == 0 means one-to-many (no limit).
   Result<std::vector<StopTimeResult>> EaFallback(const TargetSetInfo& info,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
   Result<std::vector<StopTimeResult>> LdFallback(const TargetSetInfo& info,
-                                                 StopId q, Timestamp t,
+                                                 StopId q, EventTime t,
                                                  uint32_t k);
   /// Applies the degradation policy: pass through a healthy result, fall
   /// back on a storage fault, surface every other error.
   Result<std::vector<StopTimeResult>> OrDegrade(
       Result<std::vector<StopTimeResult>> primary, const TargetSetInfo& info,
-      StopId q, Timestamp t, uint32_t k, bool ld);
+      StopId q, EventTime t, uint32_t k, bool ld);
 
   EngineDatabase db_;
   StorageDevice* device_;
@@ -380,7 +382,8 @@ class PtldbDatabase {
   std::unique_ptr<LabelStore> labels_;
   uint32_t num_threads_ = 1;  ///< Workers for derived-table construction.
   uint32_t num_stops_ = 0;
-  Timestamp max_event_time_ = 0;
+  /// Latest event timestamp of the loaded index (LD deadline clamping).
+  EventTime max_event_time_;
   /// Runtime switch for the compiled path (see set_compiled_queries).
   std::atomic<bool> compiled_queries_{true};
   /// The three Code 1 programs, compiled once at Build (indexed by

@@ -109,7 +109,8 @@ Result<std::vector<StopTimeResult>> CollectResults(OperatorPtr plan) {
   while (auto row = plan->Next()) {
     // Deadline checkpoint on the TTL scan drain (see query_context.h).
     PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
-    out.push_back({static_cast<StopId>((*row)[0].AsInt()), (*row)[1].AsInt()});
+    out.push_back({static_cast<StopId>((*row)[0].AsInt()),
+                   FromStoredTime((*row)[1].AsInt())});
   }
   PTLDB_RETURN_IF_ERROR(plan->status());
   ThisThreadQueryCounters().rows_emitted += out.size();
@@ -153,7 +154,9 @@ OperatorPtr FinishLd(OperatorPtr plan, uint32_t k) {
 namespace {
 
 // The three Code 1 flavors share one plan skeleton; `kind` picks the
-// aggregate and the timestamp predicates.
+// timestamp predicates pushed below the join. The fold itself is typed
+// per flavor (EventTime for EA/LD, Duration for SD), so each entry point
+// drains the shared joined stream with its own fold.
 enum class V2vPlanKind { kEa, kLd, kSd };
 
 // UNNESTs one label row into (hub, td, ta) rows, like the CTEs of Code 1.
@@ -170,38 +173,66 @@ OperatorPtr UnnestLabelRow(const EngineTable* table, BufferPool* pool,
 // in-memory scan: no buffer-pool fetches, no hash table, no per-row
 // virtual dispatch. This is what makes warm compressed v2v strictly
 // faster than the raw path (the PTL argument, gated in bench JSON).
-Result<Timestamp> RunV2vCompressed(const LabelStore& labels, StopId s,
-                                   StopId g, Timestamp t, Timestamp t_end,
-                                   V2vPlanKind kind) {
-  const Timestamp empty =
-      kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
-  // A stop the store does not know has no label row: the empty answer,
-  // matching the raw plan's empty index lookup.
-  if (s >= labels.num_stops() || g >= labels.num_stops()) return empty;
+//
+// `known` is false when either stop is outside the store: no label row,
+// the empty answer, matching the raw plan's empty index lookup.
+struct CompressedRows {
   LabelArrays out_scratch;
-  auto outv =
-      DecodeCounted(labels, LabelStore::Direction::kOut, s, &out_scratch);
-  PTLDB_RETURN_IF_ERROR(outv.status());
   LabelArrays in_scratch;
-  auto inv = DecodeCounted(labels, LabelStore::Direction::kIn, g, &in_scratch);
+  LabelRowView outp;
+  LabelRowView inp;
+  bool known = false;
+};
+
+Status DecodeV2vRows(const LabelStore& labels, StopId s, StopId g,
+                     CompressedRows* rows) {
+  if (s >= labels.num_stops() || g >= labels.num_stops()) return Status::Ok();
+  auto outv = DecodeCounted(labels, LabelStore::Direction::kOut, s,
+                            &rows->out_scratch);
+  PTLDB_RETURN_IF_ERROR(outv.status());
+  auto inv =
+      DecodeCounted(labels, LabelStore::Direction::kIn, g, &rows->in_scratch);
   PTLDB_RETURN_IF_ERROR(inv.status());
-  const LabelRowView outp(*outv);
-  const LabelRowView inp(*inv);
-  switch (kind) {
-    case V2vPlanKind::kEa:
-      return MergeV2vEa(outp, inp, t);
-    case V2vPlanKind::kLd:
-      return MergeV2vLd(outp, inp, t_end);
-    case V2vPlanKind::kSd:
-      return MergeV2vSd(outp, inp, t, t_end);
-  }
-  return empty;
+  rows->outp = LabelRowView(*outv);
+  rows->inp = LabelRowView(*inv);
+  rows->known = true;
+  return Status::Ok();
 }
 
-Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end, V2vPlanKind kind,
-                             const LabelStore* labels) {
-  if (labels != nullptr) return RunV2vCompressed(*labels, s, g, t, t_end, kind);
+Result<EventTime> CompressedV2vEa(const LabelStore& labels, StopId s, StopId g,
+                                  EventTime t) {
+  CompressedRows rows;
+  PTLDB_RETURN_IF_ERROR(DecodeV2vRows(labels, s, g, &rows));
+  if (!rows.known) return EventTime::Infinity();
+  return MergeV2vEa(rows.outp, rows.inp, t);
+}
+
+Result<EventTime> CompressedV2vLd(const LabelStore& labels, StopId s, StopId g,
+                                  EventTime t_end) {
+  CompressedRows rows;
+  PTLDB_RETURN_IF_ERROR(DecodeV2vRows(labels, s, g, &rows));
+  if (!rows.known) return EventTime::NegInfinity();
+  return MergeV2vLd(rows.outp, rows.inp, t_end);
+}
+
+Result<Duration> CompressedV2vSd(const LabelStore& labels, StopId s, StopId g,
+                                 EventTime t, EventTime t_end) {
+  CompressedRows rows;
+  PTLDB_RETURN_IF_ERROR(DecodeV2vRows(labels, s, g, &rows));
+  if (!rows.known) return Duration::Infinity();
+  return MergeV2vSd(rows.outp, rows.inp, t, t_end);
+}
+
+// The SQL-shaped Code 1 plan up to (and including) the joined residual:
+// UNNEST both label rows, push the timestamp predicates below a hash
+// join on hub, then the residual outp.ta <= inp.td filter. Query bounds
+// narrow saturating ONCE at plan construction (time_types.h): the
+// filters then compare stored int32 columns against a stored bound, and
+// an out-of-horizon bound clamps to a sentinel with the same accept set.
+// Joined columns: 0 hub, 1 out_td, 2 out_ta, 3 hub, 4 in_td, 5 in_ta.
+Result<OperatorPtr> BuildV2vJoined(EngineDatabase* db, StopId s, StopId g,
+                                   EventTime t, EventTime t_end,
+                                   V2vPlanKind kind) {
   auto lout = RequireTable(db, kLoutTable);
   PTLDB_RETURN_IF_ERROR(lout.status());
   auto lin = RequireTable(db, kLinTable);
@@ -209,33 +240,36 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
   // outp: (hub, td, ta) from lout[s]; inp: (hub, td, ta) from lin[g].
   OperatorPtr outp = UnnestLabelRow(*lout, db->buffer_pool(), s);
   if (kind != V2vPlanKind::kLd) {
-    outp = MakeFilter(std::move(outp),
-                      [t](const Row& r) { return r[1].AsInt() >= t; });
+    const StoredTime td_min = SaturatingToStoredTime(t);
+    outp = MakeFilter(std::move(outp), [td_min](const Row& r) {
+      return r[1].AsInt() >= td_min;
+    });
   }
   OperatorPtr inp = UnnestLabelRow(*lin, db->buffer_pool(), g);
   if (kind != V2vPlanKind::kEa) {
-    inp = MakeFilter(std::move(inp),
-                     [t_end](const Row& r) { return r[2].AsInt() <= t_end; });
+    const StoredTime ta_max = SaturatingToStoredTime(t_end);
+    inp = MakeFilter(std::move(inp), [ta_max](const Row& r) {
+      return r[2].AsInt() <= ta_max;
+    });
   }
-  // Hash join on hub (outp is the probe side), then the residual
-  // outp.ta <= inp.td predicate. Joined columns: 0 hub, 1 out_td, 2 out_ta,
-  // 3 hub, 4 in_td, 5 in_ta. Each residual evaluation compares one pair of
-  // label tuples at a common hub; the plan runs on this thread, so the
-  // captured per-thread counters are safe.
+  // Each residual evaluation compares one pair of label tuples at a
+  // common hub; the plan runs on this thread, so the captured per-thread
+  // counters are safe.
   LocalQueryCounters* counters = &ThisThreadQueryCounters();
   OperatorPtr joined = MakeHashJoin(std::move(outp), std::move(inp), 0, 0);
   joined = MakeFilter(std::move(joined), [counters](const Row& r) {
     ++counters->label_comparisons;
     return r[2].AsInt() <= r[4].AsInt();
   });
-  // 64-bit fold: the SD case subtracts timestamps, and near-INT32_MAX
-  // timetables can push a duration past INT32_MAX (signed overflow = UB).
-  // Matches the clamp in MergeV2vSd (label_merge.h) so both Code 1 paths
-  // saturate identically.
-  int64_t best =
-      kind == V2vPlanKind::kLd ? kNegInfinityTime : kInfinityTime;
-  // Probe rows arrive hub-sorted (label rows are), so a hub change in the
-  // join output marks the next common-hub group.
+  return joined;
+}
+
+// Drains the joined stream, folding `fold(best, row)` over every row.
+// Probe rows arrive hub-sorted (label rows are), so a hub change in the
+// join output marks the next common-hub group.
+template <typename T, typename Fold>
+Result<T> FoldV2vJoined(Operator* joined, T best, Fold&& fold) {
+  LocalQueryCounters* counters = &ThisThreadQueryCounters();
   int32_t last_hub = 0;
   bool any_rows = false;
   while (auto row = joined->Next()) {
@@ -248,95 +282,105 @@ Result<Timestamp> RunV2vPlan(EngineDatabase* db, StopId s, StopId g,
       last_hub = hub;
     }
     ++counters->rows_emitted;
-    switch (kind) {
-      case V2vPlanKind::kEa:
-        best = std::min<int64_t>(best, (*row)[5].AsInt());
-        break;
-      case V2vPlanKind::kLd:
-        best = std::max<int64_t>(best, (*row)[1].AsInt());
-        break;
-      case V2vPlanKind::kSd:
-        best = std::min<int64_t>(best,
-                                 static_cast<int64_t>((*row)[5].AsInt()) -
-                                     static_cast<int64_t>((*row)[1].AsInt()));
-        break;
-    }
+    best = fold(best, *row);
   }
   PTLDB_RETURN_IF_ERROR(joined->status());
-  return static_cast<Timestamp>(
-      std::min<int64_t>(best, static_cast<int64_t>(kInfinityTime)));
+  return best;
 }
 
 }  // namespace
 
-Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, const LabelStore* labels) {
-  return RunV2vPlan(db, s, g, t, 0, V2vPlanKind::kEa, labels);
+Result<EventTime> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
+                             EventTime t, const LabelStore* labels) {
+  if (labels != nullptr) return CompressedV2vEa(*labels, s, g, t);
+  auto joined =
+      BuildV2vJoined(db, s, g, t, EventTime::Infinity(), V2vPlanKind::kEa);
+  PTLDB_RETURN_IF_ERROR(joined.status());
+  return FoldV2vJoined((*joined).get(), EventTime::Infinity(),
+                       [](EventTime best, const Row& r) {
+                         return std::min(best, FromStoredTime(r[5].AsInt()));
+                       });
 }
 
-Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t_end, const LabelStore* labels) {
-  return RunV2vPlan(db, s, g, 0, t_end, V2vPlanKind::kLd, labels);
+Result<EventTime> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
+                             EventTime t_end, const LabelStore* labels) {
+  if (labels != nullptr) return CompressedV2vLd(*labels, s, g, t_end);
+  auto joined = BuildV2vJoined(db, s, g, EventTime::NegInfinity(), t_end,
+                               V2vPlanKind::kLd);
+  PTLDB_RETURN_IF_ERROR(joined.status());
+  return FoldV2vJoined((*joined).get(), EventTime::NegInfinity(),
+                       [](EventTime best, const Row& r) {
+                         return std::max(best, FromStoredTime(r[1].AsInt()));
+                       });
 }
 
-Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end,
-                             const LabelStore* labels) {
-  return RunV2vPlan(db, s, g, t, t_end, V2vPlanKind::kSd, labels);
+Result<Duration> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
+                            EventTime t, EventTime t_end,
+                            const LabelStore* labels) {
+  if (labels != nullptr) return CompressedV2vSd(*labels, s, g, t, t_end);
+  auto joined = BuildV2vJoined(db, s, g, t, t_end, V2vPlanKind::kSd);
+  PTLDB_RETURN_IF_ERROR(joined.status());
+  // Typed 64-bit fold: the subtraction of near-horizon stored timestamps
+  // can exceed INT32_MAX, which the old int32 fold made UB.
+  auto best = FoldV2vJoined(
+      (*joined).get(), Duration::Infinity(), [](Duration b, const Row& r) {
+        return std::min(b, FromStoredTime(r[5].AsInt()) -
+                               FromStoredTime(r[1].AsInt()));
+      });
+  PTLDB_RETURN_IF_ERROR(best.status());
+  // Matches the clamp in MergeV2vSd (label_merge.h) so both Code 1 paths
+  // saturate identically.
+  return std::min(*best, Duration::Infinity());
 }
 
-Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t, const LabelStore* labels) {
-  if (labels != nullptr) {
-    return RunV2vCompressed(*labels, s, g, t, 0, V2vPlanKind::kEa);
-  }
+Result<EventTime> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      EventTime t, const LabelStore* labels) {
+  if (labels != nullptr) return CompressedV2vEa(*labels, s, g, t);
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
-  if (!*out_row || !*in_row) return kInfinityTime;
+  if (!*out_row || !*in_row) return EventTime::Infinity();
   return MergeV2vEa(LabelRowView(**out_row), LabelRowView(**in_row), t);
 }
 
-Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t_end,
+Result<EventTime> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      EventTime t_end,
                                       const LabelStore* labels) {
-  if (labels != nullptr) {
-    return RunV2vCompressed(*labels, s, g, 0, t_end, V2vPlanKind::kLd);
-  }
+  if (labels != nullptr) return CompressedV2vLd(*labels, s, g, t_end);
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
-  if (!*out_row || !*in_row) return kNegInfinityTime;
+  if (!*out_row || !*in_row) return EventTime::NegInfinity();
   return MergeV2vLd(LabelRowView(**out_row), LabelRowView(**in_row), t_end);
 }
 
-Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t, Timestamp t_end,
-                                      const LabelStore* labels) {
-  if (labels != nullptr) {
-    return RunV2vCompressed(*labels, s, g, t, t_end, V2vPlanKind::kSd);
-  }
+Result<Duration> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                     EventTime t, EventTime t_end,
+                                     const LabelStore* labels) {
+  if (labels != nullptr) return CompressedV2vSd(*labels, s, g, t, t_end);
   const auto out_row = FetchLabelRow(db, kLoutTable, s);
   PTLDB_RETURN_IF_ERROR(out_row.status());
   const auto in_row = FetchLabelRow(db, kLinTable, g);
   PTLDB_RETURN_IF_ERROR(in_row.status());
-  if (!*out_row || !*in_row) return kInfinityTime;
+  if (!*out_row || !*in_row) return Duration::Infinity();
   return MergeV2vSd(LabelRowView(**out_row), LabelRowView(**in_row), t,
                     t_end);
 }
 
 Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
-    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    EngineDatabase* db, const std::string& set_name, StopId q, EventTime t,
     uint32_t k, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto naive = RequireTable(db, NaiveKnnTableName(set_name));
   PTLDB_RETURN_IF_ERROR(naive.status());
   BufferPool* pool = db->buffer_pool();
 
-  OperatorPtr n1 = MakeFilter(
-      MakeN1(db, q, labels), [t](const Row& r) { return r[1].AsInt() >= t; });
+  const StoredTime td_min = SaturatingToStoredTime(t);
+  OperatorPtr n1 =
+      MakeFilter(MakeN1(db, q, labels),
+                 [td_min](const Row& r) { return r[1].AsInt() >= td_min; });
   // Join every l1 with all naive rows (hub = l1.hub, td >= l1.ta).
   OperatorPtr n2 = MakeIndexRangeJoin(
       std::move(n1), *naive,
@@ -352,7 +396,7 @@ Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
 }
 
 Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
-    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    EngineDatabase* db, const std::string& set_name, StopId q, EventTime t,
     uint32_t k, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto naive = RequireTable(db, NaiveKnnTableName(set_name));
@@ -369,8 +413,10 @@ Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
       pool);
   // Keep n1_td, expand vs[1:k]/tas[1:k] -> (n1_td, v2, ta2).
   OperatorPtr expanded = MakeUnnest(std::move(n2), {1}, {5, 6}, k);
-  OperatorPtr feasible = MakeFilter(
-      std::move(expanded), [t](const Row& r) { return r[2].AsInt() <= t; });
+  const StoredTime ta_max = SaturatingToStoredTime(t);
+  OperatorPtr feasible =
+      MakeFilter(std::move(expanded),
+                 [ta_max](const Row& r) { return r[2].AsInt() <= ta_max; });
   OperatorPtr projected =
       MakeProject(std::move(feasible),
                   [](const Row& r) { return Row{r[1], r[0]}; });
@@ -381,19 +427,24 @@ namespace {
 
 // Shared body of Code 3 (EA kNN/OTM): k == 0 selects the OTM variant.
 Result<std::vector<StopTimeResult>> EaBucketQuery(
-    EngineDatabase* db, const std::string& table_name, StopId q, Timestamp t,
-    uint32_t k, Timestamp bucket_seconds, const LabelStore* labels) {
+    EngineDatabase* db, const std::string& table_name, StopId q, EventTime t,
+    uint32_t k, Duration bucket_seconds, const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto bucket = RequireTable(db, table_name);
   PTLDB_RETURN_IF_ERROR(bucket.status());
   BufferPool* pool = db->buffer_pool();
 
-  OperatorPtr n1 = MakeFilter(
-      MakeN1(db, q, labels), [t](const Row& r) { return r[1].AsInt() >= t; });
+  const StoredTime td_min = SaturatingToStoredTime(t);
+  OperatorPtr n1 =
+      MakeFilter(MakeN1(db, q, labels),
+                 [td_min](const Row& r) { return r[1].AsInt() >= td_min; });
+  // The bucket key of a stored ta column: scan-side bucket arithmetic
+  // stays in the stored domain (see StoredBucketOf in time_types.h).
   OperatorPtr n1b_plan = MakeIndexJoin(
       std::move(n1), *bucket,
       [bucket_seconds](const Row& r) {
-        return MakeCompositeKey(r[0].AsInt(), r[2].AsInt() / bucket_seconds);
+        return MakeCompositeKey(r[0].AsInt(),
+                                StoredBucketOf(r[2].AsInt(), bucket_seconds));
       },
       pool);
   // n1b columns: 0 hub, 1 n1_td, 2 n1_ta | 3 hub, 4 dephour, 5 vs, 6 tas,
@@ -421,15 +472,18 @@ Result<std::vector<StopTimeResult>> EaBucketQuery(
 
 // Shared body of Code 4 (LD kNN/OTM): k == 0 selects the OTM variant.
 Result<std::vector<StopTimeResult>> LdBucketQuery(
-    EngineDatabase* db, const std::string& table_name, StopId q, Timestamp t,
-    uint32_t k, Timestamp bucket_seconds, int32_t max_bucket,
+    EngineDatabase* db, const std::string& table_name, StopId q, EventTime t,
+    uint32_t k, Duration bucket_seconds, int32_t max_bucket,
     const LabelStore* labels) {
   PTLDB_RETURN_IF_ERROR(RequireTable(db, kLoutTable).status());
   auto bucket = RequireTable(db, table_name);
   PTLDB_RETURN_IF_ERROR(bucket.status());
   BufferPool* pool = db->buffer_pool();
 
-  const int32_t arrhour = std::min(t / bucket_seconds, max_bucket);
+  // Deadlines beyond the indexed horizon clamp to the last event bucket
+  // (SaturatingBucketOf handles arguments past the stored range).
+  const int32_t arrhour = std::min(SaturatingBucketOf(t, bucket_seconds),
+                                   max_bucket);
   OperatorPtr n1b_plan = MakeIndexJoin(
       MakeN1(db, q, labels), *bucket,
       [arrhour](const Row& r) {
@@ -454,8 +508,9 @@ Result<std::vector<StopTimeResult>> LdBucketQuery(
   OperatorPtr b =
       MakeUnnest(MakeVectorSource(std::move(*n1b)), {1, 2}, {7, 8, 9});
   // Columns: 0 n1_td, 1 n1_ta, 2 td2, 3 v2, 4 ta2.
-  b = MakeFilter(std::move(b), [t](const Row& r) {
-    return r[2].AsInt() >= r[1].AsInt() && r[4].AsInt() <= t;
+  const StoredTime ta_max = SaturatingToStoredTime(t);
+  b = MakeFilter(std::move(b), [ta_max](const Row& r) {
+    return r[2].AsInt() >= r[1].AsInt() && r[4].AsInt() <= ta_max;
   });
   b = MakeProject(std::move(b), [](const Row& r) { return Row{r[3], r[0]}; });
   b = FinishLd(std::move(b), k);
@@ -470,9 +525,9 @@ Result<std::vector<StopTimeResult>> LdBucketQuery(
 
 Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
+                                               StopId q, EventTime t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds,
+                                               Duration bucket_seconds,
                                                const LabelStore* labels) {
   if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
   return EaBucketQuery(db, KnnEaTableName(set_name), q, t, k, bucket_seconds,
@@ -481,8 +536,8 @@ Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
 
 Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
-                                               Timestamp bucket_seconds,
+                                               StopId q, EventTime t,
+                                               Duration bucket_seconds,
                                                const LabelStore* labels) {
   return EaBucketQuery(db, OtmEaTableName(set_name), q, t, /*k=*/0,
                        bucket_seconds, labels);
@@ -490,9 +545,9 @@ Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
 
 Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
+                                               StopId q, EventTime t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds,
+                                               Duration bucket_seconds,
                                                int32_t max_bucket,
                                                const LabelStore* labels) {
   if (k == 0) return Status::InvalidArgument("kNN requires k > 0");
@@ -502,8 +557,8 @@ Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
 
 Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
-                                               Timestamp bucket_seconds,
+                                               StopId q, EventTime t,
+                                               Duration bucket_seconds,
                                                int32_t max_bucket,
                                                const LabelStore* labels) {
   return LdBucketQuery(db, OtmLdTableName(set_name), q, t, /*k=*/0,

@@ -33,62 +33,62 @@ namespace ptldb {
 /// decode/IO counter mix differ. nullptr selects the raw heap tier.
 
 /// Code 1, EA variant: SELECT MIN(inp.ta) ... WHERE outp.hub = inp.hub AND
-/// outp.ta <= inp.td AND outp.td >= t. kInfinityTime when empty.
+/// outp.ta <= inp.td AND outp.td >= t. EventTime::Infinity() when empty.
 /// Executed as the SQL-shaped plan (UNNEST both label rows, hash join on
 /// hub, residual filter, aggregate) — the same work PostgreSQL does.
-Result<Timestamp> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t,
+Result<EventTime> QueryV2vEa(EngineDatabase* db, StopId s, StopId g,
+                             EventTime t,
                              const LabelStore* labels = nullptr);
 
-/// Code 1, LD variant. kNegInfinityTime when empty.
-Result<Timestamp> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t_end,
+/// Code 1, LD variant. EventTime::NegInfinity() when empty.
+Result<EventTime> QueryV2vLd(EngineDatabase* db, StopId s, StopId g,
+                             EventTime t_end,
                              const LabelStore* labels = nullptr);
 
-/// Code 1, SD variant. kInfinityTime when empty.
-Result<Timestamp> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
-                             Timestamp t, Timestamp t_end,
-                             const LabelStore* labels = nullptr);
+/// Code 1, SD variant. Duration::Infinity() when empty.
+Result<Duration> QueryV2vSd(EngineDatabase* db, StopId s, StopId g,
+                            EventTime t, EventTime t_end,
+                            const LabelStore* labels = nullptr);
 
 /// Specialized merge-join variants of Code 1 that exploit the (hub, td)
 /// array order instead of hashing + filtering. Same answers, much less CPU
 /// — the ablation bench quantifies what a transit-aware join operator
 /// would buy a DBMS. Not used by the default facade.
-Result<Timestamp> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t,
+Result<EventTime> QueryV2vEaMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      EventTime t,
                                       const LabelStore* labels = nullptr);
-Result<Timestamp> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t_end,
+Result<EventTime> QueryV2vLdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                      EventTime t_end,
                                       const LabelStore* labels = nullptr);
-Result<Timestamp> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
-                                      Timestamp t, Timestamp t_end,
-                                      const LabelStore* labels = nullptr);
+Result<Duration> QueryV2vSdMergePlan(EngineDatabase* db, StopId s, StopId g,
+                                     EventTime t, EventTime t_end,
+                                     const LabelStore* labels = nullptr);
 
 /// Code 2: the naive EA-kNN query over knn_naive_<set>.
 Result<std::vector<StopTimeResult>> QueryEaKnnNaive(
-    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    EngineDatabase* db, const std::string& set_name, StopId q, EventTime t,
     uint32_t k, const LabelStore* labels = nullptr);
 
 /// The LD counterpart of Code 2 (same naive table, mirrored conditions).
 Result<std::vector<StopTimeResult>> QueryLdKnnNaive(
-    EngineDatabase* db, const std::string& set_name, StopId q, Timestamp t,
+    EngineDatabase* db, const std::string& set_name, StopId q, EventTime t,
     uint32_t k, const LabelStore* labels = nullptr);
 
 /// Code 3, EA-kNN branch: optimized query over knn_ea_<set>.
 /// `bucket_seconds` must match the value the set was built with.
 Result<std::vector<StopTimeResult>> QueryEaKnn(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
+                                               StopId q, EventTime t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds,
+                                               Duration bucket_seconds,
                                                const LabelStore* labels =
                                                    nullptr);
 
 /// Code 3, EA-OTM branch: one-to-many over otm_ea_<set>.
 Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
-                                               Timestamp bucket_seconds,
+                                               StopId q, EventTime t,
+                                               Duration bucket_seconds,
                                                const LabelStore* labels =
                                                    nullptr);
 
@@ -96,9 +96,9 @@ Result<std::vector<StopTimeResult>> QueryEaOtm(EngineDatabase* db,
 /// bucket of the index (deadlines beyond it clamp to that bucket).
 Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
+                                               StopId q, EventTime t,
                                                uint32_t k,
-                                               Timestamp bucket_seconds,
+                                               Duration bucket_seconds,
                                                int32_t max_bucket,
                                                const LabelStore* labels =
                                                    nullptr);
@@ -106,8 +106,8 @@ Result<std::vector<StopTimeResult>> QueryLdKnn(EngineDatabase* db,
 /// Code 4, LD-OTM branch over otm_ld_<set>.
 Result<std::vector<StopTimeResult>> QueryLdOtm(EngineDatabase* db,
                                                const std::string& set_name,
-                                               StopId q, Timestamp t,
-                                               Timestamp bucket_seconds,
+                                               StopId q, EventTime t,
+                                               Duration bucket_seconds,
                                                int32_t max_bucket,
                                                const LabelStore* labels =
                                                    nullptr);

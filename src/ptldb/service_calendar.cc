@@ -100,10 +100,10 @@ StopId CalendarPtldb::StopFor(Weekday day,
   return it == period->feed.stop_index.end() ? kInvalidStop : it->second;
 }
 
-Result<Timestamp> CalendarPtldb::EarliestArrival(Weekday day,
+Result<EventTime> CalendarPtldb::EarliestArrival(Weekday day,
                                                  const std::string& from,
                                                  const std::string& to,
-                                                 Timestamp t) {
+                                                 EventTime t) {
   const StopId s = StopFor(day, from);
   const StopId g = StopFor(day, to);
   if (s == kInvalidStop || g == kInvalidStop) {

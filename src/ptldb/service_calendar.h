@@ -47,8 +47,8 @@ class CalendarPtldb {
   StopId StopFor(Weekday day, const std::string& gtfs_stop_id) const;
 
   /// Convenience: EA dispatched by weekday, by GTFS stop ids.
-  Result<Timestamp> EarliestArrival(Weekday day, const std::string& from,
-                                    const std::string& to, Timestamp t);
+  Result<EventTime> EarliestArrival(Weekday day, const std::string& from,
+                                    const std::string& to, EventTime t);
 
   /// Number of distinct timetables backing the seven weekdays.
   size_t num_distinct_periods() const { return periods_.size(); }

@@ -15,8 +15,8 @@ namespace {
 // One L_in tuple of a target, flattened for grouping.
 struct TargetTuple {
   int32_t hub = 0;
-  Timestamp td = 0;
-  Timestamp ta = 0;
+  EventTime td;
+  EventTime ta;
   int32_t v = 0;
 };
 
@@ -60,8 +60,8 @@ Status LoadLabelTable(const LabelSet& labels, const std::string& name,
     tas.reserve(tuples.size());
     for (const LabelTuple& t : tuples) {
       hubs.push_back(static_cast<int32_t>(t.hub));
-      tds.push_back(t.td);
-      tas.push_back(t.ta);
+      tds.push_back(ToStoredTime(t.td));
+      tas.push_back(ToStoredTime(t.ta));
     }
     rows.emplace_back(static_cast<IndexKey>(v),
                       Row{Value(static_cast<int32_t>(v)),
@@ -73,9 +73,9 @@ Status LoadLabelTable(const LabelSet& labels, const std::string& name,
 
 // Distinct-target best list: (time, v) pairs sorted ascending (EA) or the
 // td-descending variant (LD), truncated to k (0 = keep all).
-std::vector<std::pair<Timestamp, int32_t>> TopEntries(
-    const std::map<int32_t, Timestamp>& best, bool ascending, uint32_t k) {
-  std::vector<std::pair<Timestamp, int32_t>> entries;
+std::vector<std::pair<EventTime, int32_t>> TopEntries(
+    const std::map<int32_t, EventTime>& best, bool ascending, uint32_t k) {
+  std::vector<std::pair<EventTime, int32_t>> entries;
   entries.reserve(best.size());
   for (const auto& [v, time] : best) entries.emplace_back(time, v);
   if (ascending) {
@@ -104,7 +104,7 @@ struct GroupRows {
 
 GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
                             const BucketRange& hours, uint32_t kmax,
-                            Timestamp bucket_seconds) {
+                            Duration bucket_seconds) {
   GroupRows rows;
 
   // ---- knn_naive rows: one per distinct (hub, td). ----
@@ -114,7 +114,7 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       size_t j = i;
       while (j < by_td.size() && by_td[j].td == by_td[i].td) ++j;
       // Per distinct target keep its earliest arrival within the group.
-      std::map<int32_t, Timestamp> best;
+      std::map<int32_t, EventTime> best;
       for (size_t k = i; k < j; ++k) {
         const auto [it, inserted] = best.emplace(by_td[k].v, by_td[k].ta);
         if (!inserted) it->second = std::min(it->second, by_td[k].ta);
@@ -124,24 +124,24 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       std::vector<int32_t> tas;
       for (const auto& [ta, v] : top) {
         vs.push_back(v);
-        tas.push_back(ta);
+        tas.push_back(ToStoredTime(ta));
       }
       rows.naive.emplace_back(
-          MakeCompositeKey(hub, by_td[i].td),
-          Row{Value(hub), Value(by_td[i].td), Value(std::move(vs)),
-              Value(std::move(tas))});
+          MakeCompositeKey(hub, ToStoredTime(by_td[i].td)),
+          Row{Value(hub), Value(ToStoredTime(by_td[i].td)),
+              Value(std::move(vs)), Value(std::move(tas))});
       i = j;
     }
   }
 
   // ---- EA hour buckets (knn_ea + otm_ea). ----
   {
-    const int32_t max_hour = by_td.back().td / bucket_seconds;
+    const int32_t max_hour = CheckedBucketOf(by_td.back().td, bucket_seconds);
     // Condensed entries per hour, computed high-to-low by sweeping the
     // td-sorted group from the back.
-    std::map<int32_t, Timestamp> best;  // target -> earliest arrival.
-    std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> knn_cond;
-    std::map<int32_t, std::vector<std::pair<Timestamp, int32_t>>> otm_cond;
+    std::map<int32_t, EventTime> best;  // target -> earliest arrival.
+    std::map<int32_t, std::vector<std::pair<EventTime, int32_t>>> knn_cond;
+    std::map<int32_t, std::vector<std::pair<EventTime, int32_t>>> otm_cond;
     size_t cursor = by_td.size();
     for (int32_t hour = max_hour; hour >= hours.min_bucket; --hour) {
       // Bucket-edge ownership: hour h owns expanded tds in
@@ -154,13 +154,13 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       // an edge rely on this split: EaBucketQuery's condensed branch
       // needs no ta<->td feasibility filter precisely because every
       // condensed td >= (hour+1)*bs > any expanded/queried time in hour.
-      // 64-bit: at hour == max_hour == td_max/bs the edge (hour+1)*bs can
-      // exceed INT32_MAX (labels at the top of the service day), and the
-      // int32 product would wrap negative and condense the whole group.
-      const int64_t boundary =
-          (static_cast<int64_t>(hour) + 1) * bucket_seconds;
-      while (cursor > 0 &&
-             static_cast<int64_t>(by_td[cursor - 1].td) >= boundary) {
+      // Typed 64-bit edge: at hour == max_hour == td_max/bs the edge
+      // (hour+1)*bs can exceed the stored horizon (labels at the top of
+      // the service day); the int32 product this sweep once used would
+      // wrap negative and condense the whole group.
+      const EventTime boundary =
+          BucketStart(static_cast<int64_t>(hour) + 1, bucket_seconds);
+      while (cursor > 0 && by_td[cursor - 1].td >= boundary) {
         const TargetTuple& t = by_td[cursor - 1];
         const auto [it, inserted] = best.emplace(t.v, t.ta);
         if (!inserted) it->second = std::min(it->second, t.ta);
@@ -172,30 +172,30 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
     // Emit rows in ascending hour order.
     size_t exp_cursor = 0;
     for (int32_t hour = hours.min_bucket; hour <= max_hour; ++hour) {
-      // lo <= td_max always fits; the upper edge needs 64 bits (same
-      // top-of-range wrap as the condensing sweep above).
-      const Timestamp lo = hour * bucket_seconds;
-      const int64_t hi = static_cast<int64_t>(lo) + bucket_seconds;
+      // Both edges are exact in the typed tier; the upper edge is the
+      // same top-of-range wrap hazard as the condensing sweep above.
+      const EventTime lo = BucketStart(hour, bucket_seconds);
+      const EventTime hi =
+          BucketStart(static_cast<int64_t>(hour) + 1, bucket_seconds);
       while (exp_cursor < by_td.size() && by_td[exp_cursor].td < lo) {
         ++exp_cursor;
       }
       std::vector<int32_t> tds_exp;
       std::vector<int32_t> vs_exp;
       std::vector<int32_t> tas_exp;
-      for (size_t k = exp_cursor;
-           k < by_td.size() && static_cast<int64_t>(by_td[k].td) < hi; ++k) {
-        tds_exp.push_back(by_td[k].td);
+      for (size_t k = exp_cursor; k < by_td.size() && by_td[k].td < hi; ++k) {
+        tds_exp.push_back(ToStoredTime(by_td[k].td));
         vs_exp.push_back(by_td[k].v);
-        tas_exp.push_back(by_td[k].ta);
+        tas_exp.push_back(ToStoredTime(by_td[k].ta));
       }
       const auto emit =
-          [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
+          [&](const std::vector<std::pair<EventTime, int32_t>>& condensed,
               std::vector<std::pair<IndexKey, Row>>* out) {
             std::vector<int32_t> vs;
             std::vector<int32_t> tas;
             for (const auto& [ta, v] : condensed) {
               vs.push_back(v);
-              tas.push_back(ta);
+              tas.push_back(ToStoredTime(ta));
             }
             out->emplace_back(
                 MakeCompositeKey(hub, hour),
@@ -215,13 +215,14 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
               [](const TargetTuple& a, const TargetTuple& b) {
                 return std::tie(a.ta, a.td, a.v) < std::tie(b.ta, b.td, b.v);
               });
-    const int32_t min_hour = by_ta.front().ta / bucket_seconds;
-    std::map<int32_t, Timestamp> best;  // target -> latest departure.
+    const int32_t min_hour = CheckedBucketOf(by_ta.front().ta, bucket_seconds);
+    std::map<int32_t, EventTime> best;  // target -> latest departure.
     size_t cursor = 0;
     for (int32_t hour = min_hour; hour <= hours.max_bucket; ++hour) {
-      // lo <= ta_max always fits; the upper edge needs 64 bits.
-      const Timestamp lo = hour * bucket_seconds;
-      const int64_t hi = static_cast<int64_t>(lo) + bucket_seconds;
+      // Both edges are exact in the typed tier.
+      const EventTime lo = BucketStart(hour, bucket_seconds);
+      const EventTime hi =
+          BucketStart(static_cast<int64_t>(hour) + 1, bucket_seconds);
       // Condensed: tuples arriving *strictly* before this hour — ta < lo,
       // so a tuple arriving exactly at h*bs stays in h's expanded range
       // [lo, hi) and is condensed only for hours > h. The strictness is
@@ -238,8 +239,7 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       }
       // Expanded: tuples arriving within [lo, hi), ordered by td.
       std::vector<TargetTuple> exp;
-      for (size_t k = cursor;
-           k < by_ta.size() && static_cast<int64_t>(by_ta[k].ta) < hi; ++k) {
+      for (size_t k = cursor; k < by_ta.size() && by_ta[k].ta < hi; ++k) {
         exp.push_back(by_ta[k]);
       }
       std::sort(exp.begin(), exp.end(),
@@ -250,18 +250,18 @@ GroupRows BuildHubGroupRows(std::span<const TargetTuple> by_td, int32_t hub,
       std::vector<int32_t> vs_exp;
       std::vector<int32_t> tas_exp;
       for (const TargetTuple& t : exp) {
-        tds_exp.push_back(t.td);
+        tds_exp.push_back(ToStoredTime(t.td));
         vs_exp.push_back(t.v);
-        tas_exp.push_back(t.ta);
+        tas_exp.push_back(ToStoredTime(t.ta));
       }
       const auto emit =
-          [&](const std::vector<std::pair<Timestamp, int32_t>>& condensed,
+          [&](const std::vector<std::pair<EventTime, int32_t>>& condensed,
               std::vector<std::pair<IndexKey, Row>>* out) {
             std::vector<int32_t> vs;
             std::vector<int32_t> tds;
             for (const auto& [td, v] : condensed) {
               vs.push_back(v);
-              tds.push_back(td);
+              tds.push_back(ToStoredTime(td));
             }
             out->emplace_back(
                 MakeCompositeKey(hub, hour),
@@ -291,14 +291,16 @@ std::string OtmEaTableName(const std::string& s) { return "otm_ea_" + s; }
 std::string OtmLdTableName(const std::string& s) { return "otm_ld_" + s; }
 
 BucketRange ComputeBucketRange(const TtlIndex& index,
-                               Timestamp bucket_seconds) {
+                               Duration bucket_seconds) {
   BucketRange range{std::numeric_limits<int32_t>::max(), 0};
   bool any = false;
   for (StopId v = 0; v < index.num_stops(); ++v) {
     for (const auto* set : {&index.out, &index.in}) {
       for (const LabelTuple& t : set->tuples(v)) {
-        range.min_bucket = std::min(range.min_bucket, t.td / bucket_seconds);
-        range.max_bucket = std::max(range.max_bucket, t.ta / bucket_seconds);
+        range.min_bucket =
+            std::min(range.min_bucket, CheckedBucketOf(t.td, bucket_seconds));
+        range.max_bucket =
+            std::max(range.max_bucket, CheckedBucketOf(t.ta, bucket_seconds));
         any = true;
       }
     }
@@ -310,10 +312,10 @@ BucketRange ComputeBucketRange(const TtlIndex& index,
 Status BuildTargetSetTables(const TtlIndex& index,
                             const std::vector<StopId>& targets,
                             uint32_t kmax, const std::string& set_name,
-                            EngineDatabase* db, Timestamp bucket_seconds,
+                            EngineDatabase* db, Duration bucket_seconds,
                             uint32_t num_threads) {
   if (kmax == 0) return Status::InvalidArgument("kmax must be positive");
-  if (bucket_seconds <= 0) {
+  if (bucket_seconds <= Duration::Zero()) {
     return Status::InvalidArgument("bucket width must be positive");
   }
   for (const StopId t : targets) {

@@ -41,7 +41,7 @@ struct BucketRange {
 /// seconds (the paper uses one hour; Section 3.2.1 discusses the tradeoff
 /// and the ablation bench sweeps it).
 BucketRange ComputeBucketRange(const TtlIndex& index,
-                               Timestamp bucket_seconds = kSecondsPerHour);
+                               Duration bucket_seconds = kHourBucket);
 
 /// Builds the five derived tables for one fixed target set
 /// (Sections 3.2-3.3):
@@ -59,7 +59,7 @@ Status BuildTargetSetTables(const TtlIndex& index,
                             const std::vector<StopId>& targets,
                             uint32_t kmax, const std::string& set_name,
                             EngineDatabase* db,
-                            Timestamp bucket_seconds = kSecondsPerHour,
+                            Duration bucket_seconds = kHourBucket,
                             uint32_t num_threads = 1);
 
 }  // namespace ptldb

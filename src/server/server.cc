@@ -26,7 +26,7 @@ uint64_t NsSince(Clock::time_point from) {
 void FillRecordFromRequest(QueryLogRecord* rec, const QueryRequest& r) {
   rec->set_type(QueryTypeName(r.type));
   rec->s = static_cast<int32_t>(r.s);
-  rec->t = static_cast<int32_t>(r.t);
+  rec->t = r.t;
   switch (r.type) {
     case QueryType::kV2vEa:
     case QueryType::kV2vLd:
@@ -34,7 +34,7 @@ void FillRecordFromRequest(QueryLogRecord* rec, const QueryRequest& r) {
       break;
     case QueryType::kV2vSd:
       rec->g = static_cast<int32_t>(r.g);
-      rec->t_end = static_cast<int32_t>(r.t_end);
+      rec->t_end = r.t_end;
       break;
     case QueryType::kEaKnn:
     case QueryType::kLdKnn:
@@ -367,7 +367,7 @@ void PtldbServer::Dispatch(const Task& task, QueryResponse* resp) {
     }
     case QueryType::kV2vSd: {
       auto res = db_->ShortestDuration(r.s, r.g, r.t, r.t_end);
-      if (res.ok()) resp->time = *res; else resp->status = res.status();
+      if (res.ok()) resp->duration = *res; else resp->status = res.status();
       return;
     }
     case QueryType::kEaKnn:

@@ -30,8 +30,8 @@ struct QueryRequest {
   std::string set_name;
   StopId s = 0;
   StopId g = 0;
-  Timestamp t = 0;
-  Timestamp t_end = 0;
+  EventTime t;
+  EventTime t_end;
   uint32_t k = 0;
   /// Per-request deadline. Unset (has_deadline == false) falls back to
   /// ServerOptions::default_deadline (none if that is zero too).
@@ -51,8 +51,11 @@ struct QueryRequest {
 ///                        with no viable fallback, bad arguments, ...).
 struct QueryResponse {
   Status status = Status::Ok();
-  /// v2v answer (kV2vEa/Ld: time; kV2vSd: duration).
-  Timestamp time = 0;
+  /// v2v point answer (kV2vEa: earliest arrival, kV2vLd: latest
+  /// departure); EventTime::Infinity()/NegInfinity() when unreachable.
+  EventTime time;
+  /// kV2vSd answer; Duration::Infinity() when unreachable.
+  Duration duration = Duration::Zero();
   /// kNN / one-to-many answer.
   std::vector<StopTimeResult> results;
   /// Answer came from the exact v2v fallback (primary faulted mid-query,

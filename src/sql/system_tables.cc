@@ -16,6 +16,12 @@ SqlValue ArgVal(int32_t v) {
   return v < 0 ? SqlValue() : SqlValue(static_cast<int64_t>(v));
 }
 
+/// Time arguments surface at full 64-bit width (the record stores
+/// EventTime); Invalid() and other negatives mean "not applicable".
+SqlValue ArgVal(EventTime v) {
+  return v.raw_seconds() < 0 ? SqlValue() : SqlValue(v.raw_seconds());
+}
+
 SqlValue TextVal(const char* s) {
   return s[0] == '\0' ? SqlValue() : SqlValue(std::string(s));
 }

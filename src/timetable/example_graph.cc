@@ -16,21 +16,21 @@ Timetable MakeExampleTimetable() {
 
   // Times below are the paper's values multiplied by 100 (seconds).
   // Trip 1: 5 -> 1 -> 0 -> 2 -> 6.
-  builder.AddConnection(5, 1, 28800, 32400, t1);
-  builder.AddConnection(1, 0, 32400, 36000, t1);
-  builder.AddConnection(0, 2, 36000, 39600, t1);
-  builder.AddConnection(2, 6, 39600, 43200, t1);
+  builder.AddConnection(5, 1, EventTime::FromSeconds(28800), EventTime::FromSeconds(32400), t1);
+  builder.AddConnection(1, 0, EventTime::FromSeconds(32400), EventTime::FromSeconds(36000), t1);
+  builder.AddConnection(0, 2, EventTime::FromSeconds(36000), EventTime::FromSeconds(39600), t1);
+  builder.AddConnection(2, 6, EventTime::FromSeconds(39600), EventTime::FromSeconds(43200), t1);
   // Trip 2: 6 -> 2 -> 0 -> 1 -> 5.
-  builder.AddConnection(6, 2, 28800, 32400, t2);
-  builder.AddConnection(2, 0, 32400, 36000, t2);
-  builder.AddConnection(0, 1, 36000, 39600, t2);
-  builder.AddConnection(1, 5, 39600, 43200, t2);
+  builder.AddConnection(6, 2, EventTime::FromSeconds(28800), EventTime::FromSeconds(32400), t2);
+  builder.AddConnection(2, 0, EventTime::FromSeconds(32400), EventTime::FromSeconds(36000), t2);
+  builder.AddConnection(0, 1, EventTime::FromSeconds(36000), EventTime::FromSeconds(39600), t2);
+  builder.AddConnection(1, 5, EventTime::FromSeconds(39600), EventTime::FromSeconds(43200), t2);
   // Trip 3: 3 -> 0.
-  builder.AddConnection(3, 0, 32400, 36000, t3);
+  builder.AddConnection(3, 0, EventTime::FromSeconds(32400), EventTime::FromSeconds(36000), t3);
   // Trip 4: 4 -> 0, then 0 -> 3 and 0 -> 4.
-  builder.AddConnection(4, 0, 32400, 36000, t4);
-  builder.AddConnection(0, 3, 36000, 39600, t4);
-  builder.AddConnection(0, 4, 36000, 39600, t4);
+  builder.AddConnection(4, 0, EventTime::FromSeconds(32400), EventTime::FromSeconds(36000), t4);
+  builder.AddConnection(0, 3, EventTime::FromSeconds(36000), EventTime::FromSeconds(39600), t4);
+  builder.AddConnection(0, 4, EventTime::FromSeconds(36000), EventTime::FromSeconds(39600), t4);
 
   auto result = std::move(builder).Build();
   assert(result.ok());

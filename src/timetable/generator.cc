@@ -73,8 +73,8 @@ class StopGrid {
   std::vector<std::vector<uint32_t>> cells_;
 };
 
-bool IsPeakHour(Timestamp t) {
-  const int hour = HourOf(t) % 24;
+bool IsPeakHour(EventTime t) {
+  const int64_t hour = HourOf(t) % 24;
   return (hour >= 7 && hour < 9) || (hour >= 16 && hour < 19);
 }
 
@@ -91,7 +91,8 @@ Result<Timetable> GenerateNetwork(const GeneratorOptions& options) {
   if (options.service_end <= options.service_start) {
     return Status::InvalidArgument("empty service window");
   }
-  if (options.peak_headway <= 0 || options.offpeak_headway <= 0) {
+  if (options.peak_headway <= Duration::Zero() ||
+      options.offpeak_headway <= Duration::Zero()) {
     return Status::InvalidArgument("headways must be positive");
   }
 
@@ -113,17 +114,21 @@ Result<Timetable> GenerateNetwork(const GeneratorOptions& options) {
       static_cast<uint32_t>(std::max(2.0, std::sqrt(n / 4.0)));
   StopGrid grid(points, cells);
 
-  // Estimate trips per route direction to size the route count.
-  const Timestamp span = options.service_end - options.service_start;
+  // Estimate trips per route direction to size the route count. Sizing
+  // heuristics run in doubles; only the event clock below is typed time.
+  const Duration span = options.service_end - options.service_start;
   const double avg_headway =
-      0.25 * options.peak_headway + 0.75 * options.offpeak_headway;
-  const double trips_per_direction = std::max(1.0, span / avg_headway);
+      0.25 * static_cast<double>(options.peak_headway.raw_seconds()) +
+      0.75 * static_cast<double>(options.offpeak_headway.raw_seconds());
+  const double trips_per_direction =
+      std::max(1.0, static_cast<double>(span.raw_seconds()) / avg_headway);
   const double avg_len =
       0.5 * (options.min_route_len + options.max_route_len);
   const double conns_per_route =
       2.0 * (avg_len - 1.0) * trips_per_direction;
   const auto planned_routes = static_cast<uint32_t>(std::max(
-      1.0, std::round(options.target_connections / conns_per_route)));
+      1.0, std::round(static_cast<double>(options.target_connections) /
+                      conns_per_route)));
 
   TimetableBuilder builder;
   for (uint32_t i = 0; i < n; ++i) {
@@ -184,40 +189,41 @@ Result<Timetable> GenerateNetwork(const GeneratorOptions& options) {
   // Emits all trips of one route direction.
   auto emit_direction = [&](const std::vector<StopId>& seq) {
     // Per-hop travel times are fixed per route (same physical track).
-    std::vector<Timestamp> hop(seq.size() - 1);
+    std::vector<Duration> hop(seq.size() - 1);
     for (size_t i = 0; i + 1 < seq.size(); ++i) {
       const double d = Distance(points[seq[i]], points[seq[i + 1]]);
-      hop[i] = std::max<Timestamp>(
+      hop[i] = std::max(
           options.min_hop_seconds,
-          static_cast<Timestamp>(d * options.hop_seconds_per_unit));
+          Duration::FromSeconds(
+              static_cast<int64_t>(d * options.hop_seconds_per_unit)));
     }
-    // The event clock runs in 64-bit: with a service window ending near
-    // INT32_MAX, `t + hop`, `arr + dwell` and the headway advance all
-    // overflow int32 (UB, and the wrapped departure can turn the while
-    // loop infinite) before the loop condition has a chance to stop the
-    // trip. Hops that would reach the kInfinityTime sentinel are dropped —
-    // the sentinel must stay unreachable as a real event time.
-    int64_t dep = static_cast<int64_t>(options.service_start) +
-                  static_cast<int64_t>(rng.NextBelow(
-                      static_cast<uint64_t>(options.peak_headway)));
+    // The event clock is typed 64-bit time: with a service window ending
+    // near the stored horizon, `t + hop`, `arr + dwell` and the headway
+    // advance all used to overflow int32 (UB, and the wrapped departure
+    // could turn the while loop infinite) before the loop condition had a
+    // chance to stop the trip. Hops that would reach the infinity
+    // sentinel are dropped — the sentinel must stay unreachable as a real
+    // event time.
+    EventTime dep =
+        options.service_start +
+        Duration::FromSeconds(static_cast<int64_t>(rng.NextBelow(
+            static_cast<uint64_t>(options.peak_headway.raw_seconds()))));
     while (dep < options.service_end) {
       const TripId trip = builder.AddTrip();
-      int64_t t = dep;
+      EventTime t = dep;
       for (size_t i = 0; i + 1 < seq.size(); ++i) {
-        const int64_t arr = t + hop[i];
-        if (arr >= kInfinityTime) break;
-        builder.AddConnection(seq[i], seq[i + 1], static_cast<Timestamp>(t),
-                              static_cast<Timestamp>(arr), trip);
+        const EventTime arr = t + hop[i];
+        if (arr >= EventTime::Infinity()) break;
+        builder.AddConnection(seq[i], seq[i + 1], t, arr, trip);
         t = arr + options.dwell_seconds;
       }
-      const Timestamp base = IsPeakHour(static_cast<Timestamp>(dep))
-                                 ? options.peak_headway
-                                 : options.offpeak_headway;
-      const auto headway =
-          static_cast<int64_t>(static_cast<double>(base) * headway_scale);
+      const Duration base = IsPeakHour(dep) ? options.peak_headway
+                                            : options.offpeak_headway;
+      const auto headway = static_cast<int64_t>(
+          static_cast<double>(base.raw_seconds()) * headway_scale);
       // +-20% jitter keeps event times from aligning artificially.
       const int64_t jitter = rng.NextInRange(-headway / 5, headway / 5);
-      dep += std::max<int64_t>(60, headway + jitter);
+      dep += Duration::FromSeconds(std::max<int64_t>(60, headway + jitter));
     }
   };
 
@@ -243,7 +249,8 @@ GeneratorOptions CityOptions(const CityProfile& profile, double scale,
   options.num_stops = std::max<uint32_t>(
       50, static_cast<uint32_t>(profile.num_stops * scale));
   options.target_connections = std::max<uint64_t>(
-      1000, static_cast<uint64_t>(profile.num_connections * scale));
+      1000, static_cast<uint64_t>(
+                static_cast<double>(profile.num_connections) * scale));
   options.min_route_len = std::max(4u, profile.route_len - 4);
   options.max_route_len = profile.route_len + 4;
   options.peak_headway = profile.peak_headway;

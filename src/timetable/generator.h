@@ -27,17 +27,17 @@ struct GeneratorOptions {
   /// Stops per route, sampled uniformly in [min_route_len, max_route_len].
   uint32_t min_route_len = 8;
   uint32_t max_route_len = 20;
-  /// Service day window (seconds; may extend past midnight).
-  Timestamp service_start = 4 * 3600;
-  Timestamp service_end = 26 * 3600;
-  /// Headways (seconds) during rush hours (07-09, 16-19) and otherwise.
-  Timestamp peak_headway = 600;
-  Timestamp offpeak_headway = 1200;
+  /// Service day window (may extend past midnight).
+  EventTime service_start = EventTime::FromSeconds(4 * 3600);
+  EventTime service_end = EventTime::FromSeconds(26 * 3600);
+  /// Headways during rush hours (07-09, 16-19) and otherwise.
+  Duration peak_headway = Duration::FromSeconds(600);
+  Duration offpeak_headway = Duration::FromSeconds(1200);
   /// Travel time per hop = distance * hop_seconds_per_unit, at least
   /// min_hop_seconds; a 30 s dwell is added at intermediate stops.
   double hop_seconds_per_unit = 7200.0;
-  Timestamp min_hop_seconds = 60;
-  Timestamp dwell_seconds = 30;
+  Duration min_hop_seconds = Duration::FromSeconds(60);
+  Duration dwell_seconds = Duration::FromSeconds(30);
   uint64_t seed = 1;
 };
 
@@ -52,24 +52,24 @@ struct CityProfile {
   uint32_t num_stops;        // Paper's |V|.
   uint64_t num_connections;  // Paper's |E|.
   uint32_t route_len;        // Typical stops per route.
-  Timestamp peak_headway;    // Densest service (drives avg degree).
-  Timestamp offpeak_headway;
+  Duration peak_headway;     // Densest service (drives avg degree).
+  Duration offpeak_headway;
 };
 
 /// The 11 datasets of Table 7.
 inline constexpr CityProfile kCityProfiles[] = {
     // name            |V|     |E|        len  peak  offpeak
-    {"Austin",          2000,   317000,   14,  600,  1200},
-    {"Berlin",         12000,  2081000,   16,  600,  1200},
-    {"Budapest",        5000,  1446000,   16,  450,   900},
-    {"Denver",         10000,   711000,   14,  900,  1800},
-    {"Houston",        10000,  1113000,   14,  750,  1500},
-    {"LosAngeles",     15000,  1928000,   15,  700,  1400},
-    {"Madrid",          4000,  1913000,   20,  300,   600},
-    {"Roma",            9000,  2281000,   18,  400,   800},
-    {"SaltLakeCity",    6000,   330000,   12, 1200,  2400},
-    {"Sweden",         51000,  4072000,   12,  900,  1800},
-    {"Toronto",        10000,  3300000,   18,  350,   700},
+    {"Austin",          2000,   317000,   14,  Duration::FromSeconds(600), Duration::FromSeconds(1200)},
+    {"Berlin",         12000,  2081000,   16,  Duration::FromSeconds(600), Duration::FromSeconds(1200)},
+    {"Budapest",        5000,  1446000,   16,  Duration::FromSeconds(450), Duration::FromSeconds(900)},
+    {"Denver",         10000,   711000,   14,  Duration::FromSeconds(900), Duration::FromSeconds(1800)},
+    {"Houston",        10000,  1113000,   14,  Duration::FromSeconds(750), Duration::FromSeconds(1500)},
+    {"LosAngeles",     15000,  1928000,   15,  Duration::FromSeconds(700), Duration::FromSeconds(1400)},
+    {"Madrid",          4000,  1913000,   20,  Duration::FromSeconds(300), Duration::FromSeconds(600)},
+    {"Roma",            9000,  2281000,   18,  Duration::FromSeconds(400), Duration::FromSeconds(800)},
+    {"SaltLakeCity",    6000,   330000,   12, Duration::FromSeconds(1200), Duration::FromSeconds(2400)},
+    {"Sweden",         51000,  4072000,   12,  Duration::FromSeconds(900), Duration::FromSeconds(1800)},
+    {"Toronto",        10000,  3300000,   18,  Duration::FromSeconds(350), Duration::FromSeconds(700)},
 };
 inline constexpr size_t kNumCityProfiles =
     sizeof(kCityProfiles) / sizeof(kCityProfiles[0]);

@@ -32,16 +32,16 @@ const char* WeekdayColumn(Weekday day) {
 }
 
 struct StopTime {
-  Timestamp arrival = kInvalidTime;
-  Timestamp departure = kInvalidTime;
+  EventTime arrival = EventTime::Invalid();
+  EventTime departure = EventTime::Invalid();
   StopId stop = kInvalidStop;
   int64_t sequence = 0;
 };
 
 struct Frequency {
-  Timestamp start = 0;
-  Timestamp end = 0;
-  Timestamp headway = 0;
+  EventTime start;
+  EventTime end;
+  Duration headway;
 };
 
 // Parses "YYYYMMDD" into (year, month, day); false on malformed input.
@@ -188,9 +188,9 @@ Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
     st.stop = stop_it->second;
     st.arrival = ParseGtfsTime(stop_times->Field(r, "arrival_time"));
     st.departure = ParseGtfsTime(stop_times->Field(r, "departure_time"));
-    if (st.departure == kInvalidTime) st.departure = st.arrival;
-    if (st.arrival == kInvalidTime) st.arrival = st.departure;
-    if (st.arrival == kInvalidTime) {
+    if (st.departure == EventTime::Invalid()) st.departure = st.arrival;
+    if (st.arrival == EventTime::Invalid()) st.arrival = st.departure;
+    if (st.arrival == EventTime::Invalid()) {
       return Status::Corruption("stop_time without any time for trip " +
                                 trip_id);
     }
@@ -210,11 +210,11 @@ Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
       f.start = ParseGtfsTime(freq->Field(r, "start_time"));
       f.end = ParseGtfsTime(freq->Field(r, "end_time"));
       const auto headway = ParseInt(freq->Field(r, "headway_secs"));
-      if (f.start == kInvalidTime || f.end == kInvalidTime || !headway ||
-          *headway <= 0) {
+      if (f.start == EventTime::Invalid() || f.end == EventTime::Invalid() ||
+          !headway || *headway <= 0) {
         return Status::Corruption("bad frequencies.txt row");
       }
-      f.headway = static_cast<Timestamp>(*headway);
+      f.headway = Duration::FromSeconds(*headway);
       frequencies[freq->Field(r, "trip_id")].push_back(f);
     }
   }
@@ -225,13 +225,13 @@ Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
   for (const auto& [id, _] : trip_stop_times) ordered_trips.push_back(id);
   std::sort(ordered_trips.begin(), ordered_trips.end());
 
-  auto emit_trip = [&](const std::vector<StopTime>& seq, Timestamp shift,
+  auto emit_trip = [&](const std::vector<StopTime>& seq, Duration shift,
                        const std::string& gtfs_trip_id) -> Status {
     const TripId trip = builder.AddTrip();
     out.trip_ids.push_back(gtfs_trip_id);
     for (size_t i = 0; i + 1 < seq.size(); ++i) {
-      const Timestamp dep = seq[i].departure + shift;
-      const Timestamp arr = seq[i + 1].arrival + shift;
+      const EventTime dep = seq[i].departure + shift;
+      const EventTime arr = seq[i + 1].arrival + shift;
       if (arr <= dep) {
         if (!options.drop_non_positive_durations) {
           return Status::Corruption("non-positive connection duration in " +
@@ -253,15 +253,15 @@ Result<GtfsLoadResult> LoadGtfs(const std::string& directory,
               });
     const auto freq_it = frequencies.find(trip_id);
     if (freq_it == frequencies.end()) {
-      PTLDB_RETURN_IF_ERROR(emit_trip(seq, 0, trip_id));
+      PTLDB_RETURN_IF_ERROR(emit_trip(seq, Duration::Zero(), trip_id));
       continue;
     }
     // Headway expansion: the stop_times define relative travel times from
     // the trip's first departure; one trip instance per headway slot.
-    const Timestamp base = seq.front().departure;
+    const EventTime base = seq.front().departure;
     for (const Frequency& f : freq_it->second) {
       int instance = 0;
-      for (Timestamp start = f.start; start < f.end; start += f.headway) {
+      for (EventTime start = f.start; start < f.end; start += f.headway) {
         PTLDB_RETURN_IF_ERROR(emit_trip(
             seq, start - base,
             trip_id + "#" + std::to_string(instance++)));

@@ -74,7 +74,7 @@ Status WriteGtfs(const Timetable& tt, const std::string& directory) {
                  << "\n";
       for (size_t k = i; k <= j; ++k) {
         const Connection& c = tt.connection(conns[k]);
-        const Timestamp departure =
+        const EventTime departure =
             k < j ? tt.connection(conns[k + 1]).dep : c.arr;
         stop_times << trip_id << "," << FormatTime(c.arr) << ","
                    << FormatTime(departure) << ",S" << c.to << "," << seq++

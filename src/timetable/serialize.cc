@@ -1,11 +1,28 @@
 #include "timetable/serialize.h"
 
+#include <type_traits>
+
 #include "common/binary_io.h"
 
 namespace ptldb {
 
 namespace {
 constexpr uint64_t kMagic = 0x5054544254313031ULL;  // "PTTBT101"
+
+// On-wire connection record. The file format predates the typed time
+// tier: times are the 32-bit stored encoding, and the field order/widths
+// here are the historical `Connection` layout (20 packed bytes), so files
+// written before the EventTime refactor load byte-identically.
+struct StoredConnection {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  StoredTime dep = 0;
+  StoredTime arr = 0;
+  uint32_t trip = 0;
+};
+static_assert(sizeof(StoredConnection) == 20);
+static_assert(std::is_trivially_copyable_v<StoredConnection>);
+
 }  // namespace
 
 Status SaveTimetable(const Timetable& tt, const std::string& path) {
@@ -20,8 +37,12 @@ Status SaveTimetable(const Timetable& tt, const std::string& path) {
     w.Write(info.lat);
     w.Write(info.lon);
   }
-  std::vector<Connection> conns(tt.connections().begin(),
-                                tt.connections().end());
+  std::vector<StoredConnection> conns;
+  conns.reserve(tt.connections().size());
+  for (const Connection& c : tt.connections()) {
+    conns.push_back({c.from, c.to, ToStoredTime(c.dep), ToStoredTime(c.arr),
+                     c.trip});
+  }
   w.WriteVector(conns);
   return w.FinishWithChecksum();
 }
@@ -43,11 +64,12 @@ Result<Timetable> LoadTimetable(const std::string& path) {
     builder.AddStop(std::move(info));
   }
   for (uint32_t t = 0; t < num_trips; ++t) builder.AddTrip();
-  const auto conns = r.ReadVector<Connection>();
+  const auto conns = r.ReadVector<StoredConnection>();
   if (!r.ok()) return Status::Corruption("truncated timetable file " + path);
   PTLDB_RETURN_IF_ERROR(r.VerifyChecksum());
-  for (const Connection& c : conns) {
-    builder.AddConnection(c.from, c.to, c.dep, c.arr, c.trip);
+  for (const StoredConnection& c : conns) {
+    builder.AddConnection(c.from, c.to, FromStoredTime(c.dep),
+                          FromStoredTime(c.arr), c.trip);
   }
   return std::move(builder).Build();
 }

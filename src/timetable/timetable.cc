@@ -16,9 +16,9 @@ bool DepLess(const Connection& a, const Connection& b) {
 
 // Builds a stop -> sorted distinct timestamps CSR from (stop, time) pairs.
 void BuildEventCsr(uint32_t num_stops,
-                   std::vector<std::pair<StopId, Timestamp>> events,
+                   std::vector<std::pair<StopId, EventTime>> events,
                    std::vector<uint32_t>* offsets,
-                   std::vector<Timestamp>* times) {
+                   std::vector<EventTime>* times) {
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
   offsets->assign(num_stops + 1, 0);
@@ -38,20 +38,20 @@ std::span<const ConnectionId> Timetable::trip_connections(TripId t) const {
           trip_conns_.data() + trip_offsets_[t + 1]};
 }
 
-std::span<const Timestamp> Timetable::arrival_events(StopId s) const {
+std::span<const EventTime> Timetable::arrival_events(StopId s) const {
   return {arrival_times_.data() + arrival_offsets_[s],
           arrival_times_.data() + arrival_offsets_[s + 1]};
 }
 
-std::span<const Timestamp> Timetable::departure_events(StopId s) const {
+std::span<const EventTime> Timetable::departure_events(StopId s) const {
   return {departure_times_.data() + departure_offsets_[s],
           departure_times_.data() + departure_offsets_[s + 1]};
 }
 
-size_t Timetable::FirstConnectionNotBefore(Timestamp t) const {
+size_t Timetable::FirstConnectionNotBefore(EventTime t) const {
   return static_cast<size_t>(
       std::lower_bound(connections_.begin(), connections_.end(), t,
-                       [](const Connection& c, Timestamp v) {
+                       [](const Connection& c, EventTime v) {
                          return c.dep < v;
                        }) -
       connections_.begin());
@@ -64,8 +64,8 @@ StopId TimetableBuilder::AddStop(StopInfo info) {
 
 TripId TimetableBuilder::AddTrip() { return num_trips_++; }
 
-void TimetableBuilder::AddConnection(StopId from, StopId to, Timestamp dep,
-                                     Timestamp arr, TripId trip) {
+void TimetableBuilder::AddConnection(StopId from, StopId to, EventTime dep,
+                                     EventTime arr, TripId trip) {
   connections_.push_back({from, to, dep, arr, trip});
 }
 
@@ -121,8 +121,8 @@ Result<Timetable> TimetableBuilder::Build() && {
   }
 
   // Event CSRs.
-  std::vector<std::pair<StopId, Timestamp>> arrivals;
-  std::vector<std::pair<StopId, Timestamp>> departures;
+  std::vector<std::pair<StopId, EventTime>> arrivals;
+  std::vector<std::pair<StopId, EventTime>> departures;
   arrivals.reserve(n);
   departures.reserve(n);
   for (const Connection& c : tt.connections_) {

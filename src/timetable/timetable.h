@@ -59,18 +59,18 @@ class Timetable {
   std::span<const ConnectionId> trip_connections(TripId t) const;
 
   /// Distinct arrival-event timestamps at `s`, ascending.
-  std::span<const Timestamp> arrival_events(StopId s) const;
+  std::span<const EventTime> arrival_events(StopId s) const;
 
   /// Distinct departure-event timestamps at `s`, ascending.
-  std::span<const Timestamp> departure_events(StopId s) const;
+  std::span<const EventTime> departure_events(StopId s) const;
 
   /// Index of the first connection (in dep order) with dep >= t.
-  size_t FirstConnectionNotBefore(Timestamp t) const;
+  size_t FirstConnectionNotBefore(EventTime t) const;
 
   /// Earliest departure in the timetable (0 when empty).
-  Timestamp min_time() const { return min_time_; }
+  EventTime min_time() const { return min_time_; }
   /// Latest arrival in the timetable (0 when empty).
-  Timestamp max_time() const { return max_time_; }
+  EventTime max_time() const { return max_time_; }
 
  private:
   friend class TimetableBuilder;
@@ -84,11 +84,11 @@ class Timetable {
   std::vector<ConnectionId> trip_conns_;
   // CSR: stop -> distinct event timestamps.
   std::vector<uint32_t> arrival_offsets_;
-  std::vector<Timestamp> arrival_times_;
+  std::vector<EventTime> arrival_times_;
   std::vector<uint32_t> departure_offsets_;
-  std::vector<Timestamp> departure_times_;
-  Timestamp min_time_ = 0;
-  Timestamp max_time_ = 0;
+  std::vector<EventTime> departure_times_;
+  EventTime min_time_;
+  EventTime max_time_;
 };
 
 /// Accumulates stops and connections and validates them into a Timetable.
@@ -108,7 +108,7 @@ class TimetableBuilder {
   TripId AddTrip();
 
   /// Adds one arc. Validation happens in Build().
-  void AddConnection(StopId from, StopId to, Timestamp dep, Timestamp arr,
+  void AddConnection(StopId from, StopId to, EventTime dep, EventTime arr,
                      TripId trip);
 
   /// Validates and assembles the immutable Timetable.

@@ -24,7 +24,7 @@ inline constexpr ConnectionId kInvalidConnection =
 /// earliest arrival (EA variants) or latest departure (LD variants).
 struct StopTimeResult {
   StopId stop = kInvalidStop;
-  Timestamp time = 0;
+  EventTime time;
 
   friend bool operator==(const StopTimeResult&,
                          const StopTimeResult&) = default;
@@ -36,8 +36,8 @@ struct StopTimeResult {
 struct Connection {
   StopId from = kInvalidStop;
   StopId to = kInvalidStop;
-  Timestamp dep = 0;
-  Timestamp arr = 0;
+  EventTime dep;
+  EventTime arr;
   TripId trip = kInvalidTrip;
 
   friend bool operator==(const Connection&, const Connection&) = default;

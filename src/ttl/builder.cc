@@ -18,8 +18,8 @@ constexpr uint32_t kDefaultWaveCap = 64;
 // A reached Pareto pair during a profile scan, with the connection that
 // starts (backward scan) or ends (forward scan) the journey.
 struct ScanEntry {
-  Timestamp dep = 0;
-  Timestamp arr = 0;
+  EventTime dep;
+  EventTime arr;
   ConnectionId conn = kInvalidConnection;
 };
 
@@ -70,7 +70,7 @@ class HubRangeIndex {
 // Within a (stop, hub) group tuples are Pareto (td and ta both ascending),
 // so the hit has the minimum ta among feasible tuples.
 uint32_t FirstDepartingNotBefore(const std::vector<LabelTuple>& tuples,
-                                 uint32_t begin, uint32_t end, Timestamp t) {
+                                 uint32_t begin, uint32_t end, EventTime t) {
   while (begin < end) {
     const uint32_t mid = begin + (end - begin) / 2;
     if (tuples[mid].td >= t) {
@@ -89,8 +89,8 @@ uint32_t FirstDepartingNotBefore(const std::vector<LabelTuple>& tuples,
 // answer whether it runs mid-scan (serial) or at merge time (wave build).
 bool CoveredOut(const std::vector<std::vector<LabelTuple>>& lout,
                 const std::vector<LabelTuple>& in_h,
-                const HubRangeIndex& in_hub_index, StopId v, Timestamp td,
-                Timestamp ta) {
+                const HubRangeIndex& in_hub_index, StopId v, EventTime td,
+                EventTime ta) {
   // Direct case: a v -> hub journey already recorded in L_in(hub).
   {
     const auto [b, e] = in_hub_index.Find(v);
@@ -121,8 +121,8 @@ bool CoveredOut(const std::vector<std::vector<LabelTuple>>& lout,
 // Does an existing-label query certify EA(hub -> v, dep >= td) <= ta?
 bool CoveredIn(const std::vector<std::vector<LabelTuple>>& lin,
                const std::vector<LabelTuple>& out_h,
-               const HubRangeIndex& out_hub_index, StopId v, Timestamp td,
-               Timestamp ta) {
+               const HubRangeIndex& out_hub_index, StopId v, EventTime td,
+               EventTime ta) {
   // Direct case: a hub -> v journey already recorded in L_out(hub).
   {
     const auto [b, e] = out_hub_index.Find(v);
@@ -185,7 +185,7 @@ class HubScan {
     for (size_t i = conns.size(); i-- > 0;) {
       const Connection& c = conns[i];
       if (c.from == hub) continue;  // No self labels / round trips.
-      Timestamp arr_h = kInfinityTime;
+      EventTime arr_h = EventTime::Infinity();
       if (c.to == hub) arr_h = c.arr;
       const auto& at_to = scan_lists_[c.to];
       if (!at_to.empty()) {
@@ -197,7 +197,7 @@ class HubScan {
           arr_h = (it - 1)->arr;
         }
       }
-      if (arr_h == kInfinityTime) continue;
+      if (arr_h == EventTime::Infinity()) continue;
 
       auto& at_from = scan_lists_[c.from];
       if (!at_from.empty() && at_from.back().dep == c.dep) {
@@ -242,7 +242,7 @@ class HubScan {
     for (const ConnectionId id : tt_.by_arrival()) {
       const Connection& c = tt_.connection(id);
       if (c.to == hub) continue;  // No self labels / round trips.
-      Timestamp dep_h = kNegInfinityTime;
+      EventTime dep_h = EventTime::NegInfinity();
       if (c.from == hub) dep_h = c.dep;
       const auto& at_from = scan_lists_[c.from];
       if (!at_from.empty()) {
@@ -254,7 +254,7 @@ class HubScan {
           dep_h = (it - 1)->dep;
         }
       }
-      if (dep_h == kNegInfinityTime) continue;
+      if (dep_h == EventTime::NegInfinity()) continue;
 
       auto& at_to = scan_lists_[c.to];
       if (!at_to.empty() && at_to.back().arr == c.arr) {
@@ -492,7 +492,7 @@ Result<TtlIndex> BuildTtlIndex(const Timetable& tt,
 uint64_t AugmentWithDummyTuples(const Timetable& tt, TtlIndex* index) {
   const uint32_t n = index->num_stops();
   // Event set per stop: hub-tuple endpoint times plus arrival events.
-  std::vector<std::unordered_set<Timestamp>> events(n);
+  std::vector<std::unordered_set<EventTime>> events(n);
   for (StopId v = 0; v < n; ++v) {
     for (const LabelTuple& t : index->out.tuples(v)) {
       if (!t.is_dummy()) events[t.hub].insert(t.ta);
@@ -500,13 +500,13 @@ uint64_t AugmentWithDummyTuples(const Timetable& tt, TtlIndex* index) {
     for (const LabelTuple& t : index->in.tuples(v)) {
       if (!t.is_dummy()) events[t.hub].insert(t.td);
     }
-    for (const Timestamp a : tt.arrival_events(v)) events[v].insert(a);
+    for (const EventTime a : tt.arrival_events(v)) events[v].insert(a);
   }
   uint64_t added = 0;
   for (StopId v = 0; v < n; ++v) {
-    std::vector<Timestamp> sorted(events[v].begin(), events[v].end());
+    std::vector<EventTime> sorted(events[v].begin(), events[v].end());
     std::sort(sorted.begin(), sorted.end());
-    for (const Timestamp x : sorted) {
+    for (const EventTime x : sorted) {
       const LabelTuple dummy{v, x, x, kInvalidStop, kInvalidTrip};
       index->out.mutable_tuples(v).push_back(dummy);
       index->in.mutable_tuples(v).push_back(dummy);

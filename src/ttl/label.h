@@ -24,8 +24,8 @@ namespace ptldb {
 /// pivot/trip set to the invalid sentinels.
 struct LabelTuple {
   StopId hub = kInvalidStop;
-  Timestamp td = 0;
-  Timestamp ta = 0;
+  EventTime td;
+  EventTime ta;
   StopId pivot = kInvalidStop;
   TripId trip = kInvalidTrip;
 

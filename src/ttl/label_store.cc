@@ -22,8 +22,8 @@ Status LabelStore::BuildTier(const LabelSet& labels, Tier* tier) {
     tas.reserve(tuples.size());
     for (const LabelTuple& t : tuples) {
       hubs.push_back(static_cast<int32_t>(t.hub));
-      tds.push_back(t.td);
-      tas.push_back(t.ta);
+      tds.push_back(ToStoredTime(t.td));
+      tas.push_back(ToStoredTime(t.ta));
     }
     PTLDB_RETURN_IF_ERROR(EncodeLabelBucket(hubs, tds, tas, &tier->arena));
   }

@@ -22,7 +22,7 @@ TupleSpan HubGroup(TupleSpan tuples, StopId hub) {
 
 // First tuple with td >= t; group Pareto order makes it the min-ta feasible
 // tuple. Returns group.end() when none.
-TupleSpan::iterator FirstNotBefore(TupleSpan group, Timestamp t) {
+TupleSpan::iterator FirstNotBefore(TupleSpan group, EventTime t) {
   auto& counters = ThisThreadQueryCounters();
   return std::partition_point(group.begin(), group.end(),
                               [&](const LabelTuple& x) {
@@ -33,7 +33,7 @@ TupleSpan::iterator FirstNotBefore(TupleSpan group, Timestamp t) {
 
 // Last tuple with ta <= t; group Pareto order makes it the max-td feasible
 // tuple. Returns group.end() when none.
-TupleSpan::iterator LastNotAfter(TupleSpan group, Timestamp t) {
+TupleSpan::iterator LastNotAfter(TupleSpan group, EventTime t) {
   auto& counters = ThisThreadQueryCounters();
   const auto it = std::partition_point(group.begin(), group.end(),
                                        [&](const LabelTuple& x) {
@@ -69,8 +69,8 @@ void ForEachCommonHub(TupleSpan out_s, TupleSpan in_g, Fn&& fn) {
   }
 }
 
-Timestamp JoinEa(TupleSpan out_s, TupleSpan in_g, Timestamp t) {
-  Timestamp best = kInfinityTime;
+EventTime JoinEa(TupleSpan out_s, TupleSpan in_g, EventTime t) {
+  EventTime best = EventTime::Infinity();
   ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
     const auto l1 = FirstNotBefore(a, t);
     if (l1 == a.end()) return;
@@ -81,8 +81,8 @@ Timestamp JoinEa(TupleSpan out_s, TupleSpan in_g, Timestamp t) {
   return best;
 }
 
-Timestamp JoinLd(TupleSpan out_s, TupleSpan in_g, Timestamp t_end) {
-  Timestamp best = kNegInfinityTime;
+EventTime JoinLd(TupleSpan out_s, TupleSpan in_g, EventTime t_end) {
+  EventTime best = EventTime::NegInfinity();
   ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
     const auto l2 = LastNotAfter(b, t_end);
     if (l2 == b.end()) return;
@@ -93,9 +93,9 @@ Timestamp JoinLd(TupleSpan out_s, TupleSpan in_g, Timestamp t_end) {
   return best;
 }
 
-Timestamp JoinSd(TupleSpan out_s, TupleSpan in_g, Timestamp t,
-                 Timestamp t_end) {
-  Timestamp best = kInfinityTime;
+Duration JoinSd(TupleSpan out_s, TupleSpan in_g, EventTime t,
+                EventTime t_end) {
+  Duration best = Duration::Infinity();
   ForEachCommonHub(out_s, in_g, [&](TupleSpan a, TupleSpan b) {
     auto l2 = b.begin();
     for (auto l1 = FirstNotBefore(a, t); l1 != a.end(); ++l1) {
@@ -109,11 +109,11 @@ Timestamp JoinSd(TupleSpan out_s, TupleSpan in_g, Timestamp t,
 
 }  // namespace
 
-Timestamp TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
-                             Timestamp t) {
+EventTime TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t) {
   const TupleSpan out_s = index.out.tuples(s);
   const TupleSpan in_g = index.in.tuples(g);
-  Timestamp best = kInfinityTime;
+  EventTime best = EventTime::Infinity();
   // Case (i): direct tuples of L_out(s) ending at g.
   if (const auto group = HubGroup(out_s, g); !group.empty()) {
     if (const auto it = FirstNotBefore(group, t); it != group.end()) {
@@ -130,11 +130,11 @@ Timestamp TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
   return std::min(best, JoinEa(out_s, in_g, t));
 }
 
-Timestamp TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
-                             Timestamp t_end) {
+EventTime TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t_end) {
   const TupleSpan out_s = index.out.tuples(s);
   const TupleSpan in_g = index.in.tuples(g);
-  Timestamp best = kNegInfinityTime;
+  EventTime best = EventTime::NegInfinity();
   if (const auto group = HubGroup(out_s, g); !group.empty()) {
     if (const auto it = LastNotAfter(group, t_end); it != group.end()) {
       best = std::max(best, it->td);
@@ -148,11 +148,11 @@ Timestamp TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
   return std::max(best, JoinLd(out_s, in_g, t_end));
 }
 
-Timestamp TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
-                              Timestamp t, Timestamp t_end) {
+Duration TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t, EventTime t_end) {
   const TupleSpan out_s = index.out.tuples(s);
   const TupleSpan in_g = index.in.tuples(g);
-  Timestamp best = kInfinityTime;
+  Duration best = Duration::Infinity();
   const auto consider_direct = [&](TupleSpan group) {
     for (auto it = FirstNotBefore(group, t); it != group.end(); ++it) {
       if (it->ta <= t_end) best = std::min(best, it->ta - it->td);
@@ -163,19 +163,19 @@ Timestamp TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
   return std::min(best, JoinSd(out_s, in_g, t, t_end));
 }
 
-Timestamp TtlEarliestArrivalJoinOnly(const TtlIndex& index, StopId s,
-                                     StopId g, Timestamp t) {
+EventTime TtlEarliestArrivalJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t) {
   return JoinEa(index.out.tuples(s), index.in.tuples(g), t);
 }
 
-Timestamp TtlLatestDepartureJoinOnly(const TtlIndex& index, StopId s,
-                                     StopId g, Timestamp t_end) {
+EventTime TtlLatestDepartureJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t_end) {
   return JoinLd(index.out.tuples(s), index.in.tuples(g), t_end);
 }
 
-Timestamp TtlShortestDurationJoinOnly(const TtlIndex& index, StopId s,
-                                      StopId g, Timestamp t,
-                                      Timestamp t_end) {
+Duration TtlShortestDurationJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t,
+                                     EventTime t_end) {
   return JoinSd(index.out.tuples(s), index.in.tuples(g), t, t_end);
 }
 

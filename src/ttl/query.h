@@ -16,30 +16,31 @@ namespace ptldb {
 /// against; they work with or without dummy tuples.
 
 /// Earliest arrival at g over journeys leaving s no sooner than t;
-/// kInfinityTime when no journey qualifies.
-Timestamp TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
-                             Timestamp t);
+/// EventTime::Infinity() when no journey qualifies.
+EventTime TtlEarliestArrival(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t);
 
 /// Latest departure from s over journeys reaching g no later than t_end;
-/// kNegInfinityTime when no journey qualifies.
-Timestamp TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
-                             Timestamp t_end);
+/// EventTime::NegInfinity() when no journey qualifies.
+EventTime TtlLatestDeparture(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t_end);
 
-/// Shortest duration over journeys inside [t, t_end]; kInfinityTime when no
+/// Shortest duration over journeys inside [t, t_end]; Duration::Infinity()
+/// when no
 /// journey qualifies.
-Timestamp TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
-                              Timestamp t, Timestamp t_end);
+Duration TtlShortestDuration(const TtlIndex& index, StopId s, StopId g,
+                             EventTime t, EventTime t_end);
 
 /// The unified single-join variants used by PTLDB's SQL (Code 1): only case
 /// (iii) is evaluated, which is complete once dummy tuples are present
 /// (Theorem 3.1.1). The test suite checks these against the three-case
 /// versions above to validate the dummy-tuple construction.
-Timestamp TtlEarliestArrivalJoinOnly(const TtlIndex& index, StopId s,
-                                     StopId g, Timestamp t);
-Timestamp TtlLatestDepartureJoinOnly(const TtlIndex& index, StopId s,
-                                     StopId g, Timestamp t_end);
-Timestamp TtlShortestDurationJoinOnly(const TtlIndex& index, StopId s,
-                                      StopId g, Timestamp t, Timestamp t_end);
+EventTime TtlEarliestArrivalJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t);
+EventTime TtlLatestDepartureJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t_end);
+Duration TtlShortestDurationJoinOnly(const TtlIndex& index, StopId s,
+                                     StopId g, EventTime t, EventTime t_end);
 
 }  // namespace ptldb
 

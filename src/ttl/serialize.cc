@@ -1,5 +1,7 @@
 #include "ttl/serialize.h"
 
+#include <type_traits>
+
 #include "common/binary_io.h"
 
 namespace ptldb {
@@ -8,11 +10,29 @@ namespace {
 
 constexpr uint64_t kMagic = 0x50544C4254544C31ULL;  // "PTLBTTL1"
 
+// On-wire tuple record: times in the 32-bit stored encoding, field
+// order/widths matching the historical `LabelTuple` layout (20 packed
+// bytes), so pre-refactor label files load byte-identically.
+struct StoredLabelTuple {
+  uint32_t hub = 0;
+  StoredTime td = 0;
+  StoredTime ta = 0;
+  uint32_t pivot = 0;
+  uint32_t trip = 0;
+};
+static_assert(sizeof(StoredLabelTuple) == 20);
+static_assert(std::is_trivially_copyable_v<StoredLabelTuple>);
+
 void WriteLabelSet(BinaryWriter* w, const LabelSet& set) {
   w->Write<uint32_t>(set.num_stops());
   for (StopId v = 0; v < set.num_stops(); ++v) {
     const auto tuples = set.tuples(v);
-    std::vector<LabelTuple> buf(tuples.begin(), tuples.end());
+    std::vector<StoredLabelTuple> buf;
+    buf.reserve(tuples.size());
+    for (const LabelTuple& t : tuples) {
+      buf.push_back(
+          {t.hub, ToStoredTime(t.td), ToStoredTime(t.ta), t.pivot, t.trip});
+    }
     w->WriteVector(buf);
   }
 }
@@ -22,8 +42,14 @@ bool ReadLabelSet(BinaryReader* r, LabelSet* set) {
   if (!r->ok()) return false;
   *set = LabelSet(n);
   for (StopId v = 0; v < n; ++v) {
-    set->mutable_tuples(v) = r->ReadVector<LabelTuple>();
+    const auto buf = r->ReadVector<StoredLabelTuple>();
     if (!r->ok()) return false;
+    auto& tuples = set->mutable_tuples(v);
+    tuples.reserve(buf.size());
+    for (const StoredLabelTuple& t : buf) {
+      tuples.push_back({t.hub, FromStoredTime(t.td), FromStoredTime(t.ta),
+                        t.pivot, t.trip});
+    }
   }
   return true;
 }

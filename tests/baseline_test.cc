@@ -9,6 +9,8 @@
 #include "timetable/example_graph.h"
 #include "timetable/generator.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -27,51 +29,52 @@ Timetable SmallCity(uint64_t seed) {
 TEST(CsaTest, ExampleEarliestArrivals) {
   const Timetable tt = MakeExampleTimetable();
   // From 5 at 28800: trip 1 reaches 1@32400, 0@36000, 2@39600, 6@43200.
-  const auto arr = EarliestArrivalScan(tt, 5, 28800);
-  EXPECT_EQ(arr[1], 32400);
-  EXPECT_EQ(arr[0], 36000);
-  EXPECT_EQ(arr[2], 39600);
-  EXPECT_EQ(arr[6], 43200);
-  EXPECT_EQ(arr[3], 39600);  // Transfer at 0 onto trip 4.
-  EXPECT_EQ(arr[4], 39600);
-  EXPECT_EQ(arr[5], 28800);  // The source itself.
+  const auto arr = EarliestArrivalScan(tt, 5, TSec(28800));
+  EXPECT_EQ(arr[1], TSec(32400));
+  EXPECT_EQ(arr[0], TSec(36000));
+  EXPECT_EQ(arr[2], TSec(39600));
+  EXPECT_EQ(arr[6], TSec(43200));
+  EXPECT_EQ(arr[3], TSec(39600));  // Transfer at 0 onto trip 4.
+  EXPECT_EQ(arr[4], TSec(39600));
+  EXPECT_EQ(arr[5], TSec(28800));  // The source itself.
 }
 
 TEST(CsaTest, DepartureTimeFiltersTrips) {
   const Timetable tt = MakeExampleTimetable();
   // Leaving 5 after 28800 there is no service anymore.
-  const auto arr = EarliestArrivalScan(tt, 5, 28801);
-  EXPECT_EQ(arr[0], kInfinityTime);
-  EXPECT_EQ(arr[1], kInfinityTime);
+  const auto arr = EarliestArrivalScan(tt, 5, TSec(28801));
+  EXPECT_EQ(arr[0], EventTime::Infinity());
+  EXPECT_EQ(arr[1], EventTime::Infinity());
 }
 
 TEST(CsaTest, ExampleLatestDepartures) {
   const Timetable tt = MakeExampleTimetable();
   // To reach 5 by 43200: trip 2 leaves 6 at 28800, 2 at 32400, 0 at 36000,
   // 1 at 39600.
-  const auto dep = LatestDepartureScan(tt, 5, 43200);
-  EXPECT_EQ(dep[6], 28800);
-  EXPECT_EQ(dep[2], 32400);
-  EXPECT_EQ(dep[0], 36000);
-  EXPECT_EQ(dep[1], 39600);
-  EXPECT_EQ(dep[3], 32400);  // Trip 3 into 0, then trip 2.
-  EXPECT_EQ(dep[4], 32400);
+  const auto dep = LatestDepartureScan(tt, 5, TSec(43200));
+  EXPECT_EQ(dep[6], TSec(28800));
+  EXPECT_EQ(dep[2], TSec(32400));
+  EXPECT_EQ(dep[0], TSec(36000));
+  EXPECT_EQ(dep[1], TSec(39600));
+  EXPECT_EQ(dep[3], TSec(32400));  // Trip 3 into 0, then trip 2.
+  EXPECT_EQ(dep[4], TSec(32400));
 }
 
 TEST(CsaTest, LatestDepartureInfeasible) {
   const Timetable tt = MakeExampleTimetable();
-  const auto dep = LatestDepartureScan(tt, 5, 43199);
-  EXPECT_EQ(dep[6], kNegInfinityTime);
+  const auto dep = LatestDepartureScan(tt, 5, TSec(43199));
+  EXPECT_EQ(dep[6], EventTime::NegInfinity());
 }
 
 TEST(CsaTest, ShortestDurationExample) {
   const Timetable tt = MakeExampleTimetable();
   // 5 -> 0 within the whole day: 28800 -> 36000 = 7200s.
-  EXPECT_EQ(ShortestDuration(tt, 5, 0, 0, 86400), 7200);
+  EXPECT_EQ(ShortestDuration(tt, 5, 0, TSec(0), TSec(86400)), DSec(7200));
   // 1 -> 5: depart 39600 arrive 43200 = 3600s.
-  EXPECT_EQ(ShortestDuration(tt, 1, 5, 0, 86400), 3600);
+  EXPECT_EQ(ShortestDuration(tt, 1, 5, TSec(0), TSec(86400)), DSec(3600));
   // Window too tight.
-  EXPECT_EQ(ShortestDuration(tt, 1, 5, 0, 43199), kInfinityTime);
+  EXPECT_EQ(ShortestDuration(tt, 1, 5, TSec(0), TSec(43199)),
+            Duration::Infinity());
 }
 
 TEST(ProfileTest, ForwardProfileMatchesEarliestArrivalScans) {
@@ -81,8 +84,8 @@ TEST(ProfileTest, ForwardProfileMatchesEarliestArrivalScans) {
     const auto q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     const ProfileSet profile = ForwardProfile(tt, q);
     for (int i = 0; i < 10; ++i) {
-      const auto t = static_cast<Timestamp>(
-          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                          tt.max_time().raw_seconds()));
       const auto arr = EarliestArrivalScan(tt, q, t);
       for (StopId v = 0; v < tt.num_stops(); ++v) {
         if (v == q) continue;
@@ -100,8 +103,8 @@ TEST(ProfileTest, BackwardProfileMatchesLatestDepartureScans) {
     const auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     const ProfileSet profile = BackwardProfile(tt, g);
     for (int i = 0; i < 10; ++i) {
-      const auto t = static_cast<Timestamp>(
-          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                          tt.max_time().raw_seconds()));
       const auto dep = LatestDepartureScan(tt, g, t);
       for (StopId v = 0; v < tt.num_stops(); ++v) {
         if (v == g) continue;
@@ -132,15 +135,15 @@ TEST(ProfileTest, ShortestDurationNeverBeatsAnyFeasibleJourney) {
   for (int i = 0; i < 50; ++i) {
     const auto v = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (v == g) continue;
-    const Timestamp t = tt.min_time();
-    const Timestamp t_end = tt.max_time();
-    const Timestamp sd = profile.ShortestDuration(v, t, t_end);
-    const Timestamp ea = profile.EarliestArrival(v, t);
-    if (ea == kInfinityTime) {
-      EXPECT_EQ(sd, kInfinityTime);
+    const EventTime t = tt.min_time();
+    const EventTime t_end = tt.max_time();
+    const Duration sd = profile.ShortestDuration(v, t, t_end);
+    const EventTime ea = profile.EarliestArrival(v, t);
+    if (ea == EventTime::Infinity()) {
+      EXPECT_EQ(sd, Duration::Infinity());
     } else {
       EXPECT_LE(sd, ea - t);  // The t-departure journey is one candidate.
-      EXPECT_GT(sd, 0);
+      EXPECT_GT(sd, Duration::Zero());
     }
   }
 }
@@ -148,37 +151,37 @@ TEST(ProfileTest, ShortestDurationNeverBeatsAnyFeasibleJourney) {
 TEST(BruteTest, EaOneToManySortedAndComplete) {
   const Timetable tt = MakeExampleTimetable();
   const std::vector<StopId> targets{4, 6};
-  const auto rows = BruteEaOneToMany(tt, 0, targets, 36000);
+  const auto rows = BruteEaOneToMany(tt, 0, targets, TSec(36000));
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].stop, 4u);
-  EXPECT_EQ(rows[0].time, 39600);
+  EXPECT_EQ(rows[0].time, TSec(39600));
   EXPECT_EQ(rows[1].stop, 6u);
-  EXPECT_EQ(rows[1].time, 43200);
+  EXPECT_EQ(rows[1].time, TSec(43200));
 }
 
 TEST(BruteTest, EaKnnTruncates) {
   const Timetable tt = MakeExampleTimetable();
-  const auto rows = BruteEaKnn(tt, 0, {4, 6}, 36000, 1);
+  const auto rows = BruteEaKnn(tt, 0, {4, 6}, TSec(36000), 1);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].stop, 4u);
-  EXPECT_EQ(rows[0].time, 39600);
+  EXPECT_EQ(rows[0].time, TSec(39600));
 }
 
 TEST(BruteTest, EaOmitsUnreachableTargets) {
   const Timetable tt = MakeExampleTimetable();
-  const auto rows = BruteEaOneToMany(tt, 0, {4, 6}, 43201);
+  const auto rows = BruteEaOneToMany(tt, 0, {4, 6}, TSec(43201));
   EXPECT_TRUE(rows.empty());
 }
 
 TEST(BruteTest, LdOneToManySortedDescending) {
   const Timetable tt = MakeExampleTimetable();
   // Reach {3, 4} by 39600: depart 0 at 36000 (both); also from 5 via 1,0.
-  const auto rows = BruteLdOneToMany(tt, 0, {3, 4}, 39600);
+  const auto rows = BruteLdOneToMany(tt, 0, {3, 4}, TSec(39600));
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].stop, 3u);
-  EXPECT_EQ(rows[0].time, 36000);
+  EXPECT_EQ(rows[0].time, TSec(36000));
   EXPECT_EQ(rows[1].stop, 4u);
-  EXPECT_EQ(rows[1].time, 36000);
+  EXPECT_EQ(rows[1].time, TSec(36000));
 }
 
 TEST(BruteTest, LdKnnAgainstPerTargetLatestDeparture) {
@@ -190,8 +193,8 @@ TEST(BruteTest, LdKnnAgainstPerTargetLatestDeparture) {
     for (StopId v = 0; v < tt.num_stops(); v += 7) {
       if (v != q) targets.push_back(v);
     }
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto rows = BruteLdKnn(tt, q, targets, t, 4);
     // Every row must equal the point-to-point LD and be in order.
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -216,15 +219,15 @@ TEST(BruteTest, LdKnnAgainstPerTargetLatestDeparture) {
 TEST(TransferLimitTest, ExampleGraphRounds) {
   const Timetable tt = MakeExampleTimetable();
   // 5 -> 3 needs two trips (trip 1 to stop 0, trip 4 onward).
-  const auto one = EarliestArrivalWithTrips(tt, 5, 28800, 1);
-  EXPECT_EQ(one[0], 36000);            // Reachable staying on trip 1.
-  EXPECT_EQ(one[6], 43200);            // Trip 1 continues to 6.
-  EXPECT_EQ(one[3], kInfinityTime);    // Needs a transfer.
-  const auto two = EarliestArrivalWithTrips(tt, 5, 28800, 2);
-  EXPECT_EQ(two[3], 39600);
-  const auto zero = EarliestArrivalWithTrips(tt, 5, 28800, 0);
-  EXPECT_EQ(zero[0], kInfinityTime);
-  EXPECT_EQ(zero[5], 28800);
+  const auto one = EarliestArrivalWithTrips(tt, 5, TSec(28800), 1);
+  EXPECT_EQ(one[0], TSec(36000));            // Reachable staying on trip 1.
+  EXPECT_EQ(one[6], TSec(43200));            // Trip 1 continues to 6.
+  EXPECT_EQ(one[3], EventTime::Infinity());  // Needs a transfer.
+  const auto two = EarliestArrivalWithTrips(tt, 5, TSec(28800), 2);
+  EXPECT_EQ(two[3], TSec(39600));
+  const auto zero = EarliestArrivalWithTrips(tt, 5, TSec(28800), 0);
+  EXPECT_EQ(zero[0], EventTime::Infinity());
+  EXPECT_EQ(zero[5], TSec(28800));
 }
 
 TEST(TransferLimitTest, ConvergesToUnrestrictedEa) {
@@ -232,8 +235,8 @@ TEST(TransferLimitTest, ConvergesToUnrestrictedEa) {
   Rng rng(8);
   for (int trial = 0; trial < 15; ++trial) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto unrestricted = EarliestArrivalScan(tt, s, t);
     const auto budget = EarliestArrivalWithTrips(tt, s, t, 64);
     EXPECT_EQ(budget, unrestricted);
@@ -250,19 +253,19 @@ TEST(TransferLimitTest, ConvergesToUnrestrictedEa) {
 TEST(JourneyTest, ReconstructsExamplePath) {
   const Timetable tt = MakeExampleTimetable();
   // 5 -> 3 at 28800: trip 1 to stop 0 (arr 36000), then trip 4 to 3.
-  const auto journey = FindEarliestJourney(tt, 5, 3, 28800);
+  const auto journey = FindEarliestJourney(tt, 5, 3, TSec(28800));
   ASSERT_EQ(journey.size(), 3u);
   EXPECT_EQ(tt.connection(journey[0]).from, 5u);
   EXPECT_EQ(tt.connection(journey[1]).from, 1u);
   EXPECT_EQ(tt.connection(journey[2]).from, 0u);
   EXPECT_EQ(tt.connection(journey[2]).to, 3u);
-  EXPECT_EQ(tt.connection(journey[2]).arr, 39600);
+  EXPECT_EQ(tt.connection(journey[2]).arr, TSec(39600));
 }
 
 TEST(JourneyTest, EmptyWhenUnreachable) {
   const Timetable tt = MakeExampleTimetable();
-  EXPECT_TRUE(FindEarliestJourney(tt, 5, 3, 28801).empty());
-  EXPECT_TRUE(FindEarliestJourney(tt, 5, 5, 0).empty());
+  EXPECT_TRUE(FindEarliestJourney(tt, 5, 3, TSec(28801)).empty());
+  EXPECT_TRUE(FindEarliestJourney(tt, 5, 5, TSec(0)).empty());
 }
 
 TEST(JourneyTest, JourneyIsConsistentOnRandomCities) {
@@ -272,11 +275,11 @@ TEST(JourneyTest, JourneyIsConsistentOnRandomCities) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
-    const Timestamp ea = EarliestArrival(tt, s, g, t);
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
+    const EventTime ea = EarliestArrival(tt, s, g, t);
     const auto journey = FindEarliestJourney(tt, s, g, t);
-    if (ea == kInfinityTime) {
+    if (ea == EventTime::Infinity()) {
       EXPECT_TRUE(journey.empty());
       continue;
     }

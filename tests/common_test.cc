@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/time_util.h"
+#include "test_time.h"
 
 namespace ptldb {
 namespace {
@@ -55,26 +56,53 @@ TEST(ResultTest, HoldsError) {
 }
 
 TEST(TimeTest, FormatsTimestamps) {
-  EXPECT_EQ(FormatTime(0), "00:00:00");
-  EXPECT_EQ(FormatTime(36000), "10:00:00");
-  EXPECT_EQ(FormatTime(93784), "26:03:04");
-  EXPECT_EQ(FormatTime(kInfinityTime), "--:--:--");
-  EXPECT_EQ(FormatTime(kNegInfinityTime), "--:--:--");
+  EXPECT_EQ(FormatTime(TSec(0)), "00:00:00");
+  EXPECT_EQ(FormatTime(TSec(36000)), "10:00:00");
+  EXPECT_EQ(FormatTime(TSec(93784)), "26:03:04");
+  EXPECT_EQ(FormatTime(EventTime::Infinity()), "--:--:--");
+  EXPECT_EQ(FormatTime(EventTime::NegInfinity()), "--:--:--");
 }
 
 TEST(TimeTest, ParsesGtfsTimes) {
-  EXPECT_EQ(ParseGtfsTime("00:00:00"), 0);
-  EXPECT_EQ(ParseGtfsTime("10:30:15"), 37815);
-  EXPECT_EQ(ParseGtfsTime("26:00:00"), 93600);  // Past-midnight trips.
-  EXPECT_EQ(ParseGtfsTime("garbage"), kInvalidTime);
-  EXPECT_EQ(ParseGtfsTime("10:99:00"), kInvalidTime);
+  EXPECT_EQ(ParseGtfsTime("00:00:00"), TSec(0));
+  EXPECT_EQ(ParseGtfsTime("10:30:15"), TSec(37815));
+  EXPECT_EQ(ParseGtfsTime("26:00:00"), TSec(93600));  // Past-midnight trips.
+  EXPECT_EQ(ParseGtfsTime("garbage"), EventTime::Invalid());
+  EXPECT_EQ(ParseGtfsTime("10:99:00"), EventTime::Invalid());
 }
 
 TEST(TimeTest, HourBucketsMatchSqlFloor) {
-  EXPECT_EQ(HourOf(0), 0);
-  EXPECT_EQ(HourOf(3599), 0);
-  EXPECT_EQ(HourOf(3600), 1);
-  EXPECT_EQ(HourOf(36000), 10);
+  EXPECT_EQ(HourOf(TSec(0)), 0);
+  EXPECT_EQ(HourOf(TSec(3599)), 0);
+  EXPECT_EQ(HourOf(TSec(3600)), 1);
+  EXPECT_EQ(HourOf(TSec(36000)), 10);
+}
+
+TEST(TimeTest, TypedAlgebraAndNarrowing) {
+  // Affine algebra keeps the domains apart.
+  EXPECT_EQ(TSec(10) - TSec(4), DSec(6));
+  EXPECT_EQ(TSec(10) + DSec(5), TSec(15));
+  EXPECT_EQ(TSec(10) - DSec(5), TSec(5));
+  EXPECT_EQ(DSec(3) * 4, DSec(12));
+
+  // Data narrowing is exact inside the stored range.
+  EXPECT_EQ(ToStoredTime(TSec(93784)), 93784);
+  EXPECT_EQ(ToStoredTime(EventTime::Infinity()), kInfinityTime);
+  EXPECT_EQ(ToStoredSeconds(Duration::Infinity()), kInfinityTime);
+
+  // Predicate bounds saturate instead of faulting.
+  EXPECT_EQ(SaturatingToStoredTime(TSec(int64_t{1} << 40)), kInfinityTime);
+  EXPECT_EQ(SaturatingToStoredTime(TSec(-(int64_t{1} << 40))),
+            kNegInfinityTime);
+
+  // Bucket math: floor-toward-zero like the paper's SQL, 64-bit edges.
+  EXPECT_EQ(TimeBucket(TSec(7199), kHourBucket), 1);
+  EXPECT_EQ(StoredBucketOf(7200, kHourBucket), 2);
+  EXPECT_EQ(CheckedBucketOf(TSec(7200), kHourBucket), 2);
+  EXPECT_EQ(SaturatingBucketOf(TSec(int64_t{1} << 40), DSec(1)),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(BucketStart(597, DSec(3'600'000)),
+            TSec(int64_t{597} * 3'600'000));
 }
 
 TEST(RngTest, DeterministicForSeed) {

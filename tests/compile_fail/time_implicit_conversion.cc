@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a bare integer is not an EventTime. The typed time
+// algebra (common/time_types.h) makes construction explicit so a seconds
+// count can never silently flow into a time-typed slot — the implicit
+// int-everywhere regime is what allowed the stored/compute width mixups.
+#include "common/time_types.h"
+
+ptldb::EventTime F() {
+  ptldb::EventTime t = 36000;  // error: constructor is explicit
+  return t;
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: EventTime and Duration are distinct types; comparing
+// a point in time against a span (or assigning one to the other) is a
+// category error the old int-everywhere code could not catch.
+#include "common/time_types.h"
+
+bool F(ptldb::EventTime t, ptldb::Duration d) {
+  return t < d;  // error: no operator<(EventTime, Duration)
+}

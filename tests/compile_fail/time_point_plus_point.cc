@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: the time algebra is affine. Adding two points in time
+// is meaningless (what is 08:00 + 09:00?); only point+duration,
+// point-point (= duration) and duration arithmetic exist. The operator
+// set in common/time_types.h deliberately omits EventTime + EventTime.
+#include "common/time_types.h"
+
+ptldb::EventTime F(ptldb::EventTime a, ptldb::EventTime b) {
+  return a + b;  // error: no operator+(EventTime, EventTime)
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: an EventTime does not convert to the 32-bit stored
+// width, implicitly or via static_cast — there is no conversion operator.
+// Narrowing goes through the checked boundary functions (ToStoredTime,
+// SaturatingToStoredTime), which fault or saturate instead of truncating.
+#include <cstdint>
+
+#include "common/time_types.h"
+
+int32_t F(ptldb::EventTime t) {
+  return static_cast<int32_t>(t);  // error: no conversion to int32_t
+}

@@ -162,7 +162,7 @@ TEST(FacadeConcurrencyTest, TinyPoolConcurrentQueriesMatchSerialAnswers) {
   struct Query {
     StopId s;
     StopId g;
-    Timestamp t;
+    EventTime t;
     uint32_t k;
   };
   const auto schedule = [&](uint32_t tid) {
@@ -171,15 +171,16 @@ TEST(FacadeConcurrencyTest, TinyPoolConcurrentQueriesMatchSerialAnswers) {
     for (int i = 0; i < 60; ++i) {
       qs.push_back({static_cast<StopId>(rng.NextBelow(tt->num_stops())),
                     static_cast<StopId>(rng.NextBelow(tt->num_stops())),
-                    static_cast<Timestamp>(rng.NextInRange(
-                        tt->min_time(), tt->max_time())),
+                    EventTime::FromSeconds(
+                        rng.NextInRange(tt->min_time().raw_seconds(),
+                                        tt->max_time().raw_seconds())),
                     static_cast<uint32_t>(rng.NextInRange(1, 8))});
     }
     return qs;
   };
 
   // Serial pass records the expected answers...
-  std::vector<std::vector<Timestamp>> want_ea(kThreads);
+  std::vector<std::vector<EventTime>> want_ea(kThreads);
   std::vector<std::vector<std::vector<StopTimeResult>>> want_knn(kThreads);
   for (uint32_t tid = 0; tid < kThreads; ++tid) {
     for (const Query& q : schedule(tid)) {

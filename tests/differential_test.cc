@@ -31,6 +31,8 @@
 #include "timetable/generator.h"
 #include "ttl/builder.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -72,7 +74,7 @@ struct Network {
   TtlIndex index;
   std::vector<StopId> targets;
   /// Distinct departure/arrival times, for boundary-biased timestamps.
-  std::vector<Timestamp> events;
+  std::vector<EventTime> events;
 };
 
 Network MakeNetwork(uint64_t seed) {
@@ -119,14 +121,14 @@ Network MakeNetwork(uint64_t seed) {
 /// one second to either side) instead of uniformly inside the window:
 /// exact-equality boundaries in the label binary searches and the bucket
 /// tables only get exercised when t collides with an event.
-Timestamp RandomTime(Rng* rng, const Network& net) {
+EventTime RandomTime(Rng* rng, const Network& net) {
   if (rng->NextBelow(2) == 0) {
-    const Timestamp base = net.events[rng->NextBelow(
+    const EventTime base = net.events[rng->NextBelow(
         static_cast<uint64_t>(net.events.size()))];
-    return static_cast<Timestamp>(base + rng->NextBelow(3)) - 1;
+    return base + DSec(static_cast<int64_t>(rng->NextBelow(3))) - DSec(1);
   }
-  return static_cast<Timestamp>(
-      rng->NextInRange(net.tt.min_time(), net.tt.max_time()));
+  return TSec(rng->NextInRange(net.tt.min_time().raw_seconds(),
+                               net.tt.max_time().raw_seconds()));
 }
 
 // Fresh in-memory database over `index` with one target set named "T".
@@ -154,20 +156,24 @@ std::unique_ptr<PtldbDatabase> MakeDb(const TtlIndex& index,
 
 std::optional<std::string> CheckV2v(PtldbDatabase* db, const Timetable& tt,
                                     const char* type, StopId s, StopId g,
-                                    Timestamp t, Timestamp t_end) {
-  Result<Timestamp> got = Status::Ok();
-  Timestamp want = 0;
-  if (std::string(type) == "EA") {
-    got = db->EarliestArrival(s, g, t);
-    want = EarliestArrival(tt, s, g, t);
-  } else if (std::string(type) == "LD") {
-    got = db->LatestDeparture(s, g, t);
-    want = LatestDeparture(tt, s, g, t);
-  } else {
-    got = db->ShortestDuration(s, g, t, t_end);
-    want = ShortestDuration(tt, s, g, t, t_end);
+                                    EventTime t, EventTime t_end) {
+  if (std::string(type) == "SD") {
+    const Result<Duration> got = db->ShortestDuration(s, g, t, t_end);
+    if (!got.ok()) return "query error: " + got.status().ToString();
+    const Duration want = ShortestDuration(tt, s, g, t, t_end);
+    if (*got != want) {
+      std::ostringstream ss;
+      ss << "got " << *got << ", csa oracle " << want;
+      return ss.str();
+    }
+    return std::nullopt;
   }
+  const bool ea = std::string(type) == "EA";
+  const Result<EventTime> got =
+      ea ? db->EarliestArrival(s, g, t) : db->LatestDeparture(s, g, t);
   if (!got.ok()) return "query error: " + got.status().ToString();
+  const EventTime want =
+      ea ? EarliestArrival(tt, s, g, t) : LatestDeparture(tt, s, g, t);
   if (*got != want) {
     std::ostringstream ss;
     ss << "got " << *got << ", csa oracle " << want;
@@ -182,7 +188,7 @@ std::optional<std::string> CheckV2v(PtldbDatabase* db, const Timetable& tt,
 std::optional<std::string> ValidateKnn(
     const std::vector<StopTimeResult>& got,
     const std::vector<StopTimeResult>& brute_full, uint32_t k) {
-  std::map<StopId, Timestamp> truth;
+  std::map<StopId, EventTime> truth;
   for (const auto& r : brute_full) truth.emplace(r.stop, r.time);
   const size_t expected = std::min<size_t>(k, brute_full.size());
   std::ostringstream ss;
@@ -239,7 +245,7 @@ std::optional<std::string> ValidateOtm(
 std::optional<std::string> CheckSetQuery(const Network& net,
                                          const std::vector<StopId>& targets,
                                          const char* type, StopId q,
-                                         Timestamp t, uint32_t k) {
+                                         EventTime t, uint32_t k) {
   auto db = MakeDb(net.index, targets, kMaxK);
   const std::string type_s = type;
   Result<std::vector<StopTimeResult>> got = std::vector<StopTimeResult>{};
@@ -276,7 +282,7 @@ std::string FormatTargets(const std::vector<StopId>& targets) {
 // Greedy shrink of a failing set-query case: drop targets one at a time and
 // lower k while the mismatch persists. Returns the minimal repro line.
 std::string ShrinkSetCase(const Network& net, uint64_t seed, const char* type,
-                          StopId q, Timestamp t, uint32_t k,
+                          StopId q, EventTime t, uint32_t k,
                           std::vector<StopId> targets, std::string detail) {
   bool progress = true;
   while (progress && targets.size() > 1) {
@@ -308,7 +314,7 @@ std::string ShrinkSetCase(const Network& net, uint64_t seed, const char* type,
 }
 
 std::string FormatV2vCase(uint64_t seed, const char* type, StopId s, StopId g,
-                          Timestamp t, Timestamp t_end,
+                          EventTime t, EventTime t_end,
                           const std::string& detail) {
   std::ostringstream ss;
   ss << "minimal failing repro: seed=" << seed << " query=" << type
@@ -325,8 +331,8 @@ TEST(DifferentialTest, AllQueryTypesMatchOraclesOnRandomNetworks) {
     const Network net = MakeNetwork(seed);
     auto db = MakeDb(net.index, net.targets, kMaxK);
     Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
-    const Timestamp lo = net.tt.min_time();
-    const Timestamp hi = net.tt.max_time();
+    const EventTime lo = net.tt.min_time();
+    const EventTime hi = net.tt.max_time();
 
     for (int trial = 0; trial < 12 && failures < kMaxReportedFailures;
          ++trial) {
@@ -334,9 +340,9 @@ TEST(DifferentialTest, AllQueryTypesMatchOraclesOnRandomNetworks) {
       StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       if (g == s) g = (g + 1) % net.tt.num_stops();
-      const Timestamp t = RandomTime(&rng, net);
-      const auto t_end = static_cast<Timestamp>(
-          std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
+      const EventTime t = RandomTime(&rng, net);
+      const auto t_end = std::max(
+          t, TSec(rng.NextInRange(lo.raw_seconds(), hi.raw_seconds())));
       for (const char* type : {"EA", "LD", "SD"}) {
         if (auto bad = CheckV2v(db.get(), net.tt, type, s, g, t, t_end)) {
           ADD_FAILURE() << FormatV2vCase(seed, type, s, g, t, t_end, *bad);
@@ -351,7 +357,7 @@ TEST(DifferentialTest, AllQueryTypesMatchOraclesOnRandomNetworks) {
       // "stay put" semantics (EA reports t, LD reports t_end) that the
       // brute oracles implement identically.
       const StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      const Timestamp t = RandomTime(&rng, net);
+      const EventTime t = RandomTime(&rng, net);
       const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
       for (const char* type : {"EA-kNN", "LD-kNN", "EA-OTM", "LD-OTM"}) {
         const bool knn = type[3] == 'k';
@@ -395,7 +401,7 @@ TEST(DifferentialTest, NaiveKnnPlansMatchOracles) {
     Rng rng(seed * 0x2545F4914F6CDD1DULL + 3);
     for (int trial = 0; trial < 6; ++trial) {
       const StopId q = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
-      const Timestamp t = RandomTime(&rng, net);
+      const EventTime t = RandomTime(&rng, net);
       const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
       const auto ea_brute = BruteEaOneToMany(net.tt, q, net.targets, t);
       const auto ld_brute = BruteLdOneToMany(net.tt, q, net.targets, t);
@@ -428,15 +434,15 @@ TEST(DifferentialTest, CompressedLabelTierMatchesRawPath) {
     ASSERT_NE(comp->label_store(), nullptr);
     ASSERT_EQ(raw->label_store(), nullptr);
     Rng rng(seed * 0x9e3779b97f4a7c15ULL + 77);
-    const Timestamp lo = net.tt.min_time();
-    const Timestamp hi = net.tt.max_time();
+    const EventTime lo = net.tt.min_time();
+    const EventTime hi = net.tt.max_time();
     for (int trial = 0; trial < 8; ++trial) {
       StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
       if (g == s) g = (g + 1) % net.tt.num_stops();
-      const Timestamp t = RandomTime(&rng, net);
-      const auto t_end = static_cast<Timestamp>(
-          std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
+      const EventTime t = RandomTime(&rng, net);
+      const auto t_end = std::max(
+          t, TSec(rng.NextInRange(lo.raw_seconds(), hi.raw_seconds())));
       const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
 
       const auto ea_r = raw->EarliestArrival(s, g, t);
@@ -500,8 +506,8 @@ TEST(DifferentialTest, VmMatchesInterpreterPath) {
     for (const bool compressed : {false, true}) {
       auto db = MakeDbWith(net.index, net.targets, kMaxK, compressed);
       Rng rng(seed * 0x9e3779b97f4a7c15ULL + 101);
-      const Timestamp lo = net.tt.min_time();
-      const Timestamp hi = net.tt.max_time();
+      const EventTime lo = net.tt.min_time();
+      const EventTime hi = net.tt.max_time();
       const auto vm_steps = [&db] {
         return db->metrics()->Snapshot().counters.at("exec.vm_steps");
       };
@@ -509,9 +515,9 @@ TEST(DifferentialTest, VmMatchesInterpreterPath) {
         StopId s = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
         StopId g = static_cast<StopId>(rng.NextBelow(net.tt.num_stops()));
         if (g == s) g = (g + 1) % net.tt.num_stops();
-        const Timestamp t = RandomTime(&rng, net);
-        const auto t_end = static_cast<Timestamp>(
-            std::max(t, static_cast<Timestamp>(rng.NextInRange(lo, hi))));
+        const EventTime t = RandomTime(&rng, net);
+        const auto t_end = std::max(
+            t, TSec(rng.NextInRange(lo.raw_seconds(), hi.raw_seconds())));
         const auto k = static_cast<uint32_t>(rng.NextInRange(1, kMaxK));
 
         const uint64_t steps_before = vm_steps();

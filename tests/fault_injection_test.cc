@@ -12,6 +12,8 @@
 #include "timetable/generator.h"
 #include "ttl/builder.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -33,7 +35,7 @@ struct GroundTruth {
 void CheckKnn(const std::vector<StopTimeResult>& got,
               const std::vector<StopTimeResult>& brute_full, uint32_t k,
               const char* what, uint64_t seed) {
-  std::map<StopId, Timestamp> truth;
+  std::map<StopId, EventTime> truth;
   for (const auto& r : brute_full) truth.emplace(r.stop, r.time);
   const size_t expected = std::min<size_t>(k, brute_full.size());
   ASSERT_EQ(got.size(), expected) << what << " seed " << seed;
@@ -129,13 +131,13 @@ TEST_F(FaultSoakTest, NoCrashesNoWrongAnswersAcrossSeeds) {
       }
       auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
       if (g == q) g = (g + 1) % tt.num_stops();
-      const auto t = static_cast<Timestamp>(
-          rng.NextInRange(tt.min_time(), tt.max_time()));
-      const auto t_end =
-          static_cast<Timestamp>(rng.NextInRange(t, tt.max_time()));
+      const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                          tt.max_time().raw_seconds()));
+      const auto t_end = TSec(
+          rng.NextInRange(t.raw_seconds(), tt.max_time().raw_seconds()));
 
-      const auto check_scalar = [&](const Result<Timestamp>& got,
-                                    Timestamp want, const char* what) {
+      const auto check_scalar = [&](const auto& got, auto want,
+                                    const char* what) {
         if (got.ok()) {
           ASSERT_EQ(*got, want) << what << " seed " << seed;
           ++ok_answers;
@@ -214,8 +216,8 @@ TEST_F(FaultSoakTest, NoCrashesNoWrongAnswersAcrossSeeds) {
     }
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == q) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto ea = (*db)->EarliestArrival(q, g, t);
     ASSERT_TRUE(ea.ok()) << ea.status().ToString();
     EXPECT_EQ(*ea, EarliestArrival(tt, q, g, t));
@@ -251,8 +253,8 @@ TEST_F(FaultSoakTest, RecoversAfterDeviceHeals) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto ea = (*db)->EarliestArrival(s, g, t);
     if (ea.ok()) EXPECT_EQ(*ea, EarliestArrival(tt, s, g, t));
   }
@@ -264,8 +266,8 @@ TEST_F(FaultSoakTest, RecoversAfterDeviceHeals) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto ea = (*db)->EarliestArrival(s, g, t);
     ASSERT_TRUE(ea.ok()) << ea.status().ToString();
     EXPECT_EQ(*ea, EarliestArrival(tt, s, g, t));

@@ -2,6 +2,8 @@
 
 #include "timetable/generator.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -78,7 +80,7 @@ TEST(GeneratorTest, EventsRespectServiceWindow) {
   EXPECT_GE(tt->min_time(), opts.service_start);
   // Trips departing before service_end may run past it; a route traversal
   // is bounded by max_route_len hops.
-  EXPECT_LT(tt->max_time(), opts.service_end + 4 * 3600);
+  EXPECT_LT(tt->max_time(), opts.service_end + DSec(4 * 3600));
 }
 
 // A service window pushed against INT32_MAX: before the 64-bit event
@@ -94,14 +96,14 @@ TEST(GeneratorTest, ServiceWindowNearInt32MaxDoesNotOverflow) {
   o.min_route_len = 3;
   o.max_route_len = 6;
   o.seed = 11;
-  o.service_start = kInfinityTime - 2 * 3600;
-  o.service_end = kInfinityTime - 1;
+  o.service_start = EventTime::Infinity() - DSec(2 * 3600);
+  o.service_end = EventTime::Infinity() - DSec(1);
   const auto tt = GenerateNetwork(o);
   ASSERT_TRUE(tt.ok()) << tt.status().ToString();
   EXPECT_GT(tt->num_connections(), 0u);
   for (const Connection& c : tt->connections()) {
     EXPECT_LT(c.dep, c.arr);
-    EXPECT_LT(c.arr, kInfinityTime);
+    EXPECT_LT(c.arr, EventTime::Infinity());
     EXPECT_GE(c.dep, o.service_start);
   }
 }
@@ -117,7 +119,7 @@ TEST(GeneratorTest, RejectsBadOptions) {
   o.service_end = o.service_start;
   EXPECT_FALSE(GenerateNetwork(o).ok());
   o = SmallOptions();
-  o.peak_headway = 0;
+  o.peak_headway = Duration::Zero();
   EXPECT_FALSE(GenerateNetwork(o).ok());
 }
 

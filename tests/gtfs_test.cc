@@ -8,6 +8,8 @@
 #include "timetable/gtfs.h"
 #include "timetable/gtfs_writer.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -73,14 +75,14 @@ TEST_F(GtfsTest, LoadsWeekdayService) {
   const Connection& first = feed->timetable.connection(0);
   EXPECT_EQ(first.from, a);
   EXPECT_EQ(first.to, b);
-  EXPECT_EQ(first.dep, 8 * 3600);
-  EXPECT_EQ(first.arr, 8 * 3600 + 600);
+  EXPECT_EQ(first.dep, TSec(8 * 3600));
+  EXPECT_EQ(first.arr, TSec(8 * 3600 + 600));
   const Connection& second = feed->timetable.connection(1);
   EXPECT_EQ(second.from, b);
   EXPECT_EQ(second.to, c);
   // Departure uses the dwell-adjusted departure_time of the middle stop.
-  EXPECT_EQ(second.dep, 8 * 3600 + 660);
-  EXPECT_EQ(second.arr, 8 * 3600 + 1200);
+  EXPECT_EQ(second.dep, TSec(8 * 3600 + 660));
+  EXPECT_EQ(second.arr, TSec(8 * 3600 + 1200));
   EXPECT_EQ(feed->timetable.stop(a).name, "Alpha, Central");
 }
 
@@ -113,7 +115,7 @@ TEST_F(GtfsTest, ExpandsFrequencies) {
   ASSERT_TRUE(feed.ok());
   EXPECT_EQ(feed->timetable.num_trips(), 4u);
   EXPECT_EQ(feed->timetable.num_connections(), 8u);
-  EXPECT_EQ(feed->timetable.connection(0).dep, 6 * 3600);
+  EXPECT_EQ(feed->timetable.connection(0).dep, TSec(6 * 3600));
 }
 
 TEST_F(GtfsTest, DropsNonPositiveDurationsWhenAsked) {
@@ -212,7 +214,7 @@ TEST_F(GtfsTest, MissingOptionalColumnsTolerated) {
   EXPECT_EQ(feed->timetable.stop(a).lat, 0.0);
   ASSERT_EQ(feed->timetable.num_connections(), 2u);
   // Without departure_time the middle stop has no dwell: dep == arrival.
-  EXPECT_EQ(feed->timetable.connection(1).dep, 8 * 3600 + 600);
+  EXPECT_EQ(feed->timetable.connection(1).dep, TSec(8 * 3600 + 600));
 }
 
 TEST_F(GtfsTest, OvernightTripsPastMidnight) {
@@ -228,11 +230,11 @@ TEST_F(GtfsTest, OvernightTripsPastMidnight) {
   ASSERT_TRUE(feed.ok()) << feed.status().ToString();
   ASSERT_EQ(feed->timetable.num_connections(), 2u);
   const Connection& first = feed->timetable.connection(0);
-  EXPECT_EQ(first.dep, 23 * 3600 + 50 * 60);
-  EXPECT_EQ(first.arr, 24 * 3600 + 10 * 60);
+  EXPECT_EQ(first.dep, TSec(23 * 3600 + 50 * 60));
+  EXPECT_EQ(first.arr, TSec(24 * 3600 + 10 * 60));
   const Connection& second = feed->timetable.connection(1);
-  EXPECT_EQ(second.dep, 24 * 3600 + 12 * 60);
-  EXPECT_EQ(second.arr, 25 * 3600 + 30 * 60);
+  EXPECT_EQ(second.dep, TSec(24 * 3600 + 12 * 60));
+  EXPECT_EQ(second.arr, TSec(25 * 3600 + 30 * 60));
   EXPECT_EQ(feed->dropped_connections, 0u);
 }
 
@@ -324,7 +326,7 @@ TEST_F(GtfsTest, WriterRoundTripPreservesConnections) {
   ASSERT_EQ(feed->timetable.num_connections(), original.num_connections());
   // Trip ids may differ (branching trips are split into linear GTFS trips);
   // compare the connection multiset modulo trip ids, mapping stop ids back.
-  using Key = std::tuple<StopId, StopId, Timestamp, Timestamp>;
+  using Key = std::tuple<StopId, StopId, EventTime, EventTime>;
   std::map<Key, int> want;
   std::map<Key, int> got;
   for (const Connection& c : original.connections()) {

@@ -370,8 +370,8 @@ TEST(LabelStoreTest, MatchesTheIndexItWasBuiltFrom) {
       ASSERT_EQ(view->size(), tuples.size()) << "stop " << v;
       for (size_t i = 0; i < tuples.size(); ++i) {
         EXPECT_EQ(view->hubs[i], static_cast<int32_t>(tuples[i].hub));
-        EXPECT_EQ(view->tds[i], tuples[i].td);
-        EXPECT_EQ(view->tas[i], tuples[i].ta);
+        EXPECT_EQ(FromStoredTime(view->tds[i]), tuples[i].td);
+        EXPECT_EQ(FromStoredTime(view->tas[i]), tuples[i].ta);
       }
     }
   }

@@ -1,0 +1,30 @@
+// Seeded checkpoint violation: a merge kernel whose scan loop can run for
+// an unbounded number of label rows without ever consulting the query
+// deadline. This is the bug class that let a single huge V2V merge blow
+// through its budget before the overload controller could shed it.
+#ifndef FIXTURE_LABEL_MERGE_H_
+#define FIXTURE_LABEL_MERGE_H_
+
+namespace ptldb {
+
+inline Status UncheckedMergeScan(const LabelRowView& outp,
+                                 const LabelRowView& inp) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < outp.size && j < inp.size) {  // finding: checkpoint
+    if (outp.hubs[i] < inp.hubs[j]) {
+      ++i;
+    } else if (inp.hubs[j] < outp.hubs[i]) {
+      ++j;
+    } else {
+      FoldGroup(outp, inp, i, j);
+      ++i;
+      ++j;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ptldb
+
+#endif  // FIXTURE_LABEL_MERGE_H_

@@ -1,0 +1,55 @@
+// The three ways a kernel loop legitimately satisfies the checkpoint
+// check: a direct checkpoint call, transitive reach through a helper
+// (including a call in the loop HEADER, the pull-based operator shape),
+// and a structurally bounded loop carrying the annotation.
+#ifndef FIXTURE_LABEL_MERGE_OK_H_
+#define FIXTURE_LABEL_MERGE_OK_H_
+
+namespace ptldb {
+
+inline Status CheckpointedHelper() { return CheckQueryCheckpoint(); }
+
+inline Status DirectlyCheckpointed(const LabelRowView& v) {
+  size_t i = 0;
+  while (i < v.size) {
+    PTLDB_RETURN_IF_ERROR(CheckQueryCheckpoint());
+    ++i;
+  }
+  return Status::Ok();
+}
+
+inline Status TransitivelyCheckpointed(const LabelRowView& v) {
+  size_t i = 0;
+  while (i < v.size) {
+    PTLDB_RETURN_IF_ERROR(CheckpointedHelper());
+    ++i;
+  }
+  return Status::Ok();
+}
+
+inline Status CheckpointInHeader(Cursor* cursor) {
+  while (auto row = cursor->NextCheckpointed()) {
+    Consume(*row);
+  }
+  return Status::Ok();
+}
+
+inline Status NextCheckpointed() { return CheckpointedHelper(); }
+
+inline size_t BoundedBinarySearch(const LabelRowView& v, size_t lo,
+                                  size_t hi, int32_t t) {
+  // analyzer: bounded(binary search: O(log n) over one Pareto group)
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (v.tds[mid] >= t) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ptldb
+
+#endif  // FIXTURE_LABEL_MERGE_OK_H_

@@ -1,0 +1,38 @@
+// Seeded PageGuard escapes: every way a pinned page's raw pointer can
+// outlive its pin. Each recreates the use-after-evict bug the guards
+// were introduced to kill.
+#include "engine/buffer_pool.h"
+
+namespace ptldb {
+
+const Page* ReturnsRawFromGuard(BufferPool* pool, PageId id) {
+  PageGuard guard = pool->FetchOrDie(id);
+  return guard.get();  // finding: guard-escape (pin dies with the frame)
+}
+
+const Page* ReturnsNamedPointer(BufferPool* pool, PageId id) {
+  PageGuard guard = pool->FetchOrDie(id);
+  const Page* page = guard.get();
+  return page;  // finding: guard-escape
+}
+
+class PageCache {
+ public:
+  void Remember(BufferPool* pool, PageId id) {
+    PageGuard guard = pool->FetchOrDie(id);
+    const Page* page = guard.get();
+    cached_ = page;  // finding: guard-escape (member outlives the pin)
+  }
+
+  void Stash(BufferPool* pool, PageId id) {
+    PageGuard guard = pool->FetchOrDie(id);
+    const Page* page = guard.get();
+    pages_.push_back(page);  // finding: guard-escape (container)
+  }
+
+ private:
+  const Page* cached_ = nullptr;
+  std::vector<const Page*> pages_;
+};
+
+}  // namespace ptldb

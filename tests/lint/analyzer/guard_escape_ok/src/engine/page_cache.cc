@@ -1,0 +1,23 @@
+// Legal PageGuard use: the raw pointer never outlives the guard's frame,
+// and ownership transfers move the guard itself.
+#include "engine/buffer_pool.h"
+
+namespace ptldb {
+
+int32_t ReadWithinFrame(BufferPool* pool, PageId id) {
+  PageGuard guard = pool->FetchOrDie(id);
+  const Page* page = guard.get();  // local use only: clean.
+  return DecodeHeader(page);
+}
+
+PageGuard ReturnTheGuard(BufferPool* pool, PageId id) {
+  PageGuard guard = pool->FetchOrDie(id);
+  return guard;  // moving the pin out is the sanctioned escape.
+}
+
+int32_t ArrowAccess(BufferPool* pool, PageId id) {
+  PageGuard guard = pool->FetchOrDie(id);
+  return guard->header.page_type;  // accessor use: clean.
+}
+
+}  // namespace ptldb

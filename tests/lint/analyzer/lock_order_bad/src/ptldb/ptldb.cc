@@ -1,0 +1,31 @@
+// Seeded lock-order inversions against the ranked hierarchy
+// sets_mu_ (0) -> shard latch (1) -> device mu_ (2). Acquisition must
+// descend; each function below climbs back up while still holding a
+// lower rung — a deadlock the moment another thread descends normally.
+#include "ptldb/ptldb.h"
+
+namespace ptldb {
+
+void DirectInversion(Shard& shard) {
+  MutexLock latch(shard.mu);      // rank 1 held...
+  MutexLock lock(sets_mu_);       // finding: lock-order (acquires rank 0)
+  RebuildSets();
+}
+
+void AcquiresSetsMu() {
+  MutexLock lock(sets_mu_);
+  RebuildSets();
+}
+
+void TransitiveInversion(Shard& shard) {
+  MutexLock latch(shard.mu);  // rank 1 held...
+  AcquiresSetsMu();           // finding: lock-order (callee takes rank 0)
+}
+
+void DeviceThenShard(Shard& shard) {
+  MutexLock dev(device_mu_);   // rank 2 held...
+  MutexLock latch(shard.mu);   // finding: lock-order (acquires rank 1)
+  CopyOut(shard);
+}
+
+}  // namespace ptldb

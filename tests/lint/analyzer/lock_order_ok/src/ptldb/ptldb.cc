@@ -1,0 +1,39 @@
+// Legal locking: acquisitions descend the hierarchy, explicit Unlock ends
+// a scope before a sibling acquisition, and leaf mutexes (unranked) are
+// outside the ordering discipline entirely.
+#include "ptldb/ptldb.h"
+
+namespace ptldb {
+
+void DescendingOrder(Shard& shard) {
+  MutexLock lock(sets_mu_);    // rank 0
+  MutexLock latch(shard.mu);   // rank 1: descending, clean.
+  MutexLock dev(device_mu_);   // rank 2: still descending, clean.
+  CopyOut(shard);
+}
+
+void AcquiresDeviceMu() {
+  MutexLock dev(device_mu_);
+  ChargeRead();
+}
+
+void DescendsThroughCallee(Shard& shard) {
+  MutexLock latch(shard.mu);  // rank 1 held...
+  AcquiresDeviceMu();         // callee takes rank 2: descending, clean.
+}
+
+void UnlockEndsScope(Shard& shard) {
+  MutexLock latch(shard.mu);
+  ReadRows(shard);
+  latch.Unlock();             // rank 1 released...
+  MutexLock lock(sets_mu_);   // ...so taking rank 0 now is clean.
+  RebuildSets();
+}
+
+void LeafMutexIgnored() {
+  MutexLock lock(stats_mu_);  // unranked leaf: not part of the hierarchy.
+  MutexLock dev(device_mu_);
+  ChargeRead();
+}
+
+}  // namespace ptldb

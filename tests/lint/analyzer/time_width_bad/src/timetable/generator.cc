@@ -1,0 +1,28 @@
+// Seeded time-width violations. The accumulator below is the exact shape
+// of the pre-typed-time generator event clock: departures near the end of
+// a wide service window walked an int32 past INT32_MAX and wrapped
+// negative. Reverting that fix must re-trip the analyzer here.
+#include "common/time_types.h"
+
+namespace ptldb {
+
+int32_t NarrowingCast(EventTime t) {
+  return static_cast<int32_t>(t.raw_seconds());  // finding: time-width
+}
+
+void NarrowInit(EventTime dep, EventTime arr) {
+  int span = static_cast<int>(arr.raw_seconds() - dep.raw_seconds());
+  (void)span;
+}
+
+void EventClockRevert(EventTime window_start, int headway_seconds,
+                      int n_trips) {
+  // The PR-9 revert shape: a 32-bit time-named accumulator.
+  int32_t clock = 0;
+  for (int i = 0; i < n_trips; ++i) {
+    clock += headway_seconds;  // finding: time-width (accumulator)
+    EmitTrip(window_start, clock);
+  }
+}
+
+}  // namespace ptldb

@@ -1,0 +1,35 @@
+// The blessed idioms the time-width check must NOT flag: int64 compute
+// tier, checked narrowing through the boundary functions, and an explicit
+// NOLINT escape hatch.
+#include "common/time_types.h"
+
+namespace ptldb {
+
+int64_t WideIsFine(EventTime t) {
+  int64_t seconds = t.raw_seconds();  // int64: the compute width.
+  return seconds;
+}
+
+StoredTime CheckedBoundary(EventTime t) {
+  return ToStoredTime(t);  // the sanctioned narrowing path.
+}
+
+void TypedEventClock(EventTime window_start, Duration headway, int n_trips) {
+  EventTime clock = window_start;  // typed accumulator: 64-bit algebra.
+  for (int i = 0; i < n_trips; ++i) {
+    clock += headway;
+    EmitTrip(window_start, clock);
+  }
+}
+
+int32_t Suppressed(EventTime t) {
+  return static_cast<int32_t>(t.raw_seconds());  // NOLINT(time-width)
+}
+
+void NotATimeName(int count) {
+  int32_t rows = 0;  // 32-bit accumulator, but not time-named: clean.
+  for (int i = 0; i < count; ++i) rows += 1;
+  (void)rows;
+}
+
+}  // namespace ptldb

@@ -336,7 +336,7 @@ TEST_F(FacadeMetricsTest, PerTypeCountsAreExactUnderConcurrency) {
       for (uint32_t j = 0; j < kPerThread; ++j) {
         const auto s = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
         const auto g = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
-        const Timestamp t = tt_.min_time();
+        const EventTime t = tt_.min_time();
         (void)db_->EarliestArrival(s, g, t);
         (void)db_->LatestDeparture(s, g, tt_.max_time());
         (void)db_->ShortestDuration(s, g, t, tt_.max_time());

@@ -13,6 +13,8 @@
 #include "pgsql/pg_backend.h"
 #endif
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -149,10 +151,10 @@ TEST_F(PgEquivalenceTest, V2vAnswersMatchEmbeddedEngine) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
     if (g == s) g = (g + 1) % tt_.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt_.min_time(), tt_.max_time()));
+    const auto t = TSec(rng.NextInRange(tt_.min_time().raw_seconds(),
+                                        tt_.max_time().raw_seconds()));
     const auto t_end =
-        static_cast<Timestamp>(rng.NextInRange(t, tt_.max_time()));
+        TSec(rng.NextInRange(t.raw_seconds(), tt_.max_time().raw_seconds()));
 
     const auto pg_ea = pg_->EarliestArrival(s, g, t);
     ASSERT_TRUE(pg_ea.ok()) << pg_ea.status().ToString();
@@ -176,8 +178,8 @@ TEST_F(PgEquivalenceTest, KnnAndOtmAnswersMatchEmbeddedEngine) {
     while (std::find(targets_.begin(), targets_.end(), q) != targets_.end()) {
       q = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
     }
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt_.min_time(), tt_.max_time()));
+    const auto t = TSec(rng.NextInRange(tt_.min_time().raw_seconds(),
+                                        tt_.max_time().raw_seconds()));
     for (uint32_t k : {1u, 2u, 4u}) {
       const auto pg_ea = pg_->EaKnn("poi", q, t, k);
       ASSERT_TRUE(pg_ea.ok()) << pg_ea.status().ToString();
@@ -234,14 +236,14 @@ TEST_F(PgEquivalenceTest, PaperExampleOnRealPostgres) {
   ASSERT_TRUE(pg.ok());
   ASSERT_TRUE((*pg)->MirrorFrom(db->get()).ok());
 
-  const auto ea = (*pg)->EarliestArrival(1, 1, 32400);
+  const auto ea = (*pg)->EarliestArrival(1, 1, TSec(32400));
   ASSERT_TRUE(ea.ok());
-  EXPECT_EQ(*ea, 32400);
+  EXPECT_EQ(*ea, TSec(32400));
 
-  const auto knn = (*pg)->EaKnnNaive("t46", 0, 36000, 1);
+  const auto knn = (*pg)->EaKnnNaive("t46", 0, TSec(36000), 1);
   ASSERT_TRUE(knn.ok()) << knn.status().ToString();
   ASSERT_EQ(knn->size(), 1u);
-  EXPECT_EQ((*knn)[0], (StopTimeResult{4, 39600}));
+  EXPECT_EQ((*knn)[0], (StopTimeResult{4, TSec(39600)}));
 }
 
 TEST_F(PgEquivalenceTest, NaiveConstructionSqlMatchesCppBuilder) {

@@ -4,6 +4,8 @@
 #include "timetable/example_graph.h"
 #include "ttl/builder.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -29,7 +31,8 @@ TEST(SqlWriterDetailTest, LdKnnKeepsBothFeasibilityChecks) {
 
 TEST(SqlWriterDetailTest, EmptyLabelRowsEmitEmptyArrays) {
   LabelSet labels(2);
-  labels.mutable_tuples(1).push_back({0, 10, 20, kInvalidStop, kInvalidTrip});
+  labels.mutable_tuples(1).push_back(
+      {0, TSec(10), TSec(20), kInvalidStop, kInvalidTrip});
   const std::string copy = LabelTableCopy(labels, "lout");
   EXPECT_NE(copy.find("0\t{}\t{}\t{}"), std::string::npos);
   EXPECT_NE(copy.find("1\t{0}\t{10}\t{20}"), std::string::npos);

@@ -17,6 +17,8 @@
 #include "ttl/builder.h"
 #include "ttl/query.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -55,7 +57,7 @@ std::unique_ptr<PtldbDatabase> BuildDb(const TtlIndex& index) {
 void ExpectKnnValid(const std::vector<StopTimeResult>& got,
                     const std::vector<StopTimeResult>& brute_full,
                     uint32_t k, const char* what) {
-  std::map<StopId, Timestamp> truth;
+  std::map<StopId, EventTime> truth;
   for (const auto& r : brute_full) truth.emplace(r.stop, r.time);
   const size_t expected =
       std::min<size_t>(k, brute_full.size());
@@ -93,12 +95,13 @@ class PtldbExampleTest : public testing::Test {
 
 TEST_F(PtldbExampleTest, V2vMatchesPaper) {
   // "the answer to the EA(1, 1, 324) query is 324".
-  EXPECT_EQ(*db_->EarliestArrival(1, 1, 32400), 32400);
-  EXPECT_EQ(*db_->EarliestArrival(5, 6, 28800), 43200);
-  EXPECT_EQ(*db_->LatestDeparture(5, 6, 43200), 28800);
-  EXPECT_EQ(*db_->ShortestDuration(5, 0, 0, 86400), 7200);
-  EXPECT_EQ(*db_->EarliestArrival(5, 0, 28801), kInfinityTime);
-  EXPECT_EQ(*db_->LatestDeparture(6, 5, 43199), kNegInfinityTime);
+  EXPECT_EQ(*db_->EarliestArrival(1, 1, TSec(32400)), TSec(32400));
+  EXPECT_EQ(*db_->EarliestArrival(5, 6, TSec(28800)), TSec(43200));
+  EXPECT_EQ(*db_->LatestDeparture(5, 6, TSec(43200)), TSec(28800));
+  EXPECT_EQ(*db_->ShortestDuration(5, 0, TSec(0), TSec(86400)), DSec(7200));
+  EXPECT_EQ(*db_->EarliestArrival(5, 0, TSec(28801)), EventTime::Infinity());
+  EXPECT_EQ(*db_->LatestDeparture(6, 5, TSec(43199)),
+            EventTime::NegInfinity());
 }
 
 TEST_F(PtldbExampleTest, NaiveTableMatchesTable4) {
@@ -132,45 +135,45 @@ TEST_F(PtldbExampleTest, NaiveTableMatchesTable4) {
 
 TEST_F(PtldbExampleTest, EaKnnMatchesPaperExample) {
   // "the EA-kNN(0, {4,6}, 360, 1) will have the correct answer (4, 396)".
-  const auto naive = db_->EaKnnNaive("t46", 0, 36000, 1);
+  const auto naive = db_->EaKnnNaive("t46", 0, TSec(36000), 1);
   ASSERT_TRUE(naive.ok());
   ASSERT_EQ(naive->size(), 1u);
   EXPECT_EQ((*naive)[0].stop, 4u);
-  EXPECT_EQ((*naive)[0].time, 39600);
+  EXPECT_EQ((*naive)[0].time, TSec(39600));
 
-  const auto optimized = db_->EaKnn("t46", 0, 36000, 1);
+  const auto optimized = db_->EaKnn("t46", 0, TSec(36000), 1);
   ASSERT_TRUE(optimized.ok());
   ASSERT_EQ(optimized->size(), 1u);
   EXPECT_EQ((*optimized)[0].stop, 4u);
-  EXPECT_EQ((*optimized)[0].time, 39600);
+  EXPECT_EQ((*optimized)[0].time, TSec(39600));
 }
 
 TEST_F(PtldbExampleTest, EaOtmReturnsAllTargets) {
-  const auto rows = db_->EaOneToMany("t46", 0, 36000);
+  const auto rows = db_->EaOneToMany("t46", 0, TSec(36000));
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 2u);
-  EXPECT_EQ((*rows)[0], (StopTimeResult{4, 39600}));
-  EXPECT_EQ((*rows)[1], (StopTimeResult{6, 43200}));
+  EXPECT_EQ((*rows)[0], (StopTimeResult{4, TSec(39600)}));
+  EXPECT_EQ((*rows)[1], (StopTimeResult{6, TSec(43200)}));
 }
 
 TEST_F(PtldbExampleTest, LdQueriesOnExample) {
   // Reach {4,6} by end of day from stop 5 (departs 28800 on trip 1).
-  const auto knn = db_->LdKnn("t46", 5, 43200, 2);
+  const auto knn = db_->LdKnn("t46", 5, TSec(43200), 2);
   ASSERT_TRUE(knn.ok());
-  const auto brute = BruteLdOneToMany(tt_, 5, {4, 6}, 43200);
+  const auto brute = BruteLdOneToMany(tt_, 5, {4, 6}, TSec(43200));
   ExpectKnnValid(*knn, brute, 2, "LD-kNN example");
 
-  const auto otm = db_->LdOneToMany("t46", 5, 43200);
+  const auto otm = db_->LdOneToMany("t46", 5, TSec(43200));
   ASSERT_TRUE(otm.ok());
   ASSERT_EQ(otm->size(), brute.size());
   for (size_t i = 0; i < otm->size(); ++i) EXPECT_EQ((*otm)[i], brute[i]);
 }
 
 TEST_F(PtldbExampleTest, ValidatesTargetSetUsage) {
-  EXPECT_FALSE(db_->EaKnn("nope", 0, 0, 1).ok());
-  EXPECT_FALSE(db_->EaKnn("t46", 0, 0, 3).ok());  // k > kmax.
-  EXPECT_FALSE(db_->EaKnn("t46", 0, 0, 0).ok());
-  EXPECT_FALSE(db_->EaOneToMany("nope", 0, 0).ok());
+  EXPECT_FALSE(db_->EaKnn("nope", 0, TSec(0), 1).ok());
+  EXPECT_FALSE(db_->EaKnn("t46", 0, TSec(0), 3).ok());  // k > kmax.
+  EXPECT_FALSE(db_->EaKnn("t46", 0, TSec(0), 0).ok());
+  EXPECT_FALSE(db_->EaOneToMany("nope", 0, TSec(0)).ok());
   EXPECT_FALSE(db_->AddTargetSet("t46", index_, {1}, 2).ok());  // Duplicate.
 }
 
@@ -196,8 +199,8 @@ TEST_P(PtldbSweepTest, AllQueriesMatchGroundTruth) {
   std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), num_targets);
   ASSERT_TRUE(db->AddTargetSet("T", index, targets, param.kmax).ok());
 
-  const Timestamp lo = tt.min_time();
-  const Timestamp hi = tt.max_time();
+  const EventTime lo = tt.min_time();
+  const EventTime hi = tt.max_time();
   for (int trial = 0; trial < 40; ++trial) {
     // Query stops outside the target set (self-queries have label-defined
     // semantics, see README).
@@ -205,7 +208,8 @@ TEST_P(PtldbSweepTest, AllQueriesMatchGroundTruth) {
     while (std::find(targets.begin(), targets.end(), q) != targets.end()) {
       q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     }
-    const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
+    const auto t =
+        TSec(rng.NextInRange(lo.raw_seconds(), hi.raw_seconds()));
 
     // v2v against CSA.
     {
@@ -213,7 +217,8 @@ TEST_P(PtldbSweepTest, AllQueriesMatchGroundTruth) {
       if (g == q) g = (g + 1) % tt.num_stops();
       EXPECT_EQ(*db->EarliestArrival(q, g, t), EarliestArrival(tt, q, g, t));
       EXPECT_EQ(*db->LatestDeparture(q, g, t), LatestDeparture(tt, q, g, t));
-      const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
+      const auto t_end =
+          TSec(rng.NextInRange(t.raw_seconds(), hi.raw_seconds()));
       EXPECT_EQ(*db->ShortestDuration(q, g, t, t_end),
                 ShortestDuration(tt, q, g, t, t_end));
     }
@@ -260,7 +265,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // Section 3.2.1: the hour is a tuning parameter; any bucket width must
 // keep answers exact (only performance changes).
-class PtldbBucketWidthTest : public testing::TestWithParam<Timestamp> {};
+class PtldbBucketWidthTest : public testing::TestWithParam<int32_t> {};
 
 TEST_P(PtldbBucketWidthTest, AnswersIndependentOfBucketWidth) {
   const Timetable tt = SmallCity(77);
@@ -269,14 +274,14 @@ TEST_P(PtldbBucketWidthTest, AnswersIndependentOfBucketWidth) {
   Rng rng(9);
   std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 10);
   ASSERT_TRUE(
-      db->AddTargetSet("T", index, targets, 4, GetParam()).ok());
+      db->AddTargetSet("T", index, targets, 4, DSec(GetParam())).ok());
   for (int trial = 0; trial < 25; ++trial) {
     StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     while (std::find(targets.begin(), targets.end(), q) != targets.end()) {
       q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     }
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto ea = db->EaKnn("T", q, t, 4);
     ASSERT_TRUE(ea.ok());
     ExpectKnnValid(*ea, BruteEaOneToMany(tt, q, targets, t), 4, "EA bucket");
@@ -304,10 +309,10 @@ TEST(PtldbPlanTest, MergePlanMatchesSqlShapedPlan) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto t_end =
-        static_cast<Timestamp>(rng.NextInRange(t, tt.max_time()));
+        TSec(rng.NextInRange(t.raw_seconds(), tt.max_time().raw_seconds()));
     EngineDatabase* engine = db->engine();
     EXPECT_EQ(*QueryV2vEa(engine, s, g, t),
               *QueryV2vEaMergePlan(engine, s, g, t));
@@ -325,21 +330,23 @@ TEST(PtldbEdgeTest, UnreachableStopHasEmptyAnswers) {
   const StopId x = builder.AddStop();
   const StopId y = builder.AddStop();
   const TripId trip = builder.AddTrip();
-  builder.AddConnection(x, y, 100, 200, trip);
+  builder.AddConnection(x, y, TSec(100), TSec(200), trip);
   auto tt = std::move(builder).Build();
   ASSERT_TRUE(tt.ok());
   const TtlIndex index = BuildIndex(*tt);
   auto db = BuildDb(index);
-  EXPECT_EQ(*db->EarliestArrival(x, y, 100), 200);
-  EXPECT_EQ(*db->EarliestArrival(x, y, 101), kInfinityTime);
-  EXPECT_EQ(*db->EarliestArrival(y, x, 0), kInfinityTime);
-  EXPECT_EQ(*db->LatestDeparture(y, x, 99999), kNegInfinityTime);
-  EXPECT_EQ(*db->ShortestDuration(y, x, 0, 99999), kInfinityTime);
+  EXPECT_EQ(*db->EarliestArrival(x, y, TSec(100)), TSec(200));
+  EXPECT_EQ(*db->EarliestArrival(x, y, TSec(101)), EventTime::Infinity());
+  EXPECT_EQ(*db->EarliestArrival(y, x, TSec(0)), EventTime::Infinity());
+  EXPECT_EQ(*db->LatestDeparture(y, x, TSec(99999)),
+            EventTime::NegInfinity());
+  EXPECT_EQ(*db->ShortestDuration(y, x, TSec(0), TSec(99999)),
+            Duration::Infinity());
   ASSERT_TRUE(db->AddTargetSet("T", index, {x}, 2).ok());
-  const auto knn = db->EaKnn("T", y, 0, 1);
+  const auto knn = db->EaKnn("T", y, TSec(0), 1);
   ASSERT_TRUE(knn.ok());
   EXPECT_TRUE(knn->empty());
-  const auto otm = db->LdOneToMany("T", y, 99999);
+  const auto otm = db->LdOneToMany("T", y, TSec(99999));
   ASSERT_TRUE(otm.ok());
   EXPECT_TRUE(otm->empty());
 }
@@ -360,8 +367,8 @@ TEST(PtldbEdgeTest, TinyBufferPoolStillCorrect) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     EXPECT_EQ(*(*constrained)->EarliestArrival(s, g, t),
               *reference->EarliestArrival(s, g, t));
     EXPECT_EQ(*(*constrained)->LatestDeparture(s, g, t),
@@ -388,15 +395,15 @@ TEST(PtldbBucketBoundaryTest, ExampleGraphEventsOnExactHourEdges) {
   const std::vector<StopId> targets = {4, 6};
   ASSERT_TRUE(db->AddTargetSet("T", index, targets, 2).ok());
 
-  std::set<Timestamp> event_times;
+  std::set<EventTime> event_times;
   for (const Connection& c : tt.connections()) {
     event_times.insert(c.dep);
     event_times.insert(c.arr);
   }
-  for (const Timestamp base : event_times) {
-    ASSERT_EQ(base % kSecondsPerHour, 0)
+  for (const EventTime base : event_times) {
+    ASSERT_EQ(base.raw_seconds() % kHourBucket.raw_seconds(), 0)
         << "example graph events must sit on exact hour edges";
-    for (const Timestamp t : {base - 1, base, base + 1}) {
+    for (const EventTime t : {base - DSec(1), base, base + DSec(1)}) {
       for (StopId q = 0; q < tt.num_stops(); ++q) {
         const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
         const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
@@ -421,11 +428,11 @@ TEST(PtldbBucketBoundaryTest, ExampleGraphEventsOnExactHourEdges) {
 // on either side) on a generated city: t / bucket_seconds changes value
 // exactly at these points, so both bucket queries' starting hour and the
 // LD feasibility filter are at their most fragile.
-class PtldbBucketBoundaryWidthTest : public testing::TestWithParam<Timestamp> {
+class PtldbBucketBoundaryWidthTest : public testing::TestWithParam<int32_t> {
 };
 
 TEST_P(PtldbBucketBoundaryWidthTest, QueriesOnExactBucketMultiplesMatchBrute) {
-  const Timestamp bs = GetParam();
+  const Duration bs = DSec(GetParam());
   const Timetable tt = SmallCity(123, /*stops=*/60, /*connections=*/3000);
   const TtlIndex index = BuildIndex(tt);
   auto db = BuildDb(index);
@@ -433,9 +440,9 @@ TEST_P(PtldbBucketBoundaryWidthTest, QueriesOnExactBucketMultiplesMatchBrute) {
   const std::vector<StopId> targets = rng.SampleDistinct(tt.num_stops(), 8);
   ASSERT_TRUE(db->AddTargetSet("T", index, targets, 4, bs).ok());
 
-  for (Timestamp edge = (tt.min_time() / bs) * bs;
+  for (EventTime edge = BucketStart(TimeBucket(tt.min_time(), bs), bs);
        edge <= tt.max_time() + bs; edge += bs) {
-    for (const Timestamp t : {edge - 1, edge, edge + 1}) {
+    for (const EventTime t : {edge - DSec(1), edge, edge + DSec(1)}) {
       for (int qi = 0; qi < 3; ++qi) {
         const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
         const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
@@ -465,7 +472,8 @@ INSTANTIATE_TEST_SUITE_P(Widths, PtldbBucketBoundaryWidthTest,
 // rules are exercised at the same extreme.
 TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
   // 596523 * 3600 = 2147482800 is the last hour edge below INT32_MAX.
-  constexpr Timestamp kTopEdge = 596523 * 3600;
+  constexpr EventTime kTopEdge =
+      EventTime::FromSeconds(int64_t{596523} * 3600);
   TimetableBuilder builder;
   const StopId q = builder.AddStop();
   const StopId m = builder.AddStop();
@@ -475,12 +483,15 @@ TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
   const TripId t1 = builder.AddTrip();
   const TripId t2 = builder.AddTrip();
   // Transfer chain q -> m -> a straddling the last hour edge.
-  builder.AddConnection(q, m, kTopEdge - 7200, kTopEdge - 5400, t0);
-  builder.AddConnection(m, a, kTopEdge - 3600, kTopEdge, t0);
+  builder.AddConnection(q, m, kTopEdge - DSec(7200),
+                        kTopEdge - DSec(5400), t0);
+  builder.AddConnection(m, a, kTopEdge - DSec(3600), kTopEdge, t0);
   // Direct q -> b inside the very last (partial) hour bucket.
-  builder.AddConnection(q, b, kTopEdge, kInfinityTime - 1, t1);
+  builder.AddConnection(q, b, kTopEdge,
+                        EventTime::Infinity() - DSec(1), t1);
   // Early q -> a alternative one bucket down, arriving on the edge.
-  builder.AddConnection(q, a, kTopEdge - 3600, kTopEdge - 1, t2);
+  builder.AddConnection(q, a, kTopEdge - DSec(3600),
+                        kTopEdge - DSec(1), t2);
   auto built = std::move(builder).Build();
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   const Timetable tt = std::move(built).value();
@@ -496,8 +507,9 @@ TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
     auto db = std::move(db_r).value();
     ASSERT_TRUE(db->AddTargetSet("T", index, targets, 2).ok());
 
-    for (const Timestamp base : {kTopEdge - 7200, kTopEdge - 3600, kTopEdge}) {
-      for (const Timestamp t : {base - 1, base, base + 1}) {
+    for (const EventTime base :
+         {kTopEdge - DSec(7200), kTopEdge - DSec(3600), kTopEdge}) {
+      for (const EventTime t : {base - DSec(1), base, base + DSec(1)}) {
         const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
         const auto ea = db->EaKnn("T", q, t, 2);
         ASSERT_TRUE(ea.ok());
@@ -509,8 +521,9 @@ TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
         EXPECT_EQ(*db->EarliestArrival(q, b, t), EarliestArrival(tt, q, b, t));
       }
     }
-    for (const Timestamp base : {kTopEdge - 1, kTopEdge, kInfinityTime - 1}) {
-      for (const Timestamp t_end : {base, base + 1}) {
+    for (const EventTime base :
+         {kTopEdge - DSec(1), kTopEdge, EventTime::Infinity() - DSec(1)}) {
+      for (const EventTime t_end : {base, base + DSec(1)}) {
         const auto ld_full = BruteLdOneToMany(tt, q, targets, t_end);
         const auto ld = db->LdKnn("T", q, t_end, 2);
         ASSERT_TRUE(ld.ok());
@@ -522,8 +535,11 @@ TEST(PtldbBucketBoundaryTest, ServiceTimesNearInt32MaxDoNotOverflow) {
                   LatestDeparture(tt, q, b, t_end));
       }
     }
-    EXPECT_EQ(*db->ShortestDuration(q, a, kTopEdge - 7200, kInfinityTime),
-              ShortestDuration(tt, q, a, kTopEdge - 7200, kInfinityTime));
+    EXPECT_EQ(
+        *db->ShortestDuration(q, a, kTopEdge - DSec(7200),
+                              EventTime::Infinity()),
+        ShortestDuration(tt, q, a, kTopEdge - DSec(7200),
+                         EventTime::Infinity()));
   }
 }
 
@@ -540,8 +556,8 @@ TEST(PtldbEdgeTest, KnnWithKLargerThanTargetSet) {
   ASSERT_TRUE(db->AddTargetSet("T", index, targets, 8).ok());
   for (int trial = 0; trial < 20; ++trial) {
     const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
     const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
     for (const uint32_t k : {6u, 8u}) {  // Both exceed |T| = 5.
@@ -576,8 +592,8 @@ TEST(PtldbEdgeTest, DuplicateTargetsCollapseToSetSemantics) {
   ASSERT_TRUE(db->AddTargetSet("uniq", index, uniq, 8).ok());
   for (int trial = 0; trial < 20; ++trial) {
     const StopId q = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     // Brute takes the raw duplicated list and dedups internally too.
     ExpectKnnValid(*db->EaKnn("dup", q, t, 8),
                    BruteEaOneToMany(tt, q, dup, t), 8, "EA dup");
@@ -600,8 +616,8 @@ TEST(PtldbEdgeTest, QueryStopInsideTargetSet) {
   ASSERT_TRUE(db->AddTargetSet("T", index, targets, 4).ok());
   for (const StopId q : targets) {
     for (int trial = 0; trial < 5; ++trial) {
-      const auto t = static_cast<Timestamp>(
-          rng.NextInRange(tt.min_time(), tt.max_time()));
+      const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                          tt.max_time().raw_seconds()));
       const auto ea_full = BruteEaOneToMany(tt, q, targets, t);
       const auto ld_full = BruteLdOneToMany(tt, q, targets, t);
       // The self-answer is always first: nothing beats "already there".
@@ -681,18 +697,18 @@ TEST_F(CalendarTest, BuildsOnePeriodPerDistinctTimetable) {
 
   // Weekday: A reaches C at 08:40.
   auto weekday =
-      (*calendar)->EarliestArrival(Weekday::kWednesday, "A", "C", 7 * 3600);
+      (*calendar)->EarliestArrival(Weekday::kWednesday, "A", "C", TSec(7 * 3600));
   ASSERT_TRUE(weekday.ok());
-  EXPECT_EQ(*weekday, 8 * 3600 + 40 * 60);
+  EXPECT_EQ(*weekday, TSec(8 * 3600 + 40 * 60));
   // Weekend: C is unreachable, A->B arrives 10:45.
   auto weekend_c =
-      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "C", 7 * 3600);
+      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "C", TSec(7 * 3600));
   ASSERT_TRUE(weekend_c.ok());
-  EXPECT_EQ(*weekend_c, kInfinityTime);
+  EXPECT_EQ(*weekend_c, EventTime::Infinity());
   auto weekend_b =
-      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "B", 7 * 3600);
+      (*calendar)->EarliestArrival(Weekday::kSunday, "A", "B", TSec(7 * 3600));
   ASSERT_TRUE(weekend_b.ok());
-  EXPECT_EQ(*weekend_b, 10 * 3600 + 45 * 60);
+  EXPECT_EQ(*weekend_b, TSec(10 * 3600 + 45 * 60));
 }
 
 TEST_F(CalendarTest, TargetSetsSpanAllPeriods) {
@@ -704,14 +720,14 @@ TEST_F(CalendarTest, TargetSetsSpanAllPeriods) {
 
   PtldbDatabase* monday = (*calendar)->ForDay(Weekday::kMonday);
   const StopId a = (*calendar)->StopFor(Weekday::kMonday, "A");
-  const auto knn = monday->EaKnn("poi", a, 7 * 3600, 2);
+  const auto knn = monday->EaKnn("poi", a, TSec(7 * 3600), 2);
   ASSERT_TRUE(knn.ok());
   ASSERT_EQ(knn->size(), 2u);
-  EXPECT_EQ((*knn)[0].time, 8 * 3600 + 20 * 60);
+  EXPECT_EQ((*knn)[0].time, TSec(8 * 3600 + 20 * 60));
 
   PtldbDatabase* sunday = (*calendar)->ForDay(Weekday::kSunday);
   const StopId a2 = (*calendar)->StopFor(Weekday::kSunday, "A");
-  const auto weekend = sunday->EaKnn("poi", a2, 7 * 3600, 2);
+  const auto weekend = sunday->EaKnn("poi", a2, TSec(7 * 3600), 2);
   ASSERT_TRUE(weekend.ok());
   ASSERT_EQ(weekend->size(), 1u);  // Only B reachable.
 }
@@ -722,7 +738,7 @@ TEST_F(CalendarTest, UnknownStopsFail) {
   auto calendar = CalendarPtldb::FromGtfs(dir_.string(), options);
   ASSERT_TRUE(calendar.ok());
   EXPECT_FALSE(
-      (*calendar)->EarliestArrival(Weekday::kMonday, "zz", "A", 0).ok());
+      (*calendar)->EarliestArrival(Weekday::kMonday, "zz", "A", TSec(0)).ok());
   EXPECT_FALSE((*calendar)->AddTargetSet("bad", {"zz"}, 2).ok());
 }
 
@@ -765,7 +781,7 @@ TEST(PtldbStorageTest, WarmCacheCostsNoIo) {
 // must run its intermediates in 64-bit. Answers are checked against both
 // handcomputed values and the CSA/brute oracles, on both executors.
 TEST(PtldbOverflowTest, AnswersOnTimetableNearInt32Max) {
-  const Timestamp base = kInfinityTime - 8 * 3600;
+  const EventTime base = EventTime::Infinity() - DSec(8 * 3600);
   TimetableBuilder builder;
   for (int i = 0; i < 4; ++i) {
     builder.AddStop({.name = "s" + std::to_string(i)});
@@ -773,9 +789,9 @@ TEST(PtldbOverflowTest, AnswersOnTimetableNearInt32Max) {
   const TripId t1 = builder.AddTrip();
   const TripId t2 = builder.AddTrip();
   const TripId t3 = builder.AddTrip();
-  builder.AddConnection(0, 1, base + 100, base + 200, t1);
-  builder.AddConnection(1, 2, base + 300, base + 400, t2);
-  builder.AddConnection(2, 3, base + 500, base + 600, t3);
+  builder.AddConnection(0, 1, base + DSec(100), base + DSec(200), t1);
+  builder.AddConnection(1, 2, base + DSec(300), base + DSec(400), t2);
+  builder.AddConnection(2, 3, base + DSec(500), base + DSec(600), t3);
   auto built = std::move(builder).Build();
   ASSERT_TRUE(built.ok());
   const Timetable tt = std::move(built).value();
@@ -793,27 +809,28 @@ TEST(PtldbOverflowTest, AnswersOnTimetableNearInt32Max) {
       (*db)->set_compiled_queries(compiled);
       const auto ea = (*db)->EarliestArrival(0, 3, base);
       ASSERT_TRUE(ea.ok());
-      EXPECT_EQ(*ea, base + 600);
+      EXPECT_EQ(*ea, base + DSec(600));
       EXPECT_EQ(*ea, EarliestArrival(tt, 0, 3, base));
-      const auto ld = (*db)->LatestDeparture(0, 3, base + 600);
+      const auto ld = (*db)->LatestDeparture(0, 3, base + DSec(600));
       ASSERT_TRUE(ld.ok());
-      EXPECT_EQ(*ld, base + 100);
-      EXPECT_EQ(*ld, LatestDeparture(tt, 0, 3, base + 600));
-      const auto sd = (*db)->ShortestDuration(0, 3, base, base + 600);
+      EXPECT_EQ(*ld, base + DSec(100));
+      EXPECT_EQ(*ld, LatestDeparture(tt, 0, 3, base + DSec(600)));
+      const auto sd =
+          (*db)->ShortestDuration(0, 3, base, base + DSec(600));
       ASSERT_TRUE(sd.ok());
-      EXPECT_EQ(*sd, 500);
-      EXPECT_EQ(*sd, ShortestDuration(tt, 0, 3, base, base + 600));
+      EXPECT_EQ(*sd, DSec(500));
+      EXPECT_EQ(*sd, ShortestDuration(tt, 0, 3, base, base + DSec(600)));
       // Unreachable stays the saturated sentinel, not a wrapped value.
       const auto none = (*db)->EarliestArrival(3, 0, base);
       ASSERT_TRUE(none.ok());
-      EXPECT_EQ(*none, kInfinityTime);
+      EXPECT_EQ(*none, EventTime::Infinity());
       const auto knn = (*db)->EaKnn("T", 0, base, 2);
       ASSERT_TRUE(knn.ok());
       ExpectKnnValid(*knn, BruteEaOneToMany(tt, 0, targets, base), 2,
                      compiled ? "EA-kNN vm" : "EA-kNN interp");
-      const auto otm = (*db)->LdOneToMany("T", 0, base + 600);
+      const auto otm = (*db)->LdOneToMany("T", 0, base + DSec(600));
       ASSERT_TRUE(otm.ok());
-      const auto brute = BruteLdOneToMany(tt, 0, targets, base + 600);
+      const auto brute = BruteLdOneToMany(tt, 0, targets, base + DSec(600));
       ASSERT_EQ(otm->size(), brute.size());
       for (size_t i = 0; i < brute.size(); ++i) {
         EXPECT_EQ((*otm)[i], brute[i]);

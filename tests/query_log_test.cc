@@ -25,7 +25,7 @@ QueryLogRecord OkRecord(uint64_t latency_ns) {
   rec.set_type("v2v_ea");
   rec.s = 1;
   rec.g = 2;
-  rec.t = 3;
+  rec.t = EventTime::FromSeconds(3);
   rec.phases.ns[static_cast<size_t>(QueryPhase::kPlan)] = latency_ns;
   rec.latency_ns = latency_ns;
   return rec;

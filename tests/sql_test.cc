@@ -11,6 +11,8 @@
 #include "timetable/generator.h"
 #include "ttl/builder.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -239,11 +241,11 @@ class SqlPaperQueriesTest : public testing::Test {
     EXPECT_TRUE(db_->AddTargetSet("poi", index_, targets_, 4).ok());
   }
 
-  Timestamp ScalarOrDefault(const SqlRelation& relation, Timestamp fallback) {
+  int64_t ScalarOrDefault(const SqlRelation& relation, int64_t fallback) {
     if (relation.rows.empty() || SqlIsNull(relation.rows[0][0])) {
       return fallback;
     }
-    return static_cast<Timestamp>(std::get<int64_t>(relation.rows[0][0]));
+    return std::get<int64_t>(relation.rows[0][0]);
   }
 
   std::vector<StopTimeResult> AsResults(const SqlRelation& relation) {
@@ -251,7 +253,7 @@ class SqlPaperQueriesTest : public testing::Test {
     for (const auto& row : relation.rows) {
       out.push_back(
           {static_cast<StopId>(std::get<int64_t>(row[0])),
-           static_cast<Timestamp>(std::get<int64_t>(row[1]))});
+           EventTime::FromSeconds(std::get<int64_t>(row[1]))});
     }
     return out;
   }
@@ -270,34 +272,32 @@ TEST_F(SqlPaperQueriesTest, Code1MatchesFacade) {
     auto g = static_cast<int64_t>(rng.NextBelow(tt_.num_stops()));
     if (g == s) g = (g + 1) % tt_.num_stops();
     const auto t =
-        static_cast<int64_t>(rng.NextInRange(tt_.min_time(), tt_.max_time()));
+        static_cast<int64_t>(rng.NextInRange(tt_.min_time().raw_seconds(),
+                                             tt_.max_time().raw_seconds()));
     const auto t_end =
-        static_cast<int64_t>(rng.NextInRange(t, tt_.max_time()));
+        static_cast<int64_t>(rng.NextInRange(t, tt_.max_time().raw_seconds()));
 
     auto ea = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
                                   {s, g, t});
     ASSERT_TRUE(ea.ok()) << ea.status().ToString();
-    EXPECT_EQ(ScalarOrDefault(*ea, kInfinityTime),
+    EXPECT_EQ(TSec(ScalarOrDefault(*ea, kInfinityTime)),
               *db_->EarliestArrival(static_cast<StopId>(s),
-                                   static_cast<StopId>(g),
-                                   static_cast<Timestamp>(t)));
+                                    static_cast<StopId>(g), TSec(t)));
 
     auto ld = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
                                   {s, g, t_end});
     ASSERT_TRUE(ld.ok());
-    EXPECT_EQ(ScalarOrDefault(*ld, kNegInfinityTime),
+    EXPECT_EQ(TSec(ScalarOrDefault(*ld, kNegInfinityTime)),
               *db_->LatestDeparture(static_cast<StopId>(s),
-                                   static_cast<StopId>(g),
-                                   static_cast<Timestamp>(t_end)));
+                                    static_cast<StopId>(g), TSec(t_end)));
 
     auto sd = interpreter.Execute(V2vSql(V2vKind::kShortestDuration),
                                   {s, g, t, t_end});
     ASSERT_TRUE(sd.ok());
-    EXPECT_EQ(ScalarOrDefault(*sd, kInfinityTime),
+    EXPECT_EQ(DSec(ScalarOrDefault(*sd, kInfinityTime)),
               *db_->ShortestDuration(static_cast<StopId>(s),
-                                    static_cast<StopId>(g),
-                                    static_cast<Timestamp>(t),
-                                    static_cast<Timestamp>(t_end)));
+                                     static_cast<StopId>(g), TSec(t),
+                                     TSec(t_end)));
   }
 }
 
@@ -311,44 +311,45 @@ TEST_F(SqlPaperQueriesTest, Codes2To4MatchFacade) {
       q = static_cast<StopId>(rng.NextBelow(tt_.num_stops()));
     }
     const auto t =
-        static_cast<int64_t>(rng.NextInRange(tt_.min_time(), tt_.max_time()));
+        static_cast<int64_t>(rng.NextInRange(tt_.min_time().raw_seconds(),
+                                             tt_.max_time().raw_seconds()));
     const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(4));
     const int64_t arrhour = std::min<int64_t>(t / 3600, max_bucket);
 
     auto naive = interpreter.Execute(EaKnnNaiveSql("poi"), {q, t, k});
     ASSERT_TRUE(naive.ok()) << naive.status().ToString();
     EXPECT_EQ(AsResults(*naive),
-              *db_->EaKnnNaive("poi", q, static_cast<Timestamp>(t),
+              *db_->EaKnnNaive("poi", q, TSec(t),
                                static_cast<uint32_t>(k)));
 
     auto ld_naive = interpreter.Execute(LdKnnNaiveSql("poi"), {q, t, k});
     ASSERT_TRUE(ld_naive.ok()) << ld_naive.status().ToString();
     EXPECT_EQ(AsResults(*ld_naive),
-              *db_->LdKnnNaive("poi", q, static_cast<Timestamp>(t),
+              *db_->LdKnnNaive("poi", q, TSec(t),
                                static_cast<uint32_t>(k)));
 
     auto ea_knn = interpreter.Execute(EaKnnSql("poi"), {q, t, k});
     ASSERT_TRUE(ea_knn.ok()) << ea_knn.status().ToString();
     EXPECT_EQ(AsResults(*ea_knn),
-              *db_->EaKnn("poi", q, static_cast<Timestamp>(t),
+              *db_->EaKnn("poi", q, TSec(t),
                           static_cast<uint32_t>(k)));
 
     auto ld_knn =
         interpreter.Execute(LdKnnSql("poi"), {q, t, k, arrhour});
     ASSERT_TRUE(ld_knn.ok()) << ld_knn.status().ToString();
     EXPECT_EQ(AsResults(*ld_knn),
-              *db_->LdKnn("poi", q, static_cast<Timestamp>(t),
+              *db_->LdKnn("poi", q, TSec(t),
                           static_cast<uint32_t>(k)));
 
     auto ea_otm = interpreter.Execute(EaOtmSql("poi"), {q, t});
     ASSERT_TRUE(ea_otm.ok()) << ea_otm.status().ToString();
     EXPECT_EQ(AsResults(*ea_otm),
-              *db_->EaOneToMany("poi", q, static_cast<Timestamp>(t)));
+              *db_->EaOneToMany("poi", q, TSec(t)));
 
     auto ld_otm = interpreter.Execute(LdOtmSql("poi"), {q, t, arrhour});
     ASSERT_TRUE(ld_otm.ok()) << ld_otm.status().ToString();
     EXPECT_EQ(AsResults(*ld_otm),
-              *db_->LdOneToMany("poi", q, static_cast<Timestamp>(t)));
+              *db_->LdOneToMany("poi", q, TSec(t)));
   }
 }
 
@@ -359,15 +360,14 @@ TEST_F(SqlPaperQueriesTest, UnreachablePairYieldsNullNotSentinel) {
   SqlInterpreter interpreter(db_->engine());
   // Querying at the end of service leaves (almost) every pair unreachable;
   // scan for one the facade reports as such.
-  const auto t = static_cast<int64_t>(tt_.max_time());
+  const auto t = tt_.max_time().raw_seconds();
   StopId s = 0;
   StopId g = 1;
   bool found = false;
   for (StopId a = 0; a < tt_.num_stops() && !found; ++a) {
     for (StopId b = 0; b < tt_.num_stops(); ++b) {
       if (a == b) continue;
-      if (*db_->EarliestArrival(a, b, static_cast<Timestamp>(t)) ==
-          kInfinityTime) {
+      if (*db_->EarliestArrival(a, b, TSec(t)) == EventTime::Infinity()) {
         s = a;
         g = b;
         found = true;
@@ -399,7 +399,7 @@ TEST_F(SqlPaperQueriesTest, UnreachablePairYieldsNullNotSentinel) {
   auto ld = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
                                 {static_cast<int64_t>(s),
                                  static_cast<int64_t>(g),
-                                 static_cast<int64_t>(tt_.min_time())});
+                                 tt_.min_time().raw_seconds()});
   ASSERT_TRUE(ld.ok()) << ld.status().ToString();
   expect_null(*ld, "LD unreachable");
 
@@ -421,7 +421,7 @@ TEST_F(SqlPaperQueriesTest, TableAccessIsChargedToTheDevice) {
   (*db)->ResetIoStats();
   SqlInterpreter interpreter((*db)->engine());
   auto result = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival),
-                                    {0, 1, tt_.min_time()});
+                                    {0, 1, tt_.min_time().raw_seconds()});
   ASSERT_TRUE(result.ok());
   EXPECT_GT((*db)->io_time_ns(), 0u);
   EXPECT_GT((*db)->engine()->buffer_pool()->misses(), 0u);
@@ -447,30 +447,30 @@ class SqlExampleGoldenTest : public testing::Test {
     EXPECT_TRUE(db_->AddTargetSet("poi", index_, targets_, kKmax).ok());
   }
 
-  Timestamp Scalar(const SqlRelation& relation, Timestamp fallback) {
+  int64_t Scalar(const SqlRelation& relation, int64_t fallback) {
     if (relation.rows.empty() || SqlIsNull(relation.rows[0][0])) {
       return fallback;
     }
-    return static_cast<Timestamp>(std::get<int64_t>(relation.rows[0][0]));
+    return std::get<int64_t>(relation.rows[0][0]);
   }
 
   std::vector<StopTimeResult> Rows(const SqlRelation& relation) {
     std::vector<StopTimeResult> out;
     for (const auto& row : relation.rows) {
       out.push_back({static_cast<StopId>(std::get<int64_t>(row[0])),
-                     static_cast<Timestamp>(std::get<int64_t>(row[1]))});
+                     EventTime::FromSeconds(std::get<int64_t>(row[1]))});
     }
     return out;
   }
 
-  Timestamp SqlEa(int64_t s, int64_t g, int64_t t) {
+  int64_t SqlEa(int64_t s, int64_t g, int64_t t) {
     SqlInterpreter interpreter(db_->engine());
     auto r = interpreter.Execute(V2vSql(V2vKind::kEarliestArrival), {s, g, t});
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return r.ok() ? Scalar(*r, kInfinityTime) : kInfinityTime;
   }
 
-  Timestamp SqlLd(int64_t s, int64_t g, int64_t t_end) {
+  int64_t SqlLd(int64_t s, int64_t g, int64_t t_end) {
     SqlInterpreter interpreter(db_->engine());
     auto r = interpreter.Execute(V2vSql(V2vKind::kLatestDeparture),
                                  {s, g, t_end});
@@ -478,7 +478,7 @@ class SqlExampleGoldenTest : public testing::Test {
     return r.ok() ? Scalar(*r, kNegInfinityTime) : kNegInfinityTime;
   }
 
-  Timestamp SqlSd(int64_t s, int64_t g, int64_t t, int64_t t_end) {
+  int64_t SqlSd(int64_t s, int64_t g, int64_t t, int64_t t_end) {
     SqlInterpreter interpreter(db_->engine());
     auto r = interpreter.Execute(V2vSql(V2vKind::kShortestDuration),
                                  {s, g, t, t_end});
@@ -525,15 +525,15 @@ TEST_F(SqlExampleGoldenTest, Code1ExhaustiveMatchesPhysicalPlans) {
   for (StopId s = 0; s < tt_.num_stops(); ++s) {
     for (StopId g = 0; g < tt_.num_stops(); ++g) {
       for (const int64_t t : times) {
-        EXPECT_EQ(SqlEa(s, g, t),
-                  *db_->EarliestArrival(s, g, static_cast<Timestamp>(t)))
+        EXPECT_EQ(TSec(SqlEa(s, g, t)),
+                  *db_->EarliestArrival(s, g, TSec(t)))
             << "EA(" << s << "," << g << "," << t << ")";
-        EXPECT_EQ(SqlLd(s, g, t),
-                  *db_->LatestDeparture(s, g, static_cast<Timestamp>(t)))
+        EXPECT_EQ(TSec(SqlLd(s, g, t)),
+                  *db_->LatestDeparture(s, g, TSec(t)))
             << "LD(" << s << "," << g << "," << t << ")";
       }
-      EXPECT_EQ(SqlSd(s, g, 28800, 43200),
-                *db_->ShortestDuration(s, g, 28800, 43200))
+      EXPECT_EQ(DSec(SqlSd(s, g, 28800, 43200)),
+                *db_->ShortestDuration(s, g, TSec(28800), TSec(43200)))
           << "SD(" << s << "," << g << ")";
     }
   }
@@ -543,25 +543,26 @@ TEST_F(SqlExampleGoldenTest, Codes2And3GoldenKnn) {
   SqlInterpreter interpreter(db_->engine());
   // From stop 5 at 28800, targets {3, 6}: 3 is reached at 39600 (trip 1 to
   // hub 0, trip 4 onward), 6 at 43200 (trip 1 end to end).
-  const std::vector<StopTimeResult> want = {{3, 39600}, {6, 43200}};
+  const std::vector<StopTimeResult> want = {{3, TSec(39600)},
+                                            {6, TSec(43200)}};
   for (const std::string& sql : {EaKnnNaiveSql("poi"), EaKnnSql("poi")}) {
     auto r = interpreter.Execute(sql, {5, 28800, 2});
     ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
     EXPECT_EQ(Rows(*r), want) << sql;
     auto r1 = interpreter.Execute(sql, {5, 28800, 1});
     ASSERT_TRUE(r1.ok());
-    const std::vector<StopTimeResult> want_top1 = {{3, 39600}};
+    const std::vector<StopTimeResult> want_top1 = {{3, TSec(39600)}};
     EXPECT_EQ(Rows(*r1), want_top1) << sql;
   }
-  EXPECT_EQ(*db_->EaKnnNaive("poi", 5, 28800, 2), want);
-  EXPECT_EQ(*db_->EaKnn("poi", 5, 28800, 2), want);
+  EXPECT_EQ(*db_->EaKnnNaive("poi", 5, TSec(28800), 2), want);
+  EXPECT_EQ(*db_->EaKnn("poi", 5, TSec(28800), 2), want);
 }
 
 TEST_F(SqlExampleGoldenTest, Code4GoldenLdKnn) {
   SqlInterpreter interpreter(db_->engine());
   // Arriving by 40000 from stop 5 only target 3 is feasible (dep 28800,
   // arr 39600); target 6 would arrive at 43200.
-  const std::vector<StopTimeResult> want = {{3, 28800}};
+  const std::vector<StopTimeResult> want = {{3, TSec(28800)}};
   for (const std::string& sql : {LdKnnNaiveSql("poi"), LdKnnSql("poi")}) {
     const bool needs_hour = sql == LdKnnSql("poi");
     auto r = needs_hour
@@ -570,8 +571,8 @@ TEST_F(SqlExampleGoldenTest, Code4GoldenLdKnn) {
     ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
     EXPECT_EQ(Rows(*r), want) << sql;
   }
-  EXPECT_EQ(*db_->LdKnnNaive("poi", 5, 40000, 2), want);
-  EXPECT_EQ(*db_->LdKnn("poi", 5, 40000, 2), want);
+  EXPECT_EQ(*db_->LdKnnNaive("poi", 5, TSec(40000), 2), want);
+  EXPECT_EQ(*db_->LdKnn("poi", 5, TSec(40000), 2), want);
 }
 
 TEST_F(SqlExampleGoldenTest, Codes2To4ExhaustiveMatchPhysicalPlans) {
@@ -583,34 +584,34 @@ TEST_F(SqlExampleGoldenTest, Codes2To4ExhaustiveMatchPhysicalPlans) {
         auto naive = interpreter.Execute(EaKnnNaiveSql("poi"), {q, t, k});
         ASSERT_TRUE(naive.ok()) << naive.status().ToString();
         EXPECT_EQ(Rows(*naive),
-                  *db_->EaKnnNaive("poi", q, static_cast<Timestamp>(t),
+                  *db_->EaKnnNaive("poi", q, TSec(t),
                                    static_cast<uint32_t>(k)));
         auto ld_naive = interpreter.Execute(LdKnnNaiveSql("poi"), {q, t, k});
         ASSERT_TRUE(ld_naive.ok());
         EXPECT_EQ(Rows(*ld_naive),
-                  *db_->LdKnnNaive("poi", q, static_cast<Timestamp>(t),
+                  *db_->LdKnnNaive("poi", q, TSec(t),
                                    static_cast<uint32_t>(k)));
         auto ea_knn = interpreter.Execute(EaKnnSql("poi"), {q, t, k});
         ASSERT_TRUE(ea_knn.ok());
         EXPECT_EQ(Rows(*ea_knn),
-                  *db_->EaKnn("poi", q, static_cast<Timestamp>(t),
+                  *db_->EaKnn("poi", q, TSec(t),
                               static_cast<uint32_t>(k)));
         auto ld_knn =
             interpreter.Execute(LdKnnSql("poi"), {q, t, k, ArrHour(t)});
         ASSERT_TRUE(ld_knn.ok());
         EXPECT_EQ(Rows(*ld_knn),
-                  *db_->LdKnn("poi", q, static_cast<Timestamp>(t),
+                  *db_->LdKnn("poi", q, TSec(t),
                               static_cast<uint32_t>(k)));
       }
       auto ea_otm = interpreter.Execute(EaOtmSql("poi"), {q, t});
       ASSERT_TRUE(ea_otm.ok());
       EXPECT_EQ(Rows(*ea_otm),
-                *db_->EaOneToMany("poi", q, static_cast<Timestamp>(t)));
+                *db_->EaOneToMany("poi", q, TSec(t)));
       auto ld_otm =
           interpreter.Execute(LdOtmSql("poi"), {q, t, ArrHour(t)});
       ASSERT_TRUE(ld_otm.ok());
       EXPECT_EQ(Rows(*ld_otm),
-                *db_->LdOneToMany("poi", q, static_cast<Timestamp>(t)));
+                *db_->LdOneToMany("poi", q, TSec(t)));
     }
   }
 }
@@ -723,10 +724,10 @@ TEST_F(SqlExampleGoldenTest, VmStepsSpanStatMatchesEngineCounter) {
   QueryTrace vm_trace;
   db_->set_trace(&vm_trace);
   const uint64_t before_vm = steps->value();
-  auto ea = db_->EarliestArrival(5, 6, 28800);
+  auto ea = db_->EarliestArrival(5, 6, TSec(28800));
   ASSERT_TRUE(ea.ok());
-  EXPECT_EQ(*ea, 43200);
-  auto knn = db_->EaKnn("poi", 5, 28800, 2);
+  EXPECT_EQ(*ea, TSec(43200));
+  auto knn = db_->EaKnn("poi", 5, TSec(28800), 2);
   ASSERT_TRUE(knn.ok());
   const uint64_t vm_delta = steps->value() - before_vm;
   EXPECT_GT(vm_delta, 0u);
@@ -745,8 +746,8 @@ TEST_F(SqlExampleGoldenTest, VmStepsSpanStatMatchesEngineCounter) {
   QueryTrace interp_trace;
   db_->set_trace(&interp_trace);
   const uint64_t before_interp = steps->value();
-  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
-  ASSERT_TRUE(db_->EaKnn("poi", 5, 28800, 2).ok());
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, TSec(28800)).ok());
+  ASSERT_TRUE(db_->EaKnn("poi", 5, TSec(28800), 2).ok());
   EXPECT_EQ(steps->value(), before_interp);
   const QueryTrace::Span* iv2v = FindChild(interp_trace.root(), "v2v_ea");
   ASSERT_NE(iv2v, nullptr);
@@ -833,7 +834,7 @@ class SqlSystemTableTest : public testing::Test {
 
 TEST_F(SqlSystemTableTest, SlowQueriesGoldenRecordForKnownQuery) {
   EXPECT_TRUE(Run("SELECT seq FROM ptldb_slow_queries").rows.empty());
-  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, TSec(28800)).ok());
 
   const auto rows = Run(
       "SELECT seq, type, outcome, s, g, t, latency_ns FROM "
@@ -861,9 +862,9 @@ TEST_F(SqlSystemTableTest, SlowQueriesGoldenRecordForKnownQuery) {
 }
 
 TEST_F(SqlSystemTableTest, StringPredicatesAndOrderingCompose) {
-  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
-  ASSERT_TRUE(db_->EarliestArrival(6, 1, 28800).ok());
-  EXPECT_FALSE(db_->EaKnn("nope", 5, 28800, 2).ok());  // Unknown set.
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, TSec(28800)).ok());
+  ASSERT_TRUE(db_->EarliestArrival(6, 1, TSec(28800)).ok());
+  EXPECT_FALSE(db_->EaKnn("nope", 5, TSec(28800), 2).ok());  // Unknown set.
 
   const auto ok_rows = Run(
       "SELECT seq FROM ptldb_slow_queries WHERE outcome = 'ok' "
@@ -879,8 +880,8 @@ TEST_F(SqlSystemTableTest, StringPredicatesAndOrderingCompose) {
 }
 
 TEST_F(SqlSystemTableTest, TracesRetainErroredRequests) {
-  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());  // Fast ok: dropped.
-  EXPECT_FALSE(db_->EaKnn("nope", 5, 28800, 2).ok());
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, TSec(28800)).ok());  // Fast ok: dropped.
+  EXPECT_FALSE(db_->EaKnn("nope", 5, TSec(28800), 2).ok());
 
   const auto traces =
       Run("SELECT seq, type, reason, trace FROM ptldb_traces");
@@ -893,7 +894,7 @@ TEST_F(SqlSystemTableTest, TracesRetainErroredRequests) {
 }
 
 TEST_F(SqlSystemTableTest, StatsExposesCountersAndHistogramsWithNulls) {
-  ASSERT_TRUE(db_->EarliestArrival(5, 6, 28800).ok());
+  ASSERT_TRUE(db_->EarliestArrival(5, 6, TSec(28800)).ok());
 
   const auto counter = Run(
       "SELECT value, p50 FROM ptldb_stats WHERE name = 'querylog.records'");

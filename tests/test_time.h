@@ -1,0 +1,32 @@
+#ifndef PTLDB_TESTS_TEST_TIME_H_
+#define PTLDB_TESTS_TEST_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/time_types.h"
+
+namespace ptldb {
+
+/// Test shorthand: the suites spell hundreds of literal clock times, and
+/// `TSec(36000)` keeps expectations readable while construction stays
+/// explicit everywhere else (see common/time_types.h).
+constexpr EventTime TSec(int64_t seconds) {
+  return EventTime::FromSeconds(seconds);
+}
+
+constexpr Duration DSec(int64_t seconds) {
+  return Duration::FromSeconds(seconds);
+}
+
+/// gtest failure messages print the raw second counts.
+inline std::ostream& operator<<(std::ostream& os, EventTime t) {
+  return os << t.raw_seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.raw_seconds() << "s";
+}
+
+}  // namespace ptldb
+
+#endif  // PTLDB_TESTS_TEST_TIME_H_

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "test_time.h"
 #include "timetable/example_graph.h"
 #include "timetable/serialize.h"
 #include "timetable/timetable.h"
@@ -15,7 +16,7 @@ TEST(TimetableBuilderTest, RejectsUnknownStop) {
   TimetableBuilder b;
   b.AddStop();
   b.AddTrip();
-  b.AddConnection(0, 5, 10, 20, 0);
+  b.AddConnection(0, 5, TSec(10), TSec(20), 0);
   EXPECT_FALSE(std::move(b).Build().ok());
 }
 
@@ -23,7 +24,7 @@ TEST(TimetableBuilderTest, RejectsUnknownTrip) {
   TimetableBuilder b;
   b.AddStop();
   b.AddStop();
-  b.AddConnection(0, 1, 10, 20, 0);
+  b.AddConnection(0, 1, TSec(10), TSec(20), 0);
   EXPECT_FALSE(std::move(b).Build().ok());
 }
 
@@ -32,7 +33,7 @@ TEST(TimetableBuilderTest, RejectsNonPositiveDuration) {
   b.AddStop();
   b.AddStop();
   b.AddTrip();
-  b.AddConnection(0, 1, 20, 20, 0);
+  b.AddConnection(0, 1, TSec(20), TSec(20), 0);
   EXPECT_FALSE(std::move(b).Build().ok());
 }
 
@@ -40,7 +41,7 @@ TEST(TimetableBuilderTest, RejectsSelfLoop) {
   TimetableBuilder b;
   b.AddStop();
   b.AddTrip();
-  b.AddConnection(0, 0, 10, 20, 0);
+  b.AddConnection(0, 0, TSec(10), TSec(20), 0);
   EXPECT_FALSE(std::move(b).Build().ok());
 }
 
@@ -72,8 +73,8 @@ TEST(TimetableTest, ExampleShape) {
   EXPECT_EQ(tt.num_stops(), 7u);
   EXPECT_EQ(tt.num_trips(), 4u);
   EXPECT_EQ(tt.num_connections(), 12u);
-  EXPECT_EQ(tt.min_time(), 28800);
-  EXPECT_EQ(tt.max_time(), 43200);
+  EXPECT_EQ(tt.min_time(), TSec(28800));
+  EXPECT_EQ(tt.max_time(), TSec(43200));
   EXPECT_NEAR(tt.average_degree(), 12.0 / 7.0, 1e-9);
 }
 
@@ -95,31 +96,31 @@ TEST(TimetableTest, ArrivalEventsAreDistinctSorted) {
   // Stop 0 is reached at 36000 by four different trips: one distinct event.
   const auto at0 = tt.arrival_events(0);
   ASSERT_EQ(at0.size(), 1u);
-  EXPECT_EQ(at0[0], 36000);
+  EXPECT_EQ(at0[0], TSec(36000));
   // Stop 1 is reached at 32400 (trip 1) and 39600 (trip 2).
   const auto at1 = tt.arrival_events(1);
   ASSERT_EQ(at1.size(), 2u);
-  EXPECT_EQ(at1[0], 32400);
-  EXPECT_EQ(at1[1], 39600);
+  EXPECT_EQ(at1[0], TSec(32400));
+  EXPECT_EQ(at1[1], TSec(39600));
 }
 
 TEST(TimetableTest, DepartureEvents) {
   const Timetable tt = MakeExampleTimetable();
   const auto at0 = tt.departure_events(0);
   ASSERT_EQ(at0.size(), 1u);
-  EXPECT_EQ(at0[0], 36000);
+  EXPECT_EQ(at0[0], TSec(36000));
   const auto at5 = tt.departure_events(5);
   ASSERT_EQ(at5.size(), 1u);
-  EXPECT_EQ(at5[0], 28800);
+  EXPECT_EQ(at5[0], TSec(28800));
 }
 
 TEST(TimetableTest, FirstConnectionNotBefore) {
   const Timetable tt = MakeExampleTimetable();
-  EXPECT_EQ(tt.FirstConnectionNotBefore(0), 0u);
-  const size_t i = tt.FirstConnectionNotBefore(32400);
+  EXPECT_EQ(tt.FirstConnectionNotBefore(TSec(0)), 0u);
+  const size_t i = tt.FirstConnectionNotBefore(TSec(32400));
   ASSERT_LT(i, tt.num_connections());
-  EXPECT_GE(tt.connection(static_cast<ConnectionId>(i)).dep, 32400);
-  EXPECT_EQ(tt.FirstConnectionNotBefore(99999999), tt.num_connections());
+  EXPECT_GE(tt.connection(static_cast<ConnectionId>(i)).dep, TSec(32400));
+  EXPECT_EQ(tt.FirstConnectionNotBefore(TSec(99999999)), tt.num_connections());
 }
 
 TEST(TimetableSerializeTest, RoundTrip) {

@@ -20,6 +20,8 @@
 #include "ttl/label_store.h"
 #include "ttl/serialize.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -259,12 +261,12 @@ TEST(TtlDeterminismTest, ExecutorChoiceDoesNotChangeAnswers) {
   auto index = BuildTtlIndex(tt, build);
   ASSERT_TRUE(index.ok());
 
-  std::vector<Timestamp> times;
+  std::vector<EventTime> times;
   for (const Connection& c : tt.connections()) {
-    for (const Timestamp base : {c.dep, c.arr}) {
-      times.push_back(base - 1);
+    for (const EventTime base : {c.dep, c.arr}) {
+      times.push_back(base - DSec(1));
       times.push_back(base);
-      times.push_back(base + 1);
+      times.push_back(base + DSec(1));
     }
   }
   std::sort(times.begin(), times.end());
@@ -281,11 +283,11 @@ TEST(TtlDeterminismTest, ExecutorChoiceDoesNotChangeAnswers) {
     ASSERT_TRUE(built.ok());
     PtldbDatabase* db = built->get();
     ASSERT_TRUE(db->AddTargetSet("T", *index, targets, 4).ok());
-    const Timestamp t_end = tt.max_time();
+    const EventTime t_end = tt.max_time();
     for (StopId s = 0; s < tt.num_stops(); ++s) {
       for (StopId g = 0; g < tt.num_stops(); ++g) {
         if (g == s) continue;
-        for (const Timestamp t : times) {
+        for (const EventTime t : times) {
           db->set_compiled_queries(true);
           const auto ea_v = db->EarliestArrival(s, g, t);
           const auto ld_v = db->LatestDeparture(s, g, t);

@@ -14,6 +14,8 @@
 #include "ttl/ordering.h"
 #include "ttl/serialize.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -68,65 +70,65 @@ TtlIndex BuildExampleIndex(bool add_dummies = true) {
 TEST(TtlExampleTest, LabelsMatchTable1Exactly) {
   const TtlIndex index = BuildExampleIndex();
 
-  ExpectTuples(index.out.tuples(0), {{0, 36000, 36000, kD, kDT}}, "L_out", 0);
-  ExpectTuples(index.in.tuples(0), {{0, 36000, 36000, kD, kDT}}, "L_in", 0);
+  ExpectTuples(index.out.tuples(0), {{0, TSec(36000), TSec(36000), kD, kDT}}, "L_out", 0);
+  ExpectTuples(index.in.tuples(0), {{0, TSec(36000), TSec(36000), kD, kDT}}, "L_in", 0);
 
   ExpectTuples(index.out.tuples(1),
-               {{0, 32400, 36000, 0, 0},
-                {1, 32400, 32400, kD, kDT},
-                {1, 39600, 39600, kD, kDT}},
+               {{0, TSec(32400), TSec(36000), 0, 0},
+                {1, TSec(32400), TSec(32400), kD, kDT},
+                {1, TSec(39600), TSec(39600), kD, kDT}},
                "L_out", 1);
   ExpectTuples(index.in.tuples(1),
-               {{0, 36000, 39600, 0, 1},
-                {1, 32400, 32400, kD, kDT},
-                {1, 39600, 39600, kD, kDT}},
+               {{0, TSec(36000), TSec(39600), 0, 1},
+                {1, TSec(32400), TSec(32400), kD, kDT},
+                {1, TSec(39600), TSec(39600), kD, kDT}},
                "L_in", 1);
 
   ExpectTuples(index.out.tuples(2),
-               {{0, 32400, 36000, 0, 1},
-                {2, 32400, 32400, kD, kDT},
-                {2, 39600, 39600, kD, kDT}},
+               {{0, TSec(32400), TSec(36000), 0, 1},
+                {2, TSec(32400), TSec(32400), kD, kDT},
+                {2, TSec(39600), TSec(39600), kD, kDT}},
                "L_out", 2);
   ExpectTuples(index.in.tuples(2),
-               {{0, 36000, 39600, 0, 0},
-                {2, 32400, 32400, kD, kDT},
-                {2, 39600, 39600, kD, kDT}},
+               {{0, TSec(36000), TSec(39600), 0, 0},
+                {2, TSec(32400), TSec(32400), kD, kDT},
+                {2, TSec(39600), TSec(39600), kD, kDT}},
                "L_in", 2);
 
   ExpectTuples(index.out.tuples(3),
-               {{0, 32400, 36000, 0, 2}, {3, 39600, 39600, kD, kDT}},
+               {{0, TSec(32400), TSec(36000), 0, 2}, {3, TSec(39600), TSec(39600), kD, kDT}},
                "L_out", 3);
   ExpectTuples(index.in.tuples(3),
-               {{0, 36000, 39600, 0, 3}, {3, 39600, 39600, kD, kDT}},
+               {{0, TSec(36000), TSec(39600), 0, 3}, {3, TSec(39600), TSec(39600), kD, kDT}},
                "L_in", 3);
 
   ExpectTuples(index.out.tuples(4),
-               {{0, 32400, 36000, 0, 3}, {4, 39600, 39600, kD, kDT}},
+               {{0, TSec(32400), TSec(36000), 0, 3}, {4, TSec(39600), TSec(39600), kD, kDT}},
                "L_out", 4);
   ExpectTuples(index.in.tuples(4),
-               {{0, 36000, 39600, 0, 3}, {4, 39600, 39600, kD, kDT}},
+               {{0, TSec(36000), TSec(39600), 0, 3}, {4, TSec(39600), TSec(39600), kD, kDT}},
                "L_in", 4);
 
   ExpectTuples(index.out.tuples(5),
-               {{0, 28800, 36000, 1, 0},
-                {1, 28800, 32400, 1, 0},
-                {5, 43200, 43200, kD, kDT}},
+               {{0, TSec(28800), TSec(36000), 1, 0},
+                {1, TSec(28800), TSec(32400), 1, 0},
+                {5, TSec(43200), TSec(43200), kD, kDT}},
                "L_out", 5);
   ExpectTuples(index.in.tuples(5),
-               {{0, 36000, 43200, 1, 1},
-                {1, 39600, 43200, 1, 1},
-                {5, 43200, 43200, kD, kDT}},
+               {{0, TSec(36000), TSec(43200), 1, 1},
+                {1, TSec(39600), TSec(43200), 1, 1},
+                {5, TSec(43200), TSec(43200), kD, kDT}},
                "L_in", 5);
 
   ExpectTuples(index.out.tuples(6),
-               {{0, 28800, 36000, 2, 1},
-                {2, 28800, 32400, 2, 1},
-                {6, 43200, 43200, kD, kDT}},
+               {{0, TSec(28800), TSec(36000), 2, 1},
+                {2, TSec(28800), TSec(32400), 2, 1},
+                {6, TSec(43200), TSec(43200), kD, kDT}},
                "L_out", 6);
   ExpectTuples(index.in.tuples(6),
-               {{0, 36000, 43200, 2, 0},
-                {2, 39600, 43200, 2, 0},
-                {6, 43200, 43200, kD, kDT}},
+               {{0, TSec(36000), TSec(43200), 2, 0},
+                {2, TSec(39600), TSec(43200), 2, 0},
+                {6, TSec(43200), TSec(43200), kD, kDT}},
                "L_in", 6);
 }
 

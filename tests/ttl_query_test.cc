@@ -13,6 +13,8 @@
 #include "ttl/query.h"
 #include "ttl/serialize.h"
 
+#include "test_time.h"
+
 namespace ptldb {
 namespace {
 
@@ -41,8 +43,8 @@ TEST(TtlQueryExampleTest, PaperQueryEa11) {
   TtlBuildOptions options;
   options.custom_order = ExampleVertexOrder();
   const TtlIndex index = BuildIndex(tt, options);
-  EXPECT_EQ(TtlEarliestArrival(index, 1, 1, 32400), 32400);
-  EXPECT_EQ(TtlEarliestArrivalJoinOnly(index, 1, 1, 32400), 32400);
+  EXPECT_EQ(TtlEarliestArrival(index, 1, 1, TSec(32400)), TSec(32400));
+  EXPECT_EQ(TtlEarliestArrivalJoinOnly(index, 1, 1, TSec(32400)), TSec(32400));
 }
 
 TEST(TtlQueryExampleTest, ExampleV2vQueries) {
@@ -51,18 +53,19 @@ TEST(TtlQueryExampleTest, ExampleV2vQueries) {
   options.custom_order = ExampleVertexOrder();
   const TtlIndex index = BuildIndex(tt, options);
 
-  EXPECT_EQ(TtlEarliestArrival(index, 5, 6, 28800), 43200);
-  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28800), 36000);
-  EXPECT_EQ(TtlEarliestArrival(index, 3, 4, 32400), 39600);
-  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28801), kInfinityTime);
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 6, TSec(28800)), TSec(43200));
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, TSec(28800)), TSec(36000));
+  EXPECT_EQ(TtlEarliestArrival(index, 3, 4, TSec(32400)), TSec(39600));
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, TSec(28801)), EventTime::Infinity());
 
-  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43200), 28800);
-  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, 43200), 28800);
-  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, 43199), kNegInfinityTime);
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, TSec(43200)), TSec(28800));
+  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, TSec(43200)), TSec(28800));
+  EXPECT_EQ(TtlLatestDeparture(index, 6, 5, TSec(43199)), EventTime::NegInfinity());
 
-  EXPECT_EQ(TtlShortestDuration(index, 5, 0, 0, 86400), 7200);
-  EXPECT_EQ(TtlShortestDuration(index, 1, 5, 0, 86400), 3600);
-  EXPECT_EQ(TtlShortestDuration(index, 1, 5, 0, 43199), kInfinityTime);
+  EXPECT_EQ(TtlShortestDuration(index, 5, 0, TSec(0), TSec(86400)), DSec(7200));
+  EXPECT_EQ(TtlShortestDuration(index, 1, 5, TSec(0), TSec(86400)), DSec(3600));
+  EXPECT_EQ(TtlShortestDuration(index, 1, 5, TSec(0), TSec(43199)),
+            Duration::Infinity());
 }
 
 // Property sweep: on random synthetic cities, every TTL answer must match
@@ -75,28 +78,30 @@ TEST_P(TtlRandomGraphTest, MatchesGroundTruth) {
   const Timetable tt = SmallCity(GetParam());
   const TtlIndex index = BuildIndex(tt);
   Rng rng(GetParam() * 977 + 1);
-  const Timestamp lo = tt.min_time();
-  const Timestamp hi = tt.max_time();
+  const EventTime lo = tt.min_time();
+  const EventTime hi = tt.max_time();
   for (int i = 0; i < 150; ++i) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(rng.NextInRange(lo, hi));
-    const auto t_end = static_cast<Timestamp>(rng.NextInRange(t, hi));
+    const auto t =
+        TSec(rng.NextInRange(lo.raw_seconds(), hi.raw_seconds()));
+    const auto t_end =
+        TSec(rng.NextInRange(t.raw_seconds(), hi.raw_seconds()));
 
-    const Timestamp want_ea = EarliestArrival(tt, s, g, t);
+    const EventTime want_ea = EarliestArrival(tt, s, g, t);
     EXPECT_EQ(TtlEarliestArrival(index, s, g, t), want_ea)
         << "EA s=" << s << " g=" << g << " t=" << t;
     EXPECT_EQ(TtlEarliestArrivalJoinOnly(index, s, g, t), want_ea)
         << "EA-join s=" << s << " g=" << g << " t=" << t;
 
-    const Timestamp want_ld = LatestDeparture(tt, s, g, t_end);
+    const EventTime want_ld = LatestDeparture(tt, s, g, t_end);
     EXPECT_EQ(TtlLatestDeparture(index, s, g, t_end), want_ld)
         << "LD s=" << s << " g=" << g << " t'=" << t_end;
     EXPECT_EQ(TtlLatestDepartureJoinOnly(index, s, g, t_end), want_ld)
         << "LD-join s=" << s << " g=" << g << " t'=" << t_end;
 
-    const Timestamp want_sd = ShortestDuration(tt, s, g, t, t_end);
+    const Duration want_sd = ShortestDuration(tt, s, g, t, t_end);
     EXPECT_EQ(TtlShortestDuration(index, s, g, t, t_end), want_sd)
         << "SD s=" << s << " g=" << g << " t=" << t << " t'=" << t_end;
     EXPECT_EQ(TtlShortestDurationJoinOnly(index, s, g, t, t_end), want_sd)
@@ -124,19 +129,21 @@ TEST(TtlBoundaryTest, ExactEqualityOnExampleGraph) {
 
   // EA: stop 5 departs at exactly 28800. td == t is feasible; one second
   // later is not.
-  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28800), 36000);
-  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, 28801), kInfinityTime);
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, TSec(28800)), TSec(36000));
+  EXPECT_EQ(TtlEarliestArrival(index, 5, 0, TSec(28801)), EventTime::Infinity());
 
   // LD: the ride into 6 arrives at exactly 43200. ta == t_end is feasible;
   // one second earlier is not.
-  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43200), 28800);
-  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, 43199), kNegInfinityTime);
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, TSec(43200)), TSec(28800));
+  EXPECT_EQ(TtlLatestDeparture(index, 5, 6, TSec(43199)), EventTime::NegInfinity());
 
   // SD: the [t, t_end] window is closed on both ends — the 28800 -> 43200
   // journey fits exactly; shrinking either edge by one second kills it.
-  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28800, 43200), 14400);
-  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28801, 43200), kInfinityTime);
-  EXPECT_EQ(TtlShortestDuration(index, 5, 6, 28800, 43199), kInfinityTime);
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, TSec(28800), TSec(43200)), DSec(14400));
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, TSec(28801), TSec(43200)),
+            Duration::Infinity());
+  EXPECT_EQ(TtlShortestDuration(index, 5, 6, TSec(28800), TSec(43199)),
+            Duration::Infinity());
 }
 
 // Property form: every query timestamp sits exactly on a timetable event
@@ -146,7 +153,7 @@ TEST(TtlBoundaryTest, ExactEqualityOnExampleGraph) {
 TEST(TtlBoundaryTest, EventTimeQueriesMatchBaselines) {
   const Timetable tt = SmallCity(31, /*stops=*/50, /*connections=*/2500);
   const TtlIndex index = BuildIndex(tt);
-  std::vector<Timestamp> events;
+  std::vector<EventTime> events;
   for (const Connection& c : tt.connections()) {
     events.push_back(c.dep);
     events.push_back(c.arr);
@@ -156,10 +163,11 @@ TEST(TtlBoundaryTest, EventTimeQueriesMatchBaselines) {
 
   Rng rng(8);
   for (int trial = 0; trial < 400; ++trial) {
-    const Timestamp base =
+    const EventTime base =
         events[rng.NextBelow(static_cast<uint64_t>(events.size()))];
-    const auto t =
-        static_cast<Timestamp>(base + rng.NextBelow(3)) - 1;  // t-1, t, t+1.
+    // t-1, t, t+1.
+    const EventTime t =
+        base + DSec(static_cast<int64_t>(rng.NextBelow(3))) - DSec(1);
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
@@ -169,7 +177,7 @@ TEST(TtlBoundaryTest, EventTimeQueriesMatchBaselines) {
     EXPECT_EQ(TtlLatestDeparture(index, s, g, t), LatestDeparture(tt, s, g, t))
         << "LD s=" << s << " g=" << g << " t'=" << t;
     // SD with both window edges on event boundaries.
-    const Timestamp t_end = std::max(
+    const EventTime t_end = std::max(
         t, events[rng.NextBelow(static_cast<uint64_t>(events.size()))]);
     EXPECT_EQ(TtlShortestDuration(index, s, g, t, t_end),
               ShortestDuration(tt, s, g, t, t_end))
@@ -198,8 +206,8 @@ TEST(TtlPruningTest, UnprunedLabelsGiveSameAnswers) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     EXPECT_EQ(TtlEarliestArrival(*pruned, s, g, t),
               TtlEarliestArrival(*unpruned, s, g, t));
     EXPECT_EQ(TtlLatestDeparture(*pruned, s, g, t),
@@ -221,8 +229,8 @@ TEST_P(TtlOrderingCorrectnessTest, AnswersMatchGroundTruth) {
     const auto s = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     auto g = static_cast<StopId>(rng.NextBelow(tt.num_stops()));
     if (g == s) g = (g + 1) % tt.num_stops();
-    const auto t = static_cast<Timestamp>(
-        rng.NextInRange(tt.min_time(), tt.max_time()));
+    const auto t = TSec(rng.NextInRange(tt.min_time().raw_seconds(),
+                                        tt.max_time().raw_seconds()));
     EXPECT_EQ(TtlEarliestArrival(index, s, g, t), EarliestArrival(tt, s, g, t));
   }
 }
